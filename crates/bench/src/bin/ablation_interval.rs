@@ -1,0 +1,34 @@
+//! Ablation: the manager's planning-interval length (§3.1 calls it "a
+//! configurable parameter").
+//!
+//! Short intervals react faster to idleness but plan more often; long
+//! intervals leave idle VMs unconsolidated. The trace's 5-minute
+//! resolution bounds how fast state changes arrive.
+
+use oasis_bench::{banner, pct};
+use oasis_cluster::ClusterConfig;
+use oasis_core::PolicyKind;
+use oasis_sim::SimDuration;
+use oasis_trace::DayKind;
+
+fn main() {
+    banner("Ablation", "planning-interval length (FulltoPartial, weekday)");
+    println!("{:<12} {:>10} {:>12} {:>10}", "interval", "savings", "migrations", "returns");
+    for mins in [5u64, 10, 15, 30, 60] {
+        let cfg = ClusterConfig::builder()
+            .policy(PolicyKind::FullToPartial)
+            .day(DayKind::Weekday)
+            .interval(SimDuration::from_mins(mins))
+            .seed(1)
+            .build()
+            .expect("valid configuration");
+        let r = oasis_cluster::ClusterSim::new(cfg).run_day();
+        println!(
+            "{:<12} {:>10} {:>12} {:>10}",
+            format!("{mins} min"),
+            pct(r.energy_savings),
+            r.migrations.partial + r.migrations.full,
+            r.migrations.returns_home,
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Ablation: overwrite obviation at reintegration (§4.4.3).
+//!
+//! With the optimization off, every dirty page crosses the wire when a
+//! partial VM returns to its home.
+
+use oasis_bench::{banner, secs};
+use oasis_migration::lab::{LabOptions, MicroLab};
+use oasis_sim::SimDuration;
+use oasis_vm::apps::DesktopWorkload;
+
+fn run(obviation: bool) -> (f64, f64) {
+    let mut lab = MicroLab::with_options(
+        1,
+        LabOptions { overwrite_obviation: obviation, ..LabOptions::default() },
+    );
+    lab.prime_os();
+    lab.run_workload(&DesktopWorkload::workload1());
+    lab.idle_wait(SimDuration::from_mins(5));
+    lab.partial_migrate();
+    lab.consolidated_idle(SimDuration::from_mins(20));
+    let r = lab.reintegrate();
+    (r.network_bytes.as_mib_f64(), r.total.as_secs_f64())
+}
+
+fn main() {
+    banner("Ablation", "overwrite obviation at reintegration (§4.4.3)");
+    println!("{:<16} {:>12} {:>10}", "variant", "dirty sent", "latency");
+    for (label, on) in [("obviation on", true), ("obviation off", false)] {
+        let (mib, latency) = run(on);
+        println!("{label:<16} {mib:>8.1} MiB {:>10}", secs(latency));
+    }
+    println!("paper: new allocations and recycled buffers are never sent.");
+}

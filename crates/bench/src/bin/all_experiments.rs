@@ -1,0 +1,46 @@
+//! Runs every experiment binary's logic in sequence.
+//!
+//! Convenience wrapper used to regenerate `EXPERIMENTS.md`; prints the
+//! same output as the individual `figNN` / `tableN` binaries.
+//!
+//! Build the whole bench crate first so no sibling binary is stale:
+//! `cargo build --release -p oasis-bench && cargo run --release -p
+//! oasis-bench --bin all_experiments`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig01", "fig02", "table1", "table2", "fig05", "net_micro", "fig06",
+        "fig07", "fig08", "fig09", "fig10", "fig11", "table3", "fig12",
+        "baselines", "week", "fault_injection", "migration_compare", "server_farm",
+        "ablation_upload", "ablation_overwrite", "ablation_interval",
+        "ablation_cooldown", "ablation_placement",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin directory");
+    let own_mtime = std::fs::metadata(&exe)
+        .and_then(|m| m.modified())
+        .expect("own metadata");
+    for bin in bins {
+        let path = dir.join(bin);
+        // Refuse to report stale results: every sibling must be at least
+        // as fresh as this wrapper.
+        if let Ok(meta) = std::fs::metadata(&path) {
+            if let Ok(mtime) = meta.modified() {
+                assert!(
+                    mtime + std::time::Duration::from_secs(3_600) >= own_mtime,
+                    "{bin} is stale; rebuild with `cargo build --release -p oasis-bench`"
+                );
+            }
+        }
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+        println!();
+    }
+}

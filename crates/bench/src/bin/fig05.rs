@@ -1,0 +1,56 @@
+//! Figure 5: consolidation latencies for one VM.
+//!
+//! Runs the §4.4 flow three times (as the paper averages over 3 runs) in
+//! the functional laboratory: prime Workload 1, idle, first partial
+//! migration, 20 minutes consolidated, reintegration, Workload 2, second
+//! partial migration. Prints the latency breakdown against the paper's
+//! numbers: full 41 s; partial 15.7 s → 7.2 s (upload 10.2 s → 2.2 s);
+//! reintegration 3.7 s.
+
+use oasis_bench::{banner, secs};
+use oasis_migration::lab::MicroLab;
+use oasis_sim::stats::Summary;
+use oasis_sim::SimDuration;
+use oasis_vm::apps::DesktopWorkload;
+
+fn main() {
+    banner("Figure 5", "consolidation latencies for one VM (avg of 3 runs)");
+    let mut full = Summary::new();
+    let mut p1_total = Summary::new();
+    let mut p1_upload = Summary::new();
+    let mut p2_total = Summary::new();
+    let mut p2_upload = Summary::new();
+    let mut reint = Summary::new();
+
+    for seed in 1..=3u64 {
+        let mut lab = MicroLab::new(seed);
+        lab.prime_os();
+        lab.run_workload(&DesktopWorkload::workload1());
+        lab.idle_wait(SimDuration::from_mins(5));
+        full.record(lab.full_migrate_baseline().duration.as_secs_f64());
+        let first = lab.partial_migrate();
+        p1_total.record(first.outcome.total.as_secs_f64());
+        p1_upload.record(first.outcome.upload_time.as_secs_f64());
+        lab.consolidated_idle(SimDuration::from_mins(20));
+        let r = lab.reintegrate();
+        reint.record(r.total.as_secs_f64());
+        lab.run_workload(&DesktopWorkload::workload2());
+        lab.idle_wait(SimDuration::from_mins(5));
+        let second = lab.partial_migrate();
+        p2_total.record(second.outcome.total.as_secs_f64());
+        p2_upload.record(second.outcome.upload_time.as_secs_f64());
+    }
+
+    println!("{:<34} {:>9} {:>9}", "operation", "measured", "paper");
+    let rows = [
+        ("full (pre-copy live) migration", full.mean(), 41.0),
+        ("partial migration #1 (total)", p1_total.mean(), 15.7),
+        ("  memory upload #1", p1_upload.mean(), 10.2),
+        ("partial migration #2 (total)", p2_total.mean(), 7.2),
+        ("  memory upload #2 (differential)", p2_upload.mean(), 2.2),
+        ("reintegration", reint.mean(), 3.7),
+    ];
+    for (label, measured, paper) in rows {
+        println!("{label:<34} {:>9} {:>9}", secs(measured), secs(paper));
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 8: energy savings per policy as consolidation hosts vary
+//! (30 home hosts; weekday and weekend; mean ± std over runs).
+
+use oasis_bench::{banner, pct_pm, runs};
+use oasis_cluster::experiments::figure8;
+use oasis_trace::DayKind;
+
+fn main() {
+    let runs = runs();
+    banner("Figure 8", "energy savings vs consolidation hosts");
+    println!("({runs} runs per point; set OASIS_RUNS to change)");
+    for day in [DayKind::Weekday, DayKind::Weekend] {
+        println!("--- {day:?} ---");
+        let points = figure8(day, runs);
+        print!("{:<16}", "policy \\ cons#");
+        for cons in [2, 4, 6, 8, 10, 12] {
+            print!("{cons:>14}");
+        }
+        println!();
+        let mut current = None;
+        for p in points {
+            if current != Some(p.policy) {
+                if current.is_some() {
+                    println!();
+                }
+                print!("{:<16}", p.policy.to_string());
+                current = Some(p.policy);
+            }
+            print!("{:>14}", pct_pm(p.mean, p.std_dev));
+        }
+        println!();
+    }
+    println!("paper: FulltoPartial reaches 28% (weekday) / 43% (weekend) at 4");
+    println!("       consolidation hosts; OnlyPartial ~6%; Default marginal;");
+    println!("       NewHome adds nothing over FulltoPartial.");
+}

@@ -1,0 +1,27 @@
+//! Figure 12: sensitivity to cluster sizing.
+//!
+//! Keeps 900 VMs total while varying home-host counts (and thus VM
+//! density) and consolidation hosts. Paper: savings are similar across
+//! packings.
+
+use oasis_bench::{banner, pct_pm, runs};
+use oasis_cluster::experiments::figure12;
+use oasis_trace::DayKind;
+
+fn main() {
+    let runs = runs();
+    banner("Figure 12", "sensitivity to cluster size (900 VMs, FulltoPartial)");
+    println!("({runs} runs per point)");
+    for day in [DayKind::Weekday, DayKind::Weekend] {
+        println!("--- {day:?} ---");
+        println!("{:<14} {:>10} {:>16}", "homes+cons", "VMs/host", "savings");
+        for (homes, cons, vms_per_host, mean, std) in figure12(day, runs) {
+            println!(
+                "{:<14} {vms_per_host:>10} {:>16}",
+                format!("{homes}+{cons}"),
+                pct_pm(mean, std)
+            );
+        }
+    }
+    println!("paper: savings are similar regardless of VM packing density.");
+}

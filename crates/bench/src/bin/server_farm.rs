@@ -1,0 +1,56 @@
+//! §5.6's generality claim: "other server workloads are likely to exhibit
+//! similar performance" because idle desktop VMs are *more* demanding
+//! than idle web or database VMs.
+//!
+//! Runs the paper's cluster with three populations — the all-desktop VDI
+//! farm of §5, a web/database server farm, and a cloud-services fleet of
+//! heartbeat-bound cluster members — under FulltoPartial.
+
+use oasis_bench::{banner, pct};
+use oasis_cluster::ClusterConfig;
+use oasis_core::PolicyKind;
+use oasis_trace::DayKind;
+use oasis_vm::workload::WorkloadClass;
+
+fn run(mix: Vec<(WorkloadClass, f64)>, day: DayKind) -> oasis_cluster::SimReport {
+    let cfg = ClusterConfig::builder()
+        .policy(PolicyKind::FullToPartial)
+        .day(day)
+        .workload_mix(mix)
+        .seed(1)
+        .build()
+        .expect("valid configuration");
+    oasis_cluster::ClusterSim::new(cfg).run_day()
+}
+
+fn main() {
+    banner("§5.6", "generality: VDI vs server farm vs cloud services");
+    let populations: [(&str, Vec<(WorkloadClass, f64)>); 3] = [
+        ("VDI farm (all desktop)", vec![(WorkloadClass::Desktop, 1.0)]),
+        (
+            "server farm (web+db)",
+            vec![(WorkloadClass::WebServer, 0.5), (WorkloadClass::Database, 0.5)],
+        ),
+        (
+            "cloud services (nodes)",
+            vec![(WorkloadClass::ClusterNode, 0.8), (WorkloadClass::Database, 0.2)],
+        ),
+    ];
+    println!(
+        "{:<26} {:>9} {:>9} {:>12} {:>10}",
+        "population", "weekday", "weekend", "SAS upload", "net GiB"
+    );
+    for (label, mix) in populations {
+        let wd = run(mix.clone(), DayKind::Weekday);
+        let we = run(mix, DayKind::Weekend);
+        println!(
+            "{label:<26} {:>9} {:>9} {:>9.1} GiB {:>10.0}",
+            pct(wd.energy_savings),
+            pct(we.energy_savings),
+            wd.traffic.total(oasis_net::TrafficClass::MemServerUpload).as_gib_f64(),
+            wd.network_bytes().as_gib_f64(),
+        );
+    }
+    println!("paper: idle desktops are the most demanding class (Figure 1), so");
+    println!("       server fleets should consolidate at least as well.");
+}

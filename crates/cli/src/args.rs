@@ -1,0 +1,130 @@
+//! Minimal flag parsing (no external dependencies).
+//!
+//! Supports `--key value` flags and positional arguments; unknown flags
+//! are errors so typos fail loudly.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+/// Parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` without a value.
+    MissingValue(String),
+    /// A flag not in the allowed set.
+    UnknownFlag(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl core::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "invalid value {value:?} for --{flag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses `argv` (without the program/subcommand prefix), allowing
+    /// only the listed flags.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        argv: I,
+        allowed: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = argv.into_iter();
+        while let Some(token) = it.next() {
+            if let Some(flag) = token.strip_prefix("--") {
+                if !allowed.contains(&flag) {
+                    return Err(ArgError::UnknownFlag(flag.to_string()));
+                }
+                let value = it.next().ok_or_else(|| ArgError::MissingValue(flag.into()))?;
+                args.flags.insert(flag.to_string(), value);
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A flag's raw value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// A flag parsed to `T`, with a default.
+    pub fn get_or<T: core::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+impl PartialEq for Args {
+    fn eq(&self, other: &Self) -> bool {
+        self.flags == other.flags && self.positional == other.positional
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let args = Args::parse(sv(&["--seed", "7", "file.txt", "--homes", "30"]), &["seed", "homes"])
+            .unwrap();
+        assert_eq!(args.get("seed"), Some("7"));
+        assert_eq!(args.get_or("homes", 0u32).unwrap(), 30);
+        assert_eq!(args.get_or("missing", 5u32).unwrap(), 5);
+        assert_eq!(args.positional(), &["file.txt".to_string()]);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert_eq!(
+            Args::parse(sv(&["--bogus", "1"]), &["seed"]),
+            Err(ArgError::UnknownFlag("bogus".into()))
+        );
+        assert_eq!(
+            Args::parse(sv(&["--seed"]), &["seed"]),
+            Err(ArgError::MissingValue("seed".into()))
+        );
+        let args = Args::parse(sv(&["--seed", "abc"]), &["seed"]).unwrap();
+        assert!(matches!(
+            args.get_or("seed", 0u64),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! `oasis` — command-line front end for the Oasis simulator.
+//!
+//! ```text
+//! oasis sim    [--policy P] [--day weekday|weekend] [--homes N]
+//!              [--cons N] [--vms N] [--seed S] [--interval-mins M]
+//!              [--memserver-watts W]
+//! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
+//! oasis micro  [--seed S]
+//! oasis trace  generate [--users N] [--weeks N] [--seed S] [--out PATH]
+//! oasis trace  stats <PATH>
+//! ```
+
+mod args;
+
+use args::Args;
+use oasis_cluster::experiments::run_week;
+use oasis_cluster::{ClusterConfig, ClusterSim};
+use oasis_core::PolicyKind;
+use oasis_migration::lab::MicroLab;
+use oasis_power::MemoryServerProfile;
+use oasis_sim::SimDuration;
+use oasis_trace::{ActivityModel, DayKind, TraceSet};
+use oasis_vm::apps::DesktopWorkload;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oasis <sim|week|micro|trace> [flags]\n\
+         \n\
+         oasis sim    --policy FulltoPartial --day weekday --homes 30 \\\n\
+         \x20             --cons 4 --vms 30 --seed 1 [--interval-mins 5] \\\n\
+         \x20             [--memserver-watts 42.2]\n\
+         oasis week   --policy FulltoPartial --seed 1\n\
+         oasis micro  --seed 1\n\
+         oasis trace  generate --users 22 --weeks 17 --seed 1 --out traces.txt\n\
+         oasis trace  stats traces.txt"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl core::fmt::Display) -> ! {
+    eprintln!("oasis: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_day(s: &str) -> DayKind {
+    match s.to_ascii_lowercase().as_str() {
+        "weekday" | "wd" => DayKind::Weekday,
+        "weekend" | "we" => DayKind::Weekend,
+        other => fail(format!("unknown day kind {other:?}")),
+    }
+}
+
+fn cluster_config(args: &Args) -> ClusterConfig {
+    let policy: PolicyKind = args
+        .get("policy")
+        .map(|p| p.parse().unwrap_or_else(|e| fail(e)))
+        .unwrap_or(PolicyKind::FullToPartial);
+    let day = parse_day(args.get("day").unwrap_or("weekday"));
+    let mut builder = ClusterConfig::builder()
+        .policy(policy)
+        .day(day)
+        .home_hosts(args.get_or("homes", 30).unwrap_or_else(|e| fail(e)))
+        .consolidation_hosts(args.get_or("cons", 4).unwrap_or_else(|e| fail(e)))
+        .vms_per_host(args.get_or("vms", 30).unwrap_or_else(|e| fail(e)))
+        .seed(args.get_or("seed", 1).unwrap_or_else(|e| fail(e)))
+        .interval(SimDuration::from_mins(
+            args.get_or("interval-mins", 5).unwrap_or_else(|e| fail(e)),
+        ));
+    if let Some(watts) = args.get("memserver-watts") {
+        let watts: f64 = watts.parse().unwrap_or_else(|_| fail("bad --memserver-watts"));
+        builder = builder.memserver(MemoryServerProfile::with_budget_watts(watts));
+    }
+    if let Some(path) = args.get("trace") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(e));
+        let set = TraceSet::from_text(&text).unwrap_or_else(|e| fail(e));
+        builder = builder.trace(set);
+    }
+    builder.build().unwrap_or_else(|e| fail(e))
+}
+
+const SIM_FLAGS: &[&str] = &[
+    "policy", "day", "homes", "cons", "vms", "seed", "interval-mins", "memserver-watts",
+    "trace",
+];
+
+fn cmd_sim(args: Args) {
+    let cfg = cluster_config(&args);
+    let mut report = ClusterSim::new(cfg).run_day();
+    println!("{}", report.summary_line());
+    println!(
+        "zero-delay wake-ups: {:.0}%   p99 delay: {:.1}s   network: {:.1} GiB",
+        report.zero_delay_fraction() * 100.0,
+        report.transition_delays.quantile(0.99).unwrap_or(0.0),
+        report.network_bytes().as_gib_f64(),
+    );
+}
+
+fn cmd_week(args: Args) {
+    let cfg = cluster_config(&args);
+    let week = run_week(&cfg);
+    for (i, day) in week.days.iter().enumerate() {
+        println!("day {}: {}", i + 1, day.summary_line());
+    }
+    println!(
+        "week: savings {:.1}%  baseline {:.1} kWh  managed {:.1} kWh",
+        week.savings * 100.0,
+        week.baseline_kwh,
+        week.total_kwh
+    );
+}
+
+fn cmd_micro(args: Args) {
+    let seed = args.get_or("seed", 1u64).unwrap_or_else(|e| fail(e));
+    let mut lab = MicroLab::new(seed);
+    lab.prime_os();
+    lab.run_workload(&DesktopWorkload::workload1());
+    lab.idle_wait(SimDuration::from_mins(5));
+    println!("full migration baseline: {:.1}s", lab.full_migrate_baseline().duration.as_secs_f64());
+    let first = lab.partial_migrate();
+    println!(
+        "partial #1: {:.1}s (upload {:.1}s)",
+        first.outcome.total.as_secs_f64(),
+        first.outcome.upload_time.as_secs_f64()
+    );
+    let idle = lab.consolidated_idle(SimDuration::from_mins(20));
+    println!("consolidated 20 min: {} faults, {} fetched", idle.faults, idle.fetched);
+    let reint = lab.reintegrate();
+    println!(
+        "reintegration: {:.1}s, {} dirty state",
+        reint.total.as_secs_f64(),
+        reint.network_bytes
+    );
+    lab.run_workload(&DesktopWorkload::workload2());
+    lab.idle_wait(SimDuration::from_mins(5));
+    let second = lab.partial_migrate();
+    println!(
+        "partial #2: {:.1}s (differential upload {:.1}s)",
+        second.outcome.total.as_secs_f64(),
+        second.outcome.upload_time.as_secs_f64()
+    );
+}
+
+fn cmd_trace(mut argv: Vec<String>) {
+    if argv.is_empty() {
+        usage();
+    }
+    let sub = argv.remove(0);
+    match sub.as_str() {
+        "generate" => {
+            let args = Args::parse(argv, &["users", "weeks", "seed", "out"])
+                .unwrap_or_else(|e| fail(e));
+            let users = args.get_or("users", 22usize).unwrap_or_else(|e| fail(e));
+            let weeks = args.get_or("weeks", 17usize).unwrap_or_else(|e| fail(e));
+            let seed = args.get_or("seed", 1u64).unwrap_or_else(|e| fail(e));
+            let set = ActivityModel::new().generate_library(users, weeks, seed);
+            let text = set.to_text();
+            match args.get("out") {
+                Some(path) => {
+                    std::fs::write(path, text).unwrap_or_else(|e| fail(e));
+                    println!("wrote {} user-days to {path}", set.len());
+                }
+                None => print!("{text}"),
+            }
+        }
+        "stats" => {
+            let args = Args::parse(argv, &[]).unwrap_or_else(|e| fail(e));
+            let [path] = args.positional() else { usage() };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(e));
+            let set = TraceSet::from_text(&text).unwrap_or_else(|e| fail(e));
+            for kind in [DayKind::Weekday, DayKind::Weekend] {
+                let days = set.of_kind(kind);
+                if days.is_empty() {
+                    continue;
+                }
+                let mean: f64 =
+                    days.iter().map(|d| d.active_fraction()).sum::<f64>() / days.len() as f64;
+                println!(
+                    "{kind:?}: {} user-days, mean activity {:.1}%",
+                    days.len(),
+                    mean * 100.0
+                );
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+    }
+    let command = argv.remove(0);
+    match command.as_str() {
+        "sim" => cmd_sim(Args::parse(argv, SIM_FLAGS).unwrap_or_else(|e| fail(e))),
+        "week" => cmd_week(Args::parse(argv, SIM_FLAGS).unwrap_or_else(|e| fail(e))),
+        "micro" => cmd_micro(Args::parse(argv, &["seed"]).unwrap_or_else(|e| fail(e))),
+        "trace" => cmd_trace(argv),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,317 @@
+//! Canned experiment configurations for every table and figure of §5.
+//!
+//! Each function reproduces one evaluation artifact and returns plain data
+//! that the `oasis-bench` binaries print as rows/series. The paper's
+//! defaults — 30 home hosts, 4 consolidation hosts, 900 VMs, 5 averaged
+//! runs — are baked in but scale down for quick runs via the `runs`
+//! parameters.
+
+use oasis_core::PolicyKind;
+use oasis_power::MemoryServerProfile;
+use oasis_sim::stats::mean_and_std;
+use oasis_trace::DayKind;
+
+use crate::config::ClusterConfig;
+use crate::results::SimReport;
+use crate::sim::ClusterSim;
+
+/// Aggregate of a simulated week (five weekdays + two weekend days).
+#[derive(Clone, Debug)]
+pub struct WeekReport {
+    /// The seven daily reports, Monday-first.
+    pub days: Vec<SimReport>,
+    /// Energy savings over the whole week.
+    pub savings: f64,
+    /// Baseline energy for the week (kWh).
+    pub baseline_kwh: f64,
+    /// Managed energy for the week (kWh).
+    pub total_kwh: f64,
+}
+
+/// Simulates a full week: five weekdays then two weekend days, each with
+/// an independently sampled user population.
+pub fn run_week(base: &ClusterConfig) -> WeekReport {
+    let mut days = Vec::with_capacity(7);
+    for dow in 0..7u64 {
+        let day = if dow < 5 { DayKind::Weekday } else { DayKind::Weekend };
+        let mut cfg = base.clone();
+        cfg.day = day;
+        cfg.seed = base.seed.wrapping_mul(7).wrapping_add(dow + 1);
+        days.push(ClusterSim::new(cfg).run_day());
+    }
+    let baseline_kwh: f64 = days.iter().map(|d| d.baseline_kwh).sum();
+    let total_kwh: f64 = days.iter().map(|d| d.total_kwh).sum();
+    WeekReport { days, savings: 1.0 - total_kwh / baseline_kwh, baseline_kwh, total_kwh }
+}
+
+/// One Figure 8 data point: mean ± std of energy savings over runs.
+#[derive(Clone, Debug)]
+pub struct SavingsPoint {
+    /// Policy evaluated.
+    pub policy: PolicyKind,
+    /// Day kind.
+    pub day: DayKind,
+    /// Number of consolidation hosts.
+    pub consolidation_hosts: u32,
+    /// Mean energy savings over the runs.
+    pub mean: f64,
+    /// Sample standard deviation over the runs (the error bars).
+    pub std_dev: f64,
+}
+
+/// Runs one simulated day with the given overrides.
+pub fn run_one(
+    policy: PolicyKind,
+    day: DayKind,
+    consolidation_hosts: u32,
+    seed: u64,
+) -> SimReport {
+    let cfg = ClusterConfig::builder()
+        .policy(policy)
+        .day(day)
+        .consolidation_hosts(consolidation_hosts)
+        .seed(seed)
+        .build()
+        .expect("valid §5.1 configuration");
+    ClusterSim::new(cfg).run_day()
+}
+
+/// Figure 7: active VMs and powered hosts over a day (30 home + 4
+/// consolidation hosts, FulltoPartial).
+pub fn figure7(day: DayKind, seed: u64) -> SimReport {
+    run_one(PolicyKind::FullToPartial, day, 4, seed)
+}
+
+/// Figure 8: energy savings per policy as consolidation hosts vary, with
+/// `runs` repetitions per point.
+pub fn figure8(day: DayKind, runs: u64) -> Vec<SavingsPoint> {
+    let mut points = Vec::new();
+    for policy in PolicyKind::FIGURE8 {
+        for cons in [2u32, 4, 6, 8, 10, 12] {
+            let savings: Vec<f64> = (0..runs)
+                .map(|r| run_one(policy, day, cons, 1 + r).energy_savings)
+                .collect();
+            let (mean, std_dev) = mean_and_std(&savings);
+            points.push(SavingsPoint { policy, day, consolidation_hosts: cons, mean, std_dev });
+        }
+    }
+    points
+}
+
+/// Figure 9: consolidation-ratio CDFs for Default vs FulltoPartial (and
+/// NewHome, which the paper shows overlapping FulltoPartial).
+pub fn figure9(day: DayKind, seed: u64) -> Vec<(PolicyKind, SimReport)> {
+    [PolicyKind::Default, PolicyKind::FullToPartial, PolicyKind::NewHome]
+        .into_iter()
+        .map(|p| (p, run_one(p, day, 4, seed)))
+        .collect()
+}
+
+/// Figure 10: weekday transfer breakdown per policy.
+pub fn figure10(seed: u64) -> Vec<(PolicyKind, SimReport)> {
+    PolicyKind::FIGURE8
+        .into_iter()
+        .map(|p| (p, run_one(p, DayKind::Weekday, 4, seed)))
+        .collect()
+}
+
+/// Figure 11: idle→active delay distributions for 2–12 consolidation
+/// hosts under FulltoPartial.
+pub fn figure11(day: DayKind, seed: u64) -> Vec<(u32, SimReport)> {
+    [2u32, 4, 6, 8, 10, 12]
+        .into_iter()
+        .map(|c| (c, run_one(PolicyKind::FullToPartial, day, c, seed)))
+        .collect()
+}
+
+/// Table 3: energy savings under alternative memory-server power budgets.
+pub fn table3(runs: u64) -> Vec<(f64, f64, f64)> {
+    // Returns (memserver watts, weekday savings, weekend savings).
+    MemoryServerProfile::table3_budgets()
+        .into_iter()
+        .map(|ms| {
+            let mut day_savings = [0.0f64; 2];
+            for (slot, day) in [DayKind::Weekday, DayKind::Weekend].into_iter().enumerate() {
+                let vals: Vec<f64> = (0..runs)
+                    .map(|r| {
+                        let cfg = ClusterConfig::builder()
+                            .policy(PolicyKind::FullToPartial)
+                            .day(day)
+                            .consolidation_hosts(4)
+                            .memserver(ms)
+                            .seed(1 + r)
+                            .build()
+                            .expect("valid configuration");
+                        ClusterSim::new(cfg).run_day().energy_savings
+                    })
+                    .collect();
+                day_savings[slot] = mean_and_std(&vals).0;
+            }
+            (ms.active_watts, day_savings[0], day_savings[1])
+        })
+        .collect()
+}
+
+/// Figure 12: cluster-size sensitivity, keeping 900 VMs total.
+///
+/// Home-host counts follow the paper's x-axis (`homes+cons` combos with
+/// 30/45/50/60/90 VMs per host); hosts are given enough DRAM for the
+/// denser packings.
+pub fn figure12(day: DayKind, runs: u64) -> Vec<(u32, u32, u32, f64, f64)> {
+    // (home hosts, consolidation hosts, vms/host, mean savings, std).
+    let combos: Vec<(u32, u32)> = vec![(30, 30), (20, 45), (18, 50), (15, 60), (10, 90)];
+    let mut out = Vec::new();
+    for (homes, vms_per_host) in combos {
+        for cons in [2u32, 3, 4] {
+            let vals: Vec<f64> = (0..runs)
+                .map(|r| {
+                    let cfg = ClusterConfig::builder()
+                        .policy(PolicyKind::FullToPartial)
+                        .day(day)
+                        .home_hosts(homes)
+                        .vms_per_host(vms_per_host)
+                        .consolidation_hosts(cons)
+                        // Dense packings need bigger hosts (4 GiB × 90 VMs).
+                        .host_memory(oasis_mem::ByteSize::gib(
+                            (u64::from(vms_per_host) * 4).next_multiple_of(64).max(128),
+                        ))
+                        .seed(1 + r)
+                        .build()
+                        .expect("valid configuration");
+                    ClusterSim::new(cfg).run_day().energy_savings
+                })
+                .collect();
+            let (mean, std_dev) = mean_and_std(&vals);
+            out.push((homes, cons, vms_per_host, mean, std_dev));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small, fast cluster for smoke tests.
+    fn small(policy: PolicyKind, day: DayKind, seed: u64) -> SimReport {
+        let cfg = ClusterConfig::builder()
+            .home_hosts(6)
+            .consolidation_hosts(2)
+            .vms_per_host(10)
+            .policy(policy)
+            .day(day)
+            .seed(seed)
+            .build()
+            .unwrap();
+        ClusterSim::new(cfg).run_day()
+    }
+
+    #[test]
+    fn fulltopartial_saves_energy_on_a_small_cluster() {
+        let r = small(PolicyKind::FullToPartial, DayKind::Weekday, 3);
+        assert!(r.energy_savings > 0.05, "savings {}", r.energy_savings);
+        assert!(r.energy_savings < 0.7, "savings {}", r.energy_savings);
+        assert!(r.migrations.partial > 0);
+    }
+
+    #[test]
+    fn always_on_saves_nothing() {
+        let r = small(PolicyKind::AlwaysOn, DayKind::Weekday, 3);
+        // The managed cluster equals the baseline except the sleeping
+        // consolidation hosts' S3 draw (2 hosts × 12.9 W ≈ −4 % at this
+        // small scale, well under 2 % at the paper's 30-host scale).
+        assert!(r.energy_savings.abs() < 0.06, "savings {}", r.energy_savings);
+        assert_eq!(r.migrations.partial, 0);
+        assert_eq!(r.migrations.full, 0);
+    }
+
+    #[test]
+    fn weekend_beats_weekday() {
+        let wd = small(PolicyKind::FullToPartial, DayKind::Weekday, 3);
+        let we = small(PolicyKind::FullToPartial, DayKind::Weekend, 3);
+        assert!(
+            we.energy_savings > wd.energy_savings,
+            "weekend {} vs weekday {}",
+            we.energy_savings,
+            wd.energy_savings
+        );
+    }
+
+    #[test]
+    fn policy_ordering_matches_figure8() {
+        let only = small(PolicyKind::OnlyPartial, DayKind::Weekday, 5);
+        let ftp = small(PolicyKind::FullToPartial, DayKind::Weekday, 5);
+        assert!(
+            ftp.energy_savings > only.energy_savings,
+            "FulltoPartial {} vs OnlyPartial {}",
+            ftp.energy_savings,
+            only.energy_savings
+        );
+    }
+
+    #[test]
+    fn report_shape() {
+        let r = small(PolicyKind::FullToPartial, DayKind::Weekday, 1);
+        assert_eq!(r.active_vms_series.len(), 288);
+        assert_eq!(r.powered_hosts_series.len(), 288);
+        assert!(r.baseline_kwh > 0.0);
+        assert!(r.total_kwh > 0.0);
+        assert!(!r.transition_delays.is_empty());
+    }
+
+    #[test]
+    fn week_blends_weekday_and_weekend_savings() {
+        let cfg = ClusterConfig::builder()
+            .home_hosts(6)
+            .consolidation_hosts(2)
+            .vms_per_host(10)
+            .policy(PolicyKind::FullToPartial)
+            .seed(3)
+            .build()
+            .unwrap();
+        let week = run_week(&cfg);
+        assert_eq!(week.days.len(), 7);
+        assert_eq!(week.days.iter().filter(|d| d.day == DayKind::Weekend).count(), 2);
+        let wd_mean: f64 = week.days[..5].iter().map(|d| d.energy_savings).sum::<f64>() / 5.0;
+        let we_mean: f64 = week.days[5..].iter().map(|d| d.energy_savings).sum::<f64>() / 2.0;
+        assert!(week.savings > wd_mean.min(we_mean));
+        assert!(week.savings < wd_mean.max(we_mean));
+        assert!((week.baseline_kwh - week.days.iter().map(|d| d.baseline_kwh).sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn server_mix_moves_less_data_for_similar_savings() {
+        use oasis_vm::workload::WorkloadClass;
+        let base = ClusterConfig::builder()
+            .home_hosts(6)
+            .consolidation_hosts(2)
+            .vms_per_host(10)
+            .policy(PolicyKind::FullToPartial)
+            .seed(4);
+        let vdi = ClusterSim::new(base.clone().build().unwrap()).run_day();
+        let farm = ClusterSim::new(
+            base.workload_mix(vec![
+                (WorkloadClass::WebServer, 0.5),
+                (WorkloadClass::Database, 0.5),
+            ])
+            .build()
+            .unwrap(),
+        )
+        .run_day();
+        // §5.6: similar savings, far smaller memory images.
+        assert!((farm.energy_savings - vdi.energy_savings).abs() < 0.08);
+        let vdi_sas = vdi.traffic.total(oasis_net::TrafficClass::MemServerUpload);
+        let farm_sas = farm.traffic.total(oasis_net::TrafficClass::MemServerUpload);
+        assert!(farm_sas < vdi_sas.mul_f64(0.5), "{farm_sas} !< half of {vdi_sas}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let a = small(PolicyKind::FullToPartial, DayKind::Weekday, 9);
+        let b = small(PolicyKind::FullToPartial, DayKind::Weekday, 9);
+        assert_eq!(a.energy_savings, b.energy_savings);
+        assert_eq!(a.migrations, b.migrations);
+        let c = small(PolicyKind::FullToPartial, DayKind::Weekday, 10);
+        assert_ne!(a.energy_savings, c.energy_savings);
+    }
+}

@@ -1,0 +1,25 @@
+//! Trace-driven whole-cluster simulation (§5).
+//!
+//! This crate assembles every substrate into the evaluation environment
+//! of §5.1: a 42-host rack (home + consolidation hosts behind a 10 GigE
+//! top-of-rack switch), 900 desktop VMs of 4 GiB each, user activity from
+//! sampled trace days, the Table 1 energy profiles, and the §5.1 migration
+//! latencies (full 10 s, partial 7.2 s, reintegration 3.7 s, suspend
+//! 3.1 s, resume 2.3 s).
+//!
+//! * [`config`] — cluster configuration with a validating builder.
+//! * [`sim`] — the interval-driven simulator executing the manager's
+//!   plans against the modeled cluster.
+//! * [`results`] — the per-run report every figure is printed from.
+//! * [`experiments`] — canned configurations for each table and figure.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod results;
+pub mod sim;
+
+pub use config::{ClusterConfig, ClusterConfigBuilder};
+pub use results::SimReport;
+pub use sim::ClusterSim;

@@ -1,0 +1,148 @@
+//! Per-run simulation reports.
+
+use oasis_core::PolicyKind;
+use oasis_mem::ByteSize;
+use oasis_net::TrafficAccountant;
+use oasis_sim::stats::{Cdf, TimeSeries};
+use oasis_trace::DayKind;
+
+/// Migration-event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MigrationCounts {
+    /// Full (pre-copy) migrations executed.
+    pub full: u64,
+    /// Partial migrations executed.
+    pub partial: u64,
+    /// FulltoPartial exchanges executed.
+    pub exchanges: u64,
+    /// ReturnHome events (home woken, all its VMs returned).
+    pub returns_home: u64,
+    /// Partial VMs promoted in place to full VMs.
+    pub promotions: u64,
+    /// NewHome relocations of saturated activations.
+    pub relocations: u64,
+    /// Wake-on-LAN retransmissions (fault injection).
+    pub wol_retries: u64,
+}
+
+/// The outcome of one simulated day.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Policy that ran.
+    pub policy: PolicyKind,
+    /// Day kind simulated.
+    pub day: DayKind,
+    /// Home hosts, consolidation hosts, VMs.
+    pub home_hosts: u32,
+    /// Consolidation host count.
+    pub consolidation_hosts: u32,
+    /// Total VMs.
+    pub vms: u32,
+    /// Energy the home hosts would have used if left powered (kWh).
+    pub baseline_kwh: f64,
+    /// Energy the whole managed cluster used (kWh).
+    pub total_kwh: f64,
+    /// `1 − total/baseline` (§5.3 normalization).
+    pub energy_savings: f64,
+    /// Active-VM count per interval (Figure 7).
+    pub active_vms_series: TimeSeries,
+    /// Fully powered hosts per interval (Figure 7).
+    pub powered_hosts_series: TimeSeries,
+    /// Idle→active transition delays, seconds (Figure 11).
+    pub transition_delays: Cdf,
+    /// VMs per powered consolidation host, sampled per interval (Fig. 9).
+    pub consolidation_ratio: Cdf,
+    /// Byte counters per traffic class (Figure 10).
+    pub traffic: TrafficAccountant,
+    /// Migration-event counters.
+    pub migrations: MigrationCounts,
+}
+
+impl SimReport {
+    /// Fraction of transitions with zero user-perceived delay.
+    pub fn zero_delay_fraction(&mut self) -> f64 {
+        if self.transition_delays.is_empty() {
+            return 1.0;
+        }
+        self.transition_delays.fraction_le(1e-9)
+    }
+
+    /// Total bytes that crossed the datacenter network.
+    pub fn network_bytes(&self) -> ByteSize {
+        self.traffic.network_total()
+    }
+
+    /// One summary line for experiment output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{policy:<14} {day:<8} homes={homes:<3} cons={cons:<3} vms={vms:<4} \
+             savings={savings:>6.1}% baseline={base:.1}kWh actual={total:.1}kWh \
+             full={full} partial={partial} exch={exch}",
+            policy = self.policy.to_string(),
+            day = match self.day {
+                DayKind::Weekday => "weekday",
+                DayKind::Weekend => "weekend",
+            },
+            homes = self.home_hosts,
+            cons = self.consolidation_hosts,
+            vms = self.vms,
+            savings = self.energy_savings * 100.0,
+            base = self.baseline_kwh,
+            total = self.total_kwh,
+            full = self.migrations.full,
+            partial = self.migrations.partial,
+            exch = self.migrations.exchanges,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_sim::SimTime;
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: PolicyKind::FullToPartial,
+            day: DayKind::Weekday,
+            home_hosts: 30,
+            consolidation_hosts: 4,
+            vms: 900,
+            baseline_kwh: 80.0,
+            total_kwh: 57.6,
+            energy_savings: 0.28,
+            active_vms_series: TimeSeries::new(),
+            powered_hosts_series: TimeSeries::new(),
+            transition_delays: Cdf::new(),
+            consolidation_ratio: Cdf::new(),
+            traffic: TrafficAccountant::new(),
+            migrations: MigrationCounts::default(),
+        }
+    }
+
+    #[test]
+    fn zero_delay_fraction_counts_zeros() {
+        let mut r = report();
+        assert_eq!(r.zero_delay_fraction(), 1.0, "no transitions → all zero");
+        r.transition_delays.record(0.0);
+        r.transition_delays.record(0.0);
+        r.transition_delays.record(3.7);
+        r.transition_delays.record(6.0);
+        assert!((r.zero_delay_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_line_mentions_key_numbers() {
+        let line = report().summary_line();
+        assert!(line.contains("FulltoPartial"));
+        assert!(line.contains("28.0%"));
+        assert!(line.contains("cons=4"));
+    }
+
+    #[test]
+    fn series_are_recordable() {
+        let mut r = report();
+        r.active_vms_series.record(SimTime::ZERO, 411.0);
+        assert_eq!(r.active_vms_series.max(), Some(411.0));
+    }
+}

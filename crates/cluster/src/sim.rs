@@ -1,0 +1,985 @@
+//! The interval-driven cluster simulator.
+//!
+//! §5.1's methodology: sample one user-day per VM, divide the day into
+//! 5-minute intervals, and mark a VM active in any interval with keyboard
+//! or mouse input. The simulator walks the 288 intervals of the day; at
+//! each boundary it feeds the cluster manager a snapshot, executes the
+//! returned plan with the measured §4.4/§5.1 latencies, reacts to VM state
+//! changes (including the §3.2 activation policies), and integrates
+//! energy.
+//!
+//! ## Energy accounting
+//!
+//! Energy is accumulated per interval from a per-host awake/asleep
+//! timeline: awake seconds at the powered draw for the host's active-VM
+//! count, plus measured suspend (138.2 W × 3.1 s) and resume
+//! (149.2 W × 2.3 s) transition energies, with the remainder asleep at
+//! 12.9 W. A sleeping *home* host additionally powers its memory server
+//! (§5.1: consolidation hosts' memory servers are never powered). The
+//! §5.3 baseline — home hosts left powered all day running their VMs —
+//! integrates alongside.
+
+use oasis_core::manager::ManagerConfig;
+use oasis_core::{
+    ActivationDecision, ClusterManager, ClusterView, HostRole, HostView, PlannedAction, VmView,
+};
+use oasis_mem::{ByteSize, IdleWssDistribution};
+use oasis_migration::MigrationType;
+use oasis_net::{TrafficAccountant, TrafficClass};
+use oasis_power::PowerState;
+use oasis_sim::stats::{Cdf, TimeSeries};
+use oasis_sim::{SimDuration, SimRng, SimTime};
+use oasis_trace::{sample_user_days, ActivityModel, UserDay, INTERVALS_PER_DAY};
+use oasis_vm::workload::WorkloadClass;
+use oasis_vm::{HostId, VmId, VmState};
+
+use crate::config::ClusterConfig;
+use crate::results::{MigrationCounts, SimReport};
+
+/// Interval length in seconds (5-minute trace intervals).
+const INTERVAL_SECS: f64 = 300.0;
+
+/// Samples an idle working set for a VM of the given class.
+///
+/// Desktops use the Jettison distribution the paper samples from (§5.1);
+/// server classes derive theirs from the Figure 1 unique-touch curves
+/// (mean = one idle hour of touches, ±45 %).
+fn sample_class_wss(
+    class: WorkloadClass,
+    jettison: &IdleWssDistribution,
+    allocation: ByteSize,
+    rng: &mut SimRng,
+) -> ByteSize {
+    match class {
+        WorkloadClass::Desktop => jettison.sample(rng, allocation),
+        other => {
+            let mean = other
+                .idle_model()
+                .unique_touched(SimDuration::from_hours(1), allocation)
+                .as_mib_f64();
+            let mib = rng.truncated_normal(mean, 0.45 * mean, 4.0, allocation.as_mib_f64());
+            ByteSize::from_mib_f64(mib)
+        }
+    }
+}
+
+/// Upload-volume scale of a class relative to the desktop calibration.
+fn upload_scale(class: WorkloadClass) -> f64 {
+    match class {
+        WorkloadClass::Desktop => 1.0,
+        // Server VMs touch far less memory (Figure 1): their images and
+        // dirty deltas shrink roughly with the working set.
+        WorkloadClass::WebServer => 0.25,
+        WorkloadClass::Database => 0.20,
+        WorkloadClass::ClusterNode => 0.12,
+    }
+}
+
+/// Aggregate compression ratio of desktop memory under the codec (used to
+/// size demand-fetch and upload volumes at the statistical level).
+const COMPRESS_RATIO: f64 = 0.54;
+
+/// First (non-differential) memory upload volume per VM, compressed
+/// (§4.4.2: 10.2 s at 128 MiB/s ≈ 1.3 GiB).
+const FIRST_UPLOAD: ByteSize = ByteSize::mib(1_306);
+
+/// Differential upload volume per re-consolidation (§4.4.2: 2.2 s ≈
+/// 282 MiB).
+const DIFF_UPLOAD: ByteSize = ByteSize::mib(282);
+
+/// Dirty-state growth of a consolidated idle VM (§4.4.3: 175.3 MiB over
+/// 20 minutes).
+const DIRTY_MIB_PER_MIN: f64 = 175.3 / 20.0;
+
+/// Cap on reintegration dirty volume per VM.
+const DIRTY_CAP: ByteSize = ByteSize::mib(512);
+
+/// Working sets keep growing for this long after consolidation before the
+/// saturating part of the Figure 1 curve flattens them out.
+const WSS_GROWTH_WINDOW: SimDuration = SimDuration::from_mins(60);
+
+#[derive(Clone, Debug)]
+struct SimHost {
+    id: HostId,
+    role: HostRole,
+    powered: bool,
+    /// Per-interval timeline accumulator.
+    awake_secs: f64,
+    last_on_offset: f64,
+    suspends: u32,
+    resumes: u32,
+}
+
+impl SimHost {
+    fn begin_interval(&mut self) {
+        self.awake_secs = 0.0;
+        self.last_on_offset = 0.0;
+        self.suspends = 0;
+        self.resumes = 0;
+    }
+
+    fn set_power(&mut self, offset_secs: f64, on: bool) {
+        if self.powered == on {
+            return;
+        }
+        if on {
+            self.last_on_offset = offset_secs;
+            self.resumes += 1;
+        } else {
+            self.awake_secs += (offset_secs - self.last_on_offset).max(0.0);
+            self.suspends += 1;
+        }
+        self.powered = on;
+    }
+
+    /// A wake-work-sleep episode that starts and ends inside the interval
+    /// (the FulltoPartial temporary home wake).
+    fn temporary_episode(&mut self, secs: f64) {
+        debug_assert!(!self.powered, "episodes only on sleeping hosts");
+        self.awake_secs += secs;
+        self.resumes += 1;
+        self.suspends += 1;
+    }
+
+    fn end_interval(&mut self) -> f64 {
+        if self.powered {
+            self.awake_secs += (INTERVAL_SECS - self.last_on_offset).max(0.0);
+        }
+        self.awake_secs.min(INTERVAL_SECS)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SimVm {
+    id: VmId,
+    home: HostId,
+    location: HostId,
+    class: WorkloadClass,
+    state: VmState,
+    partial: bool,
+    demand: ByteSize,
+    allocation: ByteSize,
+    /// Expected working set if consolidated (planner estimate).
+    wss_estimate: ByteSize,
+    /// Growth ceiling for the current consolidation epoch.
+    wss_cap: ByteSize,
+    /// When the current consolidation epoch began.
+    consolidated_since: Option<SimTime>,
+    /// Whether a full memory image was ever uploaded (differential
+    /// uploads afterwards, §4.3).
+    uploaded_once: bool,
+}
+
+/// The trace-driven cluster simulator.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    rng: SimRng,
+    manager: ClusterManager,
+    hosts: Vec<SimHost>,
+    vms: Vec<SimVm>,
+    users: Vec<UserDay>,
+    wss_dist: IdleWssDistribution,
+    traffic: TrafficAccountant,
+    delays: Cdf,
+    ratio: Cdf,
+    series_active: TimeSeries,
+    series_powered: TimeSeries,
+    total_joules: f64,
+    baseline_joules: f64,
+    counts: MigrationCounts,
+    /// Reintegration queue length per home host within the interval.
+    reintegration_queue: std::collections::BTreeMap<HostId, u32>,
+    /// Concurrent promote-in-place resumes per consolidation host within
+    /// the interval (resume storms share the destination NIC).
+    promote_queue: std::collections::BTreeMap<HostId, u32>,
+    /// Per-host instant until which the vacate cooldown applies.
+    cooldown_until: std::collections::BTreeMap<HostId, SimTime>,
+}
+
+impl ClusterSim {
+    /// Builds the simulated rack and samples one user-day per VM.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let mut rng = SimRng::new(cfg.seed ^ 0xC1u64.wrapping_mul(0x9E37_79B9));
+        // Sample `total_vms` user-days of the requested kind, either from
+        // the supplied trace library or from a synthesized corpus
+        // comparable to §5.1's.
+        let library = match &cfg.trace {
+            Some(set) => set.clone(),
+            None => ActivityModel::new().generate_library(22, 17, cfg.seed ^ 0x712A_CE5E),
+        };
+        let mut users = sample_user_days(&library, cfg.day, cfg.total_vms() as usize, &mut rng);
+        if users.is_empty() {
+            // A trace without days of this kind still yields a valid (all
+            // idle) simulation rather than a panic.
+            users = vec![oasis_trace::UserDay::all_idle(cfg.day); cfg.total_vms() as usize];
+        }
+
+        let mut hosts = Vec::new();
+        for h in 0..cfg.home_hosts {
+            hosts.push(SimHost {
+                id: HostId(h),
+                role: HostRole::Compute,
+                powered: true,
+                awake_secs: 0.0,
+                last_on_offset: 0.0,
+                suspends: 0,
+                resumes: 0,
+            });
+        }
+        for c in 0..cfg.consolidation_hosts {
+            hosts.push(SimHost {
+                id: HostId(cfg.home_hosts + c),
+                role: HostRole::Consolidation,
+                powered: false,
+                awake_secs: 0.0,
+                last_on_offset: 0.0,
+                suspends: 0,
+                resumes: 0,
+            });
+        }
+
+        let wss_dist = IdleWssDistribution::jettison();
+        let total_weight: f64 = cfg.workload_mix.iter().map(|&(_, w)| w.max(0.0)).sum();
+        let mut vms = Vec::new();
+        for v in 0..cfg.total_vms() {
+            let home = HostId(v / cfg.vms_per_host);
+            // Draw the VM's workload class from the configured mix.
+            let mut pick = rng.next_f64() * total_weight;
+            let mut class = cfg.workload_mix[0].0;
+            for &(c, w) in &cfg.workload_mix {
+                if w <= 0.0 {
+                    continue;
+                }
+                class = c;
+                pick -= w;
+                if pick <= 0.0 {
+                    break;
+                }
+            }
+            let estimate = sample_class_wss(class, &wss_dist, cfg.vm_allocation, &mut rng);
+            vms.push(SimVm {
+                id: VmId(v),
+                home,
+                location: home,
+                class,
+                state: VmState::Idle,
+                partial: false,
+                demand: cfg.vm_allocation,
+                allocation: cfg.vm_allocation,
+                wss_estimate: estimate,
+                wss_cap: estimate,
+                consolidated_since: None,
+                uploaded_once: false,
+            });
+        }
+
+        let manager = ClusterManager::new(
+            ManagerConfig {
+                policy: cfg.policy,
+                interval: cfg.interval,
+                planner: oasis_core::placement::PlannerConfig {
+                    strategy: cfg.placement,
+                    // The paper's objective is host-count minimization
+                    // (§3.1); weighting both sides with the same idle draw
+                    // makes the net check equivalent to "strictly fewer
+                    // powered hosts".
+                    home_sleep_saving_watts: cfg.host_profile.idle_watts,
+                    consolidation_power_watts: cfg.host_profile.idle_watts,
+                    promotion_headroom: oasis_mem::ByteSize::gib(8),
+                },
+            },
+            cfg.seed,
+        );
+
+        ClusterSim {
+            cfg,
+            rng,
+            manager,
+            hosts,
+            vms,
+            users,
+            wss_dist,
+            traffic: TrafficAccountant::new(),
+            delays: Cdf::new(),
+            ratio: Cdf::new(),
+            series_active: TimeSeries::new(),
+            series_powered: TimeSeries::new(),
+            total_joules: 0.0,
+            baseline_joules: 0.0,
+            counts: MigrationCounts::default(),
+            reintegration_queue: std::collections::BTreeMap::new(),
+            promote_queue: std::collections::BTreeMap::new(),
+            cooldown_until: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn host_index(&self, id: HostId) -> usize {
+        id.0 as usize
+    }
+
+    fn vms_on(&self, host: HostId) -> impl Iterator<Item = usize> + '_ {
+        self.vms
+            .iter()
+            .enumerate()
+            .filter(move |(_, v)| v.location == host)
+            .map(|(i, _)| i)
+    }
+
+    fn demand_on(&self, host: HostId) -> ByteSize {
+        self.vms_on(host).map(|i| self.vms[i].demand).sum()
+    }
+
+    fn active_on(&self, host: HostId) -> usize {
+        self.vms_on(host)
+            .filter(|&i| self.vms[i].state.is_active())
+            .count()
+    }
+
+    fn snapshot(&self, now: SimTime) -> ClusterView {
+        let capacity = self.cfg.effective_capacity();
+        ClusterView {
+            hosts: self
+                .hosts
+                .iter()
+                .map(|h| HostView {
+                    id: h.id,
+                    role: h.role,
+                    powered: h.powered,
+                    vacatable: self
+                        .cooldown_until
+                        .get(&h.id)
+                        .is_none_or(|&until| now >= until),
+                    capacity,
+                })
+                .collect(),
+            vms: self
+                .vms
+                .iter()
+                .map(|v| VmView {
+                    id: v.id,
+                    home: v.home,
+                    location: v.location,
+                    state: v.state,
+                    allocation: v.allocation,
+                    demand: v.demand,
+                    partial_demand: if v.partial { v.demand } else { v.wss_estimate },
+                    partial: v.partial,
+                })
+                .collect(),
+        }
+    }
+
+    /// Brings every VM homed at `home` back to it; wakes the host.
+    ///
+    /// Returns the seconds of reintegration work serialized on the host.
+    fn return_home(&mut self, home: HostId, now: SimTime) -> f64 {
+        let hi = self.host_index(home);
+        self.hosts[hi].set_power(0.0, true);
+        if !self.cfg.vacate_cooldown.is_zero() {
+            self.cooldown_until.insert(home, now + self.cfg.vacate_cooldown);
+        }
+        let mut work = 0.0;
+        let member_ids: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.home == home && v.location != home)
+            .map(|(i, _)| i)
+            .collect();
+        for i in member_ids {
+            let (partial, since) = (self.vms[i].partial, self.vms[i].consolidated_since);
+            if partial {
+                let minutes = since
+                    .map(|s| now.saturating_since(s).as_secs_f64() / 60.0)
+                    .unwrap_or(0.0);
+                let dirty =
+                    ByteSize::from_mib_f64(DIRTY_MIB_PER_MIN * minutes.max(1.0)).min(DIRTY_CAP);
+                self.traffic.record(TrafficClass::Reintegration, dirty);
+                work += self.cfg.reintegration_time.as_secs_f64();
+            } else {
+                // A full VM homed here but consolidated elsewhere returns
+                // by full migration.
+                self.traffic.record(
+                    TrafficClass::FullMigration,
+                    self.vms[i].allocation.mul_f64(1.15),
+                );
+                work += self.cfg.full_migration_time.as_secs_f64();
+            }
+            let vm = &mut self.vms[i];
+            vm.location = home;
+            vm.partial = false;
+            vm.demand = vm.allocation;
+            vm.consolidated_since = None;
+        }
+        self.counts.returns_home += 1;
+        work
+    }
+
+    /// Applies trace-driven VM state changes at interval `i`.
+    fn apply_trace(&mut self, interval: usize, now: SimTime) {
+        self.reintegration_queue.clear();
+        self.promote_queue.clear();
+        for vi in 0..self.vms.len() {
+            let desired = if self.users[vi].is_active(interval) {
+                VmState::Active
+            } else {
+                VmState::Idle
+            };
+            let current = self.vms[vi].state;
+            if desired == current {
+                continue;
+            }
+            if desired == VmState::Idle {
+                self.vms[vi].state = VmState::Idle;
+                continue;
+            }
+            // Idle → active transition.
+            self.vms[vi].state = VmState::Active;
+            if !self.vms[vi].partial {
+                // Full VM (at home or consolidated in full): zero delay.
+                self.delays.record(0.0);
+                continue;
+            }
+            let view = self.snapshot(now);
+            let vm_id = self.vms[vi].id;
+            match self.manager.handle_activation(&view, vm_id) {
+                Some(ActivationDecision::PromoteInPlace { .. }) => {
+                    let remaining = self.vms[vi].allocation - self.vms[vi].demand;
+                    self.traffic.record(
+                        TrafficClass::DemandFetch,
+                        remaining.mul_f64(COMPRESS_RATIO),
+                    );
+                    let vm = &mut self.vms[vi];
+                    vm.partial = false;
+                    vm.demand = vm.allocation;
+                    // The paper says the consolidation host "becomes the
+                    // VM's new home"; we keep the *home binding* on the
+                    // original compute host because only that host has a
+                    // memory server to serve a future partial replica —
+                    // the consolidation host's memory server is never
+                    // powered (§5.1). Ownership of control transfers; the
+                    // home association does not. See DESIGN.md.
+                    vm.consolidated_since = None;
+                    self.counts.promotions += 1;
+                    // The user waits for the partial-VM resume; during a
+                    // resume storm, concurrent promotions on the same
+                    // host share its NIC, so each queue position adds the
+                    // transfer share of the resume latency.
+                    let location = self.vms[vi].location;
+                    let queued = *self.promote_queue.entry(location).or_insert(0);
+                    self.promote_queue.insert(location, queued + 1);
+                    let base = self.cfg.reintegration_time.as_secs_f64();
+                    self.delays.record(base + f64::from(queued) * base * 0.4);
+                }
+                Some(ActivationDecision::MoveTo { destination, .. }) => {
+                    self.traffic.record(
+                        TrafficClass::FullMigration,
+                        self.vms[vi].allocation.mul_f64(1.15),
+                    );
+                    let di = self.host_index(destination);
+                    self.hosts[di].set_power(0.0, true);
+                    let vm = &mut self.vms[vi];
+                    vm.location = destination;
+                    vm.partial = false;
+                    vm.demand = vm.allocation;
+                    vm.consolidated_since = None;
+                    self.counts.relocations += 1;
+                    self.delays
+                        .record(self.cfg.full_migration_time.as_secs_f64());
+                }
+                Some(ActivationDecision::ReturnHome { home, .. }) => {
+                    let was_asleep = !self.hosts[self.host_index(home)].powered;
+                    let queued = *self.reintegration_queue.entry(home).or_insert(0);
+                    self.reintegration_queue.insert(home, queued + 1);
+                    let wake = if was_asleep {
+                        // The manager wakes the host with Wake-on-LAN
+                        // (§4.1); lost packets are retransmitted after a
+                        // one-second timeout.
+                        let mut wol_wait = 0.0;
+                        while self.cfg.wol_loss_rate > 0.0
+                            && self.rng.chance(self.cfg.wol_loss_rate)
+                            && wol_wait < 10.0
+                        {
+                            wol_wait += 1.0;
+                            self.counts.wol_retries += 1;
+                        }
+                        wol_wait + self.cfg.host_profile.resume_time.as_secs_f64()
+                    } else {
+                        0.0
+                    };
+                    let delay = wake
+                        + (f64::from(queued) + 1.0) * self.cfg.reintegration_time.as_secs_f64();
+                    self.delays.record(delay);
+                    self.return_home(home, now);
+                }
+                None => {
+                    // Raced: the VM is no longer partial.
+                    self.delays.record(0.0);
+                }
+            }
+        }
+    }
+
+    /// Runs one manager planning round and executes the plan.
+    fn plan_and_execute(&mut self, now: SimTime) {
+        let view = self.snapshot(now);
+        let actions = self.manager.plan(&view);
+        let mut busy: std::collections::BTreeMap<HostId, f64> = std::collections::BTreeMap::new();
+
+        for action in actions {
+            match action {
+                PlannedAction::Migrate { source, order } => {
+                    let vi = order.vm.0 as usize;
+                    // Skip stale orders (state changed since the snapshot).
+                    if self.vms[vi].location != source {
+                        continue;
+                    }
+                    let di = self.host_index(order.destination);
+                    self.hosts[di].set_power(*busy.get(&source).unwrap_or(&0.0), true);
+                    match order.kind {
+                        MigrationType::Partial if self.vms[vi].partial => {
+                            // Drain relocation: the partial replica moves
+                            // between consolidation hosts; its memory
+                            // server (at its home) is untouched, only the
+                            // resident state is pushed across the rack.
+                            self.traffic.record(
+                                TrafficClass::PartialDescriptor,
+                                oasis_migration::partial::DESCRIPTOR_BYTES,
+                            );
+                            self.traffic
+                                .record(TrafficClass::Reintegration, self.vms[vi].demand);
+                            self.vms[vi].location = order.destination;
+                            *busy.entry(source).or_insert(0.0) +=
+                                self.cfg.reintegration_time.as_secs_f64();
+                            self.counts.partial += 1;
+                        }
+                        MigrationType::Partial => {
+                            let class = self.vms[vi].class;
+                            let wss = sample_class_wss(
+                                class,
+                                &self.wss_dist,
+                                self.vms[vi].allocation,
+                                &mut self.rng,
+                            );
+                            let upload = if self.vms[vi].uploaded_once {
+                                DIFF_UPLOAD.mul_f64(upload_scale(class))
+                            } else {
+                                FIRST_UPLOAD.mul_f64(upload_scale(class))
+                            };
+                            self.traffic.record(TrafficClass::MemServerUpload, upload);
+                            self.traffic.record(
+                                TrafficClass::PartialDescriptor,
+                                oasis_migration::partial::DESCRIPTOR_BYTES,
+                            );
+                            let growth_cap = ByteSize::from_mib_f64(
+                                class.idle_model().growth_per_min.as_mib_f64()
+                                    * WSS_GROWTH_WINDOW.as_secs_f64()
+                                    / 60.0,
+                            );
+                            let vm = &mut self.vms[vi];
+                            vm.partial = true;
+                            vm.location = order.destination;
+                            vm.demand = wss;
+                            vm.wss_cap = wss + growth_cap;
+                            vm.consolidated_since = Some(now);
+                            vm.uploaded_once = true;
+                            *busy.entry(source).or_insert(0.0) +=
+                                self.cfg.partial_migration_time.as_secs_f64();
+                            self.counts.partial += 1;
+                        }
+                        MigrationType::Full => {
+                            self.traffic.record(
+                                TrafficClass::FullMigration,
+                                self.vms[vi].allocation.mul_f64(1.15),
+                            );
+                            let vm = &mut self.vms[vi];
+                            vm.partial = false;
+                            vm.location = order.destination;
+                            vm.demand = vm.allocation;
+                            vm.consolidated_since = Some(now);
+                            *busy.entry(source).or_insert(0.0) +=
+                                self.cfg.full_migration_time.as_secs_f64();
+                            self.counts.full += 1;
+                        }
+                    }
+                }
+                PlannedAction::Exchange { vm, home, consolidation } => {
+                    let vi = vm.0 as usize;
+                    if self.vms[vi].location != consolidation || self.vms[vi].partial {
+                        continue;
+                    }
+                    // Wake the home temporarily: full migration back, then
+                    // partial re-consolidation to the same host (§3.2).
+                    let episode = self.cfg.full_migration_time.as_secs_f64()
+                        + self.cfg.partial_migration_time.as_secs_f64();
+                    let hi = self.host_index(home);
+                    if self.hosts[hi].powered {
+                        // Home happens to be awake: the exchange is plain
+                        // work on a powered host.
+                    } else {
+                        self.hosts[hi].temporary_episode(episode);
+                    }
+                    self.traffic
+                        .record(TrafficClass::FullMigration, self.vms[vi].allocation.mul_f64(1.15));
+                    let class = self.vms[vi].class;
+                    let upload = if self.vms[vi].uploaded_once {
+                        DIFF_UPLOAD.mul_f64(upload_scale(class))
+                    } else {
+                        FIRST_UPLOAD.mul_f64(upload_scale(class))
+                    };
+                    self.traffic.record(TrafficClass::MemServerUpload, upload);
+                    self.traffic.record(
+                        TrafficClass::PartialDescriptor,
+                        oasis_migration::partial::DESCRIPTOR_BYTES,
+                    );
+                    let wss = sample_class_wss(
+                        class,
+                        &self.wss_dist,
+                        self.vms[vi].allocation,
+                        &mut self.rng,
+                    );
+                    let growth_cap = ByteSize::from_mib_f64(
+                        class.idle_model().growth_per_min.as_mib_f64()
+                            * WSS_GROWTH_WINDOW.as_secs_f64()
+                            / 60.0,
+                    );
+                    let vm = &mut self.vms[vi];
+                    vm.partial = true;
+                    vm.demand = wss;
+                    vm.wss_cap = wss + growth_cap;
+                    vm.consolidated_since = Some(now);
+                    vm.uploaded_once = true;
+                    self.counts.exchanges += 1;
+                }
+            }
+        }
+
+        // Sources drained of all VMs sleep after their serialized work.
+        for h in 0..self.hosts.len() {
+            let id = self.hosts[h].id;
+            if self.hosts[h].powered && self.vms_on(id).next().is_none() {
+                let offset = busy.get(&id).copied().unwrap_or(0.0).min(INTERVAL_SECS);
+                self.hosts[h].set_power(offset, false);
+            }
+        }
+    }
+
+    /// Grows consolidated working sets and handles capacity exhaustion.
+    fn grow_working_sets(&mut self, now: SimTime) {
+        let mut fetched = ByteSize::ZERO;
+        for vm in &mut self.vms {
+            if !vm.partial {
+                continue;
+            }
+            let growth_per_interval = ByteSize::from_mib_f64(
+                vm.class.idle_model().growth_per_min.as_mib_f64() * INTERVAL_SECS / 60.0,
+            );
+            let headroom = vm.wss_cap.saturating_sub(vm.demand);
+            let growth = growth_per_interval.min(headroom);
+            if !growth.is_zero() {
+                vm.demand += growth;
+                fetched += growth.mul_f64(COMPRESS_RATIO);
+            }
+        }
+        if !fetched.is_zero() {
+            self.traffic.record(TrafficClass::DemandFetch, fetched);
+        }
+
+        // Capacity exhaustion (§3.2): the host wakes the requesting VM's
+        // home and returns all of that home's VMs.
+        let capacity = self.cfg.effective_capacity();
+        let cons_ids: Vec<HostId> = self
+            .hosts
+            .iter()
+            .filter(|h| h.role == HostRole::Consolidation)
+            .map(|h| h.id)
+            .collect();
+        for host in cons_ids {
+            let mut guard = 0;
+            while self.demand_on(host) > capacity && guard < 1_000 {
+                guard += 1;
+                // The largest partial VM is the requester.
+                let victim = self
+                    .vms_on(host)
+                    .filter(|&i| self.vms[i].partial)
+                    .max_by_key(|&i| (self.vms[i].demand, self.vms[i].id));
+                match victim {
+                    Some(vi) => {
+                        let home = self.vms[vi].home;
+                        self.return_home(home, now);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Puts hosts drained outside planning (ReturnHome) to sleep.
+    fn sleep_empty_hosts(&mut self) {
+        for h in 0..self.hosts.len() {
+            let id = self.hosts[h].id;
+            if self.hosts[h].powered && self.vms_on(id).next().is_none() {
+                self.hosts[h].set_power(INTERVAL_SECS * 0.5, false);
+            }
+        }
+    }
+
+    /// Records the per-interval series and distribution samples.
+    fn record(&mut self, now: SimTime) {
+        let active = self.vms.iter().filter(|v| v.state.is_active()).count();
+        self.series_active.record(now, active as f64);
+        let powered = self.hosts.iter().filter(|h| h.powered).count();
+        self.series_powered.record(now, powered as f64);
+        for h in &self.hosts {
+            if h.role == HostRole::Consolidation && h.powered {
+                let n = self.vms_on(h.id).count();
+                if n > 0 {
+                    self.ratio.record(n as f64);
+                }
+            }
+        }
+    }
+
+    /// Integrates this interval's energy and the §5.3 baseline.
+    fn account_energy(&mut self, interval: usize) {
+        let p = &self.cfg.host_profile;
+        let ms_watts = self.cfg.memserver.active_watts;
+        for h in 0..self.hosts.len() {
+            let id = self.hosts[h].id;
+            let role = self.hosts[h].role;
+            let active = self.active_on(id);
+            let awake = self.hosts[h].end_interval();
+            let suspends = f64::from(self.hosts[h].suspends);
+            let resumes = f64::from(self.hosts[h].resumes);
+            let transit = suspends * p.suspend_time.as_secs_f64()
+                + resumes * p.resume_time.as_secs_f64();
+            let asleep = (INTERVAL_SECS - awake - transit).max(0.0);
+            // Sleeping consolidation hosts are spare capacity, not part
+            // of the active deployment: their S3 draw is not charged
+            // (otherwise Figure 8 would fall linearly with the host count
+            // instead of leveling off, as adding unused spares would
+            // "cost" energy).
+            let sleep_draw = if role == HostRole::Compute { p.sleep_watts } else { 0.0 };
+            let mut joules = awake * p.watts(PowerState::Powered, active)
+                + suspends * p.suspend_time.as_secs_f64() * p.suspend_watts
+                + resumes * p.resume_time.as_secs_f64() * p.resume_watts
+                + asleep * sleep_draw;
+            // A sleeping home host keeps its memory server powered while
+            // it has partial replicas to serve (§5.1); a host vacated
+            // purely by full migrations has nothing to serve.
+            let serves_partials = self
+                .vms
+                .iter()
+                .any(|v| v.home == id && v.partial && v.location != id);
+            if role == HostRole::Compute && serves_partials {
+                joules += asleep * ms_watts;
+            }
+            self.total_joules += joules;
+        }
+        // Baseline: home hosts powered all day, VMs in place.
+        for home in 0..self.cfg.home_hosts {
+            let lo = (home * self.cfg.vms_per_host) as usize;
+            let hi = lo + self.cfg.vms_per_host as usize;
+            let active = self.users[lo..hi]
+                .iter()
+                .filter(|u| u.is_active(interval))
+                .count();
+            self.baseline_joules += INTERVAL_SECS * p.watts(PowerState::Powered, active);
+        }
+    }
+
+    /// Runs one full simulated day and returns the report.
+    pub fn run_day(mut self) -> SimReport {
+        let mut next_plan = SimTime::ZERO;
+        for interval in 0..INTERVALS_PER_DAY {
+            let now = SimTime::from_secs(interval as u64 * INTERVAL_SECS as u64);
+            for h in &mut self.hosts {
+                h.begin_interval();
+            }
+            self.apply_trace(interval, now);
+            // The manager plans on its own configurable interval (§3.1),
+            // not on every trace step.
+            if now >= next_plan {
+                self.plan_and_execute(now);
+                next_plan = now + self.cfg.interval;
+            }
+            self.grow_working_sets(now);
+            self.sleep_empty_hosts();
+            self.record(now);
+            self.account_energy(interval);
+        }
+        let baseline_kwh = self.baseline_joules / oasis_power::meter::JOULES_PER_KWH;
+        let total_kwh = self.total_joules / oasis_power::meter::JOULES_PER_KWH;
+        SimReport {
+            policy: self.cfg.policy,
+            day: self.cfg.day,
+            home_hosts: self.cfg.home_hosts,
+            consolidation_hosts: self.cfg.consolidation_hosts,
+            vms: self.cfg.total_vms(),
+            baseline_kwh,
+            total_kwh,
+            energy_savings: oasis_power::meter::savings_fraction(
+                self.baseline_joules,
+                self.total_joules,
+            ),
+            active_vms_series: self.series_active,
+            powered_hosts_series: self.series_powered,
+            transition_delays: self.delays,
+            consolidation_ratio: self.ratio,
+            traffic: self.traffic,
+            migrations: self.counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn host() -> SimHost {
+        SimHost {
+            id: HostId(0),
+            role: HostRole::Compute,
+            powered: true,
+            awake_secs: 0.0,
+            last_on_offset: 0.0,
+            suspends: 0,
+            resumes: 0,
+        }
+    }
+
+    #[test]
+    fn timeline_full_interval_powered() {
+        let mut h = host();
+        h.begin_interval();
+        assert_eq!(h.end_interval(), INTERVAL_SECS);
+        assert_eq!(h.suspends, 0);
+        assert_eq!(h.resumes, 0);
+    }
+
+    #[test]
+    fn timeline_sleep_mid_interval() {
+        let mut h = host();
+        h.begin_interval();
+        h.set_power(120.0, false);
+        assert_eq!(h.end_interval(), 120.0);
+        assert_eq!(h.suspends, 1);
+        // The next interval is fully asleep.
+        h.begin_interval();
+        assert_eq!(h.end_interval(), 0.0);
+    }
+
+    #[test]
+    fn timeline_wake_mid_interval() {
+        let mut h = host();
+        h.powered = false;
+        h.begin_interval();
+        h.set_power(200.0, true);
+        assert_eq!(h.end_interval(), 100.0);
+        assert_eq!(h.resumes, 1);
+    }
+
+    #[test]
+    fn timeline_bounce_within_interval() {
+        let mut h = host();
+        h.powered = false;
+        h.begin_interval();
+        h.set_power(50.0, true);
+        h.set_power(80.0, false);
+        h.set_power(200.0, true);
+        let awake = h.end_interval();
+        assert!((awake - (30.0 + 100.0)).abs() < 1e-9, "awake {awake}");
+        assert_eq!(h.resumes, 2);
+        assert_eq!(h.suspends, 1);
+    }
+
+    #[test]
+    fn timeline_redundant_set_power_is_noop() {
+        let mut h = host();
+        h.begin_interval();
+        h.set_power(10.0, true);
+        assert_eq!(h.suspends + h.resumes, 0);
+        assert_eq!(h.end_interval(), INTERVAL_SECS);
+    }
+
+    #[test]
+    fn temporary_episode_counts_transitions() {
+        let mut h = host();
+        h.powered = false;
+        h.begin_interval();
+        h.temporary_episode(17.2);
+        assert_eq!(h.end_interval(), 17.2);
+        assert_eq!(h.suspends, 1);
+        assert_eq!(h.resumes, 1);
+        assert!(!h.powered, "the host is asleep again afterwards");
+    }
+
+    #[test]
+    fn awake_capped_at_interval_length() {
+        let mut h = host();
+        h.powered = false;
+        h.begin_interval();
+        h.temporary_episode(500.0);
+        assert_eq!(h.end_interval(), INTERVAL_SECS);
+    }
+
+    fn tiny_sim() -> ClusterSim {
+        let cfg = ClusterConfig::builder()
+            .home_hosts(2)
+            .consolidation_hosts(1)
+            .vms_per_host(3)
+            .seed(5)
+            .build()
+            .expect("valid configuration");
+        ClusterSim::new(cfg)
+    }
+
+    #[test]
+    fn snapshot_reflects_initial_state() {
+        let sim = tiny_sim();
+        let view = sim.snapshot(SimTime::ZERO);
+        assert_eq!(view.hosts.len(), 3);
+        assert_eq!(view.vms.len(), 6);
+        assert_eq!(view.powered_hosts(), 2, "consolidation host sleeps");
+        for vm in &view.vms {
+            assert_eq!(vm.home, vm.location);
+            assert!(!vm.partial);
+            assert_eq!(vm.demand, vm.allocation);
+        }
+    }
+
+    #[test]
+    fn return_home_brings_every_vm_back() {
+        let mut sim = tiny_sim();
+        // Manually consolidate home 0's VMs onto the consolidation host.
+        let cons = HostId(2);
+        for vi in 0..3 {
+            sim.vms[vi].location = cons;
+            sim.vms[vi].partial = true;
+            sim.vms[vi].demand = ByteSize::mib(165);
+            sim.vms[vi].consolidated_since = Some(SimTime::ZERO);
+        }
+        sim.hosts[0].set_power(0.0, false);
+        sim.hosts[2].set_power(0.0, true);
+
+        let work = sim.return_home(HostId(0), SimTime::from_secs(600));
+        assert!(work > 0.0);
+        assert!(sim.hosts[0].powered, "home woke");
+        for vi in 0..3 {
+            assert_eq!(sim.vms[vi].location, HostId(0));
+            assert!(!sim.vms[vi].partial);
+            assert_eq!(sim.vms[vi].demand, sim.vms[vi].allocation);
+        }
+        assert_eq!(sim.counts.returns_home, 1);
+        assert!(sim.traffic.total(TrafficClass::Reintegration).as_bytes() > 0);
+    }
+
+    #[test]
+    fn demand_accounting() {
+        let sim = tiny_sim();
+        assert_eq!(sim.demand_on(HostId(0)), ByteSize::gib(12));
+        assert_eq!(sim.demand_on(HostId(2)), ByteSize::ZERO);
+        assert_eq!(sim.active_on(HostId(0)), 0, "VMs start idle");
+    }
+}

@@ -1,0 +1,177 @@
+//! Idleness detection (§3.1).
+//!
+//! "To determine a VM's idleness, we can monitor its resource usage. For
+//! example, one metric for memory usage is VM page dirtying rate which can
+//! be monitored from the hypervisor." The detector classifies a VM as idle
+//! once its dirtying rate stays under a threshold for a full observation
+//! window, and flips it back to active immediately when the rate rises —
+//! asymmetric hysteresis, so a briefly quiet VM is not consolidated while
+//! a genuinely waking VM gets resources at once.
+
+use std::collections::BTreeMap;
+
+use oasis_mem::dirty::DirtyRateMonitor;
+use oasis_sim::{SimDuration, SimTime};
+use oasis_vm::{VmId, VmState};
+
+/// Configuration of the idleness detector.
+#[derive(Clone, Copy, Debug)]
+pub struct IdlenessConfig {
+    /// A VM dirtying fewer pages per second than this is a candidate for
+    /// idle classification. Idle desktops dirty ~20–50 pages/s from
+    /// background daemons; interactive use is orders of magnitude higher.
+    pub threshold_pages_per_sec: f64,
+    /// The rate must stay low for this long before the VM counts as idle.
+    pub window: SimDuration,
+    /// Number of rate buckets inside the window.
+    pub buckets: usize,
+}
+
+impl Default for IdlenessConfig {
+    fn default() -> Self {
+        IdlenessConfig {
+            threshold_pages_per_sec: 120.0,
+            window: SimDuration::from_mins(5),
+            buckets: 5,
+        }
+    }
+}
+
+/// Per-cluster idleness detector.
+#[derive(Clone, Debug)]
+pub struct IdlenessDetector {
+    config: IdlenessConfig,
+    monitors: BTreeMap<VmId, VmMonitor>,
+}
+
+#[derive(Clone, Debug)]
+struct VmMonitor {
+    rate: DirtyRateMonitor,
+    /// Last time the rate exceeded the threshold.
+    last_busy: SimTime,
+}
+
+impl IdlenessDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: IdlenessConfig) -> Self {
+        IdlenessDetector { config, monitors: BTreeMap::new() }
+    }
+
+    fn monitor(&mut self, vm: VmId, now: SimTime) -> &mut VmMonitor {
+        let cfg = &self.config;
+        self.monitors.entry(vm).or_insert_with(|| VmMonitor {
+            rate: DirtyRateMonitor::new(
+                SimDuration::from_micros(cfg.window.as_micros() / cfg.buckets as u64),
+                cfg.buckets,
+            ),
+            // A new VM starts busy: it must prove idleness for a window.
+            last_busy: now,
+        })
+    }
+
+    /// Feeds an observation: `pages` dirtied by `vm` around `now`.
+    pub fn observe(&mut self, vm: VmId, now: SimTime, pages: u64) {
+        let threshold = self.config.threshold_pages_per_sec;
+        let m = self.monitor(vm, now);
+        m.rate.record(now, pages);
+        if m.rate.rate_per_sec(now) >= threshold {
+            m.last_busy = now;
+        }
+    }
+
+    /// Classifies `vm` at `now`.
+    pub fn classify(&mut self, vm: VmId, now: SimTime) -> VmState {
+        let window = self.config.window;
+        let threshold = self.config.threshold_pages_per_sec;
+        let m = self.monitor(vm, now);
+        if m.rate.rate_per_sec(now) >= threshold {
+            m.last_busy = now;
+            return VmState::Active;
+        }
+        if now.saturating_since(m.last_busy) >= window {
+            VmState::Idle
+        } else {
+            VmState::Active
+        }
+    }
+
+    /// Drops per-VM state (VM destroyed).
+    pub fn forget(&mut self, vm: VmId) {
+        self.monitors.remove(&vm);
+    }
+
+    /// Number of tracked VMs.
+    pub fn tracked(&self) -> usize {
+        self.monitors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> IdlenessDetector {
+        IdlenessDetector::new(IdlenessConfig::default())
+    }
+
+    #[test]
+    fn busy_vm_is_active() {
+        let mut d = detector();
+        let vm = VmId(1);
+        for s in 0..60 {
+            d.observe(vm, SimTime::from_secs(s), 500); // 500 pages/s.
+        }
+        assert_eq!(d.classify(vm, SimTime::from_secs(60)), VmState::Active);
+    }
+
+    #[test]
+    fn quiet_vm_becomes_idle_after_window() {
+        let mut d = detector();
+        let vm = VmId(1);
+        // Busy first.
+        d.observe(vm, SimTime::from_secs(0), 100_000);
+        assert_eq!(d.classify(vm, SimTime::from_secs(1)), VmState::Active);
+        // Then quiet background dirtying: 20 pages every second.
+        for s in 1..700 {
+            d.observe(vm, SimTime::from_secs(s), 20);
+        }
+        // Still inside the 5-minute window after the burst: active.
+        assert_eq!(d.classify(vm, SimTime::from_secs(200)), VmState::Active);
+        // The burst ages out of the rate window at t=300; a full idle
+        // window after that, the VM classifies idle.
+        assert_eq!(d.classify(vm, SimTime::from_secs(699)), VmState::Idle);
+    }
+
+    #[test]
+    fn activity_flips_back_immediately() {
+        let mut d = detector();
+        let vm = VmId(1);
+        for s in 0..400 {
+            d.observe(vm, SimTime::from_secs(s), 10);
+        }
+        assert_eq!(d.classify(vm, SimTime::from_secs(400)), VmState::Idle);
+        // A burst: user came back.
+        d.observe(vm, SimTime::from_secs(401), 200_000);
+        assert_eq!(d.classify(vm, SimTime::from_secs(402)), VmState::Active);
+    }
+
+    #[test]
+    fn new_vm_starts_active() {
+        let mut d = detector();
+        // First sighting creates the monitor in the busy state.
+        assert_eq!(d.classify(VmId(9), SimTime::from_secs(100)), VmState::Active);
+        // Inside the window it stays active even with no writes.
+        assert_eq!(d.classify(VmId(9), SimTime::from_secs(300)), VmState::Active);
+        // With zero observations for a full window it settles to idle.
+        assert_eq!(d.classify(VmId(9), SimTime::from_secs(600)), VmState::Idle);
+    }
+
+    #[test]
+    fn forget_drops_state() {
+        let mut d = detector();
+        d.observe(VmId(1), SimTime::from_secs(0), 1);
+        assert_eq!(d.tracked(), 1);
+        d.forget(VmId(1));
+        assert_eq!(d.tracked(), 0);
+    }
+}

@@ -1,0 +1,428 @@
+//! The cluster manager's client-facing RPC interface (§4.1).
+//!
+//! "It provides an RPC interface that clients use to create and manage
+//! VMs. Clients create VMs by issuing a request which includes the path
+//! of a VM configuration file in the network storage."
+//!
+//! The wire format is line-oriented text — one request per line, one
+//! response per line — so it can cross any byte stream. Dispatch runs
+//! against a [`ClusterBackend`], the narrow interface the simulator (or
+//! a real deployment shim) implements.
+
+use core::fmt;
+use core::str::FromStr;
+
+use oasis_vm::{HostId, VmConfig, VmId, VmState};
+
+use crate::manager::ClusterManager;
+use crate::view::ClusterView;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Create a VM from a configuration file on the network storage.
+    CreateVm {
+        /// Path of the configuration file.
+        config_path: String,
+    },
+    /// Shut a VM down and release its resources.
+    DestroyVm {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Query placement and state of a VM.
+    QueryVm {
+        /// Target VM.
+        vm: VmId,
+    },
+    /// Cluster-level summary.
+    ClusterStats,
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::CreateVm { config_path } => write!(f, "CREATE {config_path}"),
+            Request::DestroyVm { vm } => write!(f, "DESTROY {}", vm.0),
+            Request::QueryVm { vm } => write!(f, "QUERY {}", vm.0),
+            Request::ClusterStats => write!(f, "STATS"),
+        }
+    }
+}
+
+impl FromStr for Request {
+    type Err = RpcError;
+
+    fn from_str(line: &str) -> Result<Self, RpcError> {
+        let line = line.trim();
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let rest = rest.trim();
+        match verb {
+            "CREATE" if !rest.is_empty() => {
+                Ok(Request::CreateVm { config_path: rest.to_string() })
+            }
+            "DESTROY" => rest
+                .parse()
+                .map(|id| Request::DestroyVm { vm: VmId(id) })
+                .map_err(|_| RpcError::Malformed(line.to_string())),
+            "QUERY" => rest
+                .parse()
+                .map(|id| Request::QueryVm { vm: VmId(id) })
+                .map_err(|_| RpcError::Malformed(line.to_string())),
+            "STATS" if rest.is_empty() => Ok(Request::ClusterStats),
+            _ => Err(RpcError::Malformed(line.to_string())),
+        }
+    }
+}
+
+/// A manager response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// VM created and placed.
+    Created {
+        /// New VM id.
+        vm: VmId,
+        /// Hosting compute host.
+        host: HostId,
+    },
+    /// VM destroyed.
+    Destroyed {
+        /// The destroyed VM.
+        vm: VmId,
+    },
+    /// VM placement info.
+    VmInfo {
+        /// The VM.
+        vm: VmId,
+        /// Where it runs.
+        host: HostId,
+        /// Activity state.
+        state: VmState,
+        /// Whether it currently runs as a partial VM.
+        partial: bool,
+    },
+    /// Cluster summary.
+    Stats {
+        /// Powered hosts.
+        powered_hosts: usize,
+        /// Total hosts.
+        total_hosts: usize,
+        /// Total VMs.
+        vms: usize,
+    },
+    /// Request failed.
+    Error(RpcError),
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Created { vm, host } => write!(f, "OK CREATED vm={} host={}", vm.0, host.0),
+            Response::Destroyed { vm } => write!(f, "OK DESTROYED vm={}", vm.0),
+            Response::VmInfo { vm, host, state, partial } => write!(
+                f,
+                "OK VM vm={} host={} state={} partial={}",
+                vm.0,
+                host.0,
+                if state.is_active() { "active" } else { "idle" },
+                partial
+            ),
+            Response::Stats { powered_hosts, total_hosts, vms } => {
+                write!(f, "OK STATS powered={powered_hosts}/{total_hosts} vms={vms}")
+            }
+            Response::Error(e) => write!(f, "ERR {e}"),
+        }
+    }
+}
+
+/// RPC failure codes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcError {
+    /// The request line did not parse.
+    Malformed(String),
+    /// The referenced configuration file is missing or unreadable.
+    ConfigNotFound(String),
+    /// The configuration file failed to parse.
+    BadConfig(String),
+    /// No host can accommodate the VM.
+    NoCapacity,
+    /// The VM does not exist.
+    UnknownVm(VmId),
+    /// A VM with the config's id already exists.
+    DuplicateVm(VmId),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Malformed(line) => write!(f, "malformed request: {line}"),
+            RpcError::ConfigNotFound(path) => write!(f, "config not found: {path}"),
+            RpcError::BadConfig(msg) => write!(f, "bad config: {msg}"),
+            RpcError::NoCapacity => write!(f, "no host with sufficient resources"),
+            RpcError::UnknownVm(vm) => write!(f, "unknown vm {}", vm.0),
+            RpcError::DuplicateVm(vm) => write!(f, "vm {} already exists", vm.0),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// The narrow interface the manager drives to serve requests.
+pub trait ClusterBackend {
+    /// Current cluster snapshot.
+    fn view(&self) -> ClusterView;
+
+    /// Reads a VM configuration file from the network storage.
+    fn read_config(&self, path: &str) -> Option<String>;
+
+    /// Creates the VM on the chosen host (the agent's `create` call).
+    fn create_vm(&mut self, config: &VmConfig, host: HostId) -> Result<(), RpcError>;
+
+    /// Destroys the VM wherever it runs.
+    fn destroy_vm(&mut self, vm: VmId) -> Result<(), RpcError>;
+}
+
+/// Serves client requests against a manager and a backend (§4.1).
+pub fn dispatch<B: ClusterBackend>(
+    manager: &mut ClusterManager,
+    backend: &mut B,
+    request: &Request,
+) -> Response {
+    match request {
+        Request::CreateVm { config_path } => {
+            let Some(text) = backend.read_config(config_path) else {
+                return Response::Error(RpcError::ConfigNotFound(config_path.clone()));
+            };
+            let config = match VmConfig::parse(&text) {
+                Ok(c) => c,
+                Err(e) => return Response::Error(RpcError::BadConfig(e.to_string())),
+            };
+            let view = backend.view();
+            if view.vm(config.vmid).is_some() {
+                return Response::Error(RpcError::DuplicateVm(config.vmid));
+            }
+            let Some(host) = manager.place_new_vm(&view, config.memory) else {
+                return Response::Error(RpcError::NoCapacity);
+            };
+            match backend.create_vm(&config, host) {
+                Ok(()) => Response::Created { vm: config.vmid, host },
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::DestroyVm { vm } => match backend.destroy_vm(*vm) {
+            Ok(()) => Response::Destroyed { vm: *vm },
+            Err(e) => Response::Error(e),
+        },
+        Request::QueryVm { vm } => {
+            let view = backend.view();
+            match view.vm(*vm) {
+                Some(info) => Response::VmInfo {
+                    vm: *vm,
+                    host: info.location,
+                    state: info.state,
+                    partial: info.partial,
+                },
+                None => Response::Error(RpcError::UnknownVm(*vm)),
+            }
+        }
+        Request::ClusterStats => {
+            let view = backend.view();
+            Response::Stats {
+                powered_hosts: view.powered_hosts(),
+                total_hosts: view.hosts.len(),
+                vms: view.vms.len(),
+            }
+        }
+    }
+}
+
+/// Serves one raw request line, producing one raw response line.
+pub fn serve_line<B: ClusterBackend>(
+    manager: &mut ClusterManager,
+    backend: &mut B,
+    line: &str,
+) -> String {
+    match line.parse::<Request>() {
+        Ok(request) => dispatch(manager, backend, &request).to_string(),
+        Err(e) => Response::Error(e).to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ManagerConfig;
+    use crate::view::{HostRole, HostView, VmView};
+    use oasis_mem::ByteSize;
+    use std::collections::BTreeMap;
+
+    /// A toy backend: two compute hosts, one consolidation host, and a
+    /// network store holding config files.
+    struct MockBackend {
+        vms: Vec<VmView>,
+        store: BTreeMap<String, String>,
+        capacity: ByteSize,
+    }
+
+    impl MockBackend {
+        fn new() -> Self {
+            let mut store = BTreeMap::new();
+            store.insert(
+                "/store/vm0007.cfg".to_string(),
+                VmConfig::desktop(7).to_text(),
+            );
+            store.insert("/store/garbage.cfg".to_string(), "not a config".to_string());
+            MockBackend { vms: Vec::new(), store, capacity: ByteSize::gib(192) }
+        }
+    }
+
+    impl ClusterBackend for MockBackend {
+        fn view(&self) -> ClusterView {
+            let mk = |id, role, powered| HostView {
+                id: HostId(id),
+                role,
+                powered,
+                vacatable: true,
+                capacity: self.capacity,
+            };
+            ClusterView {
+                hosts: vec![
+                    mk(0, HostRole::Compute, true),
+                    mk(1, HostRole::Compute, true),
+                    mk(2, HostRole::Consolidation, false),
+                ],
+                vms: self.vms.clone(),
+            }
+        }
+
+        fn read_config(&self, path: &str) -> Option<String> {
+            self.store.get(path).cloned()
+        }
+
+        fn create_vm(&mut self, config: &VmConfig, host: HostId) -> Result<(), RpcError> {
+            self.vms.push(VmView {
+                id: config.vmid,
+                home: host,
+                location: host,
+                state: VmState::Active,
+                allocation: config.memory,
+                demand: config.memory,
+                partial_demand: ByteSize::mib(165),
+                partial: false,
+            });
+            Ok(())
+        }
+
+        fn destroy_vm(&mut self, vm: VmId) -> Result<(), RpcError> {
+            let before = self.vms.len();
+            self.vms.retain(|v| v.id != vm);
+            if self.vms.len() == before {
+                Err(RpcError::UnknownVm(vm))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn manager() -> ClusterManager {
+        ClusterManager::new(ManagerConfig::default(), 1)
+    }
+
+    #[test]
+    fn request_wire_round_trips() {
+        for req in [
+            Request::CreateVm { config_path: "/store/vm0007.cfg".into() },
+            Request::DestroyVm { vm: VmId(7) },
+            Request::QueryVm { vm: VmId(7) },
+            Request::ClusterStats,
+        ] {
+            let parsed: Request = req.to_string().parse().unwrap();
+            assert_eq!(parsed, req);
+        }
+        assert!("FROB 1".parse::<Request>().is_err());
+        assert!("DESTROY xyz".parse::<Request>().is_err());
+        assert!("CREATE".parse::<Request>().is_err());
+    }
+
+    #[test]
+    fn create_query_destroy_lifecycle() {
+        let mut mgr = manager();
+        let mut backend = MockBackend::new();
+        let r = dispatch(&mut mgr, &mut backend, &Request::CreateVm {
+            config_path: "/store/vm0007.cfg".into(),
+        });
+        let host = match r {
+            Response::Created { vm, host } => {
+                assert_eq!(vm, VmId(7));
+                host
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(host == HostId(0) || host == HostId(1), "placed on a compute host");
+
+        let info = dispatch(&mut mgr, &mut backend, &Request::QueryVm { vm: VmId(7) });
+        assert_eq!(
+            info,
+            Response::VmInfo { vm: VmId(7), host, state: VmState::Active, partial: false }
+        );
+
+        let stats = dispatch(&mut mgr, &mut backend, &Request::ClusterStats);
+        assert_eq!(stats, Response::Stats { powered_hosts: 2, total_hosts: 3, vms: 1 });
+
+        let gone = dispatch(&mut mgr, &mut backend, &Request::DestroyVm { vm: VmId(7) });
+        assert_eq!(gone, Response::Destroyed { vm: VmId(7) });
+        assert_eq!(
+            dispatch(&mut mgr, &mut backend, &Request::QueryVm { vm: VmId(7) }),
+            Response::Error(RpcError::UnknownVm(VmId(7)))
+        );
+    }
+
+    #[test]
+    fn create_failure_modes() {
+        let mut mgr = manager();
+        let mut backend = MockBackend::new();
+        assert_eq!(
+            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
+                config_path: "/store/missing.cfg".into()
+            }),
+            Response::Error(RpcError::ConfigNotFound("/store/missing.cfg".into()))
+        );
+        assert!(matches!(
+            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
+                config_path: "/store/garbage.cfg".into()
+            }),
+            Response::Error(RpcError::BadConfig(_))
+        ));
+        // Duplicate vmid.
+        dispatch(&mut mgr, &mut backend, &Request::CreateVm {
+            config_path: "/store/vm0007.cfg".into(),
+        });
+        assert_eq!(
+            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
+                config_path: "/store/vm0007.cfg".into()
+            }),
+            Response::Error(RpcError::DuplicateVm(VmId(7)))
+        );
+        // No capacity: shrink hosts below the VM size.
+        backend.capacity = ByteSize::gib(1);
+        backend.store.insert("/store/vm0008.cfg".into(), VmConfig::desktop(8).to_text());
+        assert_eq!(
+            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
+                config_path: "/store/vm0008.cfg".into()
+            }),
+            Response::Error(RpcError::NoCapacity)
+        );
+    }
+
+    #[test]
+    fn serve_line_speaks_text() {
+        let mut mgr = manager();
+        let mut backend = MockBackend::new();
+        let reply = serve_line(&mut mgr, &mut backend, "CREATE /store/vm0007.cfg");
+        assert!(reply.starts_with("OK CREATED vm=7 host="), "{reply}");
+        let reply = serve_line(&mut mgr, &mut backend, "STATS");
+        assert_eq!(reply, "OK STATS powered=2/3 vms=1");
+        let reply = serve_line(&mut mgr, &mut backend, "BOGUS");
+        assert!(reply.starts_with("ERR malformed"), "{reply}");
+    }
+}

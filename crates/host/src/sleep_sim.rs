@@ -1,0 +1,262 @@
+//! Event-driven home-host sleep simulation (the §2 / Figure 2 experiment).
+//!
+//! A home host serving page requests for its consolidated partial VMs
+//! (without a low-power memory server) must wake for every request burst:
+//! it resumes, serves, waits out an idle timer, suspends again. This
+//! module wires the [`oasis_sim::Engine`] to the [`AcpiController`] and a
+//! set of per-VM request processes to measure exactly how much S3 sleep
+//! such a host can get — the experiment that motivates the memory server.
+
+use oasis_power::acpi::AcpiController;
+use oasis_power::{HostEnergyProfile, PowerState};
+use oasis_sim::engine::{Engine, EventQueue, EventToken, Model};
+use oasis_sim::stats::TimeWeighted;
+use oasis_sim::{SimDuration, SimRng, SimTime};
+use oasis_vm::workload::{IdleAccessModel, WorkloadClass};
+
+/// Events of the sleep simulation.
+#[derive(Debug)]
+pub enum SleepEvent {
+    /// A consolidated VM's memtap asks the home for pages.
+    PageRequest {
+        /// Index of the requesting VM.
+        vm: usize,
+    },
+    /// The ACPI transition in progress completed.
+    TransitionDone,
+    /// The host has been quiet long enough to suspend.
+    IdleTimerFired,
+}
+
+/// Result of one simulated serving period.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SleepReport {
+    /// Page-request bursts served.
+    pub requests: u64,
+    /// Fraction of time spent in S3.
+    pub sleep_fraction: f64,
+    /// Fraction of time spent transitioning (suspend + resume).
+    pub transition_fraction: f64,
+    /// Mean watts drawn over the period.
+    pub mean_watts: f64,
+    /// Requests that had to wait for a resume before being served.
+    pub delayed_requests: u64,
+}
+
+/// The home host model: ACPI state machine + request processes.
+struct HostModel {
+    acpi: AcpiController,
+    profile: HostEnergyProfile,
+    idle_timer: SimDuration,
+    vms: Vec<IdleAccessModel>,
+    rng: SimRng,
+    horizon: SimTime,
+    // Accounting.
+    asleep: TimeWeighted,
+    transit: TimeWeighted,
+    watts: TimeWeighted,
+    requests: u64,
+    delayed_requests: u64,
+    idle_timer_token: Option<EventToken>,
+}
+
+impl HostModel {
+    fn record_power(&mut self, now: SimTime) {
+        let state = self.acpi.state();
+        self.asleep.set(now, if state.is_sleeping() { 1.0 } else { 0.0 });
+        self.transit.set(now, if state.is_in_transit() { 1.0 } else { 0.0 });
+        self.watts.set(now, self.profile.watts(state, 0));
+    }
+
+    fn arm_idle_timer(&mut self, now: SimTime, queue: &mut EventQueue<SleepEvent>) {
+        if let Some(token) = self.idle_timer_token.take() {
+            queue.cancel(token);
+        }
+        let _ = now;
+        self.idle_timer_token =
+            Some(queue.schedule_after(self.idle_timer, SleepEvent::IdleTimerFired));
+    }
+
+    fn schedule_next_request(
+        &mut self,
+        vm: usize,
+        now: SimTime,
+        queue: &mut EventQueue<SleepEvent>,
+    ) {
+        let next = self.vms[vm].next_request(now, &mut self.rng);
+        if next <= self.horizon {
+            queue.schedule_at(next, SleepEvent::PageRequest { vm });
+        }
+    }
+}
+
+impl Model for HostModel {
+    type Event = SleepEvent;
+
+    fn handle(&mut self, now: SimTime, event: SleepEvent, queue: &mut EventQueue<SleepEvent>) {
+        match event {
+            SleepEvent::PageRequest { vm } => {
+                self.requests += 1;
+                match self.acpi.state() {
+                    PowerState::Powered => {
+                        // Served immediately; the quiet period restarts.
+                        self.arm_idle_timer(now, queue);
+                    }
+                    PowerState::Sleeping => {
+                        self.delayed_requests += 1;
+                        let ends = self.acpi.request_wake(now).expect("asleep");
+                        queue.schedule_at(ends, SleepEvent::TransitionDone);
+                    }
+                    PowerState::Suspending => {
+                        self.delayed_requests += 1;
+                        // The wake chains after the suspend completes; the
+                        // queued TransitionDone for the suspend will report
+                        // the chained resume deadline.
+                        let _ = self.acpi.request_wake(now).expect("suspending");
+                    }
+                    PowerState::Resuming => {
+                        self.delayed_requests += 1;
+                        // Already on its way up; nothing to do.
+                    }
+                }
+                self.record_power(now);
+                self.schedule_next_request(vm, now, queue);
+            }
+            SleepEvent::TransitionDone => {
+                let (state, next) = self.acpi.on_transition_complete(now);
+                if let Some(next_deadline) = next {
+                    queue.schedule_at(next_deadline, SleepEvent::TransitionDone);
+                }
+                if state == PowerState::Powered {
+                    self.arm_idle_timer(now, queue);
+                }
+                self.record_power(now);
+            }
+            SleepEvent::IdleTimerFired => {
+                self.idle_timer_token = None;
+                if self.acpi.state() == PowerState::Powered {
+                    let ends = self.acpi.request_suspend(now).expect("powered");
+                    queue.schedule_at(ends, SleepEvent::TransitionDone);
+                    self.record_power(now);
+                }
+            }
+        }
+    }
+}
+
+/// Simulates a home host serving page requests for `vms` without a
+/// low-power memory server, over `horizon`, with the given idle timer.
+pub fn simulate_host_sleep(
+    vms: &[WorkloadClass],
+    horizon: SimDuration,
+    idle_timer: SimDuration,
+    seed: u64,
+) -> SleepReport {
+    let profile = HostEnergyProfile::table1();
+    let mut model = HostModel {
+        acpi: AcpiController::new(&profile),
+        profile,
+        idle_timer,
+        vms: vms.iter().map(|c| c.idle_model()).collect(),
+        rng: SimRng::new(seed ^ 0x51EE_B515),
+        horizon: SimTime::ZERO + horizon,
+        asleep: TimeWeighted::new(),
+        transit: TimeWeighted::new(),
+        watts: TimeWeighted::new(),
+        requests: 0,
+        delayed_requests: 0,
+        idle_timer_token: None,
+    };
+    model.record_power(SimTime::ZERO);
+
+    let mut engine = Engine::new(model);
+    // Seed the first request of every VM and the initial idle timer.
+    for vm in 0..vms.len() {
+        let at = {
+            let m = &mut engine.model;
+            m.vms[vm].next_request(SimTime::ZERO, &mut m.rng)
+        };
+        engine.queue.schedule_at(at, SleepEvent::PageRequest { vm });
+    }
+    engine.queue.schedule_after(idle_timer, SleepEvent::IdleTimerFired);
+
+    let end = SimTime::ZERO + horizon;
+    engine.run_until(end);
+
+    let model = &mut engine.model;
+    SleepReport {
+        requests: model.requests,
+        sleep_fraction: model.asleep.average_at(end),
+        transition_fraction: model.transit.average_at(end),
+        mean_watts: model.watts.average_at(end),
+        delayed_requests: model.delayed_requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOURS: SimDuration = SimDuration::from_hours(12);
+    const TIMER: SimDuration = SimDuration::from_secs(10);
+
+    #[test]
+    fn single_database_vm_lets_the_host_sleep() {
+        // Figure 2's left bar: one database VM, ~3.9 min between bursts.
+        let r = simulate_host_sleep(&[WorkloadClass::Database], HOURS, TIMER, 1);
+        assert!(r.sleep_fraction > 0.85, "sleep fraction {}", r.sleep_fraction);
+        assert!(r.requests > 100);
+        // Most requests arrive while asleep: each wakes the host.
+        assert!(r.delayed_requests > r.requests / 2);
+        assert!(r.mean_watts < 40.0, "mean watts {}", r.mean_watts);
+    }
+
+    #[test]
+    fn ten_colocated_vms_prevent_sleep() {
+        // Figure 2's right bar: 5 web + 5 database VMs, 5.8 s mean gaps —
+        // barely longer than the 5.4 s transition round trip.
+        let mix: Vec<WorkloadClass> = [WorkloadClass::Database; 5]
+            .into_iter()
+            .chain([WorkloadClass::WebServer; 5])
+            .collect();
+        let r = simulate_host_sleep(&mix, HOURS, TIMER, 1);
+        assert!(r.sleep_fraction < 0.10, "sleep fraction {}", r.sleep_fraction);
+        assert!(r.mean_watts > 90.0, "mean watts {}", r.mean_watts);
+    }
+
+    #[test]
+    fn sleep_monotone_in_request_pressure() {
+        let one = simulate_host_sleep(&[WorkloadClass::Database], HOURS, TIMER, 2);
+        let three = simulate_host_sleep(&[WorkloadClass::Database; 3], HOURS, TIMER, 2);
+        assert!(one.sleep_fraction > three.sleep_fraction);
+    }
+
+    #[test]
+    fn longer_idle_timer_means_less_sleep() {
+        let short = simulate_host_sleep(&[WorkloadClass::Database], HOURS, TIMER, 3);
+        let long = simulate_host_sleep(
+            &[WorkloadClass::Database],
+            HOURS,
+            SimDuration::from_secs(120),
+            3,
+        );
+        assert!(short.sleep_fraction > long.sleep_fraction);
+    }
+
+    #[test]
+    fn accounting_fractions_are_sane() {
+        let r = simulate_host_sleep(&[WorkloadClass::WebServer; 2], HOURS, TIMER, 4);
+        assert!(r.sleep_fraction >= 0.0 && r.sleep_fraction <= 1.0);
+        assert!(r.transition_fraction >= 0.0 && r.transition_fraction <= 1.0);
+        assert!(r.sleep_fraction + r.transition_fraction <= 1.0 + 1e-9);
+        // Mean watts bounded by the profile extremes.
+        assert!(r.mean_watts >= 12.9 && r.mean_watts <= 149.2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate_host_sleep(&[WorkloadClass::Database; 2], HOURS, TIMER, 5);
+        let b = simulate_host_sleep(&[WorkloadClass::Database; 2], HOURS, TIMER, 5);
+        assert_eq!(a, b);
+    }
+}

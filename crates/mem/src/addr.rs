@@ -1,0 +1,75 @@
+//! Page and frame addressing.
+//!
+//! Guests address memory by *pseudo-physical page number* ([`PageNum`],
+//! what the paper's memtap protocol calls the "guest pseudo frame number")
+//! while the host backs pages with *machine frames* ([`MachineFrame`]).
+
+use core::fmt;
+
+use crate::size::ByteSize;
+
+/// Size of one page, in bytes (x86 4 KiB pages).
+pub const PAGE_SIZE: u64 = 4_096;
+
+/// A guest pseudo-physical page number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageNum(pub u64);
+
+/// A host machine frame number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineFrame(pub u64);
+
+impl PageNum {
+    /// Byte offset of the start of this page in the guest address space.
+    pub fn byte_offset(self) -> u64 {
+        self.0 * PAGE_SIZE
+    }
+
+    /// The page containing the given guest byte address.
+    pub fn containing(addr: u64) -> PageNum {
+        PageNum(addr / PAGE_SIZE)
+    }
+}
+
+impl fmt::Debug for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for MachineFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mfn:{:#x}", self.0)
+    }
+}
+
+/// Number of pages needed to back an allocation of the given size.
+pub fn pages_for(size: ByteSize) -> u64 {
+    size.pages(PAGE_SIZE)
+}
+
+/// Size of `n` whole pages.
+pub fn size_of_pages(n: u64) -> ByteSize {
+    ByteSize::bytes(n * PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_geometry() {
+        assert_eq!(PageNum(0).byte_offset(), 0);
+        assert_eq!(PageNum(2).byte_offset(), 8_192);
+        assert_eq!(PageNum::containing(4_095), PageNum(0));
+        assert_eq!(PageNum::containing(4_096), PageNum(1));
+    }
+
+    #[test]
+    fn pages_for_sizes() {
+        assert_eq!(pages_for(ByteSize::gib(4)), 1_048_576);
+        assert_eq!(pages_for(ByteSize::bytes(1)), 1);
+        assert_eq!(pages_for(ByteSize::ZERO), 0);
+        assert_eq!(size_of_pages(1_048_576), ByteSize::gib(4));
+    }
+}

@@ -1,0 +1,170 @@
+//! Memory ballooning.
+//!
+//! The second half of assumption 1's over-commitment toolbox: a balloon
+//! driver inside the guest pins free guest pages and returns them to the
+//! hypervisor, letting the host reclaim memory from cooperative VMs
+//! without swapping. The model tracks guest-visible memory pressure and
+//! enforces the safety floor below which inflation must stop.
+
+use crate::size::ByteSize;
+
+/// Errors from balloon operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalloonError {
+    /// Inflation would push the guest below its safety floor.
+    GuestPressure {
+        /// Most the balloon can still take.
+        available: ByteSize,
+    },
+    /// Deflation below zero requested.
+    NothingToDeflate,
+}
+
+impl core::fmt::Display for BalloonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BalloonError::GuestPressure { available } => {
+                write!(f, "guest under pressure; only {available} reclaimable")
+            }
+            BalloonError::NothingToDeflate => write!(f, "balloon already empty"),
+        }
+    }
+}
+
+impl std::error::Error for BalloonError {}
+
+/// The balloon driver of one guest.
+#[derive(Clone, Debug)]
+pub struct Balloon {
+    /// Guest memory allocation.
+    allocation: ByteSize,
+    /// Memory the guest's workload currently uses.
+    guest_used: ByteSize,
+    /// Memory the guest must keep free to avoid thrashing (safety floor).
+    floor: ByteSize,
+    /// Currently ballooned (returned to the host).
+    inflated: ByteSize,
+}
+
+impl Balloon {
+    /// Creates a deflated balloon for a guest of `allocation` memory with
+    /// the given safety floor.
+    pub fn new(allocation: ByteSize, floor: ByteSize) -> Self {
+        Balloon { allocation, guest_used: ByteSize::ZERO, floor, inflated: ByteSize::ZERO }
+    }
+
+    /// Updates the guest's current memory use (from guest statistics).
+    ///
+    /// If use grew into ballooned territory, the balloon auto-deflates to
+    /// protect the guest; the freed amount is returned so the host can
+    /// account for the reclaim loss.
+    pub fn set_guest_used(&mut self, used: ByteSize) -> ByteSize {
+        self.guest_used = used.min(self.allocation);
+        let max_inflatable = self.max_inflatable();
+        if self.inflated > max_inflatable {
+            let released = self.inflated - max_inflatable;
+            self.inflated = max_inflatable;
+            released
+        } else {
+            ByteSize::ZERO
+        }
+    }
+
+    /// Most the balloon may hold right now.
+    pub fn max_inflatable(&self) -> ByteSize {
+        self.allocation
+            .saturating_sub(self.guest_used)
+            .saturating_sub(self.floor)
+    }
+
+    /// Inflates by `amount`, reclaiming guest-free memory for the host.
+    pub fn inflate(&mut self, amount: ByteSize) -> Result<(), BalloonError> {
+        let available = self.max_inflatable().saturating_sub(self.inflated);
+        if amount > available {
+            return Err(BalloonError::GuestPressure { available });
+        }
+        self.inflated += amount;
+        Ok(())
+    }
+
+    /// Deflates by `amount`, giving memory back to the guest.
+    pub fn deflate(&mut self, amount: ByteSize) -> Result<(), BalloonError> {
+        if self.inflated.is_zero() {
+            return Err(BalloonError::NothingToDeflate);
+        }
+        self.inflated = self.inflated.saturating_sub(amount);
+        Ok(())
+    }
+
+    /// Memory currently returned to the host.
+    pub fn inflated(&self) -> ByteSize {
+        self.inflated
+    }
+
+    /// Host memory effectively needed by this guest right now.
+    pub fn host_demand(&self) -> ByteSize {
+        self.allocation - self.inflated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balloon() -> Balloon {
+        // 4 GiB guest, 256 MiB floor.
+        Balloon::new(ByteSize::gib(4), ByteSize::mib(256))
+    }
+
+    #[test]
+    fn inflation_reclaims_free_memory() {
+        let mut b = balloon();
+        b.set_guest_used(ByteSize::gib(1));
+        // 4096 − 1024 − 256 = 2816 MiB reclaimable.
+        assert_eq!(b.max_inflatable(), ByteSize::mib(2_816));
+        b.inflate(ByteSize::gib(2)).unwrap();
+        assert_eq!(b.inflated(), ByteSize::gib(2));
+        assert_eq!(b.host_demand(), ByteSize::gib(2));
+    }
+
+    #[test]
+    fn inflation_respects_floor() {
+        let mut b = balloon();
+        b.set_guest_used(ByteSize::gib(3));
+        let err = b.inflate(ByteSize::gib(1)).unwrap_err();
+        assert_eq!(
+            err,
+            BalloonError::GuestPressure { available: ByteSize::mib(768) }
+        );
+        assert!(b.inflate(ByteSize::mib(768)).is_ok());
+        assert_eq!(b.max_inflatable(), b.inflated());
+    }
+
+    #[test]
+    fn pressure_auto_deflates() {
+        let mut b = balloon();
+        b.set_guest_used(ByteSize::gib(1));
+        b.inflate(ByteSize::mib(2_816)).unwrap();
+        // Guest suddenly needs 3 GiB: the balloon must give back.
+        let released = b.set_guest_used(ByteSize::gib(3));
+        assert_eq!(released, ByteSize::mib(2_816 - 768));
+        assert_eq!(b.inflated(), ByteSize::mib(768));
+    }
+
+    #[test]
+    fn deflate_bounds() {
+        let mut b = balloon();
+        assert_eq!(b.deflate(ByteSize::mib(1)), Err(BalloonError::NothingToDeflate));
+        b.inflate(ByteSize::mib(100)).unwrap();
+        b.deflate(ByteSize::mib(1_000)).unwrap();
+        assert_eq!(b.inflated(), ByteSize::ZERO);
+        assert_eq!(b.host_demand(), ByteSize::gib(4));
+    }
+
+    #[test]
+    fn guest_used_clamped_to_allocation() {
+        let mut b = balloon();
+        b.set_guest_used(ByteSize::gib(64));
+        assert_eq!(b.max_inflatable(), ByteSize::ZERO);
+    }
+}

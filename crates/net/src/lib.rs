@@ -1,0 +1,28 @@
+//! Network substrate: links, fair-share transfers, Wake-on-LAN and
+//! per-class traffic accounting.
+//!
+//! The Oasis cluster moves bytes over three kinds of channels (§4):
+//! the rack Ethernet (GigE in the prototype, 10 GigE in the simulated
+//! rack), the private SAS channel between a host and its memory server,
+//! and control traffic (Wake-on-LAN packets, migration RPCs). This crate
+//! models them:
+//!
+//! * [`link`] — link specifications and a processor-sharing channel model
+//!   for concurrent transfers ([`link::SharedChannel`]).
+//! * [`wol`] — Wake-on-LAN magic packets (§4.1 wakes sleeping hosts with
+//!   one before issuing migration or creation calls).
+//! * [`traffic`] — byte accounting by traffic class, feeding the Figure 10
+//!   transfer-breakdown experiment.
+//! * [`secure`] — the §4.3 transport-security layer: RFC 8439
+//!   ChaCha20-Poly1305 records under a TLS-shaped certificate handshake.
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod secure;
+pub mod traffic;
+pub mod wol;
+
+pub use link::{LinkSpec, SharedChannel, TransferId};
+pub use traffic::{TrafficAccountant, TrafficClass};
+pub use wol::MagicPacket;

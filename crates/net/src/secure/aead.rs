@@ -1,0 +1,132 @@
+//! The ChaCha20-Poly1305 AEAD construction (RFC 8439 §2.8).
+
+use super::chacha20;
+use super::poly1305;
+
+/// Authentication tag length.
+pub const TAG_LEN: usize = poly1305::TAG_LEN;
+
+/// AEAD failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AeadError {
+    /// The ciphertext is shorter than a tag.
+    Truncated,
+    /// Tag verification failed: tampered or wrong key/nonce.
+    BadTag,
+}
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AeadError::Truncated => write!(f, "ciphertext shorter than a tag"),
+            AeadError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// Derives the one-time Poly1305 key (RFC 8439 §2.6).
+fn poly_key(key: &[u8; 32], nonce: &[u8; 12]) -> [u8; 32] {
+    let block = chacha20::block(key, 0, nonce);
+    block[..32].try_into().expect("32 of 64 bytes")
+}
+
+fn mac_input(aad: &[u8], ciphertext: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+    m.extend_from_slice(aad);
+    m.resize(aad.len().next_multiple_of(16), 0);
+    m.extend_from_slice(ciphertext);
+    m.resize(m.len().next_multiple_of(16), 0);
+    m.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    m.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+    m
+}
+
+/// Encrypts `plaintext`, authenticating it together with `aad`.
+///
+/// Returns `ciphertext ‖ tag`.
+pub fn seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha20::xor_stream(key, 1, nonce, &mut out);
+    let otk = poly_key(key, nonce);
+    let tag = poly1305::tag(&otk, &mac_input(aad, &out));
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Verifies and decrypts `sealed` (ciphertext ‖ tag).
+pub fn open(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError::Truncated);
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let otk = poly_key(key, nonce);
+    let expected: [u8; TAG_LEN] = tag.try_into().expect("tag length checked");
+    if !poly1305::verify(&otk, &mac_input(aad, ciphertext), &expected) {
+        return Err(AeadError::BadTag);
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20::xor_stream(key, 1, nonce, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> [u8; 32] {
+        core::array::from_fn(|i| (i * 3) as u8)
+    }
+
+    #[test]
+    fn round_trip_with_aad() {
+        let nonce = [5u8; 12];
+        let aad = b"vm0001:pfn:42";
+        let plain = b"page contents here";
+        let sealed = seal(&key(), &nonce, aad, plain);
+        assert_eq!(sealed.len(), plain.len() + TAG_LEN);
+        let opened = open(&key(), &nonce, aad, &sealed).unwrap();
+        assert_eq!(opened, plain);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let nonce = [5u8; 12];
+        let sealed = seal(&key(), &nonce, b"aad", b"payload");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(open(&key(), &nonce, b"aad", &bad), Err(AeadError::BadTag), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_nonce_or_aad_fails() {
+        let nonce = [5u8; 12];
+        let sealed = seal(&key(), &nonce, b"aad", b"payload");
+        let mut other_key = key();
+        other_key[0] ^= 1;
+        assert!(open(&other_key, &nonce, b"aad", &sealed).is_err());
+        assert!(open(&key(), &[6u8; 12], b"aad", &sealed).is_err());
+        assert!(open(&key(), &nonce, b"axd", &sealed).is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert_eq!(open(&key(), &[0u8; 12], b"", &[1, 2, 3]), Err(AeadError::Truncated));
+    }
+
+    #[test]
+    fn empty_plaintext_is_fine() {
+        let nonce = [1u8; 12];
+        let sealed = seal(&key(), &nonce, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&key(), &nonce, b"", &sealed).unwrap(), Vec::<u8>::new());
+    }
+}

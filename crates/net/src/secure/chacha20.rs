@@ -1,0 +1,137 @@
+//! The ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// The ChaCha quarter round (RFC 8439 §2.1).
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn initial_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
+    let mut s = [0u32; 16];
+    // "expand 32-byte k".
+    s[0] = 0x6170_7865;
+    s[1] = 0x3320_646e;
+    s[2] = 0x7962_2d32;
+    s[3] = 0x6b20_6574;
+    for i in 0..8 {
+        s[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    s[12] = counter;
+    for i in 0..3 {
+        s[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    s
+}
+
+/// Computes one 64-byte keystream block (RFC 8439 §2.3).
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let initial = initial_state(key, counter, nonce);
+    let mut s = initial;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 12, 13);
+        quarter_round(&mut s, 3, 4, 13, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = s[i].wrapping_add(initial[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts (or, identically, decrypts) `data` in place (RFC 8439 §2.4).
+pub fn xor_stream(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_quarter_round_vector() {
+        // RFC 8439 §2.1.1.
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    fn test_key() -> [u8; KEY_LEN] {
+        core::array::from_fn(|i| i as u8)
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = test_key();
+        let nonce = [7u8; NONCE_LEN];
+        for len in [0usize, 1, 63, 64, 65, 1_000, 4_096] {
+            let plain: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+            let mut data = plain.clone();
+            xor_stream(&key, 1, &nonce, &mut data);
+            if len > 8 {
+                assert_ne!(data, plain, "ciphertext must differ");
+            }
+            xor_stream(&key, 1, &nonce, &mut data);
+            assert_eq!(data, plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn keystream_depends_on_all_inputs() {
+        let key = test_key();
+        let nonce = [0u8; NONCE_LEN];
+        let mut nonce2 = nonce;
+        nonce2[11] = 1;
+        let mut key2 = key;
+        key2[0] ^= 1;
+        let base = block(&key, 0, &nonce);
+        assert_ne!(block(&key, 1, &nonce), base, "counter");
+        assert_ne!(block(&key, 0, &nonce2), base, "nonce");
+        assert_ne!(block(&key2, 0, &nonce), base, "key");
+        assert_eq!(block(&key, 0, &nonce), base, "deterministic");
+    }
+
+    #[test]
+    fn keystream_is_not_degenerate() {
+        // A sanity check against catastrophic implementation bugs: the
+        // keystream of the all-zero key must not be all zeros and must
+        // have roughly balanced bits.
+        let ks = block(&[0u8; KEY_LEN], 0, &[0u8; NONCE_LEN]);
+        let ones: u32 = ks.iter().map(|b| b.count_ones()).sum();
+        assert!((160..350).contains(&ones), "bit balance {ones}/512");
+    }
+}

@@ -1,0 +1,364 @@
+//! Session establishment between memtap clients and memory servers.
+//!
+//! §4.3: "The establishment of connections between a client and server
+//! using TLS follows a handshake process that establishes the
+//! authenticity of the server and client, and the parameters for
+//! encryption … Authentication can be established through the use of
+//! certificates issued by the enterprise's IT administrator."
+//!
+//! The shape follows TLS 1.3: hello + key share in each direction,
+//! certificate verification against the enterprise trust anchor, and
+//! traffic keys derived from the shared secret and both nonces. Two
+//! pieces are simulation stand-ins (flagged below): the Diffie–Hellman
+//! group is a toy 61-bit prime field, and certificate "signatures" are
+//! MACs keyed by the trust anchor. The record layer on top is the real
+//! RFC 8439 AEAD.
+
+use oasis_sim::{SimDuration, SimRng};
+
+use super::aead;
+use super::chacha20;
+use super::poly1305;
+
+/// The toy Diffie–Hellman modulus: the Mersenne prime 2⁶¹ − 1.
+///
+/// Big enough to exercise the protocol, *not* cryptographically strong —
+/// a production deployment would use X25519 or P-256.
+const DH_PRIME: u128 = (1 << 61) - 1;
+/// Group generator.
+const DH_G: u128 = 3;
+
+/// Handshake failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HandshakeError {
+    /// The peer's certificate was not issued by our trust anchor.
+    UntrustedCertificate {
+        /// Subject of the rejected certificate.
+        subject: String,
+    },
+    /// A record failed authentication after the handshake.
+    RecordAuth(aead::AeadError),
+    /// A record arrived out of sequence (replay or loss).
+    BadSequence {
+        /// Sequence number expected next.
+        expected: u64,
+        /// Sequence number received.
+        got: u64,
+    },
+}
+
+impl core::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HandshakeError::UntrustedCertificate { subject } => {
+                write!(f, "certificate for {subject:?} not issued by the trust anchor")
+            }
+            HandshakeError::RecordAuth(e) => write!(f, "record authentication failed: {e}"),
+            HandshakeError::BadSequence { expected, got } => {
+                write!(f, "record sequence {got} (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+/// The enterprise IT administrator's signing authority (§4.3).
+#[derive(Clone, Debug)]
+pub struct TrustAnchor {
+    key: [u8; 32],
+}
+
+/// A certificate binding a subject name to a DH public value.
+///
+/// The "signature" is a Poly1305 MAC keyed by the trust anchor — the
+/// protocol shape of a CA signature without the asymmetric crypto.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certificate {
+    /// Who the certificate names (e.g. `memserver-host17`).
+    pub subject: String,
+    /// The subject's public DH value.
+    pub public: u64,
+    signature: [u8; 16],
+}
+
+impl TrustAnchor {
+    /// Creates an anchor with a random key.
+    pub fn new(rng: &mut SimRng) -> Self {
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        TrustAnchor { key }
+    }
+
+    fn signed_payload(subject: &str, public: u64) -> Vec<u8> {
+        let mut p = Vec::with_capacity(subject.len() + 9);
+        p.extend_from_slice(&public.to_le_bytes());
+        p.push(0);
+        p.extend_from_slice(subject.as_bytes());
+        p
+    }
+
+    /// Issues a certificate for `subject` with the given public value.
+    pub fn issue(&self, subject: &str, public: u64) -> Certificate {
+        let signature = poly1305::tag(&self.key, &Self::signed_payload(subject, public));
+        Certificate { subject: subject.to_string(), public, signature }
+    }
+
+    /// Verifies a certificate against this anchor.
+    pub fn verify(&self, cert: &Certificate) -> bool {
+        poly1305::verify(
+            &self.key,
+            &Self::signed_payload(&cert.subject, cert.public),
+            &cert.signature,
+        )
+    }
+}
+
+/// Modular exponentiation in the toy group.
+fn modpow(mut base: u128, mut exp: u64, modulus: u128) -> u128 {
+    let mut acc: u128 = 1;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// One endpoint's long-lived identity: a DH keypair plus a certificate.
+#[derive(Clone, Debug)]
+pub struct Identity {
+    /// Certificate presented during handshakes.
+    pub certificate: Certificate,
+    private: u64,
+}
+
+impl Identity {
+    /// Generates a keypair and has the anchor certify it.
+    pub fn generate(subject: &str, anchor: &TrustAnchor, rng: &mut SimRng) -> Self {
+        let private = rng.next_u64() % (DH_PRIME as u64 - 2) + 1;
+        let public = modpow(DH_G, private, DH_PRIME) as u64;
+        Identity { certificate: anchor.issue(subject, public), private }
+    }
+}
+
+/// Established traffic keys and sequence state for one direction pair.
+#[derive(Clone, Debug)]
+pub struct SecureChannel {
+    key: [u8; 32],
+    send_seq: u64,
+    recv_seq: u64,
+    /// 1 for the client side, 2 for the server side (nonce domain
+    /// separation).
+    direction: u8,
+}
+
+impl SecureChannel {
+    fn nonce(direction: u8, seq: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[0] = direction;
+        n[4..12].copy_from_slice(&seq.to_le_bytes());
+        n
+    }
+
+    /// Seals one record (e.g. a page payload) with the next sequence
+    /// number; the sequence is bound into the nonce and the AAD.
+    pub fn seal(&mut self, aad: &[u8], plaintext: &[u8]) -> (u64, Vec<u8>) {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let nonce = Self::nonce(self.direction, seq);
+        (seq, aead::seal(&self.key, &nonce, aad, plaintext))
+    }
+
+    /// Opens the peer's record with the expected sequence number.
+    pub fn open(
+        &mut self,
+        seq: u64,
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, HandshakeError> {
+        if seq != self.recv_seq {
+            return Err(HandshakeError::BadSequence { expected: self.recv_seq, got: seq });
+        }
+        let peer_direction = 3 - self.direction;
+        let nonce = Self::nonce(peer_direction, seq);
+        let plain =
+            aead::open(&self.key, &nonce, aad, sealed).map_err(HandshakeError::RecordAuth)?;
+        self.recv_seq += 1;
+        Ok(plain)
+    }
+
+    /// Wire overhead added to every record.
+    pub fn record_overhead() -> usize {
+        aead::TAG_LEN + 8 // Tag plus the explicit sequence number.
+    }
+}
+
+/// Performs handshakes and models their latency.
+#[derive(Clone, Debug)]
+pub struct SessionBroker {
+    anchor: TrustAnchor,
+}
+
+impl SessionBroker {
+    /// Creates a broker around the enterprise trust anchor.
+    pub fn new(anchor: TrustAnchor) -> Self {
+        SessionBroker { anchor }
+    }
+
+    /// Mutually authenticates two identities and derives both channel
+    /// halves. Returns `(client_channel, server_channel)`.
+    pub fn establish(
+        &self,
+        client: &Identity,
+        server: &Identity,
+        client_nonce: u64,
+        server_nonce: u64,
+    ) -> Result<(SecureChannel, SecureChannel), HandshakeError> {
+        for cert in [&client.certificate, &server.certificate] {
+            if !self.anchor.verify(cert) {
+                return Err(HandshakeError::UntrustedCertificate {
+                    subject: cert.subject.clone(),
+                });
+            }
+        }
+        // Both sides compute the same shared secret.
+        let shared_c = modpow(u128::from(server.certificate.public), client.private, DH_PRIME);
+        let shared_s = modpow(u128::from(client.certificate.public), server.private, DH_PRIME);
+        debug_assert_eq!(shared_c, shared_s, "DH agreement");
+
+        // Traffic key = keystream block keyed by the shared secret over
+        // both nonces (an HKDF-shaped expansion using primitives we have).
+        let mut kdf_key = [0u8; 32];
+        kdf_key[..16].copy_from_slice(&shared_c.to_le_bytes());
+        kdf_key[16..24].copy_from_slice(&client_nonce.to_le_bytes());
+        kdf_key[24..32].copy_from_slice(&server_nonce.to_le_bytes());
+        let mut kdf_nonce = [0u8; 12];
+        kdf_nonce[..4].copy_from_slice(b"oasi");
+        let block = chacha20::block(&kdf_key, 1, &kdf_nonce);
+        let key: [u8; 32] = block[..32].try_into().expect("32 of 64");
+
+        let client_ch = SecureChannel { key, send_seq: 0, recv_seq: 0, direction: 1 };
+        let server_ch = SecureChannel { key, send_seq: 0, recv_seq: 0, direction: 2 };
+        Ok((client_ch, server_ch))
+    }
+
+    /// Handshake latency: two round trips plus certificate checks.
+    pub fn handshake_latency(rtt: SimDuration) -> SimDuration {
+        rtt * 2 + SimDuration::from_micros(350)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SessionBroker, Identity, Identity) {
+        let mut rng = SimRng::new(7);
+        let anchor = TrustAnchor::new(&mut rng);
+        let client = Identity::generate("memtap-vm0042", &anchor, &mut rng);
+        let server = Identity::generate("memserver-host17", &anchor, &mut rng);
+        (SessionBroker::new(anchor), client, server)
+    }
+
+    #[test]
+    fn certificates_verify_against_their_anchor_only() {
+        let mut rng = SimRng::new(1);
+        let anchor = TrustAnchor::new(&mut rng);
+        let other = TrustAnchor::new(&mut rng);
+        let id = Identity::generate("memserver-host1", &anchor, &mut rng);
+        assert!(anchor.verify(&id.certificate));
+        assert!(!other.verify(&id.certificate));
+        // Tampered public value breaks the signature.
+        let mut bad = id.certificate.clone();
+        bad.public ^= 1;
+        assert!(!anchor.verify(&bad));
+    }
+
+    #[test]
+    fn handshake_and_page_exchange() {
+        let (broker, client, server) = setup();
+        let (mut ctx, mut stx) = broker.establish(&client, &server, 11, 22).unwrap();
+        // Server sends a page to the client.
+        let page = vec![0xAAu8; 4_096];
+        let (seq, sealed) = stx.seal(b"pfn:7", &page);
+        assert_eq!(sealed.len(), page.len() + aead::TAG_LEN);
+        // Note: the client *receives* on its channel.
+        let got = ctx.open(seq, b"pfn:7", &sealed).unwrap();
+        assert_eq!(got, page);
+        // And the client can request in the other direction.
+        let (seq2, req) = ctx.seal(b"", b"GET pfn:8");
+        assert_eq!(stx.open(seq2, b"", &req).unwrap(), b"GET pfn:8");
+    }
+
+    #[test]
+    fn untrusted_peer_rejected() {
+        let mut rng = SimRng::new(2);
+        let anchor = TrustAnchor::new(&mut rng);
+        let rogue_anchor = TrustAnchor::new(&mut rng);
+        let client = Identity::generate("memtap", &anchor, &mut rng);
+        let rogue = Identity::generate("evil-server", &rogue_anchor, &mut rng);
+        let broker = SessionBroker::new(anchor);
+        match broker.establish(&client, &rogue, 1, 2) {
+            Err(HandshakeError::UntrustedCertificate { subject }) => {
+                assert_eq!(subject, "evil-server");
+            }
+            other => panic!("expected UntrustedCertificate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_and_reorder_rejected() {
+        let (broker, client, server) = setup();
+        let (mut ctx, mut stx) = broker.establish(&client, &server, 1, 2).unwrap();
+        let (s0, r0) = stx.seal(b"", b"first");
+        let (s1, r1) = stx.seal(b"", b"second");
+        // Reorder: second record first.
+        assert!(matches!(
+            ctx.open(s1, b"", &r1),
+            Err(HandshakeError::BadSequence { expected: 0, got: 1 })
+        ));
+        ctx.open(s0, b"", &r0).unwrap();
+        ctx.open(s1, b"", &r1).unwrap();
+        // Replay of the first record.
+        assert!(matches!(ctx.open(s0, b"", &r0), Err(HandshakeError::BadSequence { .. })));
+    }
+
+    #[test]
+    fn eavesdropper_without_keys_learns_nothing_usable() {
+        let (broker, client, server) = setup();
+        let (_, mut stx) = broker.establish(&client, &server, 1, 2).unwrap();
+        let page = b"secret page contents".to_vec();
+        let (_, sealed) = stx.seal(b"", &page);
+        // The ciphertext is not the plaintext, and a different session's
+        // channel cannot open it.
+        assert_ne!(&sealed[..page.len()], page.as_slice());
+        let (mut other_rx, _) = broker.establish(&client, &server, 9, 9).unwrap();
+        assert!(matches!(
+            other_rx.open(0, b"", &sealed),
+            Err(HandshakeError::RecordAuth(_))
+        ));
+    }
+
+    #[test]
+    fn different_nonces_give_different_sessions() {
+        let (broker, client, server) = setup();
+        let (mut a, _) = broker.establish(&client, &server, 1, 2).unwrap();
+        let (mut b, _) = broker.establish(&client, &server, 3, 4).unwrap();
+        let (_, ra) = a.seal(b"", b"x");
+        let (_, rb) = b.seal(b"", b"x");
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn handshake_latency_model() {
+        let rtt = SimDuration::from_micros(400);
+        let lat = SessionBroker::handshake_latency(rtt);
+        assert_eq!(lat.as_micros(), 1_150);
+    }
+}

@@ -1,0 +1,28 @@
+//! Transport security for the memory-server protocol (§4.3 Security).
+//!
+//! "Because the memory server exposes the contents of VMs memory to the
+//! network … the page server and memtap client should implement
+//! authentication and encryption using Transport Layer Security." The
+//! paper leaves this as deployment guidance; this module implements it:
+//!
+//! * [`chacha20`] — the RFC 8439 ChaCha20 stream cipher, from scratch.
+//! * [`poly1305`] — the RFC 8439 Poly1305 one-time authenticator.
+//! * [`aead`] — the ChaCha20-Poly1305 AEAD construction.
+//! * [`handshake`] — a TLS-1.3-shaped session layer: certificates issued
+//!   by the enterprise's IT trust anchor, a nonce/key-agreement
+//!   handshake, and a [`handshake::SecureChannel`] sealing page payloads
+//!   with per-direction sequence nonces.
+//!
+//! The record layer is real cryptography (the cipher and MAC pass the
+//! RFC test vectors); the *key agreement* uses a toy Diffie–Hellman
+//! group sized for simulation, and certificate signatures are MACs keyed
+//! by the trust anchor — stand-ins with the same protocol shape but not
+//! production security, as flagged in their doc comments.
+
+pub mod aead;
+pub mod chacha20;
+pub mod handshake;
+pub mod poly1305;
+
+pub use aead::{open, seal, AeadError, TAG_LEN};
+pub use handshake::{HandshakeError, SecureChannel, SessionBroker, TrustAnchor};

@@ -1,0 +1,109 @@
+//! Wake-on-LAN magic packets.
+//!
+//! The cluster manager "wakes up the corresponding host with a network
+//! Wake-on-LAN before issuing the migration or creation call" (§4.1).
+//! A magic packet is six `0xFF` bytes followed by the target MAC address
+//! repeated sixteen times; this module builds and parses that frame.
+
+/// A MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// Deterministic MAC for a simulated host id (locally administered).
+    pub fn for_host(host: u32) -> Self {
+        let b = host.to_be_bytes();
+        MacAddr([0x02, 0x0A, b[0], b[1], b[2], b[3]])
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// Size of a magic packet payload in bytes.
+pub const MAGIC_PACKET_LEN: usize = 6 + 16 * 6;
+
+/// A Wake-on-LAN magic packet.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MagicPacket {
+    target: MacAddr,
+}
+
+impl MagicPacket {
+    /// Builds a packet addressed to `target`.
+    pub fn new(target: MacAddr) -> Self {
+        MagicPacket { target }
+    }
+
+    /// The target MAC.
+    pub fn target(&self) -> MacAddr {
+        self.target
+    }
+
+    /// Serializes the 102-byte payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MAGIC_PACKET_LEN);
+        out.extend_from_slice(&[0xFF; 6]);
+        for _ in 0..16 {
+            out.extend_from_slice(&self.target.0);
+        }
+        out
+    }
+
+    /// Parses a payload; `None` if it is not a well-formed magic packet.
+    pub fn parse(bytes: &[u8]) -> Option<MagicPacket> {
+        if bytes.len() != MAGIC_PACKET_LEN || bytes[..6] != [0xFF; 6] {
+            return None;
+        }
+        let mac: [u8; 6] = bytes[6..12].try_into().ok()?;
+        for rep in 1..16 {
+            if bytes[6 + rep * 6..12 + rep * 6] != mac {
+                return None;
+            }
+        }
+        Some(MagicPacket { target: MacAddr(mac) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let pkt = MagicPacket::new(MacAddr::for_host(17));
+        let bytes = pkt.to_bytes();
+        assert_eq!(bytes.len(), MAGIC_PACKET_LEN);
+        assert_eq!(MagicPacket::parse(&bytes), Some(pkt));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(MagicPacket::parse(&[]), None);
+        assert_eq!(MagicPacket::parse(&[0u8; MAGIC_PACKET_LEN]), None);
+        let mut bytes = MagicPacket::new(MacAddr::for_host(1)).to_bytes();
+        bytes[50] ^= 0xFF; // Corrupt one MAC repetition.
+        assert_eq!(MagicPacket::parse(&bytes), None);
+        bytes = MagicPacket::new(MacAddr::for_host(1)).to_bytes();
+        bytes.push(0); // Wrong length.
+        assert_eq!(MagicPacket::parse(&bytes), None);
+    }
+
+    #[test]
+    fn host_macs_are_unique_and_local() {
+        let a = MacAddr::for_host(1);
+        let b = MacAddr::for_host(2);
+        assert_ne!(a, b);
+        // Locally-administered unicast bit pattern.
+        assert_eq!(a.0[0] & 0x03, 0x02);
+        assert_eq!(a.to_string(), "02:0a:00:00:00:01");
+    }
+}

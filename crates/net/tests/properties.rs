@@ -1,0 +1,128 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+
+use oasis_mem::ByteSize;
+use oasis_net::wol::MacAddr;
+use oasis_net::{MagicPacket, SharedChannel, TrafficAccountant, TrafficClass};
+use oasis_sim::SimTime;
+
+proptest! {
+    /// Every transfer started on a shared channel eventually finishes,
+    /// and total progress never exceeds capacity × time.
+    #[test]
+    fn shared_channel_conserves_bytes(
+        bandwidth in 1.0f64..1e9,
+        transfers in prop::collection::vec((0u64..3_600, 1u64..1_000_000), 1..40),
+    ) {
+        let mut ch = SharedChannel::new(bandwidth);
+        let mut total_bytes = 0u64;
+        let mut latest_start = 0u64;
+        for &(start, bytes) in &transfers {
+            ch.start(SimTime::from_secs(start), ByteSize::bytes(bytes));
+            total_bytes += bytes;
+            latest_start = latest_start.max(start);
+        }
+        // Run long enough for everything to finish.
+        let horizon = latest_start as f64 + total_bytes as f64 / bandwidth + 1.0;
+        ch.advance(SimTime::from_secs(horizon.ceil() as u64 + 1));
+        prop_assert_eq!(ch.take_finished().len(), transfers.len());
+        prop_assert_eq!(ch.in_flight(), 0);
+    }
+
+    /// A transfer's completion time is never earlier than its serial
+    /// transmission time on an empty link.
+    #[test]
+    fn completion_not_faster_than_line_rate(
+        bandwidth in 1.0f64..1e6,
+        bytes in 1u64..10_000_000,
+    ) {
+        let mut ch = SharedChannel::new(bandwidth);
+        ch.start(SimTime::ZERO, ByteSize::bytes(bytes));
+        let done = ch.next_completion().unwrap();
+        let serial = bytes as f64 / bandwidth;
+        prop_assert!(done.as_secs_f64() >= serial - 1e-6);
+    }
+
+    /// Aborting returns no more than the original byte count.
+    #[test]
+    fn abort_bounded(bytes in 1u64..1_000_000, when in 0u64..100) {
+        let mut ch = SharedChannel::new(1_000.0);
+        let id = ch.start(SimTime::ZERO, ByteSize::bytes(bytes));
+        if let Some(rem) = ch.abort(SimTime::from_secs(when), id) {
+            prop_assert!(rem.as_bytes() <= bytes);
+        }
+        prop_assert_eq!(ch.remaining(id), None);
+    }
+
+    /// Traffic accounting: grand total equals the sum of class totals,
+    /// and merge is additive.
+    #[test]
+    fn traffic_totals_consistent(
+        records in prop::collection::vec((0usize..6, 0u64..1u64 << 40), 0..100),
+    ) {
+        let mut a = TrafficAccountant::new();
+        let mut b = TrafficAccountant::new();
+        for (i, &(class_idx, bytes)) in records.iter().enumerate() {
+            let class = TrafficClass::ALL[class_idx];
+            let target = if i % 2 == 0 { &mut a } else { &mut b };
+            target.record(class, ByteSize::bytes(bytes));
+        }
+        let sum_a: u64 = TrafficClass::ALL.iter().map(|&c| a.total(c).as_bytes()).sum();
+        prop_assert_eq!(a.grand_total().as_bytes(), sum_a);
+        let before = a.grand_total() + b.grand_total();
+        a.merge(&b);
+        prop_assert_eq!(a.grand_total(), before);
+    }
+
+    /// Magic packets round trip for any MAC.
+    #[test]
+    fn magic_packet_round_trip(mac in any::<[u8; 6]>()) {
+        let pkt = MagicPacket::new(MacAddr(mac));
+        prop_assert_eq!(MagicPacket::parse(&pkt.to_bytes()), Some(pkt));
+    }
+
+    /// Corrupting any byte of a magic packet breaks parsing or changes
+    /// the target — never yields the same packet.
+    #[test]
+    fn magic_packet_detects_corruption(mac in any::<[u8; 6]>(), pos in 0usize..102, flip in 1u8..=255) {
+        let pkt = MagicPacket::new(MacAddr(mac));
+        let mut bytes = pkt.to_bytes();
+        bytes[pos] ^= flip;
+        prop_assert_ne!(MagicPacket::parse(&bytes), Some(pkt));
+    }
+}
+
+mod secure_props {
+    use super::*;
+    use oasis_net::secure::{open, seal};
+
+    proptest! {
+        /// AEAD round trips arbitrary payloads and AAD.
+        #[test]
+        fn aead_round_trips(
+            key in any::<[u8; 32]>(),
+            nonce in any::<[u8; 12]>(),
+            aad in prop::collection::vec(any::<u8>(), 0..64),
+            plain in prop::collection::vec(any::<u8>(), 0..2_048),
+        ) {
+            let sealed = seal(&key, &nonce, &aad, &plain);
+            prop_assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), plain);
+        }
+
+        /// Any single-bit flip in the sealed record is detected.
+        #[test]
+        fn aead_detects_bit_flips(
+            key in any::<[u8; 32]>(),
+            nonce in any::<[u8; 12]>(),
+            plain in prop::collection::vec(any::<u8>(), 1..256),
+            pos_seed in any::<usize>(),
+            bit in 0u8..8,
+        ) {
+            let mut sealed = seal(&key, &nonce, b"aad", &plain);
+            let pos = pos_seed % sealed.len();
+            sealed[pos] ^= 1 << bit;
+            prop_assert!(open(&key, &nonce, b"aad", &sealed).is_err());
+        }
+    }
+}

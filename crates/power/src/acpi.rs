@@ -1,0 +1,227 @@
+//! Timed ACPI S3 controller.
+//!
+//! The host agent performs power management through the host's ACPI
+//! interface (§4.2). This module provides the timed state machine: suspend
+//! and resume requests start an in-transit period of the measured length,
+//! after which the target state is reached. A wake request that arrives
+//! mid-suspend is queued and honoured as soon as the suspend completes,
+//! which matches how Wake-on-LAN interacts with a machine entering S3.
+
+use oasis_sim::{SimDuration, SimTime};
+
+use crate::profile::HostEnergyProfile;
+use crate::state::PowerState;
+
+/// Error returned for requests that are invalid in the current state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcpiError {
+    /// Suspend requested while not powered.
+    NotPowered,
+    /// Wake requested while already powered or resuming.
+    NotAsleep,
+}
+
+impl core::fmt::Display for AcpiError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AcpiError::NotPowered => write!(f, "host is not in the powered state"),
+            AcpiError::NotAsleep => write!(f, "host is not asleep"),
+        }
+    }
+}
+
+impl std::error::Error for AcpiError {}
+
+/// The ACPI S3 state machine of one host.
+///
+/// Callers drive it with [`request_suspend`](AcpiController::request_suspend)
+/// / [`request_wake`](AcpiController::request_wake) and must deliver the
+/// returned completion deadline back via
+/// [`on_transition_complete`](AcpiController::on_transition_complete)
+/// (typically through a scheduled simulation event).
+#[derive(Clone, Debug)]
+pub struct AcpiController {
+    state: PowerState,
+    /// Deadline of the transition in progress, if any.
+    transition_ends: Option<SimTime>,
+    /// A wake arrived while suspending; resume immediately after.
+    wake_pending: bool,
+    suspend_time: SimDuration,
+    resume_time: SimDuration,
+}
+
+impl AcpiController {
+    /// Creates a controller in the powered state with the profile's
+    /// transition times.
+    pub fn new(profile: &HostEnergyProfile) -> Self {
+        AcpiController {
+            state: PowerState::Powered,
+            transition_ends: None,
+            wake_pending: false,
+            suspend_time: profile.suspend_time,
+            resume_time: profile.resume_time,
+        }
+    }
+
+    /// Creates a controller already in S3 (consolidation hosts sleep by
+    /// default, §3.1).
+    pub fn new_sleeping(profile: &HostEnergyProfile) -> Self {
+        AcpiController {
+            state: PowerState::Sleeping,
+            ..Self::new(profile)
+        }
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> PowerState {
+        self.state
+    }
+
+    /// Deadline of the in-flight transition, if one is in progress.
+    pub fn transition_ends(&self) -> Option<SimTime> {
+        self.transition_ends
+    }
+
+    /// Begins suspend-to-RAM; returns when the host will reach S3.
+    pub fn request_suspend(&mut self, now: SimTime) -> Result<SimTime, AcpiError> {
+        if self.state != PowerState::Powered {
+            return Err(AcpiError::NotPowered);
+        }
+        self.state = PowerState::Suspending;
+        let ends = now + self.suspend_time;
+        self.transition_ends = Some(ends);
+        Ok(ends)
+    }
+
+    /// Requests a wake (e.g. from Wake-on-LAN).
+    ///
+    /// * Sleeping → starts resuming; returns when the host will be powered.
+    /// * Suspending → marks a pending wake; returns when the host will be
+    ///   powered (suspend completes first, then an immediate resume — the
+    ///   hardware cannot abort a suspend in flight).
+    /// * Resuming/Powered → error.
+    pub fn request_wake(&mut self, now: SimTime) -> Result<SimTime, AcpiError> {
+        match self.state {
+            PowerState::Sleeping => {
+                self.state = PowerState::Resuming;
+                let ends = now + self.resume_time;
+                self.transition_ends = Some(ends);
+                Ok(ends)
+            }
+            PowerState::Suspending => {
+                self.wake_pending = true;
+                let suspend_ends = self.transition_ends.expect("suspending implies a deadline");
+                Ok(suspend_ends + self.resume_time)
+            }
+            PowerState::Powered | PowerState::Resuming => Err(AcpiError::NotAsleep),
+        }
+    }
+
+    /// Completes the transition whose deadline is `now`.
+    ///
+    /// Returns the new state. If a wake was queued during a suspend, the
+    /// controller chains directly into resuming and the caller must schedule
+    /// the returned next deadline.
+    pub fn on_transition_complete(&mut self, now: SimTime) -> (PowerState, Option<SimTime>) {
+        match self.state {
+            PowerState::Suspending => {
+                if self.wake_pending {
+                    self.wake_pending = false;
+                    self.state = PowerState::Resuming;
+                    let ends = now + self.resume_time;
+                    self.transition_ends = Some(ends);
+                    (PowerState::Resuming, Some(ends))
+                } else {
+                    self.state = PowerState::Sleeping;
+                    self.transition_ends = None;
+                    (PowerState::Sleeping, None)
+                }
+            }
+            PowerState::Resuming => {
+                self.state = PowerState::Powered;
+                self.transition_ends = None;
+                (PowerState::Powered, None)
+            }
+            s => (s, self.transition_ends),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl() -> AcpiController {
+        AcpiController::new(&HostEnergyProfile::table1())
+    }
+
+    #[test]
+    fn suspend_takes_3_1_seconds() {
+        let mut c = ctrl();
+        let t0 = SimTime::from_secs(100);
+        let ends = c.request_suspend(t0).unwrap();
+        assert_eq!(ends, t0 + SimDuration::from_millis(3_100));
+        assert_eq!(c.state(), PowerState::Suspending);
+        let (s, next) = c.on_transition_complete(ends);
+        assert_eq!(s, PowerState::Sleeping);
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn resume_takes_2_3_seconds() {
+        let profile = HostEnergyProfile::table1();
+        let mut c = AcpiController::new_sleeping(&profile);
+        let t0 = SimTime::from_secs(50);
+        let ends = c.request_wake(t0).unwrap();
+        assert_eq!(ends, t0 + SimDuration::from_millis(2_300));
+        assert_eq!(c.state(), PowerState::Resuming);
+        let (s, _) = c.on_transition_complete(ends);
+        assert_eq!(s, PowerState::Powered);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let mut c = ctrl();
+        assert_eq!(c.request_wake(SimTime::ZERO), Err(AcpiError::NotAsleep));
+        c.request_suspend(SimTime::ZERO).unwrap();
+        assert_eq!(c.request_suspend(SimTime::ZERO), Err(AcpiError::NotPowered));
+    }
+
+    #[test]
+    fn wake_during_suspend_chains_into_resume() {
+        let mut c = ctrl();
+        let t0 = SimTime::ZERO;
+        let suspend_ends = c.request_suspend(t0).unwrap();
+        // WoL packet arrives mid-suspend.
+        let powered_at = c.request_wake(SimTime::from_millis(1_000)).unwrap();
+        assert_eq!(powered_at, suspend_ends + SimDuration::from_millis(2_300));
+        let (s, next) = c.on_transition_complete(suspend_ends);
+        assert_eq!(s, PowerState::Resuming);
+        assert_eq!(next, Some(powered_at));
+        let (s, _) = c.on_transition_complete(powered_at);
+        assert_eq!(s, PowerState::Powered);
+    }
+
+    #[test]
+    fn full_cycle_round_trip() {
+        let mut c = ctrl();
+        let ends = c.request_suspend(SimTime::ZERO).unwrap();
+        c.on_transition_complete(ends);
+        assert!(c.state().is_sleeping());
+        let wake_ends = c.request_wake(ends).unwrap();
+        c.on_transition_complete(wake_ends);
+        assert_eq!(c.state(), PowerState::Powered);
+        assert_eq!(
+            wake_ends - SimTime::ZERO,
+            HostEnergyProfile::table1().transition_round_trip()
+        );
+    }
+
+    #[test]
+    fn double_wake_while_resuming_is_rejected() {
+        let profile = HostEnergyProfile::table1();
+        let mut c = AcpiController::new_sleeping(&profile);
+        c.request_wake(SimTime::ZERO).unwrap();
+        assert_eq!(c.request_wake(SimTime::ZERO), Err(AcpiError::NotAsleep));
+    }
+}

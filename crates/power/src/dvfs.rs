@@ -1,0 +1,145 @@
+//! Dynamic voltage and frequency scaling.
+//!
+//! The paper's opening argument (§1): "CPU power management technologies
+//! like Dynamic Voltage and Frequency Scaling (DVFS) have drastically
+//! reduced CPU energy consumption. However, other server components …
+//! have come to dominate overall energy usage during low utilization
+//! periods." This module models exactly that: a P-state table with the
+//! classic `P ∝ C·V²·f` dynamic-power law and an ondemand-style governor,
+//! showing why even a perfectly DVFS-managed idle host still burns ~60 %
+//! of its peak power — the gap Oasis attacks with whole-host sleep.
+
+/// One processor performance state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PState {
+    /// Core frequency in MHz.
+    pub freq_mhz: f64,
+    /// Core voltage in volts.
+    pub volts: f64,
+}
+
+/// A DVFS-capable CPU model.
+#[derive(Clone, Debug)]
+pub struct DvfsCpu {
+    /// P-state table, fastest first.
+    pub pstates: Vec<PState>,
+    /// Effective switched capacitance coefficient (W·MHz⁻¹·V⁻²), fitted
+    /// so the top P-state at full load matches the CPU's TDP share.
+    pub capacitance: f64,
+    /// Leakage and uncore power that scaling cannot remove, in watts.
+    pub static_watts: f64,
+}
+
+impl DvfsCpu {
+    /// A model of the evaluation host's Xeon E5-2609 (2.4 GHz, no turbo):
+    /// four P-states down to 1.2 GHz, ~35 W dynamic at peak plus uncore.
+    pub fn xeon_e5_2609() -> Self {
+        let pstates = vec![
+            PState { freq_mhz: 2_400.0, volts: 1.10 },
+            PState { freq_mhz: 2_000.0, volts: 1.00 },
+            PState { freq_mhz: 1_600.0, volts: 0.92 },
+            PState { freq_mhz: 1_200.0, volts: 0.85 },
+        ];
+        // Fit capacitance so the top state at 100 % load draws ~35 W.
+        let top = pstates[0];
+        let capacitance = 35.0 / (top.freq_mhz * top.volts * top.volts);
+        DvfsCpu { pstates, capacitance, static_watts: 8.0 }
+    }
+
+    /// Dynamic + static CPU power at `pstate` under `utilization ∈ [0,1]`.
+    pub fn watts(&self, pstate: usize, utilization: f64) -> f64 {
+        let p = self.pstates[pstate.min(self.pstates.len() - 1)];
+        let u = utilization.clamp(0.0, 1.0);
+        self.static_watts + self.capacitance * p.freq_mhz * p.volts * p.volts * u
+    }
+
+    /// The ondemand governor: picks the slowest P-state that still offers
+    /// `headroom` × the throughput the current load needs.
+    pub fn govern(&self, utilization: f64, headroom: f64) -> usize {
+        let u = utilization.clamp(0.0, 1.0);
+        let top = self.pstates[0].freq_mhz;
+        let needed = u * top * headroom.max(1.0);
+        // Choose from the slow end upward.
+        for (i, p) in self.pstates.iter().enumerate().rev() {
+            if p.freq_mhz >= needed {
+                return i;
+            }
+        }
+        0
+    }
+
+    /// CPU power under the governor at the given utilization.
+    ///
+    /// Utilization is rescaled to the chosen frequency: the same work at a
+    /// lower clock keeps the core busy longer.
+    pub fn governed_watts(&self, utilization: f64, headroom: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let state = self.govern(u, headroom);
+        let scale = self.pstates[0].freq_mhz / self.pstates[state].freq_mhz;
+        self.watts(state, (u * scale).min(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> DvfsCpu {
+        DvfsCpu::xeon_e5_2609()
+    }
+
+    #[test]
+    fn peak_power_matches_fit() {
+        let c = cpu();
+        let peak = c.watts(0, 1.0);
+        assert!((peak - 43.0).abs() < 0.5, "peak {peak}"); // 35 dynamic + 8 static.
+    }
+
+    #[test]
+    fn governor_downclocks_light_loads() {
+        let c = cpu();
+        assert_eq!(c.govern(0.05, 1.2), c.pstates.len() - 1, "idle → slowest");
+        assert_eq!(c.govern(0.95, 1.2), 0, "busy → fastest");
+        let mid = c.govern(0.5, 1.2);
+        assert!(mid > 0 && mid < c.pstates.len() - 1);
+    }
+
+    #[test]
+    fn governed_power_is_monotone_in_load() {
+        let c = cpu();
+        let mut last = 0.0;
+        for step in 0..=10 {
+            let u = step as f64 / 10.0;
+            let w = c.governed_watts(u, 1.2);
+            assert!(w >= last - 1e-9, "u={u}: {w} < {last}");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn dvfs_saves_versus_fixed_top_state() {
+        let c = cpu();
+        for u in [0.05, 0.2, 0.5] {
+            let fixed = c.watts(0, u);
+            let governed = c.governed_watts(u, 1.2);
+            assert!(
+                governed < fixed,
+                "u={u}: governed {governed} !< fixed {fixed}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_papers_point_idle_cpu_power_is_a_small_slice() {
+        // Even with DVFS at its best, the idle CPU draws ~8-9 W — while
+        // the whole idle host draws 102.2 W (Table 1). DVFS cannot touch
+        // the other ~94 W; whole-host sleep (12.9 W) can.
+        let c = cpu();
+        let idle_cpu = c.governed_watts(0.0, 1.2);
+        assert!(idle_cpu < 10.0, "idle CPU {idle_cpu}");
+        let host_idle = crate::HostEnergyProfile::table1().idle_watts;
+        assert!(idle_cpu < host_idle * 0.1);
+        // Sleep beats any DVFS floor by a wide margin.
+        assert!(crate::HostEnergyProfile::table1().sleep_watts * 2.0 < host_idle * 0.6);
+    }
+}

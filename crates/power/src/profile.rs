@@ -1,0 +1,173 @@
+//! Measured energy profiles (paper Table 1) and memory-server budgets
+//! (paper Table 3).
+
+use oasis_sim::SimDuration;
+
+use crate::state::PowerState;
+
+/// Energy profile of a server host.
+///
+/// Default values are the measurements of the paper's custom Supermicro
+/// host (Table 1). Power while powered scales linearly with the number of
+/// active VMs, fitted through the idle (102.2 W) and 20-active-VM
+/// (137.9 W) measurements. Idle VMs draw no measurable marginal power —
+/// they only hold DRAM, which is part of the idle baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostEnergyProfile {
+    /// Power when powered with no active VMs, in watts (102.2).
+    pub idle_watts: f64,
+    /// Additional power per active VM, in watts (1.785 = (137.9−102.2)/20).
+    pub per_active_vm_watts: f64,
+    /// Power in ACPI S3, in watts (12.9).
+    pub sleep_watts: f64,
+    /// Power while suspending, in watts (138.2).
+    pub suspend_watts: f64,
+    /// Time to suspend to RAM (3.1 s).
+    pub suspend_time: SimDuration,
+    /// Power while resuming, in watts (149.2).
+    pub resume_watts: f64,
+    /// Time to resume from RAM (2.3 s).
+    pub resume_time: SimDuration,
+}
+
+impl Default for HostEnergyProfile {
+    fn default() -> Self {
+        HostEnergyProfile {
+            idle_watts: 102.2,
+            per_active_vm_watts: (137.9 - 102.2) / 20.0,
+            sleep_watts: 12.9,
+            suspend_watts: 138.2,
+            suspend_time: SimDuration::from_millis(3_100),
+            resume_watts: 149.2,
+            resume_time: SimDuration::from_millis(2_300),
+        }
+    }
+}
+
+impl HostEnergyProfile {
+    /// Table 1 profile of the custom Supermicro host.
+    pub fn table1() -> Self {
+        Self::default()
+    }
+
+    /// Host power in a given state with `active_vms` active VMs.
+    ///
+    /// Only the powered state runs VMs; the VM count is ignored in every
+    /// other state.
+    pub fn watts(&self, state: PowerState, active_vms: usize) -> f64 {
+        match state {
+            PowerState::Powered => {
+                self.idle_watts + self.per_active_vm_watts * active_vms as f64
+            }
+            PowerState::Sleeping => self.sleep_watts,
+            PowerState::Suspending => self.suspend_watts,
+            PowerState::Resuming => self.resume_watts,
+        }
+    }
+
+    /// Round-trip time through a full sleep/wake cycle.
+    pub fn transition_round_trip(&self) -> SimDuration {
+        self.suspend_time + self.resume_time
+    }
+}
+
+/// Energy profile of the per-host low-power memory server.
+///
+/// The prototype pairs a 27.8 W Atom platform with a 14.4 W shared SAS
+/// drive (Table 1); Table 3 explores embedded implementations down to 1 W.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MemoryServerProfile {
+    /// Power drawn while serving (or ready to serve) pages, in watts.
+    pub active_watts: f64,
+    /// Sustained sequential write bandwidth of the shared drive, in bytes
+    /// per second (§4.3 measured 128 MiB/s).
+    pub upload_bytes_per_sec: f64,
+    /// Latency to serve one remote page fault, excluding network transfer
+    /// (drive read + daemon processing).
+    pub page_service_time: SimDuration,
+}
+
+impl MemoryServerProfile {
+    /// The paper's prototype: Atom platform + SAS drive = 42.2 W.
+    pub fn prototype() -> Self {
+        MemoryServerProfile {
+            active_watts: 27.8 + 14.4,
+            upload_bytes_per_sec: 128.0 * 1024.0 * 1024.0,
+            page_service_time: SimDuration::from_micros(3_500),
+        }
+    }
+
+    /// A Table 3 alternative with the given power budget.
+    ///
+    /// Only the power draw changes; the serving path keeps prototype
+    /// performance, matching the paper's sweep.
+    pub fn with_budget_watts(watts: f64) -> Self {
+        MemoryServerProfile {
+            active_watts: watts,
+            ..Self::prototype()
+        }
+    }
+
+    /// The power budgets swept by Table 3, including the prototype.
+    pub fn table3_budgets() -> Vec<MemoryServerProfile> {
+        [42.2, 16.0, 8.0, 4.0, 2.0, 1.0]
+            .into_iter()
+            .map(Self::with_budget_watts)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_powered_matches_measurements() {
+        let p = HostEnergyProfile::table1();
+        assert!((p.watts(PowerState::Powered, 0) - 102.2).abs() < 1e-9);
+        assert!((p.watts(PowerState::Powered, 20) - 137.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_other_states() {
+        let p = HostEnergyProfile::table1();
+        // Active VM count is irrelevant outside the powered state.
+        assert_eq!(p.watts(PowerState::Sleeping, 30), 12.9);
+        assert_eq!(p.watts(PowerState::Suspending, 30), 138.2);
+        assert_eq!(p.watts(PowerState::Resuming, 30), 149.2);
+    }
+
+    #[test]
+    fn transition_round_trip_is_5_4_seconds() {
+        let p = HostEnergyProfile::table1();
+        assert_eq!(p.transition_round_trip(), SimDuration::from_millis(5_400));
+    }
+
+    #[test]
+    fn sleeping_host_plus_memserver_beats_idle_host() {
+        // The paper's §4.4.1 observation: 12.9 + 42.2 = 55.1 W < 102.2 W,
+        // which is what makes consolidation profitable at all.
+        let host = HostEnergyProfile::table1();
+        let ms = MemoryServerProfile::prototype();
+        assert!(host.watts(PowerState::Sleeping, 0) + ms.active_watts < host.idle_watts);
+        assert!((ms.active_watts - 42.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_budgets() {
+        let budgets = MemoryServerProfile::table3_budgets();
+        assert_eq!(budgets.len(), 6);
+        assert!((budgets[0].active_watts - 42.2).abs() < 1e-9);
+        assert_eq!(budgets[5].active_watts, 1.0);
+        // Serving performance is identical across budgets.
+        for b in &budgets {
+            assert_eq!(b.upload_bytes_per_sec, MemoryServerProfile::prototype().upload_bytes_per_sec);
+        }
+    }
+
+    #[test]
+    fn upload_bandwidth_is_128_mib_per_sec() {
+        let ms = MemoryServerProfile::prototype();
+        assert_eq!(ms.upload_bytes_per_sec, 134_217_728.0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Generic discrete-event engine.
+//!
+//! The engine is a priority queue of timestamped events plus a driver loop.
+//! Events with equal timestamps fire in the order they were scheduled, which
+//! keeps runs deterministic. Scheduled events can be cancelled through the
+//! [`EventToken`] returned at scheduling time.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct EventToken(u64);
+
+/// Internal heap entry ordered by `(time, seq)`.
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic event queue with a simulated clock.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    pending: BTreeSet<u64>,
+    cancelled: BTreeSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now`: the event fires at the
+    /// current instant, after events already queued for it.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let time = at.max(self.now);
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Schedules `event` after a delay from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventToken {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if self.pending.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            self.now = entry.time;
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+
+    /// Number of live events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// `true` if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forces the clock forward to `at` (used when a driver wants to account
+    /// for idle time up to a deadline with no events in between).
+    pub fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(self.peek_time().is_none_or(|t| t >= at));
+        self.now = self.now.max(at);
+    }
+}
+
+/// A simulation model driven by the [`Engine`].
+pub trait Model {
+    /// Event type processed by the model.
+    type Event;
+
+    /// Handles one event at time `now`, scheduling follow-ups on `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Couples a [`Model`] with an [`EventQueue`] and runs the event loop.
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    /// The event queue; public so models can be seeded before running.
+    pub queue: EventQueue<M::Event>,
+    /// The model under simulation.
+    pub model: M,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine around `model` with an empty queue.
+    pub fn new(model: M) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            model,
+        }
+    }
+
+    /// Runs until the queue drains or `deadline` is reached.
+    ///
+    /// Events stamped exactly at the deadline still fire. Returns the number
+    /// of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event must pop");
+            self.model.handle(now, event, &mut self.queue);
+            processed += 1;
+        }
+        self.queue.advance_to(deadline);
+        processed
+    }
+
+    /// Runs until the queue drains, with a safety cap on event count.
+    ///
+    /// Returns `Err(processed)` if the cap was hit — a sign of a runaway
+    /// feedback loop in the model.
+    pub fn run_to_completion(&mut self, max_events: u64) -> Result<u64, u64> {
+        let mut processed = 0;
+        while let Some((now, event)) = self.queue.pop() {
+            self.model.handle(now, event, &mut self.queue);
+            processed += 1;
+            if processed >= max_events {
+                return Err(processed);
+            }
+        }
+        Ok(processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Echo(u32),
+    }
+
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+        echoes: bool,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+            match event {
+                Ev::Ping(n) => {
+                    self.log.push((now, n));
+                    if self.echoes {
+                        queue.schedule_after(SimDuration::from_secs(1), Ev::Echo(n));
+                    }
+                }
+                Ev::Echo(n) => self.log.push((now, 1_000 + n)),
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut engine = Engine::new(Recorder { log: vec![], echoes: false });
+        engine.queue.schedule_at(SimTime::from_secs(5), Ev::Ping(5));
+        engine.queue.schedule_at(SimTime::from_secs(1), Ev::Ping(1));
+        engine.queue.schedule_at(SimTime::from_secs(3), Ev::Ping(3));
+        engine.run_to_completion(100).unwrap();
+        let order: Vec<u32> = engine.model.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut engine = Engine::new(Recorder { log: vec![], echoes: false });
+        let t = SimTime::from_secs(2);
+        for n in 0..10 {
+            engine.queue.schedule_at(t, Ev::Ping(n));
+        }
+        engine.run_to_completion(100).unwrap();
+        let order: Vec<u32> = engine.model.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_suppresses_events() {
+        let mut engine = Engine::new(Recorder { log: vec![], echoes: false });
+        let keep = engine.queue.schedule_at(SimTime::from_secs(1), Ev::Ping(1));
+        let drop = engine.queue.schedule_at(SimTime::from_secs(2), Ev::Ping(2));
+        assert!(engine.queue.cancel(drop));
+        assert!(!engine.queue.cancel(drop), "double cancel reports false");
+        engine.run_to_completion(100).unwrap();
+        assert_eq!(engine.model.log.len(), 1);
+        assert!(!engine.queue.cancel(keep), "fired event cannot be cancelled");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut engine = Engine::new(Recorder { log: vec![], echoes: false });
+        engine.queue.schedule_at(SimTime::from_secs(1), Ev::Ping(1));
+        engine.queue.schedule_at(SimTime::from_secs(10), Ev::Ping(10));
+        let n = engine.run_until(SimTime::from_secs(5));
+        assert_eq!(n, 1);
+        assert_eq!(engine.queue.now(), SimTime::from_secs(5));
+        assert_eq!(engine.queue.len(), 1);
+    }
+
+    #[test]
+    fn deadline_inclusive() {
+        let mut engine = Engine::new(Recorder { log: vec![], echoes: false });
+        engine.queue.schedule_at(SimTime::from_secs(5), Ev::Ping(5));
+        let n = engine.run_until(SimTime::from_secs(5));
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn model_can_schedule_followups() {
+        let mut engine = Engine::new(Recorder { log: vec![], echoes: true });
+        engine.queue.schedule_at(SimTime::from_secs(1), Ev::Ping(7));
+        engine.run_to_completion(100).unwrap();
+        assert_eq!(
+            engine.model.log,
+            vec![(SimTime::from_secs(1), 7), (SimTime::from_secs(2), 1_007)]
+        );
+    }
+
+    #[test]
+    fn runaway_loop_is_capped() {
+        struct Looper;
+        impl Model for Looper {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), queue: &mut EventQueue<()>) {
+                queue.schedule_after(SimDuration::from_micros(1), ());
+            }
+        }
+        let mut engine = Engine::new(Looper);
+        engine.queue.schedule_at(SimTime::ZERO, ());
+        assert_eq!(engine.run_to_completion(1_000), Err(1_000));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        queue.schedule_at(SimTime::from_secs(5), 1);
+        let (now, _) = queue.pop().unwrap();
+        assert_eq!(now, SimTime::from_secs(5));
+        queue.schedule_at(SimTime::from_secs(1), 2);
+        let (t2, v) = queue.pop().unwrap();
+        assert_eq!(t2, SimTime::from_secs(5));
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        let a = queue.schedule_at(SimTime::from_secs(1), 1);
+        queue.schedule_at(SimTime::from_secs(2), 2);
+        assert_eq!(queue.len(), 2);
+        queue.cancel(a);
+        assert_eq!(queue.len(), 1);
+        assert!(!queue.is_empty());
+        assert_eq!(queue.peek_time(), Some(SimTime::from_secs(2)));
+    }
+}

@@ -1,0 +1,305 @@
+//! Simulated time.
+//!
+//! All Oasis crates share a single clock type with microsecond resolution.
+//! A `u64` microsecond counter covers more than half a million simulated
+//! years, far beyond the multi-day cluster simulations the evaluation runs.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the simulated clock, measured in microseconds since the
+/// start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, measured in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant; used as an "infinitely far"
+    /// sentinel for deadlines that never fire.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds.
+    ///
+    /// Negative inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(SimDuration::from_secs_f64(s).as_micros())
+    }
+
+    /// Raw microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked duration since `earlier`; `None` if `earlier > self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600 * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds, saturating negative
+    /// inputs to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 || !s.is_finite() {
+            return SimDuration(0);
+        }
+        let us = s * MICROS_PER_SEC as f64;
+        if us >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(us.round() as u64)
+        }
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Hours as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3_600.0
+    }
+
+    /// `true` if the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a non-negative float, saturating.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / MICROS_PER_SEC;
+        let (h, m, s) = (total_secs / 3_600, (total_secs / 60) % 60, total_secs % 60);
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimDuration::from_mins(2).as_secs(), 120);
+        assert_eq!(SimDuration::from_hours(1).as_secs(), 3_600);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+    }
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        let t = SimTime::ZERO;
+        assert_eq!(t - SimDuration::from_secs(5), SimTime::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn from_secs_f64_handles_edge_cases() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimDuration::from_secs_f64(1e300), SimDuration::MAX);
+    }
+
+    #[test]
+    fn instant_differences() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(4);
+        assert_eq!(a - b, SimDuration::from_secs(6));
+        assert_eq!(a.saturating_since(b).as_secs(), 6);
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+        assert_eq!(b.checked_since(a), None);
+        assert_eq!(a.checked_since(b), Some(SimDuration::from_secs(6)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = SimTime::from_secs(3_661);
+        assert_eq!(t.to_string(), "01:01:01");
+        assert_eq!(SimDuration::from_millis(1_500).to_string(), "1.500s");
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d.mul_f64(0.5).as_secs(), 5);
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,26 @@
+//! User-activity traces for the VDI evaluation.
+//!
+//! The paper drives its simulation with desktop activity traces of 22
+//! researchers collected over four months (2086 user-days), marking each
+//! 5-minute interval active if any keyboard or mouse input occurred
+//! (§5.1). Those traces are not public, so this crate provides:
+//!
+//! * [`model`] — a calibrated synthetic activity model (two-state Markov
+//!   chain with a diurnal target profile) reproducing the trace statistics
+//!   the paper reports: ≤46 % peak concurrent activity around 14:00, a
+//!   trough near 06:30, markedly lower weekend activity, and ≈13 % of
+//!   host-hours with all 30 VMs of a host simultaneously idle.
+//! * [`trace`] — the user-day representation (288 five-minute intervals)
+//!   with a line-oriented text format.
+//! * [`sample`] — sampling 900 user-days and aligning them into one
+//!   simulated day, as §5.1 does.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod sample;
+pub mod trace;
+
+pub use model::{ActivityModel, DayKind};
+pub use sample::sample_user_days;
+pub use trace::{TraceError, TraceSet, UserDay, INTERVALS_PER_DAY, INTERVAL_MINUTES};

@@ -1,0 +1,247 @@
+//! User-day traces and their on-disk format.
+//!
+//! A user-day is a bit per 5-minute interval: set if the user generated
+//! keyboard or mouse input during the interval (§5.1). The text format is
+//! one line per user-day — `WD 0110…` or `WE 0001…` — easy to diff, grep
+//! and regenerate.
+
+use core::fmt;
+
+use crate::model::DayKind;
+
+/// Number of 5-minute intervals in a day.
+pub const INTERVALS_PER_DAY: usize = 288;
+
+/// Minutes per trace interval.
+pub const INTERVAL_MINUTES: u64 = 5;
+
+/// Errors from parsing trace text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line did not start with a recognised day-kind tag.
+    BadKind(String),
+    /// A line's bit string had the wrong length.
+    BadLength {
+        /// 1-based line number.
+        line: usize,
+        /// Observed bit-string length.
+        len: usize,
+    },
+    /// A bit character other than '0' or '1'.
+    BadBit {
+        /// 1-based line number.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadKind(k) => write!(f, "unknown day kind tag {k:?}"),
+            TraceError::BadLength { line, len } => {
+                write!(f, "line {line}: expected {INTERVALS_PER_DAY} bits, got {len}")
+            }
+            TraceError::BadBit { line, ch } => write!(f, "line {line}: invalid bit {ch:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One user's activity over one day.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserDay {
+    /// Weekday or weekend.
+    pub kind: DayKind,
+    /// Activity bit per interval.
+    pub active: Vec<bool>,
+}
+
+impl UserDay {
+    /// Creates a user-day; pads or truncates to [`INTERVALS_PER_DAY`].
+    pub fn new(kind: DayKind, mut active: Vec<bool>) -> Self {
+        active.resize(INTERVALS_PER_DAY, false);
+        UserDay { kind, active }
+    }
+
+    /// A fully idle day.
+    pub fn all_idle(kind: DayKind) -> Self {
+        UserDay { kind, active: vec![false; INTERVALS_PER_DAY] }
+    }
+
+    /// `true` if the user was active in interval `i`.
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active.get(i).copied().unwrap_or(false)
+    }
+
+    /// Number of active intervals.
+    pub fn active_intervals(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Fraction of the day spent active.
+    pub fn active_fraction(&self) -> f64 {
+        self.active_intervals() as f64 / INTERVALS_PER_DAY as f64
+    }
+
+    /// Serializes to a trace line.
+    pub fn to_line(&self) -> String {
+        let tag = match self.kind {
+            DayKind::Weekday => "WD",
+            DayKind::Weekend => "WE",
+        };
+        let bits: String = self.active.iter().map(|&a| if a { '1' } else { '0' }).collect();
+        format!("{tag} {bits}")
+    }
+}
+
+/// A collection of user-days (the trace library).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSet {
+    /// All user-days, in insertion order.
+    pub days: Vec<UserDay>,
+}
+
+impl TraceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// User-days of the given kind.
+    pub fn of_kind(&self, kind: DayKind) -> Vec<&UserDay> {
+        self.days.iter().filter(|d| d.kind == kind).collect()
+    }
+
+    /// Number of user-days.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// `true` if the set holds no user-days.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Serializes the whole set, one line per user-day.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.days.len() * (INTERVALS_PER_DAY + 4));
+        for d in &self.days {
+            out.push_str(&d.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses trace text produced by [`to_text`](TraceSet::to_text).
+    ///
+    /// Blank lines and lines starting with `#` are skipped.
+    pub fn from_text(text: &str) -> Result<TraceSet, TraceError> {
+        let mut days = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (tag, bits) = line.split_once(' ').unwrap_or((line, ""));
+            let kind = match tag {
+                "WD" => DayKind::Weekday,
+                "WE" => DayKind::Weekend,
+                other => return Err(TraceError::BadKind(other.to_string())),
+            };
+            let bits = bits.trim();
+            if bits.len() != INTERVALS_PER_DAY {
+                return Err(TraceError::BadLength { line: lineno + 1, len: bits.len() });
+            }
+            let mut active = Vec::with_capacity(INTERVALS_PER_DAY);
+            for ch in bits.chars() {
+                match ch {
+                    '0' => active.push(false),
+                    '1' => active.push(true),
+                    other => return Err(TraceError::BadBit { line: lineno + 1, ch: other }),
+                }
+            }
+            days.push(UserDay { kind, active });
+        }
+        Ok(TraceSet { days })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_day() -> UserDay {
+        let mut active = vec![false; INTERVALS_PER_DAY];
+        for slot in active.iter_mut().take(150).skip(100) {
+            *slot = true;
+        }
+        UserDay::new(DayKind::Weekday, active)
+    }
+
+    #[test]
+    fn user_day_accessors() {
+        let d = sample_day();
+        assert!(d.is_active(120));
+        assert!(!d.is_active(0));
+        assert!(!d.is_active(10_000), "out of range is idle");
+        assert_eq!(d.active_intervals(), 50);
+        assert!((d.active_fraction() - 50.0 / 288.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_pads_and_truncates() {
+        let short = UserDay::new(DayKind::Weekend, vec![true; 3]);
+        assert_eq!(short.active.len(), INTERVALS_PER_DAY);
+        assert_eq!(short.active_intervals(), 3);
+        let long = UserDay::new(DayKind::Weekend, vec![true; 500]);
+        assert_eq!(long.active.len(), INTERVALS_PER_DAY);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut set = TraceSet::new();
+        set.days.push(sample_day());
+        set.days.push(UserDay::all_idle(DayKind::Weekend));
+        let text = set.to_text();
+        let parsed = TraceSet::from_text(&text).unwrap();
+        assert_eq!(parsed, set);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = format!("# header\n\nWD {}\n", "0".repeat(INTERVALS_PER_DAY));
+        let set = TraceSet::from_text(&text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.days[0].kind, DayKind::Weekday);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(matches!(
+            TraceSet::from_text("XX 0101"),
+            Err(TraceError::BadKind(_))
+        ));
+        assert!(matches!(
+            TraceSet::from_text("WD 010"),
+            Err(TraceError::BadLength { .. })
+        ));
+        let bad_bits = format!("WD {}2", "0".repeat(INTERVALS_PER_DAY - 1));
+        assert!(matches!(
+            TraceSet::from_text(&bad_bits),
+            Err(TraceError::BadBit { .. })
+        ));
+    }
+
+    #[test]
+    fn of_kind_filters() {
+        let mut set = TraceSet::new();
+        set.days.push(UserDay::all_idle(DayKind::Weekday));
+        set.days.push(UserDay::all_idle(DayKind::Weekend));
+        set.days.push(UserDay::all_idle(DayKind::Weekday));
+        assert_eq!(set.of_kind(DayKind::Weekday).len(), 2);
+        assert_eq!(set.of_kind(DayKind::Weekend).len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Desktop application catalog (Table 2) and start-up footprints
+//! (Figure 6).
+//!
+//! Workload 1 primes a heavily multitasking desktop; Workload 2 emulates
+//! the user returning and opening more content. Each application carries a
+//! start-up footprint: the number of pages it touches when (re)started,
+//! which determines its launch latency inside a partial VM where every
+//! cold page is a remote fetch.
+
+use oasis_mem::{addr::size_of_pages, ByteSize};
+use oasis_sim::SimDuration;
+
+/// One application in the catalog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Application {
+    /// Display name.
+    pub name: &'static str,
+    /// Pages touched when started (shared libraries, heap, document).
+    pub startup_pages: u64,
+    /// Start-up latency on a full VM with warm memory.
+    pub full_vm_startup: SimDuration,
+    /// Pages dirtied while the application runs in the background for an
+    /// hour (buffers, caches); feeds dirty-state accounting.
+    pub hourly_dirty_pages: u64,
+}
+
+impl Application {
+    /// Start-up footprint in bytes.
+    pub fn startup_bytes(&self) -> ByteSize {
+        size_of_pages(self.startup_pages)
+    }
+}
+
+/// The applications used by the micro-benchmarks.
+pub mod catalog {
+    use super::Application;
+    use oasis_sim::SimDuration;
+
+    /// Thunderbird mail client.
+    pub const THUNDERBIRD: Application = Application {
+        name: "Thunderbird",
+        startup_pages: 11_000,
+        full_vm_startup: SimDuration::from_millis(1_800),
+        hourly_dirty_pages: 2_600,
+    };
+
+    /// Pidgin instant messenger.
+    pub const PIDGIN: Application = Application {
+        name: "Pidgin IM",
+        startup_pages: 3_200,
+        full_vm_startup: SimDuration::from_millis(700),
+        hourly_dirty_pages: 900,
+    };
+
+    /// LibreOffice with a document open.
+    pub const LIBREOFFICE_DOC: Application = Application {
+        name: "LibreOffice document",
+        startup_pages: 42_000,
+        full_vm_startup: SimDuration::from_millis(1_500),
+        hourly_dirty_pages: 1_200,
+    };
+
+    /// Evince PDF viewer.
+    pub const EVINCE_PDF: Application = Application {
+        name: "Evince PDF",
+        startup_pages: 6_000,
+        full_vm_startup: SimDuration::from_millis(600),
+        hourly_dirty_pages: 300,
+    };
+
+    /// Firefox loading one site.
+    pub const FIREFOX_SITE: Application = Application {
+        name: "Firefox site",
+        startup_pages: 15_000,
+        full_vm_startup: SimDuration::from_millis(1_200),
+        hourly_dirty_pages: 5_200,
+    };
+
+    /// A shell in a terminal, the lightest entry.
+    pub const TERMINAL: Application = Application {
+        name: "Terminal",
+        startup_pages: 600,
+        full_vm_startup: SimDuration::from_millis(150),
+        hourly_dirty_pages: 120,
+    };
+}
+
+/// A named set of applications (one row of Table 2).
+#[derive(Clone, Debug)]
+pub struct DesktopWorkload {
+    /// Workload name ("Workload 1" / "Workload 2").
+    pub name: &'static str,
+    /// Applications with multiplicities.
+    pub apps: Vec<(Application, u32)>,
+}
+
+impl DesktopWorkload {
+    /// Table 2, Workload 1: Thunderbird, Pidgin, LibreOffice with three
+    /// documents, Evince with a PDF, Firefox with five open sites.
+    pub fn workload1() -> Self {
+        DesktopWorkload {
+            name: "Workload 1",
+            apps: vec![
+                (catalog::THUNDERBIRD, 1),
+                (catalog::PIDGIN, 1),
+                (catalog::LIBREOFFICE_DOC, 3),
+                (catalog::EVINCE_PDF, 1),
+                (catalog::FIREFOX_SITE, 5),
+            ],
+        }
+    }
+
+    /// Table 2, Workload 2: adds four Firefox sites, three LibreOffice
+    /// documents and one PDF to the running session.
+    pub fn workload2() -> Self {
+        DesktopWorkload {
+            name: "Workload 2",
+            apps: vec![
+                (catalog::FIREFOX_SITE, 4),
+                (catalog::LIBREOFFICE_DOC, 3),
+                (catalog::EVINCE_PDF, 1),
+            ],
+        }
+    }
+
+    /// Total pages the workload touches when executed.
+    pub fn total_pages(&self) -> u64 {
+        self.apps
+            .iter()
+            .map(|(app, n)| app.startup_pages * u64::from(*n))
+            .sum()
+    }
+
+    /// Total footprint in bytes.
+    pub fn total_bytes(&self) -> ByteSize {
+        size_of_pages(self.total_pages())
+    }
+
+    /// Pages the workload's applications dirty per hour in the background.
+    pub fn hourly_dirty_pages(&self) -> u64 {
+        self.apps
+            .iter()
+            .map(|(app, n)| app.hourly_dirty_pages * u64::from(*n))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload1_matches_table2_composition() {
+        let w = DesktopWorkload::workload1();
+        let count: u32 = w.apps.iter().map(|(_, n)| n).sum();
+        // 1 + 1 + 3 + 1 + 5 = 11 application instances.
+        assert_eq!(count, 11);
+        assert_eq!(w.name, "Workload 1");
+    }
+
+    #[test]
+    fn workload2_is_an_increment() {
+        let w = DesktopWorkload::workload2();
+        let count: u32 = w.apps.iter().map(|(_, n)| n).sum();
+        assert_eq!(count, 8); // 4 sites + 3 docs + 1 PDF.
+        assert!(w.total_pages() < DesktopWorkload::workload1().total_pages());
+    }
+
+    #[test]
+    fn workload_footprints_are_plausible() {
+        // Workload 1 primes a few hundred MiB of a 4 GiB desktop — the
+        // scale that makes partial migration upload ~1.3 GiB with OS state.
+        let w1 = DesktopWorkload::workload1().total_bytes();
+        assert!(w1 > ByteSize::mib(500), "W1 footprint {w1}");
+        assert!(w1 < ByteSize::gib(2), "W1 footprint {w1}");
+    }
+
+    #[test]
+    fn startup_bytes_scale_with_pages() {
+        assert_eq!(
+            catalog::LIBREOFFICE_DOC.startup_bytes(),
+            ByteSize::bytes(42_000 * 4_096)
+        );
+        assert!(catalog::TERMINAL.startup_bytes() < ByteSize::mib(3));
+    }
+
+    #[test]
+    fn hourly_dirty_accumulates() {
+        let w = DesktopWorkload::workload1();
+        assert_eq!(
+            w.hourly_dirty_pages(),
+            2_600 + 900 + 3 * 1_200 + 300 + 5 * 5_200
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! VM configuration files.
+//!
+//! §4.1: "Each VM configuration file contains a unique four digit vmid
+//! used to identify the VM, the path to the VM's disk image, memory
+//! allocation, number of virtual CPUs, and device configuration such as
+//! network and virtual frame buffer." Clients hand the cluster manager a
+//! path to such a file; the manager parses it and places the VM.
+//!
+//! The format is line-oriented `key = value` with `#` comments.
+
+use core::fmt;
+
+use oasis_mem::ByteSize;
+
+use crate::vm::VmId;
+
+/// Errors from parsing a VM configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A required key is missing.
+    Missing(&'static str),
+    /// A key appeared twice.
+    Duplicate(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The key whose value failed.
+        key: String,
+        /// The offending value.
+        value: String,
+    },
+    /// A line without `key = value` shape.
+    BadLine(usize),
+    /// The vmid is outside the four-digit range the manager assigns.
+    BadVmId(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Missing(k) => write!(f, "missing required key {k:?}"),
+            ConfigError::Duplicate(k) => write!(f, "duplicate key {k:?}"),
+            ConfigError::BadValue { key, value } => {
+                write!(f, "invalid value {value:?} for key {key:?}")
+            }
+            ConfigError::BadLine(n) => write!(f, "line {n}: expected `key = value`"),
+            ConfigError::BadVmId(id) => write!(f, "vmid {id} outside 0..=9999"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed VM configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Unique four-digit VM identifier.
+    pub vmid: VmId,
+    /// Path of the disk image on the network storage.
+    pub disk: String,
+    /// Memory allocation.
+    pub memory: ByteSize,
+    /// Number of virtual CPUs.
+    pub vcpus: u32,
+    /// Whether a virtual frame buffer is attached.
+    pub vfb: bool,
+    /// Network device model (free-form, e.g. `bridge=xenbr0`).
+    pub network: String,
+}
+
+impl VmConfig {
+    /// A 4 GiB, 1-vCPU desktop VM like those of the evaluation.
+    pub fn desktop(vmid: u32) -> Self {
+        VmConfig {
+            vmid: VmId(vmid),
+            disk: format!("nfs://storage/images/vm{vmid:04}.img"),
+            memory: ByteSize::gib(4),
+            vcpus: 1,
+            vfb: true,
+            network: "bridge=xenbr0".to_string(),
+        }
+    }
+
+    /// Parses a configuration file's text.
+    pub fn parse(text: &str) -> Result<VmConfig, ConfigError> {
+        let mut vmid: Option<u32> = None;
+        let mut disk: Option<String> = None;
+        let mut memory: Option<ByteSize> = None;
+        let mut vcpus: Option<u32> = None;
+        let mut vfb = false;
+        let mut network = String::new();
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(ConfigError::BadLine(lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || ConfigError::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            };
+            match key {
+                "vmid" => {
+                    if vmid.is_some() {
+                        return Err(ConfigError::Duplicate(key.to_string()));
+                    }
+                    vmid = Some(value.parse().map_err(|_| bad())?);
+                }
+                "disk" => {
+                    if disk.is_some() {
+                        return Err(ConfigError::Duplicate(key.to_string()));
+                    }
+                    disk = Some(value.to_string());
+                }
+                "memory_mib" => {
+                    if memory.is_some() {
+                        return Err(ConfigError::Duplicate(key.to_string()));
+                    }
+                    let mib: u64 = value.parse().map_err(|_| bad())?;
+                    memory = Some(ByteSize::mib(mib));
+                }
+                "vcpus" => {
+                    if vcpus.is_some() {
+                        return Err(ConfigError::Duplicate(key.to_string()));
+                    }
+                    vcpus = Some(value.parse().map_err(|_| bad())?);
+                }
+                "vfb" => {
+                    vfb = match value {
+                        "yes" | "true" | "1" => true,
+                        "no" | "false" | "0" => false,
+                        _ => return Err(bad()),
+                    };
+                }
+                "network" => network = value.to_string(),
+                // Unknown keys are preserved-compatible: ignored.
+                _ => {}
+            }
+        }
+
+        let vmid = vmid.ok_or(ConfigError::Missing("vmid"))?;
+        if vmid > 9_999 {
+            return Err(ConfigError::BadVmId(vmid));
+        }
+        Ok(VmConfig {
+            vmid: VmId(vmid),
+            disk: disk.ok_or(ConfigError::Missing("disk"))?,
+            memory: memory.ok_or(ConfigError::Missing("memory_mib"))?,
+            vcpus: vcpus.unwrap_or(1),
+            vfb,
+            network,
+        })
+    }
+
+    /// Serializes back to the file format.
+    pub fn to_text(&self) -> String {
+        format!(
+            "vmid = {}\ndisk = {}\nmemory_mib = {}\nvcpus = {}\nvfb = {}\nnetwork = {}\n",
+            self.vmid.0,
+            self.disk,
+            self.memory.as_bytes() / (1024 * 1024),
+            self.vcpus,
+            if self.vfb { "yes" } else { "no" },
+            self.network,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cfg = VmConfig::desktop(42);
+        let parsed = VmConfig::parse(&cfg.to_text()).unwrap();
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let cfg = VmConfig::parse("vmid=7\ndisk=/img/a.img\nmemory_mib=2048\n").unwrap();
+        assert_eq!(cfg.vmid, VmId(7));
+        assert_eq!(cfg.memory, ByteSize::gib(2));
+        assert_eq!(cfg.vcpus, 1, "vcpus defaults to 1");
+        assert!(!cfg.vfb);
+    }
+
+    #[test]
+    fn comments_and_unknown_keys_ignored() {
+        let text = "# a VM\nvmid=1\ndisk=d\nmemory_mib=4096\nfancy_option=3\n";
+        assert!(VmConfig::parse(text).is_ok());
+    }
+
+    #[test]
+    fn missing_keys_rejected() {
+        assert_eq!(
+            VmConfig::parse("disk=d\nmemory_mib=1"),
+            Err(ConfigError::Missing("vmid"))
+        );
+        assert_eq!(
+            VmConfig::parse("vmid=1\nmemory_mib=1"),
+            Err(ConfigError::Missing("disk"))
+        );
+        assert_eq!(
+            VmConfig::parse("vmid=1\ndisk=d"),
+            Err(ConfigError::Missing("memory_mib"))
+        );
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert_eq!(VmConfig::parse("not a config"), Err(ConfigError::BadLine(1)));
+        assert!(matches!(
+            VmConfig::parse("vmid=xyz\ndisk=d\nmemory_mib=1"),
+            Err(ConfigError::BadValue { .. })
+        ));
+        assert!(matches!(
+            VmConfig::parse("vmid=1\nvmid=2\ndisk=d\nmemory_mib=1"),
+            Err(ConfigError::Duplicate(_))
+        ));
+        assert_eq!(
+            VmConfig::parse("vmid=123456\ndisk=d\nmemory_mib=1"),
+            Err(ConfigError::BadVmId(123_456))
+        );
+        assert!(matches!(
+            VmConfig::parse("vmid=1\ndisk=d\nmemory_mib=1\nvfb=maybe"),
+            Err(ConfigError::BadValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! Cluster-membership heartbeats.
+//!
+//! §1 motivates Oasis with services that cannot simply be suspended:
+//! "Cloud services such as Hadoop, Elasticsearch and Zookeeper require
+//! that members of a cluster send periodic heartbeat messages to maintain
+//! membership in the cluster." Consolidation must therefore keep idle
+//! members *running* — and the migration blackouts it introduces must be
+//! short enough that no coordinator expels a member.
+//!
+//! [`HeartbeatSession`] models one member's liveness as seen by its
+//! coordinator: heartbeats fire on a fixed interval; a migration or
+//! reintegration blackout delays them; the member is expelled when no
+//! heartbeat arrives within the session timeout.
+
+use oasis_sim::{SimDuration, SimTime};
+
+/// Outcome of one simulated membership session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MembershipReport {
+    /// Heartbeats delivered on time.
+    pub on_time: u64,
+    /// Heartbeats delayed (delivered late but within the timeout).
+    pub delayed: u64,
+    /// Expulsions: gaps exceeding the session timeout.
+    pub expulsions: u64,
+}
+
+/// A member↔coordinator heartbeat session.
+#[derive(Clone, Debug)]
+pub struct HeartbeatSession {
+    /// Heartbeat period (ZooKeeper tick, Elasticsearch ping…).
+    pub interval: SimDuration,
+    /// Coordinator session timeout; a silent member is expelled after it.
+    pub timeout: SimDuration,
+    /// Blackout windows during which the member cannot send (suspend,
+    /// migration, reintegration), as `(start, duration)` pairs.
+    blackouts: Vec<(SimTime, SimDuration)>,
+}
+
+impl HeartbeatSession {
+    /// Creates a session; `timeout` is clamped to at least one interval.
+    pub fn new(interval: SimDuration, timeout: SimDuration) -> Self {
+        HeartbeatSession { interval, timeout: timeout.max(interval), blackouts: Vec::new() }
+    }
+
+    /// A ZooKeeper-flavoured default: 2 s ticks, 10 s session timeout.
+    pub fn zookeeper() -> Self {
+        Self::new(SimDuration::from_secs(2), SimDuration::from_secs(10))
+    }
+
+    /// Registers a blackout window (e.g. one partial migration).
+    pub fn add_blackout(&mut self, start: SimTime, duration: SimDuration) {
+        self.blackouts.push((start, duration));
+    }
+
+    /// `true` if the member cannot transmit at `t`.
+    fn blacked_out(&self, t: SimTime) -> Option<SimTime> {
+        self.blackouts
+            .iter()
+            .find(|&&(start, d)| t >= start && t < start + d)
+            .map(|&(start, d)| start + d)
+    }
+
+    /// Simulates heartbeats over `[0, horizon]` and scores the session.
+    pub fn run(&self, horizon: SimDuration) -> MembershipReport {
+        let mut report = MembershipReport::default();
+        let end = SimTime::ZERO + horizon;
+        let mut scheduled = SimTime::ZERO + self.interval;
+        let mut last_delivered = SimTime::ZERO;
+        while scheduled <= end {
+            // A blacked-out heartbeat is sent the moment the blackout ends.
+            let delivered = match self.blacked_out(scheduled) {
+                Some(resume) => resume,
+                None => scheduled,
+            };
+            let gap = delivered.saturating_since(last_delivered);
+            if gap > self.timeout {
+                report.expulsions += 1;
+            } else if delivered > scheduled {
+                report.delayed += 1;
+            } else {
+                report.on_time += 1;
+            }
+            last_delivered = delivered;
+            scheduled += self.interval;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_session_is_all_on_time() {
+        let s = HeartbeatSession::zookeeper();
+        let r = s.run(SimDuration::from_mins(10));
+        assert_eq!(r.on_time, 300); // 600 s / 2 s.
+        assert_eq!(r.delayed, 0);
+        assert_eq!(r.expulsions, 0);
+    }
+
+    #[test]
+    fn partial_migration_blackout_only_delays() {
+        // A 7.2 s partial-migration blackout sits inside the 10 s timeout.
+        let mut s = HeartbeatSession::zookeeper();
+        s.add_blackout(SimTime::from_secs(60), SimDuration::from_millis(7_200));
+        let r = s.run(SimDuration::from_mins(5));
+        assert_eq!(r.expulsions, 0, "no member may be expelled");
+        assert!(r.delayed >= 1, "heartbeats inside the blackout arrive late");
+    }
+
+    #[test]
+    fn reintegration_blackout_is_harmless() {
+        let mut s = HeartbeatSession::zookeeper();
+        s.add_blackout(SimTime::from_secs(30), SimDuration::from_millis(3_700));
+        let r = s.run(SimDuration::from_mins(2));
+        assert_eq!(r.expulsions, 0);
+    }
+
+    #[test]
+    fn long_blackout_expels() {
+        // Suspending the VM to disk for a minute (the naive alternative
+        // the paper argues against) breaks membership.
+        let mut s = HeartbeatSession::zookeeper();
+        s.add_blackout(SimTime::from_secs(30), SimDuration::from_secs(60));
+        let r = s.run(SimDuration::from_mins(2));
+        assert!(r.expulsions >= 1);
+    }
+
+    #[test]
+    fn oasis_worst_case_resume_storm_stays_within_timeout() {
+        // 99.99th-percentile reintegration delay from Figure 11 (~19 s)
+        // against a coarser 30 s Elasticsearch-style timeout.
+        let mut s = HeartbeatSession::new(SimDuration::from_secs(5), SimDuration::from_secs(30));
+        s.add_blackout(SimTime::from_secs(100), SimDuration::from_secs(19));
+        let r = s.run(SimDuration::from_mins(5));
+        assert_eq!(r.expulsions, 0);
+    }
+
+    #[test]
+    fn timeout_clamps_to_interval() {
+        let s = HeartbeatSession::new(SimDuration::from_secs(10), SimDuration::from_secs(1));
+        assert_eq!(s.timeout, SimDuration::from_secs(10));
+    }
+}

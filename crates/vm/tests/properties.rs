@@ -1,0 +1,102 @@
+//! Property-based tests for the VM model.
+
+use proptest::prelude::*;
+
+use oasis_mem::ByteSize;
+use oasis_sim::SimDuration;
+use oasis_vm::config::VmConfig;
+use oasis_vm::workload::WorkloadClass;
+use oasis_vm::{Vm, VmId, VmState};
+
+proptest! {
+    /// VM configuration files round trip through the parser.
+    #[test]
+    fn vm_config_round_trips(
+        vmid in 0u32..10_000,
+        mem_mib in 1u64..1_048_576,
+        vcpus in 1u32..64,
+        vfb in any::<bool>(),
+        disk in "[a-zA-Z0-9/_.:-]{1,40}",
+    ) {
+        let cfg = VmConfig {
+            vmid: VmId(vmid),
+            disk,
+            memory: ByteSize::mib(mem_mib),
+            vcpus,
+            vfb,
+            network: "bridge=xenbr0".to_string(),
+        };
+        let parsed = VmConfig::parse(&cfg.to_text()).unwrap();
+        prop_assert_eq!(parsed, cfg);
+    }
+
+    /// A VM's memory demand never exceeds its allocation, through any
+    /// sequence of residency changes and growth.
+    #[test]
+    fn demand_bounded_by_allocation(
+        alloc_mib in 16u64..8_192,
+        ops in prop::collection::vec((0u8..3, 0u64..16_384), 0..50),
+    ) {
+        let alloc = ByteSize::mib(alloc_mib);
+        let mut vm = Vm::new(VmId(1), WorkloadClass::Desktop, alloc, 1);
+        for (op, arg) in ops {
+            match op {
+                0 => vm.make_partial(ByteSize::mib(arg)),
+                1 => vm.make_full(),
+                _ => {
+                    vm.grow_wss(ByteSize::mib(arg));
+                }
+            }
+            prop_assert!(vm.memory_demand() <= alloc);
+        }
+    }
+
+    /// The unique-touch curve is monotone and capped for every class and
+    /// any pair of times.
+    #[test]
+    fn unique_touch_monotone(
+        class_idx in 0usize..3,
+        t1 in 0u64..100_000,
+        t2 in 0u64..100_000,
+        alloc_mib in 64u64..8_192,
+    ) {
+        let model = WorkloadClass::ALL[class_idx].idle_model();
+        let alloc = ByteSize::mib(alloc_mib);
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let u_lo = model.unique_touched(SimDuration::from_secs(lo), alloc);
+        let u_hi = model.unique_touched(SimDuration::from_secs(hi), alloc);
+        prop_assert!(u_lo <= u_hi);
+        prop_assert!(u_hi <= alloc);
+    }
+
+    /// Request batches are positive and integrate to no more than the
+    /// curve plus the one-page-per-request floor.
+    #[test]
+    fn request_batches_bounded(
+        class_idx in 0usize..3,
+        gaps in prop::collection::vec(1u64..600, 1..50),
+    ) {
+        let model = WorkloadClass::ALL[class_idx].idle_model();
+        let alloc = ByteSize::gib(4);
+        let mut t_prev = SimDuration::ZERO;
+        let mut total_pages = 0u64;
+        for gap in &gaps {
+            let t_now = t_prev + SimDuration::from_secs(*gap);
+            let batch = model.request_batch_pages(t_prev, t_now, alloc);
+            prop_assert!(batch >= 1);
+            total_pages += batch;
+            t_prev = t_now;
+        }
+        let curve_pages = model
+            .unique_touched(t_prev, alloc)
+            .pages(oasis_mem::PAGE_SIZE);
+        prop_assert!(total_pages <= curve_pages + gaps.len() as u64);
+    }
+
+    /// State predicates stay consistent.
+    #[test]
+    fn state_predicates(active in any::<bool>()) {
+        let state = if active { VmState::Active } else { VmState::Idle };
+        prop_assert_eq!(state.is_active(), active);
+    }
+}

@@ -1,0 +1,69 @@
+//! Cloud services under consolidation: the paper's §1 motivation.
+//!
+//! Hadoop, Elasticsearch and ZooKeeper members must stay "always on and
+//! network present" — suspending them to disk breaks cluster membership.
+//! This example consolidates an idle distributed-system member as a
+//! partial VM and shows (a) its heartbeats survive every Oasis blackout
+//! while (b) suspend-to-disk would get it expelled, and (c) what serving
+//! its idle traffic costs the sleeping home host.
+//!
+//! Run with: `cargo run --release --example cloud_services`
+
+use oasis::mem::ByteSize;
+use oasis::sim::{SimDuration, SimRng, SimTime};
+use oasis::vm::heartbeat::HeartbeatSession;
+use oasis::vm::workload::WorkloadClass;
+
+fn main() {
+    let node = WorkloadClass::ClusterNode.idle_model();
+    let alloc = ByteSize::gib(4);
+
+    println!("== an idle cluster member's footprint");
+    for mins in [5u64, 20, 60] {
+        let touched = node.unique_touched(SimDuration::from_mins(mins), alloc);
+        println!("   after {mins:>2} min idle: {touched} touched");
+    }
+    println!(
+        "   remote page requests roughly every {:.0}s while consolidated",
+        node.request_interarrival.as_secs_f64()
+    );
+
+    println!("== membership under Oasis blackouts (ZooKeeper: 2s ticks, 10s timeout)");
+    let mut session = HeartbeatSession::zookeeper();
+    // One full consolidation cycle: partial migration out, a working day
+    // consolidated, reintegration back.
+    session.add_blackout(SimTime::from_secs(600), SimDuration::from_millis(7_200));
+    session.add_blackout(SimTime::from_secs(30_000), SimDuration::from_millis(3_700));
+    let report = session.run(SimDuration::from_hours(10));
+    println!(
+        "   {} on time, {} delayed, {} expulsions over 10 hours",
+        report.on_time, report.delayed, report.expulsions
+    );
+    assert_eq!(report.expulsions, 0, "Oasis must never break membership");
+
+    println!("== the alternative: suspend the VM to disk for an hour");
+    let mut naive = HeartbeatSession::zookeeper();
+    naive.add_blackout(SimTime::from_secs(600), SimDuration::from_hours(1));
+    let naive_report = naive.run(SimDuration::from_hours(2));
+    println!(
+        "   {} expulsion(s) — the member is thrown out of the cluster",
+        naive_report.expulsions
+    );
+
+    println!("== page-request load on the sleeping home's memory server");
+    let mut rng = SimRng::new(42);
+    let mut now = SimTime::ZERO;
+    let mut requests = 0u64;
+    let horizon = SimDuration::from_hours(8);
+    while {
+        now = node.next_request(now, &mut rng);
+        now <= SimTime::ZERO + horizon
+    } {
+        requests += 1;
+    }
+    println!(
+        "   ~{requests} requests over 8 h — a {:.1} W memory server handles them",
+        oasis::power::MemoryServerProfile::prototype().active_watts
+    );
+    println!("   while the 102.2 W host stays in S3.");
+}

@@ -1,0 +1,70 @@
+//! Desktop consolidation walkthrough: the §4.4 micro-benchmark flow on
+//! the functional two-host laboratory.
+//!
+//! Primes a 4 GiB desktop VM with Table 2's Workload 1, partial-migrates
+//! it to the consolidation host, lets it idle there with pages faulting
+//! in from the low-power memory server, reintegrates it, and reports
+//! every latency and byte count along the way.
+//!
+//! Run with: `cargo run --release --example desktop_consolidation`
+
+use oasis::migration::lab::MicroLab;
+use oasis::net::TrafficClass;
+use oasis::sim::SimDuration;
+use oasis::vm::apps::{catalog, DesktopWorkload};
+
+fn main() {
+    let mut lab = MicroLab::new(2026);
+
+    println!("== priming the desktop VM (Table 2, Workload 1)");
+    lab.prime_os();
+    lab.run_workload(&DesktopWorkload::workload1());
+    lab.idle_wait(SimDuration::from_mins(5));
+
+    println!("== partial migration to the consolidation host");
+    let first = lab.partial_migrate();
+    println!(
+        "   uploaded {} pages; upload {:.1}s + descriptor {:.1}s = {:.1}s total",
+        first.uploaded_pages,
+        first.outcome.upload_time.as_secs_f64(),
+        first.outcome.descriptor_time.as_secs_f64(),
+        first.outcome.total.as_secs_f64()
+    );
+    println!(
+        "   (a full pre-copy migration would have taken {:.1}s)",
+        lab.full_migrate_baseline().duration.as_secs_f64()
+    );
+
+    println!("== 20 minutes idle on the consolidation host");
+    let idle = lab.consolidated_idle(SimDuration::from_mins(20));
+    println!(
+        "   {} remote faults served by the memory server; {:.1} MiB fetched",
+        idle.faults,
+        idle.fetched.as_mib_f64()
+    );
+
+    println!("== what if the user opened a document right now?");
+    let penalty = lab.app_startup_latency(&catalog::LIBREOFFICE_DOC);
+    println!(
+        "   LibreOffice inside the partial VM: {:.0}s (vs {:.1}s warm)",
+        penalty.as_secs_f64(),
+        catalog::LIBREOFFICE_DOC.full_vm_startup.as_secs_f64()
+    );
+
+    println!("== reintegration back to the home host");
+    let reint = lab.reintegrate();
+    println!(
+        "   {:.1} MiB of dirty state pushed back in {:.1}s ({} pages obviated)",
+        reint.network_bytes.as_mib_f64(),
+        reint.total.as_secs_f64(),
+        reint.obviated_pages
+    );
+
+    println!("== traffic summary");
+    for class in TrafficClass::ALL {
+        let bytes = lab.traffic.total(class);
+        if !bytes.is_zero() {
+            println!("   {class:<20} {bytes}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: simulate one day of an Oasis-managed VDI cluster.
+//!
+//! Builds the paper's §5.1 environment at a reduced scale (10 home hosts,
+//! 2 consolidation hosts, 300 VMs), runs the FulltoPartial policy for a
+//! simulated weekday, and prints the headline results.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use oasis::cluster::{ClusterConfig, ClusterSim};
+use oasis::core::PolicyKind;
+use oasis::trace::DayKind;
+
+fn main() {
+    let config = ClusterConfig::builder()
+        .home_hosts(10)
+        .consolidation_hosts(2)
+        .vms_per_host(30)
+        .policy(PolicyKind::FullToPartial)
+        .day(DayKind::Weekday)
+        .seed(42)
+        .build()
+        .expect("valid configuration");
+
+    println!(
+        "simulating {} VMs on {} home + {} consolidation hosts...",
+        config.total_vms(),
+        config.home_hosts,
+        config.consolidation_hosts
+    );
+
+    let mut report = ClusterSim::new(config).run_day();
+
+    println!();
+    println!("policy:           {}", report.policy);
+    println!("baseline energy:  {:.1} kWh (home hosts left powered)", report.baseline_kwh);
+    println!("managed energy:   {:.1} kWh", report.total_kwh);
+    println!("energy savings:   {:.1}%", report.energy_savings * 100.0);
+    println!();
+    println!(
+        "migrations:       {} partial, {} full, {} exchanges",
+        report.migrations.partial, report.migrations.full, report.migrations.exchanges
+    );
+    println!(
+        "user impact:      {:.0}% of wake-ups had zero delay; p99 {:.1}s",
+        report.zero_delay_fraction() * 100.0,
+        report.transition_delays.quantile(0.99).unwrap_or(0.0)
+    );
+    println!("network traffic:  {:.1} GiB", report.network_bytes().as_gib_f64());
+}

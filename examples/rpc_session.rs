@@ -1,0 +1,104 @@
+//! The cluster manager's RPC interface (§4.1), spoken over text lines.
+//!
+//! Clients create and manage VMs by sending one-line requests; the
+//! manager parses configuration files from the network storage, places
+//! each VM on a host with sufficient resources, and answers with one-line
+//! responses. This example runs a small scripted session against an
+//! in-memory cluster backend.
+//!
+//! Run with: `cargo run --release --example rpc_session`
+
+use std::collections::BTreeMap;
+
+use oasis::core::manager::{ClusterManager, ManagerConfig};
+use oasis::core::rpc::{serve_line, ClusterBackend, RpcError};
+use oasis::core::{ClusterView, HostRole, HostView, VmView};
+use oasis::mem::ByteSize;
+use oasis::vm::{HostId, VmConfig, VmId, VmState};
+
+/// A minimal in-memory cluster: three compute hosts, one consolidation
+/// host, and a key-value "network storage" of configuration files.
+struct MiniCluster {
+    vms: Vec<VmView>,
+    storage: BTreeMap<String, String>,
+}
+
+impl ClusterBackend for MiniCluster {
+    fn view(&self) -> ClusterView {
+        let host = |id, role, powered| HostView {
+            id: HostId(id),
+            role,
+            powered,
+            vacatable: true,
+            capacity: ByteSize::gib(192),
+        };
+        ClusterView {
+            hosts: vec![
+                host(0, HostRole::Compute, true),
+                host(1, HostRole::Compute, true),
+                host(2, HostRole::Compute, false),
+                host(3, HostRole::Consolidation, false),
+            ],
+            vms: self.vms.clone(),
+        }
+    }
+
+    fn read_config(&self, path: &str) -> Option<String> {
+        self.storage.get(path).cloned()
+    }
+
+    fn create_vm(&mut self, config: &VmConfig, host: HostId) -> Result<(), RpcError> {
+        self.vms.push(VmView {
+            id: config.vmid,
+            home: host,
+            location: host,
+            state: VmState::Active,
+            allocation: config.memory,
+            demand: config.memory,
+            partial_demand: ByteSize::mib(165),
+            partial: false,
+        });
+        Ok(())
+    }
+
+    fn destroy_vm(&mut self, vm: VmId) -> Result<(), RpcError> {
+        let before = self.vms.len();
+        self.vms.retain(|v| v.id != vm);
+        if self.vms.len() == before {
+            Err(RpcError::UnknownVm(vm))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    let mut storage = BTreeMap::new();
+    for vmid in [101u32, 102, 103] {
+        storage.insert(
+            format!("/store/vm{vmid:04}.cfg"),
+            VmConfig::desktop(vmid).to_text(),
+        );
+    }
+    let mut backend = MiniCluster { vms: Vec::new(), storage };
+    let mut manager = ClusterManager::new(ManagerConfig::default(), 7);
+
+    let script = [
+        "STATS",
+        "CREATE /store/vm0101.cfg",
+        "CREATE /store/vm0102.cfg",
+        "CREATE /store/vm0103.cfg",
+        "CREATE /store/vm0101.cfg", // Duplicate vmid.
+        "CREATE /store/missing.cfg",
+        "QUERY 102",
+        "STATS",
+        "DESTROY 102",
+        "QUERY 102",
+        "NONSENSE REQUEST",
+        "STATS",
+    ];
+    for line in script {
+        let reply = serve_line(&mut manager, &mut backend, line);
+        println!("> {line}\n< {reply}");
+    }
+}

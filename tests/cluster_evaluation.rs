@@ -1,0 +1,164 @@
+//! Cross-crate integration: the §5 cluster evaluation at paper scale.
+//!
+//! These tests assert the *shape* of every headline result: policy
+//! ordering, weekday/weekend relation, the Figure 8 knee, Figure 9
+//! consolidation-density ordering, Figure 11 delay behaviour and the
+//! Table 3 monotonicity.
+
+use oasis::cluster::experiments::run_one;
+use oasis::cluster::{ClusterConfig, ClusterSim, SimReport};
+use oasis::core::PolicyKind;
+use oasis::power::MemoryServerProfile;
+use oasis::trace::DayKind;
+
+fn paper_scale(policy: PolicyKind, day: DayKind) -> SimReport {
+    run_one(policy, day, 4, 1)
+}
+
+#[test]
+fn figure8_policy_ordering_weekday() {
+    let only = paper_scale(PolicyKind::OnlyPartial, DayKind::Weekday);
+    let default = paper_scale(PolicyKind::Default, DayKind::Weekday);
+    let ftp = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
+    assert!(
+        only.energy_savings < default.energy_savings,
+        "OnlyPartial {} !< Default {}",
+        only.energy_savings,
+        default.energy_savings
+    );
+    assert!(
+        default.energy_savings < ftp.energy_savings,
+        "Default {} !< FulltoPartial {}",
+        default.energy_savings,
+        ftp.energy_savings
+    );
+    // The paper's headline factors: OnlyPartial is "very limited" (<10%),
+    // FulltoPartial is several times better.
+    assert!(only.energy_savings < 0.10);
+    assert!(ftp.energy_savings > 3.0 * only.energy_savings);
+    assert!(ftp.energy_savings > 0.15, "FulltoPartial weekday {}", ftp.energy_savings);
+}
+
+#[test]
+fn weekends_save_more_than_weekdays() {
+    for policy in [PolicyKind::OnlyPartial, PolicyKind::FullToPartial] {
+        let wd = paper_scale(policy, DayKind::Weekday);
+        let we = paper_scale(policy, DayKind::Weekend);
+        assert!(
+            we.energy_savings > wd.energy_savings,
+            "{policy}: weekend {} !> weekday {}",
+            we.energy_savings,
+            wd.energy_savings
+        );
+    }
+}
+
+#[test]
+fn figure8_knee_at_four_consolidation_hosts() {
+    let two = run_one(PolicyKind::FullToPartial, DayKind::Weekday, 2, 1);
+    let four = run_one(PolicyKind::FullToPartial, DayKind::Weekday, 4, 1);
+    let twelve = run_one(PolicyKind::FullToPartial, DayKind::Weekday, 12, 1);
+    assert!(four.energy_savings > two.energy_savings, "rise to the knee");
+    // Level off: more hosts change savings by under 3 percentage points.
+    assert!(
+        (twelve.energy_savings - four.energy_savings).abs() < 0.03,
+        "plateau: 4 hosts {} vs 12 hosts {}",
+        four.energy_savings,
+        twelve.energy_savings
+    );
+}
+
+#[test]
+fn figure9_fulltopartial_packs_denser_than_default() {
+    let mut default = paper_scale(PolicyKind::Default, DayKind::Weekday);
+    let mut ftp = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
+    let d50 = default.consolidation_ratio.quantile(0.5).expect("samples");
+    let f50 = ftp.consolidation_ratio.quantile(0.5).expect("samples");
+    // Paper: median 60 → 93, a ~1.55x increase.
+    assert!(
+        f50 > 1.2 * d50,
+        "FulltoPartial median {f50} !> 1.2 x Default median {d50}"
+    );
+}
+
+#[test]
+fn figure10_fulltopartial_trades_energy_for_traffic() {
+    let default = paper_scale(PolicyKind::Default, DayKind::Weekday);
+    let ftp = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
+    assert!(
+        ftp.network_bytes() > default.network_bytes(),
+        "FulltoPartial must move more bytes"
+    );
+}
+
+#[test]
+fn figure11_zero_delay_falls_with_consolidation_hosts() {
+    let mut two = run_one(PolicyKind::FullToPartial, DayKind::Weekday, 2, 1);
+    let mut twelve = run_one(PolicyKind::FullToPartial, DayKind::Weekday, 12, 1);
+    let z2 = two.zero_delay_fraction();
+    let z12 = twelve.zero_delay_fraction();
+    assert!(z2 > z12, "zero-delay fraction {z2} !> {z12}");
+    // Delays are bounded: seconds, not minutes.
+    assert!(twelve.transition_delays.quantile(0.99).unwrap() < 30.0);
+    assert!(twelve.transition_delays.quantile(0.5).unwrap() < 10.0);
+}
+
+#[test]
+fn table3_savings_monotone_in_memserver_power() {
+    let mut last = -1.0;
+    for watts in [42.2, 8.0, 1.0] {
+        let cfg = ClusterConfig::builder()
+            .policy(PolicyKind::FullToPartial)
+            .day(DayKind::Weekday)
+            .memserver(MemoryServerProfile::with_budget_watts(watts))
+            .seed(1)
+            .build()
+            .expect("valid configuration");
+        let r = ClusterSim::new(cfg).run_day();
+        assert!(
+            r.energy_savings > last,
+            "savings must grow as the memory server shrinks ({watts} W)"
+        );
+        last = r.energy_savings;
+    }
+}
+
+#[test]
+fn energy_books_balance() {
+    let r = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
+    assert!(r.baseline_kwh > 0.0);
+    assert!(r.total_kwh > 0.0);
+    let recomputed = 1.0 - r.total_kwh / r.baseline_kwh;
+    assert!((recomputed - r.energy_savings).abs() < 1e-9);
+    // 30 idle hosts would draw 73.6 kWh/day; activity adds on top.
+    assert!(r.baseline_kwh > 73.0, "baseline {}", r.baseline_kwh);
+    assert!(r.baseline_kwh < 100.0, "baseline {}", r.baseline_kwh);
+}
+
+#[test]
+fn series_cover_the_whole_day() {
+    let r = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
+    assert_eq!(r.active_vms_series.len(), 288);
+    assert_eq!(r.powered_hosts_series.len(), 288);
+    let peak = r.active_vms_series.max().expect("samples");
+    // §5.2: never more than ~46% of the 900 VMs simultaneously active.
+    assert!(peak < 450.0, "peak active {peak}");
+    assert!(peak > 250.0, "peak active {peak}");
+    // Powered hosts must dip far below the 34-host cluster at night.
+    let min_powered = r
+        .powered_hosts_series
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_powered <= 5.0, "min powered {min_powered}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
+    let b = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
+    assert_eq!(a.energy_savings, b.energy_savings);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.network_bytes(), b.network_bytes());
+}

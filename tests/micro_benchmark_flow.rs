@@ -1,0 +1,111 @@
+//! Cross-crate integration: the full §4.4 micro-benchmark flow driven
+//! through the facade crate, validating the paper's Figures 5–6 and the
+//! §4.4.3 traffic volumes end to end.
+
+use oasis::migration::lab::{LabOptions, MicroLab, VmLocation};
+use oasis::net::TrafficClass;
+use oasis::sim::SimDuration;
+use oasis::vm::apps::{catalog, DesktopWorkload};
+
+/// Runs the complete two-iteration consolidation cycle.
+fn run_cycle(seed: u64) -> MicroLab {
+    let mut lab = MicroLab::new(seed);
+    lab.prime_os();
+    lab.run_workload(&DesktopWorkload::workload1());
+    lab.idle_wait(SimDuration::from_mins(5));
+    lab.partial_migrate();
+    lab.consolidated_idle(SimDuration::from_mins(20));
+    lab.reintegrate();
+    lab.run_workload(&DesktopWorkload::workload2());
+    lab.idle_wait(SimDuration::from_mins(5));
+    lab.partial_migrate();
+    lab
+}
+
+#[test]
+fn consolidation_cycle_ends_consolidated() {
+    let lab = run_cycle(1);
+    assert_eq!(lab.location(), VmLocation::Consolidated);
+    // The memory server must be serving after the final migration.
+    let ms = lab.home.memserver.as_ref().expect("home has a memory server");
+    assert!(ms.is_serving());
+}
+
+#[test]
+fn figure5_shape_partial_beats_full_and_differential_beats_first() {
+    let mut lab = MicroLab::new(2);
+    lab.prime_os();
+    lab.run_workload(&DesktopWorkload::workload1());
+    lab.idle_wait(SimDuration::from_mins(5));
+    let full = lab.full_migrate_baseline().duration;
+    let first = lab.partial_migrate();
+    lab.consolidated_idle(SimDuration::from_mins(20));
+    lab.reintegrate();
+    lab.run_workload(&DesktopWorkload::workload2());
+    lab.idle_wait(SimDuration::from_mins(5));
+    let second = lab.partial_migrate();
+
+    assert!(first.outcome.total < full / 2, "partial must be >2x faster");
+    assert!(second.outcome.total < first.outcome.total, "differential wins");
+    assert!(second.outcome.upload_time < first.outcome.upload_time / 3);
+}
+
+#[test]
+fn section443_traffic_hierarchy() {
+    let lab = run_cycle(3);
+    let descr = lab.traffic.total(TrafficClass::PartialDescriptor);
+    let fetch = lab.traffic.total(TrafficClass::DemandFetch);
+    let reint = lab.traffic.total(TrafficClass::Reintegration);
+    let sas = lab.traffic.total(TrafficClass::MemServerUpload);
+    // Paper ordering: descriptor (32 MiB for 2 migrations) < fetch (~57)
+    // < reintegration (~175) ≪ SAS upload (~1.3 GiB + differential).
+    assert!(descr < fetch, "descriptor {descr} < fetch {fetch}");
+    assert!(fetch < reint, "fetch {fetch} < reintegration {reint}");
+    assert!(reint < sas, "reintegration {reint} < SAS {sas}");
+    // Everything partial-related crossed the wire or drive.
+    assert!(lab.traffic.partial_total() > lab.traffic.total(TrafficClass::FullMigration));
+}
+
+#[test]
+fn figure6_partial_vm_startup_penalty_grows_with_footprint() {
+    let mut lab = MicroLab::new(4);
+    lab.prime_os();
+    lab.run_workload(&DesktopWorkload::workload1());
+    lab.idle_wait(SimDuration::from_mins(5));
+    lab.partial_migrate();
+    let terminal = lab.app_startup_latency(&catalog::TERMINAL);
+    let libre = lab.app_startup_latency(&catalog::LIBREOFFICE_DOC);
+    assert!(libre > terminal * 10, "footprint dominates the penalty");
+}
+
+#[test]
+fn optimizations_only_help() {
+    // Every ablation combination must be at least as slow as the default.
+    let base = {
+        let mut lab = MicroLab::new(5);
+        lab.prime_os();
+        lab.run_workload(&DesktopWorkload::workload1());
+        lab.idle_wait(SimDuration::from_mins(5));
+        lab.partial_migrate().outcome.total
+    };
+    for options in [
+        LabOptions { compression: false, ..LabOptions::default() },
+        LabOptions { differential_upload: false, ..LabOptions::default() },
+        LabOptions { compression: false, differential_upload: false, ..LabOptions::default() },
+    ] {
+        let mut lab = MicroLab::with_options(5, options);
+        lab.prime_os();
+        lab.run_workload(&DesktopWorkload::workload1());
+        lab.idle_wait(SimDuration::from_mins(5));
+        let t = lab.partial_migrate().outcome.total;
+        assert!(t >= base, "{options:?} was faster than the default");
+    }
+}
+
+#[test]
+fn lab_is_deterministic_per_seed() {
+    let a = run_cycle(9);
+    let b = run_cycle(9);
+    assert_eq!(a.traffic.grand_total(), b.traffic.grand_total());
+    assert_eq!(a.now(), b.now());
+}

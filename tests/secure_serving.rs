@@ -1,0 +1,79 @@
+//! Cross-crate integration: §4.3's security guidance realized end to end.
+//!
+//! A memtap client and a memory server mutually authenticate against the
+//! enterprise trust anchor, then move real compressed pages over sealed
+//! records. Attackers without certificates are rejected; tampered or
+//! replayed records never decrypt.
+
+use oasis::host::guest::GuestMemoryImage;
+use oasis::host::MemoryServer;
+use oasis::mem::compress::{decompress, PageMix};
+use oasis::mem::{ByteSize, PageNum};
+use oasis::net::secure::handshake::Identity;
+use oasis::net::secure::{SessionBroker, TrustAnchor};
+use oasis::power::MemoryServerProfile;
+use oasis::sim::SimRng;
+use oasis::vm::VmId;
+
+/// Builds the authenticated pair plus an uploaded VM image.
+fn setup() -> (SessionBroker, Identity, Identity, MemoryServer, GuestMemoryImage) {
+    let mut rng = SimRng::new(0x5EC);
+    let anchor = TrustAnchor::new(&mut rng);
+    let memtap = Identity::generate("memtap-vm0001", &anchor, &mut rng);
+    let server_id = Identity::generate("memserver-host0", &anchor, &mut rng);
+    let broker = SessionBroker::new(anchor);
+
+    let image = GuestMemoryImage::new(1, PageMix::desktop(), 4_096);
+    let mut server = MemoryServer::new(MemoryServerProfile::prototype());
+    let pages: Vec<(PageNum, ByteSize)> = (0..1_000)
+        .map(|i| (PageNum(i), image.compressed_size(PageNum(i))))
+        .collect();
+    server.upload(VmId(1), &pages, false).expect("drive at host");
+    server.handoff_to_server().expect("handoff");
+    (broker, memtap, server_id, server, image)
+}
+
+#[test]
+fn pages_travel_sealed_and_lossless() {
+    let (broker, memtap, server_id, mut server, image) = setup();
+    let (mut client_ch, mut server_ch) =
+        broker.establish(&memtap, &server_id, 7, 8).expect("trusted peers");
+
+    for pfn in [0u64, 17, 999] {
+        // The server reads the compressed page "from the drive" — here we
+        // synthesize the actual bytes the image defines.
+        let page = PageNum(pfn);
+        server.serve_page(VmId(1), page).expect("page stored");
+        let raw = image.synthesize(page);
+        let packed = oasis::mem::compress(&raw);
+
+        // Seal at the server, open at memtap, decompress: identical page.
+        let aad = format!("vm0001:pfn:{pfn}");
+        let (seq, record) = server_ch.seal(aad.as_bytes(), &packed);
+        let received = client_ch.open(seq, aad.as_bytes(), &record).expect("authentic");
+        assert_eq!(decompress(&received).expect("valid stream"), raw);
+    }
+    assert_eq!(server.stats().requests, 3);
+}
+
+#[test]
+fn tampered_records_never_reach_the_guest() {
+    let (broker, memtap, server_id, _server, image) = setup();
+    let (mut client_ch, mut server_ch) =
+        broker.establish(&memtap, &server_id, 1, 2).expect("trusted peers");
+    let packed = oasis::mem::compress(&image.synthesize(PageNum(5)));
+    let (seq, mut record) = server_ch.seal(b"pfn:5", &packed);
+    record[3] ^= 0x80;
+    assert!(client_ch.open(seq, b"pfn:5", &record).is_err());
+}
+
+#[test]
+fn rogue_server_cannot_authenticate() {
+    let mut rng = SimRng::new(99);
+    let anchor = TrustAnchor::new(&mut rng);
+    let rogue_anchor = TrustAnchor::new(&mut rng);
+    let memtap = Identity::generate("memtap", &anchor, &mut rng);
+    let rogue = Identity::generate("memserver-host0", &rogue_anchor, &mut rng);
+    let broker = SessionBroker::new(anchor);
+    assert!(broker.establish(&memtap, &rogue, 1, 2).is_err());
+}
