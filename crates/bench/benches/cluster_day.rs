@@ -1,32 +1,23 @@
-//! Criterion bench: one full simulated cluster day end to end.
+//! Bench: one full simulated cluster day end to end.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_bench::timing::bench;
 use oasis_cluster::{ClusterConfig, ClusterSim};
 use oasis_core::PolicyKind;
 use std::hint::black_box;
 
-fn bench_day(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cluster_day");
-    group.sample_size(10);
-    for (label, homes, cons, vms) in
-        [("small_6x10", 6u32, 2u32, 10u32), ("paper_30x30", 30, 4, 30)]
+fn main() {
+    for (label, homes, cons, vms) in [("small_6x10", 6u32, 2u32, 10u32), ("paper_30x30", 30, 4, 30)]
     {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
-            b.iter(|| {
-                let cfg = ClusterConfig::builder()
-                    .home_hosts(homes)
-                    .consolidation_hosts(cons)
-                    .vms_per_host(vms)
-                    .policy(PolicyKind::FullToPartial)
-                    .seed(1)
-                    .build()
-                    .expect("valid configuration");
-                black_box(ClusterSim::new(cfg).run_day().energy_savings)
-            })
+        bench(&format!("cluster_day/{label}"), || {
+            let cfg = ClusterConfig::builder()
+                .home_hosts(homes)
+                .consolidation_hosts(cons)
+                .vms_per_host(vms)
+                .policy(PolicyKind::FullToPartial)
+                .seed(1)
+                .build()
+                .expect("valid configuration");
+            black_box(ClusterSim::new(cfg).run_day().energy_savings);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_day);
-criterion_main!(benches);

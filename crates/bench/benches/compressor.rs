@@ -1,41 +1,25 @@
-//! Criterion benches for the real-time page codec (§4.3's LZO stand-in).
+//! Benches for the real-time page codec (§4.3's LZO stand-in).
 //!
 //! Compression sits on the partial-migration critical path (every page is
 //! compressed before hitting the SAS drive and decompressed per fault in
 //! memtap), so its throughput matters.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oasis_bench::timing::bench_bytes;
 use oasis_mem::compress::{compress, decompress, PageClass};
 use oasis_mem::PAGE_SIZE;
 use std::hint::black_box;
 
-fn bench_compress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compress");
-    group.throughput(Throughput::Bytes(PAGE_SIZE));
+fn main() {
     for class in PageClass::ALL {
         let page = class.synthesize(1);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{class:?}")),
-            &page,
-            |b, page| b.iter(|| compress(black_box(page))),
-        );
+        bench_bytes(&format!("compress/{class:?}"), PAGE_SIZE, || {
+            black_box(compress(black_box(&page)));
+        });
     }
-    group.finish();
-}
-
-fn bench_decompress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decompress");
-    group.throughput(Throughput::Bytes(PAGE_SIZE));
     for class in PageClass::ALL {
         let packed = compress(&class.synthesize(1));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{class:?}")),
-            &packed,
-            |b, packed| b.iter(|| decompress(black_box(packed)).expect("valid stream")),
-        );
+        bench_bytes(&format!("decompress/{class:?}"), PAGE_SIZE, || {
+            black_box(decompress(black_box(&packed)).expect("valid stream"));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_compress, bench_decompress);
-criterion_main!(benches);

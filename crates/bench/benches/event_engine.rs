@@ -1,48 +1,35 @@
-//! Criterion benches for the discrete-event engine.
+//! Benches for the discrete-event engine.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oasis_bench::timing::{bench, bench_elements};
 use oasis_sim::{EventQueue, SimTime};
 use std::hint::black_box;
 
-fn bench_schedule_pop(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
+fn main() {
     let n = 10_000u64;
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            // Interleaved times to exercise heap reordering.
-            for i in 0..n {
-                q.schedule_at(SimTime::from_micros((i * 7_919) % 1_000_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+    bench_elements("event_queue/schedule_pop_10k", n, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Interleaved times to exercise heap reordering.
+        for i in 0..n {
+            q.schedule_at(SimTime::from_micros((i * 7_919) % 1_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum);
     });
-    group.finish();
-}
 
-fn bench_cancellation(c: &mut Criterion) {
-    c.bench_function("event_queue/cancel_half_of_10k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            let tokens: Vec<_> = (0..10_000u64)
-                .map(|i| q.schedule_at(SimTime::from_micros(i), i))
-                .collect();
-            for t in tokens.iter().step_by(2) {
-                q.cancel(*t);
-            }
-            let mut count = 0;
-            while q.pop().is_some() {
-                count += 1;
-            }
-            black_box(count)
-        })
+    bench("event_queue/cancel_half_of_10k", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let tokens: Vec<_> =
+            (0..10_000u64).map(|i| q.schedule_at(SimTime::from_micros(i), i)).collect();
+        for t in tokens.iter().step_by(2) {
+            q.cancel(*t);
+        }
+        let mut count = 0;
+        while q.pop().is_some() {
+            count += 1;
+        }
+        black_box(count);
     });
 }
-
-criterion_group!(benches, bench_schedule_pop, bench_cancellation);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion benches for the page-fault servicing path: page table touch,
-//! chunk-allocator frame grab, and the full hypervisor fault+install.
+//! Benches for the page-fault servicing path: page table touch, chunk-
+//! allocator frame grab, and the full hypervisor fault+install.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oasis_bench::timing::{bench, bench_elements};
 use oasis_host::guest::GuestMemoryImage;
 use oasis_host::hypervisor::Hypervisor;
 use oasis_mem::chunk::ChunkAllocator;
@@ -12,56 +12,47 @@ use oasis_vm::workload::WorkloadClass;
 use oasis_vm::{Vm, VmId};
 use std::hint::black_box;
 
-fn bench_page_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("page_table");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("touch_hit", |b| {
+fn main() {
+    {
         let mut pt = PageTable::new_resident(1_048_576);
         let mut i = 0u64;
-        b.iter(|| {
+        bench_elements("page_table/touch_hit", 1, || {
             i = (i + 7_919) % 1_048_576;
-            black_box(pt.touch(PageNum(i), i.is_multiple_of(3)).expect("in range"))
-        })
-    });
-    group.bench_function("fault_install_evict", |b| {
+            black_box(pt.touch(PageNum(i), i.is_multiple_of(3)).expect("in range"));
+        });
+    }
+    {
         let mut pt = PageTable::new_absent(1_048_576);
         let mut i = 0u64;
-        b.iter(|| {
+        bench_elements("page_table/fault_install_evict", 1, || {
             i = (i + 7_919) % 1_048_576;
             pt.touch(PageNum(i), false).expect("in range");
             pt.install(PageNum(i), MachineFrame(i)).expect("absent");
             pt.evict(PageNum(i)).expect("present");
-        })
-    });
-    group.finish();
-}
+        });
+    }
 
-fn bench_chunk_allocator(c: &mut Criterion) {
-    c.bench_function("chunk_allocator/alloc_free_cycle", |b| {
-        b.iter(|| {
-            let mut a = ChunkAllocator::new(ByteSize::gib(1));
-            for owner in 0..8u32 {
-                for _ in 0..1_000 {
-                    a.alloc_frame(owner).expect("capacity");
-                }
+    bench("chunk_allocator/alloc_free_cycle", || {
+        let mut a = ChunkAllocator::new(ByteSize::gib(1));
+        for owner in 0..8u32 {
+            for _ in 0..1_000 {
+                a.alloc_frame(owner).expect("capacity");
             }
-            for owner in 0..8u32 {
-                a.free_owner(owner);
-            }
-            black_box(a.free_chunks())
-        })
+        }
+        for owner in 0..8u32 {
+            a.free_owner(owner);
+        }
+        black_box(a.free_chunks());
     });
-}
 
-fn bench_hypervisor_fault(c: &mut Criterion) {
-    c.bench_function("hypervisor/fault_and_install", |b| {
+    {
         let mut hv = Hypervisor::new(ByteSize::gib(8));
         let mut vm = Vm::new(VmId(1), WorkloadClass::Desktop, ByteSize::gib(4), 1);
         vm.make_partial(ByteSize::ZERO);
         let image = GuestMemoryImage::new(1, PageMix::desktop(), 1_048_576);
         hv.create_partial(vm, image).expect("fresh hypervisor");
         let mut i = 0u64;
-        b.iter(|| {
+        bench("hypervisor/fault_and_install", || {
             i = (i + 7_919) % 1_048_576;
             let page = PageNum(i);
             if !hv.vm(VmId(1)).expect("hosted").table.is_present(page) {
@@ -70,9 +61,6 @@ fn bench_hypervisor_fault(c: &mut Criterion) {
             } else {
                 hv.guest_access(VmId(1), page, true).expect("in range");
             }
-        })
-    });
+        });
+    }
 }
-
-criterion_group!(benches, bench_page_table, bench_chunk_allocator, bench_hypervisor_fault);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion benches for the cluster manager's planning round.
+//! Benches for the cluster manager's planning round.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oasis_bench::timing::bench;
 use oasis_core::manager::ManagerConfig;
 use oasis_core::{ClusterManager, ClusterView, HostRole, HostView, PolicyKind, VmView};
 use oasis_mem::ByteSize;
@@ -47,24 +47,13 @@ fn paper_scale_view() -> ClusterView {
     ClusterView { hosts, vms }
 }
 
-fn bench_plan(c: &mut Criterion) {
+fn main() {
     let view = paper_scale_view();
-    let mut group = c.benchmark_group("manager_plan");
     for policy in [PolicyKind::Default, PolicyKind::FullToPartial, PolicyKind::NewHome] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.to_string()),
-            &policy,
-            |b, &policy| {
-                let mut manager = ClusterManager::new(
-                    ManagerConfig { policy, ..ManagerConfig::default() },
-                    1,
-                );
-                b.iter(|| black_box(manager.plan(&view)))
-            },
-        );
+        let mut manager =
+            ClusterManager::new(ManagerConfig { policy, ..ManagerConfig::default() }, 1);
+        bench(&format!("manager_plan/{policy}"), || {
+            black_box(manager.plan(&view));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_plan);
-criterion_main!(benches);

@@ -1,41 +1,33 @@
-//! Criterion benches for the §4.3 secure record layer.
+//! Benches for the §4.3 secure record layer.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use oasis_net::secure::{open, seal};
+use oasis_bench::timing::{bench, bench_bytes};
+use oasis_net::secure::{open, seal, SessionBroker, TrustAnchor};
 use oasis_sim::SimRng;
 use std::hint::black_box;
 
-fn bench_seal_open(c: &mut Criterion) {
+fn main() {
     let key = [7u8; 32];
     let nonce = [1u8; 12];
     let mut rng = SimRng::new(1);
     let page: Vec<u8> = (0..4_096).map(|_| rng.next_u64() as u8).collect();
 
-    let mut group = c.benchmark_group("secure_page");
-    group.throughput(Throughput::Bytes(page.len() as u64));
-    group.bench_function("seal_4k", |b| {
-        b.iter(|| seal(&key, &nonce, b"pfn", black_box(&page)))
+    bench_bytes("secure_page/seal_4k", page.len() as u64, || {
+        black_box(seal(&key, &nonce, b"pfn", black_box(&page)));
     });
     let sealed = seal(&key, &nonce, b"pfn", &page);
-    group.bench_function("open_4k", |b| {
-        b.iter(|| open(&key, &nonce, b"pfn", black_box(&sealed)).expect("valid"))
+    bench_bytes("secure_page/open_4k", page.len() as u64, || {
+        black_box(open(&key, &nonce, b"pfn", black_box(&sealed)).expect("valid"));
     });
-    group.finish();
-}
 
-fn bench_handshake(c: &mut Criterion) {
-    use oasis_net::secure::{SessionBroker, TrustAnchor};
-    c.bench_function("secure_handshake", |b| {
+    {
         let mut rng = SimRng::new(2);
         let anchor = TrustAnchor::new(&mut rng);
-        let client =
-            oasis_net::secure::handshake::Identity::generate("memtap", &anchor, &mut rng);
+        let client = oasis_net::secure::handshake::Identity::generate("memtap", &anchor, &mut rng);
         let server =
             oasis_net::secure::handshake::Identity::generate("memserver", &anchor, &mut rng);
         let broker = SessionBroker::new(anchor);
-        b.iter(|| broker.establish(&client, &server, 1, 2).expect("trusted"))
-    });
+        bench("secure_handshake", || {
+            black_box(broker.establish(&client, &server, 1, 2).expect("trusted"));
+        });
+    }
 }
-
-criterion_group!(benches, bench_seal_open, bench_handshake);
-criterion_main!(benches);

@@ -4,17 +4,18 @@
 //! woken home is not re-vacated for a cooldown period, damping
 //! consolidate/return thrash at the cost of slower re-consolidation.
 
-use oasis_bench::{banner, pct};
+use oasis_bench::{outln, pct, Reporter};
 use oasis_cluster::ClusterConfig;
 use oasis_core::PolicyKind;
 use oasis_sim::SimDuration;
 use oasis_trace::DayKind;
 
 fn main() {
-    banner("Ablation", "vacate cooldown after ReturnHome (FulltoPartial)");
+    let out = Reporter::new("ablation_cooldown");
+    out.banner("Ablation", "vacate cooldown after ReturnHome (FulltoPartial)");
     for day in [DayKind::Weekday, DayKind::Weekend] {
-        println!("--- {day:?} ---");
-        println!("{:<12} {:>10} {:>10} {:>12}", "cooldown", "savings", "returns", "partials");
+        outln!(out, "--- {day:?} ---");
+        outln!(out, "{:<12} {:>10} {:>10} {:>12}", "cooldown", "savings", "returns", "partials");
         for mins in [0u64, 5, 15, 30, 60] {
             let cfg = ClusterConfig::builder()
                 .policy(PolicyKind::FullToPartial)
@@ -24,7 +25,8 @@ fn main() {
                 .build()
                 .expect("valid configuration");
             let r = oasis_cluster::ClusterSim::new(cfg).run_day();
-            println!(
+            outln!(
+                out,
                 "{:<12} {:>10} {:>10} {:>12}",
                 format!("{mins} min"),
                 pct(r.energy_savings),

@@ -5,15 +5,16 @@
 //! intervals leave idle VMs unconsolidated. The trace's 5-minute
 //! resolution bounds how fast state changes arrive.
 
-use oasis_bench::{banner, pct};
+use oasis_bench::{outln, pct, Reporter};
 use oasis_cluster::ClusterConfig;
 use oasis_core::PolicyKind;
 use oasis_sim::SimDuration;
 use oasis_trace::DayKind;
 
 fn main() {
-    banner("Ablation", "planning-interval length (FulltoPartial, weekday)");
-    println!("{:<12} {:>10} {:>12} {:>10}", "interval", "savings", "migrations", "returns");
+    let out = Reporter::new("ablation_interval");
+    out.banner("Ablation", "planning-interval length (FulltoPartial, weekday)");
+    outln!(out, "{:<12} {:>10} {:>12} {:>10}", "interval", "savings", "migrations", "returns");
     for mins in [5u64, 10, 15, 30, 60] {
         let cfg = ClusterConfig::builder()
             .policy(PolicyKind::FullToPartial)
@@ -23,7 +24,8 @@ fn main() {
             .build()
             .expect("valid configuration");
         let r = oasis_cluster::ClusterSim::new(cfg).run_day();
-        println!(
+        outln!(
+            out,
             "{:<12} {:>10} {:>12} {:>10}",
             format!("{mins} min"),
             pct(r.energy_savings),

@@ -3,7 +3,7 @@
 //! With the optimization off, every dirty page crosses the wire when a
 //! partial VM returns to its home.
 
-use oasis_bench::{banner, secs};
+use oasis_bench::{outln, secs, Reporter};
 use oasis_migration::lab::{LabOptions, MicroLab};
 use oasis_sim::SimDuration;
 use oasis_vm::apps::DesktopWorkload;
@@ -23,11 +23,12 @@ fn run(obviation: bool) -> (f64, f64) {
 }
 
 fn main() {
-    banner("Ablation", "overwrite obviation at reintegration (§4.4.3)");
-    println!("{:<16} {:>12} {:>10}", "variant", "dirty sent", "latency");
+    let out = Reporter::new("ablation_overwrite");
+    out.banner("Ablation", "overwrite obviation at reintegration (§4.4.3)");
+    outln!(out, "{:<16} {:>12} {:>10}", "variant", "dirty sent", "latency");
     for (label, on) in [("obviation on", true), ("obviation off", false)] {
         let (mib, latency) = run(on);
-        println!("{label:<16} {mib:>8.1} MiB {:>10}", secs(latency));
+        outln!(out, "{label:<16} {mib:>8.1} MiB {:>10}", secs(latency));
     }
-    println!("paper: new allocations and recycled buffers are never sent.");
+    outln!(out, "paper: new allocations and recycled buffers are never sent.");
 }

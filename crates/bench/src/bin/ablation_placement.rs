@@ -1,16 +1,22 @@
 //! Ablation: destination-selection strategy (§3.1 leaves anything beyond
 //! random placement out of scope).
 
-use oasis_bench::{banner, pct};
+use oasis_bench::{outln, pct, Reporter};
 use oasis_cluster::ClusterConfig;
 use oasis_core::{PlacementStrategy, PolicyKind};
 use oasis_trace::DayKind;
 
 fn main() {
-    banner("Ablation", "placement strategy (FulltoPartial)");
-    println!(
+    let out = Reporter::new("ablation_placement");
+    out.banner("Ablation", "placement strategy (FulltoPartial)");
+    outln!(
+        out,
         "{:<10} {:>9} {:>9} {:>12} {:>9}",
-        "strategy", "weekday", "weekend", "migrations", "p50 ratio"
+        "strategy",
+        "weekday",
+        "weekend",
+        "migrations",
+        "p50 ratio"
     );
     for (name, strategy) in [
         ("Random", PlacementStrategy::Random),
@@ -30,7 +36,8 @@ fn main() {
             results.push(oasis_cluster::ClusterSim::new(cfg).run_day());
         }
         let [wd, we] = &mut results[..] else { unreachable!() };
-        println!(
+        outln!(
+            out,
             "{name:<10} {:>9} {:>9} {:>12} {:>9.0}",
             pct(wd.energy_savings),
             pct(we.energy_savings),
@@ -38,6 +45,6 @@ fn main() {
             wd.consolidation_ratio.quantile(0.5).unwrap_or(0.0),
         );
     }
-    println!("the paper's random choice is near-optimal here: capacity, not");
-    println!("packing quality, bounds consolidation at this scale.");
+    outln!(out, "the paper's random choice is near-optimal here: capacity, not");
+    outln!(out, "packing quality, bounds consolidation at this scale.");
 }

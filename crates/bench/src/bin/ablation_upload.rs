@@ -4,7 +4,7 @@
 //! upload toggled, isolating what each contributes to partial-migration
 //! latency.
 
-use oasis_bench::{banner, secs};
+use oasis_bench::{outln, secs, Reporter};
 use oasis_migration::lab::{LabOptions, MicroLab};
 use oasis_sim::SimDuration;
 use oasis_vm::apps::DesktopWorkload;
@@ -20,37 +20,25 @@ fn run(options: LabOptions) -> (f64, f64) {
     lab.run_workload(&DesktopWorkload::workload2());
     lab.idle_wait(SimDuration::from_mins(5));
     let second = lab.partial_migrate();
-    (
-        first.outcome.total.as_secs_f64(),
-        second.outcome.total.as_secs_f64(),
-    )
+    (first.outcome.total.as_secs_f64(), second.outcome.total.as_secs_f64())
 }
 
 fn main() {
-    banner("Ablation", "memory-upload optimizations (§4.3)");
+    let out = Reporter::new("ablation_upload");
+    out.banner("Ablation", "memory-upload optimizations (§4.3)");
     let variants: [(&str, LabOptions); 4] = [
         ("compression + differential", LabOptions::default()),
-        (
-            "compression only",
-            LabOptions { differential_upload: false, ..LabOptions::default() },
-        ),
-        (
-            "differential only",
-            LabOptions { compression: false, ..LabOptions::default() },
-        ),
+        ("compression only", LabOptions { differential_upload: false, ..LabOptions::default() }),
+        ("differential only", LabOptions { compression: false, ..LabOptions::default() }),
         (
             "neither",
-            LabOptions {
-                compression: false,
-                differential_upload: false,
-                ..LabOptions::default()
-            },
+            LabOptions { compression: false, differential_upload: false, ..LabOptions::default() },
         ),
     ];
-    println!("{:<28} {:>12} {:>12}", "variant", "1st partial", "2nd partial");
+    outln!(out, "{:<28} {:>12} {:>12}", "variant", "1st partial", "2nd partial");
     for (label, options) in variants {
         let (first, second) = run(options);
-        println!("{label:<28} {:>12} {:>12}", secs(first), secs(second));
+        outln!(out, "{label:<28} {:>12} {:>12}", secs(first), secs(second));
     }
-    println!("paper ships with both on: 15.7 s then 7.2 s.");
+    outln!(out, "paper ships with both on: 15.7 s then 7.2 s.");
 }

@@ -7,21 +7,40 @@
 //! `cargo build --release -p oasis-bench && cargo run --release -p
 //! oasis-bench --bin all_experiments`.
 
+use oasis_bench::{outln, Reporter};
 use std::process::Command;
 
 fn main() {
+    let out = Reporter::new("all_experiments");
     let bins = [
-        "fig01", "fig02", "table1", "table2", "fig05", "net_micro", "fig06",
-        "fig07", "fig08", "fig09", "fig10", "fig11", "table3", "fig12",
-        "baselines", "week", "fault_injection", "migration_compare", "server_farm",
-        "ablation_upload", "ablation_overwrite", "ablation_interval",
-        "ablation_cooldown", "ablation_placement",
+        "fig01",
+        "fig02",
+        "table1",
+        "table2",
+        "fig05",
+        "net_micro",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "table3",
+        "fig12",
+        "baselines",
+        "week",
+        "fault_injection",
+        "migration_compare",
+        "server_farm",
+        "ablation_upload",
+        "ablation_overwrite",
+        "ablation_interval",
+        "ablation_cooldown",
+        "ablation_placement",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin directory");
-    let own_mtime = std::fs::metadata(&exe)
-        .and_then(|m| m.modified())
-        .expect("own metadata");
+    let own_mtime = std::fs::metadata(&exe).and_then(|m| m.modified()).expect("own metadata");
     for bin in bins {
         let path = dir.join(bin);
         // Refuse to report stale results: every sibling must be at least
@@ -41,6 +60,6 @@ fn main() {
             eprintln!("{bin} exited with {status}");
             std::process::exit(1);
         }
-        println!();
+        outln!(out);
     }
 }

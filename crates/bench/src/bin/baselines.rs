@@ -2,21 +2,29 @@
 //! consolidation) and FullOnly (live-migration-only consolidation, the
 //! approach of prior work [5, 15, 22, 28]).
 
-use oasis_bench::{banner, pct};
+use oasis_bench::{outln, pct, Reporter};
 use oasis_cluster::experiments::run_one;
 use oasis_core::PolicyKind;
 use oasis_trace::DayKind;
 
 fn main() {
-    banner("Baselines", "hybrid consolidation vs prior approaches");
-    println!(
+    let out = Reporter::new("baselines");
+    out.banner("Baselines", "hybrid consolidation vs prior approaches");
+    outln!(
+        out,
         "{:<16} {:>10} {:>10} {:>8} {:>9} {:>9}",
-        "policy", "weekday", "weekend", "full#", "partial#", "net GiB"
+        "policy",
+        "weekday",
+        "weekend",
+        "full#",
+        "partial#",
+        "net GiB"
     );
     for policy in PolicyKind::ALL {
         let wd = run_one(policy, DayKind::Weekday, 4, 1);
         let we = run_one(policy, DayKind::Weekend, 4, 1);
-        println!(
+        outln!(
+            out,
             "{:<16} {:>10} {:>10} {:>8} {:>9} {:>9.0}",
             policy.to_string(),
             pct(wd.energy_savings),
@@ -26,6 +34,6 @@ fn main() {
             wd.network_bytes().as_gib_f64(),
         );
     }
-    println!("full-VM-only consolidation is capacity-bound at 4 GiB per VM;");
-    println!("the hybrid policies fit an order of magnitude more idle VMs.");
+    outln!(out, "full-VM-only consolidation is capacity-bound at 4 GiB per VM;");
+    outln!(out, "the hybrid policies fit an order of magnitude more idle VMs.");
 }

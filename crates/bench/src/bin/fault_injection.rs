@@ -5,7 +5,7 @@
 //! * lost memory-server page requests (memtap retries after a timeout);
 //! * lost Wake-on-LAN packets (the manager retransmits each second).
 
-use oasis_bench::{banner, pct};
+use oasis_bench::{outln, pct, Reporter};
 use oasis_cluster::ClusterConfig;
 use oasis_core::PolicyKind;
 use oasis_migration::lab::{LabOptions, MicroLab};
@@ -14,10 +14,11 @@ use oasis_trace::DayKind;
 use oasis_vm::apps::DesktopWorkload;
 
 fn main() {
-    banner("Fault injection", "lossy page requests and Wake-on-LAN");
+    let out = Reporter::new("fault_injection");
+    out.banner("Fault injection", "lossy page requests and Wake-on-LAN");
 
-    println!("-- memory-server request loss (20-minute consolidated idle) --");
-    println!("{:<12} {:>8} {:>9} {:>12}", "loss rate", "faults", "retries", "extra time");
+    outln!(out, "-- memory-server request loss (20-minute consolidated idle) --");
+    outln!(out, "{:<12} {:>8} {:>9} {:>12}", "loss rate", "faults", "retries", "extra time");
     for rate in [0.0, 0.01, 0.05, 0.10, 0.25] {
         let mut lab = MicroLab::with_options(
             1,
@@ -28,7 +29,8 @@ fn main() {
         lab.idle_wait(SimDuration::from_mins(5));
         lab.partial_migrate();
         let idle = lab.consolidated_idle(SimDuration::from_mins(20));
-        println!(
+        outln!(
+            out,
             "{:<12} {:>8} {:>9} {:>11.1}s",
             format!("{:.0}%", rate * 100.0),
             idle.faults,
@@ -37,9 +39,9 @@ fn main() {
         );
     }
 
-    println!();
-    println!("-- Wake-on-LAN loss (FulltoPartial weekday, paper scale) --");
-    println!("{:<12} {:>9} {:>12} {:>10}", "loss rate", "savings", "WoL retries", "p99 delay");
+    outln!(out);
+    outln!(out, "-- Wake-on-LAN loss (FulltoPartial weekday, paper scale) --");
+    outln!(out, "{:<12} {:>9} {:>12} {:>10}", "loss rate", "savings", "WoL retries", "p99 delay");
     for rate in [0.0, 0.05, 0.20, 0.50] {
         let cfg = ClusterConfig::builder()
             .policy(PolicyKind::FullToPartial)
@@ -49,7 +51,8 @@ fn main() {
             .build()
             .expect("valid configuration");
         let mut r = oasis_cluster::ClusterSim::new(cfg).run_day();
-        println!(
+        outln!(
+            out,
             "{:<12} {:>9} {:>12} {:>9.1}s",
             format!("{:.0}%", rate * 100.0),
             pct(r.energy_savings),
@@ -57,6 +60,6 @@ fn main() {
             r.transition_delays.quantile(0.99).unwrap_or(0.0),
         );
     }
-    println!("Oasis degrades gracefully: retries cost user latency, never");
-    println!("correctness, and savings are insensitive to moderate loss.");
+    outln!(out, "Oasis degrades gracefully: retries cost user latency, never");
+    outln!(out, "correctness, and savings are insensitive to moderate loss.");
 }

@@ -5,31 +5,33 @@
 //! minutes. Paper endpoints: desktop 188.2 MiB, web 37.6 MiB, database
 //! 30.6 MiB — under 5 % of the 4 GiB allocation.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_mem::ByteSize;
 use oasis_sim::SimDuration;
 use oasis_vm::workload::WorkloadClass;
 
 fn main() {
-    banner("Figure 1", "idle memory access patterns (cumulative unique MiB)");
+    let out = Reporter::new("fig01");
+    out.banner("Figure 1", "idle memory access patterns (cumulative unique MiB)");
     let alloc = ByteSize::gib(4);
-    println!("{:>6}  {:>10}  {:>10}  {:>10}", "min", "desktop", "web", "database");
+    outln!(out, "{:>6}  {:>10}  {:>10}  {:>10}", "min", "desktop", "web", "database");
     for mins in (0..=60).step_by(5) {
         let t = SimDuration::from_mins(mins);
         let row: Vec<f64> = WorkloadClass::ALL
             .iter()
             .map(|c| c.idle_model().unique_touched(t, alloc).as_mib_f64())
             .collect();
-        println!("{mins:>6}  {:>10.1}  {:>10.1}  {:>10.1}", row[0], row[1], row[2]);
+        outln!(out, "{mins:>6}  {:>10.1}  {:>10.1}  {:>10.1}", row[0], row[1], row[2]);
     }
     let hour = SimDuration::from_hours(1);
     for class in WorkloadClass::ALL {
         let touched = class.idle_model().unique_touched(hour, alloc);
-        println!(
+        outln!(
+            out,
             "{class:<9} 1h total: {:>7.1} MiB ({:.2}% of allocation)",
             touched.as_mib_f64(),
             100.0 * touched.as_bytes() as f64 / alloc.as_bytes() as f64
         );
     }
-    println!("paper:    desktop 188.2 MiB, web 37.6 MiB, database 30.6 MiB");
+    outln!(out, "paper:    desktop 188.2 MiB, web 37.6 MiB, database 30.6 MiB");
 }

@@ -7,7 +7,7 @@
 //! transition times. Paper: 3.9 min (1 VM) vs 5.8 s (10 VMs), the latter
 //! leaving essentially no sleep opportunity.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_host::sleep_sim::simulate_host_sleep;
 use oasis_power::HostEnergyProfile;
 use oasis_sim::stats::Cdf;
@@ -40,7 +40,7 @@ fn gaps(mix: &[(WorkloadClass, usize)], hours: f64, seed: u64) -> Vec<f64> {
 /// Quiet time before the host decides the burst is over and suspends.
 const IDLE_TIMER_SECS: f64 = 10.0;
 
-fn report(label: &str, gaps: &[f64], transition_secs: f64) {
+fn report(out: &Reporter, label: &str, gaps: &[f64], transition_secs: f64) {
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let mut cdf = Cdf::new();
     for &g in gaps {
@@ -49,12 +49,10 @@ fn report(label: &str, gaps: &[f64], transition_secs: f64) {
     // The host cannot foresee gap lengths: it waits out an idle timer,
     // then suspends, and must resume before serving the next request.
     // Only the remainder of the gap is actual sleep.
-    let usable: f64 = gaps
-        .iter()
-        .map(|g| (g - IDLE_TIMER_SECS - transition_secs).max(0.0))
-        .sum();
+    let usable: f64 = gaps.iter().map(|g| (g - IDLE_TIMER_SECS - transition_secs).max(0.0)).sum();
     let total: f64 = gaps.iter().sum();
-    println!(
+    outln!(
+        out,
         "{label:<28} mean gap {:>8.1}s  p50 {:>7.1}s  p90 {:>7.1}s  sleepable {:>5.1}%",
         mean,
         cdf.quantile(0.5).unwrap_or(0.0),
@@ -64,39 +62,35 @@ fn report(label: &str, gaps: &[f64], transition_secs: f64) {
 }
 
 fn main() {
-    banner("Figure 2", "server sleeping opportunities, 1 VM vs 10 VMs");
+    let out = Reporter::new("fig02");
+    out.banner("Figure 2", "server sleeping opportunities, 1 VM vs 10 VMs");
     let transition = HostEnergyProfile::table1().transition_round_trip().as_secs_f64();
-    println!("server transition round trip: {transition:.1}s");
+    outln!(out, "server transition round trip: {transition:.1}s");
 
     let one = gaps(&[(WorkloadClass::Database, 1)], 12.0, 42);
-    let ten = gaps(
-        &[(WorkloadClass::Database, 5), (WorkloadClass::WebServer, 5)],
-        12.0,
-        42,
-    );
-    report("1 database VM", &one, transition);
-    report("10 VMs (5 web + 5 db)", &ten, transition);
+    let ten = gaps(&[(WorkloadClass::Database, 5), (WorkloadClass::WebServer, 5)], 12.0, 42);
+    report(&out, "1 database VM", &one, transition);
+    report(&out, "10 VMs (5 web + 5 db)", &ten, transition);
 
     // The event-driven version: the full ACPI state machine reacting to
     // the request processes (suspend/resume chains, idle timer), per §2.
-    println!();
-    println!("event-driven host simulation (12 h, 10 s idle timer):");
+    outln!(out);
+    outln!(out, "event-driven host simulation (12 h, 10 s idle timer):");
     let horizon = SimDuration::from_hours(12);
     let timer = SimDuration::from_secs(10);
     let one = simulate_host_sleep(&[WorkloadClass::Database], horizon, timer, 42);
-    let mix: Vec<WorkloadClass> = [WorkloadClass::Database; 5]
-        .into_iter()
-        .chain([WorkloadClass::WebServer; 5])
-        .collect();
+    let mix: Vec<WorkloadClass> =
+        [WorkloadClass::Database; 5].into_iter().chain([WorkloadClass::WebServer; 5]).collect();
     let ten = simulate_host_sleep(&mix, horizon, timer, 42);
     for (label, r) in [("1 database VM", one), ("10 VMs (5 web + 5 db)", ten)] {
-        println!(
+        outln!(
+            out,
             "{label:<28} asleep {:>5.1}%  in-transit {:>5.1}%  mean draw {:>6.1} W",
             100.0 * r.sleep_fraction,
             100.0 * r.transition_fraction,
             r.mean_watts,
         );
     }
-    println!("paper: 3.9 min vs 5.8 s mean inter-arrival; 10 co-located VMs");
-    println!("       leave the host almost no chance to sleep.");
+    outln!(out, "paper: 3.9 min vs 5.8 s mean inter-arrival; 10 co-located VMs");
+    outln!(out, "       leave the host almost no chance to sleep.");
 }

@@ -7,14 +7,15 @@
 //! numbers: full 41 s; partial 15.7 s → 7.2 s (upload 10.2 s → 2.2 s);
 //! reintegration 3.7 s.
 
-use oasis_bench::{banner, secs};
+use oasis_bench::{outln, secs, Reporter};
 use oasis_migration::lab::MicroLab;
 use oasis_sim::stats::Summary;
 use oasis_sim::SimDuration;
 use oasis_vm::apps::DesktopWorkload;
 
 fn main() {
-    banner("Figure 5", "consolidation latencies for one VM (avg of 3 runs)");
+    let out = Reporter::new("fig05");
+    out.banner("Figure 5", "consolidation latencies for one VM (avg of 3 runs)");
     let mut full = Summary::new();
     let mut p1_total = Summary::new();
     let mut p1_upload = Summary::new();
@@ -41,7 +42,7 @@ fn main() {
         p2_upload.record(second.outcome.upload_time.as_secs_f64());
     }
 
-    println!("{:<34} {:>9} {:>9}", "operation", "measured", "paper");
+    outln!(out, "{:<34} {:>9} {:>9}", "operation", "measured", "paper");
     let rows = [
         ("full (pre-copy live) migration", full.mean(), 41.0),
         ("partial migration #1 (total)", p1_total.mean(), 15.7),
@@ -51,6 +52,6 @@ fn main() {
         ("reintegration", reint.mean(), 3.7),
     ];
     for (label, measured, paper) in rows {
-        println!("{label:<34} {:>9} {:>9}", secs(measured), secs(paper));
+        outln!(out, "{label:<34} {:>9} {:>9}", secs(measured), secs(paper));
     }
 }

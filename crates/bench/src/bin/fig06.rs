@@ -5,13 +5,14 @@
 //! remote fetch. Paper: up to 111× slower; LibreOffice takes 168 s, while
 //! pre-fetching the whole remaining state would take only ~41 s.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_migration::lab::MicroLab;
 use oasis_sim::SimDuration;
 use oasis_vm::apps::{catalog, Application, DesktopWorkload};
 
 fn main() {
-    banner("Figure 6", "application start-up latency");
+    let out = Reporter::new("fig06");
+    out.banner("Figure 6", "application start-up latency");
     let apps: [(&str, Application); 6] = [
         ("Terminal", catalog::TERMINAL),
         ("Pidgin IM", catalog::PIDGIN),
@@ -27,26 +28,23 @@ fn main() {
     lab.idle_wait(SimDuration::from_mins(5));
 
     // Warm full-VM latencies first.
-    let full: Vec<f64> = apps
-        .iter()
-        .map(|(_, app)| lab.app_startup_latency(app).as_secs_f64())
-        .collect();
+    let full: Vec<f64> =
+        apps.iter().map(|(_, app)| lab.app_startup_latency(app).as_secs_f64()).collect();
     lab.partial_migrate();
-    let partial: Vec<f64> = apps
-        .iter()
-        .map(|(_, app)| lab.app_startup_latency(app).as_secs_f64())
-        .collect();
+    let partial: Vec<f64> =
+        apps.iter().map(|(_, app)| lab.app_startup_latency(app).as_secs_f64()).collect();
 
-    println!("{:<18} {:>9} {:>11} {:>8}", "application", "full VM", "partial VM", "ratio");
+    outln!(out, "{:<18} {:>9} {:>11} {:>8}", "application", "full VM", "partial VM", "ratio");
     for (i, (name, _)) in apps.iter().enumerate() {
-        println!(
+        outln!(
+            out,
             "{name:<18} {:>8.1}s {:>10.1}s {:>7.0}x",
             full[i],
             partial[i],
             partial[i] / full[i]
         );
     }
-    println!("paper: partial-VM starts up to 111x slower; LibreOffice 168 s.");
-    println!("       Pre-fetching the remaining VM state takes ~41 s, which is");
-    println!("       why activated partial VMs are converted to full VMs.");
+    outln!(out, "paper: partial-VM starts up to 111x slower; LibreOffice 168 s.");
+    outln!(out, "       Pre-fetching the remaining VM state takes ~41 s, which is");
+    outln!(out, "       why activated partial VMs are converted to full VMs.");
 }

@@ -2,24 +2,26 @@
 //! (30 home + 4 consolidation hosts, 900 VMs, FulltoPartial).
 
 use oasis_bench::chart::{column_chart, downsample};
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_cluster::experiments::figure7;
 use oasis_trace::DayKind;
 
 fn main() {
-    banner("Figure 7", "active VMs and powered hosts over a day (FulltoPartial)");
+    let out = Reporter::new("fig07");
+    out.banner("Figure 7", "active VMs and powered hosts over a day (FulltoPartial)");
     for day in [DayKind::Weekday, DayKind::Weekend] {
         let r = figure7(day, 1);
-        println!("--- {:?} ---", day);
-        println!("{:>8} {:>11} {:>14}", "time", "active VMs", "powered hosts");
+        outln!(out, "--- {:?} ---", day);
+        outln!(out, "{:>8} {:>11} {:>14}", "time", "active VMs", "powered hosts");
         let active = r.active_vms_series.points();
         let powered = r.powered_hosts_series.points();
         for i in (0..active.len()).step_by(6) {
             let (t, a) = active[i];
             let (_, p) = powered[i];
-            println!("{:>8} {a:>11.0} {p:>14.0}", t.to_string());
+            outln!(out, "{:>8} {a:>11.0} {p:>14.0}", t.to_string());
         }
-        println!(
+        outln!(
+            out,
             "peak active: {:.0} of {} VMs ({:.0}%); min powered hosts: {:.0}",
             r.active_vms_series.max().unwrap_or(0.0),
             r.vms,
@@ -28,14 +30,15 @@ fn main() {
         );
         let actives: Vec<f64> = active.iter().map(|&(_, v)| v).collect();
         let powered_vals: Vec<f64> = powered.iter().map(|&(_, v)| v).collect();
-        println!();
-        print!("{}", column_chart(&downsample(&actives, 72), 8, "active VMs (00:00 → 24:00)"));
-        println!();
-        print!(
-            "{}",
-            column_chart(&downsample(&powered_vals, 72), 6, "powered hosts (00:00 → 24:00)")
-        );
+        outln!(out);
+        out.block(&column_chart(&downsample(&actives, 72), 8, "active VMs (00:00 → 24:00)"));
+        outln!(out);
+        out.block(&column_chart(
+            &downsample(&powered_vals, 72),
+            6,
+            "powered hosts (00:00 → 24:00)",
+        ));
     }
-    println!("paper: peak 411 active VMs (46%), diurnal pattern with the");
-    println!("       trough at 06:30; at minimum all 900 VMs fit 3 hosts.");
+    outln!(out, "paper: peak 411 active VMs (46%), diurnal pattern with the");
+    outln!(out, "       trough at 06:30; at minimum all 900 VMs fit 3 hosts.");
 }

@@ -1,36 +1,38 @@
 //! Figure 8: energy savings per policy as consolidation hosts vary
 //! (30 home hosts; weekday and weekend; mean ± std over runs).
 
-use oasis_bench::{banner, pct_pm, runs};
+use oasis_bench::{outln, pct_pm, runs, Reporter};
 use oasis_cluster::experiments::figure8;
 use oasis_trace::DayKind;
 
 fn main() {
+    let out = Reporter::new("fig08");
     let runs = runs();
-    banner("Figure 8", "energy savings vs consolidation hosts");
-    println!("({runs} runs per point; set OASIS_RUNS to change)");
+    out.banner("Figure 8", "energy savings vs consolidation hosts");
+    outln!(out, "({runs} runs per point; set OASIS_RUNS to change)");
     for day in [DayKind::Weekday, DayKind::Weekend] {
-        println!("--- {day:?} ---");
+        outln!(out, "--- {day:?} ---");
         let points = figure8(day, runs);
-        print!("{:<16}", "policy \\ cons#");
+        let mut header = format!("{:<16}", "policy \\ cons#");
         for cons in [2, 4, 6, 8, 10, 12] {
-            print!("{cons:>14}");
+            header.push_str(&format!("{cons:>14}"));
         }
-        println!();
+        outln!(out, "{header}");
         let mut current = None;
+        let mut row = String::new();
         for p in points {
             if current != Some(p.policy) {
                 if current.is_some() {
-                    println!();
+                    outln!(out, "{row}");
                 }
-                print!("{:<16}", p.policy.to_string());
+                row = format!("{:<16}", p.policy.to_string());
                 current = Some(p.policy);
             }
-            print!("{:>14}", pct_pm(p.mean, p.std_dev));
+            row.push_str(&format!("{:>14}", pct_pm(p.mean, p.std_dev)));
         }
-        println!();
+        outln!(out, "{row}");
     }
-    println!("paper: FulltoPartial reaches 28% (weekday) / 43% (weekend) at 4");
-    println!("       consolidation hosts; OnlyPartial ~6%; Default marginal;");
-    println!("       NewHome adds nothing over FulltoPartial.");
+    outln!(out, "paper: FulltoPartial reaches 28% (weekday) / 43% (weekend) at 4");
+    outln!(out, "       consolidation hosts; OnlyPartial ~6%; Default marginal;");
+    outln!(out, "       NewHome adds nothing over FulltoPartial.");
 }

@@ -4,22 +4,31 @@
 //! Paper: the median rises from 60 (Default) to 93 (FulltoPartial), with
 //! NewHome overlapping FulltoPartial.
 
-use oasis_bench::banner;
 use oasis_bench::chart::cdf_plot;
+use oasis_bench::{outln, Reporter};
 use oasis_cluster::experiments::figure9;
 use oasis_trace::DayKind;
 
 fn main() {
-    banner("Figure 9", "CDF of VMs per consolidation host (weekday)");
+    let out = Reporter::new("fig09");
+    out.banner("Figure 9", "CDF of VMs per consolidation host (weekday)");
     let mut results = figure9(DayKind::Weekday, 1);
-    println!(
+    outln!(
+        out,
         "{:<16} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
-        "policy", "p10", "p25", "p50", "p75", "p90", "max"
+        "policy",
+        "p10",
+        "p25",
+        "p50",
+        "p75",
+        "p90",
+        "max"
     );
     for (policy, report) in &mut results {
         let cdf = &mut report.consolidation_ratio;
         let q = |cdf: &mut oasis_sim::stats::Cdf, p: f64| cdf.quantile(p).unwrap_or(0.0);
-        println!(
+        outln!(
+            out,
             "{:<16} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0} {:>6.0}",
             policy.to_string(),
             q(cdf, 0.10),
@@ -30,21 +39,21 @@ fn main() {
             q(cdf, 1.0),
         );
     }
-    println!();
-    println!("full curves (20 points each):");
+    outln!(out);
+    outln!(out, "full curves (20 points each):");
     for (policy, report) in &mut results {
         let curve = report.consolidation_ratio.curve(20);
-        print!("{:<16}", policy.to_string());
+        let mut row = format!("{:<16}", policy.to_string());
         for (v, _) in curve {
-            print!(" {v:>4.0}");
+            row.push_str(&format!(" {v:>4.0}"));
         }
-        println!();
+        outln!(out, "{row}");
     }
-    println!();
+    outln!(out);
     for (policy, report) in &mut results {
-        println!("{policy} CDF (x: VMs per host, y: fraction of samples):");
+        outln!(out, "{policy} CDF (x: VMs per host, y: fraction of samples):");
         let curve = report.consolidation_ratio.curve(40);
-        print!("{}", cdf_plot(&curve, 60, 8));
+        out.block(&cdf_plot(&curve, 60, 8));
     }
-    println!("paper: median 60 (Default) -> 93 (FulltoPartial); NewHome overlaps.");
+    outln!(out, "paper: median 60 (Default) -> 93 (FulltoPartial); NewHome overlaps.");
 }

@@ -3,19 +3,28 @@
 //! Paper: FulltoPartial trades energy for network traffic — both its
 //! partial and full migration volumes exceed the other policies'.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_cluster::experiments::figure10;
 use oasis_net::TrafficClass;
 
 fn main() {
-    banner("Figure 10", "weekday data transfer breakdown (GiB)");
-    println!(
+    let out = Reporter::new("fig10");
+    out.banner("Figure 10", "weekday data transfer breakdown (GiB)");
+    outln!(
+        out,
         "{:<16} {:>9} {:>9} {:>9} {:>9} {:>11} {:>9}",
-        "policy", "full", "descr", "fetch", "reint", "net total", "SAS"
+        "policy",
+        "full",
+        "descr",
+        "fetch",
+        "reint",
+        "net total",
+        "SAS"
     );
     for (policy, report) in figure10(1) {
         let t = &report.traffic;
-        println!(
+        outln!(
+            out,
             "{:<16} {:>9.1} {:>9.2} {:>9.2} {:>9.1} {:>11.1} {:>9.1}",
             policy.to_string(),
             t.total(TrafficClass::FullMigration).as_gib_f64(),
@@ -26,7 +35,7 @@ fn main() {
             t.total(TrafficClass::MemServerUpload).as_gib_f64(),
         );
     }
-    println!("(SAS uploads stay on the host-local drive path, §4.3)");
-    println!("paper: FulltoPartial increases both partial and full migration");
-    println!("       traffic — an acceptable trade within a rack.");
+    outln!(out, "(SAS uploads stay on the host-local drive path, §4.3)");
+    outln!(out, "paper: FulltoPartial increases both partial and full migration");
+    outln!(out, "       traffic — an acceptable trade within a rack.");
 }

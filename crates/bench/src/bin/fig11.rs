@@ -5,20 +5,29 @@
 //! (12 hosts); partial-VM transitions typically wait under 4 s, with a
 //! 19 s tail (99.99th percentile) during resume storms.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_cluster::experiments::figure11;
 use oasis_trace::DayKind;
 
 fn main() {
-    banner("Figure 11", "idle→active transition delays (weekday)");
-    println!(
+    let out = Reporter::new("fig11");
+    out.banner("Figure 11", "idle→active transition delays (weekday)");
+    outln!(
+        out,
         "{:<7} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
-        "cons#", "zero%", "p50", "p90", "p99", "p99.99", "max"
+        "cons#",
+        "zero%",
+        "p50",
+        "p90",
+        "p99",
+        "p99.99",
+        "max"
     );
     for (cons, mut report) in figure11(DayKind::Weekday, 1) {
         let zero = report.zero_delay_fraction();
         let cdf = &mut report.transition_delays;
-        println!(
+        outln!(
+            out,
             "{cons:<7} {:>7.1}% {:>7.1}s {:>7.1}s {:>7.1}s {:>8.1}s {:>7.1}s",
             100.0 * zero,
             cdf.quantile(0.50).unwrap_or(0.0),
@@ -28,6 +37,6 @@ fn main() {
             cdf.quantile(1.0).unwrap_or(0.0),
         );
     }
-    println!("paper: zero-delay 75% -> 38% as hosts grow 2 -> 12; partial");
-    println!("       transitions < 4 s typical, 19 s at the 99.99th percentile.");
+    outln!(out, "paper: zero-delay 75% -> 38% as hosts grow 2 -> 12; partial");
+    outln!(out, "       transitions < 4 s typical, 19 s at the 99.99th percentile.");
 }

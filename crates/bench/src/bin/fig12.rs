@@ -4,24 +4,26 @@
 //! density) and consolidation hosts. Paper: savings are similar across
 //! packings.
 
-use oasis_bench::{banner, pct_pm, runs};
+use oasis_bench::{outln, pct_pm, runs, Reporter};
 use oasis_cluster::experiments::figure12;
 use oasis_trace::DayKind;
 
 fn main() {
+    let out = Reporter::new("fig12");
     let runs = runs();
-    banner("Figure 12", "sensitivity to cluster size (900 VMs, FulltoPartial)");
-    println!("({runs} runs per point)");
+    out.banner("Figure 12", "sensitivity to cluster size (900 VMs, FulltoPartial)");
+    outln!(out, "({runs} runs per point)");
     for day in [DayKind::Weekday, DayKind::Weekend] {
-        println!("--- {day:?} ---");
-        println!("{:<14} {:>10} {:>16}", "homes+cons", "VMs/host", "savings");
+        outln!(out, "--- {day:?} ---");
+        outln!(out, "{:<14} {:>10} {:>16}", "homes+cons", "VMs/host", "savings");
         for (homes, cons, vms_per_host, mean, std) in figure12(day, runs) {
-            println!(
+            outln!(
+                out,
                 "{:<14} {vms_per_host:>10} {:>16}",
                 format!("{homes}+{cons}"),
                 pct_pm(mean, std)
             );
         }
     }
-    println!("paper: savings are similar regardless of VM packing density.");
+    outln!(out, "paper: savings are similar regardless of VM packing density.");
 }

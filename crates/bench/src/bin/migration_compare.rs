@@ -5,7 +5,7 @@
 //! pre-copy for active VMs (minimal degradation), partial for idle VMs
 //! (minimal footprint and latency).
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_mem::ByteSize;
 use oasis_migration::partial::PartialMigration;
 use oasis_migration::postcopy;
@@ -14,27 +14,34 @@ use oasis_net::LinkSpec;
 use oasis_power::MemoryServerProfile;
 
 fn main() {
-    banner("§2", "migration mechanisms compared (4 GiB VM)");
+    let out = Reporter::new("migration_compare");
+    out.banner("§2", "migration mechanisms compared (4 GiB VM)");
     let memory = ByteSize::gib(4);
     let ms = MemoryServerProfile::prototype();
 
     for (link_name, link) in [("GigE", LinkSpec::gige()), ("10GigE", LinkSpec::ten_gige())] {
-        println!("--- {link_name} ---");
-        println!(
+        outln!(out, "--- {link_name} ---");
+        outln!(
+            out,
             "{:<26} {:>10} {:>10} {:>12}",
-            "mechanism", "duration", "downtime", "bytes moved"
+            "mechanism",
+            "duration",
+            "downtime",
+            "bytes moved"
         );
         for (label, dirty_mib_s) in [("idle VM", 0.5), ("active VM", 15.0), ("hot VM", 60.0)] {
             let rate = dirty_mib_s * 1024.0 * 1024.0;
             let pre = precopy::migrate(memory, rate, link, &PrecopyConfig::default());
-            println!(
+            outln!(
+                out,
                 "pre-copy   ({label:<9})    {:>9.1}s {:>9.2}s {:>9.1} GiB",
                 pre.duration.as_secs_f64(),
                 pre.downtime.as_secs_f64(),
                 pre.bytes_sent.as_gib_f64(),
             );
             let post = postcopy::migrate(memory, rate / 4_096.0, link);
-            println!(
+            outln!(
+                out,
                 "post-copy  ({label:<9})    {:>9.1}s {:>9.2}s {:>9.1} GiB",
                 post.duration.as_secs_f64(),
                 post.downtime.as_secs_f64(),
@@ -43,14 +50,15 @@ fn main() {
         }
         // Partial migration applies to idle VMs only (§3.1).
         let partial = PartialMigration::with_upload(ByteSize::from_mib_f64(1_305.6)).run(&ms, link);
-        println!(
+        outln!(
+            out,
             "partial    (idle VM  )    {:>9.1}s {:>9.2}s {:>9.3} GiB (+1.3 GiB SAS)",
             partial.total.as_secs_f64(),
             partial.total.as_secs_f64(),
             partial.network_bytes.as_gib_f64(),
         );
     }
-    println!();
-    println!("the hybrid: pre-copy keeps active VMs fast; partial moves idle");
-    println!("VMs in seconds with two orders of magnitude less network data.");
+    outln!(out);
+    outln!(out, "the hybrid: pre-copy keeps active VMs fast; partial moves idle");
+    outln!(out, "VMs in seconds with two orders of magnitude less network data.");
 }

@@ -3,7 +3,7 @@
 //! Paper: 16.0 ± 0.5 MiB descriptor, 56.9 ± 7.9 MiB of on-demand fetches,
 //! 175.3 ± 49.3 MiB of reintegrated dirty state.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_migration::lab::MicroLab;
 use oasis_net::TrafficClass;
 use oasis_sim::stats::Summary;
@@ -11,7 +11,8 @@ use oasis_sim::SimDuration;
 use oasis_vm::apps::DesktopWorkload;
 
 fn main() {
-    banner("§4.4.3", "network traffic of one consolidation cycle (3 runs)");
+    let out = Reporter::new("net_micro");
+    out.banner("§4.4.3", "network traffic of one consolidation cycle (3 runs)");
     let mut descriptor = Summary::new();
     let mut fetched = Summary::new();
     let mut reintegrated = Summary::new();
@@ -25,26 +26,20 @@ fn main() {
         lab.partial_migrate();
         let idle = lab.consolidated_idle(SimDuration::from_mins(20));
         let reint = lab.reintegrate();
-        descriptor
-            .record(lab.traffic.total(TrafficClass::PartialDescriptor).as_mib_f64());
+        descriptor.record(lab.traffic.total(TrafficClass::PartialDescriptor).as_mib_f64());
         fetched.record(idle.fetched.as_mib_f64());
         reintegrated.record(reint.network_bytes.as_mib_f64());
         sas.record(lab.traffic.total(TrafficClass::MemServerUpload).as_mib_f64());
     }
 
-    println!("{:<30} {:>14} {:>16}", "transfer", "measured", "paper");
+    outln!(out, "{:<30} {:>14} {:>16}", "transfer", "measured", "paper");
     let rows = [
         ("VM descriptor", descriptor.mean(), "16.0 ± 0.5"),
         ("on-demand page fetches", fetched.mean(), "56.9 ± 7.9"),
         ("reintegrated dirty state", reintegrated.mean(), "175.3 ± 49.3"),
     ];
     for (label, measured, paper) in rows {
-        println!("{label:<30} {measured:>10.1} MiB {paper:>16}");
+        outln!(out, "{label:<30} {measured:>10.1} MiB {paper:>16}");
     }
-    println!(
-        "{:<30} {:>10.1} MiB {:>16}",
-        "SAS upload (off-network)",
-        sas.mean(),
-        "n/a"
-    );
+    outln!(out, "{:<30} {:>10.1} MiB {:>16}", "SAS upload (off-network)", sas.mean(), "n/a");
 }

@@ -6,7 +6,7 @@
 //! farm of §5, a web/database server farm, and a cloud-services fleet of
 //! heartbeat-bound cluster members — under FulltoPartial.
 
-use oasis_bench::{banner, pct};
+use oasis_bench::{outln, pct, Reporter};
 use oasis_cluster::ClusterConfig;
 use oasis_core::PolicyKind;
 use oasis_trace::DayKind;
@@ -24,7 +24,8 @@ fn run(mix: Vec<(WorkloadClass, f64)>, day: DayKind) -> oasis_cluster::SimReport
 }
 
 fn main() {
-    banner("§5.6", "generality: VDI vs server farm vs cloud services");
+    let out = Reporter::new("server_farm");
+    out.banner("§5.6", "generality: VDI vs server farm vs cloud services");
     let populations: [(&str, Vec<(WorkloadClass, f64)>); 3] = [
         ("VDI farm (all desktop)", vec![(WorkloadClass::Desktop, 1.0)]),
         (
@@ -36,14 +37,20 @@ fn main() {
             vec![(WorkloadClass::ClusterNode, 0.8), (WorkloadClass::Database, 0.2)],
         ),
     ];
-    println!(
+    outln!(
+        out,
         "{:<26} {:>9} {:>9} {:>12} {:>10}",
-        "population", "weekday", "weekend", "SAS upload", "net GiB"
+        "population",
+        "weekday",
+        "weekend",
+        "SAS upload",
+        "net GiB"
     );
     for (label, mix) in populations {
         let wd = run(mix.clone(), DayKind::Weekday);
         let we = run(mix, DayKind::Weekend);
-        println!(
+        outln!(
+            out,
             "{label:<26} {:>9} {:>9} {:>9.1} GiB {:>10.0}",
             pct(wd.energy_savings),
             pct(we.energy_savings),
@@ -51,6 +58,6 @@ fn main() {
             wd.network_bytes().as_gib_f64(),
         );
     }
-    println!("paper: idle desktops are the most demanding class (Figure 1), so");
-    println!("       server fleets should consolidate at least as well.");
+    outln!(out, "paper: idle desktops are the most demanding class (Figure 1), so");
+    outln!(out, "       server fleets should consolidate at least as well.");
 }

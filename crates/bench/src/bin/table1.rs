@@ -3,14 +3,15 @@
 //! Prints the host and memory-server profiles the whole evaluation runs
 //! on, in the paper's row layout.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_power::{HostEnergyProfile, MemoryServerProfile, PowerState};
 
 fn main() {
-    banner("Table 1", "energy profiles and S3 transition times");
+    let out = Reporter::new("table1");
+    out.banner("Table 1", "energy profiles and S3 transition times");
     let host = HostEnergyProfile::table1();
     let ms = MemoryServerProfile::prototype();
-    println!("{:<14} {:<12} {:>8} {:>10}", "Device", "State", "Time(s)", "Power(W)");
+    outln!(out, "{:<14} {:<12} {:>8} {:>10}", "Device", "State", "Time(s)", "Power(W)");
     let rows: Vec<(&str, &str, Option<f64>, f64)> = vec![
         ("Custom host", "Idle", None, host.watts(PowerState::Powered, 0)),
         ("", "20 VMs", None, host.watts(PowerState::Powered, 20)),
@@ -22,15 +23,17 @@ fn main() {
     ];
     for (device, state, time, power) in rows {
         let t = time.map_or("N/A".to_string(), |t| format!("{t:.1}"));
-        println!("{device:<14} {state:<12} {t:>8} {power:>10.1}");
+        outln!(out, "{device:<14} {state:<12} {t:>8} {power:>10.1}");
     }
-    println!();
-    println!(
+    outln!(out);
+    outln!(
+        out,
         "combined sleeping home + memory server: {:.1} W (vs {:.1} W idle host)",
         host.sleep_watts + ms.active_watts,
         host.idle_watts
     );
-    println!(
+    outln!(
+        out,
         "memory server upload path: {:.0} MiB/s sequential SAS writes",
         ms.upload_bytes_per_sec / (1024.0 * 1024.0)
     );

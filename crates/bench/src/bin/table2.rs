@@ -1,21 +1,24 @@
 //! Table 2: the desktop workloads that prime the micro-benchmark VM.
 
-use oasis_bench::banner;
+use oasis_bench::{outln, Reporter};
 use oasis_vm::apps::DesktopWorkload;
 
 fn main() {
-    banner("Table 2", "desktop workloads");
+    let out = Reporter::new("table2");
+    out.banner("Table 2", "desktop workloads");
     for workload in [DesktopWorkload::workload1(), DesktopWorkload::workload2()] {
-        println!("{}:", workload.name);
+        outln!(out, "{}:", workload.name);
         for (app, count) in &workload.apps {
-            println!(
+            outln!(
+                out,
                 "  {count}x {:<24} {:>8} startup pages  ({:>9})",
                 app.name,
                 app.startup_pages,
                 app.startup_bytes().to_string(),
             );
         }
-        println!(
+        outln!(
+            out,
             "  total footprint: {} ({} pages), background dirty {} pages/h",
             workload.total_bytes(),
             workload.total_pages(),

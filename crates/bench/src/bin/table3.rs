@@ -3,21 +3,22 @@
 //! Sweeps the memory-server power budget from the 42.2 W prototype down
 //! to 1 W. Paper: weekday savings climb 28% → 41%, weekend 43% → 68%.
 
-use oasis_bench::{banner, pct, runs};
+use oasis_bench::{outln, pct, runs, Reporter};
 use oasis_cluster::experiments::table3;
 
 fn main() {
+    let out = Reporter::new("table3");
     let runs = runs();
-    banner("Table 3", "alternative memory-server power budgets");
-    println!("({runs} runs per cell)");
-    println!("{:<22} {:>10} {:>10}", "memory server", "weekday", "weekend");
+    out.banner("Table 3", "alternative memory-server power budgets");
+    outln!(out, "({runs} runs per cell)");
+    outln!(out, "{:<22} {:>10} {:>10}", "memory server", "weekday", "weekend");
     for (watts, weekday, weekend) in table3(runs) {
         let label = if (watts - 42.2).abs() < 1e-9 {
             "prototype (42.2 W)".to_string()
         } else {
             format!("{watts:.0} W")
         };
-        println!("{label:<22} {:>10} {:>10}", pct(weekday), pct(weekend));
+        outln!(out, "{label:<22} {:>10} {:>10}", pct(weekday), pct(weekend));
     }
-    println!("paper: 28%/43% at 42.2 W rising to 41%/68% at 1 W.");
+    outln!(out, "paper: 28%/43% at 42.2 W rising to 41%/68% at 1 W.");
 }

@@ -3,16 +3,23 @@
 //! Extends the paper's per-day evaluation to the natural deployment
 //! horizon and reports the blended weekly savings.
 
-use oasis_bench::{banner, pct};
+use oasis_bench::{outln, pct, Reporter};
 use oasis_cluster::experiments::run_week;
 use oasis_cluster::ClusterConfig;
 use oasis_core::PolicyKind;
 
 fn main() {
-    banner("Week", "seven consecutive simulated days per policy");
-    println!(
+    let out = Reporter::new("week");
+    out.banner("Week", "seven consecutive simulated days per policy");
+    outln!(
+        out,
         "{:<16} {:>9} {:>9} {:>9} {:>11} {:>11}",
-        "policy", "weekdays", "weekend", "week", "baseline", "managed"
+        "policy",
+        "weekdays",
+        "weekend",
+        "week",
+        "baseline",
+        "managed"
     );
     for policy in [
         PolicyKind::OnlyPartial,
@@ -20,15 +27,13 @@ fn main() {
         PolicyKind::FullToPartial,
         PolicyKind::NewHome,
     ] {
-        let cfg = ClusterConfig::builder()
-            .policy(policy)
-            .seed(1)
-            .build()
-            .expect("valid configuration");
+        let cfg =
+            ClusterConfig::builder().policy(policy).seed(1).build().expect("valid configuration");
         let week = run_week(&cfg);
         let wd: f64 = week.days[..5].iter().map(|d| d.energy_savings).sum::<f64>() / 5.0;
         let we: f64 = week.days[5..].iter().map(|d| d.energy_savings).sum::<f64>() / 2.0;
-        println!(
+        outln!(
+            out,
             "{:<16} {:>9} {:>9} {:>9} {:>8.1}kWh {:>8.1}kWh",
             policy.to_string(),
             pct(wd),

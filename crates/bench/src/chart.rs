@@ -15,11 +15,7 @@ pub fn column_chart(values: &[f64], height: usize, label: &str) -> String {
     let mut out = String::new();
     for row in (1..=height).rev() {
         let threshold = max * row as f64 / height as f64;
-        let axis = if row == height {
-            format!("{max:>8.0} ┤")
-        } else {
-            format!("{:>8} │", "")
-        };
+        let axis = if row == height { format!("{max:>8.0} ┤") } else { format!("{:>8} │", "") };
         out.push_str(&axis);
         for &v in values {
             // A half block when the value reaches half of this row's band.
@@ -71,11 +67,8 @@ pub fn cdf_plot(points: &[(f64, f64)], width: usize, height: usize) -> String {
         for col in 0..width {
             let x = x_max * (col as f64 + 0.5) / width as f64;
             // Fraction of samples ≤ x from the curve points.
-            let f = points
-                .iter()
-                .filter(|&&(px, _)| px <= x)
-                .map(|&(_, pf)| pf)
-                .fold(0.0, f64::max);
+            let f =
+                points.iter().filter(|&&(px, _)| px <= x).map(|&(_, pf)| pf).fold(0.0, f64::max);
             out.push(if f > frac_lo && f <= frac_hi { '▉' } else { ' ' });
         }
         out.push('\n');

@@ -7,6 +7,10 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod report;
+pub mod timing;
+
+pub use report::Reporter;
 
 use std::env;
 
@@ -15,11 +19,7 @@ use std::env;
 /// Defaults to the paper's five runs; override with `OASIS_RUNS=n` for
 /// quick iterations.
 pub fn runs() -> u64 {
-    env::var("OASIS_RUNS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(5)
+    env::var("OASIS_RUNS").ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(5)
 }
 
 /// Prints an experiment banner.

@@ -1,7 +1,7 @@
 //! Minimal flag parsing (no external dependencies).
 //!
-//! Supports `--key value` flags and positional arguments; unknown flags
-//! are errors so typos fail loudly.
+//! Supports `--key value` and `--key=value` flags and positional
+//! arguments; unknown flags are errors so typos fail loudly.
 
 use std::collections::BTreeMap;
 
@@ -53,10 +53,19 @@ impl Args {
         let mut it = argv.into_iter();
         while let Some(token) = it.next() {
             if let Some(flag) = token.strip_prefix("--") {
+                // `--flag=value` carries its value inline; `--flag` takes
+                // the next token.
+                let (flag, inline) = match flag.split_once('=') {
+                    Some((f, v)) => (f, Some(v.to_string())),
+                    None => (flag, None),
+                };
                 if !allowed.contains(&flag) {
                     return Err(ArgError::UnknownFlag(flag.to_string()));
                 }
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(flag.into()))?;
+                let value = match inline {
+                    Some(v) => v,
+                    None => it.next().ok_or_else(|| ArgError::MissingValue(flag.into()))?,
+                };
                 args.flags.insert(flag.to_string(), value);
             } else {
                 args.positional.push(token);
@@ -74,10 +83,9 @@ impl Args {
     pub fn get_or<T: core::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
-                flag: flag.to_string(),
-                value: v.clone(),
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue { flag: flag.to_string(), value: v.clone() }),
         }
     }
 
@@ -103,12 +111,39 @@ mod tests {
 
     #[test]
     fn parses_flags_and_positionals() {
-        let args = Args::parse(sv(&["--seed", "7", "file.txt", "--homes", "30"]), &["seed", "homes"])
-            .unwrap();
+        let args =
+            Args::parse(sv(&["--seed", "7", "file.txt", "--homes", "30"]), &["seed", "homes"])
+                .unwrap();
         assert_eq!(args.get("seed"), Some("7"));
         assert_eq!(args.get_or("homes", 0u32).unwrap(), 30);
         assert_eq!(args.get_or("missing", 5u32).unwrap(), 5);
         assert_eq!(args.positional(), &["file.txt".to_string()]);
+    }
+
+    #[test]
+    fn parses_equals_form() {
+        let args =
+            Args::parse(sv(&["--seed=7", "--out=a=b.txt", "pos"]), &["seed", "out"]).unwrap();
+        assert_eq!(args.get("seed"), Some("7"));
+        assert_eq!(args.get("out"), Some("a=b.txt"), "only the first = splits");
+        assert_eq!(args.positional(), &["pos".to_string()]);
+        // Both spellings are interchangeable.
+        assert_eq!(
+            Args::parse(sv(&["--seed=7"]), &["seed"]).unwrap(),
+            Args::parse(sv(&["--seed", "7"]), &["seed"]).unwrap()
+        );
+    }
+
+    #[test]
+    fn equals_form_still_validates_flag_names() {
+        assert_eq!(
+            Args::parse(sv(&["--bogus=1"]), &["seed"]),
+            Err(ArgError::UnknownFlag("bogus".into()))
+        );
+        // An empty inline value is kept verbatim (and fails typed parses).
+        let args = Args::parse(sv(&["--seed="]), &["seed"]).unwrap();
+        assert_eq!(args.get("seed"), Some(""));
+        assert!(matches!(args.get_or("seed", 0u64), Err(ArgError::BadValue { .. })));
     }
 
     #[test]
@@ -122,9 +157,6 @@ mod tests {
             Err(ArgError::MissingValue("seed".into()))
         );
         let args = Args::parse(sv(&["--seed", "abc"]), &["seed"]).unwrap();
-        assert!(matches!(
-            args.get_or("seed", 0u64),
-            Err(ArgError::BadValue { .. })
-        ));
+        assert!(matches!(args.get_or("seed", 0u64), Err(ArgError::BadValue { .. })));
     }
 }

@@ -1,16 +1,21 @@
-//! `oasis` — command-line front end for the Oasis simulator.
+//! Command-line front end for the Oasis simulator.
+//!
+//! The root workspace package builds this into the `oasis` binary:
 //!
 //! ```text
 //! oasis sim    [--policy P] [--day weekday|weekend] [--homes N]
 //!              [--cons N] [--vms N] [--seed S] [--interval-mins M]
-//!              [--memserver-watts W]
+//!              [--memserver-watts W] [--trace-out PATH]
+//!              [--metrics-out PATH] [--log-level off|warn|info|debug]
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
 //! oasis micro  [--seed S]
 //! oasis trace  generate [--users N] [--weeks N] [--seed S] [--out PATH]
 //! oasis trace  stats <PATH>
 //! ```
+//!
+//! Flags accept both `--flag value` and `--flag=value`.
 
-mod args;
+pub mod args;
 
 use args::Args;
 use oasis_cluster::experiments::run_week;
@@ -19,8 +24,10 @@ use oasis_core::PolicyKind;
 use oasis_migration::lab::MicroLab;
 use oasis_power::MemoryServerProfile;
 use oasis_sim::SimDuration;
+use oasis_telemetry::{JsonlSink, Level, Telemetry};
 use oasis_trace::{ActivityModel, DayKind, TraceSet};
 use oasis_vm::apps::DesktopWorkload;
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
@@ -28,7 +35,8 @@ fn usage() -> ! {
          \n\
          oasis sim    --policy FulltoPartial --day weekday --homes 30 \\\n\
          \x20             --cons 4 --vms 30 --seed 1 [--interval-mins 5] \\\n\
-         \x20             [--memserver-watts 42.2]\n\
+         \x20             [--memserver-watts 42.2] [--trace-out events.jsonl] \\\n\
+         \x20             [--metrics-out metrics.prom] [--log-level debug]\n\
          oasis week   --policy FulltoPartial --seed 1\n\
          oasis micro  --seed 1\n\
          oasis trace  generate --users 22 --weeks 17 --seed 1 --out traces.txt\n\
@@ -78,14 +86,63 @@ fn cluster_config(args: &Args) -> ClusterConfig {
     builder.build().unwrap_or_else(|e| fail(e))
 }
 
+const BASE_FLAGS: &[&str] =
+    &["policy", "day", "homes", "cons", "vms", "seed", "interval-mins", "memserver-watts", "trace"];
+
 const SIM_FLAGS: &[&str] = &[
-    "policy", "day", "homes", "cons", "vms", "seed", "interval-mins", "memserver-watts",
+    "policy",
+    "day",
+    "homes",
+    "cons",
+    "vms",
+    "seed",
+    "interval-mins",
+    "memserver-watts",
     "trace",
+    "trace-out",
+    "metrics-out",
+    "log-level",
 ];
+
+/// Builds the telemetry bus requested by `--trace-out`, `--metrics-out`
+/// and `--log-level`. With none of them present, telemetry stays off and
+/// the simulation runs exactly as before.
+fn telemetry_from(args: &Args) -> Telemetry {
+    let wants = args.get("trace-out").is_some()
+        || args.get("metrics-out").is_some()
+        || args.get("log-level").is_some();
+    if !wants {
+        return Telemetry::disabled();
+    }
+    let level = args
+        .get("log-level")
+        .map(|s| s.parse::<Level>().unwrap_or_else(|e| fail(e)))
+        .unwrap_or(Level::Info);
+    let telemetry = Telemetry::new(level);
+    if let Some(path) = args.get("trace-out") {
+        let sink = JsonlSink::create(Path::new(path)).unwrap_or_else(|e| fail(e));
+        telemetry.attach(Box::new(sink));
+    }
+    telemetry
+}
+
+/// Writes the metrics registry to `path`: JSON when the path ends in
+/// `.json`, Prometheus text exposition otherwise.
+fn write_metrics(telemetry: &Telemetry, path: &str) {
+    let text = if path.ends_with(".json") {
+        telemetry.metrics().to_json()
+    } else {
+        telemetry.metrics().to_prometheus()
+    };
+    std::fs::write(path, text).unwrap_or_else(|e| fail(e));
+}
 
 fn cmd_sim(args: Args) {
     let cfg = cluster_config(&args);
-    let mut report = ClusterSim::new(cfg).run_day();
+    let telemetry = telemetry_from(&args);
+    let mut sim = ClusterSim::new(cfg);
+    sim.attach_telemetry(telemetry.clone());
+    let mut report = sim.run_day();
     println!("{}", report.summary_line());
     println!(
         "zero-delay wake-ups: {:.0}%   p99 delay: {:.1}s   network: {:.1} GiB",
@@ -93,6 +150,12 @@ fn cmd_sim(args: Args) {
         report.transition_delays.quantile(0.99).unwrap_or(0.0),
         report.network_bytes().as_gib_f64(),
     );
+    if telemetry.is_enabled() {
+        print!("{}", report.telemetry);
+    }
+    if let Some(path) = args.get("metrics-out") {
+        write_metrics(&telemetry, path);
+    }
 }
 
 fn cmd_week(args: Args) {
@@ -147,8 +210,8 @@ fn cmd_trace(mut argv: Vec<String>) {
     let sub = argv.remove(0);
     match sub.as_str() {
         "generate" => {
-            let args = Args::parse(argv, &["users", "weeks", "seed", "out"])
-                .unwrap_or_else(|e| fail(e));
+            let args =
+                Args::parse(argv, &["users", "weeks", "seed", "out"]).unwrap_or_else(|e| fail(e));
             let users = args.get_or("users", 22usize).unwrap_or_else(|e| fail(e));
             let weeks = args.get_or("weeks", 17usize).unwrap_or_else(|e| fail(e));
             let seed = args.get_or("seed", 1u64).unwrap_or_else(|e| fail(e));
@@ -174,18 +237,15 @@ fn cmd_trace(mut argv: Vec<String>) {
                 }
                 let mean: f64 =
                     days.iter().map(|d| d.active_fraction()).sum::<f64>() / days.len() as f64;
-                println!(
-                    "{kind:?}: {} user-days, mean activity {:.1}%",
-                    days.len(),
-                    mean * 100.0
-                );
+                println!("{kind:?}: {} user-days, mean activity {:.1}%", days.len(), mean * 100.0);
             }
         }
         _ => usage(),
     }
 }
 
-fn main() {
+/// Entry point shared by every `oasis` binary front end.
+pub fn run() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
         usage();
@@ -193,7 +253,7 @@ fn main() {
     let command = argv.remove(0);
     match command.as_str() {
         "sim" => cmd_sim(Args::parse(argv, SIM_FLAGS).unwrap_or_else(|e| fail(e))),
-        "week" => cmd_week(Args::parse(argv, SIM_FLAGS).unwrap_or_else(|e| fail(e))),
+        "week" => cmd_week(Args::parse(argv, BASE_FLAGS).unwrap_or_else(|e| fail(e))),
         "micro" => cmd_micro(Args::parse(argv, &["seed"]).unwrap_or_else(|e| fail(e))),
         "trace" => cmd_trace(argv),
         _ => usage(),

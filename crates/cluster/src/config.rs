@@ -2,10 +2,10 @@
 
 use oasis_core::{PlacementStrategy, PolicyKind};
 use oasis_mem::ByteSize;
-use oasis_vm::workload::WorkloadClass;
 use oasis_power::{HostEnergyProfile, MemoryServerProfile};
 use oasis_sim::SimDuration;
 use oasis_trace::{DayKind, TraceSet};
+use oasis_vm::workload::WorkloadClass;
 
 /// Validation errors from the builder.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -294,14 +294,8 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(
-            ClusterConfig::builder().home_hosts(0).build(),
-            Err(ConfigError::NoHosts)
-        );
-        assert_eq!(
-            ClusterConfig::builder().vms_per_host(0).build(),
-            Err(ConfigError::NoVms)
-        );
+        assert_eq!(ClusterConfig::builder().home_hosts(0).build(), Err(ConfigError::NoHosts));
+        assert_eq!(ClusterConfig::builder().vms_per_host(0).build(), Err(ConfigError::NoVms));
         assert_eq!(
             ClusterConfig::builder().interval(SimDuration::ZERO).build(),
             Err(ConfigError::ZeroInterval)

@@ -60,12 +60,7 @@ pub struct SavingsPoint {
 }
 
 /// Runs one simulated day with the given overrides.
-pub fn run_one(
-    policy: PolicyKind,
-    day: DayKind,
-    consolidation_hosts: u32,
-    seed: u64,
-) -> SimReport {
+pub fn run_one(policy: PolicyKind, day: DayKind, consolidation_hosts: u32, seed: u64) -> SimReport {
     let cfg = ClusterConfig::builder()
         .policy(policy)
         .day(day)
@@ -88,9 +83,8 @@ pub fn figure8(day: DayKind, runs: u64) -> Vec<SavingsPoint> {
     let mut points = Vec::new();
     for policy in PolicyKind::FIGURE8 {
         for cons in [2u32, 4, 6, 8, 10, 12] {
-            let savings: Vec<f64> = (0..runs)
-                .map(|r| run_one(policy, day, cons, 1 + r).energy_savings)
-                .collect();
+            let savings: Vec<f64> =
+                (0..runs).map(|r| run_one(policy, day, cons, 1 + r).energy_savings).collect();
             let (mean, std_dev) = mean_and_std(&savings);
             points.push(SavingsPoint { policy, day, consolidation_hosts: cons, mean, std_dev });
         }
@@ -109,10 +103,7 @@ pub fn figure9(day: DayKind, seed: u64) -> Vec<(PolicyKind, SimReport)> {
 
 /// Figure 10: weekday transfer breakdown per policy.
 pub fn figure10(seed: u64) -> Vec<(PolicyKind, SimReport)> {
-    PolicyKind::FIGURE8
-        .into_iter()
-        .map(|p| (p, run_one(p, DayKind::Weekday, 4, seed)))
-        .collect()
+    PolicyKind::FIGURE8.into_iter().map(|p| (p, run_one(p, DayKind::Weekday, 4, seed))).collect()
 }
 
 /// Figure 11: idle→active delay distributions for 2–12 consolidation
@@ -276,7 +267,10 @@ mod tests {
         let we_mean: f64 = week.days[5..].iter().map(|d| d.energy_savings).sum::<f64>() / 2.0;
         assert!(week.savings > wd_mean.min(we_mean));
         assert!(week.savings < wd_mean.max(we_mean));
-        assert!((week.baseline_kwh - week.days.iter().map(|d| d.baseline_kwh).sum::<f64>()).abs() < 1e-9);
+        assert!(
+            (week.baseline_kwh - week.days.iter().map(|d| d.baseline_kwh).sum::<f64>()).abs()
+                < 1e-9
+        );
     }
 
     #[test]

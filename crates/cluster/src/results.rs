@@ -4,6 +4,7 @@ use oasis_core::PolicyKind;
 use oasis_mem::ByteSize;
 use oasis_net::TrafficAccountant;
 use oasis_sim::stats::{Cdf, TimeSeries};
+use oasis_telemetry::TelemetrySummary;
 use oasis_trace::DayKind;
 
 /// Migration-event counters.
@@ -56,6 +57,9 @@ pub struct SimReport {
     pub traffic: TrafficAccountant,
     /// Migration-event counters.
     pub migrations: MigrationCounts,
+    /// Event counts and span timings from the run's telemetry bus (empty
+    /// when telemetry was never attached).
+    pub telemetry: TelemetrySummary,
 }
 
 impl SimReport {
@@ -117,6 +121,7 @@ mod tests {
             consolidation_ratio: Cdf::new(),
             traffic: TrafficAccountant::new(),
             migrations: MigrationCounts::default(),
+            telemetry: TelemetrySummary::default(),
         }
     }
 

@@ -29,6 +29,7 @@ use oasis_net::{TrafficAccountant, TrafficClass};
 use oasis_power::PowerState;
 use oasis_sim::stats::{Cdf, TimeSeries};
 use oasis_sim::{SimDuration, SimRng, SimTime};
+use oasis_telemetry::{Event, MigrationKind, Telemetry};
 use oasis_trace::{sample_user_days, ActivityModel, UserDay, INTERVALS_PER_DAY};
 use oasis_vm::workload::WorkloadClass;
 use oasis_vm::{HostId, VmId, VmState};
@@ -194,6 +195,7 @@ pub struct ClusterSim {
     promote_queue: std::collections::BTreeMap<HostId, u32>,
     /// Per-host instant until which the vacate cooldown applies.
     cooldown_until: std::collections::BTreeMap<HostId, SimTime>,
+    telemetry: Telemetry,
 }
 
 impl ClusterSim {
@@ -310,19 +312,39 @@ impl ClusterSim {
             reintegration_queue: std::collections::BTreeMap::new(),
             promote_queue: std::collections::BTreeMap::new(),
             cooldown_until: std::collections::BTreeMap::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Routes the simulator's (and its manager's) events, spans and
+    /// counters through `telemetry`. Telemetry never touches the RNG, so
+    /// attaching it leaves simulation results bit-identical.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.manager.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     fn host_index(&self, id: HostId) -> usize {
         id.0 as usize
     }
 
+    /// Switches a host's power state, mirroring real transitions onto the
+    /// event bus (redundant calls stay silent, like `set_power`).
+    fn set_host_power(&mut self, idx: usize, offset_secs: f64, on: bool) {
+        if self.hosts[idx].powered == on {
+            return;
+        }
+        self.hosts[idx].set_power(offset_secs, on);
+        let host = self.hosts[idx].id.0;
+        self.telemetry.emit(if on {
+            Event::HostResumed { host }
+        } else {
+            Event::HostSuspended { host }
+        });
+    }
+
     fn vms_on(&self, host: HostId) -> impl Iterator<Item = usize> + '_ {
-        self.vms
-            .iter()
-            .enumerate()
-            .filter(move |(_, v)| v.location == host)
-            .map(|(i, _)| i)
+        self.vms.iter().enumerate().filter(move |(_, v)| v.location == host).map(|(i, _)| i)
     }
 
     fn demand_on(&self, host: HostId) -> ByteSize {
@@ -330,9 +352,7 @@ impl ClusterSim {
     }
 
     fn active_on(&self, host: HostId) -> usize {
-        self.vms_on(host)
-            .filter(|&i| self.vms[i].state.is_active())
-            .count()
+        self.vms_on(host).filter(|&i| self.vms[i].state.is_active()).count()
     }
 
     fn snapshot(&self, now: SimTime) -> ClusterView {
@@ -345,10 +365,7 @@ impl ClusterSim {
                     id: h.id,
                     role: h.role,
                     powered: h.powered,
-                    vacatable: self
-                        .cooldown_until
-                        .get(&h.id)
-                        .is_none_or(|&until| now >= until),
+                    vacatable: self.cooldown_until.get(&h.id).is_none_or(|&until| now >= until),
                     capacity,
                 })
                 .collect(),
@@ -374,7 +391,7 @@ impl ClusterSim {
     /// Returns the seconds of reintegration work serialized on the host.
     fn return_home(&mut self, home: HostId, now: SimTime) -> f64 {
         let hi = self.host_index(home);
-        self.hosts[hi].set_power(0.0, true);
+        self.set_host_power(hi, 0.0, true);
         if !self.cfg.vacate_cooldown.is_zero() {
             self.cooldown_until.insert(home, now + self.cfg.vacate_cooldown);
         }
@@ -388,23 +405,31 @@ impl ClusterSim {
             .collect();
         for i in member_ids {
             let (partial, since) = (self.vms[i].partial, self.vms[i].consolidated_since);
-            if partial {
-                let minutes = since
-                    .map(|s| now.saturating_since(s).as_secs_f64() / 60.0)
-                    .unwrap_or(0.0);
+            let from = self.vms[i].location;
+            let (kind, moved, downtime) = if partial {
+                let minutes =
+                    since.map(|s| now.saturating_since(s).as_secs_f64() / 60.0).unwrap_or(0.0);
                 let dirty =
                     ByteSize::from_mib_f64(DIRTY_MIB_PER_MIN * minutes.max(1.0)).min(DIRTY_CAP);
                 self.traffic.record(TrafficClass::Reintegration, dirty);
                 work += self.cfg.reintegration_time.as_secs_f64();
+                (MigrationKind::Return, dirty, self.cfg.reintegration_time)
             } else {
                 // A full VM homed here but consolidated elsewhere returns
                 // by full migration.
-                self.traffic.record(
-                    TrafficClass::FullMigration,
-                    self.vms[i].allocation.mul_f64(1.15),
-                );
+                let moved = self.vms[i].allocation.mul_f64(1.15);
+                self.traffic.record(TrafficClass::FullMigration, moved);
                 work += self.cfg.full_migration_time.as_secs_f64();
-            }
+                (MigrationKind::Full, moved, self.cfg.full_migration_time)
+            };
+            self.telemetry.emit(Event::MigrationCompleted {
+                vm: self.vms[i].id.0,
+                from: from.0,
+                to: home.0,
+                kind,
+                moved_bytes: moved.as_bytes(),
+                downtime_us: downtime.as_micros(),
+            });
             let vm = &mut self.vms[i];
             vm.location = home;
             vm.partial = false;
@@ -420,11 +445,8 @@ impl ClusterSim {
         self.reintegration_queue.clear();
         self.promote_queue.clear();
         for vi in 0..self.vms.len() {
-            let desired = if self.users[vi].is_active(interval) {
-                VmState::Active
-            } else {
-                VmState::Idle
-            };
+            let desired =
+                if self.users[vi].is_active(interval) { VmState::Active } else { VmState::Idle };
             let current = self.vms[vi].state;
             if desired == current {
                 continue;
@@ -445,10 +467,8 @@ impl ClusterSim {
             match self.manager.handle_activation(&view, vm_id) {
                 Some(ActivationDecision::PromoteInPlace { .. }) => {
                     let remaining = self.vms[vi].allocation - self.vms[vi].demand;
-                    self.traffic.record(
-                        TrafficClass::DemandFetch,
-                        remaining.mul_f64(COMPRESS_RATIO),
-                    );
+                    self.traffic
+                        .record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
                     let vm = &mut self.vms[vi];
                     vm.partial = false;
                     vm.demand = vm.allocation;
@@ -472,20 +492,17 @@ impl ClusterSim {
                     self.delays.record(base + f64::from(queued) * base * 0.4);
                 }
                 Some(ActivationDecision::MoveTo { destination, .. }) => {
-                    self.traffic.record(
-                        TrafficClass::FullMigration,
-                        self.vms[vi].allocation.mul_f64(1.15),
-                    );
+                    self.traffic
+                        .record(TrafficClass::FullMigration, self.vms[vi].allocation.mul_f64(1.15));
                     let di = self.host_index(destination);
-                    self.hosts[di].set_power(0.0, true);
+                    self.set_host_power(di, 0.0, true);
                     let vm = &mut self.vms[vi];
                     vm.location = destination;
                     vm.partial = false;
                     vm.demand = vm.allocation;
                     vm.consolidated_since = None;
                     self.counts.relocations += 1;
-                    self.delays
-                        .record(self.cfg.full_migration_time.as_secs_f64());
+                    self.delays.record(self.cfg.full_migration_time.as_secs_f64());
                 }
                 Some(ActivationDecision::ReturnHome { home, .. }) => {
                     let was_asleep = !self.hosts[self.host_index(home)].powered;
@@ -495,14 +512,14 @@ impl ClusterSim {
                         // The manager wakes the host with Wake-on-LAN
                         // (§4.1); lost packets are retransmitted after a
                         // one-second timeout.
-                        let mut wol_wait = 0.0;
-                        while self.cfg.wol_loss_rate > 0.0
-                            && self.rng.chance(self.cfg.wol_loss_rate)
-                            && wol_wait < 10.0
-                        {
-                            wol_wait += 1.0;
-                            self.counts.wol_retries += 1;
-                        }
+                        let wol_wait = oasis_net::wake_with_retries(
+                            &self.telemetry,
+                            home.0,
+                            self.cfg.wol_loss_rate,
+                            10.0,
+                            &mut self.rng,
+                        );
+                        self.counts.wol_retries += wol_wait as u64;
                         wol_wait + self.cfg.host_profile.resume_time.as_secs_f64()
                     } else {
                         0.0
@@ -524,6 +541,8 @@ impl ClusterSim {
     fn plan_and_execute(&mut self, now: SimTime) {
         let view = self.snapshot(now);
         let actions = self.manager.plan(&view);
+        let interval = (now.as_micros() / (INTERVAL_SECS as u64 * 1_000_000)) as u32;
+        self.telemetry.emit(Event::PolicyDecision { interval, actions: actions.len() as u32 });
         let mut busy: std::collections::BTreeMap<HostId, f64> = std::collections::BTreeMap::new();
 
         for action in actions {
@@ -534,9 +553,20 @@ impl ClusterSim {
                     if self.vms[vi].location != source {
                         continue;
                     }
+                    let mig_kind = match order.kind {
+                        MigrationType::Full => MigrationKind::Full,
+                        MigrationType::Partial => MigrationKind::Partial,
+                    };
+                    self.telemetry.emit(Event::MigrationStarted {
+                        vm: order.vm.0,
+                        from: source.0,
+                        to: order.destination.0,
+                        kind: mig_kind,
+                    });
                     let di = self.host_index(order.destination);
-                    self.hosts[di].set_power(*busy.get(&source).unwrap_or(&0.0), true);
-                    match order.kind {
+                    let offset = *busy.get(&source).unwrap_or(&0.0);
+                    self.set_host_power(di, offset, true);
+                    let (moved, downtime) = match order.kind {
                         MigrationType::Partial if self.vms[vi].partial => {
                             // Drain relocation: the partial replica moves
                             // between consolidation hosts; its memory
@@ -546,12 +576,14 @@ impl ClusterSim {
                                 TrafficClass::PartialDescriptor,
                                 oasis_migration::partial::DESCRIPTOR_BYTES,
                             );
-                            self.traffic
-                                .record(TrafficClass::Reintegration, self.vms[vi].demand);
+                            self.traffic.record(TrafficClass::Reintegration, self.vms[vi].demand);
+                            let moved =
+                                oasis_migration::partial::DESCRIPTOR_BYTES + self.vms[vi].demand;
                             self.vms[vi].location = order.destination;
                             *busy.entry(source).or_insert(0.0) +=
                                 self.cfg.reintegration_time.as_secs_f64();
                             self.counts.partial += 1;
+                            (moved, self.cfg.reintegration_time)
                         }
                         MigrationType::Partial => {
                             let class = self.vms[vi].class;
@@ -586,12 +618,14 @@ impl ClusterSim {
                             *busy.entry(source).or_insert(0.0) +=
                                 self.cfg.partial_migration_time.as_secs_f64();
                             self.counts.partial += 1;
+                            (
+                                upload + oasis_migration::partial::DESCRIPTOR_BYTES,
+                                self.cfg.partial_migration_time,
+                            )
                         }
                         MigrationType::Full => {
-                            self.traffic.record(
-                                TrafficClass::FullMigration,
-                                self.vms[vi].allocation.mul_f64(1.15),
-                            );
+                            let moved = self.vms[vi].allocation.mul_f64(1.15);
+                            self.traffic.record(TrafficClass::FullMigration, moved);
                             let vm = &mut self.vms[vi];
                             vm.partial = false;
                             vm.location = order.destination;
@@ -600,14 +634,29 @@ impl ClusterSim {
                             *busy.entry(source).or_insert(0.0) +=
                                 self.cfg.full_migration_time.as_secs_f64();
                             self.counts.full += 1;
+                            (moved, self.cfg.full_migration_time)
                         }
-                    }
+                    };
+                    self.telemetry.emit(Event::MigrationCompleted {
+                        vm: order.vm.0,
+                        from: source.0,
+                        to: order.destination.0,
+                        kind: mig_kind,
+                        moved_bytes: moved.as_bytes(),
+                        downtime_us: downtime.as_micros(),
+                    });
                 }
                 PlannedAction::Exchange { vm, home, consolidation } => {
                     let vi = vm.0 as usize;
                     if self.vms[vi].location != consolidation || self.vms[vi].partial {
                         continue;
                     }
+                    self.telemetry.emit(Event::MigrationStarted {
+                        vm: vm.0,
+                        from: consolidation.0,
+                        to: home.0,
+                        kind: MigrationKind::Exchange,
+                    });
                     // Wake the home temporarily: full migration back, then
                     // partial re-consolidation to the same host (§3.2).
                     let episode = self.cfg.full_migration_time.as_secs_f64()
@@ -618,9 +667,11 @@ impl ClusterSim {
                         // work on a powered host.
                     } else {
                         self.hosts[hi].temporary_episode(episode);
+                        self.telemetry.emit(Event::HostResumed { host: home.0 });
+                        self.telemetry.emit(Event::HostSuspended { host: home.0 });
                     }
-                    self.traffic
-                        .record(TrafficClass::FullMigration, self.vms[vi].allocation.mul_f64(1.15));
+                    let full_bytes = self.vms[vi].allocation.mul_f64(1.15);
+                    self.traffic.record(TrafficClass::FullMigration, full_bytes);
                     let class = self.vms[vi].class;
                     let upload = if self.vms[vi].uploaded_once {
                         DIFF_UPLOAD.mul_f64(upload_scale(class))
@@ -643,13 +694,24 @@ impl ClusterSim {
                             * WSS_GROWTH_WINDOW.as_secs_f64()
                             / 60.0,
                     );
-                    let vm = &mut self.vms[vi];
-                    vm.partial = true;
-                    vm.demand = wss;
-                    vm.wss_cap = wss + growth_cap;
-                    vm.consolidated_since = Some(now);
-                    vm.uploaded_once = true;
+                    let sim_vm = &mut self.vms[vi];
+                    sim_vm.partial = true;
+                    sim_vm.demand = wss;
+                    sim_vm.wss_cap = wss + growth_cap;
+                    sim_vm.consolidated_since = Some(now);
+                    sim_vm.uploaded_once = true;
                     self.counts.exchanges += 1;
+                    self.telemetry.emit(Event::MigrationCompleted {
+                        vm: vm.0,
+                        from: consolidation.0,
+                        to: consolidation.0,
+                        kind: MigrationKind::Exchange,
+                        moved_bytes: (full_bytes
+                            + upload
+                            + oasis_migration::partial::DESCRIPTOR_BYTES)
+                            .as_bytes(),
+                        downtime_us: SimDuration::from_secs_f64(episode).as_micros(),
+                    });
                 }
             }
         }
@@ -659,7 +721,7 @@ impl ClusterSim {
             let id = self.hosts[h].id;
             if self.hosts[h].powered && self.vms_on(id).next().is_none() {
                 let offset = busy.get(&id).copied().unwrap_or(0.0).min(INTERVAL_SECS);
-                self.hosts[h].set_power(offset, false);
+                self.set_host_power(h, offset, false);
             }
         }
     }
@@ -688,12 +750,8 @@ impl ClusterSim {
         // Capacity exhaustion (§3.2): the host wakes the requesting VM's
         // home and returns all of that home's VMs.
         let capacity = self.cfg.effective_capacity();
-        let cons_ids: Vec<HostId> = self
-            .hosts
-            .iter()
-            .filter(|h| h.role == HostRole::Consolidation)
-            .map(|h| h.id)
-            .collect();
+        let cons_ids: Vec<HostId> =
+            self.hosts.iter().filter(|h| h.role == HostRole::Consolidation).map(|h| h.id).collect();
         for host in cons_ids {
             let mut guard = 0;
             while self.demand_on(host) > capacity && guard < 1_000 {
@@ -706,6 +764,7 @@ impl ClusterSim {
                 match victim {
                     Some(vi) => {
                         let home = self.vms[vi].home;
+                        self.telemetry.emit(Event::CapacityExhausted { host: host.0 });
                         self.return_home(home, now);
                     }
                     None => break,
@@ -719,7 +778,7 @@ impl ClusterSim {
         for h in 0..self.hosts.len() {
             let id = self.hosts[h].id;
             if self.hosts[h].powered && self.vms_on(id).next().is_none() {
-                self.hosts[h].set_power(INTERVAL_SECS * 0.5, false);
+                self.set_host_power(h, INTERVAL_SECS * 0.5, false);
             }
         }
     }
@@ -751,8 +810,8 @@ impl ClusterSim {
             let awake = self.hosts[h].end_interval();
             let suspends = f64::from(self.hosts[h].suspends);
             let resumes = f64::from(self.hosts[h].resumes);
-            let transit = suspends * p.suspend_time.as_secs_f64()
-                + resumes * p.resume_time.as_secs_f64();
+            let transit =
+                suspends * p.suspend_time.as_secs_f64() + resumes * p.resume_time.as_secs_f64();
             let asleep = (INTERVAL_SECS - awake - transit).max(0.0);
             // Sleeping consolidation hosts are spare capacity, not part
             // of the active deployment: their S3 draw is not charged
@@ -767,10 +826,8 @@ impl ClusterSim {
             // A sleeping home host keeps its memory server powered while
             // it has partial replicas to serve (§5.1); a host vacated
             // purely by full migrations has nothing to serve.
-            let serves_partials = self
-                .vms
-                .iter()
-                .any(|v| v.home == id && v.partial && v.location != id);
+            let serves_partials =
+                self.vms.iter().any(|v| v.home == id && v.partial && v.location != id);
             if role == HostRole::Compute && serves_partials {
                 joules += asleep * ms_watts;
             }
@@ -780,10 +837,7 @@ impl ClusterSim {
         for home in 0..self.cfg.home_hosts {
             let lo = (home * self.cfg.vms_per_host) as usize;
             let hi = lo + self.cfg.vms_per_host as usize;
-            let active = self.users[lo..hi]
-                .iter()
-                .filter(|u| u.is_active(interval))
-                .count();
+            let active = self.users[lo..hi].iter().filter(|u| u.is_active(interval)).count();
             self.baseline_joules += INTERVAL_SECS * p.watts(PowerState::Powered, active);
         }
     }
@@ -793,6 +847,10 @@ impl ClusterSim {
         let mut next_plan = SimTime::ZERO;
         for interval in 0..INTERVALS_PER_DAY {
             let now = SimTime::from_secs(interval as u64 * INTERVAL_SECS as u64);
+            self.telemetry.advance_to(now);
+            let active = self.users.iter().filter(|u| u.is_active(interval)).count();
+            self.telemetry
+                .emit(Event::IntervalStarted { interval: interval as u32, active: active as u32 });
             for h in &mut self.hosts {
                 h.begin_interval();
             }
@@ -810,6 +868,7 @@ impl ClusterSim {
         }
         let baseline_kwh = self.baseline_joules / oasis_power::meter::JOULES_PER_KWH;
         let total_kwh = self.total_joules / oasis_power::meter::JOULES_PER_KWH;
+        self.telemetry.flush();
         SimReport {
             policy: self.cfg.policy,
             day: self.cfg.day,
@@ -828,6 +887,7 @@ impl ClusterSim {
             consolidation_ratio: self.ratio,
             traffic: self.traffic,
             migrations: self.counts,
+            telemetry: self.telemetry.summary(),
         }
     }
 }

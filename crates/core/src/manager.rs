@@ -7,9 +7,10 @@
 
 use oasis_mem::ByteSize;
 use oasis_sim::{SimDuration, SimRng, SimTime};
+use oasis_telemetry::Telemetry;
 use oasis_vm::{HostId, VmId};
 
-use crate::placement::{on_partial_activated, plan_consolidation, PlannerConfig};
+use crate::placement::{on_partial_activated, plan_consolidation_traced, PlannerConfig};
 use crate::policy::{ActivationDecision, PlannedAction, PolicyKind};
 use crate::view::{ClusterView, HostRole};
 
@@ -52,12 +53,23 @@ pub struct ClusterManager {
     config: ManagerConfig,
     rng: SimRng,
     stats: ManagerStats,
+    telemetry: Telemetry,
 }
 
 impl ClusterManager {
     /// Creates a manager with the given configuration and seed.
     pub fn new(config: ManagerConfig, seed: u64) -> Self {
-        ClusterManager { config, rng: SimRng::new(seed ^ 0x0A51_50A5), stats: ManagerStats::default() }
+        ClusterManager {
+            config,
+            rng: SimRng::new(seed ^ 0x0A51_50A5),
+            stats: ManagerStats::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Routes the manager's spans and counters through `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The active policy.
@@ -84,8 +96,15 @@ impl ClusterManager {
 
     /// Runs one planning round over a snapshot (§3.1 "when to migrate").
     pub fn plan(&mut self, view: &ClusterView) -> Vec<PlannedAction> {
-        let actions =
-            plan_consolidation(view, self.config.policy, &self.config.planner, &mut self.rng);
+        let span = self.telemetry.span("manager_plan");
+        let actions = plan_consolidation_traced(
+            &self.telemetry,
+            view,
+            self.config.policy,
+            &self.config.planner,
+            &mut self.rng,
+        );
+        span.end();
         self.stats.rounds += 1;
         self.stats.actions += actions.len() as u64;
         actions
@@ -98,7 +117,15 @@ impl ClusterManager {
         vm: VmId,
     ) -> Option<ActivationDecision> {
         self.stats.activations += 1;
-        on_partial_activated(view, vm, self.config.policy, &mut self.rng)
+        let decision = on_partial_activated(view, vm, self.config.policy, &mut self.rng);
+        let outcome = match &decision {
+            Some(ActivationDecision::PromoteInPlace { .. }) => "promote_in_place",
+            Some(ActivationDecision::MoveTo { .. }) => "move_to",
+            Some(ActivationDecision::ReturnHome { .. }) => "return_home",
+            None => "none",
+        };
+        self.telemetry.metrics().counter("activations_total", &[("outcome", outcome)]).inc();
+        decision
     }
 
     /// Picks a compute host for a newly created VM (§4.1: "identifies a
@@ -151,24 +178,15 @@ mod tests {
     use crate::view::testutil::small_cluster;
 
     fn manager(policy: PolicyKind) -> ClusterManager {
-        ClusterManager::new(
-            ManagerConfig { policy, ..ManagerConfig::default() },
-            7,
-        )
+        ClusterManager::new(ManagerConfig { policy, ..ManagerConfig::default() }, 7)
     }
 
     #[test]
     fn planning_times_align_to_interval() {
         let m = manager(PolicyKind::Default);
         assert_eq!(m.next_planning_time(SimTime::ZERO), SimTime::from_secs(300));
-        assert_eq!(
-            m.next_planning_time(SimTime::from_secs(300)),
-            SimTime::from_secs(600)
-        );
-        assert_eq!(
-            m.next_planning_time(SimTime::from_secs(301)),
-            SimTime::from_secs(600)
-        );
+        assert_eq!(m.next_planning_time(SimTime::from_secs(300)), SimTime::from_secs(600));
+        assert_eq!(m.next_planning_time(SimTime::from_secs(301)), SimTime::from_secs(600));
     }
 
     #[test]

@@ -143,6 +143,25 @@ impl CapacityLedger {
     }
 }
 
+/// Like [`plan_consolidation`], wrapped in a `placement_search` span so
+/// the planner's wall-clock cost shows up in the telemetry registry.
+pub fn plan_consolidation_traced(
+    telemetry: &oasis_telemetry::Telemetry,
+    view: &ClusterView,
+    policy: PolicyKind,
+    config: &PlannerConfig,
+    rng: &mut SimRng,
+) -> Vec<PlannedAction> {
+    let span = telemetry.span("placement_search");
+    let actions = plan_consolidation(view, policy, config, rng);
+    span.end();
+    telemetry
+        .metrics()
+        .counter("planned_actions_total", &[("policy", &policy.to_string())])
+        .add(actions.len() as u64);
+    actions
+}
+
 /// Plans one consolidation interval; returns the actions to execute.
 pub fn plan_consolidation(
     view: &ClusterView,
@@ -162,9 +181,8 @@ pub fn plan_consolidation(
     // freeing `allocation − working set` on the spot.
     if policy.exchanges_full_for_partial() {
         for vm in &view.vms {
-            let on_consolidation = view
-                .host(vm.location)
-                .is_some_and(|h| h.role == HostRole::Consolidation);
+            let on_consolidation =
+                view.host(vm.location).is_some_and(|h| h.role == HostRole::Consolidation);
             let has_remote_home = vm.home != vm.location;
             if on_consolidation && !vm.partial && vm.state == VmState::Idle && has_remote_home {
                 actions.push(PlannedAction::Exchange {
@@ -370,18 +388,17 @@ mod tests {
     #[test]
     fn always_on_plans_nothing() {
         let view = small_cluster(4, 2, 10);
-        let plan = plan_consolidation(&view, PolicyKind::AlwaysOn, &PlannerConfig::default(), &mut rng());
+        let plan =
+            plan_consolidation(&view, PolicyKind::AlwaysOn, &PlannerConfig::default(), &mut rng());
         assert!(plan.is_empty());
     }
 
     #[test]
     fn all_idle_cluster_vacates_every_home() {
         let view = small_cluster(6, 2, 10);
-        let plan = plan_consolidation(&view, PolicyKind::Default, &PlannerConfig::default(), &mut rng());
-        let migrations = plan
-            .iter()
-            .filter(|a| matches!(a, PlannedAction::Migrate { .. }))
-            .count();
+        let plan =
+            plan_consolidation(&view, PolicyKind::Default, &PlannerConfig::default(), &mut rng());
+        let migrations = plan.iter().filter(|a| matches!(a, PlannedAction::Migrate { .. })).count();
         assert_eq!(migrations, 60, "all 60 idle VMs consolidate");
         // All partial: 60 × 165 MiB ≈ 9.7 GiB fits one consolidation host.
         for a in &plan {
@@ -396,7 +413,8 @@ mod tests {
         let mut view = small_cluster(2, 2, 4);
         view.hosts[2].powered = true; // A consolidation host is already up.
         view.vms[0].state = VmState::Active;
-        let plan = plan_consolidation(&view, PolicyKind::Default, &PlannerConfig::default(), &mut rng());
+        let plan =
+            plan_consolidation(&view, PolicyKind::Default, &PlannerConfig::default(), &mut rng());
         let fulls = plan
             .iter()
             .filter(|a| {
@@ -412,8 +430,12 @@ mod tests {
         let mut view = small_cluster(2, 2, 4);
         view.hosts[2].powered = true; // A consolidation host is already up.
         view.vms[0].state = VmState::Active; // Host 0 has an active VM.
-        let plan =
-            plan_consolidation(&view, PolicyKind::OnlyPartial, &PlannerConfig::default(), &mut rng());
+        let plan = plan_consolidation(
+            &view,
+            PolicyKind::OnlyPartial,
+            &PlannerConfig::default(),
+            &mut rng(),
+        );
         // Only host 1's four VMs move.
         assert_eq!(plan.len(), 4);
         for a in &plan {
@@ -622,9 +644,8 @@ mod tests {
             Some(HostId(1)),
             "lowest id"
         );
-        let picked = ledger
-            .choose(&candidates, PlacementStrategy::Random, &mut rng)
-            .expect("non-empty");
+        let picked =
+            ledger.choose(&candidates, PlacementStrategy::Random, &mut rng).expect("non-empty");
         assert!(candidates.contains(&picked));
         assert_eq!(ledger.choose(&[], PlacementStrategy::Random, &mut rng), None);
     }

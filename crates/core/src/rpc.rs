@@ -58,9 +58,7 @@ impl FromStr for Request {
         let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
         let rest = rest.trim();
         match verb {
-            "CREATE" if !rest.is_empty() => {
-                Ok(Request::CreateVm { config_path: rest.to_string() })
-            }
+            "CREATE" if !rest.is_empty() => Ok(Request::CreateVm { config_path: rest.to_string() }),
             "DESTROY" => rest
                 .parse()
                 .map(|id| Request::DestroyVm { vm: VmId(id) })
@@ -267,10 +265,7 @@ mod tests {
     impl MockBackend {
         fn new() -> Self {
             let mut store = BTreeMap::new();
-            store.insert(
-                "/store/vm0007.cfg".to_string(),
-                VmConfig::desktop(7).to_text(),
-            );
+            store.insert("/store/vm0007.cfg".to_string(), VmConfig::desktop(7).to_text());
             store.insert("/store/garbage.cfg".to_string(), "not a config".to_string());
             MockBackend { vms: Vec::new(), store, capacity: ByteSize::gib(192) }
         }
@@ -348,9 +343,11 @@ mod tests {
     fn create_query_destroy_lifecycle() {
         let mut mgr = manager();
         let mut backend = MockBackend::new();
-        let r = dispatch(&mut mgr, &mut backend, &Request::CreateVm {
-            config_path: "/store/vm0007.cfg".into(),
-        });
+        let r = dispatch(
+            &mut mgr,
+            &mut backend,
+            &Request::CreateVm { config_path: "/store/vm0007.cfg".into() },
+        );
         let host = match r {
             Response::Created { vm, host } => {
                 assert_eq!(vm, VmId(7));
@@ -382,34 +379,44 @@ mod tests {
         let mut mgr = manager();
         let mut backend = MockBackend::new();
         assert_eq!(
-            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
-                config_path: "/store/missing.cfg".into()
-            }),
+            dispatch(
+                &mut mgr,
+                &mut backend,
+                &Request::CreateVm { config_path: "/store/missing.cfg".into() }
+            ),
             Response::Error(RpcError::ConfigNotFound("/store/missing.cfg".into()))
         );
         assert!(matches!(
-            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
-                config_path: "/store/garbage.cfg".into()
-            }),
+            dispatch(
+                &mut mgr,
+                &mut backend,
+                &Request::CreateVm { config_path: "/store/garbage.cfg".into() }
+            ),
             Response::Error(RpcError::BadConfig(_))
         ));
         // Duplicate vmid.
-        dispatch(&mut mgr, &mut backend, &Request::CreateVm {
-            config_path: "/store/vm0007.cfg".into(),
-        });
+        dispatch(
+            &mut mgr,
+            &mut backend,
+            &Request::CreateVm { config_path: "/store/vm0007.cfg".into() },
+        );
         assert_eq!(
-            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
-                config_path: "/store/vm0007.cfg".into()
-            }),
+            dispatch(
+                &mut mgr,
+                &mut backend,
+                &Request::CreateVm { config_path: "/store/vm0007.cfg".into() }
+            ),
             Response::Error(RpcError::DuplicateVm(VmId(7)))
         );
         // No capacity: shrink hosts below the VM size.
         backend.capacity = ByteSize::gib(1);
         backend.store.insert("/store/vm0008.cfg".into(), VmConfig::desktop(8).to_text());
         assert_eq!(
-            dispatch(&mut mgr, &mut backend, &Request::CreateVm {
-                config_path: "/store/vm0008.cfg".into()
-            }),
+            dispatch(
+                &mut mgr,
+                &mut backend,
+                &Request::CreateVm { config_path: "/store/vm0008.cfg".into() }
+            ),
             Response::Error(RpcError::NoCapacity)
         );
     }

@@ -108,12 +108,7 @@ impl HostAgent {
     pub fn active_vm_count(&self) -> usize {
         self.hypervisor
             .vm_ids()
-            .filter(|&id| {
-                self.hypervisor
-                    .vm(id)
-                    .map(|h| h.vm.state.is_active())
-                    .unwrap_or(false)
-            })
+            .filter(|&id| self.hypervisor.vm(id).map(|h| h.vm.state.is_active()).unwrap_or(false))
             .count()
     }
 

@@ -106,9 +106,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = GuestMemoryImage::new(1, PageMix::desktop(), 10_000);
         let b = GuestMemoryImage::new(2, PageMix::desktop(), 10_000);
-        let same = (0..200)
-            .filter(|&i| a.class_of(PageNum(i)) == b.class_of(PageNum(i)))
-            .count();
+        let same = (0..200).filter(|&i| a.class_of(PageNum(i)) == b.class_of(PageNum(i))).count();
         assert!(same < 200, "class assignment identical across seeds");
     }
 

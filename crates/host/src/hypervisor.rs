@@ -18,6 +18,7 @@ use oasis_mem::dirty::DirtyLog;
 use oasis_mem::page_table::{Access, PageTable};
 use oasis_mem::wss::WorkingSetTracker;
 use oasis_mem::{ByteSize, PageNum, PAGE_SIZE};
+use oasis_telemetry::{Counter, Event, Telemetry};
 use oasis_vm::{Vm, VmId};
 
 use crate::guest::GuestMemoryImage;
@@ -78,12 +79,31 @@ pub struct HostedVm {
 pub struct Hypervisor {
     allocator: ChunkAllocator,
     vms: BTreeMap<VmId, HostedVm>,
+    telemetry: Telemetry,
+    /// Cached instrument handles: the fault path is hot, so the registry
+    /// is consulted once, not per access.
+    hits: Counter,
+    faults: Counter,
 }
 
 impl Hypervisor {
     /// Creates a hypervisor managing `capacity` of machine memory.
     pub fn new(capacity: ByteSize) -> Self {
-        Hypervisor { allocator: ChunkAllocator::new(capacity), vms: BTreeMap::new() }
+        Hypervisor::with_telemetry(capacity, Telemetry::disabled())
+    }
+
+    /// Creates a hypervisor reporting to the given telemetry bus.
+    pub fn with_telemetry(capacity: ByteSize, telemetry: Telemetry) -> Self {
+        let m = telemetry.metrics();
+        let hits = m.counter("guest_accesses_total", &[("result", "hit")]);
+        let faults = m.counter("guest_accesses_total", &[("result", "fault")]);
+        Hypervisor {
+            allocator: ChunkAllocator::new(capacity),
+            vms: BTreeMap::new(),
+            telemetry,
+            hits,
+            faults,
+        }
     }
 
     /// Number of hosted VMs.
@@ -123,11 +143,8 @@ impl Hypervisor {
             return Err(HvError::DuplicateVm(vm.id));
         }
         let pages = vm.allocation.pages(PAGE_SIZE);
-        let table = if resident {
-            PageTable::new_resident(pages)
-        } else {
-            PageTable::new_absent(pages)
-        };
+        let table =
+            if resident { PageTable::new_resident(pages) } else { PageTable::new_absent(pages) };
         self.vms.insert(
             vm.id,
             HostedVm {
@@ -164,35 +181,29 @@ impl Hypervisor {
                 if write {
                     hosted.dirty.record(page);
                 }
+                self.hits.inc();
                 Ok(GuestAccess::Hit)
             }
-            Ok(Access::Fault) => Ok(GuestAccess::FaultPending(page)),
+            Ok(Access::Fault) => {
+                self.faults.inc();
+                Ok(GuestAccess::FaultPending(page))
+            }
             Err(_) => Err(HvError::BadPage(id, page)),
         }
     }
 
     /// Completes a fault: allocates a frame from the chunk allocator and
     /// installs the fetched page, then replays the access.
-    pub fn install_fetched(
-        &mut self,
-        id: VmId,
-        page: PageNum,
-        write: bool,
-    ) -> Result<(), HvError> {
-        let frame = self
-            .allocator
-            .alloc_frame(id.0)
-            .map_err(|_| HvError::OutOfMemory)?;
+    pub fn install_fetched(&mut self, id: VmId, page: PageNum, write: bool) -> Result<(), HvError> {
+        let frame = self.allocator.alloc_frame(id.0).map_err(|_| HvError::OutOfMemory)?;
         let hosted = self.vms.get_mut(&id).ok_or(HvError::UnknownVm(id))?;
-        hosted
-            .table
-            .install(page, frame)
-            .map_err(|_| HvError::BadPage(id, page))?;
+        hosted.table.install(page, frame).map_err(|_| HvError::BadPage(id, page))?;
         hosted.wss.touch(page);
         if write {
             hosted.dirty.record(page);
             hosted.table.touch(page, true).map_err(|_| HvError::BadPage(id, page))?;
         }
+        self.telemetry.emit(Event::PageFaultFetched { vm: id.0, page: page.0 });
         Ok(())
     }
 
@@ -230,10 +241,7 @@ mod tests {
         let mut hv = Hypervisor::new(ByteSize::mib(256));
         let (vm, img) = small_vm(1);
         hv.create_full(vm, img).unwrap();
-        assert_eq!(
-            hv.guest_access(VmId(1), PageNum(100), false).unwrap(),
-            GuestAccess::Hit
-        );
+        assert_eq!(hv.guest_access(VmId(1), PageNum(100), false).unwrap(), GuestAccess::Hit);
         assert_eq!(hv.vm(VmId(1)).unwrap().wss.unique_pages(), 1);
     }
 
@@ -281,10 +289,7 @@ mod tests {
         let (vm, img) = small_vm(5);
         hv.create_full(vm.clone(), img.clone()).unwrap();
         assert_eq!(hv.create_full(vm, img), Err(HvError::DuplicateVm(VmId(5))));
-        assert_eq!(
-            hv.guest_access(VmId(99), PageNum(0), false),
-            Err(HvError::UnknownVm(VmId(99)))
-        );
+        assert_eq!(hv.guest_access(VmId(99), PageNum(0), false), Err(HvError::UnknownVm(VmId(99))));
         assert!(hv.destroy(VmId(99)).is_err());
     }
 
@@ -299,10 +304,7 @@ mod tests {
         let (mut vm2, img2) = small_vm(7);
         vm2.make_partial(ByteSize::ZERO);
         hv.create_partial(vm2, img2).unwrap();
-        assert_eq!(
-            hv.install_fetched(VmId(7), PageNum(0), false),
-            Err(HvError::OutOfMemory)
-        );
+        assert_eq!(hv.install_fetched(VmId(7), PageNum(0), false), Err(HvError::OutOfMemory));
         hv.destroy(VmId(6)).unwrap();
         assert!(hv.install_fetched(VmId(7), PageNum(0), false).is_ok());
     }

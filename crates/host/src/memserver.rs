@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use oasis_mem::{ByteSize, PageNum};
 use oasis_power::MemoryServerProfile;
 use oasis_sim::SimDuration;
+use oasis_telemetry::{Counter, Telemetry};
 use oasis_vm::VmId;
 
 /// Which side currently has the shared SAS drive mounted.
@@ -92,17 +93,30 @@ pub struct MemoryServer {
     /// Per-VM image: page → compressed size on disk.
     images: BTreeMap<VmId, BTreeMap<u64, u32>>,
     stats: ServeStats,
+    // Serving sits on the guest fault path, so counter handles are cached.
+    pages_served: Counter,
+    upload_bytes: Counter,
 }
 
 impl MemoryServer {
     /// Creates a memory server with the drive initially at the host.
     pub fn new(profile: MemoryServerProfile) -> Self {
+        MemoryServer::with_telemetry(profile, &Telemetry::disabled())
+    }
+
+    /// Like [`MemoryServer::new`], but wired to a telemetry registry:
+    /// `memserver_pages_served_total` counts page requests answered and
+    /// `memserver_upload_bytes_total` counts compressed bytes written to
+    /// the shared drive.
+    pub fn with_telemetry(profile: MemoryServerProfile, telemetry: &Telemetry) -> Self {
         MemoryServer {
             profile,
             drive: DriveOwner::Host,
             serving: false,
             images: BTreeMap::new(),
             stats: ServeStats::default(),
+            pages_served: telemetry.metrics().counter("memserver_pages_served_total", &[]),
+            upload_bytes: telemetry.metrics().counter("memserver_upload_bytes_total", &[]),
         }
     }
 
@@ -165,6 +179,7 @@ impl MemoryServer {
         let duration = SimDuration::from_secs_f64(
             compressed.as_bytes() as f64 / self.profile.upload_bytes_per_sec,
         );
+        self.upload_bytes.add(compressed.as_bytes());
         Ok(UploadReceipt { pages: pages.len() as u64, raw, compressed, duration })
     }
 
@@ -198,13 +213,11 @@ impl MemoryServer {
             return Err(MsError::NotServing);
         }
         let image = self.images.get(&vm).ok_or(MsError::UnknownVm(vm))?;
-        let size = image
-            .get(&page.0)
-            .copied()
-            .ok_or(MsError::UnknownPage(vm, page))?;
+        let size = image.get(&page.0).copied().ok_or(MsError::UnknownPage(vm, page))?;
         let size = ByteSize::bytes(u64::from(size));
         self.stats.requests += 1;
         self.stats.bytes_sent += size;
+        self.pages_served.inc();
         Ok(size)
     }
 
@@ -278,11 +291,7 @@ impl MemoryServer {
     /// Total compressed bytes stored across all images.
     pub fn stored_bytes(&self) -> ByteSize {
         ByteSize::bytes(
-            self.images
-                .values()
-                .flat_map(|img| img.values())
-                .map(|&s| u64::from(s))
-                .sum(),
+            self.images.values().flat_map(|img| img.values()).map(|&s| u64::from(s)).sum(),
         )
     }
 }
@@ -309,10 +318,7 @@ mod tests {
         // Cannot serve before handoff.
         assert_eq!(ms.serve_page(VmId(1), PageNum(5)), Err(MsError::NotServing));
         ms.handoff_to_server().unwrap();
-        assert_eq!(
-            ms.serve_page(VmId(1), PageNum(5)).unwrap(),
-            ByteSize::bytes(1_500)
-        );
+        assert_eq!(ms.serve_page(VmId(1), PageNum(5)).unwrap(), ByteSize::bytes(1_500));
         assert_eq!(ms.stats().requests, 1);
     }
 
@@ -367,9 +373,7 @@ mod tests {
     fn upload_duration_matches_sas_bandwidth() {
         let mut ms = server();
         // 1.28 GiB compressed at 128 MiB/s = 10.24 s.
-        let batch: Vec<_> = (0..1_024u64)
-            .map(|i| (PageNum(i), ByteSize::mib(1)))
-            .collect();
+        let batch: Vec<_> = (0..1_024u64).map(|i| (PageNum(i), ByteSize::mib(1))).collect();
         let receipt = ms.upload(VmId(1), &batch, false).unwrap();
         assert!((receipt.duration.as_secs_f64() - 8.0).abs() < 0.01);
     }
@@ -411,10 +415,7 @@ mod tests {
         assert_eq!(fresh.import_image(&blob), Ok(VmId(1)));
         assert_eq!(fresh.stored_pages(VmId(1)), 110);
         fresh.handoff_to_server().unwrap();
-        assert_eq!(
-            fresh.serve_page(VmId(1), PageNum(205)).unwrap(),
-            ByteSize::bytes(900)
-        );
+        assert_eq!(fresh.serve_page(VmId(1), PageNum(205)).unwrap(), ByteSize::bytes(900));
         assert_eq!(fresh.stored_bytes(), ms.stored_bytes());
     }
 
@@ -448,9 +449,6 @@ mod tests {
         assert_eq!(ms.handoff_to_host(), Err(MsError::NotServing));
         ms.handoff_to_server().unwrap();
         assert!(ms.is_serving());
-        assert_eq!(
-            ms.handoff_to_server(),
-            Err(MsError::DriveNotMounted(DriveOwner::Server))
-        );
+        assert_eq!(ms.handoff_to_server(), Err(MsError::DriveNotMounted(DriveOwner::Server)));
     }
 }

@@ -100,9 +100,8 @@ impl Memtap {
             crypto = SimDuration::from_secs_f64(2.0 * payload / CRYPTO_BYTES_PER_SEC);
         }
         let wire = SimDuration::from_secs_f64(payload / self.link.bandwidth);
-        let decompress = SimDuration::from_secs_f64(
-            oasis_mem::PAGE_SIZE as f64 / DECOMPRESS_BYTES_PER_SEC,
-        );
+        let decompress =
+            SimDuration::from_secs_f64(oasis_mem::PAGE_SIZE as f64 / DECOMPRESS_BYTES_PER_SEC);
         FAULT_OVERHEAD + request_rtt + self.service_time + wire + decompress + crypto
     }
 
@@ -119,11 +118,7 @@ mod tests {
     use oasis_power::MemoryServerProfile;
 
     fn memtap() -> Memtap {
-        Memtap::new(
-            VmId(1),
-            LinkSpec::gige(),
-            MemoryServerProfile::prototype().page_service_time,
-        )
+        Memtap::new(VmId(1), LinkSpec::gige(), MemoryServerProfile::prototype().page_service_time)
     }
 
     #[test]

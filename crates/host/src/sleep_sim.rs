@@ -215,10 +215,8 @@ mod tests {
     fn ten_colocated_vms_prevent_sleep() {
         // Figure 2's right bar: 5 web + 5 database VMs, 5.8 s mean gaps —
         // barely longer than the 5.4 s transition round trip.
-        let mix: Vec<WorkloadClass> = [WorkloadClass::Database; 5]
-            .into_iter()
-            .chain([WorkloadClass::WebServer; 5])
-            .collect();
+        let mix: Vec<WorkloadClass> =
+            [WorkloadClass::Database; 5].into_iter().chain([WorkloadClass::WebServer; 5]).collect();
         let r = simulate_host_sleep(&mix, HOURS, TIMER, 1);
         assert!(r.sleep_fraction < 0.10, "sleep fraction {}", r.sleep_fraction);
         assert!(r.mean_watts > 90.0, "mean watts {}", r.mean_watts);
@@ -234,12 +232,8 @@ mod tests {
     #[test]
     fn longer_idle_timer_means_less_sleep() {
         let short = simulate_host_sleep(&[WorkloadClass::Database], HOURS, TIMER, 3);
-        let long = simulate_host_sleep(
-            &[WorkloadClass::Database],
-            HOURS,
-            SimDuration::from_secs(120),
-            3,
-        );
+        let long =
+            simulate_host_sleep(&[WorkloadClass::Database], HOURS, SimDuration::from_secs(120), 3);
         assert!(short.sleep_fraction > long.sleep_fraction);
     }
 

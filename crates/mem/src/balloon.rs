@@ -72,9 +72,7 @@ impl Balloon {
 
     /// Most the balloon may hold right now.
     pub fn max_inflatable(&self) -> ByteSize {
-        self.allocation
-            .saturating_sub(self.guest_used)
-            .saturating_sub(self.floor)
+        self.allocation.saturating_sub(self.guest_used).saturating_sub(self.floor)
     }
 
     /// Inflates by `amount`, reclaiming guest-free memory for the host.
@@ -132,10 +130,7 @@ mod tests {
         let mut b = balloon();
         b.set_guest_used(ByteSize::gib(3));
         let err = b.inflate(ByteSize::gib(1)).unwrap_err();
-        assert_eq!(
-            err,
-            BalloonError::GuestPressure { available: ByteSize::mib(768) }
-        );
+        assert_eq!(err, BalloonError::GuestPressure { available: ByteSize::mib(768) });
         assert!(b.inflate(ByteSize::mib(768)).is_ok());
         assert_eq!(b.max_inflatable(), b.inflated());
     }

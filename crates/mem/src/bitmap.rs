@@ -17,11 +17,7 @@ pub struct Bitmap {
 impl Bitmap {
     /// Creates a bitmap of `len` zero bits.
     pub fn new(len: usize) -> Self {
-        Bitmap {
-            words: vec![0; len.div_ceil(64)],
-            len,
-            ones: 0,
-        }
+        Bitmap { words: vec![0; len.div_ceil(64)], len, ones: 0 }
     }
 
     /// Number of bits.

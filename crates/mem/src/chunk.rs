@@ -87,10 +87,10 @@ impl ChunkAllocator {
 
     /// Allocates one frame for `owner`, carving a new chunk if needed.
     pub fn alloc_frame(&mut self, owner: OwnerId) -> Result<MachineFrame, OutOfMemory> {
-        let state = self.owners.entry(owner).or_insert(OwnerState {
-            chunks: Vec::new(),
-            used_in_last: FRAMES_PER_CHUNK,
-        });
+        let state = self
+            .owners
+            .entry(owner)
+            .or_insert(OwnerState { chunks: Vec::new(), used_in_last: FRAMES_PER_CHUNK });
         if state.used_in_last == FRAMES_PER_CHUNK {
             let chunk = self.free.pop().ok_or(OutOfMemory)?;
             state.chunks.push(chunk);
@@ -119,15 +119,17 @@ impl ChunkAllocator {
 
     /// Internal fragmentation: fraction of reserved frames left unused.
     pub fn fragmentation(&self) -> f64 {
-        let reserved: u64 = self
-            .owners
-            .values()
-            .map(|o| o.chunks.len() as u64 * FRAMES_PER_CHUNK)
-            .sum();
+        let reserved: u64 =
+            self.owners.values().map(|o| o.chunks.len() as u64 * FRAMES_PER_CHUNK).sum();
         if reserved == 0 {
             return 0.0;
         }
-        let used: u64 = self.owners.keys().copied().collect::<Vec<_>>().iter()
+        let used: u64 = self
+            .owners
+            .keys()
+            .copied()
+            .collect::<Vec<_>>()
+            .iter()
             .map(|&o| self.used_frames(o))
             .sum();
         1.0 - used as f64 / reserved as f64

@@ -224,12 +224,8 @@ pub enum PageClass {
 
 impl PageClass {
     /// All classes, most compressible first.
-    pub const ALL: [PageClass; 4] = [
-        PageClass::Zero,
-        PageClass::Text,
-        PageClass::Code,
-        PageClass::Random,
-    ];
+    pub const ALL: [PageClass; 4] =
+        [PageClass::Zero, PageClass::Text, PageClass::Code, PageClass::Random];
 
     /// Deterministically synthesizes one page of this class.
     ///
@@ -244,8 +240,8 @@ impl PageClass {
                 // Words drawn from a small dictionary with spaces: heavy
                 // 3+ byte repetition, like log files or documents.
                 const WORDS: [&str; 12] = [
-                    "the", "page", "server", "memory", "idle", "virtual",
-                    "machine", "energy", "sleep", "host", "cluster", "cache",
+                    "the", "page", "server", "memory", "idle", "virtual", "machine", "energy",
+                    "sleep", "host", "cluster", "cache",
                 ];
                 let mut out = Vec::with_capacity(n);
                 while out.len() < n {
@@ -410,9 +406,7 @@ mod tests {
 
     #[test]
     fn long_runs_use_max_matches() {
-        let input: Vec<u8> = std::iter::repeat_n(b"abcabcabc".to_vec(), 400)
-            .flatten()
-            .collect();
+        let input: Vec<u8> = std::iter::repeat_n(b"abcabcabc".to_vec(), 400).flatten().collect();
         let packed = compress(&input);
         assert!(packed.len() < input.len() / 4);
         assert_eq!(decompress(&packed).unwrap(), input);
@@ -447,9 +441,7 @@ mod tests {
         let mix = PageMix::desktop();
         let mut rng = SimRng::new(3);
         let n = 20_000;
-        let zeros = (0..n)
-            .filter(|_| mix.sample(&mut rng) == PageClass::Zero)
-            .count();
+        let zeros = (0..n).filter(|_| mix.sample(&mut rng) == PageClass::Zero).count();
         let frac = zeros as f64 / n as f64;
         assert!((frac - mix.zero).abs() < 0.02, "zero fraction {frac}");
     }

@@ -92,10 +92,7 @@ impl SharePool {
     pub fn insert(&mut self, content: Fingerprint) -> PageHandle {
         let handle = PageHandle(self.next_handle);
         self.next_handle += 1;
-        self.shared
-            .entry(content)
-            .and_modify(|e| e.refs += 1)
-            .or_insert(ShareEntry { refs: 1 });
+        self.shared.entry(content).and_modify(|e| e.refs += 1).or_insert(ShareEntry { refs: 1 });
         self.pages.insert(handle.0, Some(content));
         handle
     }

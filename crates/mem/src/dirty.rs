@@ -46,11 +46,7 @@ impl DirtyLog {
     /// Closes the epoch: returns the dirtied pages and starts a new epoch.
     pub fn take_epoch(&mut self) -> Vec<PageNum> {
         self.epoch += 1;
-        self.bits
-            .drain_ones()
-            .into_iter()
-            .map(|i| PageNum(i as u64))
-            .collect()
+        self.bits.drain_ones().into_iter().map(|i| PageNum(i as u64)).collect()
     }
 
     /// `true` if `page` is dirty in the current epoch.
@@ -81,11 +77,7 @@ impl DirtyRateMonitor {
     /// Panics if `buckets == 0` or `bucket_width` is zero.
     pub fn new(bucket_width: SimDuration, buckets: usize) -> Self {
         assert!(buckets > 0 && !bucket_width.is_zero(), "invalid monitor window");
-        DirtyRateMonitor {
-            bucket_width,
-            buckets: vec![0; buckets],
-            head_bucket: 0,
-        }
+        DirtyRateMonitor { bucket_width, buckets: vec![0; buckets], head_bucket: 0 }
     }
 
     fn bucket_index_of(&self, now: SimTime) -> u64 {

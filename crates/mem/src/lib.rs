@@ -28,8 +28,8 @@ pub mod addr;
 pub mod balloon;
 pub mod bitmap;
 pub mod chunk;
-pub mod dedup;
 pub mod compress;
+pub mod dedup;
 pub mod dirty;
 pub mod page_table;
 pub mod size;

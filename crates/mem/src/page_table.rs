@@ -231,10 +231,7 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut pt = PageTable::new_absent(10);
-        assert_eq!(
-            pt.touch(PageNum(10), false),
-            Err(PageTableError::OutOfRange(PageNum(10)))
-        );
+        assert_eq!(pt.touch(PageNum(10), false), Err(PageTableError::OutOfRange(PageNum(10))));
         assert!(pt.install(PageNum(11), MachineFrame(0)).is_err());
         assert!(pt.evict(PageNum(12)).is_err());
         assert!(!pt.is_present(PageNum(10_000)));

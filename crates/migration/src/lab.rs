@@ -179,8 +179,7 @@ impl MicroLab {
         let host_profile = HostEnergyProfile::table1();
         let ms_profile = MemoryServerProfile::prototype();
         let mut home = HostAgent::new_home(0, ByteSize::gib(128), &host_profile, ms_profile);
-        let mut consolidation =
-            HostAgent::new_consolidation(1, ByteSize::gib(512), &host_profile);
+        let mut consolidation = HostAgent::new_consolidation(1, ByteSize::gib(512), &host_profile);
         // The HP host lacks S3 support and always stays powered (§4.4.1).
         let _ = consolidation.acpi.request_wake(SimTime::ZERO);
         if let Some(ends) = consolidation.acpi.transition_ends() {
@@ -190,17 +189,14 @@ impl MicroLab {
         let vm_id = VmId(1);
         let vm = Vm::new(vm_id, WorkloadClass::Desktop, ByteSize::gib(4), 1);
         let image = GuestMemoryImage::desktop(seed);
-        home.hypervisor
-            .create_full(vm, image.clone())
-            .expect("fresh hypervisor accepts the VM");
+        home.hypervisor.create_full(vm, image.clone()).expect("fresh hypervisor accepts the VM");
 
         let memtap = if options.secure_channel {
             Memtap::new_secured(vm_id, LinkSpec::gige(), ms_profile.page_service_time)
         } else {
             Memtap::new(vm_id, LinkSpec::gige(), ms_profile.page_service_time)
         };
-        let zero_page_cost =
-            ByteSize::bytes(compress(&vec![0u8; PAGE_SIZE as usize]).len() as u64);
+        let zero_page_cost = ByteSize::bytes(compress(&vec![0u8; PAGE_SIZE as usize]).len() as u64);
 
         MicroLab {
             home,
@@ -254,9 +250,7 @@ impl MicroLab {
     /// Runs a Table 2 workload at home (the VM must be resident there).
     pub fn run_workload(&mut self, workload: &DesktopWorkload) {
         assert_eq!(self.location, VmLocation::Home, "workloads run at home");
-        self.home
-            .set_vm_state(self.vm_id, VmState::Active)
-            .expect("vm hosted");
+        self.home.set_vm_state(self.vm_id, VmState::Active).expect("vm hosted");
         for (app, count) in workload.apps.clone() {
             for _ in 0..count {
                 let range = self.take_fresh_range(app.startup_pages);
@@ -275,9 +269,7 @@ impl MicroLab {
     /// Lets the VM sit idle at home, dirtying background pages.
     pub fn idle_wait(&mut self, duration: SimDuration) {
         assert_eq!(self.location, VmLocation::Home);
-        self.home
-            .set_vm_state(self.vm_id, VmState::Idle)
-            .expect("vm hosted");
+        self.home.set_vm_state(self.vm_id, VmState::Idle).expect("vm hosted");
         let pages = (IDLE_DIRTY_PAGES_PER_MIN * duration.as_secs_f64() / 60.0) as u64;
         // Background dirtying rewrites already-touched pages.
         let limit = self.next_fresh_page.max(1);
@@ -345,9 +337,8 @@ impl MicroLab {
             PartialMigration::with_upload(upload_compressed).run(ms.profile(), LinkSpec::gige());
         if self.options.secure_channel {
             // Session establishment before the memtap can fetch (§4.3).
-            let handshake = oasis_net::secure::SessionBroker::handshake_latency(
-                LinkSpec::gige().latency * 2,
-            );
+            let handshake =
+                oasis_net::secure::SessionBroker::handshake_latency(LinkSpec::gige().latency * 2);
             outcome.descriptor_time += handshake;
             outcome.total += handshake;
         }
@@ -462,13 +453,8 @@ impl MicroLab {
 
         self.traffic.record(TrafficClass::DemandFetch, fetched);
         self.now += duration + retry_time;
-        let dirty_pages = self
-            .consolidation
-            .hypervisor
-            .vm(self.vm_id)
-            .expect("vm here")
-            .dirty
-            .dirty_count();
+        let dirty_pages =
+            self.consolidation.hypervisor.vm(self.vm_id).expect("vm here").dirty.dirty_count();
         ConsolidatedIdleReport { faults, fetched, dirty_pages, retries, retry_time }
     }
 
@@ -476,11 +462,7 @@ impl MicroLab {
     pub fn reintegrate(&mut self) -> ReintegrationOutcome {
         assert_eq!(self.location, VmLocation::Consolidated);
         let dirty = {
-            let hosted = self
-                .consolidation
-                .hypervisor
-                .vm_mut(self.vm_id)
-                .expect("vm here");
+            let hosted = self.consolidation.hypervisor.vm_mut(self.vm_id).expect("vm here");
             hosted.dirty.take_epoch()
         };
         let outcome = Reintegration {
@@ -500,10 +482,7 @@ impl MicroLab {
 
         // The consolidation host releases the partial VM; the memory
         // server stops serving and hands the drive back (§4.3).
-        self.consolidation
-            .hypervisor
-            .destroy(self.vm_id)
-            .expect("partial vm present");
+        self.consolidation.hypervisor.destroy(self.vm_id).expect("partial vm present");
         let ms = self.home.memserver.as_mut().expect("memserver");
         ms.handoff_to_host().expect("serving");
 
@@ -546,7 +525,9 @@ mod tests {
     use oasis_vm::apps::catalog;
 
     /// Runs the full §4.4 flow once and returns the lab plus the reports.
-    fn run_flow() -> (MicroLab, PartialReport, ConsolidatedIdleReport, ReintegrationOutcome, PartialReport) {
+    fn run_flow(
+    ) -> (MicroLab, PartialReport, ConsolidatedIdleReport, ReintegrationOutcome, PartialReport)
+    {
         let mut lab = MicroLab::new(1);
         lab.prime_os();
         lab.run_workload(&DesktopWorkload::workload1());
@@ -632,10 +613,8 @@ mod tests {
 
     #[test]
     fn secure_channel_end_to_end() {
-        let mut lab = MicroLab::with_options(
-            1,
-            LabOptions { secure_channel: true, ..LabOptions::default() },
-        );
+        let mut lab =
+            MicroLab::with_options(1, LabOptions { secure_channel: true, ..LabOptions::default() });
         lab.prime_os();
         lab.run_workload(&DesktopWorkload::workload1());
         lab.idle_wait(SimDuration::from_mins(5));

@@ -73,9 +73,7 @@ impl MigrationPlan {
 
     /// Iterates over all orders with their sources.
     pub fn iter(&self) -> impl Iterator<Item = (HostId, MigrationOrder)> + '_ {
-        self.by_source
-            .iter()
-            .flat_map(|(h, orders)| orders.iter().map(move |&o| (*h, o)))
+        self.by_source.iter().flat_map(|(h, orders)| orders.iter().map(move |&o| (*h, o)))
     }
 
     /// Orders of a specific kind.

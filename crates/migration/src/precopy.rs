@@ -134,6 +134,26 @@ pub fn pages_per_sec(pages: f64) -> f64 {
     pages * PAGE_SIZE as f64
 }
 
+/// Like [`migrate`], but records span timing and outcome metrics on the
+/// given telemetry bus (`migration_bytes_total`, `migration_duration_us`
+/// and `migration_downtime_us`, all labeled `kind="precopy"`).
+pub fn migrate_traced(
+    telemetry: &oasis_telemetry::Telemetry,
+    memory: ByteSize,
+    dirty_rate: f64,
+    link: LinkSpec,
+    config: &PrecopyConfig,
+) -> PrecopyOutcome {
+    let span = telemetry.span("precopy_migrate");
+    let out = migrate(memory, dirty_rate, link, config);
+    span.end();
+    let m = telemetry.metrics();
+    m.counter("migration_bytes_total", &[("kind", "precopy")]).add(out.bytes_sent.as_bytes());
+    m.histogram("migration_duration_us", &[("kind", "precopy")]).record(out.duration.as_micros());
+    m.histogram("migration_downtime_us", &[("kind", "precopy")]).record(out.downtime.as_micros());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,12 +164,8 @@ mod tests {
     fn figure5_full_migration_over_gige_takes_about_41s() {
         // §4.4.2: fully migrating the primed desktop VM took 41 s on GigE.
         // The VM keeps dirtying ~15 MiB/s while migrating.
-        let out = migrate(
-            GIB4,
-            15.0 * 1024.0 * 1024.0,
-            LinkSpec::gige(),
-            &PrecopyConfig::default(),
-        );
+        let out =
+            migrate(GIB4, 15.0 * 1024.0 * 1024.0, LinkSpec::gige(), &PrecopyConfig::default());
         let secs = out.duration.as_secs_f64();
         assert!((38.0..44.0).contains(&secs), "duration {secs}");
         assert!(out.bytes_sent > GIB4, "iterations resend dirty pages");
@@ -159,12 +175,8 @@ mod tests {
 
     #[test]
     fn ten_gige_is_much_faster() {
-        let out = migrate(
-            GIB4,
-            15.0 * 1024.0 * 1024.0,
-            LinkSpec::ten_gige(),
-            &PrecopyConfig::default(),
-        );
+        let out =
+            migrate(GIB4, 15.0 * 1024.0 * 1024.0, LinkSpec::ten_gige(), &PrecopyConfig::default());
         assert!(out.duration.as_secs_f64() < 6.0);
     }
 
@@ -179,12 +191,8 @@ mod tests {
     #[test]
     fn hot_vm_forces_stop() {
         // Dirtying faster than the link: never converges.
-        let out = migrate(
-            GIB4,
-            200.0 * 1024.0 * 1024.0,
-            LinkSpec::gige(),
-            &PrecopyConfig::default(),
-        );
+        let out =
+            migrate(GIB4, 200.0 * 1024.0 * 1024.0, LinkSpec::gige(), &PrecopyConfig::default());
         assert!(out.forced_stop);
         assert!(out.downtime.as_secs_f64() > 1.0, "big stop-and-copy");
     }
@@ -198,12 +206,8 @@ mod tests {
 
     #[test]
     fn downtime_below_total_duration() {
-        let out = migrate(
-            GIB4,
-            10.0 * 1024.0 * 1024.0,
-            LinkSpec::gige(),
-            &PrecopyConfig::default(),
-        );
+        let out =
+            migrate(GIB4, 10.0 * 1024.0 * 1024.0, LinkSpec::gige(), &PrecopyConfig::default());
         assert!(out.downtime < out.duration);
     }
 

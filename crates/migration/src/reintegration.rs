@@ -76,15 +76,18 @@ mod tests {
     fn zero_dirty_is_overhead_only() {
         let out = Reintegration::with_dirty_pages(0).run(LinkSpec::gige());
         assert_eq!(out.network_bytes, ByteSize::ZERO);
-        assert_eq!(out.total.as_secs_f64(), REINTEGRATION_OVERHEAD.as_secs_f64() + LinkSpec::gige().latency.as_secs_f64());
+        assert_eq!(
+            out.total.as_secs_f64(),
+            REINTEGRATION_OVERHEAD.as_secs_f64() + LinkSpec::gige().latency.as_secs_f64()
+        );
     }
 
     #[test]
     fn obviation_reduces_traffic() {
-        let with = Reintegration { dirty_pages: 10_000, obviated_fraction: 0.25 }
-            .run(LinkSpec::gige());
-        let without = Reintegration { dirty_pages: 10_000, obviated_fraction: 0.0 }
-            .run(LinkSpec::gige());
+        let with =
+            Reintegration { dirty_pages: 10_000, obviated_fraction: 0.25 }.run(LinkSpec::gige());
+        let without =
+            Reintegration { dirty_pages: 10_000, obviated_fraction: 0.0 }.run(LinkSpec::gige());
         assert!(with.network_bytes < without.network_bytes);
         assert_eq!(with.obviated_pages, 2_500);
         assert_eq!(without.obviated_pages, 0);

@@ -25,4 +25,4 @@ pub mod wol;
 
 pub use link::{LinkSpec, SharedChannel, TransferId};
 pub use traffic::{TrafficAccountant, TrafficClass};
-pub use wol::MagicPacket;
+pub use wol::{wake_with_retries, MagicPacket};

@@ -22,27 +22,18 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// Gigabit Ethernet with typical TCP efficiency (~941 Mbit/s goodput).
     pub fn gige() -> Self {
-        LinkSpec {
-            bandwidth: 941.0e6 / 8.0,
-            latency: SimDuration::from_micros(200),
-        }
+        LinkSpec { bandwidth: 941.0e6 / 8.0, latency: SimDuration::from_micros(200) }
     }
 
     /// 10-Gigabit Ethernet (rack ToR switch, §5.1).
     pub fn ten_gige() -> Self {
-        LinkSpec {
-            bandwidth: 9.41e9 / 8.0,
-            latency: SimDuration::from_micros(100),
-        }
+        LinkSpec { bandwidth: 9.41e9 / 8.0, latency: SimDuration::from_micros(100) }
     }
 
     /// The prototype's shared SAS drive path: 128 MiB/s sequential writes
     /// (§4.3).
     pub fn sas_drive() -> Self {
-        LinkSpec {
-            bandwidth: 128.0 * 1024.0 * 1024.0,
-            latency: SimDuration::from_micros(500),
-        }
+        LinkSpec { bandwidth: 128.0 * 1024.0 * 1024.0, latency: SimDuration::from_micros(500) }
     }
 
     /// Time to transfer `bytes` on an otherwise idle link.
@@ -123,10 +114,7 @@ impl SharedChannel {
         while dt > 0.0 && !self.active.is_empty() {
             let n = self.active.len() as f64;
             let share = self.bandwidth / n;
-            let min_remaining = self
-                .active
-                .values()
-                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let min_remaining = self.active.values().fold(f64::INFINITY, |a, &b| a.min(b));
             let time_to_first = min_remaining / share;
             if time_to_first > dt {
                 // Nobody finishes in the window: apply partial progress.
@@ -170,9 +158,7 @@ impl SharedChannel {
     /// Aborts an in-flight transfer; returns the bytes still unsent.
     pub fn abort(&mut self, now: SimTime, id: TransferId) -> Option<ByteSize> {
         self.advance(now);
-        self.active
-            .remove(&id)
-            .map(|rem| ByteSize::bytes(rem.max(0.0).ceil() as u64))
+        self.active.remove(&id).map(|rem| ByteSize::bytes(rem.max(0.0).ceil() as u64))
     }
 
     /// Predicted completion time of the earliest-finishing transfer,
@@ -212,9 +198,8 @@ mod tests {
         let t10 = LinkSpec::ten_gige().transfer_time(ByteSize::gib(4)).as_secs_f64();
         assert!(t10 < 4.0, "10GigE 4 GiB took {t10}");
         // SAS: 1.3 GiB at 128 MiB/s ≈ 10.4 s (the Figure 5 upload path).
-        let tsas = LinkSpec::sas_drive()
-            .transfer_time(ByteSize::from_mib_f64(1_305.6))
-            .as_secs_f64();
+        let tsas =
+            LinkSpec::sas_drive().transfer_time(ByteSize::from_mib_f64(1_305.6)).as_secs_f64();
         assert!((tsas - 10.2).abs() < 0.1, "SAS upload took {tsas}");
     }
 

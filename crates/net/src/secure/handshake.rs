@@ -176,12 +176,7 @@ impl SecureChannel {
     }
 
     /// Opens the peer's record with the expected sequence number.
-    pub fn open(
-        &mut self,
-        seq: u64,
-        aad: &[u8],
-        sealed: &[u8],
-    ) -> Result<Vec<u8>, HandshakeError> {
+    pub fn open(&mut self, seq: u64, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, HandshakeError> {
         if seq != self.recv_seq {
             return Err(HandshakeError::BadSequence { expected: self.recv_seq, got: seq });
         }
@@ -222,9 +217,7 @@ impl SessionBroker {
     ) -> Result<(SecureChannel, SecureChannel), HandshakeError> {
         for cert in [&client.certificate, &server.certificate] {
             if !self.anchor.verify(cert) {
-                return Err(HandshakeError::UntrustedCertificate {
-                    subject: cert.subject.clone(),
-                });
+                return Err(HandshakeError::UntrustedCertificate { subject: cert.subject.clone() });
             }
         }
         // Both sides compute the same shared secret.
@@ -339,10 +332,7 @@ mod tests {
         // channel cannot open it.
         assert_ne!(&sealed[..page.len()], page.as_slice());
         let (mut other_rx, _) = broker.establish(&client, &server, 9, 9).unwrap();
-        assert!(matches!(
-            other_rx.open(0, b"", &sealed),
-            Err(HandshakeError::RecordAuth(_))
-        ));
+        assert!(matches!(other_rx.open(0, b"", &sealed), Err(HandshakeError::RecordAuth(_))));
     }
 
     #[test]

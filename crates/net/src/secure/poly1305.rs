@@ -113,11 +113,8 @@ pub fn tag(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
 
     // g4's top bit is set iff the subtraction borrowed, i.e. h < p.
     let use_h = g4 >> 63 == 1;
-    let (f0, f1, f2, f3, f4) = if use_h {
-        (h0, h1, h2, h3, h4)
-    } else {
-        (g0, g1, g2, g3, g4 & MASK26)
-    };
+    let (f0, f1, f2, f3, f4) =
+        if use_h { (h0, h1, h2, h3, h4) } else { (g0, g1, g2, g3, g4 & MASK26) };
 
     // Serialize h back to four 32-bit words and add s modulo 2¹²⁸.
     let w0 = f0 | f1 << 26;

@@ -107,20 +107,12 @@ impl TrafficAccountant {
 
     /// Bytes that crossed the datacenter network.
     pub fn network_total(&self) -> ByteSize {
-        TrafficClass::ALL
-            .iter()
-            .filter(|c| c.on_network())
-            .map(|&c| self.total(c))
-            .sum()
+        TrafficClass::ALL.iter().filter(|c| c.on_network()).map(|&c| self.total(c)).sum()
     }
 
     /// Bytes moved by all partial-migration machinery.
     pub fn partial_total(&self) -> ByteSize {
-        TrafficClass::ALL
-            .iter()
-            .filter(|c| c.is_partial_machinery())
-            .map(|&c| self.total(c))
-            .sum()
+        TrafficClass::ALL.iter().filter(|c| c.is_partial_machinery()).map(|&c| self.total(c)).sum()
     }
 
     /// Grand total across every class.

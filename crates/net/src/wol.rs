@@ -3,7 +3,11 @@
 //! The cluster manager "wakes up the corresponding host with a network
 //! Wake-on-LAN before issuing the migration or creation call" (§4.1).
 //! A magic packet is six `0xFF` bytes followed by the target MAC address
-//! repeated sixteen times; this module builds and parses that frame.
+//! repeated sixteen times; this module builds and parses that frame, and
+//! models the lossy-network retry loop around it.
+
+use oasis_sim::SimRng;
+use oasis_telemetry::{Event, Telemetry};
 
 /// A MAC address.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -20,11 +24,7 @@ impl MacAddr {
 impl core::fmt::Display for MacAddr {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let m = self.0;
-        write!(
-            f,
-            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
-            m[0], m[1], m[2], m[3], m[4], m[5]
-        )
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", m[0], m[1], m[2], m[3], m[4], m[5])
     }
 }
 
@@ -71,6 +71,36 @@ impl MagicPacket {
         }
         Some(MagicPacket { target: MacAddr(mac) })
     }
+}
+
+/// Models waking a sleeping host over a lossy management network.
+///
+/// The first magic packet goes out immediately; a lost packet is re-sent
+/// after a one-second timeout, until one gets through or `max_wait_secs`
+/// of retrying has elapsed. Returns the seconds spent waiting on retries
+/// (0.0 when the first packet lands). Every packet increments the
+/// `wol_packets_total` counter and each retry emits a
+/// [`Event::WolRetry`] on the bus.
+pub fn wake_with_retries(
+    telemetry: &Telemetry,
+    host: u32,
+    loss_rate: f64,
+    max_wait_secs: f64,
+    rng: &mut SimRng,
+) -> f64 {
+    let packet = MagicPacket::new(MacAddr::for_host(host));
+    debug_assert!(MagicPacket::parse(&packet.to_bytes()).is_some());
+    let sent = telemetry.metrics().counter("wol_packets_total", &[]);
+    sent.inc();
+    let mut wait = 0.0;
+    let mut attempt = 0u32;
+    while loss_rate > 0.0 && rng.chance(loss_rate) && wait < max_wait_secs {
+        attempt += 1;
+        wait += 1.0;
+        sent.inc();
+        telemetry.emit(Event::WolRetry { host, attempt });
+    }
+    wait
 }
 
 #[cfg(test)]

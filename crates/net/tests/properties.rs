@@ -1,20 +1,29 @@
 //! Property-based tests for the network substrate.
-
-use proptest::prelude::*;
+//!
+//! Uses the in-tree [`oasis_sim::check`] harness so the suite runs with
+//! no external dependencies.
 
 use oasis_mem::ByteSize;
 use oasis_net::wol::MacAddr;
 use oasis_net::{MagicPacket, SharedChannel, TrafficAccountant, TrafficClass};
+use oasis_sim::check::{run, Gen};
 use oasis_sim::SimTime;
 
-proptest! {
-    /// Every transfer started on a shared channel eventually finishes,
-    /// and total progress never exceeds capacity × time.
-    #[test]
-    fn shared_channel_conserves_bytes(
-        bandwidth in 1.0f64..1e9,
-        transfers in prop::collection::vec((0u64..3_600, 1u64..1_000_000), 1..40),
-    ) {
+fn mac(g: &mut Gen) -> [u8; 6] {
+    let mut m = [0u8; 6];
+    for b in &mut m {
+        *b = g.byte();
+    }
+    m
+}
+
+/// Every transfer started on a shared channel eventually finishes,
+/// and total progress never exceeds capacity × time.
+#[test]
+fn shared_channel_conserves_bytes() {
+    run(96, |g: &mut Gen| {
+        let bandwidth = g.f64_in(1.0, 1e9);
+        let transfers = g.vec(1, 40, |g| (g.u64_in(0, 3_600), g.u64_in(1, 1_000_000)));
         let mut ch = SharedChannel::new(bandwidth);
         let mut total_bytes = 0u64;
         let mut latest_start = 0u64;
@@ -26,41 +35,47 @@ proptest! {
         // Run long enough for everything to finish.
         let horizon = latest_start as f64 + total_bytes as f64 / bandwidth + 1.0;
         ch.advance(SimTime::from_secs(horizon.ceil() as u64 + 1));
-        prop_assert_eq!(ch.take_finished().len(), transfers.len());
-        prop_assert_eq!(ch.in_flight(), 0);
-    }
+        assert_eq!(ch.take_finished().len(), transfers.len());
+        assert_eq!(ch.in_flight(), 0);
+    });
+}
 
-    /// A transfer's completion time is never earlier than its serial
-    /// transmission time on an empty link.
-    #[test]
-    fn completion_not_faster_than_line_rate(
-        bandwidth in 1.0f64..1e6,
-        bytes in 1u64..10_000_000,
-    ) {
+/// A transfer's completion time is never earlier than its serial
+/// transmission time on an empty link.
+#[test]
+fn completion_not_faster_than_line_rate() {
+    run(96, |g: &mut Gen| {
+        let bandwidth = g.f64_in(1.0, 1e6);
+        let bytes = g.u64_in(1, 10_000_000);
         let mut ch = SharedChannel::new(bandwidth);
         ch.start(SimTime::ZERO, ByteSize::bytes(bytes));
         let done = ch.next_completion().unwrap();
         let serial = bytes as f64 / bandwidth;
-        prop_assert!(done.as_secs_f64() >= serial - 1e-6);
-    }
+        assert!(done.as_secs_f64() >= serial - 1e-6);
+    });
+}
 
-    /// Aborting returns no more than the original byte count.
-    #[test]
-    fn abort_bounded(bytes in 1u64..1_000_000, when in 0u64..100) {
+/// Aborting returns no more than the original byte count.
+#[test]
+fn abort_bounded() {
+    run(96, |g: &mut Gen| {
+        let bytes = g.u64_in(1, 1_000_000);
+        let when = g.u64_in(0, 100);
         let mut ch = SharedChannel::new(1_000.0);
         let id = ch.start(SimTime::ZERO, ByteSize::bytes(bytes));
         if let Some(rem) = ch.abort(SimTime::from_secs(when), id) {
-            prop_assert!(rem.as_bytes() <= bytes);
+            assert!(rem.as_bytes() <= bytes);
         }
-        prop_assert_eq!(ch.remaining(id), None);
-    }
+        assert_eq!(ch.remaining(id), None);
+    });
+}
 
-    /// Traffic accounting: grand total equals the sum of class totals,
-    /// and merge is additive.
-    #[test]
-    fn traffic_totals_consistent(
-        records in prop::collection::vec((0usize..6, 0u64..1u64 << 40), 0..100),
-    ) {
+/// Traffic accounting: grand total equals the sum of class totals,
+/// and merge is additive.
+#[test]
+fn traffic_totals_consistent() {
+    run(64, |g: &mut Gen| {
+        let records = g.vec(0, 100, |g| (g.usize_in(0, 6), g.u64_in(0, 1u64 << 40)));
         let mut a = TrafficAccountant::new();
         let mut b = TrafficAccountant::new();
         for (i, &(class_idx, bytes)) in records.iter().enumerate() {
@@ -69,60 +84,82 @@ proptest! {
             target.record(class, ByteSize::bytes(bytes));
         }
         let sum_a: u64 = TrafficClass::ALL.iter().map(|&c| a.total(c).as_bytes()).sum();
-        prop_assert_eq!(a.grand_total().as_bytes(), sum_a);
+        assert_eq!(a.grand_total().as_bytes(), sum_a);
         let before = a.grand_total() + b.grand_total();
         a.merge(&b);
-        prop_assert_eq!(a.grand_total(), before);
-    }
+        assert_eq!(a.grand_total(), before);
+    });
+}
 
-    /// Magic packets round trip for any MAC.
-    #[test]
-    fn magic_packet_round_trip(mac in any::<[u8; 6]>()) {
-        let pkt = MagicPacket::new(MacAddr(mac));
-        prop_assert_eq!(MagicPacket::parse(&pkt.to_bytes()), Some(pkt));
-    }
+/// Magic packets round trip for any MAC.
+#[test]
+fn magic_packet_round_trip() {
+    run(64, |g: &mut Gen| {
+        let pkt = MagicPacket::new(MacAddr(mac(g)));
+        assert_eq!(MagicPacket::parse(&pkt.to_bytes()), Some(pkt));
+    });
+}
 
-    /// Corrupting any byte of a magic packet breaks parsing or changes
-    /// the target — never yields the same packet.
-    #[test]
-    fn magic_packet_detects_corruption(mac in any::<[u8; 6]>(), pos in 0usize..102, flip in 1u8..=255) {
-        let pkt = MagicPacket::new(MacAddr(mac));
+/// Corrupting any byte of a magic packet breaks parsing or changes
+/// the target — never yields the same packet.
+#[test]
+fn magic_packet_detects_corruption() {
+    run(128, |g: &mut Gen| {
+        let pkt = MagicPacket::new(MacAddr(mac(g)));
+        let pos = g.usize_in(0, 102);
+        let flip = g.u64_in(1, 256) as u8;
         let mut bytes = pkt.to_bytes();
         bytes[pos] ^= flip;
-        prop_assert_ne!(MagicPacket::parse(&bytes), Some(pkt));
-    }
+        assert_ne!(MagicPacket::parse(&bytes), Some(pkt));
+    });
 }
 
 mod secure_props {
     use super::*;
     use oasis_net::secure::{open, seal};
 
-    proptest! {
-        /// AEAD round trips arbitrary payloads and AAD.
-        #[test]
-        fn aead_round_trips(
-            key in any::<[u8; 32]>(),
-            nonce in any::<[u8; 12]>(),
-            aad in prop::collection::vec(any::<u8>(), 0..64),
-            plain in prop::collection::vec(any::<u8>(), 0..2_048),
-        ) {
-            let sealed = seal(&key, &nonce, &aad, &plain);
-            prop_assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), plain);
+    fn key(g: &mut Gen) -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for b in &mut k {
+            *b = g.byte();
         }
+        k
+    }
 
-        /// Any single-bit flip in the sealed record is detected.
-        #[test]
-        fn aead_detects_bit_flips(
-            key in any::<[u8; 32]>(),
-            nonce in any::<[u8; 12]>(),
-            plain in prop::collection::vec(any::<u8>(), 1..256),
-            pos_seed in any::<usize>(),
-            bit in 0u8..8,
-        ) {
-            let mut sealed = seal(&key, &nonce, b"aad", &plain);
-            let pos = pos_seed % sealed.len();
-            sealed[pos] ^= 1 << bit;
-            prop_assert!(open(&key, &nonce, b"aad", &sealed).is_err());
+    fn nonce(g: &mut Gen) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        for b in &mut n {
+            *b = g.byte();
         }
+        n
+    }
+
+    /// AEAD round trips arbitrary payloads and AAD.
+    #[test]
+    fn aead_round_trips() {
+        run(48, |g: &mut Gen| {
+            let (key, nonce) = (key(g), nonce(g));
+            let aad = g.bytes(64);
+            let plain = g.bytes(2_048);
+            let sealed = seal(&key, &nonce, &aad, &plain);
+            assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), plain);
+        });
+    }
+
+    /// Any single-bit flip in the sealed record is detected.
+    #[test]
+    fn aead_detects_bit_flips() {
+        run(48, |g: &mut Gen| {
+            let (key, nonce) = (key(g), nonce(g));
+            let mut plain = g.bytes(256);
+            if plain.is_empty() {
+                plain.push(g.byte());
+            }
+            let bit = g.u64_in(0, 8) as u8;
+            let mut sealed = seal(&key, &nonce, b"aad", &plain);
+            let pos = g.usize_in(0, sealed.len());
+            sealed[pos] ^= 1 << bit;
+            assert!(open(&key, &nonce, b"aad", &sealed).is_err());
+        });
     }
 }

@@ -66,10 +66,7 @@ impl AcpiController {
     /// Creates a controller already in S3 (consolidation hosts sleep by
     /// default, §3.1).
     pub fn new_sleeping(profile: &HostEnergyProfile) -> Self {
-        AcpiController {
-            state: PowerState::Sleeping,
-            ..Self::new(profile)
-        }
+        AcpiController { state: PowerState::Sleeping, ..Self::new(profile) }
     }
 
     /// Current power state.
@@ -211,10 +208,7 @@ mod tests {
         let wake_ends = c.request_wake(ends).unwrap();
         c.on_transition_complete(wake_ends);
         assert_eq!(c.state(), PowerState::Powered);
-        assert_eq!(
-            wake_ends - SimTime::ZERO,
-            HostEnergyProfile::table1().transition_round_trip()
-        );
+        assert_eq!(wake_ends - SimTime::ZERO, HostEnergyProfile::table1().transition_round_trip());
     }
 
     #[test]

@@ -122,10 +122,7 @@ mod tests {
         for u in [0.05, 0.2, 0.5] {
             let fixed = c.watts(0, u);
             let governed = c.governed_watts(u, 1.2);
-            assert!(
-                governed < fixed,
-                "u={u}: governed {governed} !< fixed {fixed}"
-            );
+            assert!(governed < fixed, "u={u}: governed {governed} !< fixed {fixed}");
         }
     }
 

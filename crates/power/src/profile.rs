@@ -56,9 +56,7 @@ impl HostEnergyProfile {
     /// other state.
     pub fn watts(&self, state: PowerState, active_vms: usize) -> f64 {
         match state {
-            PowerState::Powered => {
-                self.idle_watts + self.per_active_vm_watts * active_vms as f64
-            }
+            PowerState::Powered => self.idle_watts + self.per_active_vm_watts * active_vms as f64,
             PowerState::Sleeping => self.sleep_watts,
             PowerState::Suspending => self.suspend_watts,
             PowerState::Resuming => self.resume_watts,
@@ -102,18 +100,12 @@ impl MemoryServerProfile {
     /// Only the power draw changes; the serving path keeps prototype
     /// performance, matching the paper's sweep.
     pub fn with_budget_watts(watts: f64) -> Self {
-        MemoryServerProfile {
-            active_watts: watts,
-            ..Self::prototype()
-        }
+        MemoryServerProfile { active_watts: watts, ..Self::prototype() }
     }
 
     /// The power budgets swept by Table 3, including the prototype.
     pub fn table3_budgets() -> Vec<MemoryServerProfile> {
-        [42.2, 16.0, 8.0, 4.0, 2.0, 1.0]
-            .into_iter()
-            .map(Self::with_budget_watts)
-            .collect()
+        [42.2, 16.0, 8.0, 4.0, 2.0, 1.0].into_iter().map(Self::with_budget_watts).collect()
     }
 }
 
@@ -161,7 +153,10 @@ mod tests {
         assert_eq!(budgets[5].active_watts, 1.0);
         // Serving performance is identical across budgets.
         for b in &budgets {
-            assert_eq!(b.upload_bytes_per_sec, MemoryServerProfile::prototype().upload_bytes_per_sec);
+            assert_eq!(
+                b.upload_bytes_per_sec,
+                MemoryServerProfile::prototype().upload_bytes_per_sec
+            );
         }
     }
 

@@ -6,7 +6,7 @@
 //! [`EventToken`] returned at scheduling time.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -168,10 +168,7 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Creates an engine around `model` with an empty queue.
     pub fn new(model: M) -> Self {
-        Engine {
-            queue: EventQueue::new(),
-            model,
-        }
+        Engine { queue: EventQueue::new(), model }
     }
 
     /// Runs until the queue drains or `deadline` is reached.

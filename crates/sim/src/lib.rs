@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod engine;
 pub mod rng;
 pub mod stats;

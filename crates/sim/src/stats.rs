@@ -23,13 +23,7 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Self {
-        Summary {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Records one observation.
@@ -357,10 +351,7 @@ impl Histogram {
 
     /// `(bucket_low_edge, count)` pairs.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .map(move |(i, &c)| (self.lo + i as f64 * self.width, c))
+        self.buckets.iter().enumerate().map(move |(i, &c)| (self.lo + i as f64 * self.width, c))
     }
 
     /// Count above the histogram range.

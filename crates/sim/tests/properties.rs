@@ -1,15 +1,18 @@
 //! Property-based tests for the simulation substrate.
+//!
+//! Uses the in-tree [`oasis_sim::check`] harness so the suite runs with
+//! no external dependencies.
 
-use proptest::prelude::*;
-
+use oasis_sim::check::{run, Gen};
 use oasis_sim::stats::{Cdf, Summary, TimeWeighted};
 use oasis_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// Events always pop in nondecreasing time order, regardless of the
-    /// scheduling order.
-    #[test]
-    fn events_pop_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events always pop in nondecreasing time order, regardless of the
+/// scheduling order.
+#[test]
+fn events_pop_in_time_order() {
+    run(96, |g: &mut Gen| {
+        let times = g.vec(1, 200, |g| g.u64_in(0, 1_000_000));
         let mut q: EventQueue<usize> = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(SimTime::from_micros(t), i);
@@ -17,30 +20,34 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut popped = 0;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len());
-    }
+        assert_eq!(popped, times.len());
+    });
+}
 
-    /// Ties fire in scheduling order (stable ordering).
-    #[test]
-    fn ties_fire_fifo(n in 1usize..100) {
+/// Ties fire in scheduling order (stable ordering).
+#[test]
+fn ties_fire_fifo() {
+    run(32, |g: &mut Gen| {
+        let n = g.usize_in(1, 100);
         let mut q: EventQueue<usize> = EventQueue::new();
         for i in 0..n {
             q.schedule_at(SimTime::from_secs(1), i);
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
-        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
-    }
+        assert_eq!(order, (0..n).collect::<Vec<_>>());
+    });
+}
 
-    /// Cancelled events never fire; every other event fires exactly once.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..10_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelled events never fire; every other event fires exactly once.
+#[test]
+fn cancellation_is_exact() {
+    run(96, |g: &mut Gen| {
+        let times = g.vec(1, 100, |g| g.u64_in(0, 10_000));
+        let cancel_mask = g.vec(1, 100, |g| g.bool());
         let mut q: EventQueue<usize> = EventQueue::new();
         let tokens: Vec<_> = times
             .iter()
@@ -56,35 +63,45 @@ proptest! {
         }
         let mut fired = std::collections::BTreeSet::new();
         while let Some((_, v)) = q.pop() {
-            prop_assert!(fired.insert(v), "event fired twice");
-            prop_assert!(!cancelled.contains(&v), "cancelled event fired");
+            assert!(fired.insert(v), "event fired twice");
+            assert!(!cancelled.contains(&v), "cancelled event fired");
         }
-        prop_assert_eq!(fired.len() + cancelled.len(), times.len());
-    }
+        assert_eq!(fired.len() + cancelled.len(), times.len());
+    });
+}
 
-    /// The RNG's bounded draw stays in range for any positive bound.
-    #[test]
-    fn rng_below_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+/// The RNG's bounded draw stays in range for any positive bound.
+#[test]
+fn rng_below_in_range() {
+    run(64, |g: &mut Gen| {
+        let seed = g.u64();
+        let n = g.u64_in(1, 1_000_000);
         let mut rng = SimRng::new(seed);
         for _ in 0..100 {
-            prop_assert!(rng.below(n) < n);
+            assert!(rng.below(n) < n);
         }
-    }
+    });
+}
 
-    /// Identical seeds give identical streams; different seeds diverge
-    /// somewhere in the first 64 draws (overwhelmingly likely).
-    #[test]
-    fn rng_determinism(seed in any::<u64>()) {
+/// Identical seeds give identical streams; different seeds diverge
+/// somewhere in the first 64 draws (overwhelmingly likely).
+#[test]
+fn rng_determinism() {
+    run(64, |g: &mut Gen| {
+        let seed = g.u64();
         let mut a = SimRng::new(seed);
         let mut b = SimRng::new(seed);
         for _ in 0..64 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+    });
+}
 
-    /// Summary matches a direct two-pass computation.
-    #[test]
-    fn summary_matches_naive(xs in prop::collection::vec(-1.0e6f64..1.0e6, 2..200)) {
+/// Summary matches a direct two-pass computation.
+#[test]
+fn summary_matches_naive() {
+    run(96, |g: &mut Gen| {
+        let xs = g.vec(2, 200, |g| g.f64_in(-1.0e6, 1.0e6));
         let mut s = Summary::new();
         for &x in &xs {
             s.record(x);
@@ -92,13 +109,16 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.std_dev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
-    }
+        assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        assert!((s.std_dev() - var.sqrt()).abs() <= 1e-5 * var.sqrt().max(1.0));
+    });
+}
 
-    /// CDF quantiles are monotone in the quantile argument.
-    #[test]
-    fn cdf_quantiles_monotone(xs in prop::collection::vec(-1.0e9f64..1.0e9, 1..200)) {
+/// CDF quantiles are monotone in the quantile argument.
+#[test]
+fn cdf_quantiles_monotone() {
+    run(96, |g: &mut Gen| {
+        let xs = g.vec(1, 200, |g| g.f64_in(-1.0e9, 1.0e9));
         let mut cdf = Cdf::new();
         for &x in &xs {
             cdf.record(x);
@@ -106,14 +126,17 @@ proptest! {
         let mut last = f64::NEG_INFINITY;
         for i in 0..=20 {
             let q = cdf.quantile(i as f64 / 20.0).unwrap();
-            prop_assert!(q >= last);
+            assert!(q >= last);
             last = q;
         }
-    }
+    });
+}
 
-    /// Time-weighted integration equals the hand-computed step sum.
-    #[test]
-    fn time_weighted_matches_manual(steps in prop::collection::vec((0u64..1_000, 0.0f64..500.0), 1..50)) {
+/// Time-weighted integration equals the hand-computed step sum.
+#[test]
+fn time_weighted_matches_manual() {
+    run(96, |g: &mut Gen| {
+        let steps = g.vec(1, 50, |g| (g.u64_in(0, 1_000), g.f64_in(0.0, 500.0)));
         let mut tw = TimeWeighted::new();
         let mut t = 0u64;
         let mut manual = 0.0;
@@ -127,16 +150,18 @@ proptest! {
         let end = t + 10;
         manual += level * 10.0;
         let got = tw.integral_at(SimTime::from_secs(end));
-        prop_assert!((got - manual).abs() <= 1e-6 * manual.abs().max(1.0));
-    }
+        assert!((got - manual).abs() <= 1e-6 * manual.abs().max(1.0));
+    });
+}
 
-    /// Duration arithmetic never panics and saturates sensibly.
-    #[test]
-    fn duration_arithmetic_total(a in any::<u64>(), b in any::<u64>()) {
-        let da = SimDuration::from_micros(a);
-        let db = SimDuration::from_micros(b);
+/// Duration arithmetic never panics and saturates sensibly.
+#[test]
+fn duration_arithmetic_total() {
+    run(128, |g: &mut Gen| {
+        let da = SimDuration::from_micros(g.u64());
+        let db = SimDuration::from_micros(g.u64());
         let sum = da + db;
-        prop_assert!(sum >= da.max(db) || sum == SimDuration::MAX);
-        prop_assert!(da.saturating_sub(db) <= da);
-    }
+        assert!(sum >= da.max(db) || sum == SimDuration::MAX);
+        assert!(da.saturating_sub(db) <= da);
+    });
 }

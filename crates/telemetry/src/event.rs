@@ -1,0 +1,318 @@
+//! Structured simulation events.
+//!
+//! Events are typed, stamped with [`SimTime`] and a per-run sequence
+//! number, and carry only raw numeric ids (`u32`/`u64`) so this crate
+//! depends on nothing but `oasis-sim`. Wall-clock time never appears in
+//! an event: with a fixed seed the encoded stream is byte-identical
+//! across runs and platforms, which the golden-stream test relies on.
+
+use crate::json::escape_into;
+use oasis_sim::SimTime;
+use std::fmt::Write as _;
+
+/// Severity attached to every event kind; the bus drops events below the
+/// configured level before they reach any subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Emit nothing.
+    Off,
+    /// Unexpected-but-survivable conditions (WoL retries, capacity
+    /// exhaustion).
+    Warn,
+    /// The main lifecycle narrative: migrations, host power transitions,
+    /// policy decisions.
+    Info,
+    /// High-volume detail: per-interval markers, individual page fetches.
+    Debug,
+}
+
+impl Level {
+    /// True when an event at `event_level` passes a filter set to `self`.
+    pub fn allows(self, event_level: Level) -> bool {
+        event_level != Level::Off && event_level <= self
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Level::Off),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level {other:?} (expected off|warn|info|debug)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Off => "off",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        })
+    }
+}
+
+/// Which migration mechanism an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    /// Whole-memory pre-copy live migration.
+    Full,
+    /// Working-set-only partial migration (§4 of the paper).
+    Partial,
+    /// Post-copy reintegration of a partial VM back to its home.
+    Return,
+    /// A full/partial pair exchanged between two hosts.
+    Exchange,
+}
+
+impl MigrationKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MigrationKind::Full => "full",
+            MigrationKind::Partial => "partial",
+            MigrationKind::Return => "return",
+            MigrationKind::Exchange => "exchange",
+        }
+    }
+}
+
+/// A structured simulation event.
+///
+/// Variants carry raw ids rather than domain types so every crate in the
+/// workspace can emit them without new dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A trace interval began; `active` is the number of active VMs.
+    IntervalStarted {
+        /// Zero-based five-minute interval index.
+        interval: u32,
+        /// VMs active during this interval.
+        active: u32,
+    },
+    /// The manager produced a plan for the current interval.
+    PolicyDecision {
+        /// Zero-based five-minute interval index.
+        interval: u32,
+        /// Number of planned actions.
+        actions: u32,
+    },
+    /// A migration began.
+    MigrationStarted {
+        /// VM being moved.
+        vm: u32,
+        /// Source host.
+        from: u32,
+        /// Destination host.
+        to: u32,
+        /// Mechanism used.
+        kind: MigrationKind,
+    },
+    /// A migration finished.
+    MigrationCompleted {
+        /// VM that moved.
+        vm: u32,
+        /// Source host.
+        from: u32,
+        /// Destination host.
+        to: u32,
+        /// Mechanism used.
+        kind: MigrationKind,
+        /// Bytes moved over the wire.
+        moved_bytes: u64,
+        /// Guest-visible downtime in microseconds.
+        downtime_us: u64,
+    },
+    /// A host entered ACPI S3.
+    HostSuspended {
+        /// Host that suspended.
+        host: u32,
+    },
+    /// A host woke from S3 and is serving again.
+    HostResumed {
+        /// Host that resumed.
+        host: u32,
+    },
+    /// A Wake-on-LAN packet went unanswered and was re-sent.
+    WolRetry {
+        /// Host being woken.
+        host: u32,
+        /// 1-based retry attempt.
+        attempt: u32,
+    },
+    /// The memory server satisfied a demand fetch for a partial VM.
+    PageFaultFetched {
+        /// Faulting VM.
+        vm: u32,
+        /// Guest page number.
+        page: u64,
+    },
+    /// A consolidation host ran out of frames while growing working sets.
+    CapacityExhausted {
+        /// Host whose allocator was exhausted.
+        host: u32,
+    },
+    /// One benchmark measurement, routed from the bench reporter.
+    BenchSample {
+        /// Benchmark name.
+        name: String,
+        /// Mean nanoseconds per iteration.
+        ns_per_iter: u64,
+        /// Iterations measured.
+        iters: u64,
+    },
+    /// Free-form annotation (bench banners, harness notes).
+    Note {
+        /// The message text.
+        text: String,
+    },
+}
+
+impl Event {
+    /// Stable snake_case kind tag used in encodings and metrics labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::IntervalStarted { .. } => "interval_started",
+            Event::PolicyDecision { .. } => "policy_decision",
+            Event::MigrationStarted { .. } => "migration_started",
+            Event::MigrationCompleted { .. } => "migration_completed",
+            Event::HostSuspended { .. } => "host_suspended",
+            Event::HostResumed { .. } => "host_resumed",
+            Event::WolRetry { .. } => "wol_retry",
+            Event::PageFaultFetched { .. } => "page_fault_fetched",
+            Event::CapacityExhausted { .. } => "capacity_exhausted",
+            Event::BenchSample { .. } => "bench_sample",
+            Event::Note { .. } => "note",
+        }
+    }
+
+    /// Severity of this event kind.
+    pub fn level(&self) -> Level {
+        match self {
+            Event::WolRetry { .. } | Event::CapacityExhausted { .. } => Level::Warn,
+            Event::IntervalStarted { .. } | Event::PageFaultFetched { .. } => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+
+    fn encode_fields(&self, out: &mut String) {
+        match self {
+            Event::IntervalStarted { interval, active } => {
+                let _ = write!(out, r#","interval":{interval},"active":{active}"#);
+            }
+            Event::PolicyDecision { interval, actions } => {
+                let _ = write!(out, r#","interval":{interval},"actions":{actions}"#);
+            }
+            Event::MigrationStarted { vm, from, to, kind } => {
+                let _ =
+                    write!(out, r#","vm":{vm},"from":{from},"to":{to},"mig":"{}""#, kind.as_str());
+            }
+            Event::MigrationCompleted { vm, from, to, kind, moved_bytes, downtime_us } => {
+                let _ = write!(
+                    out,
+                    r#","vm":{vm},"from":{from},"to":{to},"mig":"{}","moved_bytes":{moved_bytes},"downtime_us":{downtime_us}"#,
+                    kind.as_str()
+                );
+            }
+            Event::HostSuspended { host } | Event::HostResumed { host } => {
+                let _ = write!(out, r#","host":{host}"#);
+            }
+            Event::WolRetry { host, attempt } => {
+                let _ = write!(out, r#","host":{host},"attempt":{attempt}"#);
+            }
+            Event::PageFaultFetched { vm, page } => {
+                let _ = write!(out, r#","vm":{vm},"page":{page}"#);
+            }
+            Event::CapacityExhausted { host } => {
+                let _ = write!(out, r#","host":{host}"#);
+            }
+            Event::BenchSample { name, ns_per_iter, iters } => {
+                out.push_str(",\"name\":");
+                escape_into(out, name);
+                let _ = write!(out, r#","ns_per_iter":{ns_per_iter},"iters":{iters}"#);
+            }
+            Event::Note { text } => {
+                out.push_str(",\"text\":");
+                escape_into(out, text);
+            }
+        }
+    }
+}
+
+/// An [`Event`] plus its bus-assigned timestamp and sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Simulated time at which the event was emitted.
+    pub time: SimTime,
+    /// Monotonic per-bus sequence number, starting at 0.
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Encodes the record as a single JSON object (no trailing newline).
+    ///
+    /// The field order is fixed (`t`, `seq`, `kind`, payload fields) so
+    /// the output is byte-stable for golden tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            r#"{{"t":{},"seq":{},"kind":"{}""#,
+            self.time.as_micros(),
+            self.seq,
+            self.event.kind()
+        );
+        self.event.encode_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_filtering_is_ordered() {
+        assert!(Level::Debug.allows(Level::Info));
+        assert!(Level::Info.allows(Level::Warn));
+        assert!(!Level::Warn.allows(Level::Info));
+        assert!(!Level::Off.allows(Level::Warn));
+        assert!(!Level::Debug.allows(Level::Off));
+    }
+
+    #[test]
+    fn kind_tags_are_distinct() {
+        let events = [
+            Event::IntervalStarted { interval: 0, active: 0 },
+            Event::PolicyDecision { interval: 0, actions: 0 },
+            Event::MigrationStarted { vm: 0, from: 0, to: 0, kind: MigrationKind::Full },
+            Event::MigrationCompleted {
+                vm: 0,
+                from: 0,
+                to: 0,
+                kind: MigrationKind::Partial,
+                moved_bytes: 0,
+                downtime_us: 0,
+            },
+            Event::HostSuspended { host: 0 },
+            Event::HostResumed { host: 0 },
+            Event::WolRetry { host: 0, attempt: 1 },
+            Event::PageFaultFetched { vm: 0, page: 0 },
+            Event::CapacityExhausted { host: 0 },
+            Event::BenchSample { name: String::new(), ns_per_iter: 0, iters: 0 },
+            Event::Note { text: String::new() },
+        ];
+        let mut kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

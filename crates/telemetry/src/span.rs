@@ -1,0 +1,116 @@
+//! Scoped span timing.
+//!
+//! A [`Span`] measures one pass through a hot path and records two
+//! durations into the metrics registry when it ends:
+//!
+//! * `span_sim_us{span=...}` — elapsed *simulated* microseconds, taken
+//!   from the bus's logical clock. Deterministic across runs.
+//! * `span_wall_ns{span=...}` — elapsed *wall-clock* nanoseconds, the
+//!   real cost of running the code. Never fed into the event stream, so
+//!   determinism of the trace is preserved.
+//!
+//! Spans end when dropped, so the idiomatic use is a scope guard:
+//!
+//! ```
+//! use oasis_telemetry::{Level, Telemetry};
+//! let tel = Telemetry::new(Level::Info);
+//! {
+//!     let _span = tel.span("manager_plan");
+//!     // ... hot path ...
+//! }
+//! assert_eq!(tel.metrics().histograms_with_name("span_wall_ns").len(), 1);
+//! ```
+
+use crate::metrics::Histogram;
+use crate::Telemetry;
+use oasis_sim::SimTime;
+use std::time::Instant;
+
+/// A live span; records its durations when dropped (or on [`Span::end`]).
+#[derive(Debug)]
+pub struct Span {
+    sim_hist: Option<Histogram>,
+    wall_hist: Option<Histogram>,
+    start_sim: SimTime,
+    start_wall: Instant,
+    telemetry: Telemetry,
+    finished: bool,
+}
+
+impl Span {
+    pub(crate) fn start(telemetry: &Telemetry, name: &'static str) -> Span {
+        let (sim_hist, wall_hist) = if telemetry.is_enabled() {
+            let m = telemetry.metrics();
+            (
+                Some(m.histogram("span_sim_us", &[("span", name)])),
+                Some(m.histogram("span_wall_ns", &[("span", name)])),
+            )
+        } else {
+            (None, None)
+        };
+        Span {
+            sim_hist,
+            wall_hist,
+            start_sim: telemetry.now(),
+            start_wall: Instant::now(),
+            telemetry: telemetry.clone(),
+            finished: false,
+        }
+    }
+
+    /// Ends the span now instead of at scope exit.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(h) = &self.sim_hist {
+            let elapsed = self.telemetry.now().saturating_since(self.start_sim);
+            h.record(elapsed.as_micros());
+        }
+        if let Some(h) = &self.wall_hist {
+            let ns = self.start_wall.elapsed().as_nanos();
+            h.record(u64::try_from(ns).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Level, Telemetry};
+    use oasis_sim::SimTime;
+
+    #[test]
+    fn span_records_sim_and_wall_durations() {
+        let tel = Telemetry::new(Level::Info);
+        tel.advance_to(SimTime::from_secs(10));
+        {
+            let _span = tel.span("plan");
+            tel.advance_to(SimTime::from_secs(13));
+        }
+        let sim = tel.metrics().histogram("span_sim_us", &[("span", "plan")]);
+        assert_eq!(sim.count(), 1);
+        assert_eq!(sim.sum(), 3_000_000);
+        let wall = tel.metrics().histogram("span_wall_ns", &[("span", "plan")]);
+        assert_eq!(wall.count(), 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let tel = Telemetry::disabled();
+        {
+            let _span = tel.span("plan");
+        }
+        assert!(tel.metrics().histograms_with_name("span_wall_ns").is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Event sinks.
+//!
+//! A [`Subscriber`] receives every [`EventRecord`] that passes the bus's
+//! level filter. Two implementations ship with the crate: a JSONL file
+//! writer for offline analysis and a bounded in-memory ring for tests
+//! and post-mortem inspection.
+
+use crate::event::EventRecord;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Receives events that passed the level filter.
+pub trait Subscriber: Send {
+    /// Handles one event record.
+    fn record(&mut self, rec: &EventRecord);
+
+    /// Flushes any buffered output; called when the bus is flushed or the
+    /// owning `Telemetry` handle is dropped.
+    fn flush(&mut self) {}
+}
+
+/// Writes one JSON object per line to an arbitrary writer.
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    /// Set when a write fails, so later writes stop spamming errors.
+    failed: bool,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates a sink writing to a fresh file at `path` (truncating any
+    /// existing file).
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Creates a sink appending to `path`, so several processes or runs
+    /// can share one trace file.
+    pub fn append(path: &Path) -> io::Result<Self> {
+        let file = File::options().create(true).append(true).open(path)?;
+        Ok(JsonlSink::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an existing writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, failed: false }
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonlSink<W> {
+    fn record(&mut self, rec: &EventRecord) {
+        if self.failed {
+            return;
+        }
+        let line = rec.to_json();
+        if writeln!(self.writer, "{line}").is_err() {
+            self.failed = true;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// A bounded ring of the most recent events.
+///
+/// The sink half (registered with the bus) and any number of reader
+/// handles share the same buffer, so tests can attach a ring, run a
+/// simulation and inspect what was emitted.
+#[derive(Clone)]
+pub struct RingSink {
+    buf: Arc<Mutex<RingBuf>>,
+}
+
+struct RingBuf {
+    cap: usize,
+    items: VecDeque<EventRecord>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `cap` records (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            buf: Arc::new(Mutex::new(RingBuf {
+                cap: cap.max(1),
+                items: VecDeque::new(),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Copies out the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        self.buf.lock().unwrap().items.iter().cloned().collect()
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().items.len()
+    }
+
+    /// True when nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.buf.lock().unwrap().dropped
+    }
+}
+
+impl Subscriber for RingSink {
+    fn record(&mut self, rec: &EventRecord) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.items.len() == buf.cap {
+            buf.items.pop_front();
+            buf.dropped += 1;
+        }
+        buf.items.push_back(rec.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use oasis_sim::SimTime;
+
+    fn rec(seq: u64) -> EventRecord {
+        EventRecord {
+            time: SimTime::from_secs(seq),
+            seq,
+            event: Event::HostSuspended { host: seq as u32 },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingSink::new(3);
+        let mut sink = ring.clone();
+        for seq in 0..5 {
+            sink.record(&rec(seq));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].seq, 2);
+        assert_eq!(snap[2].seq, 4);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(0));
+        sink.record(&rec(1));
+        sink.flush();
+        let text = String::from_utf8(sink.writer).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            crate::json::parse(line).expect("each line is valid JSON");
+        }
+    }
+}

@@ -197,13 +197,11 @@ mod tests {
         let model = ActivityModel::new();
         let mut rng = SimRng::new(42);
         let n = 2_000;
-        let days: Vec<UserDay> = (0..n)
-            .map(|_| model.generate_day(DayKind::Weekday, &mut rng))
-            .collect();
+        let days: Vec<UserDay> =
+            (0..n).map(|_| model.generate_day(DayKind::Weekday, &mut rng)).collect();
         for &hour in &[2.0, 6.5, 10.0, 14.0, 18.0, 22.0] {
             let i = at(hour);
-            let measured =
-                days.iter().filter(|d| d.is_active(i)).count() as f64 / n as f64;
+            let measured = days.iter().filter(|d| d.is_active(i)).count() as f64 / n as f64;
             let target = ActivityModel::expected_activity(DayKind::Weekday, i);
             assert!(
                 (measured - target).abs() < 0.05,
@@ -217,9 +215,8 @@ mod tests {
         // §5.2: never more than ~46 % of 900 VMs simultaneously active.
         let model = ActivityModel::new();
         let mut rng = SimRng::new(7);
-        let days: Vec<UserDay> = (0..900)
-            .map(|_| model.generate_day(DayKind::Weekday, &mut rng))
-            .collect();
+        let days: Vec<UserDay> =
+            (0..900).map(|_| model.generate_day(DayKind::Weekday, &mut rng)).collect();
         let max_active = (0..INTERVALS_PER_DAY)
             .map(|i| days.iter().filter(|d| d.is_active(i)).count())
             .max()
@@ -234,9 +231,8 @@ mod tests {
         // VMs are simultaneously idle ~13 % of the time.
         let model = ActivityModel::new();
         let mut rng = SimRng::new(11);
-        let days: Vec<UserDay> = (0..900)
-            .map(|_| model.generate_day(DayKind::Weekday, &mut rng))
-            .collect();
+        let days: Vec<UserDay> =
+            (0..900).map(|_| model.generate_day(DayKind::Weekday, &mut rng)).collect();
         let mut all_idle = 0usize;
         let mut total = 0usize;
         for host in 0..30 {
@@ -308,12 +304,8 @@ mod tests {
 
     #[test]
     fn interpolation_endpoints() {
-        assert!(
-            (interpolate(WEEKDAY_PROFILE, 0.0) - 0.05).abs() < 1e-12
-        );
-        assert!(
-            (interpolate(WEEKDAY_PROFILE, 24.0) - 0.05).abs() < 1e-12
-        );
+        assert!((interpolate(WEEKDAY_PROFILE, 0.0) - 0.05).abs() < 1e-12);
+        assert!((interpolate(WEEKDAY_PROFILE, 24.0) - 0.05).abs() < 1e-12);
         assert!(interpolate(WEEKDAY_PROFILE, 100.0) > 0.0, "clamps above 24h");
     }
 }

@@ -13,12 +13,7 @@ use crate::trace::{TraceSet, UserDay};
 /// Samples `n` user-days of `kind` from `set`, with replacement.
 ///
 /// Returns an empty vector if the set holds no days of that kind.
-pub fn sample_user_days(
-    set: &TraceSet,
-    kind: DayKind,
-    n: usize,
-    rng: &mut SimRng,
-) -> Vec<UserDay> {
+pub fn sample_user_days(set: &TraceSet, kind: DayKind, n: usize, rng: &mut SimRng) -> Vec<UserDay> {
     let pool = set.of_kind(kind);
     if pool.is_empty() {
         return Vec::new();
@@ -29,9 +24,7 @@ pub fn sample_user_days(
 /// Per-interval count of active users across a sampled population.
 pub fn concurrent_activity(days: &[UserDay]) -> Vec<usize> {
     let intervals = days.first().map_or(0, |d| d.active.len());
-    (0..intervals)
-        .map(|i| days.iter().filter(|d| d.is_active(i)).count())
-        .collect()
+    (0..intervals).map(|i| days.iter().filter(|d| d.is_active(i)).count()).collect()
 }
 
 #[cfg(test)]

@@ -220,19 +220,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_bad_input() {
-        assert!(matches!(
-            TraceSet::from_text("XX 0101"),
-            Err(TraceError::BadKind(_))
-        ));
-        assert!(matches!(
-            TraceSet::from_text("WD 010"),
-            Err(TraceError::BadLength { .. })
-        ));
+        assert!(matches!(TraceSet::from_text("XX 0101"), Err(TraceError::BadKind(_))));
+        assert!(matches!(TraceSet::from_text("WD 010"), Err(TraceError::BadLength { .. })));
         let bad_bits = format!("WD {}2", "0".repeat(INTERVALS_PER_DAY - 1));
-        assert!(matches!(
-            TraceSet::from_text(&bad_bits),
-            Err(TraceError::BadBit { .. })
-        ));
+        assert!(matches!(TraceSet::from_text(&bad_bits), Err(TraceError::BadBit { .. })));
     }
 
     #[test]

@@ -1,64 +1,73 @@
 //! Property-based tests for the trace substrate.
+//!
+//! Uses the in-tree [`oasis_sim::check`] harness so the suite runs with
+//! no external dependencies.
 
-use proptest::prelude::*;
-
+use oasis_sim::check::{run, Gen};
 use oasis_sim::SimRng;
-use oasis_trace::{
-    sample_user_days, ActivityModel, DayKind, TraceSet, UserDay, INTERVALS_PER_DAY,
-};
+use oasis_trace::{sample_user_days, ActivityModel, DayKind, TraceSet, UserDay, INTERVALS_PER_DAY};
 
-proptest! {
-    /// The text format round trips arbitrary activity patterns.
-    #[test]
-    fn trace_text_round_trips(
-        days in prop::collection::vec(
-            (any::<bool>(), prop::collection::vec(any::<bool>(), INTERVALS_PER_DAY)),
-            0..20,
-        )
-    ) {
+/// The text format round trips arbitrary activity patterns.
+#[test]
+fn trace_text_round_trips() {
+    run(48, |g: &mut Gen| {
+        let days = g.vec(0, 20, |g| {
+            let weekend = g.bool();
+            let bits = g.vec(INTERVALS_PER_DAY, INTERVALS_PER_DAY + 1, |g| g.bool());
+            (weekend, bits)
+        });
         let mut set = TraceSet::new();
         for (weekend, bits) in days {
             let kind = if weekend { DayKind::Weekend } else { DayKind::Weekday };
             set.days.push(UserDay::new(kind, bits));
         }
         let parsed = TraceSet::from_text(&set.to_text()).unwrap();
-        prop_assert_eq!(parsed, set);
-    }
+        assert_eq!(parsed, set);
+    });
+}
 
-    /// Generated days always have exactly one bit per interval and an
-    /// activity fraction in [0, 1].
-    #[test]
-    fn generated_days_well_formed(seed in any::<u64>()) {
+/// Generated days always have exactly one bit per interval and an
+/// activity fraction in [0, 1].
+#[test]
+fn generated_days_well_formed() {
+    run(64, |g: &mut Gen| {
         let model = ActivityModel::new();
-        let mut rng = SimRng::new(seed);
+        let mut rng = SimRng::new(g.u64());
         for kind in [DayKind::Weekday, DayKind::Weekend] {
             let day = model.generate_day(kind, &mut rng);
-            prop_assert_eq!(day.active.len(), INTERVALS_PER_DAY);
-            prop_assert!(day.active_fraction() <= 1.0);
-            prop_assert_eq!(day.kind, kind);
+            assert_eq!(day.active.len(), INTERVALS_PER_DAY);
+            assert!(day.active_fraction() <= 1.0);
+            assert_eq!(day.kind, kind);
         }
-    }
+    });
+}
 
-    /// Sampling returns exactly the requested number of days of the
-    /// requested kind, and only draws from the pool.
-    #[test]
-    fn sampling_respects_kind_and_count(seed in any::<u64>(), n in 0usize..200) {
+/// Sampling returns exactly the requested number of days of the
+/// requested kind, and only draws from the pool.
+#[test]
+fn sampling_respects_kind_and_count() {
+    run(48, |g: &mut Gen| {
+        let seed = g.u64();
+        let n = g.usize_in(0, 200);
         let lib = ActivityModel::new().generate_library(3, 2, seed);
         let mut rng = SimRng::new(seed ^ 1);
         let sampled = sample_user_days(&lib, DayKind::Weekday, n, &mut rng);
-        prop_assert_eq!(sampled.len(), n);
+        assert_eq!(sampled.len(), n);
         for day in &sampled {
-            prop_assert_eq!(day.kind, DayKind::Weekday);
-            prop_assert!(lib.days.contains(day));
+            assert_eq!(day.kind, DayKind::Weekday);
+            assert!(lib.days.contains(day));
         }
-    }
+    });
+}
 
-    /// Expected activity is a valid probability everywhere.
-    #[test]
-    fn profile_is_probability(i in 0usize..INTERVALS_PER_DAY) {
+/// Expected activity is a valid probability everywhere.
+#[test]
+fn profile_is_probability() {
+    run(64, |g: &mut Gen| {
+        let i = g.usize_in(0, INTERVALS_PER_DAY);
         for kind in [DayKind::Weekday, DayKind::Weekend] {
             let p = ActivityModel::expected_activity(kind, i);
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p));
         }
-    }
+    });
 }

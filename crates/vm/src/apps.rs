@@ -125,10 +125,7 @@ impl DesktopWorkload {
 
     /// Total pages the workload touches when executed.
     pub fn total_pages(&self) -> u64 {
-        self.apps
-            .iter()
-            .map(|(app, n)| app.startup_pages * u64::from(*n))
-            .sum()
+        self.apps.iter().map(|(app, n)| app.startup_pages * u64::from(*n)).sum()
     }
 
     /// Total footprint in bytes.
@@ -138,10 +135,7 @@ impl DesktopWorkload {
 
     /// Pages the workload's applications dirty per hour in the background.
     pub fn hourly_dirty_pages(&self) -> u64 {
-        self.apps
-            .iter()
-            .map(|(app, n)| app.hourly_dirty_pages * u64::from(*n))
-            .sum()
+        self.apps.iter().map(|(app, n)| app.hourly_dirty_pages * u64::from(*n)).sum()
     }
 }
 
@@ -177,19 +171,13 @@ mod tests {
 
     #[test]
     fn startup_bytes_scale_with_pages() {
-        assert_eq!(
-            catalog::LIBREOFFICE_DOC.startup_bytes(),
-            ByteSize::bytes(42_000 * 4_096)
-        );
+        assert_eq!(catalog::LIBREOFFICE_DOC.startup_bytes(), ByteSize::bytes(42_000 * 4_096));
         assert!(catalog::TERMINAL.startup_bytes() < ByteSize::mib(3));
     }
 
     #[test]
     fn hourly_dirty_accumulates() {
         let w = DesktopWorkload::workload1();
-        assert_eq!(
-            w.hourly_dirty_pages(),
-            2_600 + 900 + 3 * 1_200 + 300 + 5 * 5_200
-        );
+        assert_eq!(w.hourly_dirty_pages(), 2_600 + 900 + 3 * 1_200 + 300 + 5 * 5_200);
     }
 }

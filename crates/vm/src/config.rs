@@ -94,14 +94,9 @@ impl VmConfig {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or(ConfigError::BadLine(lineno + 1))?;
+            let (key, value) = line.split_once('=').ok_or(ConfigError::BadLine(lineno + 1))?;
             let (key, value) = (key.trim(), value.trim());
-            let bad = || ConfigError::BadValue {
-                key: key.to_string(),
-                value: value.to_string(),
-            };
+            let bad = || ConfigError::BadValue { key: key.to_string(), value: value.to_string() };
             match key {
                 "vmid" => {
                     if vmid.is_some() {
@@ -197,18 +192,9 @@ mod tests {
 
     #[test]
     fn missing_keys_rejected() {
-        assert_eq!(
-            VmConfig::parse("disk=d\nmemory_mib=1"),
-            Err(ConfigError::Missing("vmid"))
-        );
-        assert_eq!(
-            VmConfig::parse("vmid=1\nmemory_mib=1"),
-            Err(ConfigError::Missing("disk"))
-        );
-        assert_eq!(
-            VmConfig::parse("vmid=1\ndisk=d"),
-            Err(ConfigError::Missing("memory_mib"))
-        );
+        assert_eq!(VmConfig::parse("disk=d\nmemory_mib=1"), Err(ConfigError::Missing("vmid")));
+        assert_eq!(VmConfig::parse("vmid=1\nmemory_mib=1"), Err(ConfigError::Missing("disk")));
+        assert_eq!(VmConfig::parse("vmid=1\ndisk=d"), Err(ConfigError::Missing("memory_mib")));
     }
 
     #[test]

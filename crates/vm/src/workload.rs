@@ -186,10 +186,7 @@ mod tests {
         // §2: "less than 5 % of their nominal memory allocation".
         for class in WorkloadClass::ALL {
             let u = class.idle_model().unique_touched(HOUR, ALLOC);
-            assert!(
-                u.as_bytes() < ALLOC.as_bytes() / 20,
-                "{class}: {u} ≥ 5 % of {ALLOC}"
-            );
+            assert!(u.as_bytes() < ALLOC.as_bytes() / 20, "{class}: {u} ≥ 5 % of {ALLOC}");
         }
     }
 
@@ -247,10 +244,7 @@ mod tests {
         let m = WorkloadClass::Database.idle_model();
         let t = SimDuration::from_hours(100);
         // Far into saturation with a microscopic gap: still one page.
-        assert_eq!(
-            m.request_batch_pages(t, t + SimDuration::from_micros(1), ALLOC),
-            1
-        );
+        assert_eq!(m.request_batch_pages(t, t + SimDuration::from_micros(1), ALLOC), 1);
     }
 
     #[test]

@@ -24,10 +24,7 @@ fn run(policy: PolicyKind, day: DayKind, seed: u64) -> oasis::cluster::SimReport
 }
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
     println!("15 home hosts x 30 VMs + 3 consolidation hosts, seed {seed}");
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",

@@ -75,10 +75,7 @@ impl ClusterBackend for MiniCluster {
 fn main() {
     let mut storage = BTreeMap::new();
     for vmid in [101u32, 102, 103] {
-        storage.insert(
-            format!("/store/vm{vmid:04}.cfg"),
-            VmConfig::desktop(vmid).to_text(),
-        );
+        storage.insert(format!("/store/vm{vmid:04}.cfg"), VmConfig::desktop(vmid).to_text());
     }
     let mut backend = MiniCluster { vms: Vec::new(), storage };
     let mut manager = ClusterManager::new(ManagerConfig::default(), 7);

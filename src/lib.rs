@@ -6,6 +6,8 @@
 //! every subsystem so applications can depend on a single crate:
 //!
 //! * [`sim`] — deterministic discrete-event engine, RNG and statistics.
+//! * [`telemetry`] — structured event tracing, metrics registry and span
+//!   timing across the whole stack.
 //! * [`power`] — power states, ACPI S3 transitions, energy metering.
 //! * [`mem`] — guest memory: page tables, dirty tracking, compression,
 //!   working-set models.
@@ -52,5 +54,6 @@ pub use oasis_migration as migration;
 pub use oasis_net as net;
 pub use oasis_power as power;
 pub use oasis_sim as sim;
+pub use oasis_telemetry as telemetry;
 pub use oasis_trace as trace;
 pub use oasis_vm as vm;

@@ -1,0 +1,6 @@
+//! The `oasis` binary: thin shim over the `oasis-cli` front end so
+//! `cargo run -- <command>` works from the workspace root.
+
+fn main() {
+    oasis_cli::run();
+}

@@ -75,20 +75,14 @@ fn figure9_fulltopartial_packs_denser_than_default() {
     let d50 = default.consolidation_ratio.quantile(0.5).expect("samples");
     let f50 = ftp.consolidation_ratio.quantile(0.5).expect("samples");
     // Paper: median 60 → 93, a ~1.55x increase.
-    assert!(
-        f50 > 1.2 * d50,
-        "FulltoPartial median {f50} !> 1.2 x Default median {d50}"
-    );
+    assert!(f50 > 1.2 * d50, "FulltoPartial median {f50} !> 1.2 x Default median {d50}");
 }
 
 #[test]
 fn figure10_fulltopartial_trades_energy_for_traffic() {
     let default = paper_scale(PolicyKind::Default, DayKind::Weekday);
     let ftp = paper_scale(PolicyKind::FullToPartial, DayKind::Weekday);
-    assert!(
-        ftp.network_bytes() > default.network_bytes(),
-        "FulltoPartial must move more bytes"
-    );
+    assert!(ftp.network_bytes() > default.network_bytes(), "FulltoPartial must move more bytes");
 }
 
 #[test]
@@ -145,12 +139,8 @@ fn series_cover_the_whole_day() {
     assert!(peak < 450.0, "peak active {peak}");
     assert!(peak > 250.0, "peak active {peak}");
     // Powered hosts must dip far below the 34-host cluster at night.
-    let min_powered = r
-        .powered_hosts_series
-        .points()
-        .iter()
-        .map(|&(_, v)| v)
-        .fold(f64::INFINITY, f64::min);
+    let min_powered =
+        r.powered_hosts_series.points().iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
     assert!(min_powered <= 5.0, "min powered {min_powered}");
 }
 

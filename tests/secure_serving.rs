@@ -25,9 +25,8 @@ fn setup() -> (SessionBroker, Identity, Identity, MemoryServer, GuestMemoryImage
 
     let image = GuestMemoryImage::new(1, PageMix::desktop(), 4_096);
     let mut server = MemoryServer::new(MemoryServerProfile::prototype());
-    let pages: Vec<(PageNum, ByteSize)> = (0..1_000)
-        .map(|i| (PageNum(i), image.compressed_size(PageNum(i))))
-        .collect();
+    let pages: Vec<(PageNum, ByteSize)> =
+        (0..1_000).map(|i| (PageNum(i), image.compressed_size(PageNum(i)))).collect();
     server.upload(VmId(1), &pages, false).expect("drive at host");
     server.handoff_to_server().expect("handoff");
     (broker, memtap, server_id, server, image)

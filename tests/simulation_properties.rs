@@ -1,32 +1,26 @@
 //! Property-based integration tests: the cluster simulator must uphold
 //! its invariants for arbitrary (small) configurations.
-
-use proptest::prelude::*;
+//!
+//! Uses the in-tree [`oasis::sim::check`] harness so the suite runs with
+//! no external dependencies.
 
 use oasis::cluster::ClusterConfig;
 use oasis::core::PolicyKind;
+use oasis::sim::check::{run, Gen};
 use oasis::sim::SimDuration;
 use oasis::trace::DayKind;
 
-fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
-    prop::sample::select(PolicyKind::ALL.to_vec())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any valid small configuration simulates a full day without
-    /// panicking and yields sane report invariants.
-    #[test]
-    fn small_clusters_simulate_soundly(
-        homes in 1u32..8,
-        cons in 1u32..4,
-        vms in 1u32..20,
-        policy in policy_strategy(),
-        weekend in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
-        let day = if weekend { DayKind::Weekend } else { DayKind::Weekday };
+/// Any valid small configuration simulates a full day without
+/// panicking and yields sane report invariants.
+#[test]
+fn small_clusters_simulate_soundly() {
+    run(24, |g: &mut Gen| {
+        let homes = g.u32_in(1, 8);
+        let cons = g.u32_in(1, 4);
+        let vms = g.u32_in(1, 20);
+        let policy = *g.pick(&PolicyKind::ALL);
+        let day = if g.bool() { DayKind::Weekend } else { DayKind::Weekday };
+        let seed = g.u64();
         let cfg = ClusterConfig::builder()
             .home_hosts(homes)
             .consolidation_hosts(cons)
@@ -39,58 +33,63 @@ proptest! {
         let mut report = oasis::cluster::ClusterSim::new(cfg).run_day();
 
         // Savings can be negative (overheads) but never exceed 100%.
-        prop_assert!(report.energy_savings <= 1.0);
-        prop_assert!(report.energy_savings > -0.5);
-        prop_assert!(report.baseline_kwh > 0.0);
-        prop_assert!(report.total_kwh > 0.0);
+        assert!(report.energy_savings <= 1.0);
+        assert!(report.energy_savings > -0.5);
+        assert!(report.baseline_kwh > 0.0);
+        assert!(report.total_kwh > 0.0);
 
         // Series cover the whole day; counts stay within cluster bounds.
-        prop_assert_eq!(report.active_vms_series.len(), 288);
+        assert_eq!(report.active_vms_series.len(), 288);
         for &(_, active) in report.active_vms_series.points() {
-            prop_assert!(active <= f64::from(homes * vms));
+            assert!(active <= f64::from(homes * vms));
         }
         for &(_, powered) in report.powered_hosts_series.points() {
-            prop_assert!(powered <= f64::from(homes + cons));
+            assert!(powered <= f64::from(homes + cons));
         }
 
         // Delays are nonnegative and bounded by minutes.
         if let Some(max) = report.transition_delays.quantile(1.0) {
-            prop_assert!(max >= 0.0);
-            prop_assert!(max < 600.0, "delay {max}");
+            assert!(max >= 0.0);
+            assert!(max < 600.0, "delay {max}");
         }
 
         // AlwaysOn must not migrate.
         if policy == PolicyKind::AlwaysOn {
-            prop_assert_eq!(report.migrations.partial, 0);
-            prop_assert_eq!(report.migrations.full, 0);
-            prop_assert_eq!(report.network_bytes().as_bytes(), 0);
+            assert_eq!(report.migrations.partial, 0);
+            assert_eq!(report.migrations.full, 0);
+            assert_eq!(report.network_bytes().as_bytes(), 0);
         }
 
         // OnlyPartial never performs full migrations.
         if policy == PolicyKind::OnlyPartial {
-            prop_assert_eq!(report.migrations.full, 0);
-            prop_assert_eq!(report.migrations.exchanges, 0);
+            assert_eq!(report.migrations.full, 0);
+            assert_eq!(report.migrations.exchanges, 0);
         }
 
         // Only exchange-capable policies exchange.
         if !policy.exchanges_full_for_partial() {
-            prop_assert_eq!(report.migrations.exchanges, 0);
+            assert_eq!(report.migrations.exchanges, 0);
         }
-    }
 
-    /// The planning interval is a free parameter: any reasonable value
-    /// still produces a sound day.
-    #[test]
-    fn interval_lengths_are_safe(mins in 1u64..120, seed in any::<u64>()) {
+        let _ = report.zero_delay_fraction();
+    });
+}
+
+/// The planning interval is a free parameter: any reasonable value
+/// still produces a sound day.
+#[test]
+fn interval_lengths_are_safe() {
+    run(12, |g: &mut Gen| {
+        let mins = g.u64_in(1, 120);
         let cfg = ClusterConfig::builder()
             .home_hosts(4)
             .consolidation_hosts(2)
             .vms_per_host(8)
             .interval(SimDuration::from_mins(mins))
-            .seed(seed)
+            .seed(g.u64())
             .build()
             .expect("valid configuration");
         let report = oasis::cluster::ClusterSim::new(cfg).run_day();
-        prop_assert!(report.energy_savings <= 1.0);
-    }
+        assert!(report.energy_savings <= 1.0);
+    });
 }
