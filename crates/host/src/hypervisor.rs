@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use oasis_mem::chunk::ChunkAllocator;
+use oasis_mem::chunk::{ChunkAllocator, CHUNK_SIZE};
 use oasis_mem::dirty::DirtyLog;
 use oasis_mem::page_table::{Access, PageTable};
 use oasis_mem::wss::WorkingSetTracker;
@@ -215,7 +215,7 @@ impl Hypervisor {
 
     /// Host memory capacity.
     pub fn capacity(&self) -> ByteSize {
-        ByteSize::bytes(self.allocator.total_chunks() * 2 * 1024 * 1024)
+        CHUNK_SIZE * self.allocator.total_chunks()
     }
 
     /// Fragmentation of the chunked heap.

@@ -1,0 +1,309 @@
+//! The analysis driver: test-region detection, pragma suppression and the
+//! workspace walker.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed, PragmaParse, Tok, TokKind};
+use crate::rules::{self, is_known_rule};
+use crate::Finding;
+
+/// Directory names the walker never descends into.
+const SKIP_DIRS: [&str; 2] = ["target", ".git"];
+
+/// Workspace-relative prefix holding deliberate rule violations for the
+/// lint's own tests; the walker must not lint them.
+const FIXTURES_PREFIX: &str = "crates/lint/tests/fixtures";
+
+/// Result of linting a file tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files examined.
+    pub checked_files: usize,
+}
+
+impl Report {
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                crate::json_escape(&f.file),
+                f.line,
+                crate::json_escape(&f.rule),
+                crate::json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str(&format!(
+            "],\n  \"checked_files\": {},\n  \"clean\": {}\n}}\n",
+            self.checked_files,
+            self.findings.is_empty()
+        ));
+        s
+    }
+}
+
+/// `true` if every token of the file is test-context by virtue of its
+/// path: integration tests, benches and examples never run in production.
+fn path_is_test_context(path: &str) -> bool {
+    let test_dir =
+        |p: &str, d: &str| p.starts_with(&format!("{d}/")) || p.contains(&format!("/{d}/"));
+    test_dir(path, "tests") || test_dir(path, "benches") || test_dir(path, "examples")
+}
+
+/// An inclusive line range of a `#[cfg(test)]` / `#[test]` region.
+#[derive(Clone, Copy, Debug)]
+pub struct TestRegion {
+    /// First line of the region (the attribute's line).
+    pub start: u32,
+    /// Last line of the region.
+    pub end: u32,
+}
+
+/// Computes a per-token test mask plus the line ranges of test regions.
+///
+/// A test region is a `#[cfg(test)]` or `#[test]` attribute together with
+/// the item that follows it — up to the matching close brace of its body,
+/// or the terminating semicolon for brace-less items.
+fn test_regions(toks: &[Tok], all_test: bool) -> (Vec<bool>, Vec<TestRegion>) {
+    let n = toks.len();
+    if all_test {
+        let end = toks.last().map(|t| t.line).unwrap_or(1);
+        return (vec![true; n], vec![TestRegion { start: 1, end }]);
+    }
+    let mut mask = vec![false; n];
+    let mut regions = Vec::new();
+
+    let is_p = |t: &Tok, c: char| t.kind == TokKind::Punct && t.text.starts_with(c);
+    let is_id = |t: &Tok, s: &str| t.kind == TokKind::Ident && t.text == s;
+
+    // Returns the index one past the attribute's closing `]`, or None.
+    let attr_end = |start: usize| -> Option<usize> {
+        let mut depth = 0usize;
+        for (off, t) in toks[start..].iter().enumerate() {
+            if is_p(t, '[') {
+                depth += 1;
+            } else if is_p(t, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(start + off + 1);
+                }
+            }
+        }
+        None
+    };
+
+    let mut i = 0usize;
+    while i < n {
+        if !(is_p(&toks[i], '#') && i + 1 < n && is_p(&toks[i + 1], '[')) {
+            i += 1;
+            continue;
+        }
+        let Some(end) = attr_end(i + 1) else { break };
+        let inner = &toks[i + 2..end - 1];
+        // `#[test]` or `#[cfg(test)]` (exactly — `cfg(not(test))` stays).
+        let is_test_attr = (inner.len() == 1 && is_id(&inner[0], "test"))
+            || (inner.len() == 4
+                && is_id(&inner[0], "cfg")
+                && is_p(&inner[1], '(')
+                && is_id(&inner[2], "test")
+                && is_p(&inner[3], ')'));
+        if !is_test_attr {
+            i = end;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut j = end;
+        while j + 1 < n && is_p(&toks[j], '#') && is_p(&toks[j + 1], '[') {
+            match attr_end(j + 1) {
+                Some(e) => j = e,
+                None => break,
+            }
+        }
+        // Find the item's extent: matching braces of its body, or `;`.
+        let mut k = j;
+        let mut close = n.saturating_sub(1);
+        while k < n {
+            if is_p(&toks[k], ';') {
+                close = k;
+                break;
+            }
+            if is_p(&toks[k], '{') {
+                let mut depth = 0usize;
+                while k < n {
+                    if is_p(&toks[k], '{') {
+                        depth += 1;
+                    } else if is_p(&toks[k], '}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                close = k.min(n - 1);
+                break;
+            }
+            k += 1;
+            if k == n {
+                close = n - 1;
+            }
+        }
+        for m in mask.iter_mut().take(close + 1).skip(i) {
+            *m = true;
+        }
+        regions.push(TestRegion { start: toks[i].line, end: toks[close].line });
+        i = close + 1;
+    }
+    (mask, regions)
+}
+
+/// Lints one source file given its workspace-relative path and contents.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let Lexed { tokens, pragmas } = lex(src);
+    let all_test = path_is_test_context(path);
+    let (mask, regions) = test_regions(&tokens, all_test);
+
+    let mut raw = rules::check_file(path, &tokens, &mask);
+    // Collapse duplicate matches of the same rule on the same line (the
+    // unit-safety patterns overlap by construction).
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    raw.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+
+    let mut used = vec![false; pragmas.len()];
+    let mut findings = Vec::new();
+    for f in raw {
+        let suppressed = pragmas.iter().enumerate().find(|(_, p)| {
+            matches!(&p.parse, PragmaParse::Allow { rule, .. }
+                if rule == f.rule && (p.line == f.line || p.line + 1 == f.line))
+        });
+        match suppressed {
+            Some((pi, _)) => used[pi] = true,
+            None => findings.push(Finding {
+                file: path.to_string(),
+                line: f.line,
+                rule: f.rule.to_string(),
+                message: f.message,
+            }),
+        }
+    }
+
+    // Pragma health: malformed, unknown-rule and stale pragmas are
+    // findings themselves, so suppressions can never rot silently.
+    let in_test_region =
+        |line: u32| all_test || regions.iter().any(|r| line >= r.start && line <= r.end);
+    for (pi, p) in pragmas.iter().enumerate() {
+        if in_test_region(p.line) {
+            continue;
+        }
+        match &p.parse {
+            PragmaParse::Malformed(why) => findings.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                rule: "malformed-pragma".to_string(),
+                message: format!("malformed oasis-lint pragma: {why}"),
+            }),
+            PragmaParse::Allow { rule, .. } if !is_known_rule(rule) => findings.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                rule: "unknown-rule".to_string(),
+                message: format!(
+                    "pragma names unknown rule `{rule}`; known rules: {}",
+                    rules::RULES.map(|r| r.id).join(", ")
+                ),
+            }),
+            PragmaParse::Allow { rule, .. } if !used[pi] => findings.push(Finding {
+                file: path.to_string(),
+                line: p.line,
+                rule: "unused-pragma".to_string(),
+                message: format!(
+                    "suppression for `{rule}` matched no finding on this or the next line; \
+                     remove the stale pragma"
+                ),
+            }),
+            PragmaParse::Allow { .. } => {}
+        }
+    }
+
+    findings.sort_by_key(|a| (a.line, a.rule.clone()));
+    findings
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if rel.starts_with(FIXTURES_PREFIX) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints every `.rs` file under `root` (skipping build output, VCS state
+/// and the lint fixtures), in a deterministic order.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let root = root.canonicalize()?;
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files)?;
+    files.sort();
+    lint_files(&root, &files)
+}
+
+/// Lints an explicit list of files, reporting paths relative to `root`.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> io::Result<Report> {
+    let mut report = Report::default();
+    for file in files {
+        let src = fs::read_to_string(file)?;
+        let rel = rel_path(root, file);
+        report.findings.extend(lint_source(&rel, &src));
+        report.checked_files += 1;
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Finds the workspace root by walking up from `start` until a
+/// `Cargo.toml` declaring `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+}

@@ -1,0 +1,67 @@
+//! `oasis-lint`: workspace static analysis for the Oasis reproduction.
+//!
+//! The simulator's headline property is bit-reproducibility: a fixed seed
+//! yields a byte-identical event stream. That property is easy to destroy
+//! with a single stray `Instant::now()`, an order-dependent `HashMap`
+//! iteration in the placement planner, or a foreign RNG. This crate turns
+//! those invariants — plus panic-hygiene on the fault/fetch hot path,
+//! byte-arithmetic unit safety and library print-hygiene — into
+//! CI-enforced rules.
+//!
+//! The pass is dependency-free. It lexes every Rust source in the
+//! workspace with a comment/string/raw-string-aware tokenizer (rules never
+//! fire inside doc comments or string literals), skips `#[cfg(test)]` /
+//! `#[test]` regions and test-context directories (`tests/`, `benches/`,
+//! `examples/`), and supports per-site suppression pragmas:
+//!
+//! ```text
+//! // oasis-lint: allow(panic-hygiene, "state machine invariant: ...")
+//! ```
+//!
+//! A pragma suppresses findings of the named rule on its own line or the
+//! line directly below, and must carry a non-empty reason. Stale pragmas
+//! (matching nothing) and malformed or unknown-rule pragmas are findings
+//! themselves, so suppressions stay honest.
+//!
+//! Run with `cargo run -p oasis-lint`; `--format=json` emits a
+//! machine-readable report for CI artifacts.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+/// One rule violation (or pragma-health problem) at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule identifier (e.g. `wall-clock`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl core::fmt::Display for Finding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,294 @@
+//! The rule registry and token-sequence matchers.
+//!
+//! Each rule carries a path scope (which files it applies to) and a set of
+//! token patterns. Patterns match the lexed token stream, so they never
+//! fire inside comments or string literals; the engine additionally skips
+//! matches that start inside `#[cfg(test)]` / `#[test]` regions or
+//! test-context directories.
+
+use crate::lexer::{number_is, Tok, TokKind};
+
+/// Crates whose decision paths must stay seed-reproducible: any
+/// order-dependent container iteration here can reorder placement or
+/// migration decisions between runs.
+pub const DECISION_PATH_CRATES: [&str; 5] = ["core", "cluster", "sim", "migration", "host"];
+
+/// Library crates exempt from print-hygiene (user-facing output is their
+/// job, or — for `lint` itself — findings go to stdout by design).
+pub const PRINT_EXEMPT_CRATES: [&str; 3] = ["cli", "bench", "lint"];
+
+/// Files allowed to read wall-clock time: the bench harness measures real
+/// elapsed time, and telemetry spans record host-side wall durations that
+/// never feed back into simulation decisions.
+pub const WALL_CLOCK_ALLOWED: [&str; 2] =
+    ["crates/bench/src/timing.rs", "crates/telemetry/src/span.rs"];
+
+/// The only module that may generate randomness.
+pub const RNG_HOME: &str = "crates/sim/src/rng.rs";
+
+/// The only module that may spell out raw byte arithmetic; everything else
+/// goes through the `ByteSize` / `PAGE_SIZE` newtypes it defines.
+pub const SIZE_HOME: &str = "crates/mem/src/size.rs";
+
+/// Static description of one rule.
+pub struct Rule {
+    /// Stable identifier used in findings and pragmas.
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and docs.
+    pub summary: &'static str,
+}
+
+/// All rules the pass enforces, in report order.
+pub const RULES: [Rule; 6] = [
+    Rule {
+        id: "wall-clock",
+        summary: "no Instant/SystemTime outside bench timing and telemetry wall-spans; \
+                  simulation logic uses SimTime",
+    },
+    Rule {
+        id: "hash-iteration",
+        summary: "no HashMap/HashSet/RandomState in decision-path crates \
+                  (core, cluster, sim, migration, host); iteration order breaks seeds",
+    },
+    Rule { id: "foreign-rng", summary: "only oasis_sim::rng::SimRng may generate randomness" },
+    Rule {
+        id: "panic-hygiene",
+        summary: "no unwrap/expect/panic in non-test code of the fault/fetch hot path \
+                  (crates/host, net handshake)",
+    },
+    Rule {
+        id: "unit-safety",
+        summary: "no raw * 4096 / << 12 / * 1024 * 1024 byte arithmetic outside \
+                  crates/mem/src/size.rs; use the size newtypes",
+    },
+    Rule {
+        id: "print-hygiene",
+        summary: "no println!/eprintln!/dbg! in library crates; output goes through \
+                  the telemetry bus (cli and bench exempt)",
+    },
+];
+
+/// Rule identifiers that only the engine emits (pragma health checks).
+/// They cannot be suppressed and need no fixtures per rule.
+pub const ENGINE_RULES: [&str; 3] = ["malformed-pragma", "unknown-rule", "unused-pragma"];
+
+/// `true` if `id` names a suppressible rule.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// A raw (pre-suppression) finding.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// 1-based line of the first matched token.
+    pub line: u32,
+    /// Explanation, naming the matched construct.
+    pub message: String,
+}
+
+/// One element of a token pattern.
+enum Pat {
+    /// An identifier with this exact text.
+    Id(&'static str),
+    /// A punctuation token with this character.
+    P(char),
+    /// A number literal with this value.
+    Num(u64),
+}
+
+fn matches_at(toks: &[Tok], at: usize, pat: &[Pat]) -> bool {
+    if at + pat.len() > toks.len() {
+        return false;
+    }
+    pat.iter().zip(&toks[at..]).all(|(p, t)| match p {
+        Pat::Id(s) => t.kind == TokKind::Ident && t.text == *s,
+        Pat::P(c) => t.kind == TokKind::Punct && t.text.starts_with(*c),
+        Pat::Num(v) => t.kind == TokKind::Number && number_is(&t.text, *v),
+    })
+}
+
+/// Path helpers. Paths are workspace-relative with forward slashes.
+fn crate_of(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+fn in_crate_src(path: &str, name: &str) -> bool {
+    path.strip_prefix("crates/")
+        .and_then(|r| r.strip_prefix(name))
+        .map(|r| r.starts_with("/src/"))
+        .unwrap_or(false)
+}
+
+fn wall_clock_scope(path: &str) -> bool {
+    !WALL_CLOCK_ALLOWED.contains(&path)
+}
+
+fn hash_iteration_scope(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| DECISION_PATH_CRATES.contains(&c))
+}
+
+fn foreign_rng_scope(path: &str) -> bool {
+    path != RNG_HOME
+}
+
+fn panic_hygiene_scope(path: &str) -> bool {
+    path.starts_with("crates/host/src/") || path == "crates/net/src/secure/handshake.rs"
+}
+
+fn unit_safety_scope(path: &str) -> bool {
+    path != SIZE_HOME
+}
+
+fn print_hygiene_scope(path: &str) -> bool {
+    if path.starts_with("src/") {
+        return true;
+    }
+    match crate_of(path) {
+        Some(c) => !PRINT_EXEMPT_CRATES.contains(&c) && in_crate_src(path, c),
+        None => false,
+    }
+}
+
+/// Runs every in-scope rule over the token stream. `test_mask[i]` marks
+/// tokens inside test-only regions; matches starting there are skipped.
+pub fn check_file(path: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        out.push(RawFinding { rule, line, message });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        let line = t.line;
+
+        if wall_clock_scope(path)
+            && t.kind == TokKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+        {
+            push(
+                "wall-clock",
+                line,
+                format!(
+                    "wall-clock time source `{}`: simulation logic must use SimTime/SimDuration \
+                     (allowed only in bench timing and telemetry wall-spans)",
+                    t.text
+                ),
+            );
+        }
+
+        if hash_iteration_scope(path)
+            && t.kind == TokKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet" || t.text == "RandomState")
+        {
+            push(
+                "hash-iteration",
+                line,
+                format!(
+                    "`{}` in a decision-path crate: iteration order varies across runs and \
+                     breaks seed reproducibility; use BTreeMap/BTreeSet",
+                    t.text
+                ),
+            );
+        }
+
+        if foreign_rng_scope(path) {
+            let foreign_ident = t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "thread_rng"
+                        | "ThreadRng"
+                        | "StdRng"
+                        | "SmallRng"
+                        | "OsRng"
+                        | "getrandom"
+                        | "from_entropy"
+                );
+            let rand_path = matches_at(toks, i, &[Pat::Id("rand"), Pat::P(':'), Pat::P(':')]);
+            if foreign_ident || rand_path {
+                push(
+                    "foreign-rng",
+                    line,
+                    format!(
+                        "foreign randomness source `{}`: all randomness must flow from the \
+                         seeded oasis_sim::rng::SimRng",
+                        if rand_path { "rand::" } else { t.text.as_str() }
+                    ),
+                );
+            }
+        }
+
+        if panic_hygiene_scope(path) {
+            let method = |name| [Pat::P('.'), Pat::Id(name), Pat::P('(')];
+            let mac = |name| [Pat::Id(name), Pat::P('!')];
+            let hit = if matches_at(toks, i, &method("unwrap")) {
+                Some("unwrap()")
+            } else if matches_at(toks, i, &method("expect")) {
+                Some("expect()")
+            } else if matches_at(toks, i, &mac("panic")) {
+                Some("panic!")
+            } else if matches_at(toks, i, &mac("unreachable")) {
+                Some("unreachable!")
+            } else if matches_at(toks, i, &mac("todo")) {
+                Some("todo!")
+            } else if matches_at(toks, i, &mac("unimplemented")) {
+                Some("unimplemented!")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                push(
+                    "panic-hygiene",
+                    line,
+                    format!(
+                        "`{what}` on the fault/fetch hot path: return a typed error, move \
+                         under #[cfg(test)], or justify with a pragma"
+                    ),
+                );
+            }
+        }
+
+        if unit_safety_scope(path) {
+            let patterns: [&[Pat]; 8] = [
+                &[Pat::P('*'), Pat::Num(4096)],
+                &[Pat::Num(4096), Pat::P('*')],
+                &[Pat::P('<'), Pat::P('<'), Pat::Num(12)],
+                &[Pat::P('>'), Pat::P('>'), Pat::Num(12)],
+                &[Pat::P('*'), Pat::Num(1024), Pat::P('*'), Pat::Num(1024)],
+                &[Pat::Num(1024), Pat::P('*'), Pat::Num(1024)],
+                &[Pat::P('*'), Pat::Num(1_048_576)],
+                &[Pat::Num(1_048_576), Pat::P('*')],
+            ];
+            if patterns.iter().any(|p| matches_at(toks, i, p)) {
+                push(
+                    "unit-safety",
+                    line,
+                    "raw byte arithmetic: use ByteSize / PAGE_SIZE / CHUNK_SIZE newtypes from \
+                     oasis-mem instead of spelled-out page and MiB factors"
+                        .to_string(),
+                );
+            }
+        }
+
+        if print_hygiene_scope(path)
+            && t.kind == TokKind::Ident
+            && matches!(t.text.as_str(), "println" | "print" | "eprintln" | "eprint" | "dbg")
+            && matches_at(toks, i + 1, &[Pat::P('!')])
+        {
+            push(
+                "print-hygiene",
+                line,
+                format!(
+                    "`{}!` in a library crate: route output through the telemetry bus \
+                     (only cli and bench own stdout/stderr)",
+                    t.text
+                ),
+            );
+        }
+    }
+    out
+}

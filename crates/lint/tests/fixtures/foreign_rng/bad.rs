@@ -1,0 +1,9 @@
+// Fixture: foreign randomness sources bypass the seeded SimRng.
+use rand::Rng;
+
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    let seeded = StdRng::from_entropy();
+    let _ = seeded;
+    rng.gen::<u64>()
+}

@@ -1,0 +1,6 @@
+// Fixture: all randomness flows from the seeded SimRng.
+use oasis_sim::SimRng;
+
+pub fn jitter(rng: &mut SimRng) -> u64 {
+    rng.next_u64()
+}

@@ -1,0 +1,13 @@
+// Fixture: hash containers in a decision-path crate break seed
+// reproducibility through iteration order.
+use std::collections::{HashMap, HashSet};
+
+pub fn plan_placements(vms: &[u32]) -> Vec<u32> {
+    let mut hosts: HashMap<u32, u32> = HashMap::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &vm in vms {
+        hosts.insert(vm, vm % 4);
+        seen.insert(vm);
+    }
+    hosts.values().copied().collect()
+}

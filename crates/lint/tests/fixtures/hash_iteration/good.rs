@@ -1,0 +1,12 @@
+// Fixture: ordered containers keep decision paths reproducible.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn plan_placements(vms: &[u32]) -> Vec<u32> {
+    let mut hosts: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for &vm in vms {
+        hosts.insert(vm, vm % 4);
+        seen.insert(vm);
+    }
+    hosts.values().copied().collect()
+}

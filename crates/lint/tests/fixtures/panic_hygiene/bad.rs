@@ -1,0 +1,12 @@
+// Fixture: panics on the fault/fetch hot path.
+pub fn serve_page(table: &PageTable, page: PageNum) -> Frame {
+    let frame = table.lookup(page).unwrap();
+    let meta = table.meta(page).expect("resident page");
+    if meta.poisoned {
+        panic!("poisoned page {page:?}");
+    }
+    match meta.state {
+        State::Resident => frame,
+        _ => unreachable!(),
+    }
+}

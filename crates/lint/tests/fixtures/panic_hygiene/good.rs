@@ -1,0 +1,17 @@
+// Fixture: typed errors on the hot path; unwrap is fine under #[cfg(test)].
+pub fn serve_page(table: &PageTable, page: PageNum) -> Result<Frame, HvError> {
+    let frame = table.lookup(page).ok_or(HvError::BadPage(page))?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_resident_pages() {
+        let table = PageTable::resident(8);
+        let frame = serve_page(&table, PageNum(3)).unwrap();
+        assert_eq!(frame.0, 3);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: pragmas without a written reason (or otherwise unparseable)
+// are rejected rather than silently ignored.
+pub fn serve(table: &PageTable, page: PageNum) -> Frame {
+    // oasis-lint: allow(panic-hygiene)
+    table.lookup(page).unwrap()
+}

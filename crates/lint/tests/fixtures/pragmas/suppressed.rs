@@ -1,0 +1,9 @@
+// Fixture: a reasoned pragma suppresses the finding on its own line or
+// the line directly below — and counts as used.
+pub fn serve_page(table: &PageTable, page: PageNum) -> Frame {
+    // oasis-lint: allow(panic-hygiene, "resident set is preloaded in this fixture; lookup cannot miss")
+    let frame = table.lookup(page).unwrap();
+    let meta = table.meta(page).expect("resident page"); // oasis-lint: allow(panic-hygiene, "same invariant, trailing form")
+    let _ = meta;
+    frame
+}

@@ -1,0 +1,5 @@
+// Fixture: a pragma naming a rule that does not exist is a finding.
+pub fn quiet() -> u64 {
+    // oasis-lint: allow(no-such-rule, "this rule id is a typo")
+    42
+}

@@ -1,0 +1,6 @@
+// Fixture: a pragma that matches no finding is itself a finding.
+pub fn quiet() -> u64 {
+    // oasis-lint: allow(panic-hygiene, "stale reason: the unwrap below was removed long ago")
+    let value = 7;
+    value
+}

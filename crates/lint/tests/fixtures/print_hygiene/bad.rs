@@ -1,0 +1,6 @@
+// Fixture: direct stdout/stderr from a library crate.
+pub fn report_progress(done: usize, total: usize) {
+    println!("migrated {done}/{total}");
+    eprintln!("warning: slow fetch");
+    let _ = dbg!(done);
+}

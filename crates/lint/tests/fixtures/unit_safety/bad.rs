@@ -1,0 +1,7 @@
+// Fixture: raw byte arithmetic instead of the size newtypes.
+pub fn footprint(pages: u64, chunks: u64, frame: u64) -> (u64, u64, u64) {
+    let bytes = pages * 4096;
+    let addr = frame << 12;
+    let chunk_bytes = chunks * 2 * 1024 * 1024;
+    (bytes, addr, chunk_bytes)
+}

@@ -1,0 +1,10 @@
+// Fixture: byte arithmetic through the oasis-mem newtypes.
+use oasis_mem::chunk::CHUNK_SIZE;
+use oasis_mem::{ByteSize, PAGE_SIZE};
+
+pub fn footprint(pages: u64, chunks: u64, frame: MachineFrame) -> (ByteSize, u64, ByteSize) {
+    let bytes = ByteSize::bytes(pages * PAGE_SIZE);
+    let addr = frame.base_addr();
+    let chunk_bytes = CHUNK_SIZE * chunks;
+    (bytes, addr, chunk_bytes)
+}

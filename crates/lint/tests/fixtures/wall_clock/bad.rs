@@ -1,0 +1,8 @@
+// Fixture: wall-clock must fire on Instant and SystemTime in simulation code.
+use std::time::{Instant, SystemTime};
+
+pub fn decide_migration_deadline() -> u64 {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,6 @@
+// Fixture: simulation logic on SimTime is fine; mentions of wall-clock
+// types in comments ("Instant::now() is banned") and strings must not fire.
+pub fn decide_migration_deadline(now: SimTime, budget: SimDuration) -> SimTime {
+    let _why = "never call Instant::now() here";
+    now + budget
+}

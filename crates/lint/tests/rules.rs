@@ -1,0 +1,173 @@
+//! Per-rule fixture tests: every rule fires on known-bad input and stays
+//! silent on known-good input, and the pragma machinery behaves.
+
+use oasis_lint::engine::lint_source;
+use oasis_lint::Finding;
+
+/// Lints fixture `src` as if it lived at the workspace-relative `path`
+/// (rule scopes are path-based, so the virtual path picks the scope).
+fn lint_at(path: &str, src: &str) -> Vec<Finding> {
+    lint_source(path, src)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+fn lines_of(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect()
+}
+
+#[test]
+fn wall_clock_fires_on_bad_and_not_on_good() {
+    let bad = lint_at("crates/core/src/policy.rs", include_str!("fixtures/wall_clock/bad.rs"));
+    assert_eq!(lines_of(&bad, "wall-clock"), vec![2, 5, 6], "{bad:?}");
+    assert!(bad.iter().all(|f| f.rule == "wall-clock"), "{bad:?}");
+
+    let good = lint_at("crates/core/src/policy.rs", include_str!("fixtures/wall_clock/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn wall_clock_respects_the_allowlist() {
+    let src = include_str!("fixtures/wall_clock/bad.rs");
+    assert!(lint_at("crates/bench/src/timing.rs", src).is_empty());
+    assert!(lint_at("crates/telemetry/src/span.rs", src).is_empty());
+}
+
+#[test]
+fn hash_iteration_fires_in_decision_path_crates_only() {
+    let src = include_str!("fixtures/hash_iteration/bad.rs");
+    for krate in ["core", "cluster", "sim", "migration", "host"] {
+        let path = format!("crates/{krate}/src/lib.rs");
+        let findings = lint_at(&path, src);
+        assert!(
+            findings.iter().any(|f| f.rule == "hash-iteration"),
+            "expected hash-iteration in {path}: {findings:?}"
+        );
+    }
+    // A non-decision crate may hash freely.
+    assert!(lint_at("crates/power/src/meter.rs", src).is_empty());
+
+    let good =
+        lint_at("crates/core/src/placement.rs", include_str!("fixtures/hash_iteration/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn foreign_rng_fires_on_bad_and_not_on_good() {
+    let bad = lint_at("crates/host/src/agent.rs", include_str!("fixtures/foreign_rng/bad.rs"));
+    let rules = rules_of(&bad);
+    assert!(rules.iter().all(|r| *r == "foreign-rng"), "{bad:?}");
+    // `use rand::Rng`, `thread_rng()`, and `StdRng::from_entropy()` each fire.
+    assert_eq!(lines_of(&bad, "foreign-rng"), vec![2, 5, 6], "{bad:?}");
+
+    let good = lint_at("crates/host/src/agent.rs", include_str!("fixtures/foreign_rng/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn foreign_rng_exempts_the_rng_home() {
+    let src = include_str!("fixtures/foreign_rng/bad.rs");
+    assert!(lint_at("crates/sim/src/rng.rs", src).is_empty());
+}
+
+#[test]
+fn panic_hygiene_fires_on_bad_and_not_on_good() {
+    let bad =
+        lint_at("crates/host/src/hypervisor.rs", include_str!("fixtures/panic_hygiene/bad.rs"));
+    assert_eq!(lines_of(&bad, "panic-hygiene"), vec![3, 4, 6, 10], "{bad:?}");
+
+    // Typed errors pass, and unwraps under #[cfg(test)] are allowed.
+    let good =
+        lint_at("crates/host/src/hypervisor.rs", include_str!("fixtures/panic_hygiene/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn panic_hygiene_is_scoped_to_the_hot_path() {
+    let src = include_str!("fixtures/panic_hygiene/bad.rs");
+    // The same code outside the fault/fetch hot path is not flagged.
+    assert!(lint_at("crates/power/src/acpi.rs", src).is_empty());
+    assert!(lint_at("crates/telemetry/src/metrics.rs", src).is_empty());
+    // The net handshake is part of the hot path.
+    assert!(!lint_at("crates/net/src/secure/handshake.rs", src).is_empty());
+}
+
+#[test]
+fn unit_safety_fires_on_bad_and_not_on_good() {
+    let bad = lint_at("crates/host/src/memserver.rs", include_str!("fixtures/unit_safety/bad.rs"));
+    assert_eq!(lines_of(&bad, "unit-safety"), vec![3, 4, 5], "{bad:?}");
+
+    let good =
+        lint_at("crates/host/src/memserver.rs", include_str!("fixtures/unit_safety/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn unit_safety_exempts_the_size_module() {
+    let src = include_str!("fixtures/unit_safety/bad.rs");
+    assert!(lint_at("crates/mem/src/size.rs", src).is_empty());
+}
+
+#[test]
+fn print_hygiene_fires_in_library_crates_only() {
+    let src = include_str!("fixtures/print_hygiene/bad.rs");
+    let bad = lint_at("crates/migration/src/plan.rs", src);
+    assert_eq!(lines_of(&bad, "print-hygiene"), vec![3, 4, 5], "{bad:?}");
+
+    // cli and bench own stdout/stderr; test-context dirs are exempt too.
+    assert!(lint_at("crates/cli/src/lib.rs", src).is_empty());
+    assert!(lint_at("crates/bench/src/report.rs", src).is_empty());
+    assert!(lint_at("crates/migration/tests/roundtrip.rs", src).is_empty());
+    assert!(lint_at("examples/quickstart.rs", src).is_empty());
+
+    let good =
+        lint_at("crates/migration/src/plan.rs", include_str!("fixtures/print_hygiene/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn pragma_suppresses_and_counts_as_used() {
+    let findings =
+        lint_at("crates/host/src/memserver.rs", include_str!("fixtures/pragmas/suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn stale_pragma_is_a_finding() {
+    let findings = lint_at("crates/host/src/agent.rs", include_str!("fixtures/pragmas/unused.rs"));
+    assert_eq!(rules_of(&findings), vec!["unused-pragma"], "{findings:?}");
+}
+
+#[test]
+fn reasonless_pragma_is_malformed_and_does_not_suppress() {
+    let findings =
+        lint_at("crates/host/src/agent.rs", include_str!("fixtures/pragmas/malformed.rs"));
+    let rules = rules_of(&findings);
+    assert!(rules.contains(&"malformed-pragma"), "{findings:?}");
+    assert!(rules.contains(&"panic-hygiene"), "unsuppressed finding expected: {findings:?}");
+}
+
+#[test]
+fn unknown_rule_pragma_is_a_finding() {
+    let findings =
+        lint_at("crates/host/src/agent.rs", include_str!("fixtures/pragmas/unknown_rule.rs"));
+    assert_eq!(rules_of(&findings), vec!["unknown-rule"], "{findings:?}");
+}
+
+#[test]
+fn json_report_escapes_and_round_trips_shape() {
+    let mut report =
+        oasis_lint::engine::Report { checked_files: 2, ..oasis_lint::engine::Report::default() };
+    report.findings.push(Finding {
+        file: "crates/a/src/x.rs".to_string(),
+        line: 7,
+        rule: "wall-clock".to_string(),
+        message: "uses \"Instant\"\n badly".to_string(),
+    });
+    let json = report.to_json();
+    assert!(json.contains("\"clean\": false"), "{json}");
+    assert!(json.contains("\\\"Instant\\\"\\n"), "{json}");
+    assert!(json.contains("\"checked_files\": 2"), "{json}");
+}

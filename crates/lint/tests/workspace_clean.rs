@@ -1,0 +1,24 @@
+//! Self-check: the workspace must finish `oasis-lint` with zero
+//! unsuppressed findings. If this test fails, either fix the flagged code
+//! or add a `// oasis-lint: allow(<rule>, "<reason>")` pragma with a real
+//! justification.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = oasis_lint::engine::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        report.checked_files > 100,
+        "suspiciously few files checked ({}); walker broken?",
+        report.checked_files
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        report.findings.is_empty(),
+        "oasis-lint found {} unsuppressed finding(s):\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+}

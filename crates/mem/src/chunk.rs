@@ -12,8 +12,11 @@ use std::collections::BTreeMap;
 use crate::addr::{MachineFrame, PAGE_SIZE};
 use crate::size::ByteSize;
 
+/// Allocation granularity of the host heap: one 2 MiB chunk (§4.2).
+pub const CHUNK_SIZE: ByteSize = ByteSize::mib(2);
+
 /// Frames per 2 MiB chunk.
-pub const FRAMES_PER_CHUNK: u64 = (2 * 1024 * 1024) / PAGE_SIZE;
+pub const FRAMES_PER_CHUNK: u64 = CHUNK_SIZE.as_bytes() / PAGE_SIZE;
 
 /// Error returned when the host has no free chunks left.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -224,8 +224,16 @@ pub enum PageClass {
 
 impl PageClass {
     /// All classes, most compressible first.
+    ///
+    /// The order matches the enum declaration so [`index`](PageClass::index)
+    /// is a cast, not a scan.
     pub const ALL: [PageClass; 4] =
         [PageClass::Zero, PageClass::Text, PageClass::Code, PageClass::Random];
+
+    /// This class's position in [`ALL`](PageClass::ALL).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// Deterministically synthesizes one page of this class.
     ///
@@ -343,6 +351,13 @@ impl PageMix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_index_round_trips_through_all() {
+        for class in PageClass::ALL {
+            assert_eq!(PageClass::ALL[class.index()], class);
+        }
+    }
 
     #[test]
     fn round_trip_empty() {

@@ -62,6 +62,11 @@ impl ByteSize {
         self.0
     }
 
+    /// Size in whole mebibytes (truncating).
+    pub const fn as_mib(self) -> u64 {
+        self.0 / MIB
+    }
+
     /// Size in mebibytes as a float.
     pub fn as_mib_f64(self) -> f64 {
         self.0 as f64 / MIB as f64

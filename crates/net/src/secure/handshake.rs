@@ -234,7 +234,8 @@ impl SessionBroker {
         let mut kdf_nonce = [0u8; 12];
         kdf_nonce[..4].copy_from_slice(b"oasi");
         let block = chacha20::block(&kdf_key, 1, &kdf_nonce);
-        let key: [u8; 32] = block[..32].try_into().expect("32 of 64");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&block[..32]);
 
         let client_ch = SecureChannel { key, send_seq: 0, recv_seq: 0, direction: 1 };
         let server_ch = SecureChannel { key, send_seq: 0, recv_seq: 0, direction: 2 };

@@ -56,8 +56,10 @@ impl TrafficClass {
         )
     }
 
+    /// This class's position in [`ALL`](TrafficClass::ALL), whose order
+    /// matches the enum declaration.
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        self as usize
     }
 }
 
@@ -132,6 +134,13 @@ impl TrafficAccountant {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_index_round_trips_through_all() {
+        for class in TrafficClass::ALL {
+            assert_eq!(TrafficClass::ALL[class.index()], class);
+        }
+    }
 
     #[test]
     fn record_and_totals() {

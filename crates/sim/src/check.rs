@@ -111,6 +111,7 @@ pub fn run(cases: u64, property: impl Fn(&mut Gen)) {
     for case in 0..cases {
         let mut g = Gen::new(case);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut g))) {
+            // oasis-lint: allow(print-hygiene, "property-harness failure diagnostic for cargo test output; the panic payload is re-raised below")
             eprintln!("property failed at case {case} (of {cases}); re-run is deterministic");
             resume_unwind(payload);
         }

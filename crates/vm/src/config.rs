@@ -156,7 +156,7 @@ impl VmConfig {
             "vmid = {}\ndisk = {}\nmemory_mib = {}\nvcpus = {}\nvfb = {}\nnetwork = {}\n",
             self.vmid.0,
             self.disk,
-            self.memory.as_bytes() / (1024 * 1024),
+            self.memory.as_mib(),
             self.vcpus,
             if self.vfb { "yes" } else { "no" },
             self.network,
