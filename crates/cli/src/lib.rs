@@ -5,7 +5,8 @@
 //! ```text
 //! oasis sim    [--policy P] [--day weekday|weekend] [--homes N]
 //!              [--cons N] [--vms N] [--seed S] [--interval-mins M]
-//!              [--memserver-watts W] [--trace-out PATH]
+//!              [--memserver-watts W] [--faults PATH]
+//!              [--fault-profile light|heavy] [--trace-out PATH]
 //!              [--metrics-out PATH] [--log-level off|warn|info|debug]
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
 //! oasis micro  [--seed S]
@@ -21,6 +22,7 @@ use args::Args;
 use oasis_cluster::experiments::run_week;
 use oasis_cluster::{ClusterConfig, ClusterSim};
 use oasis_core::PolicyKind;
+use oasis_faults::{FaultProfile, FaultSchedule};
 use oasis_migration::lab::MicroLab;
 use oasis_power::MemoryServerProfile;
 use oasis_sim::SimDuration;
@@ -35,7 +37,8 @@ fn usage() -> ! {
          \n\
          oasis sim    --policy FulltoPartial --day weekday --homes 30 \\\n\
          \x20             --cons 4 --vms 30 --seed 1 [--interval-mins 5] \\\n\
-         \x20             [--memserver-watts 42.2] [--trace-out events.jsonl] \\\n\
+         \x20             [--memserver-watts 42.2] [--faults schedule.txt] \\\n\
+         \x20             [--fault-profile light|heavy] [--trace-out events.jsonl] \\\n\
          \x20             [--metrics-out metrics.prom] [--log-level debug]\n\
          oasis week   --policy FulltoPartial --seed 1\n\
          oasis micro  --seed 1\n\
@@ -83,6 +86,25 @@ fn cluster_config(args: &Args) -> ClusterConfig {
         let set = TraceSet::from_text(&text).unwrap_or_else(|e| fail(e));
         builder = builder.trace(set);
     }
+    if let Some(path) = args.get("faults") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(e));
+        let schedule = FaultSchedule::from_text(&text).unwrap_or_else(|e| fail(e));
+        builder = builder.faults(schedule);
+    } else if let Some(profile) = args.get("fault-profile") {
+        let profile = match profile.to_ascii_lowercase().as_str() {
+            "light" => FaultProfile::light(),
+            "heavy" => FaultProfile::heavy(),
+            other => fail(format!("unknown fault profile {other:?} (light|heavy)")),
+        };
+        let cfg = builder.clone().build().unwrap_or_else(|e| fail(e));
+        let schedule = FaultSchedule::random(
+            profile,
+            cfg.home_hosts + cfg.consolidation_hosts,
+            SimDuration::from_hours(24),
+            cfg.seed ^ 0xFA17,
+        );
+        builder = builder.faults(schedule);
+    }
     builder.build().unwrap_or_else(|e| fail(e))
 }
 
@@ -99,6 +121,8 @@ const SIM_FLAGS: &[&str] = &[
     "interval-mins",
     "memserver-watts",
     "trace",
+    "faults",
+    "fault-profile",
     "trace-out",
     "metrics-out",
     "log-level",
@@ -150,6 +174,13 @@ fn cmd_sim(args: Args) {
         report.transition_delays.quantile(0.99).unwrap_or(0.0),
         report.network_bytes().as_gib_f64(),
     );
+    if !report.faults.is_empty() {
+        println!("{}", report.faults.summary_line());
+        let violations = report.integrity_violations();
+        if !violations.is_empty() {
+            fail(format!("placement integrity violated:\n{}", violations.join("\n")));
+        }
+    }
     if telemetry.is_enabled() {
         print!("{}", report.telemetry);
     }

@@ -1,6 +1,7 @@
 //! Cluster configuration (§5.1 defaults).
 
 use oasis_core::{PlacementStrategy, PolicyKind};
+use oasis_faults::FaultSchedule;
 use oasis_mem::ByteSize;
 use oasis_power::{HostEnergyProfile, MemoryServerProfile};
 use oasis_sim::SimDuration;
@@ -81,6 +82,10 @@ pub struct ClusterConfig {
     /// Fault injection: probability that a Wake-on-LAN packet is lost and
     /// must be retransmitted after a timeout (§4.1 wakes hosts by WoL).
     pub wol_loss_rate: f64,
+    /// Deterministic fault-injection schedule. The default
+    /// ([`FaultSchedule::none`]) injects nothing and leaves the run
+    /// byte-identical to one without the fault subsystem.
+    pub faults: FaultSchedule,
     /// User-activity trace library to sample user-days from. `None` (the
     /// default) synthesizes a library equivalent to the §5.1 corpus; pass
     /// a [`TraceSet`] to drive the simulation from recorded traces.
@@ -139,6 +144,7 @@ impl Default for ClusterConfigBuilder {
                 reintegration_time: SimDuration::from_millis(3_700),
                 vacate_cooldown: SimDuration::ZERO,
                 wol_loss_rate: 0.0,
+                faults: FaultSchedule::none(),
                 trace: None,
                 placement: PlacementStrategy::Random,
                 workload_mix: vec![(WorkloadClass::Desktop, 1.0)],
@@ -212,6 +218,12 @@ impl ClusterConfigBuilder {
     /// Sets the Wake-on-LAN loss probability (fault injection).
     pub fn wol_loss_rate(mut self, p: f64) -> Self {
         self.config.wol_loss_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fault-injection schedule.
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.config.faults = schedule;
         self
     }
 

@@ -21,5 +21,5 @@ pub mod results;
 pub mod sim;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder};
-pub use results::SimReport;
+pub use results::{SimReport, VmPlacement};
 pub use sim::ClusterSim;

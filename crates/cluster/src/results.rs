@@ -1,6 +1,7 @@
 //! Per-run simulation reports.
 
 use oasis_core::PolicyKind;
+use oasis_faults::FaultCounts;
 use oasis_mem::ByteSize;
 use oasis_net::TrafficAccountant;
 use oasis_sim::stats::{Cdf, TimeSeries};
@@ -24,6 +25,19 @@ pub struct MigrationCounts {
     pub relocations: u64,
     /// Wake-on-LAN retransmissions (fault injection).
     pub wol_retries: u64,
+}
+
+/// Where one VM ended the simulated day.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmPlacement {
+    /// VM id.
+    pub vm: u32,
+    /// Home (compute) host the VM is bound to.
+    pub home: u32,
+    /// Host the VM runs on at end of day.
+    pub location: u32,
+    /// Whether the VM ended the day as a partial replica.
+    pub partial: bool,
 }
 
 /// The outcome of one simulated day.
@@ -57,6 +71,16 @@ pub struct SimReport {
     pub traffic: TrafficAccountant,
     /// Migration-event counters.
     pub migrations: MigrationCounts,
+    /// Injected-fault and recovery-action counters (all zero on a
+    /// fault-free run).
+    pub faults: FaultCounts,
+    /// Time each successful fault recovery took, seconds.
+    pub recovery_times: Cdf,
+    /// Cumulative managed-cluster energy per interval, kWh (monotone
+    /// non-decreasing by construction — checked by the property suite).
+    pub energy_series: TimeSeries,
+    /// End-of-day VM placements, for integrity checking.
+    pub placements: Vec<VmPlacement>,
     /// Event counts and span timings from the run's telemetry bus (empty
     /// when telemetry was never attached).
     pub telemetry: TelemetrySummary,
@@ -74,6 +98,40 @@ impl SimReport {
     /// Total bytes that crossed the datacenter network.
     pub fn network_bytes(&self) -> ByteSize {
         self.traffic.network_total()
+    }
+
+    /// Structural integrity checks over the final placements: every VM
+    /// accounted for exactly once, on a real host, and no partial replica
+    /// resident at its own home (a partial at home would mean its memory
+    /// server is serving pages to itself). Returns one message per
+    /// violation; the fault scenario suite asserts this is empty — faults
+    /// may cost energy and latency, but never VMs.
+    pub fn integrity_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.placements.len() as u32 != self.vms {
+            violations.push(format!(
+                "{} VMs configured, {} placed",
+                self.vms,
+                self.placements.len()
+            ));
+        }
+        let hosts = self.home_hosts + self.consolidation_hosts;
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &self.placements {
+            if !seen.insert(p.vm) {
+                violations.push(format!("vm {} placed twice", p.vm));
+            }
+            if p.location >= hosts {
+                violations.push(format!("vm {} on nonexistent host {}", p.vm, p.location));
+            }
+            if p.home >= self.home_hosts {
+                violations.push(format!("vm {} homed at non-home host {}", p.vm, p.home));
+            }
+            if p.partial && p.location == p.home {
+                violations.push(format!("vm {} is a partial replica at its own home", p.vm));
+            }
+        }
+        violations
     }
 
     /// One summary line for experiment output.
@@ -121,6 +179,10 @@ mod tests {
             consolidation_ratio: Cdf::new(),
             traffic: TrafficAccountant::new(),
             migrations: MigrationCounts::default(),
+            faults: FaultCounts::default(),
+            recovery_times: Cdf::new(),
+            energy_series: TimeSeries::new(),
+            placements: Vec::new(),
             telemetry: TelemetrySummary::default(),
         }
     }
@@ -142,6 +204,30 @@ mod tests {
         assert!(line.contains("FulltoPartial"));
         assert!(line.contains("28.0%"));
         assert!(line.contains("cons=4"));
+    }
+
+    #[test]
+    fn integrity_checks_catch_structural_damage() {
+        let mut r = report();
+        // 900 VMs configured, none placed.
+        assert_eq!(r.integrity_violations().len(), 1);
+        r.vms = 3;
+        r.placements = vec![
+            VmPlacement { vm: 0, home: 0, location: 0, partial: false },
+            VmPlacement { vm: 0, home: 0, location: 99, partial: false }, // dup + bad host
+            VmPlacement { vm: 1, home: 1, location: 1, partial: true },   // partial at home
+        ];
+        let violations = r.integrity_violations();
+        assert!(violations.iter().any(|v| v.contains("placed twice")));
+        assert!(violations.iter().any(|v| v.contains("nonexistent host")));
+        assert!(violations.iter().any(|v| v.contains("at its own home")));
+        // A clean placement set passes.
+        r.placements = vec![
+            VmPlacement { vm: 0, home: 0, location: 0, partial: false },
+            VmPlacement { vm: 1, home: 1, location: 33, partial: true },
+            VmPlacement { vm: 2, home: 2, location: 2, partial: false },
+        ];
+        assert!(r.integrity_violations().is_empty());
     }
 
     #[test]

@@ -23,19 +23,21 @@ use oasis_core::manager::ManagerConfig;
 use oasis_core::{
     ActivationDecision, ClusterManager, ClusterView, HostRole, HostView, PlannedAction, VmView,
 };
+use oasis_faults::{Fault, FaultCounts, RetryPolicy};
 use oasis_mem::{ByteSize, IdleWssDistribution};
+use oasis_migration::recovery::with_retries;
 use oasis_migration::MigrationType;
 use oasis_net::{TrafficAccountant, TrafficClass};
 use oasis_power::PowerState;
 use oasis_sim::stats::{Cdf, TimeSeries};
 use oasis_sim::{SimDuration, SimRng, SimTime};
-use oasis_telemetry::{Event, MigrationKind, Telemetry};
+use oasis_telemetry::{Event, MigrationKind, RecoveryKind, Telemetry, CLUSTER_WIDE};
 use oasis_trace::{sample_user_days, ActivityModel, UserDay, INTERVALS_PER_DAY};
 use oasis_vm::workload::WorkloadClass;
 use oasis_vm::{HostId, VmId, VmState};
 
 use crate::config::ClusterConfig;
-use crate::results::{MigrationCounts, SimReport};
+use crate::results::{MigrationCounts, SimReport, VmPlacement};
 
 /// Interval length in seconds (5-minute trace intervals).
 const INTERVAL_SECS: f64 = 300.0;
@@ -195,6 +197,18 @@ pub struct ClusterSim {
     promote_queue: std::collections::BTreeMap<HostId, u32>,
     /// Per-host instant until which the vacate cooldown applies.
     cooldown_until: std::collections::BTreeMap<HostId, SimTime>,
+    /// RNG for recovery backoff jitter. Seeded independently of the main
+    /// stream (never forked from it) so that fault recovery draws cannot
+    /// perturb trace sampling or placement — a zero-fault schedule leaves
+    /// the run byte-identical.
+    recovery_rng: SimRng,
+    /// Homes whose memory server is currently crashed.
+    ms_down: std::collections::BTreeSet<HostId>,
+    /// Network latency multiplier for the current interval (1.0 = clean).
+    link_factor: f64,
+    fault_counts: FaultCounts,
+    recovery_times: Cdf,
+    energy_series: TimeSeries,
     telemetry: Telemetry,
 }
 
@@ -293,6 +307,7 @@ impl ClusterSim {
             cfg.seed,
         );
 
+        let recovery_rng = SimRng::new(cfg.seed ^ 0xFA17_5EED);
         ClusterSim {
             cfg,
             rng,
@@ -312,6 +327,12 @@ impl ClusterSim {
             reintegration_queue: std::collections::BTreeMap::new(),
             promote_queue: std::collections::BTreeMap::new(),
             cooldown_until: std::collections::BTreeMap::new(),
+            recovery_rng,
+            ms_down: std::collections::BTreeSet::new(),
+            link_factor: 1.0,
+            fault_counts: FaultCounts::default(),
+            recovery_times: Cdf::new(),
+            energy_series: TimeSeries::new(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -341,6 +362,274 @@ impl ClusterSim {
         } else {
             Event::HostSuspended { host }
         });
+    }
+
+    /// Stretches a latency by the interval's link factor. Gated on the
+    /// clean case: a ×1.0 multiply is not guaranteed bit-exact through
+    /// the `f64` round-trip, and a fault-free run must stay byte-identical.
+    fn stretch_secs(&self, secs: f64) -> f64 {
+        if self.link_factor == 1.0 {
+            secs
+        } else {
+            secs * self.link_factor
+        }
+    }
+
+    /// [`Self::stretch_secs`] for durations.
+    fn stretch(&self, d: SimDuration) -> SimDuration {
+        if self.link_factor == 1.0 {
+            d
+        } else {
+            d.mul_f64(self.link_factor)
+        }
+    }
+
+    /// Attempts to power on a host, honouring the fault schedule.
+    ///
+    /// Returns `Ok(extra_secs)` with the injected wake latency (0.0 on a
+    /// clean wake or an already-powered host), or `Err(waited_secs)` when
+    /// the host sits in a wake-failure window that outlasted the
+    /// retry/backoff recovery — the host stays asleep and the caller must
+    /// degrade gracefully.
+    fn try_wake(&mut self, idx: usize, offset_secs: f64, now: SimTime) -> Result<f64, f64> {
+        if self.hosts[idx].powered {
+            return Ok(0.0);
+        }
+        let host = self.hosts[idx].id.0;
+        if let Some(fault) = self.cfg.faults.wake_failure(host, now).copied() {
+            return match self.wake_recovery(host, fault, now) {
+                Ok(waited) => {
+                    // A retry landed after the window cleared: the host
+                    // comes up late.
+                    self.set_host_power(idx, offset_secs + waited, true);
+                    Ok(waited)
+                }
+                Err(waited) => Err(waited),
+            };
+        }
+        let extra = self.cfg.faults.wake_delay_secs(host, now);
+        if extra > 0.0 {
+            self.fault_counts.wake_delays += 1;
+        }
+        self.set_host_power(idx, offset_secs + extra, true);
+        Ok(extra)
+    }
+
+    /// Runs the bounded-backoff recovery loop against an active
+    /// wake-failure window. An attempt succeeds once the cumulative
+    /// backoff carries it past the window's end; a sequence that exhausts
+    /// its budget inside the window is abandoned. Returns the seconds
+    /// spent waiting either way.
+    fn wake_recovery(&mut self, host: u32, fault: Fault, now: SimTime) -> Result<f64, f64> {
+        self.fault_counts.wake_failures += 1;
+        let policy = RetryPolicy::recovery();
+        let telemetry = self.telemetry.clone();
+        let window_end = fault.end();
+        let outcome = with_retries(&policy, &mut self.recovery_rng, |attempt, waited| {
+            if now + waited >= window_end {
+                return true;
+            }
+            telemetry.emit(Event::WakeFailed { host, attempt });
+            false
+        });
+        self.fault_counts.wake_retries += u64::from(outcome.attempts.saturating_sub(1));
+        let waited = outcome.waited.as_secs_f64();
+        if outcome.completed {
+            self.fault_counts.recoveries += 1;
+            self.recovery_times.record(waited);
+            self.telemetry
+                .emit(Event::RecoveryApplied { action: RecoveryKind::RetryWake, target: host });
+            Ok(waited)
+        } else {
+            self.fault_counts.wake_exhausted += 1;
+            self.telemetry.emit(Event::WakeAbandoned { host, attempts: outcome.attempts });
+            Err(waited)
+        }
+    }
+
+    /// Promotes a partial VM to a full VM in place on its current host —
+    /// the graceful degradation when its home cannot be woken. Costs a
+    /// demand-fetch of the missing pages; the VM stops depending on its
+    /// home's memory server.
+    fn fallback_promote(&mut self, vi: usize) {
+        if !self.vms[vi].partial {
+            return;
+        }
+        let remaining = self.vms[vi].allocation - self.vms[vi].demand;
+        self.traffic.record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
+        let vm = &mut self.vms[vi];
+        vm.partial = false;
+        vm.demand = vm.allocation;
+        vm.consolidated_since = None;
+        let target = vm.id.0;
+        self.counts.promotions += 1;
+        self.fault_counts.fallback_promotions += 1;
+        self.fault_counts.recoveries += 1;
+        self.telemetry
+            .emit(Event::RecoveryApplied { action: RecoveryKind::FallbackPromote, target });
+    }
+
+    /// Moves a VM off an exhausted host by full migration when waking its
+    /// home failed. Prefers an already powered host with headroom, then a
+    /// wakeable sleeping one; picks the lowest id for determinism.
+    /// Returns `false` when no host qualifies — the source rides out the
+    /// fault window over-committed.
+    fn relocate_to_fallback(&mut self, vi: usize, now: SimTime) -> bool {
+        let src = self.vms[vi].location;
+        let capacity = self.cfg.effective_capacity();
+        let need = self.vms[vi].allocation;
+        let mut dest = None;
+        for h in &self.hosts {
+            if h.id != src && h.powered && self.demand_on(h.id) + need <= capacity {
+                dest = Some(h.id);
+                break;
+            }
+        }
+        if dest.is_none() {
+            for h in &self.hosts {
+                if h.id == src || h.powered {
+                    continue;
+                }
+                if self.cfg.faults.wake_failure(h.id.0, now).is_none()
+                    && self.demand_on(h.id) + need <= capacity
+                {
+                    dest = Some(h.id);
+                    break;
+                }
+            }
+        }
+        let Some(dest) = dest else { return false };
+        let di = self.host_index(dest);
+        if self.try_wake(di, 0.0, now).is_err() {
+            return false;
+        }
+        let moved = self.vms[vi].allocation.mul_f64(1.15);
+        self.traffic.record(TrafficClass::FullMigration, moved);
+        self.telemetry.emit(Event::MigrationCompleted {
+            vm: self.vms[vi].id.0,
+            from: src.0,
+            to: dest.0,
+            kind: MigrationKind::Full,
+            moved_bytes: moved.as_bytes(),
+            downtime_us: self.stretch(self.cfg.full_migration_time).as_micros(),
+        });
+        let vm = &mut self.vms[vi];
+        vm.location = dest;
+        vm.partial = false;
+        vm.demand = vm.allocation;
+        vm.consolidated_since = None;
+        let target = vm.id.0;
+        self.counts.full += 1;
+        self.fault_counts.fallback_promotions += 1;
+        self.fault_counts.recoveries += 1;
+        self.telemetry
+            .emit(Event::RecoveryApplied { action: RecoveryKind::FallbackPromote, target });
+        true
+    }
+
+    /// Re-homes every partial VM whose memory server just crashed: the
+    /// missing pages are demand-fetched in bulk (the image survives on the
+    /// server's drive) and the replica becomes a full VM, so nothing
+    /// depends on the dead daemon. Maintains the invariant that no
+    /// partial VM is ever homed at a host whose memory server is down.
+    fn recover_orphans(&mut self, home: HostId) {
+        let orphans: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.home == home && v.partial && v.location != home)
+            .map(|(i, _)| i)
+            .collect();
+        for vi in orphans {
+            let remaining = self.vms[vi].allocation - self.vms[vi].demand;
+            self.traffic.record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
+            let vm = &mut self.vms[vi];
+            vm.partial = false;
+            vm.demand = vm.allocation;
+            vm.consolidated_since = None;
+            let target = vm.id.0;
+            self.fault_counts.rehomed_vms += 1;
+            self.fault_counts.recoveries += 1;
+            self.telemetry.emit(Event::RecoveryApplied { action: RecoveryKind::Rehome, target });
+        }
+    }
+
+    /// Handles a migration caught by an active stall window: retries with
+    /// backoff until an attempt lands past the window, else cancels the
+    /// migration (the planner re-plans next round). Returns the seconds
+    /// the transfer was held up, or `None` when it was aborted.
+    fn stall_recovery(
+        &mut self,
+        vm: u32,
+        from: u32,
+        to: u32,
+        fault: Fault,
+        now: SimTime,
+    ) -> Option<f64> {
+        self.fault_counts.migration_stalls += 1;
+        self.telemetry.emit(Event::MigrationStalled { vm, from, to });
+        let policy = RetryPolicy::recovery();
+        let window_end = fault.end();
+        let outcome =
+            with_retries(&policy, &mut self.recovery_rng, |_, waited| now + waited >= window_end);
+        self.fault_counts.migration_retries += u64::from(outcome.attempts.saturating_sub(1));
+        self.fault_counts.recoveries += 1;
+        if outcome.completed {
+            let waited = outcome.waited.as_secs_f64();
+            self.recovery_times.record(waited);
+            self.telemetry
+                .emit(Event::RecoveryApplied { action: RecoveryKind::RetryMigration, target: vm });
+            Some(waited)
+        } else {
+            self.fault_counts.migrations_aborted += 1;
+            self.telemetry.emit(Event::MigrationAborted {
+                vm,
+                from,
+                to,
+                attempts: outcome.attempts,
+            });
+            self.telemetry
+                .emit(Event::RecoveryApplied { action: RecoveryKind::AbortMigration, target: vm });
+            None
+        }
+    }
+
+    /// Applies the fault schedule at an interval boundary: announces the
+    /// interval's fault onsets, edge-detects memory-server crash windows
+    /// (recovering orphaned partial replicas at crash onset), and samples
+    /// the link-degradation factor the whole interval runs under.
+    fn apply_faults(&mut self, now: SimTime) {
+        if self.cfg.faults.is_empty() {
+            return;
+        }
+        let interval_end = now + SimDuration::from_secs_f64(INTERVAL_SECS);
+        let onsets: Vec<Fault> =
+            self.cfg.faults.onsets_between(now, interval_end).copied().collect();
+        for fault in onsets {
+            self.fault_counts.injected += 1;
+            self.telemetry.emit(Event::FaultInjected {
+                fault: fault.kind,
+                host: fault.host.unwrap_or(CLUSTER_WIDE),
+            });
+        }
+        for h in 0..self.cfg.home_hosts {
+            let home = HostId(h);
+            let down = self.cfg.faults.memserver_down(h, now).is_some();
+            let was_down = self.ms_down.contains(&home);
+            if down && !was_down {
+                self.ms_down.insert(home);
+                self.fault_counts.memserver_crashes += 1;
+                self.telemetry.emit(Event::MemServerCrashed { host: h });
+                self.recover_orphans(home);
+            } else if !down && was_down {
+                self.ms_down.remove(&home);
+                self.telemetry.emit(Event::MemServerRestarted { host: h });
+            }
+        }
+        self.link_factor = self.cfg.faults.link_factor(now);
+        if self.link_factor != 1.0 {
+            self.fault_counts.link_degradations += 1;
+        }
     }
 
     fn vms_on(&self, host: HostId) -> impl Iterator<Item = usize> + '_ {
@@ -388,10 +677,13 @@ impl ClusterSim {
 
     /// Brings every VM homed at `home` back to it; wakes the host.
     ///
-    /// Returns the seconds of reintegration work serialized on the host.
-    fn return_home(&mut self, home: HostId, now: SimTime) -> f64 {
+    /// Returns `Ok((work, wake_extra))` — the seconds of reintegration
+    /// work serialized on the host and any injected wake latency — or
+    /// `Err(waited)` when the home sits in a wake-failure window that
+    /// outlasted recovery (no VM moves; the caller degrades).
+    fn return_home(&mut self, home: HostId, now: SimTime) -> Result<(f64, f64), f64> {
         let hi = self.host_index(home);
-        self.set_host_power(hi, 0.0, true);
+        let wake_extra = self.try_wake(hi, 0.0, now)?;
         if !self.cfg.vacate_cooldown.is_zero() {
             self.cooldown_until.insert(home, now + self.cfg.vacate_cooldown);
         }
@@ -412,15 +704,15 @@ impl ClusterSim {
                 let dirty =
                     ByteSize::from_mib_f64(DIRTY_MIB_PER_MIN * minutes.max(1.0)).min(DIRTY_CAP);
                 self.traffic.record(TrafficClass::Reintegration, dirty);
-                work += self.cfg.reintegration_time.as_secs_f64();
-                (MigrationKind::Return, dirty, self.cfg.reintegration_time)
+                work += self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
+                (MigrationKind::Return, dirty, self.stretch(self.cfg.reintegration_time))
             } else {
                 // A full VM homed here but consolidated elsewhere returns
                 // by full migration.
                 let moved = self.vms[i].allocation.mul_f64(1.15);
                 self.traffic.record(TrafficClass::FullMigration, moved);
-                work += self.cfg.full_migration_time.as_secs_f64();
-                (MigrationKind::Full, moved, self.cfg.full_migration_time)
+                work += self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
+                (MigrationKind::Full, moved, self.stretch(self.cfg.full_migration_time))
             };
             self.telemetry.emit(Event::MigrationCompleted {
                 vm: self.vms[i].id.0,
@@ -437,7 +729,7 @@ impl ClusterSim {
             vm.consolidated_since = None;
         }
         self.counts.returns_home += 1;
-        work
+        Ok((work, wake_extra))
     }
 
     /// Applies trace-driven VM state changes at interval `i`.
@@ -488,46 +780,77 @@ impl ClusterSim {
                     let location = self.vms[vi].location;
                     let queued = *self.promote_queue.entry(location).or_insert(0);
                     self.promote_queue.insert(location, queued + 1);
-                    let base = self.cfg.reintegration_time.as_secs_f64();
+                    let base = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
                     self.delays.record(base + f64::from(queued) * base * 0.4);
                 }
                 Some(ActivationDecision::MoveTo { destination, .. }) => {
-                    self.traffic
-                        .record(TrafficClass::FullMigration, self.vms[vi].allocation.mul_f64(1.15));
                     let di = self.host_index(destination);
-                    self.set_host_power(di, 0.0, true);
-                    let vm = &mut self.vms[vi];
-                    vm.location = destination;
-                    vm.partial = false;
-                    vm.demand = vm.allocation;
-                    vm.consolidated_since = None;
-                    self.counts.relocations += 1;
-                    self.delays.record(self.cfg.full_migration_time.as_secs_f64());
+                    match self.try_wake(di, 0.0, now) {
+                        Ok(extra) => {
+                            self.traffic.record(
+                                TrafficClass::FullMigration,
+                                self.vms[vi].allocation.mul_f64(1.15),
+                            );
+                            let vm = &mut self.vms[vi];
+                            vm.location = destination;
+                            vm.partial = false;
+                            vm.demand = vm.allocation;
+                            vm.consolidated_since = None;
+                            self.counts.relocations += 1;
+                            let full =
+                                self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
+                            self.delays.record(full + extra);
+                        }
+                        Err(waited) => {
+                            // Destination unwakeable: promote in place so
+                            // the user still gets a running full VM.
+                            self.fallback_promote(vi);
+                            let base = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
+                            self.delays.record(waited + base);
+                        }
+                    }
                 }
                 Some(ActivationDecision::ReturnHome { home, .. }) => {
                     let was_asleep = !self.hosts[self.host_index(home)].powered;
                     let queued = *self.reintegration_queue.entry(home).or_insert(0);
                     self.reintegration_queue.insert(home, queued + 1);
-                    let wake = if was_asleep {
-                        // The manager wakes the host with Wake-on-LAN
-                        // (§4.1); lost packets are retransmitted after a
-                        // one-second timeout.
-                        let wol_wait = oasis_net::wake_with_retries(
+                    // The manager wakes the host with Wake-on-LAN (§4.1);
+                    // lost packets are retransmitted after a one-second
+                    // timeout. These draws come from the main stream and
+                    // must stay ahead of any fault handling so a fault-free
+                    // schedule leaves the sequence untouched.
+                    let wol_wait = if was_asleep {
+                        let wait = oasis_net::wake_with_retries(
                             &self.telemetry,
                             home.0,
                             self.cfg.wol_loss_rate,
                             10.0,
                             &mut self.rng,
                         );
-                        self.counts.wol_retries += wol_wait as u64;
-                        wol_wait + self.cfg.host_profile.resume_time.as_secs_f64()
+                        self.counts.wol_retries += wait as u64;
+                        wait
                     } else {
                         0.0
                     };
-                    let delay = wake
-                        + (f64::from(queued) + 1.0) * self.cfg.reintegration_time.as_secs_f64();
-                    self.delays.record(delay);
-                    self.return_home(home, now);
+                    let reint = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
+                    match self.return_home(home, now) {
+                        Ok((_, wake_extra)) => {
+                            let wake = if was_asleep {
+                                wol_wait
+                                    + wake_extra
+                                    + self.cfg.host_profile.resume_time.as_secs_f64()
+                            } else {
+                                0.0
+                            };
+                            self.delays.record(wake + (f64::from(queued) + 1.0) * reint);
+                        }
+                        Err(waited) => {
+                            // The home cannot be woken: promote the
+                            // activating VM in place instead.
+                            self.fallback_promote(vi);
+                            self.delays.record(wol_wait + waited + reint);
+                        }
+                    }
                 }
                 None => {
                     // Raced: the VM is no longer partial.
@@ -553,7 +876,21 @@ impl ClusterSim {
                     if self.vms[vi].location != source {
                         continue;
                     }
-                    let mig_kind = match order.kind {
+                    let kind = match order.kind {
+                        // A fresh partial migration uploads its image to
+                        // the home's memory server; with that server down
+                        // it degrades to a full migration so the replica
+                        // never depends on a crashed daemon.
+                        MigrationType::Partial
+                            if !self.vms[vi].partial
+                                && self.ms_down.contains(&self.vms[vi].home) =>
+                        {
+                            self.fault_counts.degraded_to_full += 1;
+                            MigrationType::Full
+                        }
+                        k => k,
+                    };
+                    let mig_kind = match kind {
                         MigrationType::Full => MigrationKind::Full,
                         MigrationType::Partial => MigrationKind::Partial,
                     };
@@ -563,10 +900,41 @@ impl ClusterSim {
                         to: order.destination.0,
                         kind: mig_kind,
                     });
+                    // An active stall window holds the transfer: recovery
+                    // retries with backoff, and cancels the migration if
+                    // the window outlasts the budget (the planner simply
+                    // re-plans next round).
+                    if let Some(fault) = self.cfg.faults.migration_stalled(now).copied() {
+                        match self.stall_recovery(
+                            order.vm.0,
+                            source.0,
+                            order.destination.0,
+                            fault,
+                            now,
+                        ) {
+                            Some(held) => {
+                                *busy.entry(source).or_insert(0.0) += held;
+                            }
+                            None => continue,
+                        }
+                    }
                     let di = self.host_index(order.destination);
                     let offset = *busy.get(&source).unwrap_or(&0.0);
-                    self.set_host_power(di, offset, true);
-                    let (moved, downtime) = match order.kind {
+                    match self.try_wake(di, offset, now) {
+                        Ok(_) => {}
+                        Err(_) => {
+                            // Destination unwakeable: abandon the order.
+                            self.fault_counts.migrations_aborted += 1;
+                            self.telemetry.emit(Event::MigrationAborted {
+                                vm: order.vm.0,
+                                from: source.0,
+                                to: order.destination.0,
+                                attempts: 0,
+                            });
+                            continue;
+                        }
+                    }
+                    let (moved, downtime) = match kind {
                         MigrationType::Partial if self.vms[vi].partial => {
                             // Drain relocation: the partial replica moves
                             // between consolidation hosts; its memory
@@ -581,9 +949,9 @@ impl ClusterSim {
                                 oasis_migration::partial::DESCRIPTOR_BYTES + self.vms[vi].demand;
                             self.vms[vi].location = order.destination;
                             *busy.entry(source).or_insert(0.0) +=
-                                self.cfg.reintegration_time.as_secs_f64();
+                                self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
                             self.counts.partial += 1;
-                            (moved, self.cfg.reintegration_time)
+                            (moved, self.stretch(self.cfg.reintegration_time))
                         }
                         MigrationType::Partial => {
                             let class = self.vms[vi].class;
@@ -616,11 +984,11 @@ impl ClusterSim {
                             vm.consolidated_since = Some(now);
                             vm.uploaded_once = true;
                             *busy.entry(source).or_insert(0.0) +=
-                                self.cfg.partial_migration_time.as_secs_f64();
+                                self.stretch_secs(self.cfg.partial_migration_time.as_secs_f64());
                             self.counts.partial += 1;
                             (
                                 upload + oasis_migration::partial::DESCRIPTOR_BYTES,
-                                self.cfg.partial_migration_time,
+                                self.stretch(self.cfg.partial_migration_time),
                             )
                         }
                         MigrationType::Full => {
@@ -632,9 +1000,9 @@ impl ClusterSim {
                             vm.demand = vm.allocation;
                             vm.consolidated_since = Some(now);
                             *busy.entry(source).or_insert(0.0) +=
-                                self.cfg.full_migration_time.as_secs_f64();
+                                self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
                             self.counts.full += 1;
-                            (moved, self.cfg.full_migration_time)
+                            (moved, self.stretch(self.cfg.full_migration_time))
                         }
                     };
                     self.telemetry.emit(Event::MigrationCompleted {
@@ -651,6 +1019,24 @@ impl ClusterSim {
                     if self.vms[vi].location != consolidation || self.vms[vi].partial {
                         continue;
                     }
+                    let hi = self.host_index(home);
+                    // An exchange needs the home awake briefly and its
+                    // memory server up for the re-upload; with either
+                    // faulted the order is abandoned and the VM stays full
+                    // on the consolidation host until the next plan.
+                    if self.ms_down.contains(&home)
+                        || (!self.hosts[hi].powered
+                            && self.cfg.faults.wake_failure(home.0, now).is_some())
+                    {
+                        self.fault_counts.migrations_aborted += 1;
+                        self.telemetry.emit(Event::MigrationAborted {
+                            vm: vm.0,
+                            from: consolidation.0,
+                            to: home.0,
+                            attempts: 0,
+                        });
+                        continue;
+                    }
                     self.telemetry.emit(Event::MigrationStarted {
                         vm: vm.0,
                         from: consolidation.0,
@@ -659,14 +1045,19 @@ impl ClusterSim {
                     });
                     // Wake the home temporarily: full migration back, then
                     // partial re-consolidation to the same host (§3.2).
-                    let episode = self.cfg.full_migration_time.as_secs_f64()
-                        + self.cfg.partial_migration_time.as_secs_f64();
-                    let hi = self.host_index(home);
+                    let episode = self.stretch_secs(
+                        self.cfg.full_migration_time.as_secs_f64()
+                            + self.cfg.partial_migration_time.as_secs_f64(),
+                    );
                     if self.hosts[hi].powered {
                         // Home happens to be awake: the exchange is plain
                         // work on a powered host.
                     } else {
-                        self.hosts[hi].temporary_episode(episode);
+                        let extra = self.cfg.faults.wake_delay_secs(home.0, now);
+                        if extra > 0.0 {
+                            self.fault_counts.wake_delays += 1;
+                        }
+                        self.hosts[hi].temporary_episode(episode + extra);
                         self.telemetry.emit(Event::HostResumed { host: home.0 });
                         self.telemetry.emit(Event::HostSuspended { host: home.0 });
                     }
@@ -765,7 +1156,15 @@ impl ClusterSim {
                     Some(vi) => {
                         let home = self.vms[vi].home;
                         self.telemetry.emit(Event::CapacityExhausted { host: host.0 });
-                        self.return_home(home, now);
+                        if self.return_home(home, now).is_ok() {
+                            continue;
+                        }
+                        // The home cannot be woken: shed the requester to
+                        // a fallback host instead. If none qualifies, the
+                        // host rides out the window over-committed.
+                        if !self.relocate_to_fallback(vi, now) {
+                            break;
+                        }
                     }
                     None => break,
                 }
@@ -854,6 +1253,7 @@ impl ClusterSim {
             for h in &mut self.hosts {
                 h.begin_interval();
             }
+            self.apply_faults(now);
             self.apply_trace(interval, now);
             // The manager plans on its own configurable interval (§3.1),
             // not on every trace step.
@@ -865,10 +1265,21 @@ impl ClusterSim {
             self.sleep_empty_hosts();
             self.record(now);
             self.account_energy(interval);
+            self.energy_series.record(now, self.total_joules / oasis_power::meter::JOULES_PER_KWH);
         }
         let baseline_kwh = self.baseline_joules / oasis_power::meter::JOULES_PER_KWH;
         let total_kwh = self.total_joules / oasis_power::meter::JOULES_PER_KWH;
         self.telemetry.flush();
+        let placements = self
+            .vms
+            .iter()
+            .map(|v| VmPlacement {
+                vm: v.id.0,
+                home: v.home.0,
+                location: v.location.0,
+                partial: v.partial,
+            })
+            .collect();
         SimReport {
             policy: self.cfg.policy,
             day: self.cfg.day,
@@ -887,6 +1298,10 @@ impl ClusterSim {
             consolidation_ratio: self.ratio,
             traffic: self.traffic,
             migrations: self.counts,
+            faults: self.fault_counts,
+            recovery_times: self.recovery_times,
+            energy_series: self.energy_series,
+            placements,
             telemetry: self.telemetry.summary(),
         }
     }
@@ -1023,8 +1438,10 @@ mod tests {
         sim.hosts[0].set_power(0.0, false);
         sim.hosts[2].set_power(0.0, true);
 
-        let work = sim.return_home(HostId(0), SimTime::from_secs(600));
+        let (work, wake_extra) =
+            sim.return_home(HostId(0), SimTime::from_secs(600)).expect("no wake faults scheduled");
         assert!(work > 0.0);
+        assert_eq!(wake_extra, 0.0);
         assert!(sim.hosts[0].powered, "home woke");
         for vi in 0..3 {
             assert_eq!(sim.vms[vi].location, HostId(0));
@@ -1033,6 +1450,163 @@ mod tests {
         }
         assert_eq!(sim.counts.returns_home, 1);
         assert!(sim.traffic.total(TrafficClass::Reintegration).as_bytes() > 0);
+    }
+
+    #[test]
+    fn try_wake_honours_wake_failure_windows() {
+        let schedule = oasis_faults::FaultSchedule::new(vec![Fault {
+            kind: oasis_faults::FaultClass::WakeFailure,
+            host: Some(0),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_hours(2),
+            severity: 1.0,
+        }]);
+        let cfg = ClusterConfig::builder()
+            .home_hosts(2)
+            .consolidation_hosts(1)
+            .vms_per_host(3)
+            .seed(5)
+            .faults(schedule)
+            .build()
+            .expect("valid configuration");
+        let mut sim = ClusterSim::new(cfg);
+        sim.hosts[0].set_power(0.0, false);
+        // Inside the window the recovery budget (< 40 s) cannot outlast
+        // the two-hour fault: the wake is abandoned, the host sleeps on.
+        assert!(sim.try_wake(0, 0.0, SimTime::from_secs(600)).is_err());
+        assert!(!sim.hosts[0].powered);
+        assert_eq!(sim.fault_counts.wake_failures, 1);
+        assert_eq!(sim.fault_counts.wake_exhausted, 1);
+        assert!(sim.fault_counts.wake_retries > 0);
+        // Past the window the wake is clean.
+        assert_eq!(sim.try_wake(0, 0.0, SimTime::from_secs(3 * 3600)), Ok(0.0));
+        assert!(sim.hosts[0].powered);
+    }
+
+    #[test]
+    fn wake_delay_surfaces_as_extra_resume_latency() {
+        let schedule = oasis_faults::FaultSchedule::new(vec![Fault {
+            kind: oasis_faults::FaultClass::WakeDelay,
+            host: Some(0),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_hours(2),
+            severity: 45.0,
+        }]);
+        let cfg = ClusterConfig::builder()
+            .home_hosts(2)
+            .consolidation_hosts(1)
+            .vms_per_host(3)
+            .seed(5)
+            .faults(schedule)
+            .build()
+            .expect("valid configuration");
+        let mut sim = ClusterSim::new(cfg);
+        sim.hosts[0].set_power(0.0, false);
+        assert_eq!(sim.try_wake(0, 0.0, SimTime::from_secs(600)), Ok(45.0));
+        assert!(sim.hosts[0].powered, "a delayed wake still succeeds");
+        assert_eq!(sim.fault_counts.wake_delays, 1);
+        assert_eq!(sim.fault_counts.wake_failures, 0);
+    }
+
+    #[test]
+    fn return_home_fails_closed_under_wake_failure() {
+        let schedule = oasis_faults::FaultSchedule::new(vec![Fault {
+            kind: oasis_faults::FaultClass::WakeFailure,
+            host: Some(0),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_hours(24),
+            severity: 1.0,
+        }]);
+        let cfg = ClusterConfig::builder()
+            .home_hosts(2)
+            .consolidation_hosts(1)
+            .vms_per_host(3)
+            .seed(5)
+            .faults(schedule)
+            .build()
+            .expect("valid configuration");
+        let mut sim = ClusterSim::new(cfg);
+        let cons = HostId(2);
+        for vi in 0..3 {
+            sim.vms[vi].location = cons;
+            sim.vms[vi].partial = true;
+            sim.vms[vi].demand = ByteSize::mib(165);
+            sim.vms[vi].consolidated_since = Some(SimTime::ZERO);
+        }
+        sim.hosts[0].set_power(0.0, false);
+        sim.hosts[2].set_power(0.0, true);
+        assert!(sim.return_home(HostId(0), SimTime::from_secs(600)).is_err());
+        assert!(!sim.hosts[0].powered, "home still asleep");
+        for vi in 0..3 {
+            assert_eq!(sim.vms[vi].location, cons, "no VM moved");
+            assert!(sim.vms[vi].partial);
+        }
+        assert_eq!(sim.counts.returns_home, 0);
+    }
+
+    #[test]
+    fn memserver_crash_rehomes_orphaned_partials() {
+        let schedule = oasis_faults::FaultSchedule::new(vec![Fault {
+            kind: oasis_faults::FaultClass::MemServerCrash,
+            host: Some(0),
+            start: SimTime::from_secs(600),
+            duration: SimDuration::from_hours(1),
+            severity: 1.0,
+        }]);
+        let cfg = ClusterConfig::builder()
+            .home_hosts(2)
+            .consolidation_hosts(1)
+            .vms_per_host(3)
+            .seed(5)
+            .faults(schedule)
+            .build()
+            .expect("valid configuration");
+        let mut sim = ClusterSim::new(cfg);
+        let cons = HostId(2);
+        for vi in 0..3 {
+            sim.vms[vi].location = cons;
+            sim.vms[vi].partial = true;
+            sim.vms[vi].demand = ByteSize::mib(165);
+            sim.vms[vi].consolidated_since = Some(SimTime::ZERO);
+        }
+        sim.apply_faults(SimTime::from_secs(600));
+        assert!(sim.ms_down.contains(&HostId(0)));
+        assert_eq!(sim.fault_counts.memserver_crashes, 1);
+        assert_eq!(sim.fault_counts.rehomed_vms, 3);
+        for vi in 0..3 {
+            assert!(!sim.vms[vi].partial, "orphan promoted to full");
+            assert_eq!(sim.vms[vi].demand, sim.vms[vi].allocation);
+        }
+        // The crash window ends: the next boundary announces the restart.
+        sim.apply_faults(SimTime::from_secs(600 + 3700));
+        assert!(!sim.ms_down.contains(&HostId(0)));
+    }
+
+    #[test]
+    fn link_degradation_stretches_latencies_for_the_interval() {
+        let schedule = oasis_faults::FaultSchedule::new(vec![Fault {
+            kind: oasis_faults::FaultClass::LinkDegraded,
+            host: None,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(900),
+            severity: 4.0,
+        }]);
+        let cfg = ClusterConfig::builder()
+            .home_hosts(2)
+            .consolidation_hosts(1)
+            .vms_per_host(3)
+            .seed(5)
+            .faults(schedule)
+            .build()
+            .expect("valid configuration");
+        let mut sim = ClusterSim::new(cfg);
+        sim.apply_faults(SimTime::ZERO);
+        assert_eq!(sim.link_factor, 4.0);
+        assert_eq!(sim.stretch_secs(10.0), 40.0);
+        assert_eq!(sim.stretch(SimDuration::from_secs(10)), SimDuration::from_secs(40));
+        sim.apply_faults(SimTime::from_secs(900));
+        assert_eq!(sim.link_factor, 1.0);
+        assert_eq!(sim.fault_counts.link_degradations, 1);
     }
 
     #[test]

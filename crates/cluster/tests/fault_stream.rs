@@ -1,0 +1,135 @@
+//! Golden-stream test for the canonical fault run: a fixed-seed day under
+//! a fixed fault schedule emits a byte-identical JSONL telemetry stream
+//! on every run, and the stream carries the fault/recovery vocabulary.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use oasis_cluster::{ClusterConfig, ClusterSim};
+use oasis_core::PolicyKind;
+use oasis_faults::{Fault, FaultClass, FaultSchedule};
+use oasis_sim::{SimDuration, SimTime};
+use oasis_telemetry::{JsonlSink, Level, Telemetry};
+
+/// A `Write` handle over a shared buffer, so the test can read back what
+/// the boxed sink wrote.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The canonical fault day: every fault class fires at least once.
+fn canonical_schedule() -> FaultSchedule {
+    let mut faults = Vec::new();
+    // Every home refuses to wake all day: activations of consolidated
+    // VMs exercise the retry/backoff and fallback paths continuously.
+    for h in 0..6 {
+        faults.push(Fault {
+            kind: FaultClass::WakeFailure,
+            host: Some(h),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(86_400),
+            severity: 0.0,
+        });
+    }
+    faults.push(Fault {
+        kind: FaultClass::MemServerCrash,
+        host: Some(0),
+        start: SimTime::from_secs(21_600),
+        duration: SimDuration::from_secs(10_800),
+        severity: 0.0,
+    });
+    faults.push(Fault {
+        kind: FaultClass::LinkDegraded,
+        host: None,
+        start: SimTime::from_secs(36_000),
+        duration: SimDuration::from_secs(3_600),
+        severity: 4.0,
+    });
+    faults.push(Fault {
+        kind: FaultClass::WakeDelay,
+        host: Some(6),
+        start: SimTime::from_secs(28_800),
+        duration: SimDuration::from_secs(28_800),
+        severity: 20.0,
+    });
+    FaultSchedule::new(faults)
+}
+
+fn config(faults: FaultSchedule) -> ClusterConfig {
+    ClusterConfig::builder()
+        .policy(PolicyKind::FullToPartial)
+        .home_hosts(6)
+        .consolidation_hosts(2)
+        .vms_per_host(10)
+        .seed(42)
+        .wol_loss_rate(0.3)
+        .faults(faults)
+        .build()
+        .expect("valid configuration")
+}
+
+/// Runs one traced day; returns the JSONL stream and the report.
+fn traced_day(faults: FaultSchedule) -> (String, oasis_cluster::SimReport) {
+    let buf = SharedBuf::default();
+    let telemetry = Telemetry::new(Level::Debug);
+    telemetry.attach(Box::new(JsonlSink::new(buf.clone())));
+    let mut sim = ClusterSim::new(config(faults));
+    sim.attach_telemetry(telemetry);
+    let report = sim.run_day();
+    let stream = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    (stream, report)
+}
+
+#[test]
+fn canonical_fault_stream_is_byte_identical() {
+    let (first, _) = traced_day(canonical_schedule());
+    let (second, _) = traced_day(canonical_schedule());
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "same seed + schedule must replay the stream byte-for-byte");
+}
+
+#[test]
+fn fault_stream_carries_the_recovery_vocabulary() {
+    let (stream, report) = traced_day(canonical_schedule());
+    let has = |kind: &str| stream.contains(&format!("\"kind\":\"{kind}\""));
+    for required in [
+        "fault_injected",
+        "wake_failed",
+        "wake_abandoned",
+        "recovery_applied",
+        "memserver_crashed",
+        "memserver_restarted",
+    ] {
+        assert!(has(required), "missing {required} in the canonical fault stream");
+    }
+    // Onset announcements match the schedule exactly.
+    let injected = stream.lines().filter(|l| l.contains("\"kind\":\"fault_injected\"")).count();
+    assert_eq!(injected as u64, report.faults.injected);
+    assert_eq!(injected, canonical_schedule().len());
+    // The report's ledger is consistent with the stream.
+    let abandoned = stream.lines().filter(|l| l.contains("\"kind\":\"wake_abandoned\"")).count();
+    assert_eq!(abandoned as u64, report.faults.wake_exhausted);
+    assert!(report.integrity_violations().is_empty());
+}
+
+#[test]
+fn empty_schedule_stream_matches_the_faultless_baseline() {
+    // An explicitly empty schedule leaves the run byte-identical to the
+    // default configuration — the fault layer consumes nothing.
+    let (baseline, baseline_report) = traced_day(FaultSchedule::none());
+    let (explicit, report) = traced_day(FaultSchedule::default());
+    assert_eq!(baseline, explicit);
+    assert!(report.faults.is_empty());
+    assert!(baseline_report.faults.is_empty());
+    assert_eq!(baseline_report.summary_line(), report.summary_line());
+}

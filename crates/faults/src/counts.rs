@@ -1,0 +1,113 @@
+//! Per-run fault-injection and recovery counters.
+
+/// Counts of injected faults and the recovery actions they triggered,
+/// accumulated over a simulated day and attached to the run report.
+///
+/// Invariant maintained by the simulator: every injected fault either
+/// recovers (some recovery counter increments) or degrades gracefully
+/// (a fallback/abort counter increments) — faults never vanish silently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Fault windows whose onset the simulator observed and announced.
+    pub injected: u64,
+    /// Wake attempts that failed because the host's resume hung.
+    pub wake_failures: u64,
+    /// Wakes that completed but with injected extra resume latency.
+    pub wake_delays: u64,
+    /// Memory-server crash windows that took effect.
+    pub memserver_crashes: u64,
+    /// Intervals that ran under a degraded-link latency factor.
+    pub link_degradations: u64,
+    /// Migrations that stalled mid-flight.
+    pub migration_stalls: u64,
+    /// Wake retries issued by the backoff loop.
+    pub wake_retries: u64,
+    /// Wake sequences abandoned after exhausting every retry.
+    pub wake_exhausted: u64,
+    /// VMs promoted to full in place or shed to a fallback host after
+    /// their home could not be woken.
+    pub fallback_promotions: u64,
+    /// Partial VMs re-homed after their memory server crashed.
+    pub rehomed_vms: u64,
+    /// Migrations retried after a stall cleared.
+    pub migration_retries: u64,
+    /// Migrations abandoned (VM stays put) after retries ran out.
+    pub migrations_aborted: u64,
+    /// Partial migrations degraded to full because the home's memory
+    /// server was down.
+    pub degraded_to_full: u64,
+    /// Recovery actions applied, all kinds.
+    pub recoveries: u64,
+}
+
+impl FaultCounts {
+    /// True when nothing was injected and nothing recovered — the
+    /// signature of a no-fault run.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultCounts::default()
+    }
+
+    /// One-line digest for CLI summaries and scenario-test failure
+    /// messages.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "faults: {} injected (wake_fail {}, wake_delay {}, ms_crash {}, link {}, stall {}); \
+             recovery: {} actions (retries {}, exhausted {}, fallback {}, rehomed {}, \
+             mig_retry {}, aborted {}, degraded_full {})",
+            self.injected,
+            self.wake_failures,
+            self.wake_delays,
+            self.memserver_crashes,
+            self.link_degradations,
+            self.migration_stalls,
+            self.recoveries,
+            self.wake_retries,
+            self.wake_exhausted,
+            self.fallback_promotions,
+            self.rehomed_vms,
+            self.migration_retries,
+            self.migrations_aborted,
+            self.degraded_to_full,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        let c = FaultCounts::default();
+        assert!(c.is_empty());
+        let with_fault = FaultCounts { injected: 1, ..FaultCounts::default() };
+        assert!(!with_fault.is_empty());
+    }
+
+    #[test]
+    fn summary_line_carries_every_counter() {
+        let c = FaultCounts {
+            injected: 14,
+            wake_failures: 2,
+            wake_delays: 3,
+            memserver_crashes: 1,
+            link_degradations: 4,
+            migration_stalls: 5,
+            wake_retries: 6,
+            wake_exhausted: 1,
+            fallback_promotions: 1,
+            rehomed_vms: 7,
+            migration_retries: 2,
+            migrations_aborted: 1,
+            degraded_to_full: 3,
+            recoveries: 9,
+        };
+        let line = c.summary_line();
+        assert_eq!(
+            line,
+            "faults: 14 injected (wake_fail 2, wake_delay 3, ms_crash 1, link 4, stall 5); \
+             recovery: 9 actions (retries 6, exhausted 1, fallback 1, rehomed 7, \
+             mig_retry 2, aborted 1, degraded_full 3)"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic fault injection and retry/backoff recovery.
+//!
+//! The paper's value proposition rests on hosts sleeping and waking on
+//! demand, which is exactly where real deployments fail: S3 resumes hang,
+//! memory-server daemons crash, rack links degrade, migrations stall.
+//! This crate makes those faults *representable* and — crucially —
+//! *deterministic*: faults are driven from a [`FaultSchedule`] built
+//! either explicitly, from a text file, or sampled from a
+//! [`FaultProfile`] with its own [`SimRng`](oasis_sim::SimRng) stream.
+//! Because the schedule is fully materialized before the simulation
+//! starts and queried with pure lookups against the sim clock, a fixed
+//! seed plus a fixed schedule reproduces the exact fault sequence (and
+//! therefore the exact telemetry event stream) bit-for-bit.
+//!
+//! * [`schedule`] — the fault taxonomy ([`FaultClass`]), scheduled
+//!   windows ([`Fault`]), the queryable [`FaultSchedule`], random
+//!   generation, and the text format behind `oasis sim --faults`.
+//! * [`retry`] — [`RetryPolicy`]: bounded exponential backoff with
+//!   deterministic jitter, shared by Wake-on-LAN retransmission, wake
+//!   recovery and migration cancel-and-retry.
+//! * [`counts`] — [`FaultCounts`], the per-run injection/recovery
+//!   counters attached to simulation reports.
+
+#![warn(missing_docs)]
+
+pub mod counts;
+pub mod retry;
+pub mod schedule;
+
+pub use counts::FaultCounts;
+pub use retry::RetryPolicy;
+pub use schedule::{Fault, FaultProfile, FaultSchedule, ScheduleError};
+
+// The taxonomy enum lives in `oasis-telemetry` (like `MigrationKind`) so
+// emitting crates need no dependency on this one; re-export it as the
+// canonical name here.
+pub use oasis_telemetry::FaultClass;

@@ -1,0 +1,170 @@
+//! Bounded exponential backoff with deterministic jitter.
+//!
+//! One policy type serves every retry loop in the stack: Wake-on-LAN
+//! retransmission (constant one-second spacing, matching the magic-packet
+//! sender's historical behaviour draw-for-draw), wake recovery after a
+//! failed S3 resume, and migration cancel-and-retry. The jitter term is
+//! sampled from a caller-supplied [`SimRng`], and a policy with
+//! `jitter == 0.0` consumes **no** draws at all — so threading a policy
+//! through an existing loop cannot perturb its random stream.
+
+use oasis_sim::{SimDuration, SimRng};
+
+/// A bounded retry schedule: exponential backoff, capped per-attempt
+/// delay, capped attempt count, optional multiplicative jitter.
+///
+/// Attempts are 1-based: `delay(1, ..)` is the wait after the first
+/// failure. Delays grow as `initial * factor^(attempt-1)`, saturating at
+/// `max_delay`; after `max_attempts` failures the operation is abandoned
+/// and the caller falls back to its degradation policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay after the first failed attempt.
+    pub initial: SimDuration,
+    /// Multiplier applied per subsequent attempt (`1.0` = constant).
+    pub factor: f64,
+    /// Per-attempt delay ceiling.
+    pub max_delay: SimDuration,
+    /// Attempts before giving up (0 means "never retry").
+    pub max_attempts: u32,
+    /// Jitter fraction in `[0, 1)`: the delay is scaled by a uniform
+    /// draw from `[1 - jitter, 1 + jitter)`. Zero consumes no RNG draws.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// Constant-delay policy with no jitter (e.g. WoL retransmission).
+    pub fn constant(delay: SimDuration, max_attempts: u32) -> Self {
+        RetryPolicy { initial: delay, factor: 1.0, max_delay: delay, max_attempts, jitter: 0.0 }
+    }
+
+    /// The Wake-on-LAN retransmission schedule: one magic packet per
+    /// second, up to ten packets, no jitter. Matches the historical
+    /// inline loop in `oasis-net` exactly, including its RNG draw count.
+    pub fn wol() -> Self {
+        RetryPolicy::constant(SimDuration::from_secs(1), 10)
+    }
+
+    /// The default fault-recovery schedule: 500 ms doubling to a 16 s
+    /// cap over six attempts, with ±25 % jitter to avoid synchronized
+    /// retry storms when a rack-wide fault releases many waiters at once.
+    ///
+    /// Worst-case total wait (all six attempts, max jitter) is just
+    /// under 40 s — under one simulation interval, so a recovery either
+    /// completes or falls back within the interval that observed the
+    /// fault.
+    pub fn recovery() -> Self {
+        RetryPolicy {
+            initial: SimDuration::from_millis(500),
+            factor: 2.0,
+            max_delay: SimDuration::from_secs(30),
+            max_attempts: 6,
+            jitter: 0.25,
+        }
+    }
+
+    /// The un-jittered delay for a 1-based attempt number, saturating at
+    /// `max_delay`. Attempt 0 maps to zero (no wait before the first try).
+    pub fn base_delay(&self, attempt: u32) -> SimDuration {
+        if attempt == 0 {
+            return SimDuration::ZERO;
+        }
+        // Work in f64 seconds: factor^(n-1) overflows integer math fast,
+        // and the saturating cap keeps the result finite.
+        let secs = self.initial.as_secs_f64() * self.factor.powi(attempt as i32 - 1);
+        let capped = secs.min(self.max_delay.as_secs_f64());
+        SimDuration::from_secs_f64(capped)
+    }
+
+    /// The jittered delay for a 1-based attempt. With `jitter == 0.0`
+    /// this returns [`RetryPolicy::base_delay`] and draws nothing from
+    /// `rng` — callers that need byte-stable streams rely on this.
+    pub fn delay(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let base = self.base_delay(attempt);
+        if self.jitter == 0.0 || base.is_zero() {
+            return base;
+        }
+        let scale = rng.range_f64(1.0 - self.jitter, 1.0 + self.jitter);
+        base.mul_f64(scale)
+    }
+
+    /// Upper bound on the total time a full retry sequence can wait:
+    /// the sum of every base delay, scaled by the worst-case jitter.
+    /// Recovery loops compare this against the remaining fault window to
+    /// decide between waiting out the fault and degrading immediately.
+    pub fn max_total_delay(&self) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for attempt in 1..=self.max_attempts {
+            total += self.base_delay(attempt);
+        }
+        total.mul_f64(1.0 + self.jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_delays_double_and_cap() {
+        let p = RetryPolicy::recovery();
+        let secs: Vec<f64> = (1..=6).map(|a| p.base_delay(a).as_secs_f64()).collect();
+        assert_eq!(secs, vec![0.5, 1.0, 2.0, 4.0, 8.0, 16.0]);
+        // Past the configured attempts the cap takes over.
+        assert_eq!(p.base_delay(12).as_secs_f64(), 30.0);
+        assert_eq!(p.base_delay(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn constant_policy_never_grows() {
+        let p = RetryPolicy::wol();
+        for attempt in 1..=10 {
+            assert_eq!(p.base_delay(attempt), SimDuration::from_secs(1));
+        }
+        assert_eq!(p.max_total_delay(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn zero_jitter_consumes_no_rng_draws() {
+        let p = RetryPolicy::wol();
+        let mut rng = SimRng::new(7);
+        let mut untouched = SimRng::new(7);
+        for attempt in 1..=5 {
+            let _ = p.delay(attempt, &mut rng);
+        }
+        // The stream is bit-identical to one that never saw the policy.
+        assert_eq!(rng.next_u64(), untouched.next_u64());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::recovery();
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for attempt in 1..=6 {
+            let da = p.delay(attempt, &mut a);
+            let db = p.delay(attempt, &mut b);
+            assert_eq!(da, db, "same seed must give the same jitter");
+            let base = p.base_delay(attempt).as_secs_f64();
+            let got = da.as_secs_f64();
+            assert!(
+                got >= base * (1.0 - p.jitter) && got < base * (1.0 + p.jitter),
+                "attempt {attempt}: {got} outside jitter band around {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustion_budget_bounds_every_sequence() {
+        let p = RetryPolicy::recovery();
+        let budget = p.max_total_delay();
+        // 0.5+1+2+4+8+16 = 31.5s, * 1.25 jitter headroom.
+        assert_eq!(budget.as_secs_f64(), 31.5 * 1.25);
+        let mut rng = SimRng::new(9);
+        let mut total = SimDuration::ZERO;
+        for attempt in 1..=p.max_attempts {
+            total += p.delay(attempt, &mut rng);
+        }
+        assert!(total <= budget, "jittered total {total:?} over budget {budget:?}");
+    }
+}

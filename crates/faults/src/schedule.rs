@@ -1,0 +1,598 @@
+//! Fault schedules: when, where and how hard things break.
+//!
+//! A [`FaultSchedule`] is a fully materialized list of [`Fault`] windows,
+//! built before the simulation starts — explicitly, parsed from the text
+//! format behind `oasis sim --faults <file>`, or sampled from a
+//! [`FaultProfile`] with a dedicated [`SimRng`] stream. Once built, every
+//! query (`wake_failure`, `memserver_down`, `link_factor`, …) is a pure
+//! lookup against the sim clock: the schedule consumes no randomness at
+//! query time, so the set of injected faults is a function of its inputs
+//! alone and the simulation replays bit-for-bit under a fixed seed.
+
+use oasis_sim::{SimDuration, SimRng, SimTime};
+use oasis_telemetry::FaultClass;
+
+/// One scheduled fault window.
+///
+/// `severity` is class-specific: extra resume seconds for
+/// [`FaultClass::WakeDelay`], the latency multiplier for
+/// [`FaultClass::LinkDegraded`], and unused (zero) elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fault {
+    /// What breaks.
+    pub kind: FaultClass,
+    /// Which host is affected; `None` means cluster-wide.
+    pub host: Option<u32>,
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window length; the fault clears at `start + duration`.
+    pub duration: SimDuration,
+    /// Class-specific magnitude (see type docs).
+    pub severity: f64,
+}
+
+impl Fault {
+    /// Window end (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// True while the window covers `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.end()
+    }
+
+    /// True if this fault applies to `host` (always true for
+    /// cluster-wide faults).
+    pub fn affects(&self, host: u32) -> bool {
+        self.host.is_none_or(|h| h == host)
+    }
+
+    fn kind_rank(&self) -> u8 {
+        match self.kind {
+            FaultClass::WakeFailure => 0,
+            FaultClass::WakeDelay => 1,
+            FaultClass::MemServerCrash => 2,
+            FaultClass::LinkDegraded => 3,
+            FaultClass::MigrationStall => 4,
+        }
+    }
+}
+
+/// Expected fault mix for random schedule generation.
+///
+/// Counts are totals over the horizon, not rates; durations and
+/// severities are drawn uniformly from the configured ranges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Wake-failure windows to place.
+    pub wake_failures: u32,
+    /// Wake-delay windows to place.
+    pub wake_delays: u32,
+    /// Memory-server crash windows to place.
+    pub memserver_crashes: u32,
+    /// Cluster-wide link-degradation windows to place.
+    pub link_degradations: u32,
+    /// Cluster-wide migration-stall windows to place.
+    pub migration_stalls: u32,
+    /// Shortest window.
+    pub min_duration: SimDuration,
+    /// Longest window.
+    pub max_duration: SimDuration,
+    /// Largest extra resume delay (seconds) for wake-delay faults.
+    pub max_wake_delay_secs: f64,
+    /// Largest latency multiplier for link-degradation faults.
+    pub max_link_factor: f64,
+}
+
+impl FaultProfile {
+    /// A mild mix: a handful of short, mostly host-local faults.
+    pub fn light() -> Self {
+        FaultProfile {
+            wake_failures: 2,
+            wake_delays: 2,
+            memserver_crashes: 1,
+            link_degradations: 1,
+            migration_stalls: 2,
+            min_duration: SimDuration::from_secs(60),
+            max_duration: SimDuration::from_mins(15),
+            max_wake_delay_secs: 30.0,
+            max_link_factor: 4.0,
+        }
+    }
+
+    /// An aggressive mix: frequent, long windows that overlap.
+    pub fn heavy() -> Self {
+        FaultProfile {
+            wake_failures: 8,
+            wake_delays: 4,
+            memserver_crashes: 3,
+            link_degradations: 3,
+            migration_stalls: 6,
+            min_duration: SimDuration::from_mins(5),
+            max_duration: SimDuration::from_hours(1),
+            max_wake_delay_secs: 120.0,
+            max_link_factor: 10.0,
+        }
+    }
+}
+
+/// A sorted, queryable collection of fault windows.
+///
+/// Sorted by `(start, kind, host)` so that construction order does not
+/// leak into iteration order or the text round-trip.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultSchedule {
+    faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// The empty schedule: no faults, ever. A run under this schedule is
+    /// byte-identical to one without the fault subsystem at all.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Builds a schedule from explicit windows (sorted internally).
+    pub fn new(mut faults: Vec<Fault>) -> Self {
+        faults.sort_by(|a, b| {
+            (a.start, a.kind_rank(), a.host).cmp(&(b.start, b.kind_rank(), b.host))
+        });
+        FaultSchedule { faults }
+    }
+
+    /// True when the schedule holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of scheduled windows.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// All windows, sorted by start time.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Windows whose onset falls in `[from, to)` — the simulator calls
+    /// this once per interval to announce fault injections exactly once.
+    pub fn onsets_between(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &Fault> {
+        self.faults.iter().filter(move |f| from <= f.start && f.start < to)
+    }
+
+    /// The active wake-failure window covering `host` at `now`, if any.
+    /// While active, the host ignores wake requests entirely.
+    pub fn wake_failure(&self, host: u32, now: SimTime) -> Option<&Fault> {
+        self.faults
+            .iter()
+            .find(|f| f.kind == FaultClass::WakeFailure && f.affects(host) && f.active_at(now))
+    }
+
+    /// Extra S3 resume seconds injected for `host` at `now` (0.0 when no
+    /// wake-delay window is active). Overlapping windows take the max.
+    pub fn wake_delay_secs(&self, host: u32, now: SimTime) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.kind == FaultClass::WakeDelay && f.affects(host) && f.active_at(now))
+            .fold(0.0, |acc, f| acc.max(f.severity))
+    }
+
+    /// The active memory-server crash window for `host` at `now`, if any.
+    pub fn memserver_down(&self, host: u32, now: SimTime) -> Option<&Fault> {
+        self.faults
+            .iter()
+            .find(|f| f.kind == FaultClass::MemServerCrash && f.affects(host) && f.active_at(now))
+    }
+
+    /// The network latency multiplier at `now`. Exactly 1.0 with no
+    /// active window (the multiplication by 1.0 is IEEE-exact, so a
+    /// fault-free schedule cannot perturb latency math); overlapping
+    /// windows compound multiplicatively.
+    pub fn link_factor(&self, now: SimTime) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.kind == FaultClass::LinkDegraded && f.active_at(now))
+            .fold(1.0, |acc, f| acc * f.severity)
+    }
+
+    /// The active migration-stall window at `now`, if any. Migrations
+    /// started while it is active stall and enter cancel-and-retry.
+    pub fn migration_stalled(&self, now: SimTime) -> Option<&Fault> {
+        self.faults.iter().find(|f| f.kind == FaultClass::MigrationStall && f.active_at(now))
+    }
+
+    /// Samples a random schedule from `profile` over `[0, horizon)` for a
+    /// cluster of `hosts` hosts.
+    ///
+    /// Draws from a private generator seeded with `seed` in a fixed class
+    /// order, so the result depends only on `(profile, hosts, horizon,
+    /// seed)` — never on the simulation's own RNG position.
+    pub fn random(profile: FaultProfile, hosts: u32, horizon: SimDuration, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let horizon_secs = horizon.as_secs_f64();
+        let mut faults = Vec::new();
+        let window = |rng: &mut SimRng| {
+            let start = SimTime::from_secs_f64(rng.range_f64(0.0, horizon_secs));
+            let lo = profile.min_duration.as_secs_f64();
+            let hi = profile.max_duration.as_secs_f64().max(lo);
+            let duration = SimDuration::from_secs_f64(rng.range_f64(lo, hi));
+            (start, duration)
+        };
+        for _ in 0..profile.wake_failures {
+            let host = if hosts > 0 { Some(rng.below(hosts as u64) as u32) } else { None };
+            let (start, duration) = window(&mut rng);
+            faults.push(Fault {
+                kind: FaultClass::WakeFailure,
+                host,
+                start,
+                duration,
+                severity: 0.0,
+            });
+        }
+        for _ in 0..profile.wake_delays {
+            let host = if hosts > 0 { Some(rng.below(hosts as u64) as u32) } else { None };
+            let (start, duration) = window(&mut rng);
+            let severity = rng.range_f64(5.0, profile.max_wake_delay_secs.max(5.0));
+            faults.push(Fault { kind: FaultClass::WakeDelay, host, start, duration, severity });
+        }
+        for _ in 0..profile.memserver_crashes {
+            let host = if hosts > 0 { Some(rng.below(hosts as u64) as u32) } else { None };
+            let (start, duration) = window(&mut rng);
+            faults.push(Fault {
+                kind: FaultClass::MemServerCrash,
+                host,
+                start,
+                duration,
+                severity: 0.0,
+            });
+        }
+        for _ in 0..profile.link_degradations {
+            let (start, duration) = window(&mut rng);
+            let severity = rng.range_f64(1.5, profile.max_link_factor.max(1.5));
+            faults.push(Fault {
+                kind: FaultClass::LinkDegraded,
+                host: None,
+                start,
+                duration,
+                severity,
+            });
+        }
+        for _ in 0..profile.migration_stalls {
+            let (start, duration) = window(&mut rng);
+            faults.push(Fault {
+                kind: FaultClass::MigrationStall,
+                host: None,
+                start,
+                duration,
+                severity: 0.0,
+            });
+        }
+        FaultSchedule::new(faults)
+    }
+
+    /// Parses the text schedule format, one fault per line:
+    ///
+    /// ```text
+    /// # comments and blank lines are skipped
+    /// wake_fail host=3 at=3600 for=1200
+    /// wake_delay host=2 at=0 for=86400 secs=45
+    /// memserver_crash host=1 at=7200 for=3600
+    /// link_degraded at=10800 for=1800 factor=4
+    /// migration_stall at=300 for=900
+    /// ```
+    ///
+    /// `at` and `for` are seconds of simulated time. Host-scoped classes
+    /// (`wake_fail`, `wake_delay`, `memserver_crash`) require `host=`;
+    /// cluster-wide classes (`link_degraded`, `migration_stall`) reject it.
+    pub fn from_text(text: &str) -> Result<Self, ScheduleError> {
+        let mut faults = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let mut parts = body.split_whitespace();
+            let kind_tok = parts.next().unwrap_or("");
+            let kind = match kind_tok {
+                "wake_fail" => FaultClass::WakeFailure,
+                "wake_delay" => FaultClass::WakeDelay,
+                "memserver_crash" => FaultClass::MemServerCrash,
+                "link_degraded" => FaultClass::LinkDegraded,
+                "migration_stall" => FaultClass::MigrationStall,
+                other => {
+                    return Err(ScheduleError::new(line, format!("unknown fault kind `{other}`")))
+                }
+            };
+            let mut host = None;
+            let mut at = None;
+            let mut dur = None;
+            let mut secs = None;
+            let mut factor = None;
+            for kv in parts {
+                let (key, value) = kv.split_once('=').ok_or_else(|| {
+                    ScheduleError::new(line, format!("expected key=value, got `{kv}`"))
+                })?;
+                let num = |slot: &mut Option<f64>| -> Result<(), ScheduleError> {
+                    let v: f64 = value.parse().map_err(|_| {
+                        ScheduleError::new(line, format!("bad number `{value}` for `{key}`"))
+                    })?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(ScheduleError::new(
+                            line,
+                            format!("`{key}` must be finite and non-negative, got `{value}`"),
+                        ));
+                    }
+                    *slot = Some(v);
+                    Ok(())
+                };
+                match key {
+                    "host" => {
+                        let h: u32 = value.parse().map_err(|_| {
+                            ScheduleError::new(line, format!("bad host id `{value}`"))
+                        })?;
+                        host = Some(h);
+                    }
+                    "at" => num(&mut at)?,
+                    "for" => num(&mut dur)?,
+                    "secs" => num(&mut secs)?,
+                    "factor" => num(&mut factor)?,
+                    other => {
+                        return Err(ScheduleError::new(line, format!("unknown key `{other}`")))
+                    }
+                }
+            }
+            let at = at.ok_or_else(|| ScheduleError::new(line, "missing `at=` start time"))?;
+            let dur = dur.ok_or_else(|| ScheduleError::new(line, "missing `for=` duration"))?;
+            let host_scoped = matches!(
+                kind,
+                FaultClass::WakeFailure | FaultClass::WakeDelay | FaultClass::MemServerCrash
+            );
+            if host_scoped && host.is_none() {
+                return Err(ScheduleError::new(line, format!("`{kind_tok}` requires `host=`")));
+            }
+            if !host_scoped && host.is_some() {
+                return Err(ScheduleError::new(
+                    line,
+                    format!("`{kind_tok}` is cluster-wide; drop `host=`"),
+                ));
+            }
+            let severity = match kind {
+                FaultClass::WakeDelay => {
+                    secs.ok_or_else(|| ScheduleError::new(line, "`wake_delay` requires `secs=`"))?
+                }
+                FaultClass::LinkDegraded => {
+                    let f = factor.ok_or_else(|| {
+                        ScheduleError::new(line, "`link_degraded` requires `factor=`")
+                    })?;
+                    if f < 1.0 {
+                        return Err(ScheduleError::new(
+                            line,
+                            format!("`factor=` must be >= 1, got `{f}`"),
+                        ));
+                    }
+                    f
+                }
+                _ => {
+                    if secs.is_some() || factor.is_some() {
+                        return Err(ScheduleError::new(
+                            line,
+                            format!("`{kind_tok}` takes no `secs=`/`factor=`"),
+                        ));
+                    }
+                    0.0
+                }
+            };
+            faults.push(Fault {
+                kind,
+                host,
+                start: SimTime::from_secs_f64(at),
+                duration: SimDuration::from_secs_f64(dur),
+                severity,
+            });
+        }
+        Ok(FaultSchedule::new(faults))
+    }
+
+    /// Serializes back to the text format accepted by
+    /// [`FaultSchedule::from_text`] (round-trips exactly).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.faults {
+            let kind = match f.kind {
+                FaultClass::WakeFailure => "wake_fail",
+                FaultClass::WakeDelay => "wake_delay",
+                FaultClass::MemServerCrash => "memserver_crash",
+                FaultClass::LinkDegraded => "link_degraded",
+                FaultClass::MigrationStall => "migration_stall",
+            };
+            out.push_str(kind);
+            if let Some(h) = f.host {
+                out.push_str(&format!(" host={h}"));
+            }
+            out.push_str(&format!(
+                " at={} for={}",
+                f.start.as_secs_f64(),
+                f.duration.as_secs_f64()
+            ));
+            match f.kind {
+                FaultClass::WakeDelay => out.push_str(&format!(" secs={}", f.severity)),
+                FaultClass::LinkDegraded => out.push_str(&format!(" factor={}", f.severity)),
+                _ => {}
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A parse error from [`FaultSchedule::from_text`], with a 1-based line
+/// number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// 1-based line the error was found on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ScheduleError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ScheduleError { line, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fault schedule line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(kind: FaultClass, host: Option<u32>, at: u64, dur: u64, sev: f64) -> Fault {
+        Fault {
+            kind,
+            host,
+            start: SimTime::from_secs(at),
+            duration: SimDuration::from_secs(dur),
+            severity: sev,
+        }
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let f = fault(FaultClass::WakeFailure, Some(1), 100, 50, 0.0);
+        assert!(!f.active_at(SimTime::from_secs(99)));
+        assert!(f.active_at(SimTime::from_secs(100)));
+        assert!(f.active_at(SimTime::from_secs(149)));
+        assert!(!f.active_at(SimTime::from_secs(150)));
+    }
+
+    #[test]
+    fn queries_scope_by_host_and_time() {
+        let s = FaultSchedule::new(vec![
+            fault(FaultClass::WakeFailure, Some(2), 0, 100, 0.0),
+            fault(FaultClass::WakeDelay, Some(3), 0, 100, 45.0),
+            fault(FaultClass::MemServerCrash, Some(4), 50, 100, 0.0),
+        ]);
+        let t = SimTime::from_secs(10);
+        assert!(s.wake_failure(2, t).is_some());
+        assert!(s.wake_failure(3, t).is_none());
+        assert!(s.wake_failure(2, SimTime::from_secs(200)).is_none());
+        assert_eq!(s.wake_delay_secs(3, t), 45.0);
+        assert_eq!(s.wake_delay_secs(2, t), 0.0);
+        assert!(s.memserver_down(4, t).is_none());
+        assert!(s.memserver_down(4, SimTime::from_secs(60)).is_some());
+    }
+
+    #[test]
+    fn cluster_wide_faults_affect_every_host() {
+        let s = FaultSchedule::new(vec![fault(FaultClass::WakeFailure, None, 0, 100, 0.0)]);
+        assert!(s.wake_failure(0, SimTime::ZERO).is_some());
+        assert!(s.wake_failure(999, SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn link_factor_compounds_and_defaults_to_exactly_one() {
+        let s = FaultSchedule::new(vec![
+            fault(FaultClass::LinkDegraded, None, 0, 100, 2.0),
+            fault(FaultClass::LinkDegraded, None, 50, 100, 3.0),
+        ]);
+        assert_eq!(s.link_factor(SimTime::from_secs(10)), 2.0);
+        assert_eq!(s.link_factor(SimTime::from_secs(60)), 6.0);
+        assert_eq!(s.link_factor(SimTime::from_secs(200)), 1.0);
+        assert_eq!(FaultSchedule::none().link_factor(SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn onsets_between_reports_each_fault_once() {
+        let s = FaultSchedule::new(vec![
+            fault(FaultClass::MigrationStall, None, 100, 10, 0.0),
+            fault(FaultClass::MigrationStall, None, 300, 10, 0.0),
+        ]);
+        let in_first: Vec<_> = s.onsets_between(SimTime::ZERO, SimTime::from_secs(300)).collect();
+        assert_eq!(in_first.len(), 1);
+        let in_second: Vec<_> =
+            s.onsets_between(SimTime::from_secs(300), SimTime::from_secs(600)).collect();
+        assert_eq!(in_second.len(), 1);
+    }
+
+    #[test]
+    fn random_schedules_are_seed_deterministic() {
+        let p = FaultProfile::heavy();
+        let day = SimDuration::from_hours(24);
+        let a = FaultSchedule::random(p, 16, day, 42);
+        let b = FaultSchedule::random(p, 16, day, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u32, 8 + 4 + 3 + 3 + 6);
+        let c = FaultSchedule::random(p, 16, day, 43);
+        assert_ne!(a, c, "different seeds must give different schedules");
+        for f in a.faults() {
+            assert!(f.start.as_secs_f64() < day.as_secs_f64());
+            assert!(f.duration >= p.min_duration && f.duration <= p.max_duration);
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let text = "\
+# canonical fault mix
+wake_fail host=3 at=3600 for=1200
+wake_delay host=2 at=0 for=86400 secs=45
+memserver_crash host=1 at=7200 for=3600
+link_degraded at=10800 for=1800 factor=4
+migration_stall at=300 for=900
+";
+        let parsed = FaultSchedule::from_text(text).expect("parses");
+        assert_eq!(parsed.len(), 5);
+        let reparsed = FaultSchedule::from_text(&parsed.to_text()).expect("round-trips");
+        assert_eq!(parsed, reparsed);
+        let random =
+            FaultSchedule::random(FaultProfile::light(), 8, SimDuration::from_hours(24), 7);
+        let round = FaultSchedule::from_text(&random.to_text()).expect("random round-trips");
+        assert_eq!(random, round);
+    }
+
+    #[test]
+    fn parse_errors_name_the_line_and_problem() {
+        let cases = [
+            ("explode at=0 for=1", "unknown fault kind"),
+            ("wake_fail host=1 at=0", "missing `for=`"),
+            ("wake_fail at=0 for=1", "requires `host=`"),
+            ("migration_stall host=1 at=0 for=1", "cluster-wide"),
+            ("wake_delay host=1 at=0 for=1", "requires `secs=`"),
+            ("link_degraded at=0 for=1 factor=0.5", "must be >= 1"),
+            ("wake_fail host=1 at=-5 for=1", "non-negative"),
+            ("wake_fail host=1 at=0 for=1 bogus=2", "unknown key"),
+            ("wake_fail host=1 at=zero for=1", "bad number"),
+            ("memserver_crash host=1 at=0 for=1 secs=3", "takes no"),
+        ];
+        for (text, needle) in cases {
+            let err = FaultSchedule::from_text(text).expect_err(text);
+            assert_eq!(err.line, 1);
+            assert!(err.message.contains(needle), "{text}: {}", err.message);
+        }
+        let multi = "wake_fail host=1 at=0 for=1\nnope at=0 for=1";
+        assert_eq!(FaultSchedule::from_text(multi).expect_err("bad line 2").line, 2);
+    }
+
+    #[test]
+    fn empty_schedule_answers_every_query_negatively() {
+        let s = FaultSchedule::none();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.wake_failure(0, SimTime::ZERO).is_none());
+        assert_eq!(s.wake_delay_secs(0, SimTime::ZERO), 0.0);
+        assert!(s.memserver_down(0, SimTime::ZERO).is_none());
+        assert!(s.migration_stalled(SimTime::ZERO).is_none());
+        assert_eq!(s.onsets_between(SimTime::ZERO, SimTime::MAX).count(), 0);
+        assert_eq!(s.to_text(), "");
+    }
+}

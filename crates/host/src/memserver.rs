@@ -45,6 +45,10 @@ pub enum MsError {
     DriveBusy,
     /// An on-disk image index failed to parse.
     CorruptImage,
+    /// The serving daemon has crashed and not yet restarted.
+    Crashed,
+    /// A drive handoff was attempted with fetches still in flight.
+    FetchesInFlight(u32),
 }
 
 impl core::fmt::Display for MsError {
@@ -56,6 +60,8 @@ impl core::fmt::Display for MsError {
             MsError::UnknownPage(id, p) => write!(f, "{id}: {p:?} not in image"),
             MsError::DriveBusy => write!(f, "drive already mounted elsewhere"),
             MsError::CorruptImage => write!(f, "corrupt on-disk image index"),
+            MsError::Crashed => write!(f, "serving daemon crashed"),
+            MsError::FetchesInFlight(n) => write!(f, "{n} fetches still in flight"),
         }
     }
 }
@@ -90,6 +96,9 @@ pub struct MemoryServer {
     profile: MemoryServerProfile,
     drive: DriveOwner,
     serving: bool,
+    crashed: bool,
+    /// Page requests accepted but not yet answered, in arrival order.
+    pending: Vec<(VmId, PageNum)>,
     /// Per-VM image: page → compressed size on disk.
     images: BTreeMap<VmId, BTreeMap<u64, u32>>,
     stats: ServeStats,
@@ -113,6 +122,8 @@ impl MemoryServer {
             profile,
             drive: DriveOwner::Host,
             serving: false,
+            crashed: false,
+            pending: Vec::new(),
             images: BTreeMap::new(),
             stats: ServeStats::default(),
             pages_served: telemetry.metrics().counter("memserver_pages_served_total", &[]),
@@ -135,17 +146,35 @@ impl MemoryServer {
         self.serving
     }
 
+    /// `true` between a [`MemoryServer::crash`] and the next restart or
+    /// host reclaim.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Page requests accepted but not yet answered.
+    pub fn in_flight(&self) -> u32 {
+        self.pending.len() as u32
+    }
+
     /// Serving statistics so far.
     pub fn stats(&self) -> ServeStats {
         self.stats
     }
 
     /// Mounts the drive on the host side (before uploads).
+    ///
+    /// Reclaiming the drive from a crashed daemon is allowed — the images
+    /// live on disk, so the host simply takes over — and clears the
+    /// crashed flag (the daemon's state dies with it, including any
+    /// fetches it had accepted).
     pub fn mount_at_host(&mut self) -> Result<(), MsError> {
         match self.drive {
             DriveOwner::Server if self.serving => Err(MsError::DriveBusy),
             _ => {
                 self.drive = DriveOwner::Host;
+                self.crashed = false;
+                self.pending.clear();
                 Ok(())
             }
         }
@@ -195,13 +224,91 @@ impl MemoryServer {
     }
 
     /// Host woke and its VMs returned: daemon stops, drive detaches.
+    ///
+    /// Refuses while fetches are in flight — answer them
+    /// ([`MemoryServer::complete_fetch`]) or cancel them
+    /// ([`MemoryServer::abort_fetches`]) first, or the detach would
+    /// silently drop guest page faults.
     pub fn handoff_to_host(&mut self) -> Result<(), MsError> {
+        if self.crashed {
+            return Err(MsError::Crashed);
+        }
         if !self.serving {
             return Err(MsError::NotServing);
+        }
+        if !self.pending.is_empty() {
+            return Err(MsError::FetchesInFlight(self.pending.len() as u32));
         }
         self.serving = false;
         self.drive = DriveOwner::Host;
         Ok(())
+    }
+
+    /// The serving daemon dies (low-power processor fault).
+    ///
+    /// Serving stops; the drive stays attached to the dead server until a
+    /// [`MemoryServer::restart`] or a host reclaim via
+    /// [`MemoryServer::mount_at_host`]. Returns the fetches that were in
+    /// flight — each is an errored guest page fault the cluster layer
+    /// must recover. Images survive: they live on the drive, not in the
+    /// daemon.
+    pub fn crash(&mut self) -> Vec<(VmId, PageNum)> {
+        self.serving = false;
+        self.crashed = true;
+        core::mem::take(&mut self.pending)
+    }
+
+    /// The low-power processor reboots, re-attaches the drive and resumes
+    /// serving from the on-disk images.
+    ///
+    /// Fails with [`MsError::DriveBusy`] if the host reclaimed the drive
+    /// in the meantime (the daemon cannot serve without it).
+    pub fn restart(&mut self) -> Result<(), MsError> {
+        if self.drive == DriveOwner::Host {
+            return Err(MsError::DriveBusy);
+        }
+        self.drive = DriveOwner::Server;
+        self.crashed = false;
+        self.serving = true;
+        Ok(())
+    }
+
+    /// Accepts a page request without answering it yet, modeling the
+    /// window where a fetch is on the wire. Validates exactly like
+    /// [`MemoryServer::serve_page`] but defers the accounting to
+    /// [`MemoryServer::complete_fetch`].
+    pub fn begin_fetch(&mut self, vm: VmId, page: PageNum) -> Result<(), MsError> {
+        if self.crashed {
+            return Err(MsError::Crashed);
+        }
+        if !self.serving {
+            return Err(MsError::NotServing);
+        }
+        let image = self.images.get(&vm).ok_or(MsError::UnknownVm(vm))?;
+        if !image.contains_key(&page.0) {
+            return Err(MsError::UnknownPage(vm, page));
+        }
+        self.pending.push((vm, page));
+        Ok(())
+    }
+
+    /// Answers a fetch previously accepted by
+    /// [`MemoryServer::begin_fetch`].
+    pub fn complete_fetch(&mut self, vm: VmId, page: PageNum) -> Result<ByteSize, MsError> {
+        if self.crashed {
+            return Err(MsError::Crashed);
+        }
+        let Some(pos) = self.pending.iter().position(|&p| p == (vm, page)) else {
+            return Err(MsError::UnknownPage(vm, page));
+        };
+        self.pending.remove(pos);
+        self.serve_page(vm, page)
+    }
+
+    /// Cancels every in-flight fetch (e.g. before a planned detach),
+    /// returning them so the caller can re-issue after the handoff.
+    pub fn abort_fetches(&mut self) -> Vec<(VmId, PageNum)> {
+        core::mem::take(&mut self.pending)
     }
 
     /// Serves one page request by guest pseudo frame number.
@@ -209,6 +316,9 @@ impl MemoryServer {
     /// Returns the compressed size read from the drive and sent on the
     /// wire.
     pub fn serve_page(&mut self, vm: VmId, page: PageNum) -> Result<ByteSize, MsError> {
+        if self.crashed {
+            return Err(MsError::Crashed);
+        }
         if !self.serving {
             return Err(MsError::NotServing);
         }
@@ -450,5 +560,109 @@ mod tests {
         ms.handoff_to_server().unwrap();
         assert!(ms.is_serving());
         assert_eq!(ms.handoff_to_server(), Err(MsError::DriveNotMounted(DriveOwner::Server)));
+    }
+
+    #[test]
+    fn detach_with_in_flight_fetches_is_refused() {
+        let mut ms = server();
+        ms.upload(VmId(1), &pages(0..10, 500), false).unwrap();
+        ms.handoff_to_server().unwrap();
+        ms.begin_fetch(VmId(1), PageNum(3)).unwrap();
+        ms.begin_fetch(VmId(1), PageNum(7)).unwrap();
+        assert_eq!(ms.in_flight(), 2);
+        assert_eq!(ms.handoff_to_host(), Err(MsError::FetchesInFlight(2)));
+        // Answering one is not enough; answering both unblocks the detach.
+        assert_eq!(ms.complete_fetch(VmId(1), PageNum(3)).unwrap(), ByteSize::bytes(500));
+        assert_eq!(ms.handoff_to_host(), Err(MsError::FetchesInFlight(1)));
+        ms.complete_fetch(VmId(1), PageNum(7)).unwrap();
+        ms.handoff_to_host().unwrap();
+        assert_eq!(ms.drive_owner(), DriveOwner::Host);
+    }
+
+    #[test]
+    fn aborted_fetches_are_returned_for_reissue() {
+        let mut ms = server();
+        ms.upload(VmId(1), &pages(0..10, 500), false).unwrap();
+        ms.handoff_to_server().unwrap();
+        ms.begin_fetch(VmId(1), PageNum(1)).unwrap();
+        ms.begin_fetch(VmId(1), PageNum(2)).unwrap();
+        let stats_before = ms.stats();
+        let dropped = ms.abort_fetches();
+        assert_eq!(dropped, vec![(VmId(1), PageNum(1)), (VmId(1), PageNum(2))]);
+        assert_eq!(ms.in_flight(), 0);
+        // Aborted fetches never count as served.
+        assert_eq!(ms.stats(), stats_before);
+        ms.handoff_to_host().unwrap();
+    }
+
+    #[test]
+    fn begin_fetch_validates_like_serve() {
+        let mut ms = server();
+        ms.upload(VmId(1), &pages(0..10, 500), false).unwrap();
+        assert_eq!(ms.begin_fetch(VmId(1), PageNum(0)), Err(MsError::NotServing));
+        ms.handoff_to_server().unwrap();
+        assert_eq!(ms.begin_fetch(VmId(2), PageNum(0)), Err(MsError::UnknownVm(VmId(2))));
+        assert_eq!(
+            ms.begin_fetch(VmId(1), PageNum(99)),
+            Err(MsError::UnknownPage(VmId(1), PageNum(99)))
+        );
+        // Completing a fetch that was never begun is a protocol error.
+        assert_eq!(
+            ms.complete_fetch(VmId(1), PageNum(0)),
+            Err(MsError::UnknownPage(VmId(1), PageNum(0)))
+        );
+    }
+
+    #[test]
+    fn double_attach_is_rejected_on_both_sides() {
+        let mut ms = server();
+        // Host side: re-mounting while already at the host is idempotent...
+        ms.mount_at_host().unwrap();
+        ms.mount_at_host().unwrap();
+        ms.handoff_to_server().unwrap();
+        // ...but the server cannot attach twice, and the host cannot grab
+        // the drive out from under a live daemon.
+        assert_eq!(ms.handoff_to_server(), Err(MsError::DriveNotMounted(DriveOwner::Server)));
+        assert_eq!(ms.mount_at_host(), Err(MsError::DriveBusy));
+    }
+
+    #[test]
+    fn serve_after_crash_errors_until_restart() {
+        let mut ms = server();
+        ms.upload(VmId(1), &pages(0..10, 500), false).unwrap();
+        ms.handoff_to_server().unwrap();
+        ms.begin_fetch(VmId(1), PageNum(4)).unwrap();
+        let orphaned = ms.crash();
+        assert_eq!(orphaned, vec![(VmId(1), PageNum(4))], "in-flight fetch errors out");
+        assert!(ms.is_crashed());
+        assert!(!ms.is_serving());
+        assert_eq!(ms.serve_page(VmId(1), PageNum(0)), Err(MsError::Crashed));
+        assert_eq!(ms.begin_fetch(VmId(1), PageNum(0)), Err(MsError::Crashed));
+        assert_eq!(ms.handoff_to_host(), Err(MsError::Crashed));
+        // Daemon reboot: images survived on the drive and serving resumes.
+        ms.restart().unwrap();
+        assert!(!ms.is_crashed());
+        assert_eq!(ms.serve_page(VmId(1), PageNum(4)).unwrap(), ByteSize::bytes(500));
+    }
+
+    #[test]
+    fn host_reclaims_drive_from_crashed_daemon() {
+        let mut ms = server();
+        ms.upload(VmId(1), &pages(0..10, 500), false).unwrap();
+        ms.handoff_to_server().unwrap();
+        ms.begin_fetch(VmId(1), PageNum(0)).unwrap();
+        ms.crash();
+        // The woken host takes the drive back; the dead daemon's pending
+        // queue dies with it and the crashed flag clears.
+        ms.mount_at_host().unwrap();
+        assert_eq!(ms.drive_owner(), DriveOwner::Host);
+        assert!(!ms.is_crashed());
+        assert_eq!(ms.in_flight(), 0);
+        assert_eq!(ms.stored_pages(VmId(1)), 10, "images live on the drive");
+        // Once the host owns the drive a daemon restart must fail.
+        assert_eq!(ms.restart(), Err(MsError::DriveBusy));
+        // Normal protocol resumes from here.
+        ms.handoff_to_server().unwrap();
+        assert_eq!(ms.serve_page(VmId(1), PageNum(0)).unwrap(), ByteSize::bytes(500));
     }
 }

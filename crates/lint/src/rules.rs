@@ -11,7 +11,8 @@ use crate::lexer::{number_is, Tok, TokKind};
 /// Crates whose decision paths must stay seed-reproducible: any
 /// order-dependent container iteration here can reorder placement or
 /// migration decisions between runs.
-pub const DECISION_PATH_CRATES: [&str; 5] = ["core", "cluster", "sim", "migration", "host"];
+pub const DECISION_PATH_CRATES: [&str; 6] =
+    ["core", "cluster", "sim", "migration", "host", "faults"];
 
 /// Library crates exempt from print-hygiene (user-facing output is their
 /// job, or — for `lint` itself — findings go to stdout by design).

@@ -16,6 +16,8 @@
 //!   memory upload to the memory server, descriptor push (§4.2–4.3).
 //! * [`reintegration`] — dirty-state push back to the full image,
 //!   including the overwrite-obviation optimization (§4.4.3).
+//! * [`recovery`] — cancel-and-retry driver for stalled migrations,
+//!   pacing re-attempts with a shared backoff policy.
 //! * [`lab`] — a functional two-host laboratory replicating the §4.4
 //!   micro-benchmark setup end to end.
 
@@ -26,7 +28,9 @@ pub mod partial;
 pub mod plan;
 pub mod postcopy;
 pub mod precopy;
+pub mod recovery;
 pub mod reintegration;
 
 pub use plan::{MigrationOrder, MigrationPlan, MigrationType};
 pub use precopy::{PrecopyConfig, PrecopyOutcome};
+pub use recovery::{with_retries, AttemptOutcome};

@@ -1,0 +1,118 @@
+//! Cancel-and-retry recovery for stalled migrations.
+//!
+//! A migration that stalls mid-flight (rack-network fault, destination
+//! resume hang) is cancelled — the source keeps running the VM, so a
+//! cancel is always safe — and re-attempted under a [`RetryPolicy`].
+//! [`with_retries`] is the driver loop: it owns the attempt counter and
+//! backoff clock while the caller supplies the actual attempt as a
+//! closure, which keeps the loop reusable for wake retries and stall
+//! recovery alike.
+
+use oasis_faults::RetryPolicy;
+use oasis_sim::{SimDuration, SimRng};
+
+/// What a retry sequence did, and how long it spent doing it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttemptOutcome {
+    /// Attempts made (at least 1 — the initial try counts).
+    pub attempts: u32,
+    /// Total backoff time waited between attempts.
+    pub waited: SimDuration,
+    /// True when some attempt succeeded; false when the budget ran out.
+    pub completed: bool,
+}
+
+/// Runs `attempt` until it succeeds or `policy` is exhausted.
+///
+/// `attempt(n, waited_so_far)` is called with a 1-based attempt number
+/// and the cumulative backoff already spent; it returns `true` on
+/// success. Between failures the loop waits `policy.delay(n, rng)` —
+/// with zero jitter this draws nothing from `rng`, so a policy like
+/// [`RetryPolicy::wol`] cannot perturb the caller's random stream.
+///
+/// The initial try is free: a policy with `max_attempts == 0` still
+/// calls `attempt` once and simply never retries.
+pub fn with_retries(
+    policy: &RetryPolicy,
+    rng: &mut SimRng,
+    mut attempt: impl FnMut(u32, SimDuration) -> bool,
+) -> AttemptOutcome {
+    let mut waited = SimDuration::ZERO;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        if attempt(attempts, waited) {
+            return AttemptOutcome { attempts, waited, completed: true };
+        }
+        if attempts > policy.max_attempts {
+            return AttemptOutcome { attempts, waited, completed: false };
+        }
+        waited += policy.delay(attempts, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_waits_nothing() {
+        let mut rng = SimRng::new(1);
+        let out = with_retries(&RetryPolicy::recovery(), &mut rng, |_, _| true);
+        assert_eq!(out, AttemptOutcome { attempts: 1, waited: SimDuration::ZERO, completed: true });
+    }
+
+    #[test]
+    fn succeeds_on_a_later_attempt_after_backing_off() {
+        let policy = RetryPolicy::constant(SimDuration::from_secs(2), 5);
+        let mut rng = SimRng::new(2);
+        let out = with_retries(&policy, &mut rng, |n, _| n == 3);
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.waited, SimDuration::from_secs(4)); // Two 2s backoffs.
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn exhaustion_reports_every_attempt_and_the_full_wait() {
+        let policy = RetryPolicy::recovery();
+        let mut rng = SimRng::new(3);
+        let mut seen = Vec::new();
+        let out = with_retries(&policy, &mut rng, |n, waited| {
+            seen.push((n, waited));
+            false
+        });
+        // Initial try + max_attempts retries, all failed.
+        assert_eq!(out.attempts, policy.max_attempts + 1);
+        assert!(!out.completed);
+        assert_eq!(seen.len() as u32, policy.max_attempts + 1);
+        // The waited argument is cumulative and monotone.
+        for pair in seen.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert!(out.waited <= policy.max_total_delay());
+    }
+
+    #[test]
+    fn zero_attempt_policy_tries_exactly_once() {
+        let policy = RetryPolicy::constant(SimDuration::from_secs(1), 0);
+        let mut rng = SimRng::new(4);
+        let mut calls = 0;
+        let out = with_retries(&policy, &mut rng, |_, _| {
+            calls += 1;
+            false
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.waited, SimDuration::ZERO);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn jitter_free_policies_leave_the_rng_untouched() {
+        let policy = RetryPolicy::wol();
+        let mut rng = SimRng::new(5);
+        let mut untouched = SimRng::new(5);
+        let _ = with_retries(&policy, &mut rng, |_, _| false);
+        assert_eq!(rng.next_u64(), untouched.next_u64());
+    }
+}

@@ -6,7 +6,8 @@
 //! repeated sixteen times; this module builds and parses that frame, and
 //! models the lossy-network retry loop around it.
 
-use oasis_sim::SimRng;
+use oasis_faults::RetryPolicy;
+use oasis_sim::{SimDuration, SimRng};
 use oasis_telemetry::{Event, Telemetry};
 
 /// A MAC address.
@@ -73,14 +74,66 @@ impl MagicPacket {
     }
 }
 
-/// Models waking a sleeping host over a lossy management network.
+/// How a Wake-on-LAN retry sequence ended.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WolOutcome {
+    /// Seconds spent waiting on retransmission timeouts.
+    pub waited_secs: f64,
+    /// Retransmissions sent after the initial packet.
+    pub attempts: u32,
+    /// False when the policy's attempt budget ran out with the last
+    /// packet still lost; callers fall back to their degradation path.
+    pub delivered: bool,
+}
+
+/// Models waking a sleeping host over a lossy management network,
+/// pacing retransmissions with `policy`.
 ///
-/// The first magic packet goes out immediately; a lost packet is re-sent
-/// after a one-second timeout, until one gets through or `max_wait_secs`
-/// of retrying has elapsed. Returns the seconds spent waiting on retries
-/// (0.0 when the first packet lands). Every packet increments the
-/// `wol_packets_total` counter and each retry emits a
-/// [`Event::WolRetry`] on the bus.
+/// The first magic packet goes out immediately; each lost packet is
+/// re-sent after the policy's delay for that attempt, until one gets
+/// through or `policy.max_attempts` retransmissions have been spent.
+/// Every packet increments the `wol_packets_total` counter and each
+/// retry emits a [`Event::WolRetry`] on the bus.
+///
+/// Loss draws come before the attempt-budget check and a zero-jitter
+/// policy delay consumes no randomness, so with [`RetryPolicy::wol`]
+/// this consumes the RNG stream exactly as the historical inline loop
+/// did — fixed-seed runs are unchanged by the refactor.
+pub fn wake_with_policy(
+    telemetry: &Telemetry,
+    host: u32,
+    loss_rate: f64,
+    policy: &RetryPolicy,
+    rng: &mut SimRng,
+) -> WolOutcome {
+    let packet = MagicPacket::new(MacAddr::for_host(host));
+    debug_assert!(MagicPacket::parse(&packet.to_bytes()).is_some());
+    let sent = telemetry.metrics().counter("wol_packets_total", &[]);
+    sent.inc();
+    let mut waited = SimDuration::ZERO;
+    let mut attempt = 0u32;
+    let mut delivered = true;
+    if loss_rate > 0.0 {
+        loop {
+            if !rng.chance(loss_rate) {
+                break; // This packet made it through.
+            }
+            if attempt >= policy.max_attempts {
+                delivered = false;
+                break;
+            }
+            attempt += 1;
+            waited += policy.delay(attempt, rng);
+            sent.inc();
+            telemetry.emit(Event::WolRetry { host, attempt });
+        }
+    }
+    WolOutcome { waited_secs: waited.as_secs_f64(), attempts: attempt, delivered }
+}
+
+/// Models waking a sleeping host with the standard one-packet-per-second
+/// schedule, giving up after `max_wait_secs` of retrying. Returns the
+/// seconds spent waiting (0.0 when the first packet lands).
 pub fn wake_with_retries(
     telemetry: &Telemetry,
     host: u32,
@@ -88,19 +141,8 @@ pub fn wake_with_retries(
     max_wait_secs: f64,
     rng: &mut SimRng,
 ) -> f64 {
-    let packet = MagicPacket::new(MacAddr::for_host(host));
-    debug_assert!(MagicPacket::parse(&packet.to_bytes()).is_some());
-    let sent = telemetry.metrics().counter("wol_packets_total", &[]);
-    sent.inc();
-    let mut wait = 0.0;
-    let mut attempt = 0u32;
-    while loss_rate > 0.0 && rng.chance(loss_rate) && wait < max_wait_secs {
-        attempt += 1;
-        wait += 1.0;
-        sent.inc();
-        telemetry.emit(Event::WolRetry { host, attempt });
-    }
-    wait
+    let policy = RetryPolicy::constant(SimDuration::from_secs(1), max_wait_secs.ceil() as u32);
+    wake_with_policy(telemetry, host, loss_rate, &policy, rng).waited_secs
 }
 
 #[cfg(test)]
@@ -125,6 +167,70 @@ mod tests {
         bytes = MagicPacket::new(MacAddr::for_host(1)).to_bytes();
         bytes.push(0); // Wrong length.
         assert_eq!(MagicPacket::parse(&bytes), None);
+    }
+
+    #[test]
+    fn lossless_network_never_waits_or_draws() {
+        let tel = Telemetry::disabled();
+        let mut rng = SimRng::new(1);
+        let mut untouched = SimRng::new(1);
+        let out = wake_with_policy(&tel, 1, 0.0, &RetryPolicy::wol(), &mut rng);
+        assert_eq!(out, WolOutcome { waited_secs: 0.0, attempts: 0, delivered: true });
+        assert_eq!(rng.next_u64(), untouched.next_u64());
+    }
+
+    #[test]
+    fn total_loss_exhausts_the_attempt_budget() {
+        let tel = Telemetry::disabled();
+        let mut rng = SimRng::new(2);
+        let policy = RetryPolicy::wol();
+        let out = wake_with_policy(&tel, 1, 1.0, &policy, &mut rng);
+        assert_eq!(out.attempts, policy.max_attempts);
+        assert_eq!(out.waited_secs, policy.max_attempts as f64);
+        assert!(!out.delivered, "a fully lossy link must report non-delivery");
+    }
+
+    #[test]
+    fn jittered_retries_are_seed_deterministic_and_bounded() {
+        let tel = Telemetry::disabled();
+        let policy = RetryPolicy::recovery();
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let out_a = wake_with_policy(&tel, 3, 1.0, &policy, &mut a);
+        let out_b = wake_with_policy(&tel, 3, 1.0, &policy, &mut b);
+        assert_eq!(out_a, out_b, "same seed, same jittered schedule");
+        assert!(!out_a.delivered);
+        assert!(out_a.waited_secs <= policy.max_total_delay().as_secs_f64());
+    }
+
+    #[test]
+    fn retry_wrapper_matches_the_historical_inline_loop() {
+        // The pre-policy implementation, verbatim: one chance() draw per
+        // iteration, one-second waits, give up past max_wait_secs.
+        fn historical(loss_rate: f64, max_wait_secs: f64, rng: &mut SimRng) -> f64 {
+            let mut wait = 0.0;
+            let mut attempt = 0u32;
+            while loss_rate > 0.0 && rng.chance(loss_rate) && wait < max_wait_secs {
+                attempt += 1;
+                wait += 1.0;
+            }
+            let _ = attempt;
+            wait
+        }
+        let tel = Telemetry::disabled();
+        for seed in 0..64 {
+            let mut old = SimRng::new(seed);
+            let mut new = SimRng::new(seed);
+            for loss in [0.0, 0.3, 0.9, 1.0] {
+                assert_eq!(
+                    historical(loss, 10.0, &mut old),
+                    wake_with_retries(&tel, 5, loss, 10.0, &mut new),
+                    "seed {seed} loss {loss}"
+                );
+            }
+            // Identical draw counts leave the streams aligned.
+            assert_eq!(old.next_u64(), new.next_u64(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -82,6 +82,72 @@ impl MigrationKind {
     }
 }
 
+/// Which injected fault class an event refers to.
+///
+/// Mirrors `oasis_faults::FaultSchedule`'s taxonomy; defined here (like
+/// [`MigrationKind`]) so emitting crates need no extra dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// A sleeping host ignores wake requests for the fault window.
+    WakeFailure,
+    /// An S3 resume hangs for extra seconds before completing.
+    WakeDelay,
+    /// A home host's memory-server daemon crashes (restarts when the
+    /// window closes).
+    MemServerCrash,
+    /// Rack-network degradation inflating fetch and migration latency.
+    LinkDegraded,
+    /// Migrations started inside the window stall and need recovery.
+    MigrationStall,
+}
+
+impl FaultClass {
+    /// Stable snake_case tag used in encodings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::WakeFailure => "wake_failure",
+            FaultClass::WakeDelay => "wake_delay",
+            FaultClass::MemServerCrash => "memserver_crash",
+            FaultClass::LinkDegraded => "link_degraded",
+            FaultClass::MigrationStall => "migration_stall",
+        }
+    }
+}
+
+/// Which recovery policy an [`Event::RecoveryApplied`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// A failed wake succeeded after bounded exponential backoff.
+    RetryWake,
+    /// A partial VM was promoted in place because its home refused to
+    /// wake (or its memory server was down).
+    FallbackPromote,
+    /// An orphaned partial VM was fully returned to (or re-placed near)
+    /// its home.
+    Rehome,
+    /// A stalled migration completed after cancel-and-retry.
+    RetryMigration,
+    /// A migration was abandoned; the VM stays where it was.
+    AbortMigration,
+}
+
+impl RecoveryKind {
+    /// Stable snake_case tag used in encodings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryKind::RetryWake => "retry_wake",
+            RecoveryKind::FallbackPromote => "fallback_promote",
+            RecoveryKind::Rehome => "rehome",
+            RecoveryKind::RetryMigration => "retry_migration",
+            RecoveryKind::AbortMigration => "abort_migration",
+        }
+    }
+}
+
+/// Sentinel id used in fault events whose target is the whole cluster
+/// (e.g. a rack-wide link degradation) rather than one host or VM.
+pub const CLUSTER_WIDE: u32 = u32::MAX;
+
 /// A structured simulation event.
 ///
 /// Variants carry raw ids rather than domain types so every crate in the
@@ -157,6 +223,64 @@ pub enum Event {
         /// Host whose allocator was exhausted.
         host: u32,
     },
+    /// A scheduled fault became visible to the simulation.
+    FaultInjected {
+        /// Which fault class fired.
+        fault: FaultClass,
+        /// Affected host, or [`CLUSTER_WIDE`].
+        host: u32,
+    },
+    /// A wake attempt against a faulted host failed and will back off.
+    WakeFailed {
+        /// Host that refused to wake.
+        host: u32,
+        /// 1-based recovery attempt.
+        attempt: u32,
+    },
+    /// Every wake retry was exhausted; the host stays asleep.
+    WakeAbandoned {
+        /// Host abandoned as unwakeable for now.
+        host: u32,
+        /// Attempts spent before giving up.
+        attempts: u32,
+    },
+    /// A memory-server daemon crashed; its pages are unreachable.
+    MemServerCrashed {
+        /// Home host whose memory server died.
+        host: u32,
+    },
+    /// A crashed memory-server daemon restarted and serves again.
+    MemServerRestarted {
+        /// Home host whose memory server recovered.
+        host: u32,
+    },
+    /// An in-flight migration stalled and entered cancel-and-retry.
+    MigrationStalled {
+        /// VM being moved.
+        vm: u32,
+        /// Source host.
+        from: u32,
+        /// Destination host.
+        to: u32,
+    },
+    /// A stalled migration was abandoned after bounded retries.
+    MigrationAborted {
+        /// VM that stays at the source.
+        vm: u32,
+        /// Source host.
+        from: u32,
+        /// Destination host.
+        to: u32,
+        /// Retry attempts spent before aborting.
+        attempts: u32,
+    },
+    /// A recovery policy resolved a fault.
+    RecoveryApplied {
+        /// Which policy fired.
+        action: RecoveryKind,
+        /// The VM or host the action applied to (see `action`).
+        target: u32,
+    },
     /// One benchmark measurement, routed from the bench reporter.
     BenchSample {
         /// Benchmark name.
@@ -186,6 +310,14 @@ impl Event {
             Event::WolRetry { .. } => "wol_retry",
             Event::PageFaultFetched { .. } => "page_fault_fetched",
             Event::CapacityExhausted { .. } => "capacity_exhausted",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::WakeFailed { .. } => "wake_failed",
+            Event::WakeAbandoned { .. } => "wake_abandoned",
+            Event::MemServerCrashed { .. } => "memserver_crashed",
+            Event::MemServerRestarted { .. } => "memserver_restarted",
+            Event::MigrationStalled { .. } => "migration_stalled",
+            Event::MigrationAborted { .. } => "migration_aborted",
+            Event::RecoveryApplied { .. } => "recovery_applied",
             Event::BenchSample { .. } => "bench_sample",
             Event::Note { .. } => "note",
         }
@@ -194,7 +326,14 @@ impl Event {
     /// Severity of this event kind.
     pub fn level(&self) -> Level {
         match self {
-            Event::WolRetry { .. } | Event::CapacityExhausted { .. } => Level::Warn,
+            Event::WolRetry { .. }
+            | Event::CapacityExhausted { .. }
+            | Event::FaultInjected { .. }
+            | Event::WakeFailed { .. }
+            | Event::WakeAbandoned { .. }
+            | Event::MemServerCrashed { .. }
+            | Event::MigrationStalled { .. }
+            | Event::MigrationAborted { .. } => Level::Warn,
             Event::IntervalStarted { .. } | Event::PageFaultFetched { .. } => Level::Debug,
             _ => Level::Info,
         }
@@ -230,6 +369,27 @@ impl Event {
             }
             Event::CapacityExhausted { host } => {
                 let _ = write!(out, r#","host":{host}"#);
+            }
+            Event::FaultInjected { fault, host } => {
+                let _ = write!(out, r#","fault":"{}","host":{host}"#, fault.as_str());
+            }
+            Event::WakeFailed { host, attempt } => {
+                let _ = write!(out, r#","host":{host},"attempt":{attempt}"#);
+            }
+            Event::WakeAbandoned { host, attempts } => {
+                let _ = write!(out, r#","host":{host},"attempts":{attempts}"#);
+            }
+            Event::MemServerCrashed { host } | Event::MemServerRestarted { host } => {
+                let _ = write!(out, r#","host":{host}"#);
+            }
+            Event::MigrationStalled { vm, from, to } => {
+                let _ = write!(out, r#","vm":{vm},"from":{from},"to":{to}"#);
+            }
+            Event::MigrationAborted { vm, from, to, attempts } => {
+                let _ = write!(out, r#","vm":{vm},"from":{from},"to":{to},"attempts":{attempts}"#);
+            }
+            Event::RecoveryApplied { action, target } => {
+                let _ = write!(out, r#","action":"{}","target":{target}"#, action.as_str());
             }
             Event::BenchSample { name, ns_per_iter, iters } => {
                 out.push_str(",\"name\":");
@@ -289,6 +449,39 @@ mod tests {
     }
 
     #[test]
+    fn fault_event_encodings_are_stable() {
+        let rec = EventRecord {
+            time: SimTime::from_secs(60),
+            seq: 7,
+            event: Event::FaultInjected { fault: FaultClass::MemServerCrash, host: 3 },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t":60000000,"seq":7,"kind":"fault_injected","fault":"memserver_crash","host":3}"#
+        );
+        let rec = EventRecord {
+            time: SimTime::ZERO,
+            seq: 0,
+            event: Event::RecoveryApplied { action: RecoveryKind::RetryWake, target: 9 },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t":0,"seq":0,"kind":"recovery_applied","action":"retry_wake","target":9}"#
+        );
+    }
+
+    #[test]
+    fn fault_events_warn_and_recoveries_inform() {
+        assert_eq!(Event::WakeAbandoned { host: 1, attempts: 6 }.level(), Level::Warn);
+        assert_eq!(Event::MigrationStalled { vm: 1, from: 0, to: 2 }.level(), Level::Warn);
+        assert_eq!(Event::MemServerRestarted { host: 1 }.level(), Level::Info);
+        assert_eq!(
+            Event::RecoveryApplied { action: RecoveryKind::Rehome, target: 1 }.level(),
+            Level::Info
+        );
+    }
+
+    #[test]
     fn kind_tags_are_distinct() {
         let events = [
             Event::IntervalStarted { interval: 0, active: 0 },
@@ -307,6 +500,14 @@ mod tests {
             Event::WolRetry { host: 0, attempt: 1 },
             Event::PageFaultFetched { vm: 0, page: 0 },
             Event::CapacityExhausted { host: 0 },
+            Event::FaultInjected { fault: FaultClass::WakeFailure, host: 0 },
+            Event::WakeFailed { host: 0, attempt: 1 },
+            Event::WakeAbandoned { host: 0, attempts: 6 },
+            Event::MemServerCrashed { host: 0 },
+            Event::MemServerRestarted { host: 0 },
+            Event::MigrationStalled { vm: 0, from: 0, to: 0 },
+            Event::MigrationAborted { vm: 0, from: 0, to: 0, attempts: 3 },
+            Event::RecoveryApplied { action: RecoveryKind::Rehome, target: 0 },
             Event::BenchSample { name: String::new(), ns_per_iter: 0, iters: 0 },
             Event::Note { text: String::new() },
         ];

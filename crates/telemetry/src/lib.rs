@@ -37,7 +37,7 @@ pub mod metrics;
 pub mod span;
 pub mod subscriber;
 
-pub use event::{Event, EventRecord, Level, MigrationKind};
+pub use event::{Event, EventRecord, FaultClass, Level, MigrationKind, RecoveryKind, CLUSTER_WIDE};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use span::Span;
 pub use subscriber::{JsonlSink, RingSink, Subscriber};

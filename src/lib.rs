@@ -12,6 +12,8 @@
 //! * [`mem`] — guest memory: page tables, dirty tracking, compression,
 //!   working-set models.
 //! * [`net`] — links, fair-share transfers, SAS channel, Wake-on-LAN.
+//! * [`faults`] — deterministic fault-injection schedules and the shared
+//!   retry/backoff machinery behind every recovery path.
 //! * [`trace`] — VDI user-activity traces and the synthetic activity model.
 //! * [`vm`] — the VM state machine, workload classes and the application
 //!   catalog.
@@ -48,6 +50,7 @@
 
 pub use oasis_cluster as cluster;
 pub use oasis_core as core;
+pub use oasis_faults as faults;
 pub use oasis_host as host;
 pub use oasis_mem as mem;
 pub use oasis_migration as migration;

@@ -1,0 +1,123 @@
+//! Property-based tests for the fault-injection and recovery layer.
+//!
+//! Uses the in-tree [`oasis::sim::check`] harness: random small clusters
+//! run full days under random fault schedules, and the recovery
+//! invariants must hold for every draw.
+
+use oasis::cluster::{ClusterConfig, ClusterSim};
+use oasis::core::PolicyKind;
+use oasis::faults::{FaultProfile, FaultSchedule};
+use oasis::sim::check::{run, Gen};
+use oasis::sim::{SimDuration, SimTime};
+use oasis::trace::DayKind;
+
+/// Random fault mixes never corrupt placements, and the energy integral
+/// stays physical: non-negative, monotone, and consistent with the total.
+#[test]
+fn random_fault_days_stay_sound() {
+    run(12, |g: &mut Gen| {
+        let homes = g.u32_in(2, 6);
+        let cons = g.u32_in(1, 3);
+        let vms = g.u32_in(2, 12);
+        let profile = if g.bool() { FaultProfile::light() } else { FaultProfile::heavy() };
+        let schedule =
+            FaultSchedule::random(profile, homes + cons, SimDuration::from_hours(24), g.u64());
+        let day = if g.bool() { DayKind::Weekend } else { DayKind::Weekday };
+        let cfg = ClusterConfig::builder()
+            .home_hosts(homes)
+            .consolidation_hosts(cons)
+            .vms_per_host(vms)
+            .policy(PolicyKind::FullToPartial)
+            .day(day)
+            .seed(g.u64())
+            .faults(schedule.clone())
+            .build()
+            .expect("valid configuration");
+        let report = ClusterSim::new(cfg).run_day();
+
+        // Partial VM state is always reachable: every VM placed exactly
+        // once, on a real host, never as a partial replica at its own
+        // home.
+        let violations = report.integrity_violations();
+        assert!(
+            violations.is_empty(),
+            "under {}:\n{}",
+            report.faults.summary_line(),
+            violations.join("\n")
+        );
+
+        // No partial VM may end the day homed at a host whose memory
+        // server is still down (re-homed at crash onset, and new
+        // consolidations degrade to full while the window holds).
+        let last_boundary = SimTime::from_secs(86_400 - 300);
+        for p in &report.placements {
+            if p.partial {
+                assert!(
+                    schedule.memserver_down(p.home, last_boundary).is_none(),
+                    "vm {} partial with a crashed memory server at home {}",
+                    p.vm,
+                    p.home
+                );
+            }
+        }
+
+        // The cumulative energy series is non-negative, monotone
+        // non-decreasing, covers the day, and lands on the total.
+        let points = report.energy_series.points();
+        assert_eq!(points.len(), 288);
+        let mut prev = 0.0;
+        for &(_, kwh) in points {
+            assert!(kwh >= prev, "energy integral decreased: {kwh} < {prev}");
+            prev = kwh;
+        }
+        assert!((prev - report.total_kwh).abs() < 1e-9);
+        assert!(report.baseline_kwh > 0.0);
+
+        // Recovery bookkeeping is self-consistent: exhaustion never
+        // exceeds observed failures, and every recorded recovery time
+        // belongs to a counted recovery action.
+        assert!(report.faults.wake_exhausted <= report.faults.wake_failures);
+        assert!(
+            report.faults.recoveries
+                >= report.faults.fallback_promotions + report.faults.rehomed_vms
+        );
+        assert!((report.recovery_times.len() as u64) <= report.faults.recoveries);
+    });
+}
+
+/// An explicitly empty schedule is indistinguishable from the default
+/// configuration: same energy, same migrations, same placements, and a
+/// fault ledger that is exactly zero.
+#[test]
+fn zero_fault_schedule_changes_nothing() {
+    run(8, |g: &mut Gen| {
+        let homes = g.u32_in(1, 6);
+        let cons = g.u32_in(1, 3);
+        let vms = g.u32_in(1, 12);
+        let policy = *g.pick(&PolicyKind::ALL);
+        let seed = g.u64();
+        let build = |faults: Option<FaultSchedule>| {
+            let mut b = ClusterConfig::builder()
+                .home_hosts(homes)
+                .consolidation_hosts(cons)
+                .vms_per_host(vms)
+                .policy(policy)
+                .seed(seed);
+            if let Some(f) = faults {
+                b = b.faults(f);
+            }
+            b.build().expect("valid configuration")
+        };
+        let mut baseline = ClusterSim::new(build(None)).run_day();
+        let mut explicit = ClusterSim::new(build(Some(FaultSchedule::none()))).run_day();
+        assert!(explicit.faults.is_empty(), "{}", explicit.faults.summary_line());
+        assert!(explicit.recovery_times.is_empty());
+        assert_eq!(baseline.summary_line(), explicit.summary_line());
+        assert_eq!(baseline.placements, explicit.placements);
+        assert_eq!(baseline.migrations, explicit.migrations);
+        assert_eq!(
+            baseline.transition_delays.quantile(1.0),
+            explicit.transition_delays.quantile(1.0)
+        );
+    });
+}
