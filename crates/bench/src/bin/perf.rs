@@ -1,0 +1,215 @@
+//! Macro-benchmark: the simulator's wall-clock baseline.
+//!
+//! Times two representative workloads and writes a machine-readable
+//! report so the perf trajectory has a committed baseline and CI can
+//! catch regressions:
+//!
+//! * **day** — one full simulated day (FulltoPartial, weekday, 4
+//!   consolidation hosts), reported as wall seconds and simulated
+//!   seconds per wall second;
+//! * **sweep** — a figure8-style sweep (every figure-8 policy × the
+//!   consolidation-host axis × `OASIS_RUNS` seeds), run once on one
+//!   worker and once on `OASIS_JOBS` workers (default 4), reported as
+//!   wall seconds, simulations per second, and parallel speedup.
+//!
+//! Environment: `OASIS_PERF_SCALE=paper|smoke` picks the cluster scale
+//! (default `smoke`, the committed-baseline configuration), `OASIS_RUNS`
+//! the seeds per sweep point (default 5), `OASIS_JOBS` the parallel
+//! worker count (default 4), and `OASIS_PERF_OUT` the report path
+//! (default `BENCH_sim.json`).
+//!
+//! `perf --check <baseline.json>` re-runs the bench and exits non-zero
+//! if either throughput drops below half the baseline's (a >2x
+//! regression), which is what CI's bench-smoke job enforces.
+
+use oasis_bench::timing::wall;
+use oasis_bench::{outln, runs, Reporter};
+use oasis_cluster::experiments::{figure8_at, run_one_at, Scale, CONS_SWEEP};
+use oasis_core::PolicyKind;
+use oasis_sim::pool::JOBS_ENV;
+use oasis_sim::WorkerPool;
+use oasis_trace::DayKind;
+
+/// Simulated seconds in the day workload (288 five-minute intervals).
+const DAY_SIM_SECS: f64 = 86_400.0;
+
+/// Wall-clock throughput measurements for one perf run.
+struct PerfReport {
+    scale_name: String,
+    jobs: usize,
+    sweep_sims: usize,
+    day_wall_secs: f64,
+    day_sim_secs_per_sec: f64,
+    sweep_seq_wall_secs: f64,
+    sweep_par_wall_secs: f64,
+    sweep_seq_sims_per_sec: f64,
+    sweep_par_sims_per_sec: f64,
+    speedup: f64,
+}
+
+impl PerfReport {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"perf\",\n  \"scale\": \"{}\",\n  \"jobs\": {},\n  \
+             \"sweep_sims\": {},\n  \"day_wall_secs\": {:.4},\n  \
+             \"day_sim_secs_per_sec\": {:.1},\n  \"sweep_seq_wall_secs\": {:.4},\n  \
+             \"sweep_par_wall_secs\": {:.4},\n  \"sweep_seq_sims_per_sec\": {:.3},\n  \
+             \"sweep_par_sims_per_sec\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
+            self.scale_name,
+            self.jobs,
+            self.sweep_sims,
+            self.day_wall_secs,
+            self.day_sim_secs_per_sec,
+            self.sweep_seq_wall_secs,
+            self.sweep_par_wall_secs,
+            self.sweep_seq_sims_per_sec,
+            self.sweep_par_sims_per_sec,
+            self.speedup,
+        )
+    }
+}
+
+/// Extracts a `"key": number` field from the flat report JSON.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let num: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+fn scale_from_env() -> (Scale, String) {
+    match std::env::var("OASIS_PERF_SCALE").as_deref() {
+        Ok("paper") => (Scale::PAPER, "paper".to_string()),
+        Ok("smoke") | Err(_) => (Scale::SMOKE, "smoke".to_string()),
+        Ok(other) => {
+            eprintln!("perf: unknown OASIS_PERF_SCALE {other:?} (paper|smoke)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_perf(out: &Reporter) -> PerfReport {
+    let (scale, scale_name) = scale_from_env();
+    let runs = runs();
+    let jobs = std::env::var(JOBS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let sweep_sims = PolicyKind::FIGURE8.len() * CONS_SWEEP.len() * runs as usize;
+
+    out.banner("perf", "macro-benchmark: day + figure8-style sweep");
+    outln!(out, "(scale {scale_name}: {} homes × {} VMs;", scale.home_hosts, scale.vms_per_host);
+    outln!(out, " {runs} runs per sweep point; {jobs} parallel workers)");
+
+    // Workload 1: one full simulated day.
+    let (_, day_wall_secs) =
+        wall(|| run_one_at(scale, PolicyKind::FullToPartial, DayKind::Weekday, 4, 1));
+    let day_sim_secs_per_sec = DAY_SIM_SECS / day_wall_secs;
+    outln!(out, "day:    {day_wall_secs:>8.3}s wall   {day_sim_secs_per_sec:>10.0} sim-secs/sec");
+    out.sample("day", (day_wall_secs * 1e9) as u64, 1);
+
+    // Workload 2: the sweep, sequential then parallel. The results must
+    // agree exactly — the pool's order-preserving map is what makes the
+    // parallel path trustworthy enough to benchmark.
+    let seq = WorkerPool::sequential();
+    let par = WorkerPool::new(jobs);
+    let (seq_points, sweep_seq_wall_secs) =
+        wall(|| figure8_at(&seq, scale, DayKind::Weekday, runs));
+    let (par_points, sweep_par_wall_secs) =
+        wall(|| figure8_at(&par, scale, DayKind::Weekday, runs));
+    assert_eq!(seq_points, par_points, "parallel sweep diverged from sequential");
+
+    let sweep_seq_sims_per_sec = sweep_sims as f64 / sweep_seq_wall_secs;
+    let sweep_par_sims_per_sec = sweep_sims as f64 / sweep_par_wall_secs;
+    let speedup = sweep_seq_wall_secs / sweep_par_wall_secs;
+    outln!(
+        out,
+        "sweep:  {sweep_seq_wall_secs:>8.3}s seq    {sweep_seq_sims_per_sec:>10.2} sims/sec  ({sweep_sims} sims)"
+    );
+    outln!(
+        out,
+        "        {sweep_par_wall_secs:>8.3}s par    {sweep_par_sims_per_sec:>10.2} sims/sec  ({speedup:.2}x speedup)"
+    );
+    out.sample("sweep_seq", (sweep_seq_wall_secs * 1e9) as u64, 1);
+    out.sample("sweep_par", (sweep_par_wall_secs * 1e9) as u64, 1);
+
+    PerfReport {
+        scale_name,
+        jobs,
+        sweep_sims,
+        day_wall_secs,
+        day_sim_secs_per_sec,
+        sweep_seq_wall_secs,
+        sweep_par_wall_secs,
+        sweep_seq_sims_per_sec,
+        sweep_par_sims_per_sec,
+        speedup,
+    }
+}
+
+/// Compares a fresh run against a committed baseline; a >2x throughput
+/// drop on either workload fails the check.
+fn check(report: &PerfReport, baseline_path: &str, out: &Reporter) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("perf: cannot read baseline {baseline_path}: {err}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    for (name, current, key) in [
+        ("day", report.day_sim_secs_per_sec, "day_sim_secs_per_sec"),
+        ("sweep(par)", report.sweep_par_sims_per_sec, "sweep_par_sims_per_sec"),
+    ] {
+        let Some(base) = json_f64(&text, key) else {
+            eprintln!("perf: baseline {baseline_path} is missing {key}");
+            ok = false;
+            continue;
+        };
+        let ratio = base / current.max(1e-12);
+        if ratio > 2.0 {
+            eprintln!(
+                "perf: REGRESSION on {name}: {current:.2} vs baseline {base:.2} ({ratio:.2}x slower)"
+            );
+            ok = false;
+        } else {
+            outln!(out, "check {name}: {current:.2} vs baseline {base:.2} — ok");
+        }
+    }
+    ok
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let baseline = match argv.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--check" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: perf [--check BASELINE.json]");
+            std::process::exit(2);
+        }
+    };
+
+    let out = Reporter::new("perf");
+    let report = run_perf(&out);
+
+    let out_path = std::env::var("OASIS_PERF_OUT").unwrap_or_else(|_| "BENCH_sim.json".to_string());
+    if let Err(err) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("perf: cannot write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    outln!(out, "wrote {out_path}");
+
+    if let Some(path) = baseline {
+        if !check(&report, &path, &out) {
+            std::process::exit(1);
+        }
+        outln!(out, "no >2x regression vs {path}");
+    }
+}

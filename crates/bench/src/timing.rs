@@ -33,6 +33,18 @@ fn measure(f: &mut impl FnMut()) -> (f64, u64) {
     }
 }
 
+/// Times one invocation of `f`, returning its result and the elapsed
+/// wall-clock seconds.
+///
+/// This is the macro-benchmark entry point: oasis-lint confines
+/// `std::time` to this module, so `perf` and friends must take their
+/// wall readings here rather than touching [`Instant`] directly.
+pub fn wall<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
 /// Runs one benchmark and prints its mean cost per iteration.
 pub fn bench(name: &str, mut f: impl FnMut()) {
     let (ns, iters) = measure(&mut f);

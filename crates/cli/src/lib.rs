@@ -9,6 +9,7 @@
 //!              [--fault-profile light|heavy] [--trace-out PATH]
 //!              [--metrics-out PATH] [--log-level off|warn|info|debug]
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
+//!              [--jobs N]
 //! oasis micro  [--seed S]
 //! oasis trace  generate [--users N] [--weeks N] [--seed S] [--out PATH]
 //! oasis trace  stats <PATH>
@@ -19,13 +20,13 @@
 pub mod args;
 
 use args::Args;
-use oasis_cluster::experiments::run_week;
+use oasis_cluster::experiments::run_week_on;
 use oasis_cluster::{ClusterConfig, ClusterSim};
 use oasis_core::PolicyKind;
 use oasis_faults::{FaultProfile, FaultSchedule};
 use oasis_migration::lab::MicroLab;
 use oasis_power::MemoryServerProfile;
-use oasis_sim::SimDuration;
+use oasis_sim::{SimDuration, WorkerPool};
 use oasis_telemetry::{JsonlSink, Level, Telemetry};
 use oasis_trace::{ActivityModel, DayKind, TraceSet};
 use oasis_vm::apps::DesktopWorkload;
@@ -40,7 +41,7 @@ fn usage() -> ! {
          \x20             [--memserver-watts 42.2] [--faults schedule.txt] \\\n\
          \x20             [--fault-profile light|heavy] [--trace-out events.jsonl] \\\n\
          \x20             [--metrics-out metrics.prom] [--log-level debug]\n\
-         oasis week   --policy FulltoPartial --seed 1\n\
+         oasis week   --policy FulltoPartial --seed 1 [--jobs N]\n\
          oasis micro  --seed 1\n\
          oasis trace  generate --users 22 --weeks 17 --seed 1 --out traces.txt\n\
          oasis trace  stats traces.txt"
@@ -108,8 +109,30 @@ fn cluster_config(args: &Args) -> ClusterConfig {
     builder.build().unwrap_or_else(|e| fail(e))
 }
 
-const BASE_FLAGS: &[&str] =
-    &["policy", "day", "homes", "cons", "vms", "seed", "interval-mins", "memserver-watts", "trace"];
+const BASE_FLAGS: &[&str] = &[
+    "policy",
+    "day",
+    "homes",
+    "cons",
+    "vms",
+    "seed",
+    "interval-mins",
+    "memserver-watts",
+    "trace",
+    "jobs",
+];
+
+/// The worker pool requested by `--jobs`, falling back to `OASIS_JOBS`
+/// and then the machine's available parallelism.
+fn pool_from(args: &Args) -> WorkerPool {
+    match args.get("jobs") {
+        Some(v) => {
+            let jobs: usize = v.parse().unwrap_or_else(|_| fail("bad --jobs (want a count ≥ 1)"));
+            WorkerPool::new(jobs)
+        }
+        None => WorkerPool::from_env(),
+    }
+}
 
 const SIM_FLAGS: &[&str] = &[
     "policy",
@@ -191,7 +214,7 @@ fn cmd_sim(args: Args) {
 
 fn cmd_week(args: Args) {
     let cfg = cluster_config(&args);
-    let week = run_week(&cfg);
+    let week = run_week_on(&pool_from(&args), &cfg);
     for (i, day) in week.days.iter().enumerate() {
         println!("day {}: {}", i + 1, day.summary_line());
     }

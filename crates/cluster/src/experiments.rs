@@ -4,16 +4,50 @@
 //! that the `oasis-bench` binaries print as rows/series. The paper's
 //! defaults — 30 home hosts, 4 consolidation hosts, 900 VMs, 5 averaged
 //! runs — are baked in but scale down for quick runs via the `runs`
-//! parameters.
+//! parameters and [`Scale`].
+//!
+//! ## Parallel execution
+//!
+//! Every run inside an experiment is an independent seeded day-simulation,
+//! so each sweep fans its `run_one` calls across a
+//! [`oasis_sim::pool::WorkerPool`] (sized by `--jobs`/`OASIS_JOBS`, default
+//! = available parallelism). Results are collected in input order and
+//! aggregated in exactly the sequence the sequential loops used, so the
+//! output is byte-identical to a `--jobs 1` run — the equivalence suite in
+//! `tests/parallel_equivalence.rs` pins this down.
 
 use oasis_core::PolicyKind;
 use oasis_power::MemoryServerProfile;
+use oasis_sim::pool::WorkerPool;
 use oasis_sim::stats::mean_and_std;
 use oasis_trace::DayKind;
 
 use crate::config::ClusterConfig;
 use crate::results::SimReport;
 use crate::sim::ClusterSim;
+
+/// Cluster scale an experiment runs at.
+///
+/// [`Scale::PAPER`] is §5.1's rack; [`Scale::SMOKE`] is the reduced rack
+/// the perf bench and CI smoke jobs use so a sweep finishes in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of home (compute) hosts.
+    pub home_hosts: u32,
+    /// VMs packed per home host.
+    pub vms_per_host: u32,
+}
+
+impl Scale {
+    /// The paper's §5.1 deployment: 30 home hosts × 30 VMs.
+    pub const PAPER: Scale = Scale { home_hosts: 30, vms_per_host: 30 };
+
+    /// A reduced rack for smoke/perf runs: 6 home hosts × 10 VMs.
+    pub const SMOKE: Scale = Scale { home_hosts: 6, vms_per_host: 10 };
+}
+
+/// The consolidation-host sweep shared by Figures 8 and 11.
+pub const CONS_SWEEP: [u32; 6] = [2, 4, 6, 8, 10, 12];
 
 /// Aggregate of a simulated week (five weekdays + two weekend days).
 #[derive(Clone, Debug)]
@@ -31,21 +65,30 @@ pub struct WeekReport {
 /// Simulates a full week: five weekdays then two weekend days, each with
 /// an independently sampled user population.
 pub fn run_week(base: &ClusterConfig) -> WeekReport {
-    let mut days = Vec::with_capacity(7);
-    for dow in 0..7u64 {
-        let day = if dow < 5 { DayKind::Weekday } else { DayKind::Weekend };
-        let mut cfg = base.clone();
-        cfg.day = day;
-        cfg.seed = base.seed.wrapping_mul(7).wrapping_add(dow + 1);
-        days.push(ClusterSim::new(cfg).run_day());
-    }
+    run_week_on(&WorkerPool::from_env(), base)
+}
+
+/// [`run_week`] on an explicit worker pool: the seven days are seeded
+/// independently, so they fan across the pool and are reassembled
+/// Monday-first.
+pub fn run_week_on(pool: &WorkerPool, base: &ClusterConfig) -> WeekReport {
+    let cfgs: Vec<ClusterConfig> = (0..7u64)
+        .map(|dow| {
+            let day = if dow < 5 { DayKind::Weekday } else { DayKind::Weekend };
+            let mut cfg = base.clone();
+            cfg.day = day;
+            cfg.seed = base.seed.wrapping_mul(7).wrapping_add(dow + 1);
+            cfg
+        })
+        .collect();
+    let days = pool.map(cfgs, |cfg| ClusterSim::new(cfg).run_day());
     let baseline_kwh: f64 = days.iter().map(|d| d.baseline_kwh).sum();
     let total_kwh: f64 = days.iter().map(|d| d.total_kwh).sum();
     WeekReport { days, savings: 1.0 - total_kwh / baseline_kwh, baseline_kwh, total_kwh }
 }
 
 /// One Figure 8 data point: mean ± std of energy savings over runs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SavingsPoint {
     /// Policy evaluated.
     pub policy: PolicyKind,
@@ -59,11 +102,24 @@ pub struct SavingsPoint {
     pub std_dev: f64,
 }
 
-/// Runs one simulated day with the given overrides.
+/// Runs one simulated day with the given overrides at paper scale.
 pub fn run_one(policy: PolicyKind, day: DayKind, consolidation_hosts: u32, seed: u64) -> SimReport {
+    run_one_at(Scale::PAPER, policy, day, consolidation_hosts, seed)
+}
+
+/// Runs one simulated day at an explicit [`Scale`].
+pub fn run_one_at(
+    scale: Scale,
+    policy: PolicyKind,
+    day: DayKind,
+    consolidation_hosts: u32,
+    seed: u64,
+) -> SimReport {
     let cfg = ClusterConfig::builder()
         .policy(policy)
         .day(day)
+        .home_hosts(scale.home_hosts)
+        .vms_per_host(scale.vms_per_host)
         .consolidation_hosts(consolidation_hosts)
         .seed(seed)
         .build()
@@ -80,12 +136,29 @@ pub fn figure7(day: DayKind, seed: u64) -> SimReport {
 /// Figure 8: energy savings per policy as consolidation hosts vary, with
 /// `runs` repetitions per point.
 pub fn figure8(day: DayKind, runs: u64) -> Vec<SavingsPoint> {
-    let mut points = Vec::new();
+    figure8_at(&WorkerPool::from_env(), Scale::PAPER, day, runs)
+}
+
+/// [`figure8`] on an explicit pool and scale. Every (policy, host-count,
+/// seed) cell is one independent simulation; the whole sweep fans out
+/// flat and is re-chunked per point afterwards, so the mean/std
+/// aggregation consumes runs in the same order as the sequential loop.
+pub fn figure8_at(pool: &WorkerPool, scale: Scale, day: DayKind, runs: u64) -> Vec<SavingsPoint> {
+    let mut tasks = Vec::new();
     for policy in PolicyKind::FIGURE8 {
-        for cons in [2u32, 4, 6, 8, 10, 12] {
-            let savings: Vec<f64> =
-                (0..runs).map(|r| run_one(policy, day, cons, 1 + r).energy_savings).collect();
-            let (mean, std_dev) = mean_and_std(&savings);
+        for cons in CONS_SWEEP {
+            for r in 0..runs {
+                tasks.push((policy, cons, 1 + r));
+            }
+        }
+    }
+    let savings = pool.map(tasks, |(p, c, seed)| run_one_at(scale, p, day, c, seed).energy_savings);
+    let mut points = Vec::new();
+    let mut cells = savings.chunks(runs.max(1) as usize);
+    for policy in PolicyKind::FIGURE8 {
+        for cons in CONS_SWEEP {
+            let vals = cells.next().expect("one cell per (policy, cons) pair");
+            let (mean, std_dev) = mean_and_std(vals);
             points.push(SavingsPoint { policy, day, consolidation_hosts: cons, mean, std_dev });
         }
     }
@@ -95,50 +168,60 @@ pub fn figure8(day: DayKind, runs: u64) -> Vec<SavingsPoint> {
 /// Figure 9: consolidation-ratio CDFs for Default vs FulltoPartial (and
 /// NewHome, which the paper shows overlapping FulltoPartial).
 pub fn figure9(day: DayKind, seed: u64) -> Vec<(PolicyKind, SimReport)> {
-    [PolicyKind::Default, PolicyKind::FullToPartial, PolicyKind::NewHome]
-        .into_iter()
-        .map(|p| (p, run_one(p, day, 4, seed)))
-        .collect()
+    let policies = [PolicyKind::Default, PolicyKind::FullToPartial, PolicyKind::NewHome];
+    WorkerPool::from_env().map(policies.to_vec(), |p| (p, run_one(p, day, 4, seed)))
 }
 
 /// Figure 10: weekday transfer breakdown per policy.
 pub fn figure10(seed: u64) -> Vec<(PolicyKind, SimReport)> {
-    PolicyKind::FIGURE8.into_iter().map(|p| (p, run_one(p, DayKind::Weekday, 4, seed))).collect()
+    WorkerPool::from_env()
+        .map(PolicyKind::FIGURE8.to_vec(), |p| (p, run_one(p, DayKind::Weekday, 4, seed)))
 }
 
 /// Figure 11: idle→active delay distributions for 2–12 consolidation
 /// hosts under FulltoPartial.
 pub fn figure11(day: DayKind, seed: u64) -> Vec<(u32, SimReport)> {
-    [2u32, 4, 6, 8, 10, 12]
-        .into_iter()
-        .map(|c| (c, run_one(PolicyKind::FullToPartial, day, c, seed)))
-        .collect()
+    WorkerPool::from_env()
+        .map(CONS_SWEEP.to_vec(), |c| (c, run_one(PolicyKind::FullToPartial, day, c, seed)))
 }
 
 /// Table 3: energy savings under alternative memory-server power budgets.
 pub fn table3(runs: u64) -> Vec<(f64, f64, f64)> {
-    // Returns (memserver watts, weekday savings, weekend savings).
-    MemoryServerProfile::table3_budgets()
+    table3_at(&WorkerPool::from_env(), Scale::PAPER, runs)
+}
+
+/// [`table3`] on an explicit pool and scale. Returns rows of
+/// (memserver watts, weekday savings, weekend savings).
+pub fn table3_at(pool: &WorkerPool, scale: Scale, runs: u64) -> Vec<(f64, f64, f64)> {
+    let budgets = MemoryServerProfile::table3_budgets();
+    let mut tasks = Vec::new();
+    for ms in &budgets {
+        for day in [DayKind::Weekday, DayKind::Weekend] {
+            for r in 0..runs {
+                tasks.push((*ms, day, 1 + r));
+            }
+        }
+    }
+    let savings = pool.map(tasks, |(ms, day, seed)| {
+        let cfg = ClusterConfig::builder()
+            .policy(PolicyKind::FullToPartial)
+            .day(day)
+            .home_hosts(scale.home_hosts)
+            .vms_per_host(scale.vms_per_host)
+            .consolidation_hosts(4)
+            .memserver(ms)
+            .seed(seed)
+            .build()
+            .expect("valid configuration");
+        ClusterSim::new(cfg).run_day().energy_savings
+    });
+    let mut cells = savings.chunks(runs.max(1) as usize);
+    budgets
         .into_iter()
         .map(|ms| {
-            let mut day_savings = [0.0f64; 2];
-            for (slot, day) in [DayKind::Weekday, DayKind::Weekend].into_iter().enumerate() {
-                let vals: Vec<f64> = (0..runs)
-                    .map(|r| {
-                        let cfg = ClusterConfig::builder()
-                            .policy(PolicyKind::FullToPartial)
-                            .day(day)
-                            .consolidation_hosts(4)
-                            .memserver(ms)
-                            .seed(1 + r)
-                            .build()
-                            .expect("valid configuration");
-                        ClusterSim::new(cfg).run_day().energy_savings
-                    })
-                    .collect();
-                day_savings[slot] = mean_and_std(&vals).0;
-            }
-            (ms.active_watts, day_savings[0], day_savings[1])
+            let weekday = mean_and_std(cells.next().expect("weekday cell")).0;
+            let weekend = mean_and_std(cells.next().expect("weekend cell")).0;
+            (ms.active_watts, weekday, weekend)
         })
         .collect()
 }
@@ -149,30 +232,42 @@ pub fn table3(runs: u64) -> Vec<(f64, f64, f64)> {
 /// 30/45/50/60/90 VMs per host); hosts are given enough DRAM for the
 /// denser packings.
 pub fn figure12(day: DayKind, runs: u64) -> Vec<(u32, u32, u32, f64, f64)> {
-    // (home hosts, consolidation hosts, vms/host, mean savings, std).
+    figure12_on(&WorkerPool::from_env(), day, runs)
+}
+
+/// [`figure12`] on an explicit pool. Returns rows of
+/// (home hosts, consolidation hosts, vms/host, mean savings, std).
+pub fn figure12_on(pool: &WorkerPool, day: DayKind, runs: u64) -> Vec<(u32, u32, u32, f64, f64)> {
     let combos: Vec<(u32, u32)> = vec![(30, 30), (20, 45), (18, 50), (15, 60), (10, 90)];
+    let mut tasks = Vec::new();
+    for &(homes, vms_per_host) in &combos {
+        for cons in [2u32, 3, 4] {
+            for r in 0..runs {
+                tasks.push((homes, vms_per_host, cons, 1 + r));
+            }
+        }
+    }
+    let savings = pool.map(tasks, |(homes, vms_per_host, cons, seed)| {
+        let cfg = ClusterConfig::builder()
+            .policy(PolicyKind::FullToPartial)
+            .day(day)
+            .home_hosts(homes)
+            .vms_per_host(vms_per_host)
+            .consolidation_hosts(cons)
+            // Dense packings need bigger hosts (4 GiB × 90 VMs).
+            .host_memory(oasis_mem::ByteSize::gib(
+                (u64::from(vms_per_host) * 4).next_multiple_of(64).max(128),
+            ))
+            .seed(seed)
+            .build()
+            .expect("valid configuration");
+        ClusterSim::new(cfg).run_day().energy_savings
+    });
+    let mut cells = savings.chunks(runs.max(1) as usize);
     let mut out = Vec::new();
     for (homes, vms_per_host) in combos {
         for cons in [2u32, 3, 4] {
-            let vals: Vec<f64> = (0..runs)
-                .map(|r| {
-                    let cfg = ClusterConfig::builder()
-                        .policy(PolicyKind::FullToPartial)
-                        .day(day)
-                        .home_hosts(homes)
-                        .vms_per_host(vms_per_host)
-                        .consolidation_hosts(cons)
-                        // Dense packings need bigger hosts (4 GiB × 90 VMs).
-                        .host_memory(oasis_mem::ByteSize::gib(
-                            (u64::from(vms_per_host) * 4).next_multiple_of(64).max(128),
-                        ))
-                        .seed(1 + r)
-                        .build()
-                        .expect("valid configuration");
-                    ClusterSim::new(cfg).run_day().energy_savings
-                })
-                .collect();
-            let (mean, std_dev) = mean_and_std(&vals);
+            let (mean, std_dev) = mean_and_std(cells.next().expect("one cell per combo"));
             out.push((homes, cons, vms_per_host, mean, std_dev));
         }
     }
@@ -307,5 +402,17 @@ mod tests {
         assert_eq!(a.migrations, b.migrations);
         let c = small(PolicyKind::FullToPartial, DayKind::Weekday, 10);
         assert_ne!(a.energy_savings, c.energy_savings);
+    }
+
+    #[test]
+    fn figure8_at_smoke_scale_produces_the_full_grid() {
+        let points = figure8_at(&WorkerPool::new(2), Scale::SMOKE, DayKind::Weekday, 2);
+        assert_eq!(points.len(), PolicyKind::FIGURE8.len() * CONS_SWEEP.len());
+        // Rows iterate policies outer, host counts inner — the order the
+        // fig08 binary prints.
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.consolidation_hosts, CONS_SWEEP[i % CONS_SWEEP.len()]);
+            assert_eq!(p.policy, PolicyKind::FIGURE8[i / CONS_SWEEP.len()]);
+        }
     }
 }

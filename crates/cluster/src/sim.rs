@@ -173,6 +173,26 @@ struct SimVm {
     uploaded_once: bool,
 }
 
+/// Incrementally maintained per-host residency index.
+///
+/// The planning tick and energy accounting used to rescan the full VM
+/// vector once per host per query (`O(hosts × VMs)` per interval); these
+/// indices are updated at every placement/state mutation instead, turning
+/// the per-interval cost into `O(changes)`. The resident list is kept in
+/// ascending VM-index order so every consumer observes exactly the order
+/// the old full scans produced — byte-identical results are part of the
+/// contract, not an accident.
+#[derive(Clone, Debug, Default)]
+struct Residency {
+    /// Indices into `ClusterSim::vms` of the VMs resident on this host,
+    /// ascending.
+    vms: Vec<usize>,
+    /// Sum of the residents' memory demand.
+    demand: ByteSize,
+    /// Number of residents whose state is active.
+    active: usize,
+}
+
 /// The trace-driven cluster simulator.
 pub struct ClusterSim {
     cfg: ClusterConfig,
@@ -180,6 +200,11 @@ pub struct ClusterSim {
     manager: ClusterManager,
     hosts: Vec<SimHost>,
     vms: Vec<SimVm>,
+    /// Per-host residency index, parallel to `hosts`.
+    residency: Vec<Residency>,
+    /// Per-host count of partial VMs homed there but located elsewhere
+    /// (their memory server must stay powered while the host sleeps).
+    home_partials: Vec<u32>,
     users: Vec<UserDay>,
     wss_dist: IdleWssDistribution,
     traffic: TrafficAccountant,
@@ -307,6 +332,14 @@ impl ClusterSim {
             cfg.seed,
         );
 
+        let mut residency = vec![Residency::default(); hosts.len()];
+        for (vi, vm) in vms.iter().enumerate() {
+            let r = &mut residency[vm.location.0 as usize];
+            r.vms.push(vi);
+            r.demand += vm.demand;
+        }
+        let home_partials = vec![0; hosts.len()];
+
         let recovery_rng = SimRng::new(cfg.seed ^ 0xFA17_5EED);
         ClusterSim {
             cfg,
@@ -314,6 +347,8 @@ impl ClusterSim {
             manager,
             hosts,
             vms,
+            residency,
+            home_partials,
             users,
             wss_dist,
             traffic: TrafficAccountant::new(),
@@ -457,11 +492,10 @@ impl ClusterSim {
         }
         let remaining = self.vms[vi].allocation - self.vms[vi].demand;
         self.traffic.record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
-        let vm = &mut self.vms[vi];
-        vm.partial = false;
-        vm.demand = vm.allocation;
-        vm.consolidated_since = None;
-        let target = vm.id.0;
+        self.set_vm_partial(vi, false);
+        self.set_vm_demand(vi, self.vms[vi].allocation);
+        self.vms[vi].consolidated_since = None;
+        let target = self.vms[vi].id.0;
         self.counts.promotions += 1;
         self.fault_counts.fallback_promotions += 1;
         self.fault_counts.recoveries += 1;
@@ -478,27 +512,26 @@ impl ClusterSim {
         let src = self.vms[vi].location;
         let capacity = self.cfg.effective_capacity();
         let need = self.vms[vi].allocation;
+        // One deterministic pass over the residency index: the first
+        // powered host with headroom wins outright; the first wakeable
+        // sleeper is remembered as the fallback. Identical selection to
+        // the old two-pass scan (lowest-id powered, then lowest-id
+        // wakeable) at half the host walks, with O(1) demand lookups.
+        let mut sleeper = None;
         let mut dest = None;
         for h in &self.hosts {
-            if h.id != src && h.powered && self.demand_on(h.id) + need <= capacity {
+            if h.id == src || self.demand_on(h.id) + need > capacity {
+                continue;
+            }
+            if h.powered {
                 dest = Some(h.id);
                 break;
             }
-        }
-        if dest.is_none() {
-            for h in &self.hosts {
-                if h.id == src || h.powered {
-                    continue;
-                }
-                if self.cfg.faults.wake_failure(h.id.0, now).is_none()
-                    && self.demand_on(h.id) + need <= capacity
-                {
-                    dest = Some(h.id);
-                    break;
-                }
+            if sleeper.is_none() && self.cfg.faults.wake_failure(h.id.0, now).is_none() {
+                sleeper = Some(h.id);
             }
         }
-        let Some(dest) = dest else { return false };
+        let Some(dest) = dest.or(sleeper) else { return false };
         let di = self.host_index(dest);
         if self.try_wake(di, 0.0, now).is_err() {
             return false;
@@ -513,12 +546,11 @@ impl ClusterSim {
             moved_bytes: moved.as_bytes(),
             downtime_us: self.stretch(self.cfg.full_migration_time).as_micros(),
         });
-        let vm = &mut self.vms[vi];
-        vm.location = dest;
-        vm.partial = false;
-        vm.demand = vm.allocation;
-        vm.consolidated_since = None;
-        let target = vm.id.0;
+        self.move_vm_to(vi, dest);
+        self.set_vm_partial(vi, false);
+        self.set_vm_demand(vi, self.vms[vi].allocation);
+        self.vms[vi].consolidated_since = None;
+        let target = self.vms[vi].id.0;
         self.counts.full += 1;
         self.fault_counts.fallback_promotions += 1;
         self.fault_counts.recoveries += 1;
@@ -543,11 +575,10 @@ impl ClusterSim {
         for vi in orphans {
             let remaining = self.vms[vi].allocation - self.vms[vi].demand;
             self.traffic.record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
-            let vm = &mut self.vms[vi];
-            vm.partial = false;
-            vm.demand = vm.allocation;
-            vm.consolidated_since = None;
-            let target = vm.id.0;
+            self.set_vm_partial(vi, false);
+            self.set_vm_demand(vi, self.vms[vi].allocation);
+            self.vms[vi].consolidated_since = None;
+            let target = self.vms[vi].id.0;
             self.fault_counts.rehomed_vms += 1;
             self.fault_counts.recoveries += 1;
             self.telemetry.emit(Event::RecoveryApplied { action: RecoveryKind::Rehome, target });
@@ -632,16 +663,145 @@ impl ClusterSim {
         }
     }
 
+    /// Moves a VM to `dest`, carrying its demand/active contributions
+    /// between the residency indices. Every location change funnels
+    /// through here (and the sibling setters below) so the indices can
+    /// never drift from the VM vector.
+    fn move_vm_to(&mut self, vi: usize, dest: HostId) {
+        let src = self.vms[vi].location;
+        if src == dest {
+            return;
+        }
+        let (demand, active, partial, home) = {
+            let v = &self.vms[vi];
+            (v.demand, v.state.is_active(), v.partial, v.home)
+        };
+        let r = &mut self.residency[src.0 as usize];
+        match r.vms.binary_search(&vi) {
+            Ok(pos) => {
+                r.vms.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "vm {vi} missing from source index"),
+        }
+        r.demand -= demand;
+        if active {
+            r.active -= 1;
+        }
+        let r = &mut self.residency[dest.0 as usize];
+        match r.vms.binary_search(&vi) {
+            Ok(_) => debug_assert!(false, "vm {vi} already in destination index"),
+            Err(pos) => r.vms.insert(pos, vi),
+        }
+        r.demand += demand;
+        if active {
+            r.active += 1;
+        }
+        if partial {
+            // A partial replica's home serves it only while it lives
+            // elsewhere; track entering/leaving the home host.
+            if src == home {
+                self.home_partials[home.0 as usize] += 1;
+            } else if dest == home {
+                self.home_partials[home.0 as usize] -= 1;
+            }
+        }
+        self.vms[vi].location = dest;
+    }
+
+    /// Sets a VM's demand, keeping its host's cached demand sum current.
+    fn set_vm_demand(&mut self, vi: usize, demand: ByteSize) {
+        let host = self.vms[vi].location.0 as usize;
+        let r = &mut self.residency[host];
+        r.demand = (r.demand + demand) - self.vms[vi].demand;
+        self.vms[vi].demand = demand;
+    }
+
+    /// Sets a VM's partial flag, keeping the served-partials count of its
+    /// home current.
+    fn set_vm_partial(&mut self, vi: usize, partial: bool) {
+        let v = &self.vms[vi];
+        if v.partial == partial {
+            return;
+        }
+        if v.location != v.home {
+            let slot = &mut self.home_partials[v.home.0 as usize];
+            if partial {
+                *slot += 1;
+            } else {
+                *slot -= 1;
+            }
+        }
+        self.vms[vi].partial = partial;
+    }
+
+    /// Sets a VM's activity state, keeping its host's active count current.
+    fn set_vm_state(&mut self, vi: usize, state: VmState) {
+        let old = self.vms[vi].state;
+        if old.is_active() != state.is_active() {
+            let r = &mut self.residency[self.vms[vi].location.0 as usize];
+            if state.is_active() {
+                r.active += 1;
+            } else {
+                r.active -= 1;
+            }
+        }
+        self.vms[vi].state = state;
+    }
+
+    /// The VMs resident on `host`, in ascending VM-index order — an O(1)
+    /// index lookup, not a scan of the VM vector.
     fn vms_on(&self, host: HostId) -> impl Iterator<Item = usize> + '_ {
-        self.vms.iter().enumerate().filter(move |(_, v)| v.location == host).map(|(i, _)| i)
+        self.residency[host.0 as usize].vms.iter().copied()
     }
 
+    /// Total memory demand resident on `host` (cached sum).
     fn demand_on(&self, host: HostId) -> ByteSize {
-        self.vms_on(host).map(|i| self.vms[i].demand).sum()
+        self.residency[host.0 as usize].demand
     }
 
+    /// Number of active VMs resident on `host` (cached count).
     fn active_on(&self, host: HostId) -> usize {
-        self.vms_on(host).filter(|&i| self.vms[i].state.is_active()).count()
+        self.residency[host.0 as usize].active
+    }
+
+    /// Compares every incrementally maintained index against a
+    /// from-scratch recount of the VM vector. Test-only: the production
+    /// path never rescans — that is the point of the indices.
+    #[cfg(test)]
+    fn verify_indices(&self) -> Result<(), String> {
+        for (h, r) in self.residency.iter().enumerate() {
+            let host = self.hosts[h].id;
+            let vms: Vec<usize> = self
+                .vms
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.location == host)
+                .map(|(i, _)| i)
+                .collect();
+            if r.vms != vms {
+                return Err(format!("host {h}: residents {:?} != recount {vms:?}", r.vms));
+            }
+            let demand: ByteSize = vms.iter().map(|&i| self.vms[i].demand).sum();
+            if r.demand != demand {
+                return Err(format!("host {h}: cached demand {} != recount {demand}", r.demand));
+            }
+            let active = vms.iter().filter(|&&i| self.vms[i].state.is_active()).count();
+            if r.active != active {
+                return Err(format!("host {h}: cached active {} != recount {active}", r.active));
+            }
+            let partials = self
+                .vms
+                .iter()
+                .filter(|v| v.home == host && v.partial && v.location != host)
+                .count() as u32;
+            if self.home_partials[h] != partials {
+                return Err(format!(
+                    "host {h}: served partials {} != recount {partials}",
+                    self.home_partials[h]
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn snapshot(&self, now: SimTime) -> ClusterView {
@@ -722,11 +882,10 @@ impl ClusterSim {
                 moved_bytes: moved.as_bytes(),
                 downtime_us: downtime.as_micros(),
             });
-            let vm = &mut self.vms[i];
-            vm.location = home;
-            vm.partial = false;
-            vm.demand = vm.allocation;
-            vm.consolidated_since = None;
+            self.move_vm_to(i, home);
+            self.set_vm_partial(i, false);
+            self.set_vm_demand(i, self.vms[i].allocation);
+            self.vms[i].consolidated_since = None;
         }
         self.counts.returns_home += 1;
         Ok((work, wake_extra))
@@ -744,11 +903,11 @@ impl ClusterSim {
                 continue;
             }
             if desired == VmState::Idle {
-                self.vms[vi].state = VmState::Idle;
+                self.set_vm_state(vi, VmState::Idle);
                 continue;
             }
             // Idle → active transition.
-            self.vms[vi].state = VmState::Active;
+            self.set_vm_state(vi, VmState::Active);
             if !self.vms[vi].partial {
                 // Full VM (at home or consolidated in full): zero delay.
                 self.delays.record(0.0);
@@ -761,9 +920,8 @@ impl ClusterSim {
                     let remaining = self.vms[vi].allocation - self.vms[vi].demand;
                     self.traffic
                         .record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
-                    let vm = &mut self.vms[vi];
-                    vm.partial = false;
-                    vm.demand = vm.allocation;
+                    self.set_vm_partial(vi, false);
+                    self.set_vm_demand(vi, self.vms[vi].allocation);
                     // The paper says the consolidation host "becomes the
                     // VM's new home"; we keep the *home binding* on the
                     // original compute host because only that host has a
@@ -771,7 +929,7 @@ impl ClusterSim {
                     // the consolidation host's memory server is never
                     // powered (§5.1). Ownership of control transfers; the
                     // home association does not. See DESIGN.md.
-                    vm.consolidated_since = None;
+                    self.vms[vi].consolidated_since = None;
                     self.counts.promotions += 1;
                     // The user waits for the partial-VM resume; during a
                     // resume storm, concurrent promotions on the same
@@ -791,11 +949,10 @@ impl ClusterSim {
                                 TrafficClass::FullMigration,
                                 self.vms[vi].allocation.mul_f64(1.15),
                             );
-                            let vm = &mut self.vms[vi];
-                            vm.location = destination;
-                            vm.partial = false;
-                            vm.demand = vm.allocation;
-                            vm.consolidated_since = None;
+                            self.move_vm_to(vi, destination);
+                            self.set_vm_partial(vi, false);
+                            self.set_vm_demand(vi, self.vms[vi].allocation);
+                            self.vms[vi].consolidated_since = None;
                             self.counts.relocations += 1;
                             let full =
                                 self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
@@ -947,7 +1104,7 @@ impl ClusterSim {
                             self.traffic.record(TrafficClass::Reintegration, self.vms[vi].demand);
                             let moved =
                                 oasis_migration::partial::DESCRIPTOR_BYTES + self.vms[vi].demand;
-                            self.vms[vi].location = order.destination;
+                            self.move_vm_to(vi, order.destination);
                             *busy.entry(source).or_insert(0.0) +=
                                 self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
                             self.counts.partial += 1;
@@ -976,10 +1133,10 @@ impl ClusterSim {
                                     * WSS_GROWTH_WINDOW.as_secs_f64()
                                     / 60.0,
                             );
+                            self.move_vm_to(vi, order.destination);
+                            self.set_vm_partial(vi, true);
+                            self.set_vm_demand(vi, wss);
                             let vm = &mut self.vms[vi];
-                            vm.partial = true;
-                            vm.location = order.destination;
-                            vm.demand = wss;
                             vm.wss_cap = wss + growth_cap;
                             vm.consolidated_since = Some(now);
                             vm.uploaded_once = true;
@@ -994,11 +1151,10 @@ impl ClusterSim {
                         MigrationType::Full => {
                             let moved = self.vms[vi].allocation.mul_f64(1.15);
                             self.traffic.record(TrafficClass::FullMigration, moved);
-                            let vm = &mut self.vms[vi];
-                            vm.partial = false;
-                            vm.location = order.destination;
-                            vm.demand = vm.allocation;
-                            vm.consolidated_since = Some(now);
+                            self.set_vm_partial(vi, false);
+                            self.move_vm_to(vi, order.destination);
+                            self.set_vm_demand(vi, self.vms[vi].allocation);
+                            self.vms[vi].consolidated_since = Some(now);
                             *busy.entry(source).or_insert(0.0) +=
                                 self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
                             self.counts.full += 1;
@@ -1085,9 +1241,9 @@ impl ClusterSim {
                             * WSS_GROWTH_WINDOW.as_secs_f64()
                             / 60.0,
                     );
+                    self.set_vm_partial(vi, true);
+                    self.set_vm_demand(vi, wss);
                     let sim_vm = &mut self.vms[vi];
-                    sim_vm.partial = true;
-                    sim_vm.demand = wss;
                     sim_vm.wss_cap = wss + growth_cap;
                     sim_vm.consolidated_since = Some(now);
                     sim_vm.uploaded_once = true;
@@ -1110,7 +1266,7 @@ impl ClusterSim {
         // Sources drained of all VMs sleep after their serialized work.
         for h in 0..self.hosts.len() {
             let id = self.hosts[h].id;
-            if self.hosts[h].powered && self.vms_on(id).next().is_none() {
+            if self.hosts[h].powered && self.residency[h].vms.is_empty() {
                 let offset = busy.get(&id).copied().unwrap_or(0.0).min(INTERVAL_SECS);
                 self.set_host_power(h, offset, false);
             }
@@ -1120,17 +1276,18 @@ impl ClusterSim {
     /// Grows consolidated working sets and handles capacity exhaustion.
     fn grow_working_sets(&mut self, now: SimTime) {
         let mut fetched = ByteSize::ZERO;
-        for vm in &mut self.vms {
-            if !vm.partial {
+        for vi in 0..self.vms.len() {
+            if !self.vms[vi].partial {
                 continue;
             }
+            let vm = &self.vms[vi];
             let growth_per_interval = ByteSize::from_mib_f64(
                 vm.class.idle_model().growth_per_min.as_mib_f64() * INTERVAL_SECS / 60.0,
             );
             let headroom = vm.wss_cap.saturating_sub(vm.demand);
             let growth = growth_per_interval.min(headroom);
             if !growth.is_zero() {
-                vm.demand += growth;
+                self.set_vm_demand(vi, self.vms[vi].demand + growth);
                 fetched += growth.mul_f64(COMPRESS_RATIO);
             }
         }
@@ -1144,14 +1301,31 @@ impl ClusterSim {
         let cons_ids: Vec<HostId> =
             self.hosts.iter().filter(|h| h.role == HostRole::Consolidation).map(|h| h.id).collect();
         for host in cons_ids {
+            if self.demand_on(host) <= capacity {
+                continue;
+            }
+            // Rank eviction candidates once from the residency index,
+            // largest (demand, id) last so `pop` yields the requester.
+            // Demands of surviving candidates cannot change inside the
+            // loop (return_home and relocate only move VMs away), so one
+            // ranking replaces the per-iteration rescan of `vms_on`;
+            // departed or promoted VMs are skipped at pop time.
+            let mut candidates: Vec<usize> =
+                self.vms_on(host).filter(|&i| self.vms[i].partial).collect();
+            candidates.sort_by_key(|&i| (self.vms[i].demand, self.vms[i].id));
             let mut guard = 0;
             while self.demand_on(host) > capacity && guard < 1_000 {
                 guard += 1;
-                // The largest partial VM is the requester.
-                let victim = self
-                    .vms_on(host)
-                    .filter(|&i| self.vms[i].partial)
-                    .max_by_key(|&i| (self.vms[i].demand, self.vms[i].id));
+                // The largest partial VM still resident is the requester.
+                let victim = loop {
+                    match candidates.pop() {
+                        Some(i) if self.vms[i].location == host && self.vms[i].partial => {
+                            break Some(i)
+                        }
+                        Some(_) => continue,
+                        None => break None,
+                    }
+                };
                 match victim {
                     Some(vi) => {
                         let home = self.vms[vi].home;
@@ -1175,8 +1349,7 @@ impl ClusterSim {
     /// Puts hosts drained outside planning (ReturnHome) to sleep.
     fn sleep_empty_hosts(&mut self) {
         for h in 0..self.hosts.len() {
-            let id = self.hosts[h].id;
-            if self.hosts[h].powered && self.vms_on(id).next().is_none() {
+            if self.hosts[h].powered && self.residency[h].vms.is_empty() {
                 self.set_host_power(h, INTERVAL_SECS * 0.5, false);
             }
         }
@@ -1190,7 +1363,7 @@ impl ClusterSim {
         self.series_powered.record(now, powered as f64);
         for h in &self.hosts {
             if h.role == HostRole::Consolidation && h.powered {
-                let n = self.vms_on(h.id).count();
+                let n = self.residency[h.id.0 as usize].vms.len();
                 if n > 0 {
                     self.ratio.record(n as f64);
                 }
@@ -1224,9 +1397,9 @@ impl ClusterSim {
                 + asleep * sleep_draw;
             // A sleeping home host keeps its memory server powered while
             // it has partial replicas to serve (§5.1); a host vacated
-            // purely by full migrations has nothing to serve.
-            let serves_partials =
-                self.vms.iter().any(|v| v.home == id && v.partial && v.location != id);
+            // purely by full migrations has nothing to serve. The count
+            // is index-maintained — no scan of the VM vector.
+            let serves_partials = self.home_partials[h] > 0;
             if role == HostRole::Compute && serves_partials {
                 joules += asleep * ms_watts;
             }
@@ -1241,31 +1414,39 @@ impl ClusterSim {
         }
     }
 
+    /// Advances the simulator through interval `interval` (one 5-minute
+    /// trace step): fault onsets, trace-driven state changes, planning on
+    /// the manager's own cadence, working-set growth, host sleep, series
+    /// recording and energy integration.
+    fn step_interval(&mut self, interval: usize, next_plan: &mut SimTime) {
+        let now = SimTime::from_secs(interval as u64 * INTERVAL_SECS as u64);
+        self.telemetry.advance_to(now);
+        let active = self.users.iter().filter(|u| u.is_active(interval)).count();
+        self.telemetry
+            .emit(Event::IntervalStarted { interval: interval as u32, active: active as u32 });
+        for h in &mut self.hosts {
+            h.begin_interval();
+        }
+        self.apply_faults(now);
+        self.apply_trace(interval, now);
+        // The manager plans on its own configurable interval (§3.1),
+        // not on every trace step.
+        if now >= *next_plan {
+            self.plan_and_execute(now);
+            *next_plan = now + self.cfg.interval;
+        }
+        self.grow_working_sets(now);
+        self.sleep_empty_hosts();
+        self.record(now);
+        self.account_energy(interval);
+        self.energy_series.record(now, self.total_joules / oasis_power::meter::JOULES_PER_KWH);
+    }
+
     /// Runs one full simulated day and returns the report.
     pub fn run_day(mut self) -> SimReport {
         let mut next_plan = SimTime::ZERO;
         for interval in 0..INTERVALS_PER_DAY {
-            let now = SimTime::from_secs(interval as u64 * INTERVAL_SECS as u64);
-            self.telemetry.advance_to(now);
-            let active = self.users.iter().filter(|u| u.is_active(interval)).count();
-            self.telemetry
-                .emit(Event::IntervalStarted { interval: interval as u32, active: active as u32 });
-            for h in &mut self.hosts {
-                h.begin_interval();
-            }
-            self.apply_faults(now);
-            self.apply_trace(interval, now);
-            // The manager plans on its own configurable interval (§3.1),
-            // not on every trace step.
-            if now >= next_plan {
-                self.plan_and_execute(now);
-                next_plan = now + self.cfg.interval;
-            }
-            self.grow_working_sets(now);
-            self.sleep_empty_hosts();
-            self.record(now);
-            self.account_energy(interval);
-            self.energy_series.record(now, self.total_joules / oasis_power::meter::JOULES_PER_KWH);
+            self.step_interval(interval, &mut next_plan);
         }
         let baseline_kwh = self.baseline_joules / oasis_power::meter::JOULES_PER_KWH;
         let total_kwh = self.total_joules / oasis_power::meter::JOULES_PER_KWH;
@@ -1410,6 +1591,15 @@ mod tests {
         ClusterSim::new(cfg)
     }
 
+    /// Moves a VM onto `host` as a partial replica through the index
+    /// helpers (direct field writes would desync the residency index).
+    fn consolidate(sim: &mut ClusterSim, vi: usize, host: HostId, demand: ByteSize) {
+        sim.move_vm_to(vi, host);
+        sim.set_vm_partial(vi, true);
+        sim.set_vm_demand(vi, demand);
+        sim.vms[vi].consolidated_since = Some(SimTime::ZERO);
+    }
+
     #[test]
     fn snapshot_reflects_initial_state() {
         let sim = tiny_sim();
@@ -1430,10 +1620,7 @@ mod tests {
         // Manually consolidate home 0's VMs onto the consolidation host.
         let cons = HostId(2);
         for vi in 0..3 {
-            sim.vms[vi].location = cons;
-            sim.vms[vi].partial = true;
-            sim.vms[vi].demand = ByteSize::mib(165);
-            sim.vms[vi].consolidated_since = Some(SimTime::ZERO);
+            consolidate(&mut sim, vi, cons, ByteSize::mib(165));
         }
         sim.hosts[0].set_power(0.0, false);
         sim.hosts[2].set_power(0.0, true);
@@ -1528,10 +1715,7 @@ mod tests {
         let mut sim = ClusterSim::new(cfg);
         let cons = HostId(2);
         for vi in 0..3 {
-            sim.vms[vi].location = cons;
-            sim.vms[vi].partial = true;
-            sim.vms[vi].demand = ByteSize::mib(165);
-            sim.vms[vi].consolidated_since = Some(SimTime::ZERO);
+            consolidate(&mut sim, vi, cons, ByteSize::mib(165));
         }
         sim.hosts[0].set_power(0.0, false);
         sim.hosts[2].set_power(0.0, true);
@@ -1564,10 +1748,7 @@ mod tests {
         let mut sim = ClusterSim::new(cfg);
         let cons = HostId(2);
         for vi in 0..3 {
-            sim.vms[vi].location = cons;
-            sim.vms[vi].partial = true;
-            sim.vms[vi].demand = ByteSize::mib(165);
-            sim.vms[vi].consolidated_since = Some(SimTime::ZERO);
+            consolidate(&mut sim, vi, cons, ByteSize::mib(165));
         }
         sim.apply_faults(SimTime::from_secs(600));
         assert!(sim.ms_down.contains(&HostId(0)));
@@ -1615,5 +1796,98 @@ mod tests {
         assert_eq!(sim.demand_on(HostId(0)), ByteSize::gib(12));
         assert_eq!(sim.demand_on(HostId(2)), ByteSize::ZERO);
         assert_eq!(sim.active_on(HostId(0)), 0, "VMs start idle");
+    }
+
+    #[test]
+    fn indices_start_consistent() {
+        tiny_sim().verify_indices().expect("fresh indices match recount");
+    }
+
+    /// Property: after any sequence of random mutations through the
+    /// index helpers — placements, promotions, demand changes, state
+    /// flips, crash re-homing, returns — every incremental index equals
+    /// a from-scratch recount.
+    #[test]
+    fn indices_equal_recount_after_random_mutations() {
+        for seed in 0..8u64 {
+            let cfg = ClusterConfig::builder()
+                .home_hosts(4)
+                .consolidation_hosts(2)
+                .vms_per_host(5)
+                .seed(seed + 11)
+                .build()
+                .expect("valid configuration");
+            let mut sim = ClusterSim::new(cfg);
+            let mut rng = SimRng::new(0xD1CE ^ seed);
+            let hosts = sim.hosts.len();
+            let vms = sim.vms.len();
+            for op in 0..400 {
+                let vi = rng.index(vms);
+                match rng.below(8) {
+                    0 | 1 => {
+                        let dest = HostId(rng.index(hosts) as u32);
+                        sim.move_vm_to(vi, dest);
+                    }
+                    2 => {
+                        let mib = rng.range_f64(16.0, sim.vms[vi].allocation.as_mib_f64());
+                        sim.set_vm_demand(vi, ByteSize::from_mib_f64(mib));
+                    }
+                    3 => sim.set_vm_partial(vi, !sim.vms[vi].partial),
+                    4 => {
+                        let state = if sim.vms[vi].state.is_active() {
+                            VmState::Idle
+                        } else {
+                            VmState::Active
+                        };
+                        sim.set_vm_state(vi, state);
+                    }
+                    5 => sim.fallback_promote(vi),
+                    6 => {
+                        let home = HostId(rng.index(sim.cfg.home_hosts as usize) as u32);
+                        sim.recover_orphans(home);
+                    }
+                    _ => {
+                        let home = HostId(rng.index(sim.cfg.home_hosts as usize) as u32);
+                        let _ = sim.return_home(home, SimTime::from_secs(600));
+                    }
+                }
+                sim.verify_indices().unwrap_or_else(|e| {
+                    panic!("seed {seed}, op {op}: index drifted from recount: {e}")
+                });
+            }
+        }
+    }
+
+    /// Property: the indices stay consistent across every interval of a
+    /// full simulated day under a heavy fault schedule (wake failures,
+    /// memory-server crashes, stalls, link degradation all exercise the
+    /// recovery mutation paths).
+    #[test]
+    fn indices_equal_recount_through_a_faulted_day() {
+        for seed in [1u64, 2, 3] {
+            let schedule = oasis_faults::FaultSchedule::random(
+                oasis_faults::FaultProfile::heavy(),
+                8,
+                SimDuration::from_hours(24),
+                seed ^ 0xFA17,
+            );
+            let cfg = ClusterConfig::builder()
+                .home_hosts(6)
+                .consolidation_hosts(2)
+                .vms_per_host(10)
+                .seed(seed)
+                .wol_loss_rate(0.2)
+                .faults(schedule)
+                .build()
+                .expect("valid configuration");
+            let mut sim = ClusterSim::new(cfg);
+            let mut next_plan = SimTime::ZERO;
+            for interval in 0..INTERVALS_PER_DAY {
+                sim.step_interval(interval, &mut next_plan);
+                sim.verify_indices().unwrap_or_else(|e| {
+                    panic!("seed {seed}, interval {interval}: index drifted: {e}")
+                });
+            }
+        }
     }
 }

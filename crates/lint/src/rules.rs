@@ -11,6 +11,12 @@ use crate::lexer::{number_is, Tok, TokKind};
 /// Crates whose decision paths must stay seed-reproducible: any
 /// order-dependent container iteration here can reorder placement or
 /// migration decisions between runs.
+///
+/// Via `sim` this also covers the worker pool (`crates/sim/src/pool.rs`)
+/// that fans experiment runs across threads: worker code must stay free
+/// of wall-clock reads and foreign RNGs so parallel output is
+/// byte-identical to sequential — macro-benchmarks take their timings
+/// through `crates/bench/src/timing.rs`, the allowed wall-clock region.
 pub const DECISION_PATH_CRATES: [&str; 6] =
     ["core", "cluster", "sim", "migration", "host", "faults"];
 

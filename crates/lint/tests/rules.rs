@@ -128,6 +128,22 @@ fn print_hygiene_fires_in_library_crates_only() {
 }
 
 #[test]
+fn worker_pool_module_is_fully_in_scope() {
+    // The parallel fan-out path must not smuggle in nondeterminism: the
+    // pool module sits inside the `sim` decision-path crate and outside
+    // every allowlist, so wall-clock reads, foreign RNGs and hashed
+    // containers are all flagged there. (Timing belongs to the bench
+    // harness's crates/bench/src/timing.rs, the one allowed region.)
+    let pool = "crates/sim/src/pool.rs";
+    let wall = lint_at(pool, include_str!("fixtures/wall_clock/bad.rs"));
+    assert!(wall.iter().any(|f| f.rule == "wall-clock"), "{wall:?}");
+    let rng = lint_at(pool, include_str!("fixtures/foreign_rng/bad.rs"));
+    assert!(rng.iter().any(|f| f.rule == "foreign-rng"), "{rng:?}");
+    let hash = lint_at(pool, include_str!("fixtures/hash_iteration/bad.rs"));
+    assert!(hash.iter().any(|f| f.rule == "hash-iteration"), "{hash:?}");
+}
+
+#[test]
 fn pragma_suppresses_and_counts_as_used() {
     let findings =
         lint_at("crates/host/src/memserver.rs", include_str!("fixtures/pragmas/suppressed.rs"));

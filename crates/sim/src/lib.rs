@@ -9,6 +9,9 @@
 //! * [`engine`] — a generic event queue and driver ([`engine::Engine`]).
 //! * [`stats`] — counters, time-weighted averages, histograms, CDFs and
 //!   time series used to produce every figure and table.
+//! * [`pool`] — a scoped-thread worker pool ([`pool::WorkerPool`]) that
+//!   fans independent seeded runs across cores while keeping results in
+//!   input order, so parallel output is byte-identical to sequential.
 //!
 //! Determinism is a design goal: given the same seed, a simulation produces
 //! bit-identical results on every platform. Event ties are broken by
@@ -18,10 +21,12 @@
 
 pub mod check;
 pub mod engine;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Engine, EventQueue};
+pub use pool::WorkerPool;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

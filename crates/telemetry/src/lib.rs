@@ -40,7 +40,7 @@ pub mod subscriber;
 pub use event::{Event, EventRecord, FaultClass, Level, MigrationKind, RecoveryKind, CLUSTER_WIDE};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
 pub use span::Span;
-pub use subscriber::{JsonlSink, RingSink, Subscriber};
+pub use subscriber::{BufferSink, JsonlSink, RingSink, Subscriber};
 
 use oasis_sim::SimTime;
 use std::fmt::Write as _;
