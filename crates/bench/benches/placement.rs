@@ -44,7 +44,9 @@ fn paper_scale_view() -> ClusterView {
             capacity,
         });
     }
-    ClusterView { hosts, vms }
+    let mut view = ClusterView { hosts, vms, host_demand: Vec::new() };
+    view.rebuild_host_demand();
+    view
 }
 
 fn main() {

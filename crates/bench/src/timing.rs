@@ -45,6 +45,18 @@ pub fn wall<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Monotonic seconds since this function was first called.
+///
+/// This is the clock handed to phase-bracketing APIs (e.g.
+/// `ClusterSim::run_day_timed`): the simulator itself never reads wall
+/// time, it only brackets phases with whatever monotonic closure the
+/// benchmark supplies from here.
+pub fn monotonic_secs() -> f64 {
+    use std::sync::OnceLock;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
 /// Runs one benchmark and prints its mean cost per iteration.
 pub fn bench(name: &str, mut f: impl FnMut()) {
     let (ns, iters) = measure(&mut f);

@@ -8,9 +8,10 @@
 //!              [--memserver-watts W] [--faults PATH]
 //!              [--fault-profile light|heavy] [--trace-out PATH]
 //!              [--metrics-out PATH] [--log-level off|warn|info|debug]
+//!              [--fidelity per-page|batched]
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
-//!              [--jobs N]
-//! oasis micro  [--seed S]
+//!              [--jobs N] [--fidelity per-page|batched]
+//! oasis micro  [--seed S] [--fidelity per-page|batched]
 //! oasis trace  generate [--users N] [--weeks N] [--seed S] [--out PATH]
 //! oasis trace  stats <PATH>
 //! ```
@@ -24,9 +25,9 @@ use oasis_cluster::experiments::run_week_on;
 use oasis_cluster::{ClusterConfig, ClusterSim};
 use oasis_core::PolicyKind;
 use oasis_faults::{FaultProfile, FaultSchedule};
-use oasis_migration::lab::MicroLab;
+use oasis_migration::lab::{LabOptions, MicroLab};
 use oasis_power::MemoryServerProfile;
-use oasis_sim::{SimDuration, WorkerPool};
+use oasis_sim::{ModelFidelity, SimDuration, WorkerPool};
 use oasis_telemetry::{JsonlSink, Level, Telemetry};
 use oasis_trace::{ActivityModel, DayKind, TraceSet};
 use oasis_vm::apps::DesktopWorkload;
@@ -40,9 +41,11 @@ fn usage() -> ! {
          \x20             --cons 4 --vms 30 --seed 1 [--interval-mins 5] \\\n\
          \x20             [--memserver-watts 42.2] [--faults schedule.txt] \\\n\
          \x20             [--fault-profile light|heavy] [--trace-out events.jsonl] \\\n\
-         \x20             [--metrics-out metrics.prom] [--log-level debug]\n\
-         oasis week   --policy FulltoPartial --seed 1 [--jobs N]\n\
-         oasis micro  --seed 1\n\
+         \x20             [--metrics-out metrics.prom] [--log-level debug] \\\n\
+         \x20             [--fidelity per-page|batched]\n\
+         oasis week   --policy FulltoPartial --seed 1 [--jobs N] \\\n\
+         \x20             [--fidelity per-page|batched]\n\
+         oasis micro  --seed 1 [--fidelity per-page|batched]\n\
          oasis trace  generate --users 22 --weeks 17 --seed 1 --out traces.txt\n\
          oasis trace  stats traces.txt"
     );
@@ -82,6 +85,9 @@ fn cluster_config(args: &Args) -> ClusterConfig {
         let watts: f64 = watts.parse().unwrap_or_else(|_| fail("bad --memserver-watts"));
         builder = builder.memserver(MemoryServerProfile::with_budget_watts(watts));
     }
+    if let Some(f) = args.get("fidelity") {
+        builder = builder.fidelity(f.parse().unwrap_or_else(|e| fail(e)));
+    }
     if let Some(path) = args.get("trace") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(e));
         let set = TraceSet::from_text(&text).unwrap_or_else(|e| fail(e));
@@ -120,6 +126,7 @@ const BASE_FLAGS: &[&str] = &[
     "memserver-watts",
     "trace",
     "jobs",
+    "fidelity",
 ];
 
 /// The worker pool requested by `--jobs`, falling back to `OASIS_JOBS`
@@ -149,6 +156,7 @@ const SIM_FLAGS: &[&str] = &[
     "trace-out",
     "metrics-out",
     "log-level",
+    "fidelity",
 ];
 
 /// Builds the telemetry bus requested by `--trace-out`, `--metrics-out`
@@ -228,7 +236,9 @@ fn cmd_week(args: Args) {
 
 fn cmd_micro(args: Args) {
     let seed = args.get_or("seed", 1u64).unwrap_or_else(|e| fail(e));
-    let mut lab = MicroLab::new(seed);
+    let fidelity: ModelFidelity =
+        args.get_or("fidelity", ModelFidelity::from_env()).unwrap_or_else(|e| fail(e));
+    let mut lab = MicroLab::with_options(seed, LabOptions { fidelity, ..LabOptions::default() });
     lab.prime_os();
     lab.run_workload(&DesktopWorkload::workload1());
     lab.idle_wait(SimDuration::from_mins(5));
@@ -308,7 +318,7 @@ pub fn run() {
     match command.as_str() {
         "sim" => cmd_sim(Args::parse(argv, SIM_FLAGS).unwrap_or_else(|e| fail(e))),
         "week" => cmd_week(Args::parse(argv, BASE_FLAGS).unwrap_or_else(|e| fail(e))),
-        "micro" => cmd_micro(Args::parse(argv, &["seed"]).unwrap_or_else(|e| fail(e))),
+        "micro" => cmd_micro(Args::parse(argv, &["seed", "fidelity"]).unwrap_or_else(|e| fail(e))),
         "trace" => cmd_trace(argv),
         _ => usage(),
     }

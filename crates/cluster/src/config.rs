@@ -97,6 +97,13 @@ pub struct ClusterConfig {
     /// workloads behave at least as well — the `server_farm` bench tests
     /// that claim with a web/database/cluster-node mix.
     pub workload_mix: Vec<(WorkloadClass, f64)>,
+    /// Page-level model fidelity: per-page hot loops or their batched
+    /// equivalents. The statistical cluster day does not depend on the
+    /// choice — the two fidelities are bit-identical, which the
+    /// `fidelity_equivalence` suite locks across seeds and fault
+    /// schedules. Defaults to the `OASIS_FIDELITY` environment variable
+    /// (per-page when unset).
+    pub fidelity: oasis_sim::ModelFidelity,
     /// RNG seed.
     pub seed: u64,
 }
@@ -148,6 +155,7 @@ impl Default for ClusterConfigBuilder {
                 trace: None,
                 placement: PlacementStrategy::Random,
                 workload_mix: vec![(WorkloadClass::Desktop, 1.0)],
+                fidelity: oasis_sim::ModelFidelity::from_env(),
                 seed: 1,
             },
         }
@@ -245,6 +253,12 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the page-level model fidelity.
+    pub fn fidelity(mut self, f: oasis_sim::ModelFidelity) -> Self {
+        self.config.fidelity = f;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ClusterConfig, ConfigError> {
         let c = self.config;
@@ -302,6 +316,19 @@ mod tests {
         assert_eq!(c.policy, PolicyKind::Default);
         assert_eq!(c.day, DayKind::Weekend);
         assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn fidelity_defaults_and_overrides() {
+        use oasis_sim::ModelFidelity;
+        // The test environment does not set OASIS_FIDELITY, so the
+        // default is the per-page reference model.
+        if std::env::var(oasis_sim::fidelity::FIDELITY_ENV).is_err() {
+            let c = ClusterConfig::builder().build().unwrap();
+            assert_eq!(c.fidelity, ModelFidelity::PerPage);
+        }
+        let c = ClusterConfig::builder().fidelity(ModelFidelity::Batched).build().unwrap();
+        assert_eq!(c.fidelity, ModelFidelity::Batched);
     }
 
     #[test]

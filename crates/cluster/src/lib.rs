@@ -22,4 +22,4 @@ pub mod sim;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder};
 pub use results::{SimReport, VmPlacement};
-pub use sim::ClusterSim;
+pub use sim::{ClusterSim, DayPhases};

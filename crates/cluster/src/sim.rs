@@ -32,7 +32,7 @@ use oasis_power::PowerState;
 use oasis_sim::stats::{Cdf, TimeSeries};
 use oasis_sim::{SimDuration, SimRng, SimTime};
 use oasis_telemetry::{Event, MigrationKind, RecoveryKind, Telemetry, CLUSTER_WIDE};
-use oasis_trace::{sample_user_days, ActivityModel, UserDay, INTERVALS_PER_DAY};
+use oasis_trace::{sample_user_days, UserDay, INTERVALS_PER_DAY};
 use oasis_vm::workload::WorkloadClass;
 use oasis_vm::{HostId, VmId, VmState};
 
@@ -193,6 +193,44 @@ struct Residency {
     active: usize,
 }
 
+/// Cumulative wall-clock breakdown of one simulated day, in seconds.
+///
+/// The simulator never reads a clock itself (oasis-lint confines wall
+/// time to `oasis-bench::timing`); callers that want the breakdown pass
+/// a monotonic-seconds closure to [`ClusterSim::run_day_timed`] and the
+/// phases are bracketed with it. The plain [`ClusterSim::run_day`] path
+/// uses a constant closure, so profiling support costs nothing when off.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DayPhases {
+    /// Trace-library generation + user-day sampling (construction).
+    pub trace_sampling_secs: f64,
+    /// Remaining construction work (hosts, VMs, indices, manager).
+    pub construct_secs: f64,
+    /// Fault-schedule application and recovery (per interval).
+    pub fault_service_secs: f64,
+    /// Trace-driven activations and their servicing (per interval).
+    pub activation_secs: f64,
+    /// Planning rounds and plan execution (per interval).
+    pub planner_secs: f64,
+    /// Working-set growth / demand-fetch modelling (per interval).
+    pub fetch_secs: f64,
+    /// Series recording and energy integration (per interval).
+    pub accounting_secs: f64,
+}
+
+impl DayPhases {
+    /// Sum of all phase buckets.
+    pub fn total_secs(&self) -> f64 {
+        self.trace_sampling_secs
+            + self.construct_secs
+            + self.fault_service_secs
+            + self.activation_secs
+            + self.planner_secs
+            + self.fetch_secs
+            + self.accounting_secs
+    }
+}
+
 /// The trace-driven cluster simulator.
 pub struct ClusterSim {
     cfg: ClusterConfig,
@@ -200,6 +238,13 @@ pub struct ClusterSim {
     manager: ClusterManager,
     hosts: Vec<SimHost>,
     vms: Vec<SimVm>,
+    /// Incrementally maintained planning snapshot. Mirrors `hosts`/`vms`
+    /// exactly (same order, same values) and is updated at the same
+    /// mutation funnels as the residency indices, so handing the manager
+    /// `&self.view` is byte-identical to rebuilding a [`ClusterView`]
+    /// from scratch — without the `O(hosts + VMs)` rebuild per
+    /// activation that used to dominate paper-scale runs.
+    view: ClusterView,
     /// Per-host residency index, parallel to `hosts`.
     residency: Vec<Residency>,
     /// Per-host count of partial VMs homed there but located elsewhere
@@ -240,13 +285,22 @@ pub struct ClusterSim {
 impl ClusterSim {
     /// Builds the simulated rack and samples one user-day per VM.
     pub fn new(cfg: ClusterConfig) -> Self {
+        Self::new_timed(cfg, &|| 0.0, &mut DayPhases::default())
+    }
+
+    /// [`Self::new`], bracketing the trace-sampling and construction
+    /// phases with `clock` (monotonic seconds) into `phases`.
+    pub fn new_timed(cfg: ClusterConfig, clock: &dyn Fn() -> f64, phases: &mut DayPhases) -> Self {
+        let t0 = clock();
         let mut rng = SimRng::new(cfg.seed ^ 0xC1u64.wrapping_mul(0x9E37_79B9));
         // Sample `total_vms` user-days of the requested kind, either from
         // the supplied trace library or from a synthesized corpus
-        // comparable to §5.1's.
+        // comparable to §5.1's. The synthetic corpus is a pure function
+        // of its seed, so it comes from the process-wide memoizing cache:
+        // sweeps re-running the same seed stop re-deriving it.
         let library = match &cfg.trace {
-            Some(set) => set.clone(),
-            None => ActivityModel::new().generate_library(22, 17, cfg.seed ^ 0x712A_CE5E),
+            Some(set) => std::sync::Arc::new(set.clone()),
+            None => oasis_trace::shared_library(22, 17, cfg.seed ^ 0x712A_CE5E),
         };
         let mut users = sample_user_days(&library, cfg.day, cfg.total_vms() as usize, &mut rng);
         if users.is_empty() {
@@ -254,6 +308,8 @@ impl ClusterSim {
             // idle) simulation rather than a panic.
             users = vec![oasis_trace::UserDay::all_idle(cfg.day); cfg.total_vms() as usize];
         }
+        let t1 = clock();
+        phases.trace_sampling_secs += t1 - t0;
 
         let mut hosts = Vec::new();
         for h in 0..cfg.home_hosts {
@@ -340,13 +396,46 @@ impl ClusterSim {
         }
         let home_partials = vec![0; hosts.len()];
 
+        // Seed the incrementally maintained planning view; from here on
+        // the mutation funnels keep it exact.
+        let capacity = cfg.effective_capacity();
+        let mut view = ClusterView {
+            hosts: hosts
+                .iter()
+                .map(|h| HostView {
+                    id: h.id,
+                    role: h.role,
+                    powered: h.powered,
+                    vacatable: true,
+                    capacity,
+                })
+                .collect(),
+            vms: vms
+                .iter()
+                .map(|v| VmView {
+                    id: v.id,
+                    home: v.home,
+                    location: v.location,
+                    state: v.state,
+                    allocation: v.allocation,
+                    demand: v.demand,
+                    partial_demand: if v.partial { v.demand } else { v.wss_estimate },
+                    partial: v.partial,
+                })
+                .collect(),
+            host_demand: Vec::new(),
+        };
+        view.rebuild_host_demand();
+
         let recovery_rng = SimRng::new(cfg.seed ^ 0xFA17_5EED);
+        phases.construct_secs += clock() - t1;
         ClusterSim {
             cfg,
             rng,
             manager,
             hosts,
             vms,
+            view,
             residency,
             home_partials,
             users,
@@ -391,6 +480,7 @@ impl ClusterSim {
             return;
         }
         self.hosts[idx].set_power(offset_secs, on);
+        self.view.hosts[idx].powered = on;
         let host = self.hosts[idx].id.0;
         self.telemetry.emit(if on {
             Event::HostResumed { host }
@@ -696,6 +786,8 @@ impl ClusterSim {
         if active {
             r.active += 1;
         }
+        self.view.host_demand[src.0 as usize] = self.residency[src.0 as usize].demand;
+        self.view.host_demand[dest.0 as usize] = self.residency[dest.0 as usize].demand;
         if partial {
             // A partial replica's home serves it only while it lives
             // elsewhere; track entering/leaving the home host.
@@ -706,6 +798,7 @@ impl ClusterSim {
             }
         }
         self.vms[vi].location = dest;
+        self.view.vms[vi].location = dest;
     }
 
     /// Sets a VM's demand, keeping its host's cached demand sum current.
@@ -713,7 +806,13 @@ impl ClusterSim {
         let host = self.vms[vi].location.0 as usize;
         let r = &mut self.residency[host];
         r.demand = (r.demand + demand) - self.vms[vi].demand;
+        self.view.host_demand[host] = r.demand;
         self.vms[vi].demand = demand;
+        let vv = &mut self.view.vms[vi];
+        vv.demand = demand;
+        if vv.partial {
+            vv.partial_demand = demand;
+        }
     }
 
     /// Sets a VM's partial flag, keeping the served-partials count of its
@@ -732,6 +831,9 @@ impl ClusterSim {
             }
         }
         self.vms[vi].partial = partial;
+        let vv = &mut self.view.vms[vi];
+        vv.partial = partial;
+        vv.partial_demand = if partial { self.vms[vi].demand } else { self.vms[vi].wss_estimate };
     }
 
     /// Sets a VM's activity state, keeping its host's active count current.
@@ -746,6 +848,7 @@ impl ClusterSim {
             }
         }
         self.vms[vi].state = state;
+        self.view.vms[vi].state = state;
     }
 
     /// The VMs resident on `host`, in ascending VM-index order — an O(1)
@@ -804,9 +907,43 @@ impl ClusterSim {
         Ok(())
     }
 
+    /// Compares the incrementally maintained planning view against a
+    /// from-scratch [`Self::snapshot`], including the `host_demand`
+    /// aggregate. Test-only, like the index recount above.
+    #[cfg(test)]
+    fn verify_view(&mut self, now: SimTime) -> Result<(), String> {
+        self.refresh_vacatable(now);
+        let want = self.snapshot(now);
+        let got = format!("{:?}", self.view);
+        let expect = format!("{want:?}");
+        if got != expect {
+            return Err(format!("maintained view drifted:\n got {got}\nwant {expect}"));
+        }
+        Ok(())
+    }
+
+    /// Brings the maintained view's time-dependent `vacatable` flags up
+    /// to `now`. Everything else in the view is kept exact by the
+    /// mutation funnels; this is the only field that changes with the
+    /// clock alone.
+    fn refresh_vacatable(&mut self, now: SimTime) {
+        if self.cooldown_until.is_empty() {
+            // `vacatable` starts true and only cooldown entries ever
+            // clear it; with no entries there is nothing stale.
+            return;
+        }
+        for h in &mut self.view.hosts {
+            h.vacatable = self.cooldown_until.get(&h.id).is_none_or(|&until| now >= until);
+        }
+    }
+
+    /// Rebuilds a snapshot from scratch. Test-only since the maintained
+    /// [`Self::view`] replaced it on the hot paths; the test suite
+    /// compares the two to prove they can never drift.
+    #[cfg(test)]
     fn snapshot(&self, now: SimTime) -> ClusterView {
         let capacity = self.cfg.effective_capacity();
-        ClusterView {
+        let mut view = ClusterView {
             hosts: self
                 .hosts
                 .iter()
@@ -832,7 +969,10 @@ impl ClusterSim {
                     partial: v.partial,
                 })
                 .collect(),
-        }
+            host_demand: Vec::new(),
+        };
+        view.rebuild_host_demand();
+        view
     }
 
     /// Brings every VM homed at `home` back to it; wakes the host.
@@ -913,9 +1053,9 @@ impl ClusterSim {
                 self.delays.record(0.0);
                 continue;
             }
-            let view = self.snapshot(now);
+            self.refresh_vacatable(now);
             let vm_id = self.vms[vi].id;
-            match self.manager.handle_activation(&view, vm_id) {
+            match self.manager.handle_activation(&self.view, vm_id) {
                 Some(ActivationDecision::PromoteInPlace { .. }) => {
                     let remaining = self.vms[vi].allocation - self.vms[vi].demand;
                     self.traffic
@@ -1019,8 +1159,8 @@ impl ClusterSim {
 
     /// Runs one manager planning round and executes the plan.
     fn plan_and_execute(&mut self, now: SimTime) {
-        let view = self.snapshot(now);
-        let actions = self.manager.plan(&view);
+        self.refresh_vacatable(now);
+        let actions = self.manager.plan(&self.view);
         let interval = (now.as_micros() / (INTERVAL_SECS as u64 * 1_000_000)) as u32;
         self.telemetry.emit(Event::PolicyDecision { interval, actions: actions.len() as u32 });
         let mut busy: std::collections::BTreeMap<HostId, f64> = std::collections::BTreeMap::new();
@@ -1418,7 +1558,13 @@ impl ClusterSim {
     /// trace step): fault onsets, trace-driven state changes, planning on
     /// the manager's own cadence, working-set growth, host sleep, series
     /// recording and energy integration.
-    fn step_interval(&mut self, interval: usize, next_plan: &mut SimTime) {
+    fn step_interval(
+        &mut self,
+        interval: usize,
+        next_plan: &mut SimTime,
+        clock: &dyn Fn() -> f64,
+        phases: &mut DayPhases,
+    ) {
         let now = SimTime::from_secs(interval as u64 * INTERVAL_SECS as u64);
         self.telemetry.advance_to(now);
         let active = self.users.iter().filter(|u| u.is_active(interval)).count();
@@ -1427,26 +1573,44 @@ impl ClusterSim {
         for h in &mut self.hosts {
             h.begin_interval();
         }
+        let t0 = clock();
         self.apply_faults(now);
+        let t1 = clock();
+        phases.fault_service_secs += t1 - t0;
         self.apply_trace(interval, now);
+        let t2 = clock();
+        phases.activation_secs += t2 - t1;
         // The manager plans on its own configurable interval (§3.1),
         // not on every trace step.
         if now >= *next_plan {
             self.plan_and_execute(now);
             *next_plan = now + self.cfg.interval;
         }
+        let t3 = clock();
+        phases.planner_secs += t3 - t2;
         self.grow_working_sets(now);
+        let t4 = clock();
+        phases.fetch_secs += t4 - t3;
         self.sleep_empty_hosts();
         self.record(now);
         self.account_energy(interval);
         self.energy_series.record(now, self.total_joules / oasis_power::meter::JOULES_PER_KWH);
+        phases.accounting_secs += clock() - t4;
     }
 
     /// Runs one full simulated day and returns the report.
-    pub fn run_day(mut self) -> SimReport {
+    pub fn run_day(self) -> SimReport {
+        self.run_day_timed(&|| 0.0, &mut DayPhases::default())
+    }
+
+    /// [`Self::run_day`], bracketing each simulation phase with `clock`
+    /// (monotonic seconds) and accumulating the breakdown into `phases`.
+    /// The clock never feeds back into the simulation, so a timed run is
+    /// byte-identical to an untimed one.
+    pub fn run_day_timed(mut self, clock: &dyn Fn() -> f64, phases: &mut DayPhases) -> SimReport {
         let mut next_plan = SimTime::ZERO;
         for interval in 0..INTERVALS_PER_DAY {
-            self.step_interval(interval, &mut next_plan);
+            self.step_interval(interval, &mut next_plan, clock, phases);
         }
         let baseline_kwh = self.baseline_joules / oasis_power::meter::JOULES_PER_KWH;
         let total_kwh = self.total_joules / oasis_power::meter::JOULES_PER_KWH;
@@ -1882,10 +2046,15 @@ mod tests {
                 .expect("valid configuration");
             let mut sim = ClusterSim::new(cfg);
             let mut next_plan = SimTime::ZERO;
+            let mut phases = DayPhases::default();
             for interval in 0..INTERVALS_PER_DAY {
-                sim.step_interval(interval, &mut next_plan);
+                sim.step_interval(interval, &mut next_plan, &|| 0.0, &mut phases);
                 sim.verify_indices().unwrap_or_else(|e| {
                     panic!("seed {seed}, interval {interval}: index drifted: {e}")
+                });
+                let now = SimTime::from_secs((interval as u64 + 1) * INTERVAL_SECS as u64);
+                sim.verify_view(now).unwrap_or_else(|e| {
+                    panic!("seed {seed}, interval {interval}: view drifted: {e}")
                 });
             }
         }

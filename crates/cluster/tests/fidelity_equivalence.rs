@@ -1,0 +1,194 @@
+//! Differential equivalence suite: the batched page-level models must be
+//! byte-identical to the per-page reference path.
+//!
+//! `ModelFidelity::Batched` replaces per-page hot loops (hypervisor
+//! fault handling, memtap fetches, pre-copy rounds, trace sampling via
+//! the memo cache) with batched or closed-form equivalents. The contract
+//! is not "statistically close" but *bit-identical*: same reports, same
+//! RNG draw sequence, same golden telemetry stream. This suite locks
+//! that contract at cluster scope — `run_day` across seeds with and
+//! without fault schedules, `run_week`, and the figure-8 sweep — so any
+//! future batched shortcut that changes an observable byte fails here
+//! rather than silently skewing the paper's figures.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use oasis_cluster::experiments::{figure8_at, run_week_on, Scale};
+use oasis_cluster::{ClusterConfig, ClusterSim};
+use oasis_core::PolicyKind;
+use oasis_faults::{Fault, FaultClass, FaultSchedule};
+use oasis_sim::fidelity::FIDELITY_ENV;
+use oasis_sim::{ModelFidelity, SimDuration, SimTime, WorkerPool};
+use oasis_telemetry::{JsonlSink, Level, Telemetry};
+use oasis_trace::DayKind;
+
+/// A `Write` handle over a shared buffer, so the test can read back what
+/// the boxed sink wrote.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A fault day touching every recovery path the simulator models.
+fn fault_schedule() -> FaultSchedule {
+    let mut faults = Vec::new();
+    for h in 0..6 {
+        faults.push(Fault {
+            kind: FaultClass::WakeFailure,
+            host: Some(h),
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(86_400),
+            severity: 0.0,
+        });
+    }
+    faults.push(Fault {
+        kind: FaultClass::MemServerCrash,
+        host: Some(0),
+        start: SimTime::from_secs(21_600),
+        duration: SimDuration::from_secs(10_800),
+        severity: 0.0,
+    });
+    faults.push(Fault {
+        kind: FaultClass::LinkDegraded,
+        host: None,
+        start: SimTime::from_secs(36_000),
+        duration: SimDuration::from_secs(3_600),
+        severity: 4.0,
+    });
+    FaultSchedule::new(faults)
+}
+
+/// Smoke-scale config with an explicit fidelity (never the env default,
+/// so the suite is deterministic under the CI fidelity matrix).
+fn config(fidelity: ModelFidelity, seed: u64, faults: FaultSchedule) -> ClusterConfig {
+    ClusterConfig::builder()
+        .policy(PolicyKind::FullToPartial)
+        .home_hosts(6)
+        .consolidation_hosts(2)
+        .vms_per_host(10)
+        .seed(seed)
+        .wol_loss_rate(0.3)
+        .fidelity(fidelity)
+        .faults(faults)
+        .build()
+        .expect("valid configuration")
+}
+
+/// Blanks the wall-clock span percentiles (`wall_ns_p50`/`wall_ns_p99`
+/// in `SpanSummary`) — the only real-time-derived bytes in a report —
+/// so the comparison covers every simulated value and nothing else.
+fn scrub_wall_times(debug: &str) -> String {
+    let mut out = String::with_capacity(debug.len());
+    let mut rest = debug;
+    while let Some(pos) = rest.find("wall_ns_p") {
+        let end = pos + "wall_ns_p50: ".len();
+        out.push_str(&rest[..end]);
+        rest = &rest[end..];
+        let digits = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        out.push('_');
+        rest = &rest[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Runs one traced day; returns the full JSONL telemetry stream and the
+/// `Debug` rendering of the report — together, every observable byte.
+fn traced_day(fidelity: ModelFidelity, seed: u64, faults: FaultSchedule) -> (String, String) {
+    let buf = SharedBuf::default();
+    let telemetry = Telemetry::new(Level::Debug);
+    telemetry.attach(Box::new(JsonlSink::new(buf.clone())));
+    let mut sim = ClusterSim::new(config(fidelity, seed, faults));
+    sim.attach_telemetry(telemetry);
+    let report = sim.run_day();
+    let stream = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    (stream, scrub_wall_times(&format!("{report:?}")))
+}
+
+#[test]
+fn run_day_is_bit_identical_across_fidelities() {
+    for seed in [1u64, 2, 3] {
+        let (pp_stream, pp_report) =
+            traced_day(ModelFidelity::PerPage, seed, FaultSchedule::none());
+        let (b_stream, b_report) = traced_day(ModelFidelity::Batched, seed, FaultSchedule::none());
+        assert!(!pp_stream.is_empty());
+        assert_eq!(pp_report, b_report, "seed {seed}: batched report diverged");
+        assert_eq!(pp_stream, b_stream, "seed {seed}: batched telemetry stream diverged");
+    }
+}
+
+#[test]
+fn run_day_under_faults_is_bit_identical_across_fidelities() {
+    for seed in [1u64, 2, 3] {
+        let (pp_stream, pp_report) = traced_day(ModelFidelity::PerPage, seed, fault_schedule());
+        let (b_stream, b_report) = traced_day(ModelFidelity::Batched, seed, fault_schedule());
+        assert!(pp_stream.contains("\"kind\":\"fault_injected\""));
+        assert_eq!(pp_report, b_report, "seed {seed}: batched faulted report diverged");
+        assert_eq!(pp_stream, b_stream, "seed {seed}: batched faulted stream diverged");
+    }
+}
+
+#[test]
+fn run_week_is_bit_identical_across_fidelities() {
+    let pool = WorkerPool::sequential();
+    let per_page = run_week_on(&pool, &config(ModelFidelity::PerPage, 7, FaultSchedule::none()));
+    let batched = run_week_on(&pool, &config(ModelFidelity::Batched, 7, FaultSchedule::none()));
+    assert_eq!(per_page.days.len(), 7);
+    assert_eq!(format!("{per_page:?}"), format!("{batched:?}"), "batched week diverged");
+}
+
+#[test]
+fn figure8_sweep_is_bit_identical_across_fidelities() {
+    // `figure8_at` builds its configs internally, so the fidelity comes
+    // from `OASIS_FIDELITY`. Every other test in this binary sets the
+    // fidelity explicitly through the builder, so swapping the env var
+    // here cannot leak into them; the previous value is restored for the
+    // CI fidelity matrix.
+    let saved = std::env::var(FIDELITY_ENV).ok();
+    let pool = WorkerPool::sequential();
+    let sweep = |fidelity: ModelFidelity| {
+        std::env::set_var(FIDELITY_ENV, fidelity.to_string());
+        figure8_at(&pool, Scale::SMOKE, DayKind::Weekday, 2)
+    };
+    let per_page = sweep(ModelFidelity::PerPage);
+    let batched = sweep(ModelFidelity::Batched);
+    match saved {
+        Some(v) => std::env::set_var(FIDELITY_ENV, v),
+        None => std::env::remove_var(FIDELITY_ENV),
+    }
+    assert!(!per_page.is_empty());
+    assert_eq!(per_page, batched, "batched figure-8 sweep diverged");
+}
+
+#[test]
+fn fidelity_equivalence_holds_for_every_figure8_policy() {
+    for policy in PolicyKind::FIGURE8 {
+        let report = |fidelity| {
+            let cfg = ClusterConfig::builder()
+                .policy(policy)
+                .home_hosts(6)
+                .consolidation_hosts(4)
+                .vms_per_host(10)
+                .seed(2)
+                .fidelity(fidelity)
+                .build()
+                .expect("valid configuration");
+            format!("{:?}", ClusterSim::new(cfg).run_day())
+        };
+        assert_eq!(
+            report(ModelFidelity::PerPage),
+            report(ModelFidelity::Batched),
+            "policy {policy:?}: batched report diverged"
+        );
+    }
+}

@@ -21,7 +21,7 @@ use oasis_sim::SimRng;
 use oasis_vm::{HostId, VmId, VmState};
 
 use crate::policy::{ActivationDecision, PlannedAction, PolicyKind};
-use crate::view::{ClusterView, HostRole};
+use crate::view::{ClusterView, HostRole, VmView};
 
 /// How the planner picks a destination among viable consolidation hosts.
 ///
@@ -70,6 +70,66 @@ impl Default for PlannerConfig {
     }
 }
 
+/// One-pass per-host aggregates over a snapshot.
+///
+/// The planner used to answer every `demand_on`/`vms_on`/`host` query
+/// with a fresh scan of the VM vector — `O(hosts × VMs)` per round, and
+/// worse inside sort comparators. This index is built once per round in
+/// a single pass; the per-host demand sums accumulate in the same VM
+/// order the scans used (integer adds, so the totals are bit-equal) and
+/// the resident lists preserve VM-vector order exactly.
+struct HostIndex {
+    /// Total resident demand per host position.
+    demand: Vec<ByteSize>,
+    /// Indices into `view.vms` of residents, per host position, in
+    /// VM-vector order.
+    residents: Vec<Vec<usize>>,
+}
+
+/// Position of `id` in `view.hosts`: O(1) for the `hosts[id]` layout the
+/// simulator builds, falling back to a scan for arbitrary views. Ids are
+/// unique in a well-formed view, so both paths name the same host.
+fn host_pos(view: &ClusterView, id: HostId) -> Option<usize> {
+    let p = id.0 as usize;
+    if view.hosts.get(p).is_some_and(|h| h.id == id) {
+        return Some(p);
+    }
+    view.hosts.iter().position(|h| h.id == id)
+}
+
+impl HostIndex {
+    fn new(view: &ClusterView) -> Self {
+        let mut demand = vec![ByteSize::ZERO; view.hosts.len()];
+        let mut residents = vec![Vec::new(); view.hosts.len()];
+        for (vi, vm) in view.vms.iter().enumerate() {
+            if let Some(p) = host_pos(view, vm.location) {
+                demand[p] += vm.demand;
+                residents[p].push(vi);
+            }
+        }
+        HostIndex { demand, residents }
+    }
+
+    fn demand_on(&self, view: &ClusterView, host: HostId) -> ByteSize {
+        host_pos(view, host).map_or(ByteSize::ZERO, |p| self.demand[p])
+    }
+
+    fn has_residents(&self, view: &ClusterView, host: HostId) -> bool {
+        host_pos(view, host).is_some_and(|p| !self.residents[p].is_empty())
+    }
+
+    fn residents_on<'v>(&self, view: &'v ClusterView, host: HostId) -> Vec<&'v VmView> {
+        match host_pos(view, host) {
+            Some(p) => self.residents[p].iter().map(|&vi| &view.vms[vi]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn role_of(&self, view: &ClusterView, host: HostId) -> Option<HostRole> {
+        host_pos(view, host).map(|p| view.hosts[p].role)
+    }
+}
+
 /// Tracks planned capacity changes during one planning round.
 struct CapacityLedger {
     /// Free bytes per consolidation host after planned placements.
@@ -81,11 +141,12 @@ struct CapacityLedger {
 }
 
 impl CapacityLedger {
-    fn new(view: &ClusterView, headroom: ByteSize) -> Self {
+    fn new(view: &ClusterView, index: &HostIndex, headroom: ByteSize) -> Self {
         let mut free = BTreeMap::new();
         let mut powered = BTreeMap::new();
         for h in view.consolidation_hosts() {
-            free.insert(h.id, view.free_on(h.id).saturating_sub(headroom));
+            let unreserved = h.capacity.saturating_sub(index.demand_on(view, h.id));
+            free.insert(h.id, unreserved.saturating_sub(headroom));
             powered.insert(h.id, h.powered);
         }
         CapacityLedger { free, powered, woken: Vec::new() }
@@ -173,7 +234,8 @@ pub fn plan_consolidation(
         return Vec::new();
     }
 
-    let mut ledger = CapacityLedger::new(view, config.promotion_headroom);
+    let index = HostIndex::new(view);
+    let mut ledger = CapacityLedger::new(view, &index, config.promotion_headroom);
     let mut actions = Vec::new();
 
     // Exchange pass (§3.2 FulltoPartial): a full VM gone idle on a
@@ -182,7 +244,7 @@ pub fn plan_consolidation(
     if policy.exchanges_full_for_partial() {
         for vm in &view.vms {
             let on_consolidation =
-                view.host(vm.location).is_some_and(|h| h.role == HostRole::Consolidation);
+                index.role_of(view, vm.location) == Some(HostRole::Consolidation);
             let has_remote_home = vm.home != vm.location;
             if on_consolidation && !vm.partial && vm.state == VmState::Idle && has_remote_home {
                 actions.push(PlannedAction::Exchange {
@@ -199,15 +261,15 @@ pub fn plan_consolidation(
     // Vacate pass: queue of powered compute hosts by ascending demand.
     let mut queue: Vec<HostId> = view
         .compute_hosts()
-        .filter(|h| h.powered && h.vacatable && view.vms_on(h.id).next().is_some())
+        .filter(|h| h.powered && h.vacatable && index.has_residents(view, h.id))
         .map(|h| h.id)
         .collect();
-    queue.sort_by_key(|&h| (view.demand_on(h), h));
+    queue.sort_by_key(|&h| (index.demand_on(view, h), h));
 
     let mut vacated = 0usize;
     let mut vacate_actions = Vec::new();
     for host in queue {
-        let vms: Vec<_> = view.vms_on(host).collect();
+        let vms: Vec<_> = index.residents_on(view, host);
         if policy == PolicyKind::OnlyPartial && vms.iter().any(|v| v.state.is_active()) {
             continue; // Cannot vacate a host with active VMs.
         }
@@ -281,13 +343,13 @@ pub fn plan_consolidation(
     // powered-host count.
     let mut drain_queue: Vec<HostId> = view
         .consolidation_hosts()
-        .filter(|h| h.powered && view.vms_on(h.id).next().is_some())
+        .filter(|h| h.powered && index.has_residents(view, h.id))
         .map(|h| h.id)
         .collect();
-    drain_queue.sort_by_key(|&h| (view.demand_on(h), h));
+    drain_queue.sort_by_key(|&h| (index.demand_on(view, h), h));
     let mut drained: Vec<HostId> = Vec::new();
     for host in drain_queue {
-        let vms: Vec<_> = view.vms_on(host).collect();
+        let vms: Vec<_> = index.residents_on(view, host);
         let mut tentative: Vec<(PlannedAction, HostId, ByteSize)> = Vec::new();
         let mut ok = true;
         for vm in &vms {
@@ -625,7 +687,8 @@ mod tests {
         view.hosts[2].capacity = ByteSize::gib(150);
         view.hosts[3].capacity = ByteSize::gib(100);
         let need = ByteSize::gib(4);
-        let ledger = CapacityLedger::new(&view, ByteSize::ZERO);
+        let index = HostIndex::new(&view);
+        let ledger = CapacityLedger::new(&view, &index, ByteSize::ZERO);
         let candidates = ledger.powered_candidates(need);
         assert_eq!(candidates.len(), 3);
         let mut rng = SimRng::new(1);

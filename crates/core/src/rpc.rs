@@ -287,6 +287,7 @@ mod tests {
                     mk(2, HostRole::Consolidation, false),
                 ],
                 vms: self.vms.clone(),
+                host_demand: Vec::new(),
             }
         }
 

@@ -62,16 +62,60 @@ pub struct ClusterView {
     pub hosts: Vec<HostView>,
     /// All VMs.
     pub vms: Vec<VmView>,
+    /// Per-host resident demand, positionally parallel to `hosts`.
+    ///
+    /// Optional fast path: when its length matches `hosts`, [`demand_on`]
+    /// answers from this aggregate instead of scanning the VM vector.
+    /// The simulator maintains it at the same mutation funnels as the
+    /// host/VM views (see [`rebuild_host_demand`] for the from-scratch
+    /// definition it must match); leaving it empty — the default for
+    /// hand-built views — keeps the original scan.
+    ///
+    /// [`demand_on`]: ClusterView::demand_on
+    /// [`rebuild_host_demand`]: ClusterView::rebuild_host_demand
+    pub host_demand: Vec<ByteSize>,
 }
 
 impl ClusterView {
-    /// The host with the given id.
-    pub fn host(&self, id: HostId) -> Option<&HostView> {
-        self.hosts.iter().find(|h| h.id == id)
+    /// Position of `id` in `hosts`: O(1) for the `hosts[id]` layout the
+    /// simulator builds, falling back to a scan for arbitrary views. Ids
+    /// are unique in a well-formed view, so both paths name the same host.
+    fn pos(&self, id: HostId) -> Option<usize> {
+        let p = id.0 as usize;
+        if self.hosts.get(p).is_some_and(|h| h.id == id) {
+            return Some(p);
+        }
+        self.hosts.iter().position(|h| h.id == id)
     }
 
-    /// The VM with the given id.
+    /// The host with the given id.
+    pub fn host(&self, id: HostId) -> Option<&HostView> {
+        self.pos(id).map(|p| &self.hosts[p])
+    }
+
+    /// Recomputes `host_demand` from the VM vector.
+    ///
+    /// The sums accumulate in VM-vector order with integer adds, so the
+    /// aggregate is bit-equal to what the `demand_on` scan returns.
+    pub fn rebuild_host_demand(&mut self) {
+        let mut demand = vec![ByteSize::ZERO; self.hosts.len()];
+        for i in 0..self.vms.len() {
+            let vm = &self.vms[i];
+            if let Some(p) = self.pos(vm.location) {
+                demand[p] += vm.demand;
+            }
+        }
+        self.host_demand = demand;
+    }
+
+    /// The VM with the given id (O(1) for the `vms[id]` layout the
+    /// simulator builds, falling back to a scan for arbitrary views).
     pub fn vm(&self, id: VmId) -> Option<&VmView> {
+        if let Some(v) = self.vms.get(id.0 as usize) {
+            if v.id == id {
+                return Some(v);
+            }
+        }
         self.vms.iter().find(|v| v.id == id)
     }
 
@@ -87,6 +131,11 @@ impl ClusterView {
 
     /// Total memory demanded on `host` right now.
     pub fn demand_on(&self, host: HostId) -> ByteSize {
+        if self.host_demand.len() == self.hosts.len() {
+            if let Some(p) = self.pos(host) {
+                return self.host_demand[p];
+            }
+        }
         self.vms_on(host).map(|v| v.demand).sum()
     }
 
@@ -155,7 +204,7 @@ pub(crate) mod testutil {
                 capacity,
             });
         }
-        ClusterView { hosts, vms }
+        ClusterView { hosts, vms, host_demand: Vec::new() }
     }
 }
 
@@ -182,6 +231,20 @@ mod tests {
         assert_eq!(view.free_on(HostId(0)), ByteSize::gib(180));
         assert_eq!(view.demand_on(HostId(1)), ByteSize::ZERO);
         assert_eq!(view.free_on(HostId(7)), ByteSize::ZERO, "unknown host");
+    }
+
+    #[test]
+    fn host_demand_aggregate_matches_scan() {
+        let mut view = small_cluster(2, 1, 3);
+        view.vms[0].location = HostId(2); // One VM consolidated.
+        view.vms[1].demand = ByteSize::mib(165);
+        let scanned: Vec<ByteSize> = view.hosts.iter().map(|h| view.demand_on(h.id)).collect();
+        view.rebuild_host_demand();
+        assert_eq!(view.host_demand.len(), view.hosts.len());
+        for (h, want) in view.hosts.iter().zip(&scanned) {
+            assert_eq!(view.demand_on(h.id), *want, "aggregate diverges on {:?}", h.id);
+        }
+        assert_eq!(view.demand_on(HostId(9)), ByteSize::ZERO, "unknown host");
     }
 
     #[test]

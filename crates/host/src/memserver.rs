@@ -99,6 +99,9 @@ pub struct MemoryServer {
     crashed: bool,
     /// Page requests accepted but not yet answered, in arrival order.
     pending: Vec<(VmId, PageNum)>,
+    /// Fault-injection fuse: the daemon dies right after this many more
+    /// successful serves ([`MemoryServer::schedule_crash_after`]).
+    crash_fuse: Option<u64>,
     /// Per-VM image: page → compressed size on disk.
     images: BTreeMap<VmId, BTreeMap<u64, u32>>,
     stats: ServeStats,
@@ -124,6 +127,7 @@ impl MemoryServer {
             serving: false,
             crashed: false,
             pending: Vec::new(),
+            crash_fuse: None,
             images: BTreeMap::new(),
             stats: ServeStats::default(),
             pages_served: telemetry.metrics().counter("memserver_pages_served_total", &[]),
@@ -255,7 +259,21 @@ impl MemoryServer {
     pub fn crash(&mut self) -> Vec<(VmId, PageNum)> {
         self.serving = false;
         self.crashed = true;
+        self.crash_fuse = None;
         core::mem::take(&mut self.pending)
+    }
+
+    /// Arms a fault-injection fuse: the serving daemon crashes immediately
+    /// after `served` more successful [`MemoryServer::serve_page`] calls
+    /// (a fuse of 0 crashes on the next attempt, before it is answered).
+    ///
+    /// Unlike [`MemoryServer::crash`], the crash lands at an exact point
+    /// in a request stream, which is how a daemon death interleaves with a
+    /// multi-page fetch in flight. Fetches still pending at that moment
+    /// stay queued; they error with [`MsError::Crashed`] when answered or
+    /// are reclaimed by [`MemoryServer::abort_fetches`].
+    pub fn schedule_crash_after(&mut self, served: u64) {
+        self.crash_fuse = Some(served);
     }
 
     /// The low-power processor reboots, re-attaches the drive and resumes
@@ -322,12 +340,26 @@ impl MemoryServer {
         if !self.serving {
             return Err(MsError::NotServing);
         }
+        if self.crash_fuse == Some(0) {
+            self.serving = false;
+            self.crashed = true;
+            self.crash_fuse = None;
+            return Err(MsError::Crashed);
+        }
         let image = self.images.get(&vm).ok_or(MsError::UnknownVm(vm))?;
         let size = image.get(&page.0).copied().ok_or(MsError::UnknownPage(vm, page))?;
         let size = ByteSize::bytes(u64::from(size));
         self.stats.requests += 1;
         self.stats.bytes_sent += size;
         self.pages_served.inc();
+        if let Some(fuse) = &mut self.crash_fuse {
+            *fuse -= 1;
+            if *fuse == 0 {
+                self.serving = false;
+                self.crashed = true;
+                self.crash_fuse = None;
+            }
+        }
         Ok(size)
     }
 
@@ -643,6 +675,36 @@ mod tests {
         ms.restart().unwrap();
         assert!(!ms.is_crashed());
         assert_eq!(ms.serve_page(VmId(1), PageNum(4)).unwrap(), ByteSize::bytes(500));
+    }
+
+    #[test]
+    fn crash_fuse_fires_after_exact_serve_count() {
+        let mut ms = server();
+        ms.upload(VmId(1), &pages(0..10, 500), false).unwrap();
+        ms.handoff_to_server().unwrap();
+        ms.schedule_crash_after(2);
+        assert!(ms.serve_page(VmId(1), PageNum(0)).is_ok());
+        assert!(!ms.is_crashed());
+        assert!(ms.serve_page(VmId(1), PageNum(1)).is_ok(), "last serve still answered");
+        assert!(ms.is_crashed(), "daemon dies right after the fused serve");
+        assert_eq!(ms.serve_page(VmId(1), PageNum(2)), Err(MsError::Crashed));
+        assert_eq!(ms.stats().requests, 2, "only answered requests counted");
+        // Restart clears the fuse along with the crash.
+        ms.restart().unwrap();
+        assert!(ms.serve_page(VmId(1), PageNum(2)).is_ok());
+        assert!(ms.serve_page(VmId(1), PageNum(3)).is_ok());
+        assert!(!ms.is_crashed());
+    }
+
+    #[test]
+    fn zero_fuse_crashes_before_answering() {
+        let mut ms = server();
+        ms.upload(VmId(1), &pages(0..10, 500), false).unwrap();
+        ms.handoff_to_server().unwrap();
+        ms.schedule_crash_after(0);
+        assert_eq!(ms.serve_page(VmId(1), PageNum(0)), Err(MsError::Crashed));
+        assert!(ms.is_crashed());
+        assert_eq!(ms.stats().requests, 0);
     }
 
     #[test]

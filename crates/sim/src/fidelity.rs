@@ -1,0 +1,85 @@
+//! Model fidelity selection for page-level components.
+//!
+//! The host-level models (hypervisor fault handling, memtap fetches, the
+//! pre-copy dirty-set recurrence) come in two implementations: the
+//! original page-at-a-time loops and batched/closed-form equivalents that
+//! operate on runs, chunks and analytically derived round counts. Both
+//! produce **bit-identical** results — the batched forms preserve every
+//! RNG draw, every integer sum and every f64 accumulation order of the
+//! per-page path, and the differential equivalence suite locks that
+//! promise. [`ModelFidelity`] is the switch.
+
+/// Environment variable that selects the default fidelity
+/// ([`ModelFidelity::from_env`]).
+pub const FIDELITY_ENV: &str = "OASIS_FIDELITY";
+
+/// Which implementation of the page-level models to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ModelFidelity {
+    /// The reference implementation: one page-table walk, one fault
+    /// service, one dirty-set round at a time.
+    #[default]
+    PerPage,
+    /// Run-length batches over page tables, chunk-granular memtap
+    /// fetches and the analytic pre-copy round count. Byte-identical to
+    /// [`ModelFidelity::PerPage`] by construction and by test.
+    Batched,
+}
+
+impl ModelFidelity {
+    /// Reads the fidelity from `OASIS_FIDELITY` (`per-page` or
+    /// `batched`), defaulting to [`ModelFidelity::PerPage`] when unset
+    /// or unparseable.
+    pub fn from_env() -> Self {
+        std::env::var(FIDELITY_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(ModelFidelity::PerPage)
+    }
+}
+
+impl core::str::FromStr for ModelFidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "per-page" | "perpage" | "per_page" => Ok(ModelFidelity::PerPage),
+            "batched" => Ok(ModelFidelity::Batched),
+            other => Err(format!("unknown fidelity {other:?} (per-page|batched)")),
+        }
+    }
+}
+
+impl core::fmt::Display for ModelFidelity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelFidelity::PerPage => write!(f, "per-page"),
+            ModelFidelity::Batched => write!(f, "batched"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_spellings() {
+        assert_eq!("per-page".parse(), Ok(ModelFidelity::PerPage));
+        assert_eq!("perpage".parse(), Ok(ModelFidelity::PerPage));
+        assert_eq!("batched".parse(), Ok(ModelFidelity::Batched));
+        assert!("fast".parse::<ModelFidelity>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for f in [ModelFidelity::PerPage, ModelFidelity::Batched] {
+            assert_eq!(f.to_string().parse(), Ok(f));
+        }
+    }
+
+    #[test]
+    fn default_is_per_page() {
+        assert_eq!(ModelFidelity::default(), ModelFidelity::PerPage);
+    }
+}

@@ -17,10 +17,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod model;
 pub mod sample;
 pub mod trace;
 
+pub use cache::{
+    clear_trace_cache, shared_library, trace_cache_len, TraceKey, TRACE_CACHE_CAPACITY,
+};
 pub use model::{ActivityModel, DayKind};
 pub use sample::sample_user_days;
 pub use trace::{TraceError, TraceSet, UserDay, INTERVALS_PER_DAY, INTERVAL_MINUTES};

@@ -40,6 +40,7 @@ impl ClusterBackend for MiniCluster {
                 host(3, HostRole::Consolidation, false),
             ],
             vms: self.vms.clone(),
+            host_demand: Vec::new(),
         }
     }
 

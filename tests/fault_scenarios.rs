@@ -220,6 +220,53 @@ fn migration_stalls_abort_cleanly_and_replan() {
 }
 
 #[test]
+fn mid_chunk_memserver_crash_charges_only_served_pages() {
+    // Regression: when a memory-server crash lands in the middle of a
+    // batched memtap fetch, the abort must charge the memtap for exactly
+    // the pages the server actually answered. An earlier batched draft
+    // pre-charged the whole chunk, overstating fetch traffic (faults,
+    // raw and compressed bytes) on every crash.
+    use oasis::host::memserver::MsError;
+    use oasis::host::{MemoryServer, Memtap};
+    use oasis::mem::{ByteSize, PageNum, PAGE_SIZE};
+    use oasis::net::LinkSpec;
+    use oasis::power::profile::MemoryServerProfile;
+    use oasis::vm::VmId;
+
+    let vm = VmId(7);
+    let mut ms = MemoryServer::new(MemoryServerProfile::prototype());
+    let batch: Vec<_> =
+        (0..12u64).map(|i| (PageNum(i), ByteSize::bytes(900 + (i % 5) * 150))).collect();
+    ms.upload(vm, &batch, false).unwrap();
+    ms.handoff_to_server().unwrap();
+    let mut mt = Memtap::new(vm, LinkSpec::gige(), ms.service_time());
+
+    // The daemon dies right after its fifth answer, mid-chunk.
+    ms.schedule_crash_after(5);
+    let pages: Vec<PageNum> = (0..12).map(PageNum).collect();
+    let fetch = mt.fetch_chunk(&mut ms, &pages);
+
+    assert_eq!(fetch.aborted, Some(MsError::Crashed));
+    assert_eq!(fetch.served.len(), 5, "five answers landed before the crash");
+    let stats = mt.stats();
+    assert_eq!(stats.faults, 5, "memtap charged for the served prefix only");
+    assert_eq!(stats.raw_bytes, ByteSize::bytes(5 * PAGE_SIZE));
+    assert_eq!(stats.compressed_bytes, fetch.compressed());
+    assert_eq!(ms.stats().requests, 5, "server counted only answered requests");
+    assert_eq!(ms.in_flight(), 0, "the aborted remainder was reclaimed");
+    assert!(ms.is_crashed());
+
+    // After a restart the same chunk completes and the accounting resumes
+    // from the prefix — nothing was double-charged across the crash.
+    ms.restart().unwrap();
+    let refetch = mt.fetch_chunk(&mut ms, &pages);
+    assert_eq!(refetch.aborted, None);
+    assert_eq!(refetch.served.len(), 12);
+    assert_eq!(mt.stats().faults, 5 + 12);
+    assert_eq!(ms.stats().requests, 5 + 12);
+}
+
+#[test]
 fn fixed_seed_fault_runs_are_reproducible() {
     // The same seed and schedule reproduce the exact fault sequence:
     // every counter, every recovery time, every placement.
