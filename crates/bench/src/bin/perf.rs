@@ -36,6 +36,7 @@ use oasis_cluster::{ClusterConfig, ClusterSim, DayPhases};
 use oasis_core::PolicyKind;
 use oasis_sim::pool::JOBS_ENV;
 use oasis_sim::WorkerPool;
+use oasis_telemetry::{Level, Telemetry};
 use oasis_trace::DayKind;
 
 /// Simulated seconds in the day workload (288 five-minute intervals).
@@ -51,6 +52,12 @@ struct PerfReport {
     day_paper_wall_secs: f64,
     day_paper_sim_secs_per_sec: f64,
     day_paper_phases: DayPhases,
+    /// Bracketed wall not captured by any phase bucket (loop overhead,
+    /// report assembly); closes the books so phases + other ≈ total.
+    day_paper_other_secs: f64,
+    /// Fraction of a profiled paper day's bracketed wall covered by the
+    /// span profiler's `run_day` tree.
+    day_paper_span_coverage: f64,
     sweep_seq_wall_secs: f64,
     sweep_par_wall_secs: f64,
     sweep_seq_sims_per_sec: f64,
@@ -68,6 +75,7 @@ impl PerfReport {
              \"day_paper_construct_secs\": {:.4},\n  \"day_paper_fault_secs\": {:.4},\n  \
              \"day_paper_activation_secs\": {:.4},\n  \"day_paper_planner_secs\": {:.4},\n  \
              \"day_paper_fetch_secs\": {:.4},\n  \"day_paper_accounting_secs\": {:.4},\n  \
+             \"day_paper_other_secs\": {:.4},\n  \"day_paper_span_coverage\": {:.4},\n  \
              \"sweep_seq_wall_secs\": {:.4},\n  \
              \"sweep_par_wall_secs\": {:.4},\n  \"sweep_seq_sims_per_sec\": {:.3},\n  \
              \"sweep_par_sims_per_sec\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
@@ -85,6 +93,8 @@ impl PerfReport {
             self.day_paper_phases.planner_secs,
             self.day_paper_phases.fetch_secs,
             self.day_paper_phases.accounting_secs,
+            self.day_paper_other_secs,
+            self.day_paper_span_coverage,
             self.sweep_seq_wall_secs,
             self.sweep_par_wall_secs,
             self.sweep_seq_sims_per_sec,
@@ -164,15 +174,42 @@ fn run_perf(out: &Reporter) -> PerfReport {
         day_paper_phases.fault_service_secs,
         day_paper_phases.activation_secs
     );
+    let day_paper_other_secs = (day_paper_wall_secs - day_paper_phases.total_secs()).max(0.0);
     outln!(
         out,
-        "        planner {:.4}s  fetch {:.4}s  accounting {:.4}s  (phase sum {:.4}s)",
+        "        planner {:.4}s  fetch {:.4}s  accounting {:.4}s  other {:.4}s  (phases+other {:.4}s)",
         day_paper_phases.planner_secs,
         day_paper_phases.fetch_secs,
         day_paper_phases.accounting_secs,
-        day_paper_phases.total_secs()
+        day_paper_other_secs,
+        day_paper_phases.total_secs() + day_paper_other_secs
     );
     out.sample("day_paper", (day_paper_wall_secs * 1e9) as u64, 1);
+
+    // Workload 1c: the same paper day with the hierarchical span
+    // profiler attached (events filtered at Warn, no sinks — the cost
+    // measured is the profiler itself). The tree's wall self-times must
+    // account for the bracketed wall of the run they cover.
+    let telemetry = Telemetry::new(Level::Warn);
+    let mut profiled = ClusterSim::new(paper_cfg());
+    profiled.attach_telemetry(telemetry.clone());
+    let (_, profiled_wall_secs) = wall(move || profiled.run_day());
+    let tree = telemetry.profiler().snapshot();
+    let day_paper_span_coverage = if profiled_wall_secs > 0.0 {
+        tree.total_wall_ns() as f64 / 1e9 / profiled_wall_secs
+    } else {
+        0.0
+    };
+    outln!(out, "profiled paper day ({profiled_wall_secs:.3}s bracketed wall):");
+    for line in tree.render(true).lines() {
+        outln!(out, "  {line}");
+    }
+    outln!(
+        out,
+        "        span self-times sum to {:.4}s — {:.1}% of the bracketed wall",
+        tree.self_wall_ns_sum() as f64 / 1e9,
+        day_paper_span_coverage * 100.0
+    );
 
     // Workload 2: the sweep, sequential then parallel. The results must
     // agree exactly — the pool's order-preserving map is what makes the
@@ -208,6 +245,8 @@ fn run_perf(out: &Reporter) -> PerfReport {
         day_paper_wall_secs,
         day_paper_sim_secs_per_sec,
         day_paper_phases,
+        day_paper_other_secs,
+        day_paper_span_coverage,
         sweep_seq_wall_secs,
         sweep_par_wall_secs,
         sweep_seq_sims_per_sec,
@@ -245,6 +284,44 @@ fn check(report: &PerfReport, baseline_path: &str, out: &Reporter) -> bool {
             ok = false;
         } else {
             outln!(out, "check {name}: {current:.2} vs baseline {base:.2} — ok");
+        }
+    }
+
+    // The paper-day phase breakdown must account for the bracketed
+    // wall: named phases plus the `other` residual re-sum to the total
+    // (±5%, with an absolute floor for very fast machines where the
+    // 4-decimal rounding dominates).
+    let current_json = report.to_json();
+    for (label, text) in [("baseline", text.as_str()), ("current", current_json.as_str())] {
+        let total = json_f64(text, "day_paper_wall_secs").unwrap_or(0.0);
+        let sum: f64 = [
+            "day_paper_trace_secs",
+            "day_paper_construct_secs",
+            "day_paper_fault_secs",
+            "day_paper_activation_secs",
+            "day_paper_planner_secs",
+            "day_paper_fetch_secs",
+            "day_paper_accounting_secs",
+            "day_paper_other_secs",
+        ]
+        .iter()
+        .map(|k| json_f64(text, k).unwrap_or(f64::NAN))
+        .sum();
+        if !sum.is_finite() {
+            // Pre-residual baselines lack day_paper_other_secs; the
+            // throughput checks above still apply.
+            outln!(out, "check phases({label}): no residual key — skipped");
+            continue;
+        }
+        let tolerance = (total * 0.05).max(0.002);
+        if (sum - total).abs() > tolerance {
+            eprintln!(
+                "perf: phase accounting broken in {label}: phases+other {sum:.4}s vs \
+                 day_paper_wall_secs {total:.4}s"
+            );
+            ok = false;
+        } else {
+            outln!(out, "check phases({label}): {sum:.4}s ≈ {total:.4}s — ok");
         }
     }
     ok

@@ -12,6 +12,9 @@
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
 //!              [--jobs N] [--fidelity per-page|batched]
 //! oasis micro  [--seed S] [--fidelity per-page|batched]
+//! oasis report [same sim flags] [--format text|json] [--top N]
+//!              [--wall true] [--folded PATH] [--folded-metric wall|sim|calls]
+//!              [--audit-out PATH] [--out PATH]
 //! oasis trace  generate [--users N] [--weeks N] [--seed S] [--out PATH]
 //! oasis trace  stats <PATH>
 //! ```
@@ -19,6 +22,7 @@
 //! Flags accept both `--flag value` and `--flag=value`.
 
 pub mod args;
+pub mod report;
 
 use args::Args;
 use oasis_cluster::experiments::run_week_on;
@@ -28,7 +32,7 @@ use oasis_faults::{FaultProfile, FaultSchedule};
 use oasis_migration::lab::{LabOptions, MicroLab};
 use oasis_power::MemoryServerProfile;
 use oasis_sim::{ModelFidelity, SimDuration, WorkerPool};
-use oasis_telemetry::{JsonlSink, Level, Telemetry};
+use oasis_telemetry::{FoldedMetric, JsonlSink, Level, Telemetry};
 use oasis_trace::{ActivityModel, DayKind, TraceSet};
 use oasis_vm::apps::DesktopWorkload;
 use std::path::Path;
@@ -46,6 +50,10 @@ fn usage() -> ! {
          oasis week   --policy FulltoPartial --seed 1 [--jobs N] \\\n\
          \x20             [--fidelity per-page|batched]\n\
          oasis micro  --seed 1 [--fidelity per-page|batched]\n\
+         oasis report --policy FulltoPartial --day weekday --seed 1 \\\n\
+         \x20             [--format text|json] [--top 10] [--wall true] \\\n\
+         \x20             [--folded profile.folded] [--folded-metric wall|sim|calls] \\\n\
+         \x20             [--audit-out audit.jsonl] [--out report.txt]\n\
          oasis trace  generate --users 22 --weeks 17 --seed 1 --out traces.txt\n\
          oasis trace  stats traces.txt"
     );
@@ -220,6 +228,52 @@ fn cmd_sim(args: Args) {
     }
 }
 
+const REPORT_FLAGS: &[&str] = &[
+    "policy",
+    "day",
+    "homes",
+    "cons",
+    "vms",
+    "seed",
+    "interval-mins",
+    "memserver-watts",
+    "trace",
+    "faults",
+    "fault-profile",
+    "fidelity",
+    "format",
+    "top",
+    "wall",
+    "folded",
+    "folded-metric",
+    "audit-out",
+    "out",
+];
+
+fn cmd_report(args: Args) {
+    let cfg = cluster_config(&args);
+    let include_wall = args.get_or("wall", false).unwrap_or_else(|e| fail(e));
+    let top = args.get_or("top", 10usize).unwrap_or_else(|e| fail(e));
+    let run = report::traced_run(cfg);
+    if let Some(path) = args.get("folded") {
+        let metric: FoldedMetric =
+            args.get_or("folded-metric", FoldedMetric::SimMicros).unwrap_or_else(|e| fail(e));
+        std::fs::write(path, run.tree.folded(metric)).unwrap_or_else(|e| fail(e));
+    }
+    if let Some(path) = args.get("audit-out") {
+        std::fs::write(path, report::audit_jsonl(&run.records)).unwrap_or_else(|e| fail(e));
+    }
+    let text = match args.get("format").unwrap_or("text") {
+        "text" => report::render_text(&run, top, include_wall),
+        "json" => report::render_json(&run, top, include_wall),
+        other => fail(format!("unknown report format {other:?} (text|json)")),
+    };
+    match args.get("out") {
+        Some(path) => std::fs::write(path, text).unwrap_or_else(|e| fail(e)),
+        None => print!("{text}"),
+    }
+}
+
 fn cmd_week(args: Args) {
     let cfg = cluster_config(&args);
     let week = run_week_on(&pool_from(&args), &cfg);
@@ -318,6 +372,7 @@ pub fn run() {
     match command.as_str() {
         "sim" => cmd_sim(Args::parse(argv, SIM_FLAGS).unwrap_or_else(|e| fail(e))),
         "week" => cmd_week(Args::parse(argv, BASE_FLAGS).unwrap_or_else(|e| fail(e))),
+        "report" => cmd_report(Args::parse(argv, REPORT_FLAGS).unwrap_or_else(|e| fail(e))),
         "micro" => cmd_micro(Args::parse(argv, &["seed", "fidelity"]).unwrap_or_else(|e| fail(e))),
         "trace" => cmd_trace(argv),
         _ => usage(),

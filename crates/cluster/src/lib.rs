@@ -21,5 +21,5 @@ pub mod results;
 pub mod sim;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder};
-pub use results::{SimReport, VmPlacement};
+pub use results::{DecisionCounts, SimReport, VmPlacement};
 pub use sim::{ClusterSim, DayPhases};

@@ -5,8 +5,47 @@ use oasis_faults::FaultCounts;
 use oasis_mem::ByteSize;
 use oasis_net::TrafficAccountant;
 use oasis_sim::stats::{Cdf, TimeSeries};
-use oasis_telemetry::TelemetrySummary;
+use oasis_telemetry::{EnergyLedger, QuiescenceLedger, TelemetrySummary};
 use oasis_trace::DayKind;
+
+/// Planner and recovery decision counters, one per [`oasis_telemetry::DecisionClass`].
+///
+/// Tracked by the simulator itself (like [`MigrationCounts`]), so the
+/// report carries the audit-trail totals even when no telemetry bus was
+/// attached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecisionCounts {
+    /// Planned consolidation migrations.
+    pub consolidate: u64,
+    /// Planned FulltoPartial exchanges.
+    pub exchange: u64,
+    /// Activations promoted in place.
+    pub promote_in_place: u64,
+    /// Activations relocated to a new home (NewHome).
+    pub relocate: u64,
+    /// Activations returned to their woken home.
+    pub return_home: u64,
+    /// Fallback promotions and crash re-homings.
+    pub fallback_promote: u64,
+    /// Capacity-exhaustion sheds (eviction or fallback relocation).
+    pub shed: u64,
+    /// Stalled-migration recovery decisions.
+    pub stall: u64,
+}
+
+impl DecisionCounts {
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.consolidate
+            + self.exchange
+            + self.promote_in_place
+            + self.relocate
+            + self.return_home
+            + self.fallback_promote
+            + self.shed
+            + self.stall
+    }
+}
 
 /// Migration-event counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -81,6 +120,14 @@ pub struct SimReport {
     pub energy_series: TimeSeries,
     /// End-of-day VM placements, for integrity checking.
     pub placements: Vec<VmPlacement>,
+    /// Per-host active/idle/transition energy decomposition and per-VM
+    /// demand-weighted shares, in integer millijoules.
+    pub energy: EnergyLedger,
+    /// Per-host and per-VM quiescent-interval counts (sizing evidence for
+    /// event-driven interval skipping).
+    pub quiescence: QuiescenceLedger,
+    /// Planner and recovery decision counters.
+    pub decisions: DecisionCounts,
     /// Event counts and span timings from the run's telemetry bus (empty
     /// when telemetry was never attached).
     pub telemetry: TelemetrySummary,
@@ -183,6 +230,9 @@ mod tests {
             recovery_times: Cdf::new(),
             energy_series: TimeSeries::new(),
             placements: Vec::new(),
+            energy: EnergyLedger::default(),
+            quiescence: QuiescenceLedger::default(),
+            decisions: DecisionCounts::default(),
             telemetry: TelemetrySummary::default(),
         }
     }

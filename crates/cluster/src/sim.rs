@@ -31,13 +31,16 @@ use oasis_net::{TrafficAccountant, TrafficClass};
 use oasis_power::PowerState;
 use oasis_sim::stats::{Cdf, TimeSeries};
 use oasis_sim::{SimDuration, SimRng, SimTime};
-use oasis_telemetry::{Event, MigrationKind, RecoveryKind, Telemetry, CLUSTER_WIDE};
+use oasis_telemetry::{
+    DecisionClass, EnergyLedger, Event, HostEnergy, MigrationKind, QuiescenceLedger, RecoveryKind,
+    Telemetry, VmEnergy, CLUSTER_WIDE,
+};
 use oasis_trace::{sample_user_days, UserDay, INTERVALS_PER_DAY};
 use oasis_vm::workload::WorkloadClass;
 use oasis_vm::{HostId, VmId, VmState};
 
 use crate::config::ClusterConfig;
-use crate::results::{MigrationCounts, SimReport, VmPlacement};
+use crate::results::{DecisionCounts, MigrationCounts, SimReport, VmPlacement};
 
 /// Interval length in seconds (5-minute trace intervals).
 const INTERVAL_SECS: f64 = 300.0;
@@ -279,6 +282,20 @@ pub struct ClusterSim {
     fault_counts: FaultCounts,
     recovery_times: Cdf,
     energy_series: TimeSeries,
+    /// Per-host integer-millijoule energy components, parallel to
+    /// `hosts`. Accumulated alongside the `f64` total so the report can
+    /// decompose energy without perturbing the existing accounting.
+    host_energy: Vec<HostEnergy>,
+    /// Per-VM millijoule share of the hosts' active components, parallel
+    /// to `vms` (demand-weighted split per interval).
+    vm_energy_mj: Vec<u64>,
+    /// Per-host "mutated this interval" flags for the quiescence ledger,
+    /// parallel to `hosts`; cleared at every interval boundary.
+    dirty_hosts: Vec<bool>,
+    /// Per-VM mutation flags, parallel to `vms`.
+    dirty_vms: Vec<bool>,
+    quiescence: QuiescenceLedger,
+    decisions: DecisionCounts,
     telemetry: Telemetry,
 }
 
@@ -428,6 +445,13 @@ impl ClusterSim {
         view.rebuild_host_demand();
 
         let recovery_rng = SimRng::new(cfg.seed ^ 0xFA17_5EED);
+        let host_energy = hosts
+            .iter()
+            .map(|h| HostEnergy { host: h.id.0, ..HostEnergy::default() })
+            .collect::<Vec<_>>();
+        let vm_energy_mj = vec![0u64; vms.len()];
+        let dirty_hosts = vec![false; hosts.len()];
+        let dirty_vms = vec![false; vms.len()];
         phases.construct_secs += clock() - t1;
         ClusterSim {
             cfg,
@@ -457,6 +481,12 @@ impl ClusterSim {
             fault_counts: FaultCounts::default(),
             recovery_times: Cdf::new(),
             energy_series: TimeSeries::new(),
+            host_energy,
+            vm_energy_mj,
+            dirty_hosts,
+            dirty_vms,
+            quiescence: QuiescenceLedger::default(),
+            decisions: DecisionCounts::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -480,6 +510,7 @@ impl ClusterSim {
             return;
         }
         self.hosts[idx].set_power(offset_secs, on);
+        self.dirty_hosts[idx] = true;
         self.view.hosts[idx].powered = on;
         let host = self.hosts[idx].id.0;
         self.telemetry.emit(if on {
@@ -516,13 +547,22 @@ impl ClusterSim {
     /// the host sits in a wake-failure window that outlasted the
     /// retry/backoff recovery — the host stays asleep and the caller must
     /// degrade gracefully.
-    fn try_wake(&mut self, idx: usize, offset_secs: f64, now: SimTime) -> Result<f64, f64> {
+    ///
+    /// `decision` is the audit-trail id of the decision this wake serves;
+    /// it is threaded into any recovery events the wake produces.
+    fn try_wake(
+        &mut self,
+        idx: usize,
+        offset_secs: f64,
+        now: SimTime,
+        decision: u64,
+    ) -> Result<f64, f64> {
         if self.hosts[idx].powered {
             return Ok(0.0);
         }
         let host = self.hosts[idx].id.0;
         if let Some(fault) = self.cfg.faults.wake_failure(host, now).copied() {
-            return match self.wake_recovery(host, fault, now) {
+            return match self.wake_recovery(host, fault, now, decision) {
                 Ok(waited) => {
                     // A retry landed after the window cleared: the host
                     // comes up late.
@@ -545,7 +585,13 @@ impl ClusterSim {
     /// backoff carries it past the window's end; a sequence that exhausts
     /// its budget inside the window is abandoned. Returns the seconds
     /// spent waiting either way.
-    fn wake_recovery(&mut self, host: u32, fault: Fault, now: SimTime) -> Result<f64, f64> {
+    fn wake_recovery(
+        &mut self,
+        host: u32,
+        fault: Fault,
+        now: SimTime,
+        decision: u64,
+    ) -> Result<f64, f64> {
         self.fault_counts.wake_failures += 1;
         let policy = RetryPolicy::recovery();
         let telemetry = self.telemetry.clone();
@@ -562,8 +608,11 @@ impl ClusterSim {
         if outcome.completed {
             self.fault_counts.recoveries += 1;
             self.recovery_times.record(waited);
-            self.telemetry
-                .emit(Event::RecoveryApplied { action: RecoveryKind::RetryWake, target: host });
+            self.telemetry.emit(Event::RecoveryApplied {
+                action: RecoveryKind::RetryWake,
+                target: host,
+                decision,
+            });
             Ok(waited)
         } else {
             self.fault_counts.wake_exhausted += 1;
@@ -589,8 +638,20 @@ impl ClusterSim {
         self.counts.promotions += 1;
         self.fault_counts.fallback_promotions += 1;
         self.fault_counts.recoveries += 1;
-        self.telemetry
-            .emit(Event::RecoveryApplied { action: RecoveryKind::FallbackPromote, target });
+        self.decisions.fallback_promote += 1;
+        let decision = self.telemetry.next_decision_id();
+        self.telemetry.emit(Event::DecisionMade {
+            decision,
+            class: DecisionClass::FallbackPromote,
+            vm: target,
+            target: self.vms[vi].location.0,
+            candidates: 1,
+        });
+        self.telemetry.emit(Event::RecoveryApplied {
+            action: RecoveryKind::FallbackPromote,
+            target,
+            decision,
+        });
     }
 
     /// Moves a VM off an exhausted host by full migration when waking its
@@ -609,7 +670,9 @@ impl ClusterSim {
         // wakeable) at half the host walks, with O(1) demand lookups.
         let mut sleeper = None;
         let mut dest = None;
+        let mut examined = 0u32;
         for h in &self.hosts {
+            examined += 1;
             if h.id == src || self.demand_on(h.id) + need > capacity {
                 continue;
             }
@@ -622,8 +685,17 @@ impl ClusterSim {
             }
         }
         let Some(dest) = dest.or(sleeper) else { return false };
+        self.decisions.shed += 1;
+        let decision = self.telemetry.next_decision_id();
+        self.telemetry.emit(Event::DecisionMade {
+            decision,
+            class: DecisionClass::Shed,
+            vm: self.vms[vi].id.0,
+            target: dest.0,
+            candidates: examined,
+        });
         let di = self.host_index(dest);
-        if self.try_wake(di, 0.0, now).is_err() {
+        if self.try_wake(di, 0.0, now, decision).is_err() {
             return false;
         }
         let moved = self.vms[vi].allocation.mul_f64(1.15);
@@ -635,6 +707,7 @@ impl ClusterSim {
             kind: MigrationKind::Full,
             moved_bytes: moved.as_bytes(),
             downtime_us: self.stretch(self.cfg.full_migration_time).as_micros(),
+            decision,
         });
         self.move_vm_to(vi, dest);
         self.set_vm_partial(vi, false);
@@ -644,8 +717,11 @@ impl ClusterSim {
         self.counts.full += 1;
         self.fault_counts.fallback_promotions += 1;
         self.fault_counts.recoveries += 1;
-        self.telemetry
-            .emit(Event::RecoveryApplied { action: RecoveryKind::FallbackPromote, target });
+        self.telemetry.emit(Event::RecoveryApplied {
+            action: RecoveryKind::FallbackPromote,
+            target,
+            decision,
+        });
         true
     }
 
@@ -671,7 +747,20 @@ impl ClusterSim {
             let target = self.vms[vi].id.0;
             self.fault_counts.rehomed_vms += 1;
             self.fault_counts.recoveries += 1;
-            self.telemetry.emit(Event::RecoveryApplied { action: RecoveryKind::Rehome, target });
+            self.decisions.fallback_promote += 1;
+            let decision = self.telemetry.next_decision_id();
+            self.telemetry.emit(Event::DecisionMade {
+                decision,
+                class: DecisionClass::FallbackPromote,
+                vm: target,
+                target: self.vms[vi].location.0,
+                candidates: 1,
+            });
+            self.telemetry.emit(Event::RecoveryApplied {
+                action: RecoveryKind::Rehome,
+                target,
+                decision,
+            });
         }
     }
 
@@ -686,9 +775,22 @@ impl ClusterSim {
         to: u32,
         fault: Fault,
         now: SimTime,
+        decision: u64,
     ) -> Option<f64> {
         self.fault_counts.migration_stalls += 1;
-        self.telemetry.emit(Event::MigrationStalled { vm, from, to });
+        self.telemetry.emit(Event::MigrationStalled { vm, from, to, decision });
+        // The retry-vs-abort choice is a decision of its own; the
+        // recovery events reference it, while the migration lifecycle
+        // events keep the planner's id.
+        self.decisions.stall += 1;
+        let recovery = self.telemetry.next_decision_id();
+        self.telemetry.emit(Event::DecisionMade {
+            decision: recovery,
+            class: DecisionClass::Stall,
+            vm,
+            target: to,
+            candidates: 0,
+        });
         let policy = RetryPolicy::recovery();
         let window_end = fault.end();
         let outcome =
@@ -698,8 +800,11 @@ impl ClusterSim {
         if outcome.completed {
             let waited = outcome.waited.as_secs_f64();
             self.recovery_times.record(waited);
-            self.telemetry
-                .emit(Event::RecoveryApplied { action: RecoveryKind::RetryMigration, target: vm });
+            self.telemetry.emit(Event::RecoveryApplied {
+                action: RecoveryKind::RetryMigration,
+                target: vm,
+                decision: recovery,
+            });
             Some(waited)
         } else {
             self.fault_counts.migrations_aborted += 1;
@@ -708,9 +813,13 @@ impl ClusterSim {
                 from,
                 to,
                 attempts: outcome.attempts,
+                decision,
             });
-            self.telemetry
-                .emit(Event::RecoveryApplied { action: RecoveryKind::AbortMigration, target: vm });
+            self.telemetry.emit(Event::RecoveryApplied {
+                action: RecoveryKind::AbortMigration,
+                target: vm,
+                decision: recovery,
+            });
             None
         }
     }
@@ -762,6 +871,9 @@ impl ClusterSim {
         if src == dest {
             return;
         }
+        self.dirty_vms[vi] = true;
+        self.dirty_hosts[src.0 as usize] = true;
+        self.dirty_hosts[dest.0 as usize] = true;
         let (demand, active, partial, home) = {
             let v = &self.vms[vi];
             (v.demand, v.state.is_active(), v.partial, v.home)
@@ -803,6 +915,9 @@ impl ClusterSim {
 
     /// Sets a VM's demand, keeping its host's cached demand sum current.
     fn set_vm_demand(&mut self, vi: usize, demand: ByteSize) {
+        if self.vms[vi].demand != demand {
+            self.dirty_vms[vi] = true;
+        }
         let host = self.vms[vi].location.0 as usize;
         let r = &mut self.residency[host];
         r.demand = (r.demand + demand) - self.vms[vi].demand;
@@ -822,6 +937,8 @@ impl ClusterSim {
         if v.partial == partial {
             return;
         }
+        self.dirty_vms[vi] = true;
+        let v = &self.vms[vi];
         if v.location != v.home {
             let slot = &mut self.home_partials[v.home.0 as usize];
             if partial {
@@ -839,6 +956,9 @@ impl ClusterSim {
     /// Sets a VM's activity state, keeping its host's active count current.
     fn set_vm_state(&mut self, vi: usize, state: VmState) {
         let old = self.vms[vi].state;
+        if old != state {
+            self.dirty_vms[vi] = true;
+        }
         if old.is_active() != state.is_active() {
             let r = &mut self.residency[self.vms[vi].location.0 as usize];
             if state.is_active() {
@@ -981,9 +1101,17 @@ impl ClusterSim {
     /// work serialized on the host and any injected wake latency — or
     /// `Err(waited)` when the home sits in a wake-failure window that
     /// outlasted recovery (no VM moves; the caller degrades).
-    fn return_home(&mut self, home: HostId, now: SimTime) -> Result<(f64, f64), f64> {
+    ///
+    /// `decision` is the audit-trail id this return executes; every
+    /// resulting migration event carries it.
+    fn return_home(
+        &mut self,
+        home: HostId,
+        now: SimTime,
+        decision: u64,
+    ) -> Result<(f64, f64), f64> {
         let hi = self.host_index(home);
-        let wake_extra = self.try_wake(hi, 0.0, now)?;
+        let wake_extra = self.try_wake(hi, 0.0, now, decision)?;
         if !self.cfg.vacate_cooldown.is_zero() {
             self.cooldown_until.insert(home, now + self.cfg.vacate_cooldown);
         }
@@ -1021,6 +1149,7 @@ impl ClusterSim {
                 kind,
                 moved_bytes: moved.as_bytes(),
                 downtime_us: downtime.as_micros(),
+                decision,
             });
             self.move_vm_to(i, home);
             self.set_vm_partial(i, false);
@@ -1057,6 +1186,7 @@ impl ClusterSim {
             let vm_id = self.vms[vi].id;
             match self.manager.handle_activation(&self.view, vm_id) {
                 Some(ActivationDecision::PromoteInPlace { .. }) => {
+                    self.decisions.promote_in_place += 1;
                     let remaining = self.vms[vi].allocation - self.vms[vi].demand;
                     self.traffic
                         .record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
@@ -1082,8 +1212,10 @@ impl ClusterSim {
                     self.delays.record(base + f64::from(queued) * base * 0.4);
                 }
                 Some(ActivationDecision::MoveTo { destination, .. }) => {
+                    self.decisions.relocate += 1;
+                    let decision = self.manager.last_decision_id();
                     let di = self.host_index(destination);
-                    match self.try_wake(di, 0.0, now) {
+                    match self.try_wake(di, 0.0, now, decision) {
                         Ok(extra) => {
                             self.traffic.record(
                                 TrafficClass::FullMigration,
@@ -1108,6 +1240,8 @@ impl ClusterSim {
                     }
                 }
                 Some(ActivationDecision::ReturnHome { home, .. }) => {
+                    self.decisions.return_home += 1;
+                    let decision = self.manager.last_decision_id();
                     let was_asleep = !self.hosts[self.host_index(home)].powered;
                     let queued = *self.reintegration_queue.entry(home).or_insert(0);
                     self.reintegration_queue.insert(home, queued + 1);
@@ -1130,7 +1264,7 @@ impl ClusterSim {
                         0.0
                     };
                     let reint = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
-                    match self.return_home(home, now) {
+                    match self.return_home(home, now, decision) {
                         Ok((_, wake_extra)) => {
                             let wake = if was_asleep {
                                 wol_wait
@@ -1161,13 +1295,19 @@ impl ClusterSim {
     fn plan_and_execute(&mut self, now: SimTime) {
         self.refresh_vacatable(now);
         let actions = self.manager.plan(&self.view);
+        // Ids allocated by the manager, aligned index-for-index with the
+        // actions; they tie every migration event below back to its
+        // `decision_made` audit record.
+        let decision_ids: Vec<u64> = self.manager.last_plan_decision_ids().to_vec();
         let interval = (now.as_micros() / (INTERVAL_SECS as u64 * 1_000_000)) as u32;
         self.telemetry.emit(Event::PolicyDecision { interval, actions: actions.len() as u32 });
         let mut busy: std::collections::BTreeMap<HostId, f64> = std::collections::BTreeMap::new();
 
-        for action in actions {
+        for (ai, action) in actions.into_iter().enumerate() {
+            let decision = decision_ids.get(ai).copied().unwrap_or(0);
             match action {
                 PlannedAction::Migrate { source, order } => {
+                    self.decisions.consolidate += 1;
                     let vi = order.vm.0 as usize;
                     // Skip stale orders (state changed since the snapshot).
                     if self.vms[vi].location != source {
@@ -1196,6 +1336,7 @@ impl ClusterSim {
                         from: source.0,
                         to: order.destination.0,
                         kind: mig_kind,
+                        decision,
                     });
                     // An active stall window holds the transfer: recovery
                     // retries with backoff, and cancels the migration if
@@ -1208,6 +1349,7 @@ impl ClusterSim {
                             order.destination.0,
                             fault,
                             now,
+                            decision,
                         ) {
                             Some(held) => {
                                 *busy.entry(source).or_insert(0.0) += held;
@@ -1217,7 +1359,7 @@ impl ClusterSim {
                     }
                     let di = self.host_index(order.destination);
                     let offset = *busy.get(&source).unwrap_or(&0.0);
-                    match self.try_wake(di, offset, now) {
+                    match self.try_wake(di, offset, now, decision) {
                         Ok(_) => {}
                         Err(_) => {
                             // Destination unwakeable: abandon the order.
@@ -1227,6 +1369,7 @@ impl ClusterSim {
                                 from: source.0,
                                 to: order.destination.0,
                                 attempts: 0,
+                                decision,
                             });
                             continue;
                         }
@@ -1308,9 +1451,11 @@ impl ClusterSim {
                         kind: mig_kind,
                         moved_bytes: moved.as_bytes(),
                         downtime_us: downtime.as_micros(),
+                        decision,
                     });
                 }
                 PlannedAction::Exchange { vm, home, consolidation } => {
+                    self.decisions.exchange += 1;
                     let vi = vm.0 as usize;
                     if self.vms[vi].location != consolidation || self.vms[vi].partial {
                         continue;
@@ -1330,6 +1475,7 @@ impl ClusterSim {
                             from: consolidation.0,
                             to: home.0,
                             attempts: 0,
+                            decision,
                         });
                         continue;
                     }
@@ -1338,6 +1484,7 @@ impl ClusterSim {
                         from: consolidation.0,
                         to: home.0,
                         kind: MigrationKind::Exchange,
+                        decision,
                     });
                     // Wake the home temporarily: full migration back, then
                     // partial re-consolidation to the same host (§3.2).
@@ -1354,6 +1501,7 @@ impl ClusterSim {
                             self.fault_counts.wake_delays += 1;
                         }
                         self.hosts[hi].temporary_episode(episode + extra);
+                        self.dirty_hosts[hi] = true;
                         self.telemetry.emit(Event::HostResumed { host: home.0 });
                         self.telemetry.emit(Event::HostSuspended { host: home.0 });
                     }
@@ -1398,6 +1546,7 @@ impl ClusterSim {
                             + oasis_migration::partial::DESCRIPTOR_BYTES)
                             .as_bytes(),
                         downtime_us: SimDuration::from_secs_f64(episode).as_micros(),
+                        decision,
                     });
                 }
             }
@@ -1470,7 +1619,18 @@ impl ClusterSim {
                     Some(vi) => {
                         let home = self.vms[vi].home;
                         self.telemetry.emit(Event::CapacityExhausted { host: host.0 });
-                        if self.return_home(home, now).is_ok() {
+                        // Evicting the requester's home-group is a shed
+                        // decision the simulator takes on its own.
+                        self.decisions.shed += 1;
+                        let decision = self.telemetry.next_decision_id();
+                        self.telemetry.emit(Event::DecisionMade {
+                            decision,
+                            class: DecisionClass::Shed,
+                            vm: self.vms[vi].id.0,
+                            target: home.0,
+                            candidates: 1,
+                        });
+                        if self.return_home(home, now, decision).is_ok() {
                             continue;
                         }
                         // The home cannot be woken: shed the requester to
@@ -1511,10 +1671,15 @@ impl ClusterSim {
         }
     }
 
-    /// Integrates this interval's energy and the §5.3 baseline.
+    /// Integrates this interval's energy and the §5.3 baseline, and
+    /// accumulates the integer-millijoule attribution ledger plus the
+    /// per-interval quiescence counts alongside.
     fn account_energy(&mut self, interval: usize) {
         let p = &self.cfg.host_profile;
         let ms_watts = self.cfg.memserver.active_watts;
+        fn mj(joules: f64) -> u64 {
+            (joules * 1_000.0).round().max(0.0) as u64
+        }
         for h in 0..self.hosts.len() {
             let id = self.hosts[h].id;
             let role = self.hosts[h].role;
@@ -1544,7 +1709,65 @@ impl ClusterSim {
                 joules += asleep * ms_watts;
             }
             self.total_joules += joules;
+
+            // Attribution ledger: the same interval decomposed into
+            // active (draw above the zero-VM floor), idle (powered floor
+            // + S3 draw), transition and memory-server components, each
+            // rounded to integer millijoules per interval.
+            let idle_floor = p.watts(PowerState::Powered, 0);
+            let active_mj = mj(awake * (p.watts(PowerState::Powered, active) - idle_floor));
+            let acc = &mut self.host_energy[h];
+            acc.active_mj += active_mj;
+            acc.idle_mj += mj(awake * idle_floor + asleep * sleep_draw);
+            acc.transition_mj += mj(suspends * p.suspend_time.as_secs_f64() * p.suspend_watts
+                + resumes * p.resume_time.as_secs_f64() * p.resume_watts);
+            if role == HostRole::Compute && serves_partials {
+                acc.memserver_mj += mj(asleep * ms_watts);
+            }
+
+            // The active component is attributed to the VMs that caused
+            // it: a demand-weighted integer split over the host's active
+            // residents, with the rounding remainder assigned to the
+            // lowest-indexed one so the shares always sum bit-exactly to
+            // the host's active millijoules.
+            if active_mj > 0 {
+                let active_vms: Vec<usize> = self.residency[h]
+                    .vms
+                    .iter()
+                    .copied()
+                    .filter(|&vi| self.vms[vi].state.is_active())
+                    .collect();
+                if !active_vms.is_empty() {
+                    let weight_sum: u128 = active_vms
+                        .iter()
+                        .map(|&vi| u128::from(self.vms[vi].demand.as_bytes()))
+                        .sum();
+                    let mut assigned = 0u64;
+                    for &vi in &active_vms {
+                        let w = u128::from(self.vms[vi].demand.as_bytes());
+                        // Zero total demand degrades to an equal split.
+                        let share = match (u128::from(active_mj) * w).checked_div(weight_sum) {
+                            Some(s) => s as u64,
+                            None => active_mj / active_vms.len() as u64,
+                        };
+                        self.vm_energy_mj[vi] += share;
+                        assigned += share;
+                    }
+                    self.vm_energy_mj[active_vms[0]] += active_mj - assigned;
+                }
+            }
+
+            // Quiescence: a host whose placement/power state nothing
+            // touched this interval (and that never transitioned) could
+            // have been skipped by an event-driven stepper.
+            if !self.dirty_hosts[h] && self.hosts[h].suspends == 0 && self.hosts[h].resumes == 0 {
+                self.quiescence.host_quiescent += 1;
+            }
         }
+        self.quiescence.intervals += 1;
+        self.quiescence.host_intervals += self.hosts.len() as u64;
+        self.quiescence.vm_intervals += self.vms.len() as u64;
+        self.quiescence.vm_quiescent += self.dirty_vms.iter().filter(|d| !**d).count() as u64;
         // Baseline: home hosts powered all day, VMs in place.
         for home in 0..self.cfg.home_hosts {
             let lo = (home * self.cfg.vms_per_host) as usize;
@@ -1573,28 +1796,40 @@ impl ClusterSim {
         for h in &mut self.hosts {
             h.begin_interval();
         }
+        self.dirty_hosts.iter_mut().for_each(|d| *d = false);
+        self.dirty_vms.iter_mut().for_each(|d| *d = false);
         let t0 = clock();
+        let scope = self.telemetry.profile("fault_service");
         self.apply_faults(now);
+        scope.end();
         let t1 = clock();
         phases.fault_service_secs += t1 - t0;
+        let scope = self.telemetry.profile("activation");
         self.apply_trace(interval, now);
+        scope.end();
         let t2 = clock();
         phases.activation_secs += t2 - t1;
         // The manager plans on its own configurable interval (§3.1),
         // not on every trace step.
+        let scope = self.telemetry.profile("planner");
         if now >= *next_plan {
             self.plan_and_execute(now);
             *next_plan = now + self.cfg.interval;
         }
+        scope.end();
         let t3 = clock();
         phases.planner_secs += t3 - t2;
+        let scope = self.telemetry.profile("fetch");
         self.grow_working_sets(now);
+        scope.end();
         let t4 = clock();
         phases.fetch_secs += t4 - t3;
+        let scope = self.telemetry.profile("accounting");
         self.sleep_empty_hosts();
         self.record(now);
         self.account_energy(interval);
         self.energy_series.record(now, self.total_joules / oasis_power::meter::JOULES_PER_KWH);
+        scope.end();
         phases.accounting_secs += clock() - t4;
     }
 
@@ -1608,10 +1843,12 @@ impl ClusterSim {
     /// The clock never feeds back into the simulation, so a timed run is
     /// byte-identical to an untimed one.
     pub fn run_day_timed(mut self, clock: &dyn Fn() -> f64, phases: &mut DayPhases) -> SimReport {
+        let day_scope = self.telemetry.profile("run_day");
         let mut next_plan = SimTime::ZERO;
         for interval in 0..INTERVALS_PER_DAY {
             self.step_interval(interval, &mut next_plan, clock, phases);
         }
+        day_scope.end();
         let baseline_kwh = self.baseline_joules / oasis_power::meter::JOULES_PER_KWH;
         let total_kwh = self.total_joules / oasis_power::meter::JOULES_PER_KWH;
         self.telemetry.flush();
@@ -1647,6 +1884,17 @@ impl ClusterSim {
             recovery_times: self.recovery_times,
             energy_series: self.energy_series,
             placements,
+            energy: EnergyLedger {
+                hosts: self.host_energy,
+                vms: self
+                    .vms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| VmEnergy { vm: v.id.0, share_mj: self.vm_energy_mj[i] })
+                    .collect(),
+            },
+            quiescence: self.quiescence,
+            decisions: self.decisions,
             telemetry: self.telemetry.summary(),
         }
     }
@@ -1789,8 +2037,9 @@ mod tests {
         sim.hosts[0].set_power(0.0, false);
         sim.hosts[2].set_power(0.0, true);
 
-        let (work, wake_extra) =
-            sim.return_home(HostId(0), SimTime::from_secs(600)).expect("no wake faults scheduled");
+        let (work, wake_extra) = sim
+            .return_home(HostId(0), SimTime::from_secs(600), 0)
+            .expect("no wake faults scheduled");
         assert!(work > 0.0);
         assert_eq!(wake_extra, 0.0);
         assert!(sim.hosts[0].powered, "home woke");
@@ -1824,13 +2073,13 @@ mod tests {
         sim.hosts[0].set_power(0.0, false);
         // Inside the window the recovery budget (< 40 s) cannot outlast
         // the two-hour fault: the wake is abandoned, the host sleeps on.
-        assert!(sim.try_wake(0, 0.0, SimTime::from_secs(600)).is_err());
+        assert!(sim.try_wake(0, 0.0, SimTime::from_secs(600), 0).is_err());
         assert!(!sim.hosts[0].powered);
         assert_eq!(sim.fault_counts.wake_failures, 1);
         assert_eq!(sim.fault_counts.wake_exhausted, 1);
         assert!(sim.fault_counts.wake_retries > 0);
         // Past the window the wake is clean.
-        assert_eq!(sim.try_wake(0, 0.0, SimTime::from_secs(3 * 3600)), Ok(0.0));
+        assert_eq!(sim.try_wake(0, 0.0, SimTime::from_secs(3 * 3600), 0), Ok(0.0));
         assert!(sim.hosts[0].powered);
     }
 
@@ -1853,7 +2102,7 @@ mod tests {
             .expect("valid configuration");
         let mut sim = ClusterSim::new(cfg);
         sim.hosts[0].set_power(0.0, false);
-        assert_eq!(sim.try_wake(0, 0.0, SimTime::from_secs(600)), Ok(45.0));
+        assert_eq!(sim.try_wake(0, 0.0, SimTime::from_secs(600), 0), Ok(45.0));
         assert!(sim.hosts[0].powered, "a delayed wake still succeeds");
         assert_eq!(sim.fault_counts.wake_delays, 1);
         assert_eq!(sim.fault_counts.wake_failures, 0);
@@ -1883,7 +2132,7 @@ mod tests {
         }
         sim.hosts[0].set_power(0.0, false);
         sim.hosts[2].set_power(0.0, true);
-        assert!(sim.return_home(HostId(0), SimTime::from_secs(600)).is_err());
+        assert!(sim.return_home(HostId(0), SimTime::from_secs(600), 0).is_err());
         assert!(!sim.hosts[0].powered, "home still asleep");
         for vi in 0..3 {
             assert_eq!(sim.vms[vi].location, cons, "no VM moved");
@@ -2012,7 +2261,7 @@ mod tests {
                     }
                     _ => {
                         let home = HostId(rng.index(sim.cfg.home_hosts as usize) as u32);
-                        let _ = sim.return_home(home, SimTime::from_secs(600));
+                        let _ = sim.return_home(home, SimTime::from_secs(600), 0);
                     }
                 }
                 sim.verify_indices().unwrap_or_else(|e| {

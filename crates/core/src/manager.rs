@@ -10,7 +10,9 @@ use oasis_sim::{SimDuration, SimRng, SimTime};
 use oasis_telemetry::Telemetry;
 use oasis_vm::{HostId, VmId};
 
-use crate::placement::{on_partial_activated, plan_consolidation_traced, PlannerConfig};
+use oasis_telemetry::{DecisionClass, Event};
+
+use crate::placement::{on_partial_activated_with_stats, plan_consolidation_traced, PlannerConfig};
 use crate::policy::{ActivationDecision, PlannedAction, PolicyKind};
 use crate::view::{ClusterView, HostRole};
 
@@ -54,6 +56,11 @@ pub struct ClusterManager {
     rng: SimRng,
     stats: ManagerStats,
     telemetry: Telemetry,
+    /// Decision ids of the most recent planning round, aligned index-for-
+    /// index with the actions that round returned.
+    last_plan_decision_ids: Vec<u64>,
+    /// Decision id of the most recent activation handling.
+    last_decision_id: u64,
 }
 
 impl ClusterManager {
@@ -64,6 +71,8 @@ impl ClusterManager {
             rng: SimRng::new(seed ^ 0x0A51_50A5),
             stats: ManagerStats::default(),
             telemetry: Telemetry::disabled(),
+            last_plan_decision_ids: Vec::new(),
+            last_decision_id: 0,
         }
     }
 
@@ -95,9 +104,15 @@ impl ClusterManager {
     }
 
     /// Runs one planning round over a snapshot (§3.1 "when to migrate").
+    ///
+    /// Every returned action gets a decision id (see
+    /// [`Self::last_plan_decision_ids`]) and a `decision_made` audit
+    /// record; the round itself is summarized in one `plan_audit` event
+    /// carrying the planner's inputs.
     pub fn plan(&mut self, view: &ClusterView) -> Vec<PlannedAction> {
+        let round = self.stats.rounds as u32;
         let span = self.telemetry.span("manager_plan");
-        let actions = plan_consolidation_traced(
+        let (actions, plan_stats) = plan_consolidation_traced(
             &self.telemetry,
             view,
             self.config.policy,
@@ -107,7 +122,46 @@ impl ClusterManager {
         span.end();
         self.stats.rounds += 1;
         self.stats.actions += actions.len() as u64;
+        self.last_plan_decision_ids.clear();
+        for (i, action) in actions.iter().enumerate() {
+            let decision = self.telemetry.next_decision_id();
+            self.last_plan_decision_ids.push(decision);
+            let candidates = plan_stats.action_candidates.get(i).copied().unwrap_or(0);
+            let (class, vm, target) = match action {
+                PlannedAction::Migrate { order, .. } => {
+                    (DecisionClass::Consolidate, order.vm.0, order.destination.0)
+                }
+                PlannedAction::Exchange { vm, consolidation, .. } => {
+                    (DecisionClass::Exchange, vm.0, consolidation.0)
+                }
+            };
+            self.telemetry.emit(Event::DecisionMade { decision, class, vm, target, candidates });
+        }
+        self.telemetry.emit(Event::PlanAudit {
+            interval: round,
+            policy: self.config.policy.to_string(),
+            decision_base: self.last_plan_decision_ids.first().copied().unwrap_or(0),
+            actions: actions.len() as u32,
+            exchanges: plan_stats.exchanges,
+            vacated: plan_stats.vacated,
+            woken: plan_stats.woken,
+            approved: plan_stats.approved,
+            drained: plan_stats.drained,
+            candidates: plan_stats.candidates_examined,
+            demand_mib: plan_stats.demand_mib,
+        });
         actions
+    }
+
+    /// Decision ids allocated for the last planning round, aligned with
+    /// the actions [`Self::plan`] returned.
+    pub fn last_plan_decision_ids(&self) -> &[u64] {
+        &self.last_plan_decision_ids
+    }
+
+    /// Decision id allocated for the last activation handling.
+    pub fn last_decision_id(&self) -> u64 {
+        self.last_decision_id
     }
 
     /// Reacts to a partial VM that became active (§3.2).
@@ -117,7 +171,8 @@ impl ClusterManager {
         vm: VmId,
     ) -> Option<ActivationDecision> {
         self.stats.activations += 1;
-        let decision = on_partial_activated(view, vm, self.config.policy, &mut self.rng);
+        let (decision, candidates) =
+            on_partial_activated_with_stats(view, vm, self.config.policy, &mut self.rng);
         let outcome = match &decision {
             Some(ActivationDecision::PromoteInPlace { .. }) => "promote_in_place",
             Some(ActivationDecision::MoveTo { .. }) => "move_to",
@@ -125,6 +180,29 @@ impl ClusterManager {
             None => "none",
         };
         self.telemetry.metrics().counter("activations_total", &[("outcome", outcome)]).inc();
+        if let Some(d) = &decision {
+            let id = self.telemetry.next_decision_id();
+            self.last_decision_id = id;
+            let (class, who, target) = match d {
+                ActivationDecision::PromoteInPlace { vm } => {
+                    let loc = view.vm(*vm).map_or(0, |v| v.location.0);
+                    (DecisionClass::PromoteInPlace, vm.0, loc)
+                }
+                ActivationDecision::MoveTo { vm, destination } => {
+                    (DecisionClass::Relocate, vm.0, destination.0)
+                }
+                ActivationDecision::ReturnHome { home, .. } => {
+                    (DecisionClass::ReturnHome, vm.0, home.0)
+                }
+            };
+            self.telemetry.emit(Event::DecisionMade {
+                decision: id,
+                class,
+                vm: who,
+                target,
+                candidates,
+            });
+        }
         decision
     }
 

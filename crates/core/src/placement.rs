@@ -204,23 +204,52 @@ impl CapacityLedger {
     }
 }
 
-/// Like [`plan_consolidation`], wrapped in a `placement_search` span so
-/// the planner's wall-clock cost shows up in the telemetry registry.
+/// Aggregate inputs and outcomes of one planning round, recorded for
+/// the decision audit trail.
+///
+/// Collected with pure counting — no extra RNG draws, no reordering —
+/// so a run with stats enabled plans byte-identically to one without.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Candidate-set size the chooser examined for each *returned*
+    /// action, aligned index-for-index with the action vector.
+    pub action_candidates: Vec<u32>,
+    /// FulltoPartial exchanges planned.
+    pub exchanges: u32,
+    /// Home hosts the vacate pass emptied.
+    pub vacated: u32,
+    /// Consolidation hosts the plan wakes.
+    pub woken: u32,
+    /// Net-energy verdict for the vacate pass.
+    pub approved: bool,
+    /// Consolidation hosts the drain pass emptied.
+    pub drained: u32,
+    /// Total candidate-set sizes examined, including placements later
+    /// discarded with their host's failed vacate/drain attempt.
+    pub candidates_examined: u32,
+    /// Aggregate resident VM demand across the view, whole MiB.
+    pub demand_mib: u64,
+}
+
+/// Like [`plan_consolidation`], wrapped in a `placement_search` span and
+/// profiler scope so the planner's wall-clock cost shows up in both the
+/// flat span registry and the call tree, and returning the round's
+/// [`PlanStats`] for the audit trail.
 pub fn plan_consolidation_traced(
     telemetry: &oasis_telemetry::Telemetry,
     view: &ClusterView,
     policy: PolicyKind,
     config: &PlannerConfig,
     rng: &mut SimRng,
-) -> Vec<PlannedAction> {
+) -> (Vec<PlannedAction>, PlanStats) {
     let span = telemetry.span("placement_search");
-    let actions = plan_consolidation(view, policy, config, rng);
+    let (actions, stats) = plan_consolidation_inner(telemetry, view, policy, config, rng);
     span.end();
     telemetry
         .metrics()
         .counter("planned_actions_total", &[("policy", &policy.to_string())])
         .add(actions.len() as u64);
-    actions
+    (actions, stats)
 }
 
 /// Plans one consolidation interval; returns the actions to execute.
@@ -230,10 +259,25 @@ pub fn plan_consolidation(
     config: &PlannerConfig,
     rng: &mut SimRng,
 ) -> Vec<PlannedAction> {
+    plan_consolidation_inner(&oasis_telemetry::Telemetry::disabled(), view, policy, config, rng).0
+}
+
+fn plan_consolidation_inner(
+    telemetry: &oasis_telemetry::Telemetry,
+    view: &ClusterView,
+    policy: PolicyKind,
+    config: &PlannerConfig,
+    rng: &mut SimRng,
+) -> (Vec<PlannedAction>, PlanStats) {
+    let mut stats = PlanStats {
+        demand_mib: view.vms.iter().map(|v| v.demand).sum::<ByteSize>().as_mib(),
+        ..PlanStats::default()
+    };
     if policy == PolicyKind::AlwaysOn {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
 
+    let scope = telemetry.profile("plan_consolidation");
     let index = HostIndex::new(view);
     let mut ledger = CapacityLedger::new(view, &index, config.promotion_headroom);
     let mut actions = Vec::new();
@@ -242,6 +286,7 @@ pub fn plan_consolidation(
     // consolidation host is swapped for a partial replica of itself,
     // freeing `allocation − working set` on the spot.
     if policy.exchanges_full_for_partial() {
+        let pass = telemetry.profile("exchange_pass");
         for vm in &view.vms {
             let on_consolidation =
                 index.role_of(view, vm.location) == Some(HostRole::Consolidation);
@@ -252,13 +297,18 @@ pub fn plan_consolidation(
                     home: vm.home,
                     consolidation: vm.location,
                 });
+                stats.action_candidates.push(1);
+                stats.exchanges += 1;
+                stats.candidates_examined += 1;
                 ledger.release(vm.location, vm.allocation.saturating_sub(vm.partial_demand));
                 ledger.reserve(vm.location, ByteSize::ZERO);
             }
         }
+        pass.end();
     }
 
     // Vacate pass: queue of powered compute hosts by ascending demand.
+    let pass = telemetry.profile("vacate_pass");
     let mut queue: Vec<HostId> = view
         .compute_hosts()
         .filter(|h| h.powered && h.vacatable && index.has_residents(view, h.id))
@@ -268,13 +318,15 @@ pub fn plan_consolidation(
 
     let mut vacated = 0usize;
     let mut vacate_actions = Vec::new();
+    let mut vacate_candidates = Vec::new();
     for host in queue {
+        let _host_scan = telemetry.profile("vacate_host_scan");
         let vms: Vec<_> = index.residents_on(view, host);
         if policy == PolicyKind::OnlyPartial && vms.iter().any(|v| v.state.is_active()) {
             continue; // Cannot vacate a host with active VMs.
         }
         // Tentative placement of every VM on this host.
-        let mut tentative: Vec<(PlannedAction, HostId, ByteSize)> = Vec::new();
+        let mut tentative: Vec<(PlannedAction, HostId, ByteSize, u32)> = Vec::new();
         let mut ok = true;
         for vm in &vms {
             let (kind, need) = match (policy, vm.state) {
@@ -284,6 +336,8 @@ pub fn plan_consolidation(
                 (_, VmState::Idle) => (MigrationType::Partial, vm.partial_demand),
             };
             let candidates = ledger.powered_candidates(need);
+            let mut examined = candidates.len() as u32;
+            stats.candidates_examined += examined;
             let destination = match ledger.choose(&candidates, config.strategy, rng) {
                 Some(d) => d,
                 // Waking an additional consolidation host is justified by
@@ -295,7 +349,11 @@ pub fn plan_consolidation(
                 // capacity exists.
                 None if kind == MigrationType::Partial || !policy.uses_partial() => {
                     match ledger.wake_for(need) {
-                        Some(d) => d,
+                        Some(d) => {
+                            examined += 1;
+                            stats.candidates_examined += 1;
+                            d
+                        }
                         None => {
                             ok = false;
                             break;
@@ -315,25 +373,34 @@ pub fn plan_consolidation(
                 },
                 destination,
                 need,
+                examined,
             ));
         }
         if ok {
             vacated += 1;
-            vacate_actions.extend(tentative.into_iter().map(|(a, _, _)| a));
+            for (a, _, _, examined) in tentative {
+                vacate_actions.push(a);
+                vacate_candidates.push(examined);
+            }
         } else {
-            for (_, dest, need) in tentative {
+            for (_, dest, need, _) in tentative {
                 ledger.release(dest, need);
             }
         }
     }
+    pass.end();
 
     // Net-energy check: do the vacated homes pay for the newly woken
     // consolidation hosts?
     let saving = vacated as f64 * config.home_sleep_saving_watts;
     let cost = ledger.woken.len() as f64 * config.consolidation_power_watts;
     let vacates_approved = saving > cost;
+    stats.approved = vacates_approved;
+    stats.woken = ledger.woken.len() as u32;
+    stats.vacated = vacated as u32;
     if vacates_approved {
         actions.extend(vacate_actions);
+        stats.action_candidates.extend(vacate_candidates);
     }
 
     // Drain pass: consolidation hosts left underused (e.g. after the
@@ -341,6 +408,7 @@ pub fn plan_consolidation(
     // sleep — this is what packs all 900 VMs into three hosts at night
     // (§5.2). Draining never wakes a host, so it is a pure win for the
     // powered-host count.
+    let pass = telemetry.profile("drain_pass");
     let mut drain_queue: Vec<HostId> = view
         .consolidation_hosts()
         .filter(|h| h.powered && index.has_residents(view, h.id))
@@ -349,8 +417,9 @@ pub fn plan_consolidation(
     drain_queue.sort_by_key(|&h| (index.demand_on(view, h), h));
     let mut drained: Vec<HostId> = Vec::new();
     for host in drain_queue {
+        let _host_scan = telemetry.profile("drain_host_scan");
         let vms: Vec<_> = index.residents_on(view, host);
-        let mut tentative: Vec<(PlannedAction, HostId, ByteSize)> = Vec::new();
+        let mut tentative: Vec<(PlannedAction, HostId, ByteSize, u32)> = Vec::new();
         let mut ok = true;
         for vm in &vms {
             let (kind, need) = if vm.partial {
@@ -366,6 +435,7 @@ pub fn plan_consolidation(
                 .filter(|&d| d != host && !drained.contains(&d))
                 .filter(|d| vacates_approved || !ledger.woken.contains(d))
                 .collect();
+            stats.candidates_examined += candidates.len() as u32;
             match ledger.choose(&candidates, config.strategy, rng) {
                 Some(destination) => {
                     ledger.reserve(destination, need);
@@ -376,6 +446,7 @@ pub fn plan_consolidation(
                         },
                         destination,
                         need,
+                        candidates.len() as u32,
                     ));
                 }
                 None => {
@@ -386,14 +457,21 @@ pub fn plan_consolidation(
         }
         if ok {
             drained.push(host);
-            actions.extend(tentative.into_iter().map(|(a, _, _)| a));
+            for (a, _, _, examined) in tentative {
+                actions.push(a);
+                stats.action_candidates.push(examined);
+            }
         } else {
-            for (_, dest, need) in tentative {
+            for (_, dest, need, _) in tentative {
                 ledger.release(dest, need);
             }
         }
     }
-    actions
+    stats.drained = drained.len() as u32;
+    pass.end();
+    scope.end();
+    debug_assert_eq!(stats.action_candidates.len(), actions.len());
+    (actions, stats)
 }
 
 /// Handles a partial VM that became active (§3.2 state-change policies).
@@ -403,15 +481,28 @@ pub fn on_partial_activated(
     policy: PolicyKind,
     rng: &mut SimRng,
 ) -> Option<ActivationDecision> {
-    let vm = view.vm(vm_id)?;
+    on_partial_activated_with_stats(view, vm_id, policy, rng).0
+}
+
+/// [`on_partial_activated`] plus the number of placement candidates the
+/// policy examined, for the decision audit trail.
+pub fn on_partial_activated_with_stats(
+    view: &ClusterView,
+    vm_id: VmId,
+    policy: PolicyKind,
+    rng: &mut SimRng,
+) -> (Option<ActivationDecision>, u32) {
+    let Some(vm) = view.vm(vm_id) else {
+        return (None, 0);
+    };
     if !vm.partial {
-        return None;
+        return (None, 0);
     }
     let need = vm.allocation.saturating_sub(vm.demand);
     if view.free_on(vm.location) >= need && policy != PolicyKind::OnlyPartial {
         // Default (and refinements): promote in place; the consolidation
         // host becomes the VM's new home.
-        return Some(ActivationDecision::PromoteInPlace { vm: vm_id });
+        return (Some(ActivationDecision::PromoteInPlace { vm: vm_id }), 1);
     }
     if policy.relocates_on_saturation() {
         // NewHome: any other powered host with room for the full VM.
@@ -423,12 +514,15 @@ pub fn on_partial_activated(
             .map(|h| h.id)
             .collect();
         if let Some(&destination) = rng.choose(&candidates) {
-            return Some(ActivationDecision::MoveTo { vm: vm_id, destination });
+            return (
+                Some(ActivationDecision::MoveTo { vm: vm_id, destination }),
+                candidates.len() as u32,
+            );
         }
     }
     // Default strategy: wake the home, return all of its VMs.
     let vms: Vec<VmId> = view.vms_homed_at(vm.home).map(|v| v.id).collect();
-    Some(ActivationDecision::ReturnHome { home: vm.home, vms })
+    (Some(ActivationDecision::ReturnHome { home: vm.home, vms }), 1)
 }
 
 #[cfg(test)]

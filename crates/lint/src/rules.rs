@@ -25,10 +25,15 @@ pub const DECISION_PATH_CRATES: [&str; 6] =
 pub const PRINT_EXEMPT_CRATES: [&str; 3] = ["cli", "bench", "lint"];
 
 /// Files allowed to read wall-clock time: the bench harness measures real
-/// elapsed time, and telemetry spans record host-side wall durations that
-/// never feed back into simulation decisions.
-pub const WALL_CLOCK_ALLOWED: [&str; 2] =
-    ["crates/bench/src/timing.rs", "crates/telemetry/src/span.rs"];
+/// elapsed time, and telemetry spans and the hierarchical profiler record
+/// host-side wall durations that never feed back into simulation
+/// decisions (profile exports default to sim-time/call-count metrics so
+/// artifacts stay byte-deterministic).
+pub const WALL_CLOCK_ALLOWED: [&str; 3] = [
+    "crates/bench/src/timing.rs",
+    "crates/telemetry/src/span.rs",
+    "crates/telemetry/src/profile.rs",
+];
 
 /// The only module that may generate randomness.
 pub const RNG_HOME: &str = "crates/sim/src/rng.rs";
@@ -46,7 +51,7 @@ pub struct Rule {
 }
 
 /// All rules the pass enforces, in report order.
-pub const RULES: [Rule; 6] = [
+pub const RULES: [Rule; 7] = [
     Rule {
         id: "wall-clock",
         summary: "no Instant/SystemTime outside bench timing and telemetry wall-spans; \
@@ -72,6 +77,11 @@ pub const RULES: [Rule; 6] = [
         id: "print-hygiene",
         summary: "no println!/eprintln!/dbg! in library crates; output goes through \
                   the telemetry bus (cli and bench exempt)",
+    },
+    Rule {
+        id: "unbalanced-span",
+        summary: "no span/profile guard bound to `_` (closed before measuring anything), \
+                  and no return/? between a guard binding and its .end()",
     },
 ];
 
@@ -278,6 +288,90 @@ pub fn check_file(path: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<RawFindin
                      oasis-mem instead of spelled-out page and MiB factors"
                         .to_string(),
                 );
+            }
+        }
+
+        // unbalanced-span: `let _ = t.span(..)` / `let _ = t.profile(..)`
+        // drops the guard on the same statement, so the span measures
+        // nothing; a named guard whose `.end()` sits past a `return` or
+        // `?` silently falls back to Drop on the early path, losing the
+        // explicit end the surrounding code relies on for determinism.
+        if matches_at(toks, i, &[Pat::Id("let")]) {
+            let is_guard_ctor = |j: usize| {
+                matches_at(toks, j, &[Pat::P('.'), Pat::Id("span"), Pat::P('(')])
+                    || matches_at(toks, j, &[Pat::P('.'), Pat::Id("profile"), Pat::P('(')])
+            };
+            // Optional `mut`, then the bound name (`_` or an identifier).
+            let mut b = i + 1;
+            if matches_at(toks, b, &[Pat::Id("mut")]) {
+                b += 1;
+            }
+            let named = toks.get(b).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+            if let Some(name) = named {
+                if matches_at(toks, b + 1, &[Pat::P('=')]) {
+                    // Does the initializer (up to `;`) construct a guard?
+                    let mut j = b + 2;
+                    let mut ctor = false;
+                    while j < toks.len() && !(toks[j].kind == TokKind::Punct && toks[j].text == ";")
+                    {
+                        if is_guard_ctor(j) {
+                            ctor = true;
+                        }
+                        j += 1;
+                    }
+                    if ctor && name == "_" {
+                        push(
+                            "unbalanced-span",
+                            line,
+                            "span/profile guard bound to `_` is dropped immediately and \
+                             measures nothing; bind it to a name and call .end(), or let a \
+                             named `_guard` live to end of scope"
+                                .to_string(),
+                        );
+                    } else if ctor {
+                        // Scan the enclosing block for `name.end()`; if an
+                        // early exit sits in between, flag it.
+                        let mut depth = 0i32;
+                        let mut early: Option<u32> = None;
+                        let mut k = j + 1;
+                        while k < toks.len() && depth >= 0 {
+                            let tk = &toks[k];
+                            if tk.kind == TokKind::Ident
+                                && tk.text == name
+                                && matches_at(
+                                    toks,
+                                    k + 1,
+                                    &[Pat::P('.'), Pat::Id("end"), Pat::P('(')],
+                                )
+                            {
+                                if let Some(at) = early {
+                                    push(
+                                        "unbalanced-span",
+                                        at,
+                                        format!(
+                                            "early exit between `let {name} = ...` and \
+                                             `{name}.end()`: the guard ends by Drop on this \
+                                             path; end it before exiting or restructure"
+                                        ),
+                                    );
+                                }
+                                break;
+                            }
+                            match tk.kind {
+                                TokKind::Punct if tk.text == "{" => depth += 1,
+                                TokKind::Punct if tk.text == "}" => depth -= 1,
+                                TokKind::Punct if tk.text == "?" => {
+                                    early = early.or(Some(tk.line));
+                                }
+                                TokKind::Ident if tk.text == "return" => {
+                                    early = early.or(Some(tk.line));
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                }
             }
         }
 

@@ -33,6 +33,10 @@ fn wall_clock_respects_the_allowlist() {
     let src = include_str!("fixtures/wall_clock/bad.rs");
     assert!(lint_at("crates/bench/src/timing.rs", src).is_empty());
     assert!(lint_at("crates/telemetry/src/span.rs", src).is_empty());
+    // The profiler keeps optional wall timings alongside deterministic
+    // sim-time metrics; its Instant reads are part of the telemetry
+    // wall-clock region.
+    assert!(lint_at("crates/telemetry/src/profile.rs", src).is_empty());
 }
 
 #[test]
@@ -124,6 +128,19 @@ fn print_hygiene_fires_in_library_crates_only() {
 
     let good =
         lint_at("crates/migration/src/plan.rs", include_str!("fixtures/print_hygiene/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn unbalanced_span_fires_on_bad_and_not_on_good() {
+    let bad = lint_at("crates/cluster/src/sim.rs", include_str!("fixtures/unbalanced_span/bad.rs"));
+    // Two `_`-bound guards, a `return` before scope.end(), a `?` before
+    // span.end().
+    assert_eq!(lines_of(&bad, "unbalanced-span"), vec![4, 5, 8, 16], "{bad:?}");
+    assert!(bad.iter().all(|f| f.rule == "unbalanced-span"), "{bad:?}");
+
+    let good =
+        lint_at("crates/cluster/src/sim.rs", include_str!("fixtures/unbalanced_span/good.rs"));
     assert!(good.is_empty(), "{good:?}");
 }
 

@@ -144,6 +144,53 @@ impl RecoveryKind {
     }
 }
 
+/// What kind of choice a planner/recovery [`Event::DecisionMade`]
+/// records.
+///
+/// Every entry corresponds to one spot in the manager or simulator
+/// where control flow commits to an action; the audit trail carries the
+/// inputs that drove the choice plus a stable decision id threaded into
+/// the downstream migration/recovery events it causes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionClass {
+    /// The consolidation planner scheduled a vacate/drain migration.
+    Consolidate,
+    /// The planner scheduled a FulltoPartial exchange.
+    Exchange,
+    /// An activating partial VM is promoted in place.
+    PromoteInPlace,
+    /// An activating partial VM relocates to another powered host
+    /// (NewHome).
+    Relocate,
+    /// An activating partial VM wakes its home; all VMs homed there
+    /// return.
+    ReturnHome,
+    /// Recovery: a partial VM promoted in place because its home is
+    /// unreachable.
+    FallbackPromote,
+    /// Recovery: a VM shed to a fallback host after capacity exhaustion
+    /// with an unwakeable home.
+    Shed,
+    /// Recovery: a stalled migration entered cancel-and-retry.
+    Stall,
+}
+
+impl DecisionClass {
+    /// Stable snake_case tag used in encodings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionClass::Consolidate => "consolidate",
+            DecisionClass::Exchange => "exchange",
+            DecisionClass::PromoteInPlace => "promote_in_place",
+            DecisionClass::Relocate => "relocate",
+            DecisionClass::ReturnHome => "return_home",
+            DecisionClass::FallbackPromote => "fallback_promote",
+            DecisionClass::Shed => "shed",
+            DecisionClass::Stall => "stall",
+        }
+    }
+}
+
 /// Sentinel id used in fault events whose target is the whole cluster
 /// (e.g. a rack-wide link degradation) rather than one host or VM.
 pub const CLUSTER_WIDE: u32 = u32::MAX;
@@ -168,6 +215,52 @@ pub enum Event {
         /// Number of planned actions.
         actions: u32,
     },
+    /// The planner or a recovery path committed one choice.
+    ///
+    /// The `decision` id reappears on every migration/recovery event
+    /// the choice causes, so downstream effects (a resume-latency SLA
+    /// violation, an aborted migration) resolve back to the decision —
+    /// and its recorded inputs — that caused them.
+    DecisionMade {
+        /// Stable per-run decision id (allocated monotonically).
+        decision: u64,
+        /// What kind of choice was committed.
+        class: DecisionClass,
+        /// VM the choice concerns, or [`CLUSTER_WIDE`] when host-scoped.
+        vm: u32,
+        /// Destination or home host, or [`CLUSTER_WIDE`] when none.
+        target: u32,
+        /// Size of the candidate set the chooser examined.
+        candidates: u32,
+    },
+    /// Round-level audit record for one consolidation planning pass:
+    /// the aggregate inputs and the net-energy verdict behind the
+    /// interval's [`Event::DecisionMade`] batch.
+    PlanAudit {
+        /// Zero-based five-minute interval index.
+        interval: u32,
+        /// Policy that planned (`PolicyKind` display form).
+        policy: String,
+        /// First decision id of the round; the round's action decisions
+        /// are `decision_base .. decision_base + actions`.
+        decision_base: u64,
+        /// Planned actions emitted this round.
+        actions: u32,
+        /// FulltoPartial exchanges in the plan.
+        exchanges: u32,
+        /// Home hosts the vacate pass emptied.
+        vacated: u32,
+        /// Consolidation hosts the plan wakes.
+        woken: u32,
+        /// Net-energy verdict for the vacate pass.
+        approved: bool,
+        /// Consolidation hosts the drain pass emptied.
+        drained: u32,
+        /// Total candidate-set sizes examined across placements.
+        candidates: u32,
+        /// Aggregate resident VM demand across the view, MiB.
+        demand_mib: u64,
+    },
     /// A migration began.
     MigrationStarted {
         /// VM being moved.
@@ -178,6 +271,8 @@ pub enum Event {
         to: u32,
         /// Mechanism used.
         kind: MigrationKind,
+        /// Id of the [`Event::DecisionMade`] that caused the migration.
+        decision: u64,
     },
     /// A migration finished.
     MigrationCompleted {
@@ -193,6 +288,8 @@ pub enum Event {
         moved_bytes: u64,
         /// Guest-visible downtime in microseconds.
         downtime_us: u64,
+        /// Id of the [`Event::DecisionMade`] that caused the migration.
+        decision: u64,
     },
     /// A host entered ACPI S3.
     HostSuspended {
@@ -262,6 +359,8 @@ pub enum Event {
         from: u32,
         /// Destination host.
         to: u32,
+        /// Id of the decision whose migration stalled.
+        decision: u64,
     },
     /// A stalled migration was abandoned after bounded retries.
     MigrationAborted {
@@ -273,6 +372,8 @@ pub enum Event {
         to: u32,
         /// Retry attempts spent before aborting.
         attempts: u32,
+        /// Id of the decision whose migration was abandoned.
+        decision: u64,
     },
     /// A recovery policy resolved a fault.
     RecoveryApplied {
@@ -280,6 +381,8 @@ pub enum Event {
         action: RecoveryKind,
         /// The VM or host the action applied to (see `action`).
         target: u32,
+        /// Id of the decision the recovery belongs to.
+        decision: u64,
     },
     /// One benchmark measurement, routed from the bench reporter.
     BenchSample {
@@ -303,6 +406,8 @@ impl Event {
         match self {
             Event::IntervalStarted { .. } => "interval_started",
             Event::PolicyDecision { .. } => "policy_decision",
+            Event::DecisionMade { .. } => "decision_made",
+            Event::PlanAudit { .. } => "plan_audit",
             Event::MigrationStarted { .. } => "migration_started",
             Event::MigrationCompleted { .. } => "migration_completed",
             Event::HostSuspended { .. } => "host_suspended",
@@ -347,14 +452,52 @@ impl Event {
             Event::PolicyDecision { interval, actions } => {
                 let _ = write!(out, r#","interval":{interval},"actions":{actions}"#);
             }
-            Event::MigrationStarted { vm, from, to, kind } => {
-                let _ =
-                    write!(out, r#","vm":{vm},"from":{from},"to":{to},"mig":"{}""#, kind.as_str());
-            }
-            Event::MigrationCompleted { vm, from, to, kind, moved_bytes, downtime_us } => {
+            Event::DecisionMade { decision, class, vm, target, candidates } => {
                 let _ = write!(
                     out,
-                    r#","vm":{vm},"from":{from},"to":{to},"mig":"{}","moved_bytes":{moved_bytes},"downtime_us":{downtime_us}"#,
+                    r#","decision":{decision},"class":"{}","vm":{vm},"target":{target},"candidates":{candidates}"#,
+                    class.as_str()
+                );
+            }
+            Event::PlanAudit {
+                interval,
+                policy,
+                decision_base,
+                actions,
+                exchanges,
+                vacated,
+                woken,
+                approved,
+                drained,
+                candidates,
+                demand_mib,
+            } => {
+                let _ = write!(out, r#","interval":{interval},"policy":"#);
+                escape_into(out, policy);
+                let _ = write!(
+                    out,
+                    r#","decision_base":{decision_base},"actions":{actions},"exchanges":{exchanges},"vacated":{vacated},"woken":{woken},"approved":{approved},"drained":{drained},"candidates":{candidates},"demand_mib":{demand_mib}"#
+                );
+            }
+            Event::MigrationStarted { vm, from, to, kind, decision } => {
+                let _ = write!(
+                    out,
+                    r#","vm":{vm},"from":{from},"to":{to},"mig":"{}","decision":{decision}"#,
+                    kind.as_str()
+                );
+            }
+            Event::MigrationCompleted {
+                vm,
+                from,
+                to,
+                kind,
+                moved_bytes,
+                downtime_us,
+                decision,
+            } => {
+                let _ = write!(
+                    out,
+                    r#","vm":{vm},"from":{from},"to":{to},"mig":"{}","moved_bytes":{moved_bytes},"downtime_us":{downtime_us},"decision":{decision}"#,
                     kind.as_str()
                 );
             }
@@ -382,14 +525,21 @@ impl Event {
             Event::MemServerCrashed { host } | Event::MemServerRestarted { host } => {
                 let _ = write!(out, r#","host":{host}"#);
             }
-            Event::MigrationStalled { vm, from, to } => {
-                let _ = write!(out, r#","vm":{vm},"from":{from},"to":{to}"#);
+            Event::MigrationStalled { vm, from, to, decision } => {
+                let _ = write!(out, r#","vm":{vm},"from":{from},"to":{to},"decision":{decision}"#);
             }
-            Event::MigrationAborted { vm, from, to, attempts } => {
-                let _ = write!(out, r#","vm":{vm},"from":{from},"to":{to},"attempts":{attempts}"#);
+            Event::MigrationAborted { vm, from, to, attempts, decision } => {
+                let _ = write!(
+                    out,
+                    r#","vm":{vm},"from":{from},"to":{to},"attempts":{attempts},"decision":{decision}"#
+                );
             }
-            Event::RecoveryApplied { action, target } => {
-                let _ = write!(out, r#","action":"{}","target":{target}"#, action.as_str());
+            Event::RecoveryApplied { action, target, decision } => {
+                let _ = write!(
+                    out,
+                    r#","action":"{}","target":{target},"decision":{decision}"#,
+                    action.as_str()
+                );
             }
             Event::BenchSample { name, ns_per_iter, iters } => {
                 out.push_str(",\"name\":");
@@ -462,21 +612,83 @@ mod tests {
         let rec = EventRecord {
             time: SimTime::ZERO,
             seq: 0,
-            event: Event::RecoveryApplied { action: RecoveryKind::RetryWake, target: 9 },
+            event: Event::RecoveryApplied {
+                action: RecoveryKind::RetryWake,
+                target: 9,
+                decision: 41,
+            },
         };
         assert_eq!(
             rec.to_json(),
-            r#"{"t":0,"seq":0,"kind":"recovery_applied","action":"retry_wake","target":9}"#
+            r#"{"t":0,"seq":0,"kind":"recovery_applied","action":"retry_wake","target":9,"decision":41}"#
+        );
+    }
+
+    #[test]
+    fn decision_event_encodings_are_stable() {
+        let rec = EventRecord {
+            time: SimTime::from_secs(300),
+            seq: 12,
+            event: Event::DecisionMade {
+                decision: 7,
+                class: DecisionClass::Consolidate,
+                vm: 42,
+                target: 33,
+                candidates: 3,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t":300000000,"seq":12,"kind":"decision_made","decision":7,"class":"consolidate","vm":42,"target":33,"candidates":3}"#
+        );
+        let rec = EventRecord {
+            time: SimTime::from_secs(300),
+            seq: 13,
+            event: Event::PlanAudit {
+                interval: 1,
+                policy: "FulltoPartial".to_string(),
+                decision_base: 7,
+                actions: 12,
+                exchanges: 2,
+                vacated: 4,
+                woken: 1,
+                approved: true,
+                drained: 0,
+                candidates: 31,
+                demand_mib: 18_200,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t":300000000,"seq":13,"kind":"plan_audit","interval":1,"policy":"FulltoPartial","decision_base":7,"actions":12,"exchanges":2,"vacated":4,"woken":1,"approved":true,"drained":0,"candidates":31,"demand_mib":18200}"#
+        );
+        let rec = EventRecord {
+            time: SimTime::from_secs(301),
+            seq: 14,
+            event: Event::MigrationStarted {
+                vm: 42,
+                from: 0,
+                to: 33,
+                kind: MigrationKind::Partial,
+                decision: 7,
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t":301000000,"seq":14,"kind":"migration_started","vm":42,"from":0,"to":33,"mig":"partial","decision":7}"#
         );
     }
 
     #[test]
     fn fault_events_warn_and_recoveries_inform() {
         assert_eq!(Event::WakeAbandoned { host: 1, attempts: 6 }.level(), Level::Warn);
-        assert_eq!(Event::MigrationStalled { vm: 1, from: 0, to: 2 }.level(), Level::Warn);
+        assert_eq!(
+            Event::MigrationStalled { vm: 1, from: 0, to: 2, decision: 0 }.level(),
+            Level::Warn
+        );
         assert_eq!(Event::MemServerRestarted { host: 1 }.level(), Level::Info);
         assert_eq!(
-            Event::RecoveryApplied { action: RecoveryKind::Rehome, target: 1 }.level(),
+            Event::RecoveryApplied { action: RecoveryKind::Rehome, target: 1, decision: 0 }.level(),
             Level::Info
         );
     }
@@ -486,7 +698,33 @@ mod tests {
         let events = [
             Event::IntervalStarted { interval: 0, active: 0 },
             Event::PolicyDecision { interval: 0, actions: 0 },
-            Event::MigrationStarted { vm: 0, from: 0, to: 0, kind: MigrationKind::Full },
+            Event::DecisionMade {
+                decision: 0,
+                class: DecisionClass::Consolidate,
+                vm: 0,
+                target: 0,
+                candidates: 0,
+            },
+            Event::PlanAudit {
+                interval: 0,
+                policy: String::new(),
+                decision_base: 0,
+                actions: 0,
+                exchanges: 0,
+                vacated: 0,
+                woken: 0,
+                approved: false,
+                drained: 0,
+                candidates: 0,
+                demand_mib: 0,
+            },
+            Event::MigrationStarted {
+                vm: 0,
+                from: 0,
+                to: 0,
+                kind: MigrationKind::Full,
+                decision: 0,
+            },
             Event::MigrationCompleted {
                 vm: 0,
                 from: 0,
@@ -494,6 +732,7 @@ mod tests {
                 kind: MigrationKind::Partial,
                 moved_bytes: 0,
                 downtime_us: 0,
+                decision: 0,
             },
             Event::HostSuspended { host: 0 },
             Event::HostResumed { host: 0 },
@@ -505,9 +744,9 @@ mod tests {
             Event::WakeAbandoned { host: 0, attempts: 6 },
             Event::MemServerCrashed { host: 0 },
             Event::MemServerRestarted { host: 0 },
-            Event::MigrationStalled { vm: 0, from: 0, to: 0 },
-            Event::MigrationAborted { vm: 0, from: 0, to: 0, attempts: 3 },
-            Event::RecoveryApplied { action: RecoveryKind::Rehome, target: 0 },
+            Event::MigrationStalled { vm: 0, from: 0, to: 0, decision: 0 },
+            Event::MigrationAborted { vm: 0, from: 0, to: 0, attempts: 3, decision: 0 },
+            Event::RecoveryApplied { action: RecoveryKind::Rehome, target: 0, decision: 0 },
             Event::BenchSample { name: String::new(), ns_per_iter: 0, iters: 0 },
             Event::Note { text: String::new() },
         ];

@@ -31,14 +31,20 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 pub mod subscriber;
 
-pub use event::{Event, EventRecord, FaultClass, Level, MigrationKind, RecoveryKind, CLUSTER_WIDE};
+pub use attribution::{EnergyLedger, HostEnergy, QuiescenceLedger, VmEnergy};
+pub use event::{
+    DecisionClass, Event, EventRecord, FaultClass, Level, MigrationKind, RecoveryKind, CLUSTER_WIDE,
+};
 pub use metrics::{Counter, Gauge, Histogram, Metrics};
+pub use profile::{FoldedMetric, ProfileNode, ProfileScope, ProfileTree, Profiler};
 pub use span::Span;
 pub use subscriber::{BufferSink, JsonlSink, RingSink, Subscriber};
 
@@ -58,19 +64,27 @@ pub struct Telemetry {
 struct Inner {
     level: Level,
     seq: AtomicU64,
+    decision_seq: AtomicU64,
     now_us: AtomicU64,
     subscribers: Mutex<Vec<Box<dyn Subscriber>>>,
     metrics: Metrics,
+    profiler: Profiler,
 }
 
 impl Inner {
     fn with_level(level: Level) -> Self {
+        let metrics = Metrics::new();
+        metrics.describe("telemetry_events_total", "Events that passed the level filter, by kind.");
+        metrics.describe("span_sim_us", "Span duration in simulated microseconds, by span name.");
+        metrics.describe("span_wall_ns", "Span duration in wall-clock nanoseconds, by span name.");
         Inner {
             level,
             seq: AtomicU64::new(0),
+            decision_seq: AtomicU64::new(0),
             now_us: AtomicU64::new(0),
             subscribers: Mutex::new(Vec::new()),
-            metrics: Metrics::new(),
+            metrics,
+            profiler: Profiler::new(level != Level::Off),
         }
     }
 }
@@ -159,6 +173,28 @@ impl Telemetry {
     /// Starts a [`Span`] named `name`; it records on drop.
     pub fn span(&self, name: &'static str) -> Span {
         Span::start(self, name)
+    }
+
+    /// Starts a hierarchical profiler scope named `name`; it nests under
+    /// the scope that is live when it starts and closes on drop.
+    pub fn profile(&self, name: &'static str) -> ProfileScope {
+        ProfileScope::start(self, name)
+    }
+
+    /// The call-tree profiler attached to this bus (disabled when the
+    /// bus is disabled).
+    pub fn profiler(&self) -> &Profiler {
+        &self.inner.profiler
+    }
+
+    /// Allocates the next planner/recovery decision id.
+    ///
+    /// Ids are allocated unconditionally (even on a disabled bus) so a
+    /// run's decision numbering does not depend on whether tracing is
+    /// attached — the byte-identical-per-seed guarantee extends to the
+    /// audit trail.
+    pub fn next_decision_id(&self) -> u64 {
+        self.inner.decision_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Flushes every subscriber (e.g. buffered file sinks).

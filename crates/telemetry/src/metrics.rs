@@ -159,6 +159,36 @@ struct MetricKey {
     labels: Labels,
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// only `\`, `"` and newline are escaped (`\\`, `\"`, `\n`); everything
+/// else — including other control characters and non-ASCII — passes
+/// through verbatim. This deliberately differs from JSON string
+/// escaping, which Prometheus parsers would reject (e.g. `\0`).
+fn prom_label_value_into(out: &mut String, v: &str) {
+    out.push('"');
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes a `# HELP` text per the exposition format: `\` and newline
+/// only (quotes are legal verbatim in help text).
+fn prom_help_into(out: &mut String, v: &str) {
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 impl MetricKey {
     fn render(&self, out: &mut String) {
         out.push_str(&self.name);
@@ -169,7 +199,7 @@ impl MetricKey {
                     out.push(',');
                 }
                 let _ = write!(out, "{k}=");
-                escape_into(out, v);
+                prom_label_value_into(out, v);
             }
             out.push('}');
         }
@@ -187,12 +217,20 @@ struct MetricsInner {
     counters: Mutex<BTreeMap<MetricKey, Counter>>,
     gauges: Mutex<BTreeMap<MetricKey, Gauge>>,
     histograms: Mutex<BTreeMap<MetricKey, Histogram>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl Metrics {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// Registers a `# HELP` description for metric `name`; the first
+    /// description registered for a name wins. Described metrics get a
+    /// HELP line before their TYPE line in [`Metrics::to_prometheus`].
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner.help.lock().unwrap().entry(name.to_string()).or_insert_with(|| help.to_string());
     }
 
     /// Returns (registering on first use) the counter `name{labels}`.
@@ -245,10 +283,16 @@ impl Metrics {
     /// across runs.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let help = self.inner.help.lock().unwrap().clone();
         let mut last_type_line = String::new();
         let mut type_line = |out: &mut String, name: &str, kind: &str| {
             let line = format!("# TYPE {name} {kind}\n");
             if line != last_type_line {
+                if let Some(text) = help.get(name) {
+                    let _ = write!(out, "# HELP {name} ");
+                    prom_help_into(out, text);
+                    out.push('\n');
+                }
                 out.push_str(&line);
                 last_type_line = line;
             }
@@ -422,5 +466,36 @@ mod tests {
         assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("lat_us_sum 5"));
         assert!(text.contains("lat_us_count 1"));
+    }
+
+    #[test]
+    fn prometheus_label_values_use_exposition_escaping() {
+        let m = Metrics::new();
+        m.counter("odd_total", &[("k", "a\\b\"c\nd\te")]).inc();
+        let text = m.to_prometheus();
+        // Backslash, quote and newline escaped; the tab passes through
+        // verbatim (JSON-style \t would be rejected by Prometheus).
+        assert!(text.contains(r#"odd_total{k="a\\b\"c\nd	e"} 1"#), "got: {text}");
+    }
+
+    #[test]
+    fn help_lines_precede_type_lines_for_described_metrics() {
+        let m = Metrics::new();
+        m.describe("events_total", "Events by kind.\nSecond line \\ slash.");
+        m.describe("events_total", "loser: first description wins");
+        m.counter("events_total", &[("kind", "a")]).inc();
+        m.counter("events_total", &[("kind", "b")]).inc();
+        m.counter("undescribed_total", &[]).inc();
+        let text = m.to_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        let help = lines.iter().position(|l| l.starts_with("# HELP events_total")).unwrap();
+        assert_eq!(lines[help], r"# HELP events_total Events by kind.\nSecond line \\ slash.");
+        assert_eq!(lines[help + 1], "# TYPE events_total counter", "HELP directly above TYPE");
+        assert_eq!(
+            lines.iter().filter(|l| l.starts_with("# HELP events_total")).count(),
+            1,
+            "one HELP per name, not per series"
+        );
+        assert!(!text.contains("# HELP undescribed_total"));
     }
 }

@@ -44,6 +44,7 @@ fn jsonl_stream_parses_back_with_ordered_fields() {
         kind: MigrationKind::Partial,
         moved_bytes: 173_015_040,
         downtime_us: 3_000_000,
+        decision: 4,
     });
     tel.emit(Event::Note { text: "quote \" backslash \\ newline \n done".into() });
     tel.flush();
@@ -68,6 +69,7 @@ fn jsonl_stream_parses_back_with_ordered_fields() {
     assert_eq!(mig.get("to").and_then(Value::as_f64), Some(33.0));
     assert_eq!(mig.get("mig").and_then(Value::as_str), Some("partial"));
     assert_eq!(mig.get("moved_bytes").and_then(Value::as_f64), Some(173_015_040.0));
+    assert_eq!(mig.get("decision").and_then(Value::as_f64), Some(4.0));
 
     let note = json::parse(lines[2]).unwrap();
     assert_eq!(
@@ -137,7 +139,10 @@ fn prometheus_export_is_parseable_and_consistent() {
     let mut samples = 0;
     for line in text.lines() {
         if line.starts_with('#') {
-            assert!(line.starts_with("# TYPE "), "only TYPE comments: {line}");
+            assert!(
+                line.starts_with("# TYPE ") || line.starts_with("# HELP "),
+                "only TYPE/HELP comments: {line}"
+            );
             continue;
         }
         let (series, value) = line.rsplit_once(' ').expect("space-separated sample");
