@@ -1674,6 +1674,7 @@ impl ClusterSim {
     /// Integrates this interval's energy and the §5.3 baseline, and
     /// accumulates the integer-millijoule attribution ledger plus the
     /// per-interval quiescence counts alongside.
+    // oasis-lint: boundary(float-energy, "fixed per-host fold order makes the f64 sums reproducible; the attribution ledger keeps the integer-mj truth")
     fn account_energy(&mut self, interval: usize) {
         let p = &self.cfg.host_profile;
         let ms_watts = self.cfg.memserver.active_watts;

@@ -93,6 +93,7 @@ impl HostModel {
 impl Model for HostModel {
     type Event = SleepEvent;
 
+    // oasis-lint: boundary(panic-hygiene, "every expect below is guarded by the matching PowerState arm or check; the ACPI model cannot refuse")
     fn handle(&mut self, now: SimTime, event: SleepEvent, queue: &mut EventQueue<SleepEvent>) {
         match event {
             SleepEvent::PageRequest { vm } => {
@@ -104,7 +105,6 @@ impl Model for HostModel {
                     }
                     PowerState::Sleeping => {
                         self.delayed_requests += 1;
-                        // oasis-lint: allow(panic-hygiene, "guarded by the PowerState::Sleeping match arm; request_wake cannot return NotAsleep here")
                         let ends = self.acpi.request_wake(now).expect("asleep");
                         queue.schedule_at(ends, SleepEvent::TransitionDone);
                     }
@@ -113,7 +113,6 @@ impl Model for HostModel {
                         // The wake chains after the suspend completes; the
                         // queued TransitionDone for the suspend will report
                         // the chained resume deadline.
-                        // oasis-lint: allow(panic-hygiene, "guarded by the PowerState::Suspending match arm; the chained wake cannot fail here")
                         let _ = self.acpi.request_wake(now).expect("suspending");
                     }
                     PowerState::Resuming => {
@@ -137,7 +136,6 @@ impl Model for HostModel {
             SleepEvent::IdleTimerFired => {
                 self.idle_timer_token = None;
                 if self.acpi.state() == PowerState::Powered {
-                    // oasis-lint: allow(panic-hygiene, "guarded by the state() == Powered check above; request_suspend cannot return NotPowered here")
                     let ends = self.acpi.request_suspend(now).expect("powered");
                     queue.schedule_at(ends, SleepEvent::TransitionDone);
                     self.record_power(now);

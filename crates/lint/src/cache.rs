@@ -1,0 +1,292 @@
+//! Incremental-analysis cache, keyed by file content hash.
+//!
+//! The per-file phase of the engine is a pure function of
+//! `(relative path, file bytes)`, so its result — findings, fixes, and
+//! the parsed function records that feed the workspace graph — can be
+//! reused verbatim whenever the content hash matches. The global phase
+//! (graph + taint + boundary health) is cheap and recomputed every run,
+//! which keeps cached and fresh output byte-identical by construction.
+//!
+//! The format is a versioned, line-oriented text file (no serde in this
+//! workspace). Any parse problem — wrong version, truncation, hand
+//! edits — degrades to a cold cache, never to wrong results.
+
+use crate::engine::{BoundaryRec, DeferredAllow, FileAnalysis};
+use crate::fix::Fix;
+use crate::parse::{CallSite, FnDecl, SourceSite, TaintKind, TAINT_KINDS};
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Bump when the analysis or the serialization changes shape; a version
+/// mismatch silently invalidates the whole cache.
+const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a, 64-bit: cheap, dependency-free, and stable across platforms.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            's' => out.push(' '),
+            'n' => out.push('\n'),
+            't' => out.push('\t'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn opt(s: &str) -> Option<String> {
+    if s == "-" {
+        None
+    } else {
+        unesc(s)
+    }
+}
+
+fn opt_str(s: &Option<String>) -> String {
+    match s {
+        None => "-".to_string(),
+        Some(v) => esc(v),
+    }
+}
+
+/// Serializes analyses (in slice order) to the cache file. Best-effort:
+/// an unwritable path just means the next run is cold.
+pub fn store(path: &Path, analyses: &[FileAnalysis]) {
+    let mut out = format!("oasis-lint-cache v{FORMAT_VERSION}\n");
+    for a in analyses {
+        out.push_str(&format!("F {} {:016x}\n", esc(&a.rel), a.hash));
+        for f in &a.findings {
+            out.push_str(&format!("f {} {} {}\n", f.line, esc(&f.rule), esc(&f.message)));
+        }
+        for x in &a.fixes {
+            out.push_str(&format!(
+                "x {} {} {} {}\n",
+                x.line,
+                esc(&x.rule),
+                esc(&x.find),
+                esc(&x.replace)
+            ));
+        }
+        for d in &a.record.fns {
+            let mut bits = 0u32;
+            for (k, &on) in d.boundary_kinds.iter().enumerate() {
+                if on {
+                    bits |= 1 << k;
+                }
+            }
+            let module =
+                if d.module.is_empty() { "-".to_string() } else { esc(&d.module.join("::")) };
+            out.push_str(&format!(
+                "n {} {} {} {} {} {} {}\n",
+                esc(&d.name),
+                opt_str(&d.owner),
+                module,
+                d.line,
+                d.end_line,
+                d.has_self as u8,
+                bits
+            ));
+            for s in &d.sources {
+                out.push_str(&format!(
+                    "s {} {} {} {}\n",
+                    s.kind.index(),
+                    s.line,
+                    esc(&s.what),
+                    s.allowed as u8
+                ));
+            }
+            for c in &d.calls {
+                out.push_str(&format!(
+                    "c {} {} {} {}\n",
+                    esc(&c.callee),
+                    opt_str(&c.qualifier),
+                    c.line,
+                    c.is_method as u8
+                ));
+            }
+        }
+        for b in &a.boundaries {
+            let fn_idx = match b.fn_idx {
+                None => "-".to_string(),
+                Some(i) => i.to_string(),
+            };
+            out.push_str(&format!(
+                "b {} {} {} {} {}\n",
+                b.line,
+                esc(&b.rule),
+                fn_idx,
+                b.used_local as u8,
+                esc(&b.raw)
+            ));
+        }
+        for d in &a.deferred_allows {
+            out.push_str(&format!("a {} {} {}\n", d.line, esc(&d.rule), esc(&d.raw)));
+        }
+    }
+    let _ = fs::write(path, out);
+}
+
+/// Loads a cache file into a by-path map. Any malformed line aborts to
+/// an empty (cold) cache.
+pub fn load(path: &Path) -> BTreeMap<String, FileAnalysis> {
+    match fs::read_to_string(path) {
+        Ok(text) => parse(&text).unwrap_or_default(),
+        Err(_) => BTreeMap::new(),
+    }
+}
+
+fn parse(text: &str) -> Option<BTreeMap<String, FileAnalysis>> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("oasis-lint-cache v{FORMAT_VERSION}") {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    let mut cur: Option<FileAnalysis> = None;
+    for line in lines {
+        let mut parts = line.split(' ');
+        let tag = parts.next()?;
+        match tag {
+            "F" => {
+                if let Some(done) = cur.take() {
+                    map.insert(done.rel.clone(), done);
+                }
+                let rel = unesc(parts.next()?)?;
+                let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+                cur = Some(FileAnalysis { rel, hash, ..FileAnalysis::default() });
+            }
+            "f" => {
+                let a = cur.as_mut()?;
+                a.findings.push(Finding {
+                    file: a.rel.clone(),
+                    line: parts.next()?.parse().ok()?,
+                    rule: unesc(parts.next()?)?,
+                    message: unesc(parts.next()?)?,
+                });
+            }
+            "x" => {
+                let a = cur.as_mut()?;
+                a.fixes.push(Fix {
+                    file: a.rel.clone(),
+                    line: parts.next()?.parse().ok()?,
+                    rule: unesc(parts.next()?)?,
+                    find: unesc(parts.next()?)?,
+                    replace: unesc(parts.next()?)?,
+                });
+            }
+            "n" => {
+                let a = cur.as_mut()?;
+                let name = unesc(parts.next()?)?;
+                let owner = opt(parts.next()?);
+                let module = match parts.next()? {
+                    "-" => Vec::new(),
+                    m => unesc(m)?.split("::").map(str::to_string).collect(),
+                };
+                let line = parts.next()?.parse().ok()?;
+                let end_line = parts.next()?.parse().ok()?;
+                let has_self = parts.next()? == "1";
+                let bits: u32 = parts.next()?.parse().ok()?;
+                let mut boundary_kinds = [false; TAINT_KINDS];
+                for (k, slot) in boundary_kinds.iter_mut().enumerate() {
+                    *slot = bits & (1 << k) != 0;
+                }
+                a.record.fns.push(FnDecl {
+                    name,
+                    owner,
+                    module,
+                    line,
+                    end_line,
+                    has_self,
+                    is_test: false,
+                    sources: Vec::new(),
+                    calls: Vec::new(),
+                    boundary_kinds,
+                });
+            }
+            "s" => {
+                let a = cur.as_mut()?;
+                let d = a.record.fns.last_mut()?;
+                let kind_idx: usize = parts.next()?.parse().ok()?;
+                d.sources.push(SourceSite {
+                    kind: *TaintKind::ALL.get(kind_idx)?,
+                    line: parts.next()?.parse().ok()?,
+                    what: unesc(parts.next()?)?,
+                    allowed: parts.next()? == "1",
+                });
+            }
+            "c" => {
+                let a = cur.as_mut()?;
+                let d = a.record.fns.last_mut()?;
+                d.calls.push(CallSite {
+                    callee: unesc(parts.next()?)?,
+                    qualifier: opt(parts.next()?),
+                    line: parts.next()?.parse().ok()?,
+                    is_method: parts.next()? == "1",
+                });
+            }
+            "b" => {
+                let a = cur.as_mut()?;
+                a.boundaries.push(BoundaryRec {
+                    line: parts.next()?.parse().ok()?,
+                    rule: unesc(parts.next()?)?,
+                    fn_idx: match parts.next()? {
+                        "-" => None,
+                        i => Some(i.parse().ok()?),
+                    },
+                    used_local: parts.next()? == "1",
+                    raw: unesc(parts.next()?)?,
+                });
+            }
+            "a" => {
+                let a = cur.as_mut()?;
+                a.deferred_allows.push(DeferredAllow {
+                    line: parts.next()?.parse().ok()?,
+                    rule: unesc(parts.next()?)?,
+                    raw: unesc(parts.next()?)?,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        map.insert(done.rel.clone(), done);
+    }
+    // `record.rel` mirrors the analysis path; restore it after parsing.
+    for a in map.values_mut() {
+        a.record.rel = a.rel.clone();
+    }
+    Some(map)
+}

@@ -1,0 +1,72 @@
+//! Machine-applicable textual edits for `--fix` dry-run mode.
+//!
+//! The engine attaches a [`Fix`] to findings whose repair is purely
+//! textual and safe: removing a stale pragma comment (`unused-pragma`)
+//! and neutralizing stray prints (`print-hygiene`). `oasis-lint --fix`
+//! emits them as JSON; nothing is written to disk — an editor or a
+//! trivial script applies them, and [`apply_fixes`] exists so tests can
+//! prove that applying then re-linting converges to zero findings.
+
+use crate::json_escape;
+
+/// One single-line find/replace edit. `find` is replaced at its first
+/// occurrence on `line`; an empty `replace` deletes the matched text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fix {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line the edit applies to.
+    pub line: u32,
+    /// Rule that produced the edit.
+    pub rule: String,
+    /// Exact text to locate on the line.
+    pub find: String,
+    /// Replacement text.
+    pub replace: String,
+}
+
+/// Renders fixes as a JSON array (stable field order, trailing newline).
+pub fn to_json(fixes: &[Fix]) -> String {
+    let mut s = String::from("[\n");
+    for (i, f) in fixes.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"find\": \"{}\", \"replace\": \"{}\"}}{}\n",
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.rule),
+            json_escape(&f.find),
+            json_escape(&f.replace),
+            if i + 1 < fixes.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Applies fixes (all for the same file) to `src`, returning the edited
+/// text. Lines whose `find` text is absent are left untouched — fixes
+/// are advisory, never destructive. A line left empty or
+/// whitespace-only by a deletion is dropped entirely.
+pub fn apply_fixes(src: &str, fixes: &[Fix]) -> String {
+    let mut lines: Vec<Option<String>> = src.lines().map(|l| Some(l.to_string())).collect();
+    for f in fixes {
+        let idx = (f.line as usize).saturating_sub(1);
+        if let Some(Some(line)) = lines.get_mut(idx) {
+            if line.contains(&f.find) {
+                let edited = line.replacen(&f.find, &f.replace, 1);
+                if edited.trim().is_empty() {
+                    lines[idx] = None;
+                } else {
+                    lines[idx] = Some(edited);
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for l in lines.into_iter().flatten() {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,141 @@
+//! Workspace symbol table and conservative call graph.
+//!
+//! Nodes are the non-test function declarations parsed from every
+//! workspace file ([`crate::parse::FileRecord`]); edges are resolved
+//! call sites. Resolution is deliberately conservative:
+//!
+//! - `Type::name(...)` resolves to functions owned by an impl/trait of
+//!   `Type`; if no type matches (the qualifier was a module path, e.g.
+//!   `recovery::with_retries`), it falls back to *free* functions named
+//!   `name`. Associated functions of foreign types (`Box::new`) thus
+//!   resolve to nothing rather than to every workspace `new`.
+//! - `Self::name(...)` uses the surrounding impl type as the qualifier.
+//! - `.name(...)` method calls resolve to **every** workspace function
+//!   named `name` that takes `self` — trait-method conservatism: the
+//!   receiver type is unknown, so all impls are possible targets.
+//! - Bare `name(...)` calls resolve to free functions only (a bare call
+//!   can also be a closure or fn-pointer local, which produces no edge).
+//!
+//! Node order (and therefore everything derived from the graph) is
+//! keyed by `(file, line, name)` with files pre-sorted by the engine,
+//! so the graph is byte-stable regardless of discovery order.
+
+use crate::parse::{FileRecord, FnDecl};
+use std::collections::BTreeMap;
+
+/// One resolved call edge out of a node.
+#[derive(Clone, Copy, Debug)]
+pub struct Edge {
+    /// Index into the caller's `FnDecl::calls`.
+    pub call: usize,
+    /// Target node index.
+    pub target: usize,
+}
+
+/// The workspace call graph. Node `i` is `files[fns[i].0].fns[fns[i].1]`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Node index → (file index, fn index within file).
+    pub fns: Vec<(usize, usize)>,
+    /// Outgoing resolved edges per node, ordered by call site.
+    pub callees: Vec<Vec<Edge>>,
+}
+
+impl Graph {
+    /// The declaration behind node `i`.
+    pub fn decl<'a>(&self, files: &'a [FileRecord], i: usize) -> &'a FnDecl {
+        let (f, k) = self.fns[i];
+        &files[f].fns[k]
+    }
+
+    /// The file record behind node `i`.
+    pub fn file<'a>(&self, files: &'a [FileRecord], i: usize) -> &'a FileRecord {
+        &files[self.fns[i].0]
+    }
+
+    /// Stable display path for node `i`: `<file>::<mod::Owner::name>`.
+    pub fn qual(&self, files: &[FileRecord], i: usize) -> String {
+        let (f, k) = self.fns[i];
+        format!("{}::{}", files[f].rel, files[f].fns[k].local_qual())
+    }
+}
+
+/// Builds the workspace call graph over files **already sorted by
+/// relative path** (the engine guarantees this; node order depends on
+/// it).
+pub fn build(files: &[FileRecord]) -> Graph {
+    let mut g = Graph::default();
+    for (fi, file) in files.iter().enumerate() {
+        for ki in 0..file.fns.len() {
+            g.fns.push((fi, ki));
+        }
+    }
+    // Resolution maps. A name can collide across crates; every entry is
+    // a candidate (conservatism), with node order keeping output stable.
+    let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut owned: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (i, &(fi, ki)) in g.fns.iter().enumerate() {
+        let d = &files[fi].fns[ki];
+        match &d.owner {
+            None => free.entry(&d.name).or_default().push(i),
+            Some(o) => {
+                owned.entry((o.as_str(), d.name.as_str())).or_default().push(i);
+                if d.has_self {
+                    methods.entry(&d.name).or_default().push(i);
+                }
+            }
+        }
+    }
+    g.callees = g
+        .fns
+        .iter()
+        .map(|&(fi, ki)| {
+            let d = &files[fi].fns[ki];
+            let mut edges = Vec::new();
+            for (ci, call) in d.calls.iter().enumerate() {
+                let targets: &[usize] = if call.is_method {
+                    methods.get(call.callee.as_str()).map(Vec::as_slice).unwrap_or(&[])
+                } else if let Some(q) = &call.qualifier {
+                    let q = if q == "Self" { d.owner.as_deref().unwrap_or(q) } else { q };
+                    match owned.get(&(q, call.callee.as_str())) {
+                        Some(v) => v.as_slice(),
+                        // Module-path free call (`recovery::with_retries`).
+                        None => free.get(call.callee.as_str()).map(Vec::as_slice).unwrap_or(&[]),
+                    }
+                } else {
+                    free.get(call.callee.as_str()).map(Vec::as_slice).unwrap_or(&[])
+                };
+                for &t in targets {
+                    // Self-recursion adds nothing to reachability.
+                    if g.fns[t] != (fi, ki) {
+                        edges.push(Edge { call: ci, target: t });
+                    }
+                }
+            }
+            edges
+        })
+        .collect();
+    g
+}
+
+/// Renders the graph as a deterministic text dump (golden-file format):
+/// one block per node in node order, one `-> callee` line per resolved
+/// edge in call-site order.
+pub fn dump(files: &[FileRecord], g: &Graph) -> String {
+    let mut out = String::new();
+    for i in 0..g.fns.len() {
+        let d = g.decl(files, i);
+        out.push_str(&g.qual(files, i));
+        out.push_str(&format!(" (line {}", d.line));
+        if d.has_self {
+            out.push_str(", method");
+        }
+        out.push_str(")\n");
+        for e in &g.callees[i] {
+            let call = &d.calls[e.call];
+            out.push_str(&format!("  -> {} (call line {})\n", g.qual(files, e.target), call.line));
+        }
+    }
+    out
+}

@@ -39,9 +39,20 @@ pub struct Tok {
 /// Result of parsing one `oasis-lint:` comment.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PragmaParse {
-    /// A well-formed `allow(<rule>, "<reason>")`.
+    /// A well-formed `allow(<rule>, "<reason>")`: suppresses findings of
+    /// the rule on the pragma's line or the line directly below.
     Allow {
         /// Rule identifier being suppressed.
+        rule: String,
+        /// The written justification (non-empty).
+        reason: String,
+    },
+    /// A well-formed `boundary(<rule>, "<reason>")`: attaches to the
+    /// function declared directly below, suppresses findings of the rule
+    /// throughout that function, and stops determinism taint of the
+    /// matching kind from propagating through it in the call graph.
+    Boundary {
+        /// Rule (or taint-kind) identifier the boundary justifies.
         rule: String,
         /// The written justification (non-empty).
         reason: String,
@@ -57,6 +68,9 @@ pub struct Pragma {
     pub parse: PragmaParse,
     /// 1-based line the comment sits on.
     pub line: u32,
+    /// The raw comment text (from `//` to end of line), kept so `--fix`
+    /// can emit a machine-applicable removal edit for stale pragmas.
+    pub raw: String,
 }
 
 /// Tokenized source plus the pragmas its comments carried.
@@ -78,20 +92,27 @@ fn is_ident_continue(c: char) -> bool {
 
 /// Parses the body of a line comment for an `oasis-lint:` pragma.
 ///
-/// Accepted form: `oasis-lint: allow(<rule-id>, "<reason>")` with optional
+/// Accepted forms: `oasis-lint: allow(<rule-id>, "<reason>")` and
+/// `oasis-lint: boundary(<rule-id>, "<reason>")`, with optional
 /// surrounding text before the marker and after the closing parenthesis.
 fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
     let marker = "oasis-lint";
     let at = comment.find(marker)?;
-    let malformed =
-        |why: &str| Some(Pragma { parse: PragmaParse::Malformed(why.to_string()), line });
+    let raw = comment.to_string();
+    let malformed = |why: &str| {
+        Some(Pragma { parse: PragmaParse::Malformed(why.to_string()), line, raw: raw.clone() })
+    };
     let rest = comment[at + marker.len()..].trim_start();
     let Some(rest) = rest.strip_prefix(':') else {
-        return malformed("expected `oasis-lint: allow(<rule>, \"<reason>\")`");
+        return malformed("expected `oasis-lint: allow|boundary(<rule>, \"<reason>\")`");
     };
     let rest = rest.trim_start();
-    let Some(rest) = rest.strip_prefix("allow(") else {
-        return malformed("expected `allow(<rule>, \"<reason>\")` after `oasis-lint:`");
+    let (is_boundary, rest) = if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else if let Some(r) = rest.strip_prefix("boundary(") {
+        (true, r)
+    } else {
+        return malformed("expected `allow(<rule>, \"<reason>\")` or `boundary(<rule>, \"<reason>\")` after `oasis-lint:`");
     };
     let Some(comma) = rest.find(',') else {
         return malformed("missing `, \"<reason>\"` — every suppression needs a written reason");
@@ -116,7 +137,12 @@ fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
     if !after[endq + 1..].trim_start().starts_with(')') {
         return malformed("expected `)` after the reason string");
     }
-    Some(Pragma { parse: PragmaParse::Allow { rule, reason }, line })
+    let parse = if is_boundary {
+        PragmaParse::Boundary { rule, reason }
+    } else {
+        PragmaParse::Allow { rule, reason }
+    };
+    Some(Pragma { parse, line, raw })
 }
 
 /// Tokenizes `src`, capturing suppression pragmas along the way.
@@ -134,7 +160,15 @@ pub fn lex(src: &str) -> Lexed {
         let mut newlines = 0;
         while j < chars.len() {
             match chars[j] {
-                '\\' => j += 2,
+                '\\' => {
+                    // An escaped character still counts toward the line
+                    // number when it is a newline (string continuations:
+                    // `"...\` at end of line).
+                    if chars.get(j + 1) == Some(&'\n') {
+                        newlines += 1;
+                    }
+                    j += 2;
+                }
                 c if c == quote => return (j + 1, newlines),
                 '\n' => {
                     newlines += 1;
@@ -210,6 +244,10 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 if chars.get(j) == Some(&'"') {
                     // Raw (byte) string: scan to `"` followed by `hashes` #s.
+                    // A `"` followed by *fewer* hashes is string content
+                    // (`r##"a "# b"##`), and escapes are inert. The token
+                    // reports the line the literal *starts* on.
+                    let start_line = line;
                     j += 1;
                     loop {
                         if j >= n {
@@ -229,7 +267,11 @@ pub fn lex(src: &str) -> Lexed {
                         }
                         j += 1;
                     }
-                    out.tokens.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                    out.tokens.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
                     i = j;
                     continue;
                 }

@@ -18,17 +18,39 @@
 //! // oasis-lint: allow(panic-hygiene, "state machine invariant: ...")
 //! ```
 //!
-//! A pragma suppresses findings of the named rule on its own line or the
-//! line directly below, and must carry a non-empty reason. Stale pragmas
-//! (matching nothing) and malformed or unknown-rule pragmas are findings
-//! themselves, so suppressions stay honest.
+//! An `allow` pragma suppresses findings of the named rule on its own
+//! line or the line directly below, and must carry a non-empty reason.
+//! A `boundary(<rule>, "<reason>")` pragma attaches to the function
+//! declared directly below it: it suppresses the rule throughout that
+//! function *and* stops determinism taint of the matching kind from
+//! propagating through it in the workspace call graph (see below). Stale
+//! pragmas (matching nothing and blocking nothing), malformed and
+//! unknown-rule pragmas are findings themselves, so suppressions stay
+//! honest.
 //!
-//! Run with `cargo run -p oasis-lint`; `--format=json` emits a
-//! machine-readable report for CI artifacts.
+//! Beyond the per-site rules, v2 runs a workspace **determinism taint
+//! analysis**: a lightweight parser ([`parse`]) recovers every function
+//! and call site, [`graph`] links them into a conservative call graph
+//! across all crates, and [`taint`] propagates wall-clock / foreign-RNG
+//! / hash-iteration / env-read sources along reversed call edges. Any
+//! decision-path function that can transitively reach a source without
+//! an intervening boundary pragma is a `determinism-taint` finding, with
+//! a deterministic witness path in the message.
+//!
+//! Run with `cargo run -p oasis-lint`; `--format=json` and
+//! `--format=sarif` emit machine-readable reports for CI artifacts,
+//! `--jobs`/`--cache` control the parallel incremental driver, and
+//! `--fix` prints machine-applicable edits as JSON.
 
+pub mod cache;
 pub mod engine;
+pub mod fix;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 
 /// One rule violation (or pragma-health problem) at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,530 @@
+//! A lightweight item/function/call parser on top of the lexer.
+//!
+//! This is deliberately *not* a Rust grammar: it recovers just enough
+//! structure for workspace-level analysis — which functions exist (free
+//! functions, inherent/trait methods, nested helpers), which calls each
+//! body makes (free calls, `Path::assoc` calls, `.method(` calls), and
+//! which determinism-taint *sources* each body contains (wall-clock
+//! reads, foreign RNGs, hashed containers, environment reads). The call
+//! graph built from these declarations in [`crate::graph`] is
+//! conservative: an unresolvable call simply has no workspace target,
+//! and a method call resolves to **every** workspace method with that
+//! name (trait-method conservatism).
+
+use crate::lexer::{Tok, TokKind};
+
+/// The determinism-taint source categories tracked through the call
+/// graph. Each maps 1:1 onto a per-site rule id, so boundary pragmas
+/// name the same identifiers findings do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaintKind {
+    /// `Instant` / `SystemTime` reads.
+    WallClock,
+    /// Non-`SimRng` randomness.
+    ForeignRng,
+    /// `HashMap` / `HashSet` / `RandomState` (iteration-order hazard).
+    HashIter,
+    /// `std::env::var`-family ambient configuration reads.
+    EnvRead,
+}
+
+/// Number of taint kinds (array-index bound).
+pub const TAINT_KINDS: usize = 4;
+
+impl TaintKind {
+    /// All kinds, in index order.
+    pub const ALL: [TaintKind; TAINT_KINDS] =
+        [TaintKind::WallClock, TaintKind::ForeignRng, TaintKind::HashIter, TaintKind::EnvRead];
+
+    /// Array index for per-kind tables.
+    pub fn index(self) -> usize {
+        match self {
+            TaintKind::WallClock => 0,
+            TaintKind::ForeignRng => 1,
+            TaintKind::HashIter => 2,
+            TaintKind::EnvRead => 3,
+        }
+    }
+
+    /// The per-site rule id this kind corresponds to.
+    pub fn rule(self) -> &'static str {
+        match self {
+            TaintKind::WallClock => "wall-clock",
+            TaintKind::ForeignRng => "foreign-rng",
+            TaintKind::HashIter => "hash-iteration",
+            TaintKind::EnvRead => "env-read",
+        }
+    }
+
+    /// Maps a rule id back to a taint kind, if it names one.
+    pub fn from_rule(rule: &str) -> Option<TaintKind> {
+        TaintKind::ALL.into_iter().find(|k| k.rule() == rule)
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Bare callee name (last path segment).
+    pub callee: String,
+    /// For `A::b(...)` path calls, the segment before the name (`A`);
+    /// `Self` is resolved to the surrounding impl type by the graph.
+    pub qualifier: Option<String>,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// `true` for `.method(` calls (resolved to every workspace method
+    /// with the name), `false` for free/path calls.
+    pub is_method: bool,
+}
+
+/// One determinism-taint source site inside a function body.
+#[derive(Clone, Debug)]
+pub struct SourceSite {
+    /// Source category.
+    pub kind: TaintKind,
+    /// 1-based line of the source token.
+    pub line: u32,
+    /// The matched construct (`Instant`, `env::var`, ...).
+    pub what: String,
+    /// Set by the engine when a used per-site `allow` pragma covers the
+    /// site: the source then no longer enters the taint analysis.
+    pub allowed: bool,
+}
+
+/// One parsed function declaration.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// Bare function name.
+    pub name: String,
+    /// Surrounding impl/trait type name, if any.
+    pub owner: Option<String>,
+    /// Surrounding module path (plus enclosing fn names for nested
+    /// helpers), outermost first.
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace (or the `;`).
+    pub end_line: u32,
+    /// Whether the parameter list contains `self`.
+    pub has_self: bool,
+    /// `true` when the declaration sits in a `#[cfg(test)]`/`#[test]`
+    /// region; such functions never join the workspace graph.
+    pub is_test: bool,
+    /// Taint sources in the body.
+    pub sources: Vec<SourceSite>,
+    /// Call sites in the body (excluding nested fn bodies, which are
+    /// their own declarations).
+    pub calls: Vec<CallSite>,
+    /// Per-kind boundary flags, set by the engine from
+    /// `// oasis-lint: boundary(<kind>, "...")` pragmas attached to
+    /// this function.
+    pub boundary_kinds: [bool; TAINT_KINDS],
+}
+
+impl FnDecl {
+    /// Stable display path: `mod::…::Owner::name` (no file prefix).
+    pub fn local_qual(&self) -> String {
+        let mut q = String::new();
+        for m in &self.module {
+            q.push_str(m);
+            q.push_str("::");
+        }
+        if let Some(o) = &self.owner {
+            q.push_str(o);
+            q.push_str("::");
+        }
+        q.push_str(&self.name);
+        q
+    }
+}
+
+/// A parsed file: the unit the graph builder consumes.
+#[derive(Clone, Debug, Default)]
+pub struct FileRecord {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// Non-test function declarations, in source order.
+    pub fns: Vec<FnDecl>,
+}
+
+const FOREIGN_RNG_IDENTS: [&str; 7] =
+    ["thread_rng", "ThreadRng", "StdRng", "SmallRng", "OsRng", "getrandom", "from_entropy"];
+
+const ENV_READ_FNS: [&str; 3] = ["var", "var_os", "vars"];
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: [&str; 16] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "unsafe", "in", "as", "let",
+    "else", "mut", "ref", "where",
+];
+
+fn is_p(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct && t.text.starts_with(c)
+}
+
+fn is_id(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    mask: &'a [bool],
+    out: Vec<FnDecl>,
+}
+
+impl<'a> Parser<'a> {
+    /// Index one past the matching closing brace for the `{` at `open`.
+    fn brace_end(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            if is_p(&self.toks[i], '{') {
+                depth += 1;
+            } else if is_p(&self.toks[i], '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Walks an item region, collecting function declarations.
+    fn items(&mut self, mut i: usize, end: usize, module: &mut Vec<String>, owner: Option<&str>) {
+        while i < end {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "mod" => {
+                    let name = self.toks.get(i + 1).filter(|t| t.kind == TokKind::Ident).cloned();
+                    match (name, self.toks.get(i + 2)) {
+                        (Some(name), Some(t2)) if is_p(t2, '{') => {
+                            let close = self.brace_end(i + 2, end);
+                            module.push(name.text);
+                            self.items(i + 3, close.saturating_sub(1), module, None);
+                            module.pop();
+                            i = close;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                "impl" | "trait" => {
+                    let is_trait = t.text == "trait";
+                    // Find the body `{` (or a terminating `;`) at paren
+                    // depth 0; generics and where clauses carry no braces.
+                    let mut j = i + 1;
+                    let mut paren = 0i32;
+                    while j < end {
+                        let tj = &self.toks[j];
+                        if is_p(tj, '(') || is_p(tj, '[') {
+                            paren += 1;
+                        } else if is_p(tj, ')') || is_p(tj, ']') {
+                            paren -= 1;
+                        } else if paren == 0 && (is_p(tj, '{') || is_p(tj, ';')) {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    if j >= end || is_p(&self.toks[j], ';') {
+                        i = j + 1;
+                        continue;
+                    }
+                    let name = if is_trait {
+                        self.toks
+                            .get(i + 1)
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.clone())
+                    } else {
+                        impl_type_name(&self.toks[i + 1..j])
+                    };
+                    let close = self.brace_end(j, end);
+                    self.items(j + 1, close.saturating_sub(1), module, name.as_deref());
+                    i = close;
+                }
+                "fn" => {
+                    i = self.function(i, end, module, owner);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// Parses one `fn` starting at the keyword token; returns the index
+    /// one past the declaration.
+    fn function(
+        &mut self,
+        at: usize,
+        end: usize,
+        module: &mut Vec<String>,
+        owner: Option<&str>,
+    ) -> usize {
+        let Some(name_tok) = self.toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else {
+            // `fn(...)` pointer type, not an item.
+            return at + 1;
+        };
+        let name = name_tok.text.clone();
+        let fn_line = self.toks[at].line;
+        let is_test = self.mask.get(at).copied().unwrap_or(false);
+        let mut j = at + 2;
+        // Generics: skip `<...>`, ignoring the `>` of `->` arrows inside
+        // bounds like `F: Fn() -> u64`.
+        if j < end && is_p(&self.toks[j], '<') {
+            let mut depth = 0i32;
+            while j < end {
+                let tj = &self.toks[j];
+                if is_p(tj, '<') {
+                    depth += 1;
+                } else if is_p(tj, '>') && !(j > 0 && is_p(&self.toks[j - 1], '-')) {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Parameter list: note whether `self` appears at depth 1.
+        let mut has_self = false;
+        while j < end && !is_p(&self.toks[j], '(') {
+            j += 1;
+        }
+        if j < end {
+            let mut depth = 0i32;
+            while j < end {
+                let tj = &self.toks[j];
+                if is_p(tj, '(') {
+                    depth += 1;
+                } else if is_p(tj, ')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if depth == 1 && is_id(tj, "self") {
+                    has_self = true;
+                }
+                j += 1;
+            }
+        }
+        // Return type / where clause, then either a body or a `;` decl.
+        // Array types carry their own `;` (`-> [u8; TAG_LEN]`), so only a
+        // semicolon outside brackets/parens ends the declaration.
+        let mut nest = 0i32;
+        while j < end {
+            let tj = &self.toks[j];
+            if is_p(tj, '[') || is_p(tj, '(') {
+                nest += 1;
+            } else if is_p(tj, ']') || is_p(tj, ')') {
+                nest -= 1;
+            } else if nest == 0 && (is_p(tj, '{') || is_p(tj, ';')) {
+                break;
+            }
+            j += 1;
+        }
+        let mut decl = FnDecl {
+            name: name.clone(),
+            owner: owner.map(str::to_string),
+            module: module.clone(),
+            line: fn_line,
+            end_line: self.toks.get(j.min(self.toks.len() - 1)).map(|t| t.line).unwrap_or(fn_line),
+            has_self,
+            is_test,
+            sources: Vec::new(),
+            calls: Vec::new(),
+            boundary_kinds: [false; TAINT_KINDS],
+        };
+        if j >= end || is_p(&self.toks[j], ';') {
+            self.out.push(decl);
+            return (j + 1).min(end);
+        }
+        let close = self.brace_end(j, end);
+        decl.end_line = self.toks[close.saturating_sub(1)].line;
+        // Nested fn items become their own declarations; their body
+        // ranges are holes in the parent scan (the parent reaches them
+        // through call edges instead).
+        let mut holes: Vec<(usize, usize)> = Vec::new();
+        let mut k = j + 1;
+        let body_end = close.saturating_sub(1);
+        while k < body_end {
+            if is_id(&self.toks[k], "fn")
+                && self.toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                module.push(name.clone());
+                let after = self.function(k, body_end, module, None);
+                module.pop();
+                holes.push((k, after));
+                k = after;
+            } else {
+                k += 1;
+            }
+        }
+        self.scan_body(&mut decl, j + 1, body_end, &holes);
+        self.out.push(decl);
+        close
+    }
+
+    /// Collects call sites and taint sources from a body range, skipping
+    /// nested-fn holes.
+    fn scan_body(&self, decl: &mut FnDecl, start: usize, end: usize, holes: &[(usize, usize)]) {
+        let mut i = start;
+        'outer: while i < end {
+            for &(h0, h1) in holes {
+                if i >= h0 && i < h1 {
+                    i = h1;
+                    continue 'outer;
+                }
+            }
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let line = t.line;
+            // Taint sources.
+            match t.text.as_str() {
+                "Instant" | "SystemTime" => decl.sources.push(SourceSite {
+                    kind: TaintKind::WallClock,
+                    line,
+                    what: t.text.clone(),
+                    allowed: false,
+                }),
+                "HashMap" | "HashSet" | "RandomState" => decl.sources.push(SourceSite {
+                    kind: TaintKind::HashIter,
+                    line,
+                    what: t.text.clone(),
+                    allowed: false,
+                }),
+                "env"
+                    if self.toks.get(i + 1).is_some_and(|t| is_p(t, ':'))
+                        && self.toks.get(i + 2).is_some_and(|t| is_p(t, ':'))
+                        && self.toks.get(i + 3).is_some_and(|t| {
+                            t.kind == TokKind::Ident && ENV_READ_FNS.contains(&t.text.as_str())
+                        }) =>
+                {
+                    decl.sources.push(SourceSite {
+                        kind: TaintKind::EnvRead,
+                        line,
+                        what: format!("env::{}", self.toks[i + 3].text),
+                        allowed: false,
+                    });
+                }
+                "rand"
+                    if self.toks.get(i + 1).is_some_and(|t| is_p(t, ':'))
+                        && self.toks.get(i + 2).is_some_and(|t| is_p(t, ':')) =>
+                {
+                    decl.sources.push(SourceSite {
+                        kind: TaintKind::ForeignRng,
+                        line,
+                        what: "rand::".to_string(),
+                        allowed: false,
+                    });
+                }
+                s if FOREIGN_RNG_IDENTS.contains(&s) => decl.sources.push(SourceSite {
+                    kind: TaintKind::ForeignRng,
+                    line,
+                    what: t.text.clone(),
+                    allowed: false,
+                }),
+                _ => {}
+            }
+            // Call sites: `name(` not preceded by `fn`, not a keyword,
+            // not a macro (`name!(` never reaches here — the `!` sits
+            // between the name and the paren).
+            if self.toks.get(i + 1).is_some_and(|t| is_p(t, '('))
+                && !CALL_KEYWORDS.contains(&t.text.as_str())
+                && !(i > 0 && is_id(&self.toks[i - 1], "fn"))
+            {
+                let prev = if i > 0 { Some(&self.toks[i - 1]) } else { None };
+                if prev.is_some_and(|p| is_p(p, '.')) {
+                    decl.calls.push(CallSite {
+                        callee: t.text.clone(),
+                        qualifier: None,
+                        line,
+                        is_method: true,
+                    });
+                } else if i >= 2
+                    && prev.is_some_and(|p| is_p(p, ':'))
+                    && is_p(&self.toks[i - 2], ':')
+                {
+                    let qualifier = self
+                        .toks
+                        .get(i.wrapping_sub(3))
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone());
+                    decl.calls.push(CallSite {
+                        callee: t.text.clone(),
+                        qualifier,
+                        line,
+                        is_method: false,
+                    });
+                } else {
+                    decl.calls.push(CallSite {
+                        callee: t.text.clone(),
+                        qualifier: None,
+                        line,
+                        is_method: false,
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Extracts the impl type name from the tokens between `impl` and the
+/// body brace: the last path segment of the implemented-for type
+/// (`impl fmt::Display for ByteSize` → `ByteSize`,
+/// `impl<T> Queue<T>` → `Queue`).
+fn impl_type_name(header: &[Tok]) -> Option<String> {
+    // Skip leading generics `<...>`.
+    let mut i = 0usize;
+    if header.first().is_some_and(|t| is_p(t, '<')) {
+        let mut depth = 0i32;
+        while i < header.len() {
+            if is_p(&header[i], '<') {
+                depth += 1;
+            } else if is_p(&header[i], '>') && !(i > 0 && is_p(&header[i - 1], '-')) {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    let rest = &header[i..];
+    let after_for =
+        rest.iter().position(|t| is_id(t, "for")).map(|p| &rest[p + 1..]).unwrap_or(rest);
+    // Last ident of the leading path, stopping at generic args or the
+    // where clause.
+    let mut name = None;
+    for t in after_for {
+        if is_p(t, '<') || is_p(t, '{') || is_id(t, "where") {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            name = Some(t.text.clone());
+        }
+    }
+    name
+}
+
+/// Parses one file's token stream into function declarations.
+/// `mask[i]` marks tokens inside `#[cfg(test)]`/`#[test]` regions; the
+/// returned list excludes test functions (marked via [`FnDecl::is_test`]
+/// and filtered here) so they never join the workspace graph.
+pub fn parse_file(toks: &[Tok], mask: &[bool]) -> Vec<FnDecl> {
+    let mut p = Parser { toks, mask, out: Vec::new() };
+    let mut module = Vec::new();
+    p.items(0, toks.len(), &mut module, None);
+    let mut fns: Vec<FnDecl> = p.out.into_iter().filter(|f| !f.is_test).collect();
+    fns.sort_by_key(|f| (f.line, f.name.clone()));
+    fns
+}

@@ -20,9 +20,21 @@ use crate::lexer::{number_is, Tok, TokKind};
 pub const DECISION_PATH_CRATES: [&str; 6] =
     ["core", "cluster", "sim", "migration", "host", "faults"];
 
+/// Crates whose functions are determinism-taint *sinks*: any transitive
+/// reach from a wall-clock / foreign-RNG / hash-iteration / env-read
+/// source into these crates' `src/` trees is a finding unless a
+/// boundary pragma on the path declares it contained. A tighter set
+/// than [`DECISION_PATH_CRATES`]: `host` agents legitimately wrap
+/// telemetry spans, so only the pure decision path is sink territory.
+pub const TAINT_SINK_CRATES: [&str; 5] = ["core", "cluster", "sim", "faults", "migration"];
+
 /// Library crates exempt from print-hygiene (user-facing output is their
 /// job, or — for `lint` itself — findings go to stdout by design).
 pub const PRINT_EXEMPT_CRATES: [&str; 3] = ["cli", "bench", "lint"];
+
+/// Functions whose `Result`/outcome must never be silently discarded:
+/// retry exhaustion is a recovery decision the caller has to make.
+pub const RETRY_FNS: [&str; 2] = ["with_retries", "wake_with_retries"];
 
 /// Files allowed to read wall-clock time: the bench harness measures real
 /// elapsed time, and telemetry spans and the hierarchical profiler record
@@ -51,7 +63,7 @@ pub struct Rule {
 }
 
 /// All rules the pass enforces, in report order.
-pub const RULES: [Rule; 7] = [
+pub const RULES: [Rule; 12] = [
     Rule {
         id: "wall-clock",
         summary: "no Instant/SystemTime outside bench timing and telemetry wall-spans; \
@@ -82,6 +94,32 @@ pub const RULES: [Rule; 7] = [
         id: "unbalanced-span",
         summary: "no span/profile guard bound to `_` (closed before measuring anything), \
                   and no return/? between a guard binding and its .end()",
+    },
+    Rule {
+        id: "cross-fn-span",
+        summary: "no span/profile guard passed to another function: scopes open and close \
+                  in the same fn, or span nesting stops matching the call tree",
+    },
+    Rule {
+        id: "env-read",
+        summary: "no std::env::var/var_os/vars in decision-path crates; configuration \
+                  flows through explicit parameters",
+    },
+    Rule {
+        id: "float-energy",
+        summary: "no float accumulation (+=/-=) or float equality on energy-named values \
+                  in decision-path crates; account in integer millijoules",
+    },
+    Rule {
+        id: "dropped-retry",
+        summary: "no silently discarded with_retries/wake_with_retries outcome; retry \
+                  exhaustion is a recovery decision the caller must handle",
+    },
+    Rule {
+        id: "determinism-taint",
+        summary: "no call path from a decision-path fn to a wall-clock/foreign-rng/\
+                  hash-iteration/env-read source without a boundary pragma (workspace \
+                  call-graph analysis)",
     },
 ];
 
@@ -143,8 +181,12 @@ fn wall_clock_scope(path: &str) -> bool {
     !WALL_CLOCK_ALLOWED.contains(&path)
 }
 
-fn hash_iteration_scope(path: &str) -> bool {
+fn decision_path_scope(path: &str) -> bool {
     crate_of(path).is_some_and(|c| DECISION_PATH_CRATES.contains(&c))
+}
+
+fn hash_iteration_scope(path: &str) -> bool {
+    decision_path_scope(path)
 }
 
 fn foreign_rng_scope(path: &str) -> bool {
@@ -167,6 +209,50 @@ fn print_hygiene_scope(path: &str) -> bool {
         Some(c) => !PRINT_EXEMPT_CRATES.contains(&c) && in_crate_src(path, c),
         None => false,
     }
+}
+
+/// `true` for identifiers that plausibly name an energy quantity.
+/// Deliberately narrow ("mj"/"watt" would drag in the integer millijoule
+/// ledger and the power models, which are fine).
+fn is_energy_ident(name: &str) -> bool {
+    let l = name.to_ascii_lowercase();
+    l.contains("joule") || l.contains("energy")
+}
+
+/// For a token at argument position, walks back to the enclosing open
+/// paren and returns the callee identifier — `None` when the paren
+/// belongs to a macro, a tuple, or a statement boundary intervenes.
+fn call_of_arg(toks: &[Tok], arg: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut m = arg;
+    while m > 0 {
+        m -= 1;
+        let t = &toks[m];
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                if depth > 0 {
+                    depth -= 1;
+                    continue;
+                }
+                let callee = toks.get(m.checked_sub(1)?)?;
+                let keyword = matches!(
+                    callee.text.as_str(),
+                    "if" | "while" | "for" | "match" | "return" | "in" | "let" | "fn" | "move"
+                );
+                if callee.kind == TokKind::Ident && !keyword {
+                    return Some(callee.text.clone());
+                }
+                return None;
+            }
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
 }
 
 /// Runs every in-scope rule over the token stream. `test_mask[i]` marks
@@ -291,6 +377,136 @@ pub fn check_file(path: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<RawFindin
             }
         }
 
+        // env-read: ambient configuration reads in the decision path make
+        // runs depend on invisible state.
+        if decision_path_scope(path)
+            && matches_at(toks, i, &[Pat::Id("env"), Pat::P(':'), Pat::P(':')])
+        {
+            if let Some(f) = toks.get(i + 3).filter(|t| {
+                t.kind == TokKind::Ident && matches!(t.text.as_str(), "var" | "var_os" | "vars")
+            }) {
+                push(
+                    "env-read",
+                    line,
+                    format!(
+                        "`env::{}` in a decision-path crate: runs must not depend on ambient \
+                         environment; thread configuration through explicit parameters or \
+                         justify with a boundary pragma",
+                        f.text
+                    ),
+                );
+            }
+        }
+
+        // float-energy: float accumulation/equality on energy-named values
+        // is order-sensitive and drifts; the ledger is integer millijoules.
+        if decision_path_scope(path) && t.kind == TokKind::Ident && is_energy_ident(&t.text) {
+            // The lexer splits `0.5` into Number('.')Number, so a float
+            // literal *starting* at j is Number followed by `.`, and one
+            // *ending* at j is Number preceded by `.`.
+            let float_starts = |j: usize| {
+                toks.get(j).is_some_and(|t| t.kind == TokKind::Number)
+                    && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Punct && t.text == ".")
+            };
+            let float_ends = |j: usize| {
+                toks.get(j).is_some_and(|t| t.kind == TokKind::Number)
+                    && j >= 1
+                    && toks[j - 1].kind == TokKind::Punct
+                    && toks[j - 1].text == "."
+            };
+            if matches_at(toks, i + 1, &[Pat::P('+'), Pat::P('=')])
+                || matches_at(toks, i + 1, &[Pat::P('-'), Pat::P('=')])
+            {
+                push(
+                    "float-energy",
+                    line,
+                    format!(
+                        "float accumulation into `{}`: float addition is order-sensitive and \
+                         drifts across summation orders; accumulate energy in integer \
+                         millijoules and convert at the reporting edge",
+                        t.text
+                    ),
+                );
+            } else if (matches_at(toks, i + 1, &[Pat::P('='), Pat::P('=')])
+                || matches_at(toks, i + 1, &[Pat::P('!'), Pat::P('=')]))
+                && float_starts(i + 3)
+                || i >= 3
+                    && toks[i - 1].kind == TokKind::Punct
+                    && toks[i - 1].text == "="
+                    && toks[i - 2].kind == TokKind::Punct
+                    && matches!(toks[i - 2].text.as_str(), "=" | "!")
+                    && float_ends(i - 3)
+            {
+                push(
+                    "float-energy",
+                    line,
+                    format!(
+                        "float equality on `{}`: compare energy in integer millijoules or \
+                         use an explicit tolerance",
+                        t.text
+                    ),
+                );
+            }
+        }
+
+        // dropped-retry: a with_retries/wake_with_retries outcome nothing
+        // consumes. Three shapes: statement position `f(...);`, trailing
+        // `.ok();`, and `let _ = f(...);`.
+        if decision_path_scope(path)
+            && t.kind == TokKind::Ident
+            && RETRY_FNS.contains(&t.text.as_str())
+            && matches_at(toks, i + 1, &[Pat::P('(')])
+        {
+            // Walk back over path qualifiers (`recovery::`) to the start
+            // of the call expression.
+            let mut s = i;
+            while s >= 3
+                && matches_at(toks, s - 2, &[Pat::P(':'), Pat::P(':')])
+                && toks[s - 3].kind == TokKind::Ident
+            {
+                s -= 3;
+            }
+            let stmt_position = s == 0
+                || toks[s - 1].kind == TokKind::Punct
+                    && matches!(toks[s - 1].text.as_str(), ";" | "{" | "}");
+            let let_discard =
+                s >= 3 && matches_at(toks, s - 3, &[Pat::Id("let"), Pat::Id("_"), Pat::P('=')]);
+            // Matching close paren of the call.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].kind == TokKind::Punct {
+                    if toks[j].text == "(" {
+                        depth += 1;
+                    } else if toks[j].text == ")" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+                j += 1;
+            }
+            let discarded_after = stmt_position
+                && (matches_at(toks, j + 1, &[Pat::P(';')])
+                    || matches_at(
+                        toks,
+                        j + 1,
+                        &[Pat::P('.'), Pat::Id("ok"), Pat::P('('), Pat::P(')'), Pat::P(';')],
+                    ));
+            if let_discard || discarded_after {
+                push(
+                    "dropped-retry",
+                    line,
+                    format!(
+                        "outcome of `{}` discarded: retry exhaustion is a recovery decision — \
+                         handle the error (fall back, shed, or escalate) instead of dropping it",
+                        t.text
+                    ),
+                );
+            }
+        }
+
         // unbalanced-span: `let _ = t.span(..)` / `let _ = t.profile(..)`
         // drops the guard on the same statement, so the span measures
         // nothing; a named guard whose `.end()` sits past a `return` or
@@ -367,6 +583,47 @@ pub fn check_file(path: &str, toks: &[Tok], test_mask: &[bool]) -> Vec<RawFindin
                                     early = early.or(Some(tk.line));
                                 }
                                 _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                    // cross-fn-span: a named guard passed as a bare call
+                    // argument escapes into the callee, which then owns
+                    // the .end() — span nesting stops matching the call
+                    // tree. Open and close in the same fn; give the
+                    // callee its own child scope instead.
+                    if ctor && name != "_" {
+                        let mut depth = 0i32;
+                        let mut k = j + 1;
+                        while k < toks.len() && depth >= 0 {
+                            let tk = &toks[k];
+                            if tk.kind == TokKind::Punct {
+                                match tk.text.as_str() {
+                                    "{" => depth += 1,
+                                    "}" => depth -= 1,
+                                    _ => {}
+                                }
+                            }
+                            if tk.kind == TokKind::Ident
+                                && tk.text == name
+                                && !matches_at(toks, k + 1, &[Pat::P('.')])
+                                && k > 0
+                                && toks[k - 1].kind == TokKind::Punct
+                                && matches!(toks[k - 1].text.as_str(), "(" | "," | "&")
+                            {
+                                if let Some(callee) = call_of_arg(toks, k) {
+                                    push(
+                                        "cross-fn-span",
+                                        tk.line,
+                                        format!(
+                                            "span/profile guard `{name}` passed to `{callee}`: \
+                                             scopes must open and close in the same function; \
+                                             end `{name}` here and open a child scope inside \
+                                             `{callee}`"
+                                        ),
+                                    );
+                                    break;
+                                }
                             }
                             k += 1;
                         }

@@ -1,0 +1,64 @@
+//! SARIF 2.1.0 output — the static-analysis interchange format GitHub
+//! code scanning and most SARIF viewers consume.
+//!
+//! Hand-rendered (this workspace has no serde): one `run` for the
+//! `oasis-lint` driver, a `reportingDescriptor` per rule (including the
+//! engine's pragma-health rules), and one `result` per finding with a
+//! physical location. Field order is fixed, so output is byte-stable.
+
+use crate::engine::Report;
+use crate::json_escape;
+use crate::rules::{ENGINE_RULES, RULES};
+
+const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+const VERSION: &str = "2.1.0";
+/// Reported tool version; bump alongside visible behavior changes.
+const TOOL_VERSION: &str = "2.0.0";
+
+/// Renders the report as a SARIF 2.1.0 log (trailing newline).
+pub fn to_sarif(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"$schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"version\": \"{VERSION}\",\n"));
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"oasis-lint\",\n");
+    s.push_str(&format!("          \"version\": \"{TOOL_VERSION}\",\n"));
+    s.push_str(
+        "          \"informationUri\": \"https://example.invalid/oasis/DESIGN.md#16-static-analysis\",\n",
+    );
+    s.push_str("          \"rules\": [\n");
+    let descriptors: Vec<(String, String)> = RULES
+        .iter()
+        .map(|r| (r.id.to_string(), r.summary.to_string()))
+        .chain(ENGINE_RULES.iter().map(|id| {
+            (id.to_string(), format!("pragma health check emitted by the engine ({id})"))
+        }))
+        .collect();
+    for (i, (id, summary)) in descriptors.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            json_escape(id),
+            json_escape(summary),
+            if i + 1 < descriptors.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        s.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            json_escape(&f.rule),
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line,
+            if i + 1 < report.findings.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}

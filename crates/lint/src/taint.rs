@@ -1,0 +1,220 @@
+//! Determinism taint analysis over the workspace call graph.
+//!
+//! **Sources** are wall-clock reads, foreign RNGs, hashed containers and
+//! environment reads ([`TaintKind`]); **sinks** are every non-test
+//! function in the decision-path crates ([`crate::rules::TAINT_SINK_CRATES`]).
+//! A function is *tainted* with kind `k` if its body contains an
+//! unsuppressed `k` source, or if it calls a function tainted with `k` —
+//! unless a `// oasis-lint: boundary(<k-rule>, "...")` pragma on the
+//! function declares the dependency justified and contained, which stops
+//! propagation there.
+//!
+//! A finding is emitted for a sink function that is tainted *only
+//! transitively* (a direct source in a sink is already a per-site
+//! finding). Propagation is a Bellman-Ford-style fixpoint over call
+//! distance with fully deterministic tie-breaking — shortest distance
+//! first, then smallest `(call line, target node)` — so the witness path
+//! in each message is byte-stable across job counts and cache states.
+
+use crate::graph::Graph;
+use crate::parse::{FileRecord, TaintKind, TAINT_KINDS};
+use crate::rules::TAINT_SINK_CRATES;
+use crate::Finding;
+
+const UNREACHED: u32 = u32::MAX;
+/// Witness paths longer than this render elided middles.
+const MAX_PATH_RENDER: usize = 6;
+
+/// Why a node is tainted: its own source, or its cheapest tainted call.
+#[derive(Clone, Copy, Debug)]
+enum Why {
+    /// (source index into the decl's `sources`)
+    Source(usize),
+    /// (edge index into the node's `callees`)
+    Call(usize),
+}
+
+/// Per-node, per-kind taint state after the fixpoint.
+pub struct TaintResult {
+    /// Call distance to the nearest source (`UNREACHED` if clean).
+    dist: Vec<[u32; TAINT_KINDS]>,
+    why: Vec<[Option<Why>; TAINT_KINDS]>,
+    /// Taint that *would* reach the node ignoring its own boundary —
+    /// drives the boundary-usage health check.
+    would: Vec<[bool; TAINT_KINDS]>,
+}
+
+impl TaintResult {
+    /// Whether taint of `kind` would reach node `i` if it had no
+    /// boundary (i.e. the node's `boundary(<kind>)` pragma blocks
+    /// something real).
+    pub fn boundary_blocks(&self, i: usize, kind: TaintKind) -> bool {
+        self.would[i][kind.index()]
+    }
+}
+
+/// Runs the fixpoint. `files` must be the same (sorted) slice the graph
+/// was built from.
+pub fn analyze(files: &[FileRecord], g: &Graph) -> TaintResult {
+    let n = g.fns.len();
+    let mut dist = vec![[UNREACHED; TAINT_KINDS]; n];
+    let mut why = vec![[None; TAINT_KINDS]; n];
+    let mut would = vec![[false; TAINT_KINDS]; n];
+
+    // Seed: direct, unsuppressed sources. The witness is the smallest
+    // source line per kind.
+    for i in 0..n {
+        let d = g.decl(files, i);
+        for (si, s) in d.sources.iter().enumerate() {
+            if s.allowed {
+                continue;
+            }
+            let k = s.kind.index();
+            would[i][k] = true;
+            if d.boundary_kinds[k] {
+                continue;
+            }
+            let better = match why[i][k] {
+                None => true,
+                Some(Why::Source(prev)) => s.line < d.sources[prev].line,
+                Some(Why::Call(_)) => unreachable!("calls are not seeded"),
+            };
+            if better {
+                dist[i][k] = 0;
+                why[i][k] = Some(Why::Source(si));
+            }
+        }
+    }
+
+    // Relax until stable. Edges only shrink distances, so this
+    // terminates in at most `n` rounds; tie-breaks are total orders, so
+    // the result is independent of iteration order.
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let d = g.decl(files, i);
+            for (ei, e) in g.callees[i].iter().enumerate() {
+                let call_line = d.calls[e.call].line;
+                for k in 0..TAINT_KINDS {
+                    if dist[e.target][k] == UNREACHED {
+                        continue;
+                    }
+                    if !would[i][k] {
+                        would[i][k] = true;
+                        changed = true;
+                    }
+                    if d.boundary_kinds[k] {
+                        continue;
+                    }
+                    let cand = dist[e.target][k].saturating_add(1);
+                    let better = if cand < dist[i][k] {
+                        true
+                    } else if cand > dist[i][k] {
+                        false
+                    } else {
+                        // Equal distance: prefer the smallest
+                        // (call line, target node) witness.
+                        match why[i][k] {
+                            Some(Why::Call(prev_ei)) => {
+                                let prev = &g.callees[i][prev_ei];
+                                let prev_line = d.calls[prev.call].line;
+                                (call_line, e.target) < (prev_line, prev.target)
+                            }
+                            _ => false,
+                        }
+                    };
+                    if better {
+                        dist[i][k] = cand;
+                        why[i][k] = Some(Why::Call(ei));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    TaintResult { dist, why, would }
+}
+
+/// Whether `rel` lives in a taint-sink crate's `src/` tree.
+fn in_sink_crate(rel: &str) -> bool {
+    TAINT_SINK_CRATES.iter().any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// Reconstructs the witness call chain from node `i` down to the source,
+/// returning the rendered hop list and the source description.
+fn witness(
+    files: &[FileRecord],
+    g: &Graph,
+    t: &TaintResult,
+    mut i: usize,
+    k: usize,
+) -> (Vec<String>, String) {
+    let mut hops = Vec::new();
+    loop {
+        match t.why[i][k] {
+            Some(Why::Call(ei)) => {
+                let e = g.callees[i][ei];
+                i = e.target;
+                hops.push(g.decl(files, i).name.clone());
+            }
+            Some(Why::Source(si)) => {
+                let d = g.decl(files, i);
+                let s = &d.sources[si];
+                let src = format!("`{}` at {}:{}", s.what, g.file(files, i).rel, s.line);
+                return (hops, src);
+            }
+            None => return (hops, "<unknown source>".to_string()),
+        }
+    }
+}
+
+/// Emits determinism-taint findings: one per (sink function, kind) that
+/// is transitively — not directly — tainted.
+pub fn findings(files: &[FileRecord], g: &Graph, t: &TaintResult) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..g.fns.len() {
+        let file = g.file(files, i);
+        if !in_sink_crate(&file.rel) {
+            continue;
+        }
+        let d = g.decl(files, i);
+        for kind in TaintKind::ALL {
+            let k = kind.index();
+            if t.dist[i][k] == UNREACHED {
+                continue;
+            }
+            // Direct sources are the per-site rules' business.
+            let Some(Why::Call(ei)) = t.why[i][k] else { continue };
+            let e = g.callees[i][ei];
+            let call = &d.calls[e.call];
+            let (hops, src) = witness(files, g, t, i, k);
+            let path = if hops.len() > MAX_PATH_RENDER {
+                let shown: Vec<&str> =
+                    hops.iter().take(MAX_PATH_RENDER).map(String::as_str).collect();
+                format!("{} -> ... ({} calls)", shown.join(" -> "), hops.len())
+            } else {
+                hops.join(" -> ")
+            };
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: call.line,
+                rule: "determinism-taint".to_string(),
+                message: format!(
+                    "decision-path fn `{}` reaches {} source {} via {}; \
+                     break the dependency or justify it with \
+                     `// oasis-lint: boundary({}, \"<reason>\")` on the containing fn",
+                    d.name,
+                    kind.rule(),
+                    src,
+                    path,
+                    kind.rule(),
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,73 @@
+//! `--fix` round-trip: the dry-run edits for a file full of print-hygiene
+//! violations and a stale pragma must, once applied, re-lint to zero
+//! findings — and the edit list itself must be machine-readable JSON.
+
+use oasis_lint::engine::analyze_sources;
+use oasis_lint::fix::{apply_fixes, to_json};
+
+const BEFORE: &str = include_str!("fixtures/fix/before.rs");
+const PATH: &str = "crates/host/src/emit.rs";
+
+#[test]
+fn fixes_apply_then_relint_clean() {
+    let report = analyze_sources(&[(PATH, BEFORE)]);
+    assert!(!report.findings.is_empty(), "fixture must start dirty; did the rules move?");
+    assert!(!report.fixes.is_empty(), "every fixture finding should be fixable");
+
+    let after = apply_fixes(BEFORE, &report.fixes);
+    assert_ne!(after, BEFORE);
+
+    let clean = analyze_sources(&[(PATH, &after)]);
+    assert!(
+        clean.findings.is_empty(),
+        "applying the emitted edits must converge to zero findings; got {:?}\nafter:\n{after}",
+        clean.findings
+    );
+}
+
+#[test]
+fn fix_for_stale_pragma_removes_the_comment() {
+    let report = analyze_sources(&[(PATH, BEFORE)]);
+    let pragma_fix = report
+        .fixes
+        .iter()
+        .find(|f| f.rule == "unused-pragma")
+        .expect("stale allow must get a removal edit");
+    assert!(pragma_fix.find.contains("oasis-lint: allow(wall-clock"));
+    assert!(pragma_fix.replace.is_empty());
+
+    let after = apply_fixes(BEFORE, &report.fixes);
+    assert!(!after.contains("oasis-lint:"), "pragma comment must be gone:\n{after}");
+    // The line the pragma occupied alone is dropped, not left blank.
+    assert!(!after.lines().any(|l| !l.is_empty() && l.trim().is_empty()));
+}
+
+#[test]
+fn fix_json_is_stable_and_escaped() {
+    let report = analyze_sources(&[(PATH, BEFORE)]);
+    let json = to_json(&report.fixes);
+    let json2 = to_json(&analyze_sources(&[(PATH, BEFORE)]).fixes);
+    assert_eq!(json, json2, "fix JSON must be byte-stable across runs");
+    assert!(json.contains("\"rule\""));
+    assert!(json.contains("\"find\""));
+    assert!(json.contains("\"replace\""));
+    // The pragma raw text contains double quotes; they must be escaped.
+    assert!(json.contains("\\\""), "quotes inside `find` must be JSON-escaped:\n{json}");
+}
+
+#[test]
+fn applying_no_fixes_is_identity() {
+    assert_eq!(apply_fixes(BEFORE, &[]), BEFORE);
+}
+
+#[test]
+fn fix_with_missing_needle_is_skipped() {
+    let bogus = oasis_lint::fix::Fix {
+        file: PATH.to_string(),
+        line: 4,
+        rule: "print-hygiene".to_string(),
+        find: "this text is not on line 4".to_string(),
+        replace: String::new(),
+    };
+    assert_eq!(apply_fixes(BEFORE, &[bogus]), BEFORE);
+}

@@ -1,0 +1,7 @@
+// Fixture: discarded retry outcomes hide exhausted recovery — the
+// cluster keeps scheduling onto a host that never woke up.
+pub fn service(host: HostId) {
+    with_retries(policy(), || wake(host));
+    let _ = recovery::with_retries(policy(), || wake(host));
+    wake_with_retries(host).ok();
+}

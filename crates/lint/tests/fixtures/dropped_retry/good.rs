@@ -1,0 +1,9 @@
+// Fixture: retry outcomes are consumed and acted on.
+pub fn service(host: HostId) -> Result<(), FaultError> {
+    let outcome = with_retries(policy(), || wake(host));
+    outcome?;
+    match wake_with_retries(host) {
+        Ok(()) => Ok(()),
+        Err(e) => fallback(host, e),
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: configuration flows through explicit parameters; the decision
+// path never consults the ambient environment.
+pub fn fidelity_from_config(cfg: &SimConfig) -> u32 {
+    cfg.fidelity_level
+}
+
+pub fn trace_enabled(cfg: &SimConfig) -> bool {
+    cfg.trace
+}

@@ -1,0 +1,9 @@
+// Fixture: --fix edits (stale pragma removal, print neutralization)
+// applied to this file must converge to zero findings on re-lint.
+pub fn emit(done: usize) {
+    println!("done {done}");
+    // oasis-lint: allow(wall-clock, "stale: the clock read below was removed")
+    let x = done;
+    let _ = dbg!(x);
+    eprintln!();
+}

@@ -1,0 +1,8 @@
+// Fixture: float accumulation and float equality on energy-named values
+// are order-sensitive and drift across summation orders.
+pub fn account(joules: f64, day_energy: f64) -> bool {
+    let mut total_joules = 0.0;
+    total_joules += joules;
+    let drained = day_energy == 0.0;
+    drained && 1.5 == total_joules
+}

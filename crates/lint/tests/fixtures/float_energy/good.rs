@@ -1,0 +1,10 @@
+// Fixture: the energy ledger is integer millijoules; comparisons are
+// exact integer equality or explicit tolerances.
+pub fn account(active_mj: u64, total_mj: &mut u64) -> bool {
+    *total_mj += active_mj;
+    *total_mj == 0
+}
+
+pub fn converged(energy_mj: u64, prev_mj: u64) -> bool {
+    energy_mj.abs_diff(prev_mj) < 2
+}

@@ -1,0 +1,26 @@
+// Fixture (virtual path crates/core/src/planner.rs): cross-crate free
+// calls, a method call, an associated-fn call via Self, and one leg of
+// a call cycle (plan -> transfer -> settle -> plan).
+pub struct Planner {
+    budget: u64,
+}
+
+impl Planner {
+    pub fn fresh() -> Planner {
+        Planner { budget: 0 }
+    }
+
+    pub fn plan(&self, load: u64) -> u64 {
+        let p = Self::fresh();
+        transfer(load + p.budget)
+    }
+
+    pub fn poll(&self) -> u64 {
+        self.budget
+    }
+}
+
+pub fn settle(load: u64) -> u64 {
+    let planner = Planner::fresh();
+    planner.plan(load)
+}

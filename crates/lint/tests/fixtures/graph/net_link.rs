@@ -1,0 +1,38 @@
+// Fixture (virtual path crates/net/src/link.rs): a trait with two
+// impls — a `.drive(` method call must conservatively resolve to both —
+// plus the closing legs of the cycle and a same-name method (`poll`)
+// that demonstrates receiver-blind resolution.
+pub trait Driver {
+    fn drive(&self, load: u64) -> u64;
+}
+
+pub struct Wired;
+pub struct Wireless;
+
+impl Driver for Wired {
+    fn drive(&self, load: u64) -> u64 {
+        load
+    }
+}
+
+impl Driver for Wireless {
+    fn drive(&self, load: u64) -> u64 {
+        load / 2
+    }
+}
+
+pub struct Link {
+    driver: Wired,
+}
+
+impl Link {
+    pub fn poll(&self) -> u64 {
+        self.driver.drive(1)
+    }
+}
+
+pub fn transfer(load: u64) -> u64 {
+    let link = Link { driver: Wired };
+    let moved = link.poll();
+    settle(load + moved)
+}

@@ -1,0 +1,5 @@
+// Fixture (virtual path crates/telemetry/src/lib.rs): the middle hop —
+// no source of its own, but it calls one.
+pub fn sample_latency() -> u64 {
+    wall_probe()
+}

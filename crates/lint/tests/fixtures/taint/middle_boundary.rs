@@ -1,0 +1,6 @@
+// Fixture (virtual path crates/telemetry/src/lib.rs): the middle hop
+// with a justified boundary — taint stops here and the sink stays clean.
+// oasis-lint: boundary(wall-clock, "latency sample feeds telemetry exports only, never decisions")
+pub fn sample_latency() -> u64 {
+    wall_probe()
+}

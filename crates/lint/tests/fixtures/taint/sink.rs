@@ -1,0 +1,6 @@
+// Fixture (virtual path crates/cluster/src/sim.rs): the decision-path
+// entry point. The wall-clock read is two calls away; only the
+// workspace taint analysis can connect them.
+pub fn step_interval() -> u64 {
+    sample_latency()
+}

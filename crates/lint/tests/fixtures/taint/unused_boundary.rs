@@ -1,0 +1,6 @@
+// Fixture (virtual path crates/telemetry/src/lib.rs): a boundary on a
+// function no taint reaches is stale and must be flagged.
+// oasis-lint: boundary(wall-clock, "stale: this helper stopped reading the clock long ago")
+pub fn sample_latency() -> u64 {
+    42
+}

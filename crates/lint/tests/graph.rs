@@ -1,0 +1,110 @@
+//! Call-graph builder tests over a multi-file fixture: cross-crate free
+//! calls, associated functions via `Self::`, receiver-blind trait-method
+//! conservatism, and a call cycle — locked by a byte-stable golden dump.
+
+use oasis_lint::engine::graph_dump;
+
+const CORE_PLANNER: &str = include_str!("fixtures/graph/core_planner.rs");
+const NET_LINK: &str = include_str!("fixtures/graph/net_link.rs");
+const GOLDEN: &str = include_str!("fixtures/graph/golden.txt");
+
+fn dump() -> String {
+    // Deliberately passed out of path order: the builder must sort, not
+    // depend on input order, for the dump to be byte-stable.
+    graph_dump(&[
+        ("crates/net/src/link.rs", NET_LINK),
+        ("crates/core/src/planner.rs", CORE_PLANNER),
+    ])
+}
+
+#[test]
+fn dump_matches_golden_byte_for_byte() {
+    assert_eq!(dump(), GOLDEN, "call-graph dump drifted from fixtures/graph/golden.txt");
+}
+
+#[test]
+fn dump_is_input_order_independent() {
+    let swapped = graph_dump(&[
+        ("crates/core/src/planner.rs", CORE_PLANNER),
+        ("crates/net/src/link.rs", NET_LINK),
+    ]);
+    assert_eq!(dump(), swapped);
+}
+
+#[test]
+fn cross_crate_free_call_resolves() {
+    // planner.rs `plan` calls `transfer`, defined in link.rs.
+    let d = dump();
+    assert!(d.contains("crates/core/src/planner.rs::Planner::plan"), "missing plan node in:\n{d}");
+    let plan_block = block_of(&d, "crates/core/src/planner.rs::Planner::plan ");
+    assert!(
+        plan_block.contains("crates/net/src/link.rs::transfer"),
+        "plan should call cross-crate transfer:\n{plan_block}"
+    );
+}
+
+#[test]
+fn self_associated_call_resolves_to_impl_owner() {
+    let d = dump();
+    let plan_block = block_of(&d, "crates/core/src/planner.rs::Planner::plan ");
+    assert!(
+        plan_block.contains("crates/core/src/planner.rs::Planner::fresh"),
+        "Self::fresh should resolve to Planner::fresh:\n{plan_block}"
+    );
+}
+
+#[test]
+fn trait_method_call_is_receiver_blind_and_conservative() {
+    // `self.driver.drive(1)` in Link::poll must edge to BOTH impls of
+    // Driver::drive — the analysis has no type inference.
+    let d = dump();
+    let poll_block = block_of(&d, "crates/net/src/link.rs::Link::poll ");
+    assert!(poll_block.contains("Wired::drive"), "missing Wired::drive edge:\n{poll_block}");
+    assert!(poll_block.contains("Wireless::drive"), "missing Wireless::drive edge:\n{poll_block}");
+}
+
+#[test]
+fn same_name_methods_all_resolve() {
+    // `link.poll()` inside transfer must reach both `Link::poll` and
+    // `Planner::poll` (receiver-blind).
+    let d = dump();
+    let transfer_block = block_of(&d, "crates/net/src/link.rs::transfer ");
+    assert!(transfer_block.contains("Link::poll"));
+    assert!(transfer_block.contains("Planner::poll"));
+}
+
+#[test]
+fn call_cycle_is_representable() {
+    // plan -> transfer -> settle -> plan: each leg appears; the builder
+    // must not hang or drop edges on the cycle.
+    let d = dump();
+    assert!(block_of(&d, "crates/core/src/planner.rs::Planner::plan ")
+        .contains("crates/net/src/link.rs::transfer"));
+    assert!(block_of(&d, "crates/net/src/link.rs::transfer ")
+        .contains("crates/core/src/planner.rs::settle"));
+    assert!(block_of(&d, "crates/core/src/planner.rs::settle ")
+        .contains("crates/core/src/planner.rs::Planner::plan"));
+}
+
+/// Returns the dump section for one function: its header line plus the
+/// indented edge lines that follow.
+fn block_of(dump: &str, header_prefix: &str) -> String {
+    let mut out = String::new();
+    let mut in_block = false;
+    for line in dump.lines() {
+        if line.starts_with(header_prefix) {
+            in_block = true;
+            out.push_str(line);
+            out.push('\n');
+        } else if in_block {
+            if line.starts_with("  ") {
+                out.push_str(line);
+                out.push('\n');
+            } else {
+                break;
+            }
+        }
+    }
+    assert!(!out.is_empty(), "no block starting with {header_prefix:?} in:\n{dump}");
+    out
+}

@@ -204,3 +204,79 @@ fn json_report_escapes_and_round_trips_shape() {
     assert!(json.contains("\\\"Instant\\\"\\n"), "{json}");
     assert!(json.contains("\"checked_files\": 2"), "{json}");
 }
+
+#[test]
+fn env_read_fires_in_decision_path_crates_only() {
+    let src = include_str!("fixtures/env_read/bad.rs");
+    let bad = lint_at("crates/cluster/src/config.rs", src);
+    assert_eq!(lines_of(&bad, "env-read"), vec![4, 11], "{bad:?}");
+    assert!(bad.iter().all(|f| f.rule == "env-read"), "{bad:?}");
+
+    // Outside the decision path, ambient reads are allowed per-site (the
+    // taint pass still tracks them transitively).
+    assert!(lint_at("crates/telemetry/src/metrics.rs", src).is_empty());
+
+    let good = lint_at("crates/cluster/src/config.rs", include_str!("fixtures/env_read/good.rs"));
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn float_energy_fires_on_accumulation_and_equality() {
+    let src = include_str!("fixtures/float_energy/bad.rs");
+    let bad = lint_at("crates/cluster/src/sim.rs", src);
+    // Line 5: `total_joules += joules`; line 6: `day_energy == 0.0`;
+    // line 7: reversed operands `1.5 == total_joules`.
+    assert_eq!(lines_of(&bad, "float-energy"), vec![5, 6, 7], "{bad:?}");
+    assert!(bad.iter().all(|f| f.rule == "float-energy"), "{bad:?}");
+
+    let good = lint_at("crates/cluster/src/sim.rs", include_str!("fixtures/float_energy/good.rs"));
+    assert!(good.is_empty(), "integer-mj ledger must be clean: {good:?}");
+}
+
+#[test]
+fn dropped_retry_fires_on_all_three_discard_shapes() {
+    let src = include_str!("fixtures/dropped_retry/bad.rs");
+    let bad = lint_at("crates/faults/src/recovery.rs", src);
+    // Statement position, `let _ =` with a qualified path, and `.ok();`.
+    assert_eq!(lines_of(&bad, "dropped-retry"), vec![4, 5, 6], "{bad:?}");
+    assert!(bad.iter().all(|f| f.rule == "dropped-retry"), "{bad:?}");
+
+    let good =
+        lint_at("crates/faults/src/recovery.rs", include_str!("fixtures/dropped_retry/good.rs"));
+    assert!(good.is_empty(), "bound-and-matched outcome must be clean: {good:?}");
+}
+
+#[test]
+fn cross_fn_span_fires_when_a_guard_escapes_into_a_callee() {
+    let src = include_str!("fixtures/cross_fn_span/bad.rs");
+    let bad = lint_at("crates/cluster/src/sim.rs", src);
+    assert_eq!(lines_of(&bad, "cross-fn-span"), vec![7, 12], "{bad:?}");
+
+    let good = lint_at("crates/cluster/src/sim.rs", include_str!("fixtures/cross_fn_span/good.rs"));
+    assert!(good.is_empty(), "same-fn .end() must be clean: {good:?}");
+}
+
+#[test]
+fn sarif_report_names_every_rule_and_locates_findings() {
+    let report = oasis_lint::engine::analyze_sources(&[(
+        "crates/core/src/policy.rs",
+        include_str!("fixtures/wall_clock/bad.rs"),
+    )]);
+    let sarif = oasis_lint::sarif::to_sarif(&report);
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("sarif-2.1.0.json"), "{sarif}");
+    // Every per-site rule plus the engine's pragma-health rules appear as
+    // reportingDescriptors, findings or not.
+    for rule in oasis_lint::rules::RULES {
+        assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.id)), "missing {}", rule.id);
+    }
+    assert!(sarif.contains("\"id\": \"unused-pragma\""));
+    // The wall-clock findings carry physical locations.
+    assert!(sarif.contains("\"ruleId\": \"wall-clock\""), "{sarif}");
+    assert!(sarif.contains("\"uri\": \"crates/core/src/policy.rs\""), "{sarif}");
+    assert!(sarif.contains("\"startLine\": 2"), "{sarif}");
+
+    // Byte-stable across identical inputs.
+    let again = oasis_lint::sarif::to_sarif(&report);
+    assert_eq!(sarif, again);
+}

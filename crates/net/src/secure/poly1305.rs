@@ -11,6 +11,7 @@ pub const TAG_LEN: usize = 16;
 const MASK26: u64 = (1 << 26) - 1;
 
 /// Computes the Poly1305 tag of `msg` under the one-time `key`.
+// oasis-lint: boundary(unit-safety, "26-bit limb packing throughout: every shift here repacks field-element limbs, not page sizes")
 pub fn tag(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
     // Clamp r (RFC 8439 §2.5: clear the top bits of each word).
     let t0 = u32::from_le_bytes(key[0..4].try_into().expect("4")) & 0x0fff_ffff;
@@ -21,7 +22,6 @@ pub fn tag(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
     // Split the 124 significant bits of r into five 26-bit limbs.
     let r0 = u64::from(t0) & MASK26;
     let r1 = (u64::from(t0) >> 26 | u64::from(t1) << 6) & MASK26;
-    // oasis-lint: allow(unit-safety, "26-bit limb repacking of the Poly1305 key, not a page-size conversion")
     let r2 = (u64::from(t1) >> 20 | u64::from(t2) << 12) & MASK26;
     let r3 = (u64::from(t2) >> 14 | u64::from(t3) << 18) & MASK26;
     let r4 = u64::from(t3) >> 8;
@@ -44,7 +44,6 @@ pub fn tag(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
 
         h0 += b0 & MASK26;
         h1 += (b0 >> 26 | b1 << 6) & MASK26;
-        // oasis-lint: allow(unit-safety, "26-bit limb repacking of a message block, not a page-size conversion")
         h2 += (b1 >> 20 | b2 << 12) & MASK26;
         h3 += (b2 >> 14 | b3 << 18) & MASK26;
         h4 += b3 >> 8 | b4 << 24;
@@ -121,7 +120,6 @@ pub fn tag(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
     // Serialize h back to four 32-bit words and add s modulo 2¹²⁸.
     let w0 = f0 | f1 << 26;
     let w1 = f1 >> 6 | f2 << 20;
-    // oasis-lint: allow(unit-safety, "serializing 26-bit limbs to 32-bit words, not a page-size conversion")
     let w2 = f2 >> 12 | f3 << 14;
     let w3 = f3 >> 18 | f4 << 8;
 

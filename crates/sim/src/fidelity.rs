@@ -30,6 +30,7 @@ impl ModelFidelity {
     /// Reads the fidelity from `OASIS_FIDELITY` (`per-page` or
     /// `batched`), defaulting to [`ModelFidelity::PerPage`] when unset
     /// or unparseable.
+    // oasis-lint: boundary(env-read, "fidelity selects between differentially-equivalent models; either setting yields identical results")
     pub fn from_env() -> Self {
         std::env::var(FIDELITY_ENV)
             .ok()

@@ -50,6 +50,7 @@ impl WorkerPool {
 
     /// A pool sized from `OASIS_JOBS`, falling back to the machine's
     /// available parallelism (and to one worker if even that is unknown).
+    // oasis-lint: boundary(env-read, "job count changes scheduling only; map() returns input-order results for any worker count")
     pub fn from_env() -> WorkerPool {
         let jobs = std::env::var(JOBS_ENV)
             .ok()

@@ -354,6 +354,7 @@ pub struct ProfileScope {
 }
 
 impl ProfileScope {
+    // oasis-lint: boundary(wall-clock, "profiler wall timing is observability output only; sim decisions read telemetry.now()")
     pub(crate) fn start(telemetry: &Telemetry, name: &'static str) -> ProfileScope {
         let node = telemetry.profiler().enter(name);
         ProfileScope {

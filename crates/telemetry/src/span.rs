@@ -38,6 +38,7 @@ pub struct Span {
 }
 
 impl Span {
+    // oasis-lint: boundary(wall-clock, "span wall timing feeds telemetry histograms only; sim decisions read telemetry.now()")
     pub(crate) fn start(telemetry: &Telemetry, name: &'static str) -> Span {
         let (sim_hist, wall_hist) = if telemetry.is_enabled() {
             let m = telemetry.metrics();
