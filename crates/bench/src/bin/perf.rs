@@ -13,7 +13,10 @@
 //!   throughput the paper reproduction actually cares about, and at
 //!   ~tens of milliseconds warm it is cheap enough for every CI run.
 //!   An untimed warmup day fills the process-wide trace-sampling cache
-//!   first, so the timed day measures steady state;
+//!   first, so the timed day measures steady state. The day is then
+//!   re-run on the event-driven engine (`day_paper_event_*` keys,
+//!   including its deterministic skip counters), and `--check` holds it
+//!   to an absolute wall budget on top of the regression gates;
 //! * **sweep** — a figure8-style sweep (every figure-8 policy × the
 //!   consolidation-host axis × `OASIS_RUNS` seeds), run once on one
 //!   worker and once on `OASIS_JOBS` workers (default 4), reported as
@@ -35,12 +38,21 @@ use oasis_cluster::experiments::{figure8_at, run_one_at, Scale, CONS_SWEEP};
 use oasis_cluster::{ClusterConfig, ClusterSim, DayPhases};
 use oasis_core::PolicyKind;
 use oasis_sim::pool::JOBS_ENV;
-use oasis_sim::WorkerPool;
+use oasis_sim::{EngineMode, WorkerPool};
 use oasis_telemetry::{Level, Telemetry};
 use oasis_trace::DayKind;
 
 /// Simulated seconds in the day workload (288 five-minute intervals).
 const DAY_SIM_SECS: f64 = 86_400.0;
+
+/// Absolute wall budget `--check` enforces on the event-engine paper
+/// day. The skip-ahead design target was 5 ms, but at §5.1 scale every
+/// interval carries session edges, so the heap can never skip a whole
+/// interval and the warm day lands around 13 ms on the reference
+/// machine (see DESIGN.md §17); the budget adds headroom for slower CI
+/// hosts and single-shot timing noise while still catching an
+/// order-of-magnitude regression outright.
+const EVENT_DAY_BUDGET_SECS: f64 = 0.050;
 
 /// Wall-clock throughput measurements for one perf run.
 struct PerfReport {
@@ -55,6 +67,19 @@ struct PerfReport {
     /// Bracketed wall not captured by any phase bucket (loop overhead,
     /// report assembly); closes the books so phases + other ≈ total.
     day_paper_other_secs: f64,
+    /// The same §5.1 day on the event-driven engine (byte-identical
+    /// report, skip-ahead loop).
+    day_paper_event_wall_secs: f64,
+    day_paper_event_sim_secs_per_sec: f64,
+    day_paper_event_phases: DayPhases,
+    day_paper_event_other_secs: f64,
+    /// Planner epochs the event engine replayed instead of re-planning
+    /// (deterministic for a fixed seed, so the committed baseline pins
+    /// it).
+    day_paper_event_planner_replays: u64,
+    /// Host-intervals the event engine charged from the span cache
+    /// instead of re-integrating (deterministic, like the replays).
+    day_paper_event_cached_host_intervals: u64,
     /// Fraction of a profiled paper day's bracketed wall covered by the
     /// span profiler's `run_day` tree.
     day_paper_span_coverage: f64,
@@ -76,6 +101,19 @@ impl PerfReport {
              \"day_paper_activation_secs\": {:.4},\n  \"day_paper_planner_secs\": {:.4},\n  \
              \"day_paper_fetch_secs\": {:.4},\n  \"day_paper_accounting_secs\": {:.4},\n  \
              \"day_paper_other_secs\": {:.4},\n  \"day_paper_span_coverage\": {:.4},\n  \
+             \"day_paper_event_wall_secs\": {:.4},\n  \
+             \"day_paper_event_sim_secs_per_sec\": {:.1},\n  \
+             \"day_paper_event_trace_secs\": {:.4},\n  \
+             \"day_paper_event_construct_secs\": {:.4},\n  \
+             \"day_paper_event_fault_secs\": {:.4},\n  \
+             \"day_paper_event_activation_secs\": {:.4},\n  \
+             \"day_paper_event_planner_secs\": {:.4},\n  \
+             \"day_paper_event_fetch_secs\": {:.4},\n  \
+             \"day_paper_event_accounting_secs\": {:.4},\n  \
+             \"day_paper_event_other_secs\": {:.4},\n  \
+             \"day_paper_event_planner_replays\": {},\n  \
+             \"day_paper_event_cached_host_intervals\": {},\n  \
+             \"day_paper_event_budget_secs\": {EVENT_DAY_BUDGET_SECS:.4},\n  \
              \"sweep_seq_wall_secs\": {:.4},\n  \
              \"sweep_par_wall_secs\": {:.4},\n  \"sweep_seq_sims_per_sec\": {:.3},\n  \
              \"sweep_par_sims_per_sec\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
@@ -95,6 +133,18 @@ impl PerfReport {
             self.day_paper_phases.accounting_secs,
             self.day_paper_other_secs,
             self.day_paper_span_coverage,
+            self.day_paper_event_wall_secs,
+            self.day_paper_event_sim_secs_per_sec,
+            self.day_paper_event_phases.trace_sampling_secs,
+            self.day_paper_event_phases.construct_secs,
+            self.day_paper_event_phases.fault_service_secs,
+            self.day_paper_event_phases.activation_secs,
+            self.day_paper_event_phases.planner_secs,
+            self.day_paper_event_phases.fetch_secs,
+            self.day_paper_event_phases.accounting_secs,
+            self.day_paper_event_other_secs,
+            self.day_paper_event_planner_replays,
+            self.day_paper_event_cached_host_intervals,
             self.sweep_seq_wall_secs,
             self.sweep_par_wall_secs,
             self.sweep_seq_sims_per_sec,
@@ -186,6 +236,42 @@ fn run_perf(out: &Reporter) -> PerfReport {
     );
     out.sample("day_paper", (day_paper_wall_secs * 1e9) as u64, 1);
 
+    // Workload 1b-event: the same §5.1 rack on the event-driven engine
+    // (next-wake heap, planner replays, span-cache energy charging).
+    // The report is byte-identical to the interval engine's — the
+    // fidelity_equivalence battery locks that — so this measures pure
+    // engine overhead, and the instrumented run also yields the
+    // deterministic skip counters the committed baseline pins.
+    let paper_event_cfg = || {
+        let mut cfg = paper_cfg();
+        cfg.engine = EngineMode::EventDriven;
+        cfg
+    };
+    ClusterSim::new(paper_event_cfg()).run_day();
+    let mut day_paper_event_phases = DayPhases::default();
+    let ((_, event_stats), day_paper_event_wall_secs) = wall(|| {
+        ClusterSim::new_timed(paper_event_cfg(), &monotonic_secs, &mut day_paper_event_phases)
+            .run_day_instrumented(&monotonic_secs, &mut day_paper_event_phases)
+    });
+    let day_paper_event_sim_secs_per_sec = DAY_SIM_SECS / day_paper_event_wall_secs;
+    outln!(
+        out,
+        "paper:  {day_paper_event_wall_secs:>8.3}s wall   {day_paper_event_sim_secs_per_sec:>10.0} sim-secs/sec  (30×30 rack, event engine)"
+    );
+    let day_paper_event_other_secs =
+        (day_paper_event_wall_secs - day_paper_event_phases.total_secs()).max(0.0);
+    outln!(
+        out,
+        "        replays {}/{} epochs  cached {}/{} host-intervals  fetch skipped {}/{}",
+        event_stats.planner_replays,
+        event_stats.planner_epochs,
+        event_stats.cached_host_intervals,
+        event_stats.host_intervals(),
+        event_stats.fetch_skipped,
+        event_stats.fetch_full + event_stats.fetch_skipped,
+    );
+    out.sample("day_paper_event", (day_paper_event_wall_secs * 1e9) as u64, 1);
+
     // Workload 1c: the same paper day with the hierarchical span
     // profiler attached (events filtered at Warn, no sinks — the cost
     // measured is the profiler itself). The tree's wall self-times must
@@ -247,6 +333,12 @@ fn run_perf(out: &Reporter) -> PerfReport {
         day_paper_phases,
         day_paper_other_secs,
         day_paper_span_coverage,
+        day_paper_event_wall_secs,
+        day_paper_event_sim_secs_per_sec,
+        day_paper_event_phases,
+        day_paper_event_other_secs,
+        day_paper_event_planner_replays: event_stats.planner_replays,
+        day_paper_event_cached_host_intervals: event_stats.cached_host_intervals,
         sweep_seq_wall_secs,
         sweep_par_wall_secs,
         sweep_seq_sims_per_sec,
@@ -269,6 +361,11 @@ fn check(report: &PerfReport, baseline_path: &str, out: &Reporter) -> bool {
     for (name, current, key) in [
         ("day", report.day_sim_secs_per_sec, "day_sim_secs_per_sec"),
         ("day(paper)", report.day_paper_sim_secs_per_sec, "day_paper_sim_secs_per_sec"),
+        (
+            "day(paper,event)",
+            report.day_paper_event_sim_secs_per_sec,
+            "day_paper_event_sim_secs_per_sec",
+        ),
         ("sweep(par)", report.sweep_par_sims_per_sec, "sweep_par_sims_per_sec"),
     ] {
         let Some(base) = json_f64(&text, key) else {
@@ -287,42 +384,61 @@ fn check(report: &PerfReport, baseline_path: &str, out: &Reporter) -> bool {
         }
     }
 
-    // The paper-day phase breakdown must account for the bracketed
-    // wall: named phases plus the `other` residual re-sum to the total
-    // (±5%, with an absolute floor for very fast machines where the
-    // 4-decimal rounding dominates).
+    // The paper-day phase breakdowns (both engines) must account for
+    // the bracketed wall: named phases plus the `other` residual re-sum
+    // to the total (±5%, with an absolute floor for very fast machines
+    // where the 4-decimal rounding dominates).
     let current_json = report.to_json();
     for (label, text) in [("baseline", text.as_str()), ("current", current_json.as_str())] {
-        let total = json_f64(text, "day_paper_wall_secs").unwrap_or(0.0);
-        let sum: f64 = [
-            "day_paper_trace_secs",
-            "day_paper_construct_secs",
-            "day_paper_fault_secs",
-            "day_paper_activation_secs",
-            "day_paper_planner_secs",
-            "day_paper_fetch_secs",
-            "day_paper_accounting_secs",
-            "day_paper_other_secs",
-        ]
-        .iter()
-        .map(|k| json_f64(text, k).unwrap_or(f64::NAN))
-        .sum();
-        if !sum.is_finite() {
-            // Pre-residual baselines lack day_paper_other_secs; the
-            // throughput checks above still apply.
-            outln!(out, "check phases({label}): no residual key — skipped");
-            continue;
+        for (engine, prefix) in [("", "day_paper"), (",event", "day_paper_event")] {
+            let total = json_f64(text, &format!("{prefix}_wall_secs")).unwrap_or(0.0);
+            let sum: f64 = [
+                "trace_secs",
+                "construct_secs",
+                "fault_secs",
+                "activation_secs",
+                "planner_secs",
+                "fetch_secs",
+                "accounting_secs",
+                "other_secs",
+            ]
+            .iter()
+            .map(|k| json_f64(text, &format!("{prefix}_{k}")).unwrap_or(f64::NAN))
+            .sum();
+            if !sum.is_finite() {
+                // Older baselines lack the residual or event keys; the
+                // throughput checks above still apply.
+                outln!(out, "check phases({label}{engine}): missing keys — skipped");
+                continue;
+            }
+            let tolerance = (total * 0.05).max(0.002);
+            if (sum - total).abs() > tolerance {
+                eprintln!(
+                    "perf: phase accounting broken in {label}{engine}: phases+other {sum:.4}s \
+                     vs {prefix}_wall_secs {total:.4}s"
+                );
+                ok = false;
+            } else {
+                outln!(out, "check phases({label}{engine}): {sum:.4}s ≈ {total:.4}s — ok");
+            }
         }
-        let tolerance = (total * 0.05).max(0.002);
-        if (sum - total).abs() > tolerance {
-            eprintln!(
-                "perf: phase accounting broken in {label}: phases+other {sum:.4}s vs \
-                 day_paper_wall_secs {total:.4}s"
-            );
-            ok = false;
-        } else {
-            outln!(out, "check phases({label}): {sum:.4}s ≈ {total:.4}s — ok");
-        }
+    }
+
+    // Absolute gate on the skip-ahead engine: the event-driven §5.1 day
+    // must stay within its wall budget (the design target is 5 ms; the
+    // budget leaves noise headroom — see EVENT_DAY_BUDGET_SECS).
+    if report.day_paper_event_wall_secs > EVENT_DAY_BUDGET_SECS {
+        eprintln!(
+            "perf: event-engine paper day over budget: {:.4}s > {EVENT_DAY_BUDGET_SECS:.4}s",
+            report.day_paper_event_wall_secs
+        );
+        ok = false;
+    } else {
+        outln!(
+            out,
+            "check day(paper,event) budget: {:.4}s ≤ {EVENT_DAY_BUDGET_SECS:.4}s — ok",
+            report.day_paper_event_wall_secs
+        );
     }
     ok
 }

@@ -8,9 +8,10 @@
 //!              [--memserver-watts W] [--faults PATH]
 //!              [--fault-profile light|heavy] [--trace-out PATH]
 //!              [--metrics-out PATH] [--log-level off|warn|info|debug]
-//!              [--fidelity per-page|batched]
+//!              [--fidelity per-page|batched] [--engine interval|event]
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
 //!              [--jobs N] [--fidelity per-page|batched]
+//!              [--engine interval|event]
 //! oasis micro  [--seed S] [--fidelity per-page|batched]
 //! oasis report [same sim flags] [--format text|json] [--top N]
 //!              [--wall true] [--folded PATH] [--folded-metric wall|sim|calls]
@@ -46,9 +47,9 @@ fn usage() -> ! {
          \x20             [--memserver-watts 42.2] [--faults schedule.txt] \\\n\
          \x20             [--fault-profile light|heavy] [--trace-out events.jsonl] \\\n\
          \x20             [--metrics-out metrics.prom] [--log-level debug] \\\n\
-         \x20             [--fidelity per-page|batched]\n\
+         \x20             [--fidelity per-page|batched] [--engine interval|event]\n\
          oasis week   --policy FulltoPartial --seed 1 [--jobs N] \\\n\
-         \x20             [--fidelity per-page|batched]\n\
+         \x20             [--fidelity per-page|batched] [--engine interval|event]\n\
          oasis micro  --seed 1 [--fidelity per-page|batched]\n\
          oasis report --policy FulltoPartial --day weekday --seed 1 \\\n\
          \x20             [--format text|json] [--top 10] [--wall true] \\\n\
@@ -96,6 +97,9 @@ fn cluster_config(args: &Args) -> ClusterConfig {
     if let Some(f) = args.get("fidelity") {
         builder = builder.fidelity(f.parse().unwrap_or_else(|e| fail(e)));
     }
+    if let Some(e) = args.get("engine") {
+        builder = builder.engine(e.parse().unwrap_or_else(|e| fail(e)));
+    }
     if let Some(path) = args.get("trace") {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(e));
         let set = TraceSet::from_text(&text).unwrap_or_else(|e| fail(e));
@@ -135,6 +139,7 @@ const BASE_FLAGS: &[&str] = &[
     "trace",
     "jobs",
     "fidelity",
+    "engine",
 ];
 
 /// The worker pool requested by `--jobs`, falling back to `OASIS_JOBS`
@@ -165,6 +170,7 @@ const SIM_FLAGS: &[&str] = &[
     "metrics-out",
     "log-level",
     "fidelity",
+    "engine",
 ];
 
 /// Builds the telemetry bus requested by `--trace-out`, `--metrics-out`
@@ -241,6 +247,7 @@ const REPORT_FLAGS: &[&str] = &[
     "faults",
     "fault-profile",
     "fidelity",
+    "engine",
     "format",
     "top",
     "wall",

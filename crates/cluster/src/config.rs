@@ -104,6 +104,12 @@ pub struct ClusterConfig {
     /// schedules. Defaults to the `OASIS_FIDELITY` environment variable
     /// (per-page when unset).
     pub fidelity: oasis_sim::ModelFidelity,
+    /// Day-loop engine: the interval walker or the event-driven
+    /// skip-ahead core. The two are bit-identical — the engine leg of
+    /// the `fidelity_equivalence` suite locks reports and telemetry
+    /// streams across seeds and fault schedules. Defaults to the
+    /// `OASIS_ENGINE` environment variable (interval walker when unset).
+    pub engine: oasis_sim::EngineMode,
     /// RNG seed.
     pub seed: u64,
 }
@@ -156,6 +162,7 @@ impl Default for ClusterConfigBuilder {
                 placement: PlacementStrategy::Random,
                 workload_mix: vec![(WorkloadClass::Desktop, 1.0)],
                 fidelity: oasis_sim::ModelFidelity::from_env(),
+                engine: oasis_sim::EngineMode::from_env(),
                 seed: 1,
             },
         }
@@ -259,6 +266,12 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the day-loop engine.
+    pub fn engine(mut self, e: oasis_sim::EngineMode) -> Self {
+        self.config.engine = e;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ClusterConfig, ConfigError> {
         let c = self.config;
@@ -329,6 +342,19 @@ mod tests {
         }
         let c = ClusterConfig::builder().fidelity(ModelFidelity::Batched).build().unwrap();
         assert_eq!(c.fidelity, ModelFidelity::Batched);
+    }
+
+    #[test]
+    fn engine_defaults_and_overrides() {
+        use oasis_sim::EngineMode;
+        // The test environment does not set OASIS_ENGINE, so the default
+        // is the reference interval walker.
+        if std::env::var(oasis_sim::mode::ENGINE_ENV).is_err() {
+            let c = ClusterConfig::builder().build().unwrap();
+            assert_eq!(c.engine, EngineMode::Interval);
+        }
+        let c = ClusterConfig::builder().engine(EngineMode::EventDriven).build().unwrap();
+        assert_eq!(c.engine, EngineMode::EventDriven);
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! The event-driven skip-ahead day loop.
+//!
+//! [`ClusterSim::run_day_event_timed`] replays exactly the interval
+//! engine's observable behaviour — byte-identical reports and telemetry
+//! streams, locked by the three-way battery in
+//! `tests/fidelity_equivalence.rs` — while doing work only where a
+//! precomputed next-wake heap says something can happen:
+//!
+//! * **fault service** runs only on intervals where the schedule is
+//!   observable (`DaySchedule::fault_tick`);
+//! * **activation** iterates the precomputed per-interval session-edge
+//!   lists instead of scanning every VM;
+//! * **planning** replays provably-empty rounds: when a full round
+//!   returned no actions, drew no RNG and the view has not changed
+//!   since (version + fingerprint check), the round's telemetry is
+//!   re-emitted at `O(scans)` cost without re-planning;
+//! * **fetch** runs hot only while working sets still grow, a host
+//!   rides over-committed, or the view changed this interval;
+//! * **accounting** replays a per-host cache of the last computed
+//!   interval span (joules, millijoule components and attribution
+//!   shares) for every host whose energy inputs are untouched — this is
+//!   the analytic charge for skipped spans: identical bits, no math.
+//!
+//! Per-interval bookkeeping that feeds the report every interval
+//! (series points, `IntervalStarted`, baseline charge, quiescence
+//! counts, profile scopes) still runs all `INTERVALS_PER_DAY` times —
+//! equivalence pins the emission cadence — but each of those steps is
+//! `O(hosts)` or `O(1)`, not `O(VMs × hosts)`.
+
+use oasis_sim::engine::EventQueue;
+use oasis_sim::SimTime;
+use oasis_telemetry::Event;
+use oasis_trace::INTERVALS_PER_DAY;
+
+use crate::events::{interval_start, DaySchedule, WakeEvent};
+use crate::results::SimReport;
+use crate::sim::{ClusterSim, DayPhases, HostSpanEnergy, INTERVAL_SECS};
+
+/// Skip-ahead accounting for one event-engine day.
+///
+/// Deliberately *outside* [`SimReport`]: the report must stay
+/// byte-identical across engines, so engine-specific counters travel on
+/// the side (via [`ClusterSim::run_day_instrumented`]). Under the
+/// interval engine the stats stay zeroed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Intervals stepped (always `INTERVALS_PER_DAY` for a full day).
+    pub intervals: u64,
+    /// Wake events popped from the heap.
+    pub events_popped: u64,
+    /// Intervals whose activation phase ran (session edges present).
+    pub session_edge_intervals: u64,
+    /// Intervals whose fault phase ran.
+    pub fault_ticks: u64,
+    /// Planner epochs reached (full rounds + replays).
+    pub planner_epochs: u64,
+    /// Epochs that ran a full planning round.
+    pub planner_full_rounds: u64,
+    /// Epochs replayed from a provably-empty previous round.
+    pub planner_replays: u64,
+    /// Intervals whose fetch phase ran hot.
+    pub fetch_full: u64,
+    /// Intervals whose fetch phase was skipped.
+    pub fetch_skipped: u64,
+    /// Host-intervals recomputed from the power timeline.
+    pub recomputed_host_intervals: u64,
+    /// Host-intervals charged from the span cache.
+    pub cached_host_intervals: u64,
+    /// Joules charged analytically from cached spans instead of being
+    /// re-integrated.
+    pub skipped_joules: f64,
+    /// Joules charged by recomputing the host power timeline.
+    pub computed_joules: f64,
+}
+
+impl EngineStats {
+    /// Host-intervals accounted in total, however they were charged.
+    pub fn host_intervals(&self) -> u64 {
+        self.recomputed_host_intervals + self.cached_host_intervals
+    }
+}
+
+/// Cached energy decomposition of a host's last recomputed interval.
+///
+/// Valid for replay while the host's energy inputs stay untouched
+/// (`energy_touched` clear) *and* the cached interval itself contained
+/// no power transitions — a transition interval's span is not the
+/// steady state the following quiet intervals repeat.
+#[derive(Clone, Debug, Default)]
+struct HostCache {
+    valid: bool,
+    span: HostSpanEnergy,
+    shares: Vec<(usize, u64)>,
+}
+
+/// Replay gate for empty planning rounds: the manager RNG fingerprint
+/// and view version captured around a full round that returned no
+/// actions. While both still match (and no vacate cooldown has expired
+/// since — see `CooldownExpiry`), a fresh plan would reproduce that
+/// round bit-for-bit, so it is replayed instead.
+type ReplayGate = Option<([u64; 4], u64)>;
+
+impl ClusterSim {
+    /// [`ClusterSim::run_day_timed`] on the event-driven engine,
+    /// accumulating skip-ahead accounting into `stats`.
+    pub(crate) fn run_day_event_timed(
+        mut self,
+        clock: &dyn Fn() -> f64,
+        phases: &mut DayPhases,
+        stats: &mut EngineStats,
+    ) -> SimReport {
+        let day_scope = self.telemetry.profile("run_day");
+        let tb = clock();
+        let schedule = DaySchedule::build(&self.cfg, &self.users);
+        let mut heap = EventQueue::new();
+        schedule.seed_heap(&mut heap);
+        phases.construct_secs += clock() - tb;
+
+        let mut caches: Vec<HostCache> = vec![HostCache::default(); self.hosts.len()];
+        let mut gate: ReplayGate = None;
+        // Earliest still-pending cooldown a `CooldownExpiry` event has
+        // been scheduled for; `None` when nothing is scheduled.
+        let mut armed_cooldown: Option<SimTime> = None;
+        // Sticky fetch state, recomputed after every hot fetch pass:
+        // whether any partial VM still has non-zero growth to fetch and
+        // whether any consolidation host rides over capacity.
+        let mut growth_pending = false;
+        let mut overcommit = false;
+
+        for interval in 0..INTERVALS_PER_DAY {
+            let now = interval_start(interval);
+
+            // Drain every wake due by this boundary; the flags gate the
+            // phases below. Ties pop in scheduling order (the heap keys
+            // on `(time, sequence)`), and flags are idempotent, so
+            // duplicate wakes are harmless.
+            let mut session_edge = false;
+            let mut fault_due = false;
+            let mut planner_due = false;
+            let mut growth_due = false;
+            while heap.peek_time().is_some_and(|t| t <= now) {
+                let (_, ev) = heap.pop().expect("peeked event vanished");
+                stats.events_popped += 1;
+                match ev {
+                    WakeEvent::SessionEdge => session_edge = true,
+                    WakeEvent::FaultTick => fault_due = true,
+                    WakeEvent::PlannerEpoch => planner_due = true,
+                    WakeEvent::GrowthWake => growth_due = true,
+                    WakeEvent::CooldownExpiry => {
+                        // A vacate cooldown expired: `vacatable` flags
+                        // can flip with the clock alone from here on, so
+                        // an empty round gated before the flip is no
+                        // longer provably reproducible.
+                        gate = None;
+                        armed_cooldown = None;
+                    }
+                }
+            }
+            debug_assert_eq!(
+                session_edge,
+                !schedule.transitions[interval].is_empty(),
+                "session-edge wake out of step with the precomputed schedule"
+            );
+            debug_assert_eq!(
+                fault_due, schedule.fault_tick[interval],
+                "fault wake out of step with the precomputed schedule"
+            );
+
+            self.telemetry.advance_to(now);
+            self.telemetry.emit(Event::IntervalStarted {
+                interval: interval as u32,
+                active: schedule.active[interval],
+            });
+            for h in &mut self.hosts {
+                h.begin_interval();
+            }
+            self.dirty_hosts.iter_mut().for_each(|d| *d = false);
+            self.dirty_vms.iter_mut().for_each(|d| *d = false);
+            self.dirty_vm_count = 0;
+            // `energy_touched` is per-interval state exactly like the
+            // dirty flags: a host is "touched" when *this* interval
+            // changed one of its energy inputs. Left set, every host
+            // would recompute forever after its first mutation and the
+            // span caches would never replay.
+            self.energy_touched.iter_mut().for_each(|d| *d = false);
+            let pv_start = self.placement_version;
+            stats.intervals += 1;
+
+            let t0 = clock();
+            let scope = self.telemetry.profile("fault_service");
+            if fault_due {
+                stats.fault_ticks += 1;
+                self.apply_faults(now);
+            }
+            scope.end();
+            let t1 = clock();
+            phases.fault_service_secs += t1 - t0;
+
+            let scope = self.telemetry.profile("activation");
+            if session_edge {
+                stats.session_edge_intervals += 1;
+                // Mirrors `apply_trace`: fresh per-interval queues, then
+                // the per-VM edges — but only the VMs the schedule
+                // proved have one, in the same ascending order the full
+                // scan would visit them.
+                self.reintegration_queue.clear();
+                self.promote_queue.clear();
+                for &vi in &schedule.transitions[interval] {
+                    self.apply_transition(vi as usize, interval, now);
+                }
+            }
+            scope.end();
+            let t2 = clock();
+            phases.activation_secs += t2 - t1;
+
+            let scope = self.telemetry.profile("planner");
+            if planner_due {
+                stats.planner_epochs += 1;
+                let replayable = matches!(
+                    gate,
+                    Some((fp, v)) if v == self.view_version && fp == self.manager.rng_fingerprint()
+                );
+                if replayable {
+                    stats.planner_replays += 1;
+                    // With no expired cooldowns since the gated round
+                    // (CooldownExpiry would have cleared the gate) this
+                    // refresh is a no-op; calling it keeps the sequence
+                    // of view touches identical to a full round.
+                    self.refresh_vacatable(now);
+                    self.manager.replay_empty_round();
+                    let iv = (now.as_micros() / (INTERVAL_SECS as u64 * 1_000_000)) as u32;
+                    self.telemetry.emit(Event::PolicyDecision { interval: iv, actions: 0 });
+                    // The gated round's trailing sleep-sweep found no
+                    // powered empty host, and emptying one later would
+                    // have bumped the view version and killed the gate.
+                    debug_assert!(
+                        !(0..self.hosts.len())
+                            .any(|h| self.hosts[h].powered && self.residency[h].vms.is_empty()),
+                        "replayed a round past a powered empty host"
+                    );
+                } else {
+                    stats.planner_full_rounds += 1;
+                    let fp = self.manager.rng_fingerprint();
+                    let v = self.view_version;
+                    self.plan_and_execute(now);
+                    // Gate iff the round was provably a fixed point:
+                    // no actions planned, no RNG drawn, no view change
+                    // (including the trailing sleep sweep).
+                    let empty = self.manager.last_plan_decision_ids().is_empty();
+                    gate =
+                        (empty && self.view_version == v && self.manager.rng_fingerprint() == fp)
+                            .then_some((fp, v));
+                }
+                heap.schedule_at(now + self.cfg.interval, WakeEvent::PlannerEpoch);
+            }
+            scope.end();
+            let t3 = clock();
+            phases.planner_secs += t3 - t2;
+
+            let scope = self.telemetry.profile("fetch");
+            // Gate on the *placement* version, not the view version: a
+            // state-only session edge bumps the view but cannot change
+            // anything the growth pass reads (demands, the partial set,
+            // residency sums), so such intervals skip the pass whenever
+            // no growth wake is armed.
+            if growth_due || self.placement_version != pv_start {
+                stats.fetch_full += 1;
+                // The pass reports its own post-state: whether any
+                // partial can still grow (accumulated pre-shed, which
+                // can only over-arm a wake whose pass then no-ops) and
+                // whether any consolidation host is over capacity.
+                let outcome = self.grow_working_sets(now);
+                growth_pending = outcome.growth_pending;
+                overcommit = outcome.overcommit;
+                if (growth_pending || overcommit) && interval + 1 < INTERVALS_PER_DAY {
+                    heap.schedule_at(interval_start(interval + 1), WakeEvent::GrowthWake);
+                }
+            } else {
+                stats.fetch_skipped += 1;
+                debug_assert!(
+                    !growth_pending && !overcommit,
+                    "skipped a fetch pass with fetch work pending"
+                );
+            }
+            scope.end();
+            let t4 = clock();
+            phases.fetch_secs += t4 - t3;
+
+            let scope = self.telemetry.profile("accounting");
+            self.sleep_empty_hosts();
+            self.record(now);
+            self.account_energy_event(interval, &schedule, &mut caches, stats);
+            self.energy_series.record(now, self.total_joules / oasis_power::meter::JOULES_PER_KWH);
+            scope.end();
+
+            // Keep a CooldownExpiry wake armed for the earliest pending
+            // cooldown. Entries only appear alongside view mutations
+            // (returns home move VMs), so arming at interval end never
+            // misses a flip a gated round could observe.
+            let pending = self.cooldown_until.values().copied().filter(|&until| until > now).min();
+            if pending != armed_cooldown {
+                if let Some(until) = pending {
+                    heap.schedule_at(until, WakeEvent::CooldownExpiry);
+                }
+                armed_cooldown = pending;
+            }
+            phases.accounting_secs += clock() - t4;
+        }
+        day_scope.end();
+        self.finish_report()
+    }
+
+    /// The event engine's energy integration: identical totals to
+    /// `account_energy`, but hosts whose energy inputs are untouched
+    /// replay their cached span — joules, millijoule components and
+    /// attribution shares — instead of re-walking the power timeline.
+    // oasis-lint: boundary(float-energy, "cached spans replay the exact f64 the interval fold added, in the same ascending host order")
+    fn account_energy_event(
+        &mut self,
+        interval: usize,
+        schedule: &DaySchedule,
+        caches: &mut [HostCache],
+        stats: &mut EngineStats,
+    ) {
+        for (h, cache) in caches.iter_mut().enumerate() {
+            let untouched = !self.energy_touched[h]
+                && self.hosts[h].suspends == 0
+                && self.hosts[h].resumes == 0;
+            if untouched && cache.valid {
+                let e = cache.span;
+                self.apply_host_energy(h, &e);
+                for &(vi, share) in &cache.shares {
+                    self.vm_energy_mj[vi] += share;
+                }
+                // `energy_touched` is a superset of `dirty_hosts`, so an
+                // untouched host always counts quiescent — the same
+                // verdict the interval engine reaches by scanning.
+                debug_assert!(!self.dirty_hosts[h], "dirty host passed the untouched check");
+                self.quiescence.host_quiescent += 1;
+                stats.cached_host_intervals += 1;
+                stats.skipped_joules += e.joules;
+            } else {
+                let e = self.host_interval_energy(h);
+                self.apply_host_energy(h, &e);
+                cache.shares.clear();
+                self.attribute_active_mj(h, e.active_mj, Some(&mut cache.shares));
+                if !self.dirty_hosts[h] && self.hosts[h].suspends == 0 && self.hosts[h].resumes == 0
+                {
+                    self.quiescence.host_quiescent += 1;
+                }
+                cache.span = e;
+                // A span containing transitions is not a steady state
+                // the next quiet interval repeats.
+                cache.valid = self.hosts[h].suspends == 0 && self.hosts[h].resumes == 0;
+                stats.recomputed_host_intervals += 1;
+                stats.computed_joules += e.joules;
+            }
+        }
+        self.quiescence.intervals += 1;
+        self.quiescence.host_intervals += self.hosts.len() as u64;
+        self.quiescence.vm_intervals += self.vms.len() as u64;
+        self.quiescence.vm_quiescent += (self.vms.len() - self.dirty_vm_count) as u64;
+        self.account_baseline_counts(&schedule.baseline[interval]);
+    }
+
+    /// Debug sanity for the baseline fast path: the precomputed counts
+    /// match a fresh scan of the user traces.
+    #[cfg(test)]
+    pub(crate) fn debug_baseline_counts(&self, interval: usize) -> Vec<u32> {
+        (0..self.cfg.home_hosts)
+            .map(|home| {
+                let lo = (home * self.cfg.vms_per_host) as usize;
+                let hi = lo + self.cfg.vms_per_host as usize;
+                self.users[lo..hi].iter().filter(|u| u.is_active(interval)).count() as u32
+            })
+            .collect()
+    }
+}

@@ -10,16 +10,22 @@
 //! * [`config`] — cluster configuration with a validating builder.
 //! * [`sim`] — the interval-driven simulator executing the manager's
 //!   plans against the modeled cluster.
+//! * [`engine`] — the event-driven skip-ahead engine: same observable
+//!   behaviour, selected with `OASIS_ENGINE=event` (or `--engine`),
+//!   locked byte-identical by the three-way equivalence battery.
 //! * [`results`] — the per-run report every figure is printed from.
 //! * [`experiments`] — canned configurations for each table and figure.
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
+mod events;
 pub mod experiments;
 pub mod results;
 pub mod sim;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder};
+pub use engine::EngineStats;
 pub use results::{DecisionCounts, SimReport, VmPlacement};
 pub use sim::{ClusterSim, DayPhases};

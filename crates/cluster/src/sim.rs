@@ -43,7 +43,7 @@ use crate::config::ClusterConfig;
 use crate::results::{DecisionCounts, MigrationCounts, SimReport, VmPlacement};
 
 /// Interval length in seconds (5-minute trace intervals).
-const INTERVAL_SECS: f64 = 300.0;
+pub(crate) const INTERVAL_SECS: f64 = 300.0;
 
 /// Samples an idle working set for a VM of the given class.
 ///
@@ -105,19 +105,19 @@ const DIRTY_CAP: ByteSize = ByteSize::mib(512);
 const WSS_GROWTH_WINDOW: SimDuration = SimDuration::from_mins(60);
 
 #[derive(Clone, Debug)]
-struct SimHost {
-    id: HostId,
-    role: HostRole,
-    powered: bool,
+pub(crate) struct SimHost {
+    pub(crate) id: HostId,
+    pub(crate) role: HostRole,
+    pub(crate) powered: bool,
     /// Per-interval timeline accumulator.
-    awake_secs: f64,
-    last_on_offset: f64,
-    suspends: u32,
-    resumes: u32,
+    pub(crate) awake_secs: f64,
+    pub(crate) last_on_offset: f64,
+    pub(crate) suspends: u32,
+    pub(crate) resumes: u32,
 }
 
 impl SimHost {
-    fn begin_interval(&mut self) {
+    pub(crate) fn begin_interval(&mut self) {
         self.awake_secs = 0.0;
         self.last_on_offset = 0.0;
         self.suspends = 0;
@@ -156,19 +156,19 @@ impl SimHost {
 }
 
 #[derive(Clone, Debug)]
-struct SimVm {
-    id: VmId,
-    home: HostId,
-    location: HostId,
-    class: WorkloadClass,
-    state: VmState,
-    partial: bool,
-    demand: ByteSize,
-    allocation: ByteSize,
+pub(crate) struct SimVm {
+    pub(crate) id: VmId,
+    pub(crate) home: HostId,
+    pub(crate) location: HostId,
+    pub(crate) class: WorkloadClass,
+    pub(crate) state: VmState,
+    pub(crate) partial: bool,
+    pub(crate) demand: ByteSize,
+    pub(crate) allocation: ByteSize,
     /// Expected working set if consolidated (planner estimate).
-    wss_estimate: ByteSize,
+    pub(crate) wss_estimate: ByteSize,
     /// Growth ceiling for the current consolidation epoch.
-    wss_cap: ByteSize,
+    pub(crate) wss_cap: ByteSize,
     /// When the current consolidation epoch began.
     consolidated_since: Option<SimTime>,
     /// Whether a full memory image was ever uploaded (differential
@@ -186,14 +186,65 @@ struct SimVm {
 /// the old full scans produced — byte-identical results are part of the
 /// contract, not an accident.
 #[derive(Clone, Debug, Default)]
-struct Residency {
+pub(crate) struct Residency {
     /// Indices into `ClusterSim::vms` of the VMs resident on this host,
     /// ascending.
-    vms: Vec<usize>,
+    pub(crate) vms: Vec<usize>,
     /// Sum of the residents' memory demand.
-    demand: ByteSize,
+    pub(crate) demand: ByteSize,
     /// Number of residents whose state is active.
-    active: usize,
+    pub(crate) active: usize,
+    /// Indices of the active residents, ascending — the subsequence of
+    /// `vms` the attribution split visits, kept so that split never
+    /// walks a host's (possibly hundreds of) idle residents to find the
+    /// handful of active ones.
+    pub(crate) active_vms: Vec<usize>,
+}
+
+impl Residency {
+    /// Adds `vi` to the sorted active-resident list.
+    fn active_insert(&mut self, vi: usize) {
+        self.active += 1;
+        if let Err(pos) = self.active_vms.binary_search(&vi) {
+            self.active_vms.insert(pos, vi);
+        } else {
+            debug_assert!(false, "vm {vi} already in active index");
+        }
+    }
+
+    /// Removes `vi` from the sorted active-resident list.
+    fn active_remove(&mut self, vi: usize) {
+        self.active -= 1;
+        match self.active_vms.binary_search(&vi) {
+            Ok(pos) => {
+                self.active_vms.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "vm {vi} missing from active index"),
+        }
+    }
+}
+
+/// Borrow of the simulator's maintained residency aggregates, handed to
+/// the planner so a round never rebuilds its host index from the VM
+/// vector. The recount tests in `verify_indices` lock the borrowed data
+/// to the [`oasis_core::ResidencyIndex`] contract.
+struct ResidencyHandoff<'a> {
+    residency: &'a [Residency],
+    exchange_ready: &'a [usize],
+}
+
+impl oasis_core::ResidencyIndex for ResidencyHandoff<'_> {
+    fn residents(&self, pos: usize) -> &[usize] {
+        &self.residency[pos].vms
+    }
+
+    fn demand(&self, pos: usize) -> ByteSize {
+        self.residency[pos].demand
+    }
+
+    fn full_idle_consolidated(&self) -> Option<&[usize]> {
+        Some(self.exchange_ready)
+    }
 }
 
 /// Cumulative wall-clock breakdown of one simulated day, in seconds.
@@ -236,67 +287,152 @@ impl DayPhases {
 
 /// The trace-driven cluster simulator.
 pub struct ClusterSim {
-    cfg: ClusterConfig,
-    rng: SimRng,
-    manager: ClusterManager,
-    hosts: Vec<SimHost>,
-    vms: Vec<SimVm>,
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) rng: SimRng,
+    pub(crate) manager: ClusterManager,
+    pub(crate) hosts: Vec<SimHost>,
+    pub(crate) vms: Vec<SimVm>,
     /// Incrementally maintained planning snapshot. Mirrors `hosts`/`vms`
     /// exactly (same order, same values) and is updated at the same
     /// mutation funnels as the residency indices, so handing the manager
     /// `&self.view` is byte-identical to rebuilding a [`ClusterView`]
     /// from scratch — without the `O(hosts + VMs)` rebuild per
     /// activation that used to dominate paper-scale runs.
-    view: ClusterView,
+    pub(crate) view: ClusterView,
     /// Per-host residency index, parallel to `hosts`.
-    residency: Vec<Residency>,
+    pub(crate) residency: Vec<Residency>,
     /// Per-host count of partial VMs homed there but located elsewhere
     /// (their memory server must stay powered while the host sleeps).
-    home_partials: Vec<u32>,
-    users: Vec<UserDay>,
-    wss_dist: IdleWssDistribution,
-    traffic: TrafficAccountant,
-    delays: Cdf,
-    ratio: Cdf,
-    series_active: TimeSeries,
-    series_powered: TimeSeries,
-    total_joules: f64,
-    baseline_joules: f64,
-    counts: MigrationCounts,
+    pub(crate) home_partials: Vec<u32>,
+    pub(crate) users: Vec<UserDay>,
+    pub(crate) wss_dist: IdleWssDistribution,
+    pub(crate) traffic: TrafficAccountant,
+    pub(crate) delays: Cdf,
+    pub(crate) ratio: Cdf,
+    pub(crate) series_active: TimeSeries,
+    pub(crate) series_powered: TimeSeries,
+    pub(crate) total_joules: f64,
+    pub(crate) baseline_joules: f64,
+    pub(crate) counts: MigrationCounts,
     /// Reintegration queue length per home host within the interval.
-    reintegration_queue: std::collections::BTreeMap<HostId, u32>,
+    pub(crate) reintegration_queue: std::collections::BTreeMap<HostId, u32>,
     /// Concurrent promote-in-place resumes per consolidation host within
     /// the interval (resume storms share the destination NIC).
-    promote_queue: std::collections::BTreeMap<HostId, u32>,
+    pub(crate) promote_queue: std::collections::BTreeMap<HostId, u32>,
     /// Per-host instant until which the vacate cooldown applies.
-    cooldown_until: std::collections::BTreeMap<HostId, SimTime>,
+    pub(crate) cooldown_until: std::collections::BTreeMap<HostId, SimTime>,
     /// RNG for recovery backoff jitter. Seeded independently of the main
     /// stream (never forked from it) so that fault recovery draws cannot
     /// perturb trace sampling or placement — a zero-fault schedule leaves
     /// the run byte-identical.
-    recovery_rng: SimRng,
+    pub(crate) recovery_rng: SimRng,
     /// Homes whose memory server is currently crashed.
-    ms_down: std::collections::BTreeSet<HostId>,
+    pub(crate) ms_down: std::collections::BTreeSet<HostId>,
     /// Network latency multiplier for the current interval (1.0 = clean).
-    link_factor: f64,
-    fault_counts: FaultCounts,
-    recovery_times: Cdf,
-    energy_series: TimeSeries,
+    pub(crate) link_factor: f64,
+    pub(crate) fault_counts: FaultCounts,
+    pub(crate) recovery_times: Cdf,
+    pub(crate) energy_series: TimeSeries,
     /// Per-host integer-millijoule energy components, parallel to
     /// `hosts`. Accumulated alongside the `f64` total so the report can
     /// decompose energy without perturbing the existing accounting.
-    host_energy: Vec<HostEnergy>,
+    pub(crate) host_energy: Vec<HostEnergy>,
     /// Per-VM millijoule share of the hosts' active components, parallel
     /// to `vms` (demand-weighted split per interval).
-    vm_energy_mj: Vec<u64>,
+    pub(crate) vm_energy_mj: Vec<u64>,
     /// Per-host "mutated this interval" flags for the quiescence ledger,
     /// parallel to `hosts`; cleared at every interval boundary.
-    dirty_hosts: Vec<bool>,
+    pub(crate) dirty_hosts: Vec<bool>,
     /// Per-VM mutation flags, parallel to `vms`.
-    dirty_vms: Vec<bool>,
-    quiescence: QuiescenceLedger,
-    decisions: DecisionCounts,
-    telemetry: Telemetry,
+    pub(crate) dirty_vms: Vec<bool>,
+    /// Count of set flags in `dirty_vms`, so the per-interval quiescence
+    /// tally never rescans the flag vector.
+    pub(crate) dirty_vm_count: usize,
+    pub(crate) quiescence: QuiescenceLedger,
+    pub(crate) decisions: DecisionCounts,
+    pub(crate) telemetry: Telemetry,
+    /// Monotone counter bumped by every mutation that changes the
+    /// planning view. The event engine compares it across planning
+    /// rounds to prove the snapshot a round planned over is still
+    /// current — one of the gates for replaying an empty round instead
+    /// of re-running the placement search.
+    pub(crate) view_version: u64,
+    /// Indices of partial VMs, ascending — exactly the set (and visit
+    /// order) a full scan of `vms` filtered on `partial` would produce,
+    /// maintained at the [`Self::set_vm_partial`] funnel so the fetch
+    /// phase walks `O(partials)` instead of `O(VMs)`.
+    pub(crate) partials: Vec<usize>,
+    /// Per-host "energy inputs changed this interval" flags, parallel to
+    /// `hosts`. A superset of `dirty_hosts`: also set when a resident's
+    /// activity state or demand changes, or the served-partials count
+    /// moves — anything that alters the host's interval energy. The
+    /// event engine clears them each interval and recomputes only
+    /// flagged hosts; the interval engine maintains but never reads
+    /// them, so both engines observe identical state.
+    pub(crate) energy_touched: Vec<bool>,
+    /// Reusable per-host scratch for the planner's serialized-work
+    /// offsets, kept across intervals to avoid a fresh allocation per
+    /// round. Always cleared on entry to `plan_and_execute`.
+    busy_scratch: Vec<f64>,
+    /// Monotone counter bumped only by mutations the fetch phase can
+    /// observe: VM location moves, partial flips and demand changes. A
+    /// strict subset of `view_version`'s triggers — state-only edges
+    /// bump the view but cannot change what `grow_working_sets` reads,
+    /// so the event engine gates its fetch skip on this counter.
+    pub(crate) placement_version: u64,
+    /// Per-home indices of VMs consolidated away from that home,
+    /// ascending — exactly the set (and visit order) the old full scan
+    /// of `vms` filtered on `home == h && location != h` produced.
+    /// Maintained at the `move_vm_to` funnel (homes never change).
+    away_from_home: Vec<Vec<usize>>,
+    /// Consolidation-host ids in id order; roles are fixed at
+    /// construction, so the capacity-exhaustion sweep reuses this
+    /// instead of re-filtering (and re-allocating) every interval.
+    cons_hosts: Vec<HostId>,
+    /// Indices of full (non-partial) idle VMs currently located on
+    /// consolidation hosts, ascending — the candidate superset of the
+    /// planner's exchange pass. Maintained at the location/partial/state
+    /// funnels; handing the planner this list (instead of the VM vector
+    /// it used to filter) turns the every-round exchange sweep into a
+    /// walk of only the VMs that can match.
+    exchange_ready: Vec<usize>,
+    /// Per-class working-set growth per interval, precomputed once from
+    /// the exact expression the growth loop evaluated per VM per
+    /// interval (`from_mib_f64(growth_per_min × INTERVAL_SECS / 60)`),
+    /// indexed by [`WorkloadClass::ALL`] position.
+    growth_quantum: [ByteSize; 4],
+}
+
+/// Position of `class` in [`WorkloadClass::ALL`].
+fn class_idx(class: WorkloadClass) -> usize {
+    match class {
+        WorkloadClass::Desktop => 0,
+        WorkloadClass::WebServer => 1,
+        WorkloadClass::Database => 2,
+        WorkloadClass::ClusterNode => 3,
+    }
+}
+
+/// What the fetch pass left behind, steering the event engine's growth
+/// wake: whether any partial VM still has headroom to grow into, and
+/// whether any consolidation host rides over effective capacity.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FetchOutcome {
+    pub(crate) growth_pending: bool,
+    pub(crate) overcommit: bool,
+}
+
+/// One host's interval energy decomposed into the accounting
+/// components, as produced by [`ClusterSim::host_interval_energy`].
+/// The event engine caches one of these per host so an unchanged host's
+/// interval can be charged without recomputing the decomposition.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct HostSpanEnergy {
+    pub(crate) joules: f64,
+    pub(crate) active_mj: u64,
+    pub(crate) idle_mj: u64,
+    pub(crate) transition_mj: u64,
+    pub(crate) memserver_mj: u64,
 }
 
 impl ClusterSim {
@@ -452,6 +588,15 @@ impl ClusterSim {
         let vm_energy_mj = vec![0u64; vms.len()];
         let dirty_hosts = vec![false; hosts.len()];
         let dirty_vms = vec![false; vms.len()];
+        let energy_touched = vec![false; hosts.len()];
+        let away_from_home = vec![Vec::new(); hosts.len()];
+        let cons_hosts: Vec<HostId> =
+            hosts.iter().filter(|h| h.role == HostRole::Consolidation).map(|h| h.id).collect();
+        let growth_quantum = WorkloadClass::ALL.map(|c| {
+            ByteSize::from_mib_f64(
+                c.idle_model().growth_per_min.as_mib_f64() * INTERVAL_SECS / 60.0,
+            )
+        });
         phases.construct_secs += clock() - t1;
         ClusterSim {
             cfg,
@@ -485,9 +630,19 @@ impl ClusterSim {
             vm_energy_mj,
             dirty_hosts,
             dirty_vms,
+            dirty_vm_count: 0,
             quiescence: QuiescenceLedger::default(),
             decisions: DecisionCounts::default(),
             telemetry: Telemetry::disabled(),
+            view_version: 0,
+            partials: Vec::new(),
+            energy_touched,
+            busy_scratch: Vec::new(),
+            placement_version: 0,
+            away_from_home,
+            cons_hosts,
+            exchange_ready: Vec::new(),
+            growth_quantum,
         }
     }
 
@@ -511,6 +666,8 @@ impl ClusterSim {
         }
         self.hosts[idx].set_power(offset_secs, on);
         self.dirty_hosts[idx] = true;
+        self.energy_touched[idx] = true;
+        self.view_version += 1;
         self.view.hosts[idx].powered = on;
         let host = self.hosts[idx].id.0;
         self.telemetry.emit(if on {
@@ -828,7 +985,7 @@ impl ClusterSim {
     /// interval's fault onsets, edge-detects memory-server crash windows
     /// (recovering orphaned partial replicas at crash onset), and samples
     /// the link-degradation factor the whole interval runs under.
-    fn apply_faults(&mut self, now: SimTime) {
+    pub(crate) fn apply_faults(&mut self, now: SimTime) {
         if self.cfg.faults.is_empty() {
             return;
         }
@@ -871,13 +1028,28 @@ impl ClusterSim {
         if src == dest {
             return;
         }
-        self.dirty_vms[vi] = true;
+        self.mark_vm_dirty(vi);
         self.dirty_hosts[src.0 as usize] = true;
         self.dirty_hosts[dest.0 as usize] = true;
+        self.energy_touched[src.0 as usize] = true;
+        self.energy_touched[dest.0 as usize] = true;
+        self.view_version += 1;
+        self.placement_version += 1;
         let (demand, active, partial, home) = {
             let v = &self.vms[vi];
             (v.demand, v.state.is_active(), v.partial, v.home)
         };
+        // A full idle VM crossing the compute/consolidation boundary
+        // enters or leaves the exchange pass's candidate set.
+        if !partial && !active {
+            let src_cons = self.hosts[src.0 as usize].role == HostRole::Consolidation;
+            let dest_cons = self.hosts[dest.0 as usize].role == HostRole::Consolidation;
+            if dest_cons && !src_cons {
+                self.exchange_ready_insert(vi);
+            } else if src_cons && !dest_cons {
+                self.exchange_ready_remove(vi);
+            }
+        }
         let r = &mut self.residency[src.0 as usize];
         match r.vms.binary_search(&vi) {
             Ok(pos) => {
@@ -887,7 +1059,7 @@ impl ClusterSim {
         }
         r.demand -= demand;
         if active {
-            r.active -= 1;
+            r.active_remove(vi);
         }
         let r = &mut self.residency[dest.0 as usize];
         match r.vms.binary_search(&vi) {
@@ -896,7 +1068,7 @@ impl ClusterSim {
         }
         r.demand += demand;
         if active {
-            r.active += 1;
+            r.active_insert(vi);
         }
         self.view.host_demand[src.0 as usize] = self.residency[src.0 as usize].demand;
         self.view.host_demand[dest.0 as usize] = self.residency[dest.0 as usize].demand;
@@ -905,8 +1077,27 @@ impl ClusterSim {
             // elsewhere; track entering/leaving the home host.
             if src == home {
                 self.home_partials[home.0 as usize] += 1;
+                self.energy_touched[home.0 as usize] = true;
             } else if dest == home {
                 self.home_partials[home.0 as usize] -= 1;
+                self.energy_touched[home.0 as usize] = true;
+            }
+        }
+        // Keep the away-from-home index in step: a VM leaving its home
+        // joins its home's away list; one arriving home leaves it.
+        if src == home {
+            let away = &mut self.away_from_home[home.0 as usize];
+            match away.binary_search(&vi) {
+                Ok(_) => debug_assert!(false, "vm {vi} already in away index"),
+                Err(pos) => away.insert(pos, vi),
+            }
+        } else if dest == home {
+            let away = &mut self.away_from_home[home.0 as usize];
+            match away.binary_search(&vi) {
+                Ok(pos) => {
+                    away.remove(pos);
+                }
+                Err(_) => debug_assert!(false, "vm {vi} missing from away index"),
             }
         }
         self.vms[vi].location = dest;
@@ -915,10 +1106,13 @@ impl ClusterSim {
 
     /// Sets a VM's demand, keeping its host's cached demand sum current.
     fn set_vm_demand(&mut self, vi: usize, demand: ByteSize) {
-        if self.vms[vi].demand != demand {
-            self.dirty_vms[vi] = true;
-        }
         let host = self.vms[vi].location.0 as usize;
+        if self.vms[vi].demand != demand {
+            self.mark_vm_dirty(vi);
+            self.energy_touched[host] = true;
+            self.view_version += 1;
+            self.placement_version += 1;
+        }
         let r = &mut self.residency[host];
         r.demand = (r.demand + demand) - self.vms[vi].demand;
         self.view.host_demand[host] = r.demand;
@@ -937,15 +1131,37 @@ impl ClusterSim {
         if v.partial == partial {
             return;
         }
-        self.dirty_vms[vi] = true;
+        self.mark_vm_dirty(vi);
+        self.view_version += 1;
+        self.placement_version += 1;
+        // An idle VM on a consolidation host swaps between "full idle"
+        // (exchange candidate) and partial as the flag flips.
+        if !self.vms[vi].state.is_active()
+            && self.hosts[self.vms[vi].location.0 as usize].role == HostRole::Consolidation
+        {
+            if partial {
+                self.exchange_ready_remove(vi);
+            } else {
+                self.exchange_ready_insert(vi);
+            }
+        }
         let v = &self.vms[vi];
         if v.location != v.home {
-            let slot = &mut self.home_partials[v.home.0 as usize];
+            let home = v.home.0 as usize;
+            let slot = &mut self.home_partials[home];
             if partial {
                 *slot += 1;
             } else {
                 *slot -= 1;
             }
+            self.energy_touched[home] = true;
+        }
+        match self.partials.binary_search(&vi) {
+            Ok(pos) if !partial => {
+                self.partials.remove(pos);
+            }
+            Err(pos) if partial => self.partials.insert(pos, vi),
+            _ => debug_assert!(false, "partial index out of step with vm {vi}"),
         }
         self.vms[vi].partial = partial;
         let vv = &mut self.view.vms[vi];
@@ -957,18 +1173,57 @@ impl ClusterSim {
     fn set_vm_state(&mut self, vi: usize, state: VmState) {
         let old = self.vms[vi].state;
         if old != state {
-            self.dirty_vms[vi] = true;
+            self.mark_vm_dirty(vi);
+            self.view_version += 1;
         }
         if old.is_active() != state.is_active() {
-            let r = &mut self.residency[self.vms[vi].location.0 as usize];
+            let host = self.vms[vi].location.0 as usize;
+            self.energy_touched[host] = true;
+            // A full VM on a consolidation host joins the exchange
+            // candidate set when it idles and leaves it on activation.
+            if !self.vms[vi].partial && self.hosts[host].role == HostRole::Consolidation {
+                if state.is_active() {
+                    self.exchange_ready_remove(vi);
+                } else {
+                    self.exchange_ready_insert(vi);
+                }
+            }
+            let r = &mut self.residency[host];
             if state.is_active() {
-                r.active += 1;
+                r.active_insert(vi);
             } else {
-                r.active -= 1;
+                r.active_remove(vi);
             }
         }
         self.vms[vi].state = state;
         self.view.vms[vi].state = state;
+    }
+
+    /// Adds `vi` to the sorted exchange-candidate list.
+    fn exchange_ready_insert(&mut self, vi: usize) {
+        if let Err(pos) = self.exchange_ready.binary_search(&vi) {
+            self.exchange_ready.insert(pos, vi);
+        } else {
+            debug_assert!(false, "vm {vi} already an exchange candidate");
+        }
+    }
+
+    /// Removes `vi` from the sorted exchange-candidate list.
+    fn exchange_ready_remove(&mut self, vi: usize) {
+        match self.exchange_ready.binary_search(&vi) {
+            Ok(pos) => {
+                self.exchange_ready.remove(pos);
+            }
+            Err(_) => debug_assert!(false, "vm {vi} missing from exchange candidates"),
+        }
+    }
+
+    /// Sets a VM's dirty flag, keeping the set-flag count current.
+    fn mark_vm_dirty(&mut self, vi: usize) {
+        if !self.dirty_vms[vi] {
+            self.dirty_vms[vi] = true;
+            self.dirty_vm_count += 1;
+        }
     }
 
     /// The VMs resident on `host`, in ascending VM-index order — an O(1)
@@ -978,7 +1233,7 @@ impl ClusterSim {
     }
 
     /// Total memory demand resident on `host` (cached sum).
-    fn demand_on(&self, host: HostId) -> ByteSize {
+    pub(crate) fn demand_on(&self, host: HostId) -> ByteSize {
         self.residency[host.0 as usize].demand
     }
 
@@ -1008,9 +1263,13 @@ impl ClusterSim {
             if r.demand != demand {
                 return Err(format!("host {h}: cached demand {} != recount {demand}", r.demand));
             }
-            let active = vms.iter().filter(|&&i| self.vms[i].state.is_active()).count();
-            if r.active != active {
-                return Err(format!("host {h}: cached active {} != recount {active}", r.active));
+            let active: Vec<usize> =
+                vms.iter().copied().filter(|&i| self.vms[i].state.is_active()).collect();
+            if r.active != active.len() || r.active_vms != active {
+                return Err(format!(
+                    "host {h}: cached active {}/{:?} != recount {active:?}",
+                    r.active, r.active_vms
+                ));
             }
             let partials = self
                 .vms
@@ -1023,6 +1282,38 @@ impl ClusterSim {
                     self.home_partials[h]
                 ));
             }
+        }
+        let ready: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                !v.partial
+                    && !v.state.is_active()
+                    && self.hosts[v.location.0 as usize].role == HostRole::Consolidation
+            })
+            .map(|(vi, _)| vi)
+            .collect();
+        if self.exchange_ready != ready {
+            return Err(format!("exchange_ready {:?} != recount {ready:?}", self.exchange_ready));
+        }
+        for (h, away) in self.away_from_home.iter().enumerate() {
+            let host = self.hosts[h].id;
+            let want: Vec<usize> = self
+                .vms
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.home == host && v.location != host)
+                .map(|(i, _)| i)
+                .collect();
+            if *away != want {
+                return Err(format!("host {h}: away index {away:?} != recount {want:?}"));
+            }
+        }
+        let partial_set: Vec<usize> =
+            self.vms.iter().enumerate().filter(|(_, v)| v.partial).map(|(i, _)| i).collect();
+        if self.partials != partial_set {
+            return Err(format!("partial index {:?} != recount {partial_set:?}", self.partials));
         }
         Ok(())
     }
@@ -1046,7 +1337,7 @@ impl ClusterSim {
     /// to `now`. Everything else in the view is kept exact by the
     /// mutation funnels; this is the only field that changes with the
     /// clock alone.
-    fn refresh_vacatable(&mut self, now: SimTime) {
+    pub(crate) fn refresh_vacatable(&mut self, now: SimTime) {
         if self.cooldown_until.is_empty() {
             // `vacatable` starts true and only cooldown entries ever
             // clear it; with no entries there is nothing stale.
@@ -1116,13 +1407,11 @@ impl ClusterSim {
             self.cooldown_until.insert(home, now + self.cfg.vacate_cooldown);
         }
         let mut work = 0.0;
-        let member_ids: Vec<usize> = self
-            .vms
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.home == home && v.location != home)
-            .map(|(i, _)| i)
-            .collect();
+        // The maintained away index lists exactly the VMs the old full
+        // scan (`home == h && location != h`) found, in the same
+        // ascending order; cloned because the loop moves VMs home and
+        // mutates the index as it goes.
+        let member_ids: Vec<usize> = self.away_from_home[home.0 as usize].clone();
         for i in member_ids {
             let (partial, since) = (self.vms[i].partial, self.vms[i].consolidated_since);
             let from = self.vms[i].location;
@@ -1167,141 +1456,156 @@ impl ClusterSim {
         for vi in 0..self.vms.len() {
             let desired =
                 if self.users[vi].is_active(interval) { VmState::Active } else { VmState::Idle };
-            let current = self.vms[vi].state;
-            if desired == current {
+            if desired == self.vms[vi].state {
                 continue;
             }
-            if desired == VmState::Idle {
-                self.set_vm_state(vi, VmState::Idle);
-                continue;
+            self.apply_transition(vi, interval, now);
+        }
+    }
+
+    /// Applies one VM's session edge at interval `interval` — the per-VM
+    /// body of [`Self::apply_trace`], shared with the event engine's
+    /// precomputed transition lists. The caller guarantees the VM's
+    /// state actually differs from the trace at `interval`.
+    pub(crate) fn apply_transition(&mut self, vi: usize, interval: usize, now: SimTime) {
+        let desired =
+            if self.users[vi].is_active(interval) { VmState::Active } else { VmState::Idle };
+        let current = self.vms[vi].state;
+        debug_assert_ne!(desired, current, "vm {vi} has no edge at interval {interval}");
+        if desired == VmState::Idle {
+            self.set_vm_state(vi, VmState::Idle);
+            return;
+        }
+        // Idle → active transition.
+        self.set_vm_state(vi, VmState::Active);
+        if !self.vms[vi].partial {
+            // Full VM (at home or consolidated in full): zero delay.
+            self.delays.record(0.0);
+            return;
+        }
+        self.refresh_vacatable(now);
+        let vm_id = self.vms[vi].id;
+        match self.manager.handle_activation(&self.view, vm_id) {
+            Some(ActivationDecision::PromoteInPlace { .. }) => {
+                self.decisions.promote_in_place += 1;
+                let remaining = self.vms[vi].allocation - self.vms[vi].demand;
+                self.traffic.record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
+                self.set_vm_partial(vi, false);
+                self.set_vm_demand(vi, self.vms[vi].allocation);
+                // The paper says the consolidation host "becomes the
+                // VM's new home"; we keep the *home binding* on the
+                // original compute host because only that host has a
+                // memory server to serve a future partial replica —
+                // the consolidation host's memory server is never
+                // powered (§5.1). Ownership of control transfers; the
+                // home association does not. See DESIGN.md.
+                self.vms[vi].consolidated_since = None;
+                self.counts.promotions += 1;
+                // The user waits for the partial-VM resume; during a
+                // resume storm, concurrent promotions on the same
+                // host share its NIC, so each queue position adds the
+                // transfer share of the resume latency.
+                let location = self.vms[vi].location;
+                let slot = self.promote_queue.entry(location).or_insert(0);
+                let queued = *slot;
+                *slot += 1;
+                let base = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
+                self.delays.record(base + f64::from(queued) * base * 0.4);
             }
-            // Idle → active transition.
-            self.set_vm_state(vi, VmState::Active);
-            if !self.vms[vi].partial {
-                // Full VM (at home or consolidated in full): zero delay.
-                self.delays.record(0.0);
-                continue;
-            }
-            self.refresh_vacatable(now);
-            let vm_id = self.vms[vi].id;
-            match self.manager.handle_activation(&self.view, vm_id) {
-                Some(ActivationDecision::PromoteInPlace { .. }) => {
-                    self.decisions.promote_in_place += 1;
-                    let remaining = self.vms[vi].allocation - self.vms[vi].demand;
-                    self.traffic
-                        .record(TrafficClass::DemandFetch, remaining.mul_f64(COMPRESS_RATIO));
-                    self.set_vm_partial(vi, false);
-                    self.set_vm_demand(vi, self.vms[vi].allocation);
-                    // The paper says the consolidation host "becomes the
-                    // VM's new home"; we keep the *home binding* on the
-                    // original compute host because only that host has a
-                    // memory server to serve a future partial replica —
-                    // the consolidation host's memory server is never
-                    // powered (§5.1). Ownership of control transfers; the
-                    // home association does not. See DESIGN.md.
-                    self.vms[vi].consolidated_since = None;
-                    self.counts.promotions += 1;
-                    // The user waits for the partial-VM resume; during a
-                    // resume storm, concurrent promotions on the same
-                    // host share its NIC, so each queue position adds the
-                    // transfer share of the resume latency.
-                    let location = self.vms[vi].location;
-                    let queued = *self.promote_queue.entry(location).or_insert(0);
-                    self.promote_queue.insert(location, queued + 1);
-                    let base = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
-                    self.delays.record(base + f64::from(queued) * base * 0.4);
-                }
-                Some(ActivationDecision::MoveTo { destination, .. }) => {
-                    self.decisions.relocate += 1;
-                    let decision = self.manager.last_decision_id();
-                    let di = self.host_index(destination);
-                    match self.try_wake(di, 0.0, now, decision) {
-                        Ok(extra) => {
-                            self.traffic.record(
-                                TrafficClass::FullMigration,
-                                self.vms[vi].allocation.mul_f64(1.15),
-                            );
-                            self.move_vm_to(vi, destination);
-                            self.set_vm_partial(vi, false);
-                            self.set_vm_demand(vi, self.vms[vi].allocation);
-                            self.vms[vi].consolidated_since = None;
-                            self.counts.relocations += 1;
-                            let full =
-                                self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
-                            self.delays.record(full + extra);
-                        }
-                        Err(waited) => {
-                            // Destination unwakeable: promote in place so
-                            // the user still gets a running full VM.
-                            self.fallback_promote(vi);
-                            let base = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
-                            self.delays.record(waited + base);
-                        }
-                    }
-                }
-                Some(ActivationDecision::ReturnHome { home, .. }) => {
-                    self.decisions.return_home += 1;
-                    let decision = self.manager.last_decision_id();
-                    let was_asleep = !self.hosts[self.host_index(home)].powered;
-                    let queued = *self.reintegration_queue.entry(home).or_insert(0);
-                    self.reintegration_queue.insert(home, queued + 1);
-                    // The manager wakes the host with Wake-on-LAN (§4.1);
-                    // lost packets are retransmitted after a one-second
-                    // timeout. These draws come from the main stream and
-                    // must stay ahead of any fault handling so a fault-free
-                    // schedule leaves the sequence untouched.
-                    let wol_wait = if was_asleep {
-                        let wait = oasis_net::wake_with_retries(
-                            &self.telemetry,
-                            home.0,
-                            self.cfg.wol_loss_rate,
-                            10.0,
-                            &mut self.rng,
+            Some(ActivationDecision::MoveTo { destination, .. }) => {
+                self.decisions.relocate += 1;
+                let decision = self.manager.last_decision_id();
+                let di = self.host_index(destination);
+                match self.try_wake(di, 0.0, now, decision) {
+                    Ok(extra) => {
+                        self.traffic.record(
+                            TrafficClass::FullMigration,
+                            self.vms[vi].allocation.mul_f64(1.15),
                         );
-                        self.counts.wol_retries += wait as u64;
-                        wait
-                    } else {
-                        0.0
-                    };
-                    let reint = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
-                    match self.return_home(home, now, decision) {
-                        Ok((_, wake_extra)) => {
-                            let wake = if was_asleep {
-                                wol_wait
-                                    + wake_extra
-                                    + self.cfg.host_profile.resume_time.as_secs_f64()
-                            } else {
-                                0.0
-                            };
-                            self.delays.record(wake + (f64::from(queued) + 1.0) * reint);
-                        }
-                        Err(waited) => {
-                            // The home cannot be woken: promote the
-                            // activating VM in place instead.
-                            self.fallback_promote(vi);
-                            self.delays.record(wol_wait + waited + reint);
-                        }
+                        self.move_vm_to(vi, destination);
+                        self.set_vm_partial(vi, false);
+                        self.set_vm_demand(vi, self.vms[vi].allocation);
+                        self.vms[vi].consolidated_since = None;
+                        self.counts.relocations += 1;
+                        let full = self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
+                        self.delays.record(full + extra);
+                    }
+                    Err(waited) => {
+                        // Destination unwakeable: promote in place so
+                        // the user still gets a running full VM.
+                        self.fallback_promote(vi);
+                        let base = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
+                        self.delays.record(waited + base);
                     }
                 }
-                None => {
-                    // Raced: the VM is no longer partial.
-                    self.delays.record(0.0);
+            }
+            Some(ActivationDecision::ReturnHome { home, .. }) => {
+                self.decisions.return_home += 1;
+                let decision = self.manager.last_decision_id();
+                let was_asleep = !self.hosts[self.host_index(home)].powered;
+                let slot = self.reintegration_queue.entry(home).or_insert(0);
+                let queued = *slot;
+                *slot += 1;
+                // The manager wakes the host with Wake-on-LAN (§4.1);
+                // lost packets are retransmitted after a one-second
+                // timeout. These draws come from the main stream and
+                // must stay ahead of any fault handling so a fault-free
+                // schedule leaves the sequence untouched.
+                let wol_wait = if was_asleep {
+                    let wait = oasis_net::wake_with_retries(
+                        &self.telemetry,
+                        home.0,
+                        self.cfg.wol_loss_rate,
+                        10.0,
+                        &mut self.rng,
+                    );
+                    self.counts.wol_retries += wait as u64;
+                    wait
+                } else {
+                    0.0
+                };
+                let reint = self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
+                match self.return_home(home, now, decision) {
+                    Ok((_, wake_extra)) => {
+                        let wake = if was_asleep {
+                            wol_wait + wake_extra + self.cfg.host_profile.resume_time.as_secs_f64()
+                        } else {
+                            0.0
+                        };
+                        self.delays.record(wake + (f64::from(queued) + 1.0) * reint);
+                    }
+                    Err(waited) => {
+                        // The home cannot be woken: promote the
+                        // activating VM in place instead.
+                        self.fallback_promote(vi);
+                        self.delays.record(wol_wait + waited + reint);
+                    }
                 }
+            }
+            None => {
+                // Raced: the VM is no longer partial.
+                self.delays.record(0.0);
             }
         }
     }
 
     /// Runs one manager planning round and executes the plan.
-    fn plan_and_execute(&mut self, now: SimTime) {
+    pub(crate) fn plan_and_execute(&mut self, now: SimTime) {
         self.refresh_vacatable(now);
-        let actions = self.manager.plan(&self.view);
+        let handoff =
+            ResidencyHandoff { residency: &self.residency, exchange_ready: &self.exchange_ready };
+        let actions = self.manager.plan_with(&self.view, Some(&handoff));
         // Ids allocated by the manager, aligned index-for-index with the
         // actions; they tie every migration event below back to its
         // `decision_made` audit record.
         let decision_ids: Vec<u64> = self.manager.last_plan_decision_ids().to_vec();
         let interval = (now.as_micros() / (INTERVAL_SECS as u64 * 1_000_000)) as u32;
         self.telemetry.emit(Event::PolicyDecision { interval, actions: actions.len() as u32 });
-        let mut busy: std::collections::BTreeMap<HostId, f64> = std::collections::BTreeMap::new();
+        // Per-source serialized-work seconds this round, indexed by host
+        // position (the `hosts[id]` layout every other index relies on).
+        let mut busy = std::mem::take(&mut self.busy_scratch);
+        busy.clear();
+        busy.resize(self.hosts.len(), 0.0);
 
         for (ai, action) in actions.into_iter().enumerate() {
             let decision = decision_ids.get(ai).copied().unwrap_or(0);
@@ -1352,13 +1656,13 @@ impl ClusterSim {
                             decision,
                         ) {
                             Some(held) => {
-                                *busy.entry(source).or_insert(0.0) += held;
+                                busy[source.0 as usize] += held;
                             }
                             None => continue,
                         }
                     }
                     let di = self.host_index(order.destination);
-                    let offset = *busy.get(&source).unwrap_or(&0.0);
+                    let offset = busy[source.0 as usize];
                     match self.try_wake(di, offset, now, decision) {
                         Ok(_) => {}
                         Err(_) => {
@@ -1388,7 +1692,7 @@ impl ClusterSim {
                             let moved =
                                 oasis_migration::partial::DESCRIPTOR_BYTES + self.vms[vi].demand;
                             self.move_vm_to(vi, order.destination);
-                            *busy.entry(source).or_insert(0.0) +=
+                            busy[source.0 as usize] +=
                                 self.stretch_secs(self.cfg.reintegration_time.as_secs_f64());
                             self.counts.partial += 1;
                             (moved, self.stretch(self.cfg.reintegration_time))
@@ -1423,7 +1727,7 @@ impl ClusterSim {
                             vm.wss_cap = wss + growth_cap;
                             vm.consolidated_since = Some(now);
                             vm.uploaded_once = true;
-                            *busy.entry(source).or_insert(0.0) +=
+                            busy[source.0 as usize] +=
                                 self.stretch_secs(self.cfg.partial_migration_time.as_secs_f64());
                             self.counts.partial += 1;
                             (
@@ -1438,7 +1742,7 @@ impl ClusterSim {
                             self.move_vm_to(vi, order.destination);
                             self.set_vm_demand(vi, self.vms[vi].allocation);
                             self.vms[vi].consolidated_since = Some(now);
-                            *busy.entry(source).or_insert(0.0) +=
+                            busy[source.0 as usize] +=
                                 self.stretch_secs(self.cfg.full_migration_time.as_secs_f64());
                             self.counts.full += 1;
                             (moved, self.stretch(self.cfg.full_migration_time))
@@ -1502,6 +1806,7 @@ impl ClusterSim {
                         }
                         self.hosts[hi].temporary_episode(episode + extra);
                         self.dirty_hosts[hi] = true;
+                        self.energy_touched[hi] = true;
                         self.telemetry.emit(Event::HostResumed { host: home.0 });
                         self.telemetry.emit(Event::HostSuspended { host: home.0 });
                     }
@@ -1553,32 +1858,43 @@ impl ClusterSim {
         }
 
         // Sources drained of all VMs sleep after their serialized work.
-        for h in 0..self.hosts.len() {
-            let id = self.hosts[h].id;
+        for (h, &serialized) in busy.iter().enumerate() {
             if self.hosts[h].powered && self.residency[h].vms.is_empty() {
-                let offset = busy.get(&id).copied().unwrap_or(0.0).min(INTERVAL_SECS);
+                let offset = serialized.min(INTERVAL_SECS);
                 self.set_host_power(h, offset, false);
             }
         }
+        self.busy_scratch = busy;
     }
 
     /// Grows consolidated working sets and handles capacity exhaustion.
-    fn grow_working_sets(&mut self, now: SimTime) {
+    ///
+    /// The returned [`FetchOutcome`] describes the post-pass world. Its
+    /// `growth_pending` bit is accumulated during the growth loop, i.e.
+    /// before any capacity shed — a shed VM returning home can only
+    /// leave the bit conservatively high, which at worst arms one
+    /// growth wake whose fetch pass then no-ops.
+    pub(crate) fn grow_working_sets(&mut self, now: SimTime) -> FetchOutcome {
+        let mut outcome = FetchOutcome::default();
         let mut fetched = ByteSize::ZERO;
-        for vi in 0..self.vms.len() {
-            if !self.vms[vi].partial {
-                continue;
-            }
+        // The maintained partial index lists exactly the VMs a full scan
+        // filtered on `partial` would visit, in the same ascending
+        // order. The growth loop only adjusts demands — never partial
+        // membership — so indexed iteration is stable (and skips the
+        // defensive clone this loop used to take every interval).
+        for pi in 0..self.partials.len() {
+            let vi = self.partials[pi];
+            debug_assert!(self.vms[vi].partial);
             let vm = &self.vms[vi];
-            let growth_per_interval = ByteSize::from_mib_f64(
-                vm.class.idle_model().growth_per_min.as_mib_f64() * INTERVAL_SECS / 60.0,
-            );
+            let growth_per_interval = self.growth_quantum[class_idx(vm.class)];
             let headroom = vm.wss_cap.saturating_sub(vm.demand);
             let growth = growth_per_interval.min(headroom);
             if !growth.is_zero() {
                 self.set_vm_demand(vi, self.vms[vi].demand + growth);
                 fetched += growth.mul_f64(COMPRESS_RATIO);
             }
+            outcome.growth_pending |=
+                !growth_per_interval.min(headroom.saturating_sub(growth)).is_zero();
         }
         if !fetched.is_zero() {
             self.traffic.record(TrafficClass::DemandFetch, fetched);
@@ -1587,9 +1903,8 @@ impl ClusterSim {
         // Capacity exhaustion (§3.2): the host wakes the requesting VM's
         // home and returns all of that home's VMs.
         let capacity = self.cfg.effective_capacity();
-        let cons_ids: Vec<HostId> =
-            self.hosts.iter().filter(|h| h.role == HostRole::Consolidation).map(|h| h.id).collect();
-        for host in cons_ids {
+        for ci in 0..self.cons_hosts.len() {
+            let host = self.cons_hosts[ci];
             if self.demand_on(host) <= capacity {
                 continue;
             }
@@ -1644,10 +1959,12 @@ impl ClusterSim {
                 }
             }
         }
+        outcome.overcommit = self.cons_hosts.iter().any(|&h| self.demand_on(h) > capacity);
+        outcome
     }
 
     /// Puts hosts drained outside planning (ReturnHome) to sleep.
-    fn sleep_empty_hosts(&mut self) {
+    pub(crate) fn sleep_empty_hosts(&mut self) {
         for h in 0..self.hosts.len() {
             if self.hosts[h].powered && self.residency[h].vms.is_empty() {
                 self.set_host_power(h, INTERVAL_SECS * 0.5, false);
@@ -1656,8 +1973,11 @@ impl ClusterSim {
     }
 
     /// Records the per-interval series and distribution samples.
-    fn record(&mut self, now: SimTime) {
-        let active = self.vms.iter().filter(|v| v.state.is_active()).count();
+    pub(crate) fn record(&mut self, now: SimTime) {
+        // Summing the index-maintained per-host counts equals a recount
+        // of the VM vector (locked by `verify_indices`), without the
+        // O(VMs) scan per interval.
+        let active: usize = self.residency.iter().map(|r| r.active).sum();
         self.series_active.record(now, active as f64);
         let powered = self.hosts.iter().filter(|h| h.powered).count();
         self.series_powered.record(now, powered as f64);
@@ -1676,88 +1996,10 @@ impl ClusterSim {
     /// per-interval quiescence counts alongside.
     // oasis-lint: boundary(float-energy, "fixed per-host fold order makes the f64 sums reproducible; the attribution ledger keeps the integer-mj truth")
     fn account_energy(&mut self, interval: usize) {
-        let p = &self.cfg.host_profile;
-        let ms_watts = self.cfg.memserver.active_watts;
-        fn mj(joules: f64) -> u64 {
-            (joules * 1_000.0).round().max(0.0) as u64
-        }
         for h in 0..self.hosts.len() {
-            let id = self.hosts[h].id;
-            let role = self.hosts[h].role;
-            let active = self.active_on(id);
-            let awake = self.hosts[h].end_interval();
-            let suspends = f64::from(self.hosts[h].suspends);
-            let resumes = f64::from(self.hosts[h].resumes);
-            let transit =
-                suspends * p.suspend_time.as_secs_f64() + resumes * p.resume_time.as_secs_f64();
-            let asleep = (INTERVAL_SECS - awake - transit).max(0.0);
-            // Sleeping consolidation hosts are spare capacity, not part
-            // of the active deployment: their S3 draw is not charged
-            // (otherwise Figure 8 would fall linearly with the host count
-            // instead of leveling off, as adding unused spares would
-            // "cost" energy).
-            let sleep_draw = if role == HostRole::Compute { p.sleep_watts } else { 0.0 };
-            let mut joules = awake * p.watts(PowerState::Powered, active)
-                + suspends * p.suspend_time.as_secs_f64() * p.suspend_watts
-                + resumes * p.resume_time.as_secs_f64() * p.resume_watts
-                + asleep * sleep_draw;
-            // A sleeping home host keeps its memory server powered while
-            // it has partial replicas to serve (§5.1); a host vacated
-            // purely by full migrations has nothing to serve. The count
-            // is index-maintained — no scan of the VM vector.
-            let serves_partials = self.home_partials[h] > 0;
-            if role == HostRole::Compute && serves_partials {
-                joules += asleep * ms_watts;
-            }
-            self.total_joules += joules;
-
-            // Attribution ledger: the same interval decomposed into
-            // active (draw above the zero-VM floor), idle (powered floor
-            // + S3 draw), transition and memory-server components, each
-            // rounded to integer millijoules per interval.
-            let idle_floor = p.watts(PowerState::Powered, 0);
-            let active_mj = mj(awake * (p.watts(PowerState::Powered, active) - idle_floor));
-            let acc = &mut self.host_energy[h];
-            acc.active_mj += active_mj;
-            acc.idle_mj += mj(awake * idle_floor + asleep * sleep_draw);
-            acc.transition_mj += mj(suspends * p.suspend_time.as_secs_f64() * p.suspend_watts
-                + resumes * p.resume_time.as_secs_f64() * p.resume_watts);
-            if role == HostRole::Compute && serves_partials {
-                acc.memserver_mj += mj(asleep * ms_watts);
-            }
-
-            // The active component is attributed to the VMs that caused
-            // it: a demand-weighted integer split over the host's active
-            // residents, with the rounding remainder assigned to the
-            // lowest-indexed one so the shares always sum bit-exactly to
-            // the host's active millijoules.
-            if active_mj > 0 {
-                let active_vms: Vec<usize> = self.residency[h]
-                    .vms
-                    .iter()
-                    .copied()
-                    .filter(|&vi| self.vms[vi].state.is_active())
-                    .collect();
-                if !active_vms.is_empty() {
-                    let weight_sum: u128 = active_vms
-                        .iter()
-                        .map(|&vi| u128::from(self.vms[vi].demand.as_bytes()))
-                        .sum();
-                    let mut assigned = 0u64;
-                    for &vi in &active_vms {
-                        let w = u128::from(self.vms[vi].demand.as_bytes());
-                        // Zero total demand degrades to an equal split.
-                        let share = match (u128::from(active_mj) * w).checked_div(weight_sum) {
-                            Some(s) => s as u64,
-                            None => active_mj / active_vms.len() as u64,
-                        };
-                        self.vm_energy_mj[vi] += share;
-                        assigned += share;
-                    }
-                    self.vm_energy_mj[active_vms[0]] += active_mj - assigned;
-                }
-            }
-
+            let e = self.host_interval_energy(h);
+            self.apply_host_energy(h, &e);
+            self.attribute_active_mj(h, e.active_mj, None);
             // Quiescence: a host whose placement/power state nothing
             // touched this interval (and that never transitioned) could
             // have been skipped by an event-driven stepper.
@@ -1768,13 +2010,147 @@ impl ClusterSim {
         self.quiescence.intervals += 1;
         self.quiescence.host_intervals += self.hosts.len() as u64;
         self.quiescence.vm_intervals += self.vms.len() as u64;
-        self.quiescence.vm_quiescent += self.dirty_vms.iter().filter(|d| !**d).count() as u64;
+        self.quiescence.vm_quiescent += (self.vms.len() - self.dirty_vm_count) as u64;
         // Baseline: home hosts powered all day, VMs in place.
+        let p = &self.cfg.host_profile;
         for home in 0..self.cfg.home_hosts {
             let lo = (home * self.cfg.vms_per_host) as usize;
             let hi = lo + self.cfg.vms_per_host as usize;
             let active = self.users[lo..hi].iter().filter(|u| u.is_active(interval)).count();
             self.baseline_joules += INTERVAL_SECS * p.watts(PowerState::Powered, active);
+        }
+    }
+
+    /// Computes one host's interval energy decomposition — the pure
+    /// per-host math of [`Self::account_energy`], shared verbatim with
+    /// the event engine's cached accounting path so both engines charge
+    /// bit-identical joules. Calling it closes the host's power timeline
+    /// for the interval (`end_interval`).
+    // oasis-lint: boundary(float-energy, "same fixed expression order as the interval fold; the integer-mj components carry the exact truth")
+    pub(crate) fn host_interval_energy(&mut self, h: usize) -> HostSpanEnergy {
+        let p = &self.cfg.host_profile;
+        let ms_watts = self.cfg.memserver.active_watts;
+        fn mj(joules: f64) -> u64 {
+            (joules * 1_000.0).round().max(0.0) as u64
+        }
+        let id = self.hosts[h].id;
+        let role = self.hosts[h].role;
+        let active = self.active_on(id);
+        let awake = self.hosts[h].end_interval();
+        let suspends = f64::from(self.hosts[h].suspends);
+        let resumes = f64::from(self.hosts[h].resumes);
+        let transit =
+            suspends * p.suspend_time.as_secs_f64() + resumes * p.resume_time.as_secs_f64();
+        let asleep = (INTERVAL_SECS - awake - transit).max(0.0);
+        // Sleeping consolidation hosts are spare capacity, not part
+        // of the active deployment: their S3 draw is not charged
+        // (otherwise Figure 8 would fall linearly with the host count
+        // instead of leveling off, as adding unused spares would
+        // "cost" energy).
+        let sleep_draw = if role == HostRole::Compute { p.sleep_watts } else { 0.0 };
+        let mut joules = awake * p.watts(PowerState::Powered, active)
+            + suspends * p.suspend_time.as_secs_f64() * p.suspend_watts
+            + resumes * p.resume_time.as_secs_f64() * p.resume_watts
+            + asleep * sleep_draw;
+        // A sleeping home host keeps its memory server powered while
+        // it has partial replicas to serve (§5.1); a host vacated
+        // purely by full migrations has nothing to serve. The count
+        // is index-maintained — no scan of the VM vector.
+        let serves_partials = self.home_partials[h] > 0;
+        if role == HostRole::Compute && serves_partials {
+            joules += asleep * ms_watts;
+        }
+
+        // Attribution ledger: the same interval decomposed into
+        // active (draw above the zero-VM floor), idle (powered floor
+        // + S3 draw), transition and memory-server components, each
+        // rounded to integer millijoules per interval.
+        let idle_floor = p.watts(PowerState::Powered, 0);
+        let active_mj = mj(awake * (p.watts(PowerState::Powered, active) - idle_floor));
+        let idle_mj = mj(awake * idle_floor + asleep * sleep_draw);
+        let transition_mj = mj(suspends * p.suspend_time.as_secs_f64() * p.suspend_watts
+            + resumes * p.resume_time.as_secs_f64() * p.resume_watts);
+        let memserver_mj =
+            if role == HostRole::Compute && serves_partials { mj(asleep * ms_watts) } else { 0 };
+        HostSpanEnergy { joules, active_mj, idle_mj, transition_mj, memserver_mj }
+    }
+
+    /// Folds one host's interval decomposition into the running totals:
+    /// the `f64` joule integral and the integer-millijoule component
+    /// ledger. Both engines fold hosts in ascending index order, so the
+    /// accumulators evolve bit-identically.
+    // oasis-lint: boundary(float-energy, "both engines fold hosts in ascending index order, so the f64 sum is reproducible; the integer-mj ledger carries the exact truth")
+    pub(crate) fn apply_host_energy(&mut self, h: usize, e: &HostSpanEnergy) {
+        self.total_joules += e.joules;
+        let acc = &mut self.host_energy[h];
+        acc.active_mj += e.active_mj;
+        acc.idle_mj += e.idle_mj;
+        acc.transition_mj += e.transition_mj;
+        acc.memserver_mj += e.memserver_mj;
+    }
+
+    /// Splits a host's active millijoules over its active residents —
+    /// demand-weighted, with the rounding remainder assigned to the
+    /// lowest-indexed one so the shares always sum bit-exactly to the
+    /// host's active millijoules — accumulating into the per-VM ledger.
+    /// When `shares_out` is given, the applied `(vm index, millijoule)`
+    /// pairs are also recorded (remainder folded into the first entry):
+    /// the event engine caches them to replay unchanged hosts without
+    /// recomputing the split.
+    pub(crate) fn attribute_active_mj(
+        &mut self,
+        h: usize,
+        active_mj: u64,
+        mut shares_out: Option<&mut Vec<(usize, u64)>>,
+    ) {
+        if active_mj == 0 {
+            return;
+        }
+        // The active-resident index is exactly the ascending subsequence
+        // of residents the old filtered walk visited, so the share order
+        // (and the identity of `first`) is unchanged.
+        let mut weight_sum: u128 = 0;
+        let count = self.residency[h].active_vms.len() as u64;
+        for idx in 0..self.residency[h].active_vms.len() {
+            let vi = self.residency[h].active_vms[idx];
+            debug_assert!(self.vms[vi].state.is_active());
+            weight_sum += u128::from(self.vms[vi].demand.as_bytes());
+        }
+        let Some(&first) = self.residency[h].active_vms.first() else { return };
+        let mut assigned = 0u64;
+        for idx in 0..self.residency[h].active_vms.len() {
+            let vi = self.residency[h].active_vms[idx];
+            let w = u128::from(self.vms[vi].demand.as_bytes());
+            // Zero total demand degrades to an equal split.
+            let share = match (u128::from(active_mj) * w).checked_div(weight_sum) {
+                Some(s) => s as u64,
+                None => active_mj / count,
+            };
+            self.vm_energy_mj[vi] += share;
+            assigned += share;
+            if let Some(buf) = shares_out.as_mut() {
+                buf.push((vi, share));
+            }
+        }
+        let remainder = active_mj - assigned;
+        self.vm_energy_mj[first] += remainder;
+        if remainder > 0 {
+            if let Some(buf) = shares_out {
+                // The first entry is the lowest-indexed active resident.
+                buf[0].1 += remainder;
+            }
+        }
+    }
+
+    /// The §5.3 baseline charge for one interval from precomputed
+    /// per-home active-user counts (ascending home order — the same
+    /// fold order, and therefore the same bits, as the trace scan in
+    /// [`Self::account_energy`]).
+    // oasis-lint: boundary(float-energy, "identical per-home add order as the interval engine's baseline scan")
+    pub(crate) fn account_baseline_counts(&mut self, counts: &[u32]) {
+        let p = &self.cfg.host_profile;
+        for &active in counts {
+            self.baseline_joules += INTERVAL_SECS * p.watts(PowerState::Powered, active as usize);
         }
     }
 
@@ -1799,6 +2175,7 @@ impl ClusterSim {
         }
         self.dirty_hosts.iter_mut().for_each(|d| *d = false);
         self.dirty_vms.iter_mut().for_each(|d| *d = false);
+        self.dirty_vm_count = 0;
         let t0 = clock();
         let scope = self.telemetry.profile("fault_service");
         self.apply_faults(now);
@@ -1844,12 +2221,46 @@ impl ClusterSim {
     /// The clock never feeds back into the simulation, so a timed run is
     /// byte-identical to an untimed one.
     pub fn run_day_timed(mut self, clock: &dyn Fn() -> f64, phases: &mut DayPhases) -> SimReport {
+        if self.cfg.engine == oasis_sim::EngineMode::EventDriven {
+            let mut stats = crate::engine::EngineStats::default();
+            return self.run_day_event_timed(clock, phases, &mut stats);
+        }
         let day_scope = self.telemetry.profile("run_day");
         let mut next_plan = SimTime::ZERO;
         for interval in 0..INTERVALS_PER_DAY {
             self.step_interval(interval, &mut next_plan, clock, phases);
         }
         day_scope.end();
+        self.finish_report()
+    }
+
+    /// [`Self::run_day_timed`], additionally returning the engine's
+    /// skip-ahead accounting. Under the interval engine the stats stay
+    /// zeroed — every span is computed, nothing is skipped. The report
+    /// itself never carries the stats, so it stays byte-identical across
+    /// engines.
+    pub fn run_day_instrumented(
+        mut self,
+        clock: &dyn Fn() -> f64,
+        phases: &mut DayPhases,
+    ) -> (SimReport, crate::engine::EngineStats) {
+        let mut stats = crate::engine::EngineStats::default();
+        if self.cfg.engine == oasis_sim::EngineMode::EventDriven {
+            let report = self.run_day_event_timed(clock, phases, &mut stats);
+            return (report, stats);
+        }
+        let day_scope = self.telemetry.profile("run_day");
+        let mut next_plan = SimTime::ZERO;
+        for interval in 0..INTERVALS_PER_DAY {
+            self.step_interval(interval, &mut next_plan, clock, phases);
+        }
+        day_scope.end();
+        (self.finish_report(), stats)
+    }
+
+    /// Assembles the [`SimReport`] after the day loop — shared by both
+    /// engines, so the report layout cannot drift between them.
+    pub(crate) fn finish_report(self) -> SimReport {
         let baseline_kwh = self.baseline_joules / oasis_power::meter::JOULES_PER_KWH;
         let total_kwh = self.total_joules / oasis_power::meter::JOULES_PER_KWH;
         self.telemetry.flush();

@@ -1,0 +1,136 @@
+//! QuiescenceLedger cross-check: the event engine's skip-ahead
+//! accounting must re-sum to the interval engine's ledger.
+//!
+//! PR 6's `QuiescenceLedger` counts the host- and VM-intervals a scan
+//! finds untouched; the event engine acts on that evidence by charging
+//! untouched hosts from a span cache instead of re-integrating them.
+//! These are two independent code paths reaching the same verdicts, so
+//! this suite locks their agreement on seeds 1–3:
+//!
+//! * the engine-side split (cached + recomputed host-intervals) re-sums
+//!   exactly to the ledger's host-interval total;
+//! * every cached charge was a quiescent interval, and the quiescent
+//!   fractions (plus the whole report, energy series included) are
+//!   bit-identical across engines;
+//! * the joules charged analytically from cached spans plus the joules
+//!   recomputed from power timelines re-sum to the day's energy total.
+
+use oasis_cluster::{ClusterConfig, ClusterSim, DayPhases, EngineStats};
+use oasis_core::PolicyKind;
+use oasis_sim::EngineMode;
+use oasis_trace::INTERVALS_PER_DAY;
+
+/// Joules per kilowatt-hour (mirrors `oasis_power::meter::JOULES_PER_KWH`).
+const JOULES_PER_KWH: f64 = 3_600_000.0;
+
+fn config(engine: EngineMode, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::builder()
+        .policy(PolicyKind::FullToPartial)
+        .home_hosts(6)
+        .consolidation_hosts(2)
+        .vms_per_host(10)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
+    cfg.engine = engine;
+    cfg
+}
+
+fn run(engine: EngineMode, seed: u64) -> (oasis_cluster::SimReport, EngineStats) {
+    ClusterSim::new(config(engine, seed)).run_day_instrumented(&|| 0.0, &mut DayPhases::default())
+}
+
+#[test]
+fn skipped_span_accounting_resums_to_the_interval_ledger() {
+    for seed in [1u64, 2, 3] {
+        let (i_report, i_stats) = run(EngineMode::Interval, seed);
+        let (e_report, e_stats) = run(EngineMode::EventDriven, seed);
+
+        // The interval engine skips nothing and reports nothing: its
+        // stats stay zeroed, its ledger is the reference.
+        assert_eq!(i_stats, EngineStats::default(), "seed {seed}: interval engine skipped work");
+
+        // Identical reports — quiescence ledger, energy ledger and the
+        // cumulative energy series included, bit for bit.
+        assert_eq!(
+            format!("{i_report:?}"),
+            format!("{e_report:?}"),
+            "seed {seed}: event-engine report diverged"
+        );
+
+        // The engine-side host-interval split re-sums to the ledger.
+        let hosts = (i_report.home_hosts + i_report.consolidation_hosts) as u64;
+        let expected = hosts * INTERVALS_PER_DAY as u64;
+        assert_eq!(e_stats.intervals, INTERVALS_PER_DAY as u64, "seed {seed}");
+        assert_eq!(e_stats.host_intervals(), expected, "seed {seed}: host-interval split leaks");
+        assert_eq!(e_report.quiescence.host_intervals, expected, "seed {seed}");
+        assert_eq!(
+            e_report.quiescence.host_fraction(),
+            i_report.quiescence.host_fraction(),
+            "seed {seed}: host quiescent fraction diverged"
+        );
+        assert_eq!(
+            e_report.quiescence.vm_fraction(),
+            i_report.quiescence.vm_fraction(),
+            "seed {seed}: VM quiescent fraction diverged"
+        );
+
+        // Skip-ahead must actually engage on a smoke-scale day (most
+        // host-intervals are quiet), and a cached charge is only legal
+        // on a quiescent host-interval.
+        assert!(e_stats.cached_host_intervals > 0, "seed {seed}: span cache never engaged");
+        assert!(
+            e_stats.cached_host_intervals <= e_report.quiescence.host_quiescent,
+            "seed {seed}: cached a non-quiescent host-interval \
+             ({} cached, {} quiescent)",
+            e_stats.cached_host_intervals,
+            e_report.quiescence.host_quiescent,
+        );
+
+        // Analytic charges plus recomputed charges re-sum to the day's
+        // total. Both buckets add the exact f64 each interval fold
+        // applied; only the summation grouping differs, hence the tiny
+        // relative tolerance instead of bit equality.
+        let total_joules = e_report.total_kwh * JOULES_PER_KWH;
+        let resummed = e_stats.skipped_joules + e_stats.computed_joules;
+        assert!(
+            (resummed - total_joules).abs() <= total_joules.abs() * 1e-9,
+            "seed {seed}: skipped {} + computed {} J != total {} J",
+            e_stats.skipped_joules,
+            e_stats.computed_joules,
+            total_joules,
+        );
+        assert!(e_stats.skipped_joules > 0.0, "seed {seed}: no joules charged analytically");
+    }
+}
+
+#[test]
+fn planner_and_fetch_skip_accounting_is_conservative() {
+    // With WoL losses in play the gates engage less predictably, but
+    // the accounting identities must still close.
+    for seed in [1u64, 2, 3] {
+        let mut cfg = ClusterConfig::builder()
+            .policy(PolicyKind::FullToPartial)
+            .home_hosts(6)
+            .consolidation_hosts(2)
+            .vms_per_host(10)
+            .seed(seed)
+            .wol_loss_rate(0.3)
+            .build()
+            .expect("valid configuration");
+        cfg.engine = EngineMode::EventDriven;
+        let (_, stats) =
+            ClusterSim::new(cfg).run_day_instrumented(&|| 0.0, &mut DayPhases::default());
+        assert_eq!(
+            stats.planner_epochs,
+            stats.planner_full_rounds + stats.planner_replays,
+            "seed {seed}: planner epoch split leaks"
+        );
+        assert_eq!(
+            stats.fetch_full + stats.fetch_skipped,
+            INTERVALS_PER_DAY as u64,
+            "seed {seed}: fetch split leaks"
+        );
+        assert!(stats.events_popped > 0, "seed {seed}: heap never fired");
+    }
+}

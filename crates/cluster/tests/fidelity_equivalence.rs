@@ -1,15 +1,22 @@
-//! Differential equivalence suite: the batched page-level models must be
-//! byte-identical to the per-page reference path.
+//! Differential equivalence suite: every shortcut path must be
+//! byte-identical to its reference path.
 //!
-//! `ModelFidelity::Batched` replaces per-page hot loops (hypervisor
-//! fault handling, memtap fetches, pre-copy rounds, trace sampling via
-//! the memo cache) with batched or closed-form equivalents. The contract
-//! is not "statistically close" but *bit-identical*: same reports, same
-//! RNG draw sequence, same golden telemetry stream. This suite locks
-//! that contract at cluster scope — `run_day` across seeds with and
-//! without fault schedules, `run_week`, and the figure-8 sweep — so any
-//! future batched shortcut that changes an observable byte fails here
-//! rather than silently skewing the paper's figures.
+//! Two independent switches are locked here:
+//!
+//! * `ModelFidelity::Batched` replaces per-page hot loops (hypervisor
+//!   fault handling, memtap fetches, pre-copy rounds, trace sampling via
+//!   the memo cache) with batched or closed-form equivalents.
+//! * `EngineMode::EventDriven` replaces the per-interval full scans with
+//!   a next-wake heap that skips quiescent work (planner replays, span
+//!   caches, precomputed session edges and fault ticks).
+//!
+//! In both cases the contract is not "statistically close" but
+//! *bit-identical*: same reports, same RNG draw sequence, same golden
+//! telemetry stream. This suite locks that contract at cluster scope —
+//! `run_day` across seeds with and without fault schedules, `run_week`,
+//! and the figure-8 sweep, with the engine legs crossed against both
+//! fidelities — so any future shortcut that changes an observable byte
+//! fails here rather than silently skewing the paper's figures.
 
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -19,7 +26,7 @@ use oasis_cluster::{ClusterConfig, ClusterSim};
 use oasis_core::PolicyKind;
 use oasis_faults::{Fault, FaultClass, FaultSchedule};
 use oasis_sim::fidelity::FIDELITY_ENV;
-use oasis_sim::{ModelFidelity, SimDuration, SimTime, WorkerPool};
+use oasis_sim::{EngineMode, ModelFidelity, SimDuration, SimTime, WorkerPool};
 use oasis_telemetry::{JsonlSink, Level, Telemetry};
 use oasis_trace::DayKind;
 
@@ -115,6 +122,37 @@ fn traced_day(fidelity: ModelFidelity, seed: u64, faults: FaultSchedule) -> (Str
     (stream, scrub_wall_times(&format!("{report:?}")))
 }
 
+/// [`config`] pinned to an explicit engine as well (never the
+/// `OASIS_ENGINE` default, so the engine legs stay deterministic under
+/// the CI engine matrix).
+fn config_engine(
+    engine: EngineMode,
+    fidelity: ModelFidelity,
+    seed: u64,
+    faults: FaultSchedule,
+) -> ClusterConfig {
+    let mut cfg = config(fidelity, seed, faults);
+    cfg.engine = engine;
+    cfg
+}
+
+/// [`traced_day`] on an explicit engine.
+fn traced_day_engine(
+    engine: EngineMode,
+    fidelity: ModelFidelity,
+    seed: u64,
+    faults: FaultSchedule,
+) -> (String, String) {
+    let buf = SharedBuf::default();
+    let telemetry = Telemetry::new(Level::Debug);
+    telemetry.attach(Box::new(JsonlSink::new(buf.clone())));
+    let mut sim = ClusterSim::new(config_engine(engine, fidelity, seed, faults));
+    sim.attach_telemetry(telemetry);
+    let report = sim.run_day();
+    let stream = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    (stream, scrub_wall_times(&format!("{report:?}")))
+}
+
 #[test]
 fn run_day_is_bit_identical_across_fidelities() {
     for seed in [1u64, 2, 3] {
@@ -168,6 +206,83 @@ fn figure8_sweep_is_bit_identical_across_fidelities() {
     }
     assert!(!per_page.is_empty());
     assert_eq!(per_page, batched, "batched figure-8 sweep diverged");
+}
+
+#[test]
+fn run_day_is_bit_identical_across_engines() {
+    for fidelity in [ModelFidelity::PerPage, ModelFidelity::Batched] {
+        for seed in [1u64, 2, 3] {
+            let (i_stream, i_report) =
+                traced_day_engine(EngineMode::Interval, fidelity, seed, FaultSchedule::none());
+            let (e_stream, e_report) =
+                traced_day_engine(EngineMode::EventDriven, fidelity, seed, FaultSchedule::none());
+            assert!(!i_stream.is_empty());
+            assert_eq!(
+                i_report, e_report,
+                "seed {seed} fidelity {fidelity:?}: event-engine report diverged"
+            );
+            assert_eq!(
+                i_stream, e_stream,
+                "seed {seed} fidelity {fidelity:?}: event-engine telemetry stream diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_day_under_faults_is_bit_identical_across_engines() {
+    for fidelity in [ModelFidelity::PerPage, ModelFidelity::Batched] {
+        for seed in [1u64, 2, 3] {
+            let (i_stream, i_report) =
+                traced_day_engine(EngineMode::Interval, fidelity, seed, fault_schedule());
+            let (e_stream, e_report) =
+                traced_day_engine(EngineMode::EventDriven, fidelity, seed, fault_schedule());
+            assert!(i_stream.contains("\"kind\":\"fault_injected\""));
+            assert_eq!(
+                i_report, e_report,
+                "seed {seed} fidelity {fidelity:?}: event-engine faulted report diverged"
+            );
+            assert_eq!(
+                i_stream, e_stream,
+                "seed {seed} fidelity {fidelity:?}: event-engine faulted stream diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_day_with_vacate_cooldowns_is_bit_identical_across_engines() {
+    // A non-zero vacate cooldown makes `vacatable` flags flip with the
+    // clock alone — the one view input no mutation funnel versions. The
+    // event engine covers it with `CooldownExpiry` wakes; this leg locks
+    // that path (plus wake failures forcing repeated returns home).
+    for seed in [1u64, 2, 3] {
+        let run = |engine| {
+            let mut cfg = config(ModelFidelity::Batched, seed, fault_schedule());
+            cfg.engine = engine;
+            cfg.vacate_cooldown = SimDuration::from_secs(5_400);
+            format!("{:?}", ClusterSim::new(cfg).run_day())
+        };
+        assert_eq!(
+            run(EngineMode::Interval),
+            run(EngineMode::EventDriven),
+            "seed {seed}: event-engine cooldown report diverged"
+        );
+    }
+}
+
+#[test]
+fn run_week_is_bit_identical_across_engines() {
+    let pool = WorkerPool::sequential();
+    let week = |engine| {
+        let cfg = config_engine(engine, ModelFidelity::Batched, 7, FaultSchedule::none());
+        format!("{:?}", run_week_on(&pool, &cfg))
+    };
+    assert_eq!(
+        week(EngineMode::Interval),
+        week(EngineMode::EventDriven),
+        "event-engine week diverged"
+    );
 }
 
 #[test]

@@ -29,4 +29,4 @@ pub mod view;
 pub use manager::ClusterManager;
 pub use placement::PlacementStrategy;
 pub use policy::{ActivationDecision, PlannedAction, PolicyKind};
-pub use view::{ClusterView, HostRole, HostView, VmView};
+pub use view::{ClusterView, HostRole, HostView, ResidencyIndex, VmView};

@@ -7,14 +7,17 @@
 
 use oasis_mem::ByteSize;
 use oasis_sim::{SimDuration, SimRng, SimTime};
+use oasis_telemetry::metrics::Counter;
 use oasis_telemetry::Telemetry;
 use oasis_vm::{HostId, VmId};
 
 use oasis_telemetry::{DecisionClass, Event};
 
-use crate::placement::{on_partial_activated_with_stats, plan_consolidation_traced, PlannerConfig};
+use crate::placement::{
+    on_partial_activated_with_stats, plan_consolidation_traced, PlanStats, PlannerConfig,
+};
 use crate::policy::{ActivationDecision, PlannedAction, PolicyKind};
-use crate::view::{ClusterView, HostRole};
+use crate::view::{ClusterView, HostRole, ResidencyIndex};
 
 /// Manager configuration.
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +64,20 @@ pub struct ClusterManager {
     last_plan_decision_ids: Vec<u64>,
     /// Decision id of the most recent activation handling.
     last_decision_id: u64,
+    /// Stats of the most recent planning round, kept so the event engine
+    /// can replay an unchanged round's telemetry (see
+    /// [`Self::replay_empty_round`]).
+    last_plan_stats: PlanStats,
+    /// Cached `planned_actions_total{policy=…}` handle. The registry
+    /// hands out `Arc`-backed instruments precisely so hot paths fetch
+    /// once; re-fetching per round costs label allocation plus a locked
+    /// map walk. Lazily filled so the counter still registers on the
+    /// first round, exactly as the uncached fetch did.
+    planned_actions: Option<Counter>,
+    /// Cached `activations_total{outcome=…}` handles, indexed like the
+    /// outcome match in [`Self::handle_activation`]. Lazy per outcome so
+    /// the registered label sets stay identical to the uncached path.
+    activation_counters: [Option<Counter>; 4],
 }
 
 impl ClusterManager {
@@ -73,12 +90,30 @@ impl ClusterManager {
             telemetry: Telemetry::disabled(),
             last_plan_decision_ids: Vec::new(),
             last_decision_id: 0,
+            last_plan_stats: PlanStats::default(),
+            planned_actions: None,
+            activation_counters: [None, None, None, None],
         }
     }
 
     /// Routes the manager's spans and counters through `telemetry`.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+        // The cached handles point into the previous registry.
+        self.planned_actions = None;
+        self.activation_counters = [None, None, None, None];
+    }
+
+    /// The cached `planned_actions_total` handle, fetched on first use.
+    fn planned_actions_counter(&mut self) -> &Counter {
+        if self.planned_actions.is_none() {
+            self.planned_actions =
+                Some(self.telemetry.metrics().counter(
+                    "planned_actions_total",
+                    &[("policy", &self.config.policy.to_string())],
+                ));
+        }
+        self.planned_actions.as_ref().expect("just filled")
     }
 
     /// The active policy.
@@ -110,6 +145,18 @@ impl ClusterManager {
     /// record; the round itself is summarized in one `plan_audit` event
     /// carrying the planner's inputs.
     pub fn plan(&mut self, view: &ClusterView) -> Vec<PlannedAction> {
+        self.plan_with(view, None)
+    }
+
+    /// [`Self::plan`] with an optional caller-maintained residency
+    /// index; `Some` lets the placement search borrow the caller's
+    /// aggregates instead of rebuilding its own from the VM vector. The
+    /// index must satisfy the [`ResidencyIndex`] contract for `view`.
+    pub fn plan_with(
+        &mut self,
+        view: &ClusterView,
+        index: Option<&dyn ResidencyIndex>,
+    ) -> Vec<PlannedAction> {
         let round = self.stats.rounds as u32;
         let span = self.telemetry.span("manager_plan");
         let (actions, plan_stats) = plan_consolidation_traced(
@@ -118,7 +165,9 @@ impl ClusterManager {
             self.config.policy,
             &self.config.planner,
             &mut self.rng,
+            index,
         );
+        self.planned_actions_counter().add(actions.len() as u64);
         span.end();
         self.stats.rounds += 1;
         self.stats.actions += actions.len() as u64;
@@ -150,7 +199,76 @@ impl ClusterManager {
             candidates: plan_stats.candidates_examined,
             demand_mib: plan_stats.demand_mib,
         });
+        self.last_plan_stats = plan_stats;
         actions
+    }
+
+    /// Fingerprint of the manager's private RNG stream position.
+    ///
+    /// The event engine samples this around [`Self::plan`]: an unchanged
+    /// fingerprint proves the round consumed no draws, which (together
+    /// with an unchanged view) makes the round replayable.
+    pub fn rng_fingerprint(&self) -> [u64; 4] {
+        self.rng.state_fingerprint()
+    }
+
+    /// Stats of the most recent planning round.
+    pub fn last_plan_stats(&self) -> &PlanStats {
+        &self.last_plan_stats
+    }
+
+    /// Re-emits the telemetry of a planning round whose outcome is
+    /// provably identical to the previous round, without re-planning.
+    ///
+    /// The caller must have established that (a) the previous round
+    /// returned zero actions, (b) the view is unchanged since, and
+    /// (c) the previous round consumed no RNG draws
+    /// ([`Self::rng_fingerprint`]). Under those premises a fresh
+    /// [`Self::plan`] call would deterministically reproduce the previous
+    /// round bit-for-bit, so this emits the same span/profile/counter/
+    /// audit sequence — with the new round number — at `O(scans)` cost
+    /// instead of `O(VMs × hosts)`.
+    pub fn replay_empty_round(&mut self) {
+        debug_assert!(self.last_plan_decision_ids.is_empty(), "replay of a non-empty round");
+        let round = self.stats.rounds as u32;
+        let span = self.telemetry.span("manager_plan");
+        let search = self.telemetry.span("placement_search");
+        if self.config.policy != PolicyKind::AlwaysOn {
+            let scope = self.telemetry.profile("plan_consolidation");
+            if self.config.policy.exchanges_full_for_partial() {
+                let pass = self.telemetry.profile("exchange_pass");
+                pass.end();
+            }
+            let pass = self.telemetry.profile("vacate_pass");
+            for _ in 0..self.last_plan_stats.vacate_scans {
+                let _scan = self.telemetry.profile("vacate_host_scan");
+            }
+            pass.end();
+            let pass = self.telemetry.profile("drain_pass");
+            for _ in 0..self.last_plan_stats.drain_scans {
+                let _scan = self.telemetry.profile("drain_host_scan");
+            }
+            pass.end();
+            scope.end();
+        }
+        search.end();
+        self.planned_actions_counter().add(0);
+        span.end();
+        self.stats.rounds += 1;
+        self.last_plan_decision_ids.clear();
+        self.telemetry.emit(Event::PlanAudit {
+            interval: round,
+            policy: self.config.policy.to_string(),
+            decision_base: 0,
+            actions: 0,
+            exchanges: self.last_plan_stats.exchanges,
+            vacated: self.last_plan_stats.vacated,
+            woken: self.last_plan_stats.woken,
+            approved: self.last_plan_stats.approved,
+            drained: self.last_plan_stats.drained,
+            candidates: self.last_plan_stats.candidates_examined,
+            demand_mib: self.last_plan_stats.demand_mib,
+        });
     }
 
     /// Decision ids allocated for the last planning round, aligned with
@@ -173,13 +291,18 @@ impl ClusterManager {
         self.stats.activations += 1;
         let (decision, candidates) =
             on_partial_activated_with_stats(view, vm, self.config.policy, &mut self.rng);
-        let outcome = match &decision {
-            Some(ActivationDecision::PromoteInPlace { .. }) => "promote_in_place",
-            Some(ActivationDecision::MoveTo { .. }) => "move_to",
-            Some(ActivationDecision::ReturnHome { .. }) => "return_home",
-            None => "none",
+        let (oi, outcome) = match &decision {
+            Some(ActivationDecision::PromoteInPlace { .. }) => (0, "promote_in_place"),
+            Some(ActivationDecision::MoveTo { .. }) => (1, "move_to"),
+            Some(ActivationDecision::ReturnHome { .. }) => (2, "return_home"),
+            None => (3, "none"),
         };
-        self.telemetry.metrics().counter("activations_total", &[("outcome", outcome)]).inc();
+        if self.activation_counters[oi].is_none() {
+            self.activation_counters[oi] = Some(
+                self.telemetry.metrics().counter("activations_total", &[("outcome", outcome)]),
+            );
+        }
+        self.activation_counters[oi].as_ref().expect("just filled").inc();
         if let Some(d) = &decision {
             let id = self.telemetry.next_decision_id();
             self.last_decision_id = id;

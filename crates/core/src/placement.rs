@@ -13,15 +13,13 @@
 //! energy", §3.1) discards vacate plans whose savings would not cover the
 //! consolidation hosts they power on.
 
-use std::collections::BTreeMap;
-
 use oasis_mem::ByteSize;
 use oasis_migration::{MigrationOrder, MigrationType};
 use oasis_sim::SimRng;
 use oasis_vm::{HostId, VmId, VmState};
 
 use crate::policy::{ActivationDecision, PlannedAction, PolicyKind};
-use crate::view::{ClusterView, HostRole, VmView};
+use crate::view::{ClusterView, HostRole, ResidencyIndex, VmView};
 
 /// How the planner picks a destination among viable consolidation hosts.
 ///
@@ -78,12 +76,19 @@ impl Default for PlannerConfig {
 /// a single pass; the per-host demand sums accumulate in the same VM
 /// order the scans used (integer adds, so the totals are bit-equal) and
 /// the resident lists preserve VM-vector order exactly.
-struct HostIndex {
-    /// Total resident demand per host position.
-    demand: Vec<ByteSize>,
-    /// Indices into `view.vms` of residents, per host position, in
-    /// VM-vector order.
-    residents: Vec<Vec<usize>>,
+enum HostIndex<'a> {
+    /// Borrowed from a caller-maintained [`ResidencyIndex`]; nothing is
+    /// rebuilt or allocated per round.
+    External(&'a dyn ResidencyIndex),
+    /// Built from a pass over the VM vector — the path for arbitrary
+    /// hand-assembled views.
+    Built {
+        /// Total resident demand per host position.
+        demand: Vec<ByteSize>,
+        /// Indices into `view.vms` of residents, per host position, in
+        /// VM-vector order.
+        residents: Vec<Vec<usize>>,
+    },
 }
 
 /// Position of `id` in `view.hosts`: O(1) for the `hosts[id]` layout the
@@ -97,8 +102,11 @@ fn host_pos(view: &ClusterView, id: HostId) -> Option<usize> {
     view.hosts.iter().position(|h| h.id == id)
 }
 
-impl HostIndex {
-    fn new(view: &ClusterView) -> Self {
+impl<'a> HostIndex<'a> {
+    fn new(view: &ClusterView, external: Option<&'a dyn ResidencyIndex>) -> Self {
+        if let Some(ext) = external {
+            return HostIndex::External(ext);
+        }
         let mut demand = vec![ByteSize::ZERO; view.hosts.len()];
         let mut residents = vec![Vec::new(); view.hosts.len()];
         for (vi, vm) in view.vms.iter().enumerate() {
@@ -107,21 +115,31 @@ impl HostIndex {
                 residents[p].push(vi);
             }
         }
-        HostIndex { demand, residents }
+        HostIndex::Built { demand, residents }
     }
 
     fn demand_on(&self, view: &ClusterView, host: HostId) -> ByteSize {
-        host_pos(view, host).map_or(ByteSize::ZERO, |p| self.demand[p])
+        match host_pos(view, host) {
+            Some(p) => match self {
+                HostIndex::External(ext) => ext.demand(p),
+                HostIndex::Built { demand, .. } => demand[p],
+            },
+            None => ByteSize::ZERO,
+        }
     }
 
     fn has_residents(&self, view: &ClusterView, host: HostId) -> bool {
-        host_pos(view, host).is_some_and(|p| !self.residents[p].is_empty())
+        !self.resident_indices(view, host).is_empty()
     }
 
-    fn residents_on<'v>(&self, view: &'v ClusterView, host: HostId) -> Vec<&'v VmView> {
+    /// Indices into `view.vms` of `host`'s residents, in VM-vector order.
+    fn resident_indices(&self, view: &ClusterView, host: HostId) -> &[usize] {
         match host_pos(view, host) {
-            Some(p) => self.residents[p].iter().map(|&vi| &view.vms[vi]).collect(),
-            None => Vec::new(),
+            Some(p) => match self {
+                HostIndex::External(ext) => ext.residents(p),
+                HostIndex::Built { residents, .. } => &residents[p],
+            },
+            None => &[],
         }
     }
 
@@ -130,35 +148,60 @@ impl HostIndex {
     }
 }
 
+/// One consolidation host's planned capacity state.
+#[derive(Clone, Copy, Debug)]
+struct LedgerEntry {
+    id: HostId,
+    /// Free bytes after planned placements.
+    free: ByteSize,
+    /// Powered state (including planned wakes).
+    powered: bool,
+}
+
 /// Tracks planned capacity changes during one planning round.
+///
+/// Stored as a vector sorted by ascending [`HostId`] — the same order a
+/// `BTreeMap<HostId, _>` would iterate in — so candidate lists, and
+/// therefore every `rng.choose` index, are unchanged from the map-based
+/// implementation this replaced. The planner touches the ledger once or
+/// twice per VM, and a handful of hosts fit in a cache line where the
+/// map chased pointers.
 struct CapacityLedger {
-    /// Free bytes per consolidation host after planned placements.
-    free: BTreeMap<HostId, ByteSize>,
-    /// Powered state per consolidation host (including planned wakes).
-    powered: BTreeMap<HostId, bool>,
+    entries: Vec<LedgerEntry>,
     /// Hosts this plan wakes.
     woken: Vec<HostId>,
 }
 
 impl CapacityLedger {
     fn new(view: &ClusterView, index: &HostIndex, headroom: ByteSize) -> Self {
-        let mut free = BTreeMap::new();
-        let mut powered = BTreeMap::new();
-        for h in view.consolidation_hosts() {
-            let unreserved = h.capacity.saturating_sub(index.demand_on(view, h.id));
-            free.insert(h.id, unreserved.saturating_sub(headroom));
-            powered.insert(h.id, h.powered);
-        }
-        CapacityLedger { free, powered, woken: Vec::new() }
+        let mut entries: Vec<LedgerEntry> = view
+            .consolidation_hosts()
+            .map(|h| {
+                let unreserved = h.capacity.saturating_sub(index.demand_on(view, h.id));
+                LedgerEntry {
+                    id: h.id,
+                    free: unreserved.saturating_sub(headroom),
+                    powered: h.powered,
+                }
+            })
+            .collect();
+        entries.sort_by_key(|e| e.id);
+        CapacityLedger { entries, woken: Vec::new() }
     }
 
-    /// Powered consolidation hosts that can fit `need`.
-    fn powered_candidates(&self, need: ByteSize) -> Vec<HostId> {
-        self.free
-            .iter()
-            .filter(|(id, &free)| self.powered[id] && free >= need)
-            .map(|(&id, _)| id)
-            .collect()
+    fn entry_pos(&self, host: HostId) -> usize {
+        self.entries.binary_search_by_key(&host, |e| e.id).expect("known consolidation host")
+    }
+
+    fn free_of(&self, host: HostId) -> ByteSize {
+        self.entries[self.entry_pos(host)].free
+    }
+
+    /// Powered consolidation hosts that can fit `need`, in ascending id
+    /// order, collected into the caller's scratch buffer.
+    fn powered_candidates_into(&self, need: ByteSize, out: &mut Vec<HostId>) {
+        out.clear();
+        out.extend(self.entries.iter().filter(|e| e.powered && e.free >= need).map(|e| e.id));
     }
 
     /// Picks among `candidates` according to the strategy.
@@ -172,35 +215,40 @@ impl CapacityLedger {
             PlacementStrategy::Random => rng.choose(candidates).copied(),
             PlacementStrategy::FirstFit => candidates.iter().min().copied(),
             PlacementStrategy::BestFit => {
-                candidates.iter().min_by_key(|id| (self.free[id], **id)).copied()
+                candidates.iter().min_by_key(|&&id| (self.free_of(id), id)).copied()
             }
             PlacementStrategy::WorstFit => {
-                candidates.iter().max_by_key(|id| (self.free[id], **id)).copied()
+                candidates.iter().max_by_key(|&&id| (self.free_of(id), id)).copied()
             }
         }
     }
 
     /// Wakes the sleeping host with the most free space that fits `need`.
+    ///
+    /// Ties break toward the highest id, matching `max_by_key` over the
+    /// old map's ascending iteration (the last maximal element wins).
     fn wake_for(&mut self, need: ByteSize) -> Option<HostId> {
         let best = self
-            .free
+            .entries
             .iter()
-            .filter(|(id, &free)| !self.powered[id] && free >= need)
-            .max_by_key(|(_, &free)| free)
-            .map(|(&id, _)| id)?;
-        self.powered.insert(best, true);
+            .filter(|e| !e.powered && e.free >= need)
+            .max_by_key(|e| e.free)
+            .map(|e| e.id)?;
+        let pos = self.entry_pos(best);
+        self.entries[pos].powered = true;
         self.woken.push(best);
         Some(best)
     }
 
     fn reserve(&mut self, host: HostId, need: ByteSize) {
-        let free = self.free.get_mut(&host).expect("known consolidation host");
+        let pos = self.entry_pos(host);
+        let free = &mut self.entries[pos].free;
         *free = free.saturating_sub(need);
     }
 
     fn release(&mut self, host: HostId, amount: ByteSize) {
-        let free = self.free.get_mut(&host).expect("known consolidation host");
-        *free += amount;
+        let pos = self.entry_pos(host);
+        self.entries[pos].free += amount;
     }
 }
 
@@ -229,26 +277,30 @@ pub struct PlanStats {
     pub candidates_examined: u32,
     /// Aggregate resident VM demand across the view, whole MiB.
     pub demand_mib: u64,
+    /// Hosts the vacate pass scanned (one `vacate_host_scan` profile
+    /// scope each) — cached so an event-engine replay of an unchanged
+    /// round can re-emit the exact same scope sequence.
+    pub vacate_scans: u32,
+    /// Hosts the drain pass scanned (`drain_host_scan` scopes).
+    pub drain_scans: u32,
 }
 
 /// Like [`plan_consolidation`], wrapped in a `placement_search` span and
 /// profiler scope so the planner's wall-clock cost shows up in both the
 /// flat span registry and the call tree, and returning the round's
-/// [`PlanStats`] for the audit trail.
+/// [`PlanStats`] for the audit trail. The `planned_actions_total`
+/// counter is the manager's job (it caches the handle across rounds).
 pub fn plan_consolidation_traced(
     telemetry: &oasis_telemetry::Telemetry,
     view: &ClusterView,
     policy: PolicyKind,
     config: &PlannerConfig,
     rng: &mut SimRng,
+    index: Option<&dyn ResidencyIndex>,
 ) -> (Vec<PlannedAction>, PlanStats) {
     let span = telemetry.span("placement_search");
-    let (actions, stats) = plan_consolidation_inner(telemetry, view, policy, config, rng);
+    let (actions, stats) = plan_consolidation_inner(telemetry, view, policy, config, rng, index);
     span.end();
-    telemetry
-        .metrics()
-        .counter("planned_actions_total", &[("policy", &policy.to_string())])
-        .add(actions.len() as u64);
     (actions, stats)
 }
 
@@ -259,7 +311,15 @@ pub fn plan_consolidation(
     config: &PlannerConfig,
     rng: &mut SimRng,
 ) -> Vec<PlannedAction> {
-    plan_consolidation_inner(&oasis_telemetry::Telemetry::disabled(), view, policy, config, rng).0
+    plan_consolidation_inner(
+        &oasis_telemetry::Telemetry::disabled(),
+        view,
+        policy,
+        config,
+        rng,
+        None,
+    )
+    .0
 }
 
 fn plan_consolidation_inner(
@@ -268,26 +328,39 @@ fn plan_consolidation_inner(
     policy: PolicyKind,
     config: &PlannerConfig,
     rng: &mut SimRng,
+    external: Option<&dyn ResidencyIndex>,
 ) -> (Vec<PlannedAction>, PlanStats) {
-    let mut stats = PlanStats {
-        demand_mib: view.vms.iter().map(|v| v.demand).sum::<ByteSize>().as_mib(),
-        ..PlanStats::default()
+    // With a maintained `host_demand` aggregate the cluster-wide demand
+    // is the sum of the per-host integer sums — bit-equal to the VM
+    // scan (integer adds commute) at O(hosts) instead of O(VMs).
+    let total_demand = if view.host_demand.len() == view.hosts.len() {
+        view.host_demand.iter().copied().sum::<ByteSize>()
+    } else {
+        view.vms.iter().map(|v| v.demand).sum::<ByteSize>()
     };
+    let mut stats = PlanStats { demand_mib: total_demand.as_mib(), ..PlanStats::default() };
     if policy == PolicyKind::AlwaysOn {
         return (Vec::new(), stats);
     }
 
     let scope = telemetry.profile("plan_consolidation");
-    let index = HostIndex::new(view);
+    let index = HostIndex::new(view, external);
     let mut ledger = CapacityLedger::new(view, &index, config.promotion_headroom);
     let mut actions = Vec::new();
+    // Candidate scratch, reused across every per-VM query in the round.
+    let mut candidates: Vec<HostId> = Vec::new();
 
     // Exchange pass (§3.2 FulltoPartial): a full VM gone idle on a
     // consolidation host is swapped for a partial replica of itself,
     // freeing `allocation − working set` on the spot.
     if policy.exchanges_full_for_partial() {
         let pass = telemetry.profile("exchange_pass");
-        for vm in &view.vms {
+        // A maintained candidate list (ascending, a superset of what the
+        // full sweep would select — each entry is re-checked below)
+        // replaces the every-round O(VMs) scan with a walk of only the
+        // VMs that can match; the selected set, and everything derived
+        // from it, is identical either way.
+        let mut sweep = |vm: &VmView| {
             let on_consolidation =
                 index.role_of(view, vm.location) == Some(HostRole::Consolidation);
             let has_remote_home = vm.home != vm.location;
@@ -302,6 +375,18 @@ fn plan_consolidation_inner(
                 stats.candidates_examined += 1;
                 ledger.release(vm.location, vm.allocation.saturating_sub(vm.partial_demand));
                 ledger.reserve(vm.location, ByteSize::ZERO);
+            }
+        };
+        match external.and_then(|e| e.full_idle_consolidated()) {
+            Some(list) => {
+                for &vi in list {
+                    sweep(&view.vms[vi]);
+                }
+            }
+            None => {
+                for vm in &view.vms {
+                    sweep(vm);
+                }
             }
         }
         pass.end();
@@ -319,23 +404,28 @@ fn plan_consolidation_inner(
     let mut vacated = 0usize;
     let mut vacate_actions = Vec::new();
     let mut vacate_candidates = Vec::new();
+    // Tentative placements for the host being scanned, hoisted so one
+    // buffer serves every scan of the round.
+    let mut tentative: Vec<(PlannedAction, HostId, ByteSize, u32)> = Vec::new();
     for host in queue {
         let _host_scan = telemetry.profile("vacate_host_scan");
-        let vms: Vec<_> = index.residents_on(view, host);
-        if policy == PolicyKind::OnlyPartial && vms.iter().any(|v| v.state.is_active()) {
+        stats.vacate_scans += 1;
+        let vms = index.resident_indices(view, host);
+        if policy == PolicyKind::OnlyPartial && vms.iter().any(|&vi| view.vms[vi].state.is_active())
+        {
             continue; // Cannot vacate a host with active VMs.
         }
-        // Tentative placement of every VM on this host.
-        let mut tentative: Vec<(PlannedAction, HostId, ByteSize, u32)> = Vec::new();
+        tentative.clear();
         let mut ok = true;
-        for vm in &vms {
+        for &vi in vms {
+            let vm = &view.vms[vi];
             let (kind, need) = match (policy, vm.state) {
                 (PolicyKind::FullOnly, _) | (_, VmState::Active) => {
                     (MigrationType::Full, vm.allocation)
                 }
                 (_, VmState::Idle) => (MigrationType::Partial, vm.partial_demand),
             };
-            let candidates = ledger.powered_candidates(need);
+            ledger.powered_candidates_into(need, &mut candidates);
             let mut examined = candidates.len() as u32;
             stats.candidates_examined += examined;
             let destination = match ledger.choose(&candidates, config.strategy, rng) {
@@ -378,12 +468,12 @@ fn plan_consolidation_inner(
         }
         if ok {
             vacated += 1;
-            for (a, _, _, examined) in tentative {
+            for (a, _, _, examined) in tentative.drain(..) {
                 vacate_actions.push(a);
                 vacate_candidates.push(examined);
             }
         } else {
-            for (_, dest, need, _) in tentative {
+            for (_, dest, need, _) in tentative.drain(..) {
                 ledger.release(dest, need);
             }
         }
@@ -418,10 +508,12 @@ fn plan_consolidation_inner(
     let mut drained: Vec<HostId> = Vec::new();
     for host in drain_queue {
         let _host_scan = telemetry.profile("drain_host_scan");
-        let vms: Vec<_> = index.residents_on(view, host);
-        let mut tentative: Vec<(PlannedAction, HostId, ByteSize, u32)> = Vec::new();
+        stats.drain_scans += 1;
+        let vms = index.resident_indices(view, host);
+        tentative.clear();
         let mut ok = true;
-        for vm in &vms {
+        for &vi in vms {
+            let vm = &view.vms[vi];
             let (kind, need) = if vm.partial {
                 (MigrationType::Partial, vm.demand)
             } else {
@@ -429,12 +521,12 @@ fn plan_consolidation_inner(
             };
             // When the vacate plan was suppressed, its tentatively woken
             // hosts are not actually powering on: exclude them.
-            let candidates: Vec<HostId> = ledger
-                .powered_candidates(need)
-                .into_iter()
-                .filter(|&d| d != host && !drained.contains(&d))
-                .filter(|d| vacates_approved || !ledger.woken.contains(d))
-                .collect();
+            ledger.powered_candidates_into(need, &mut candidates);
+            candidates.retain(|&d| {
+                d != host
+                    && !drained.contains(&d)
+                    && (vacates_approved || !ledger.woken.contains(&d))
+            });
             stats.candidates_examined += candidates.len() as u32;
             match ledger.choose(&candidates, config.strategy, rng) {
                 Some(destination) => {
@@ -457,12 +549,12 @@ fn plan_consolidation_inner(
         }
         if ok {
             drained.push(host);
-            for (a, _, _, examined) in tentative {
+            for (a, _, _, examined) in tentative.drain(..) {
                 actions.push(a);
                 stats.action_candidates.push(examined);
             }
         } else {
-            for (_, dest, need, _) in tentative {
+            for (_, dest, need, _) in tentative.drain(..) {
                 ledger.release(dest, need);
             }
         }
@@ -781,9 +873,10 @@ mod tests {
         view.hosts[2].capacity = ByteSize::gib(150);
         view.hosts[3].capacity = ByteSize::gib(100);
         let need = ByteSize::gib(4);
-        let index = HostIndex::new(&view);
+        let index = HostIndex::new(&view, None);
         let ledger = CapacityLedger::new(&view, &index, ByteSize::ZERO);
-        let candidates = ledger.powered_candidates(need);
+        let mut candidates = Vec::new();
+        ledger.powered_candidates_into(need, &mut candidates);
         assert_eq!(candidates.len(), 3);
         let mut rng = SimRng::new(1);
         assert_eq!(

@@ -163,6 +163,35 @@ impl ClusterView {
     }
 }
 
+/// Externally maintained residency aggregates the planner can borrow
+/// instead of rebuilding its per-host index from the VM vector every
+/// round.
+///
+/// An implementation must agree exactly with a from-scratch pass over
+/// the view's VM vector: `residents(p)` holds the indices of VMs whose
+/// `location` is the host at position `p`, ascending (VM-vector order),
+/// and `demand(p)` their demand sum. Integer demand sums are
+/// order-independent, so an incrementally maintained total is bit-equal
+/// to the scan the planner would otherwise run. The simulator's
+/// residency index (locked by its `verify_indices` recount tests) is
+/// the canonical implementation.
+pub trait ResidencyIndex {
+    /// Indices into the view's VM vector of the residents of the host at
+    /// position `pos`, ascending.
+    fn residents(&self, pos: usize) -> &[usize];
+    /// Total resident demand on the host at position `pos`.
+    fn demand(&self, pos: usize) -> ByteSize;
+    /// Ascending VM-vector indices of every full (non-partial) idle VM
+    /// currently located on a consolidation host, when tracked. The
+    /// exchange pass walks this list instead of the whole VM vector —
+    /// the list must therefore be a superset of the VMs the full scan
+    /// would select (the pass re-checks each candidate), in the same
+    /// ascending order. `None` keeps the full scan.
+    fn full_idle_consolidated(&self) -> Option<&[usize]> {
+        None
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;

@@ -1,0 +1,86 @@
+//! Engine selection for the cluster day loop.
+//!
+//! The cluster simulator's main loop comes in two implementations: the
+//! original interval walker that scans every VM at each of the 288
+//! five-minute boundaries, and an event-driven skip-ahead core that pops
+//! precomputed wake events (session edges, planner epochs, fault ticks,
+//! growth wakes) off a next-wake heap and fast-paths the quiescent
+//! intervals in between. Both produce **byte-identical** reports and
+//! telemetry streams — the event core replays every emission and every
+//! RNG draw of the interval walker, and the engine leg of the
+//! `fidelity_equivalence` suite locks that promise. [`EngineMode`] is
+//! the switch, mirroring [`crate::ModelFidelity`].
+
+/// Environment variable that selects the default engine
+/// ([`EngineMode::from_env`]).
+pub const ENGINE_ENV: &str = "OASIS_ENGINE";
+
+/// Which implementation of the cluster day loop to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// The reference implementation: walk all 288 intervals, scanning
+    /// the full VM vector at each boundary.
+    #[default]
+    Interval,
+    /// The discrete-event core: a next-wake heap keyed
+    /// `(time, tie-break id)` drives per-interval work, so quiescent
+    /// intervals cost `O(hosts)` instead of `O(VMs)`. Byte-identical to
+    /// [`EngineMode::Interval`] by construction and by test.
+    EventDriven,
+}
+
+impl EngineMode {
+    /// Reads the engine from `OASIS_ENGINE` (`interval` or `event`),
+    /// defaulting to [`EngineMode::Interval`] when unset or unparseable.
+    // oasis-lint: boundary(env-read, "engine selects between byte-identical day loops; either setting yields identical results")
+    pub fn from_env() -> Self {
+        std::env::var(ENGINE_ENV).ok().and_then(|v| v.parse().ok()).unwrap_or(EngineMode::Interval)
+    }
+}
+
+impl core::str::FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interval" => Ok(EngineMode::Interval),
+            "event" | "event-driven" | "event_driven" => Ok(EngineMode::EventDriven),
+            other => Err(format!("unknown engine {other:?} (interval|event)")),
+        }
+    }
+}
+
+impl core::fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineMode::Interval => write!(f, "interval"),
+            EngineMode::EventDriven => write!(f, "event"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_spellings() {
+        assert_eq!("interval".parse(), Ok(EngineMode::Interval));
+        assert_eq!("event".parse(), Ok(EngineMode::EventDriven));
+        assert_eq!("event-driven".parse(), Ok(EngineMode::EventDriven));
+        assert_eq!("event_driven".parse(), Ok(EngineMode::EventDriven));
+        assert!("fast".parse::<EngineMode>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for m in [EngineMode::Interval, EngineMode::EventDriven] {
+            assert_eq!(m.to_string().parse(), Ok(m));
+        }
+    }
+
+    #[test]
+    fn default_is_interval() {
+        assert_eq!(EngineMode::default(), EngineMode::Interval);
+    }
+}

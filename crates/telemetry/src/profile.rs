@@ -344,25 +344,36 @@ impl ProfileTree {
 
 /// A live profiler scope; closes (and attributes its time) when dropped
 /// or on [`ProfileScope::end`].
+///
+/// With the profiler disabled the scope carries nothing — no clock
+/// reads on entry, a no-op on drop — so scopes can bracket per-host
+/// inner loops without taxing profile-off runs.
 #[derive(Debug)]
 pub struct ProfileScope {
-    telemetry: Option<Telemetry>,
+    live: Option<ScopeLive>,
+}
+
+#[derive(Debug)]
+struct ScopeLive {
+    telemetry: Telemetry,
     node: usize,
     start_sim: SimTime,
     start_wall: Instant,
-    finished: bool,
 }
 
 impl ProfileScope {
     // oasis-lint: boundary(wall-clock, "profiler wall timing is observability output only; sim decisions read telemetry.now()")
     pub(crate) fn start(telemetry: &Telemetry, name: &'static str) -> ProfileScope {
-        let node = telemetry.profiler().enter(name);
+        let Some(node) = telemetry.profiler().enter(name) else {
+            return ProfileScope { live: None };
+        };
         ProfileScope {
-            telemetry: node.is_some().then(|| telemetry.clone()),
-            node: node.unwrap_or(0),
-            start_sim: telemetry.now(),
-            start_wall: Instant::now(),
-            finished: false,
+            live: Some(ScopeLive {
+                telemetry: telemetry.clone(),
+                node,
+                start_sim: telemetry.now(),
+                start_wall: Instant::now(),
+            }),
         }
     }
 
@@ -372,14 +383,10 @@ impl ProfileScope {
     }
 
     fn finish(&mut self) {
-        if self.finished {
-            return;
-        }
-        self.finished = true;
-        let Some(tel) = &self.telemetry else { return };
-        let wall_ns = u64::try_from(self.start_wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let sim_us = tel.now().saturating_since(self.start_sim).as_micros();
-        tel.profiler().exit(self.node, wall_ns, sim_us);
+        let Some(live) = self.live.take() else { return };
+        let wall_ns = u64::try_from(live.start_wall.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let sim_us = live.telemetry.now().saturating_since(live.start_sim).as_micros();
+        live.telemetry.profiler().exit(live.node, wall_ns, sim_us);
     }
 }
 

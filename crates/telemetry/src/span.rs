@@ -27,35 +27,39 @@ use oasis_sim::SimTime;
 use std::time::Instant;
 
 /// A live span; records its durations when dropped (or on [`Span::end`]).
+///
+/// On a disabled bus the span carries nothing: starting it reads no
+/// clock (logical or wall) and dropping it is a no-op, so guards can
+/// stay on hot paths without taxing telemetry-off runs.
 #[derive(Debug)]
 pub struct Span {
-    sim_hist: Option<Histogram>,
-    wall_hist: Option<Histogram>,
+    live: Option<SpanLive>,
+}
+
+#[derive(Debug)]
+struct SpanLive {
+    sim_hist: Histogram,
+    wall_hist: Histogram,
     start_sim: SimTime,
     start_wall: Instant,
     telemetry: Telemetry,
-    finished: bool,
 }
 
 impl Span {
     // oasis-lint: boundary(wall-clock, "span wall timing feeds telemetry histograms only; sim decisions read telemetry.now()")
     pub(crate) fn start(telemetry: &Telemetry, name: &'static str) -> Span {
-        let (sim_hist, wall_hist) = if telemetry.is_enabled() {
-            let m = telemetry.metrics();
-            (
-                Some(m.histogram("span_sim_us", &[("span", name)])),
-                Some(m.histogram("span_wall_ns", &[("span", name)])),
-            )
-        } else {
-            (None, None)
-        };
+        if !telemetry.is_enabled() {
+            return Span { live: None };
+        }
+        let m = telemetry.metrics();
         Span {
-            sim_hist,
-            wall_hist,
-            start_sim: telemetry.now(),
-            start_wall: Instant::now(),
-            telemetry: telemetry.clone(),
-            finished: false,
+            live: Some(SpanLive {
+                sim_hist: m.histogram("span_sim_us", &[("span", name)]),
+                wall_hist: m.histogram("span_wall_ns", &[("span", name)]),
+                start_sim: telemetry.now(),
+                start_wall: Instant::now(),
+                telemetry: telemetry.clone(),
+            }),
         }
     }
 
@@ -65,18 +69,11 @@ impl Span {
     }
 
     fn finish(&mut self) {
-        if self.finished {
-            return;
-        }
-        self.finished = true;
-        if let Some(h) = &self.sim_hist {
-            let elapsed = self.telemetry.now().saturating_since(self.start_sim);
-            h.record(elapsed.as_micros());
-        }
-        if let Some(h) = &self.wall_hist {
-            let ns = self.start_wall.elapsed().as_nanos();
-            h.record(u64::try_from(ns).unwrap_or(u64::MAX));
-        }
+        let Some(live) = self.live.take() else { return };
+        let elapsed = live.telemetry.now().saturating_since(live.start_sim);
+        live.sim_hist.record(elapsed.as_micros());
+        let ns = live.start_wall.elapsed().as_nanos();
+        live.wall_hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
     }
 }
 
