@@ -20,13 +20,19 @@
 //! * **sweep** — a figure8-style sweep (every figure-8 policy × the
 //!   consolidation-host axis × `OASIS_RUNS` seeds), run once on one
 //!   worker and once on `OASIS_JOBS` workers (default 4), reported as
-//!   wall seconds, simulations per second, and parallel speedup.
+//!   wall seconds, simulations per second, and parallel speedup;
+//! * **datacenter day** — the sharded multi-rack tier (`day_dc_*`
+//!   keys): a `Scale::DATACENTER`-shape day across `OASIS_DC_RACKS`
+//!   racks (default 5,000 ≈ 25k hosts / 200k VMs) on the event engine
+//!   with the global epoch planner, run on the parallel pool and
+//!   sequentially for the rack-parallel speedup, with per-rack wall
+//!   percentiles and the skip-accounting roll-up.
 //!
 //! Environment: `OASIS_PERF_SCALE=paper|smoke` picks the cluster scale
 //! (default `smoke`, the committed-baseline configuration), `OASIS_RUNS`
 //! the seeds per sweep point (default 5), `OASIS_JOBS` the parallel
-//! worker count (default 4), and `OASIS_PERF_OUT` the report path
-//! (default `BENCH_sim.json`).
+//! worker count (default 4), `OASIS_DC_RACKS` the datacenter rack count,
+//! and `OASIS_PERF_OUT` the report path (default `BENCH_sim.json`).
 //!
 //! `perf --check <baseline.json>` re-runs the bench and exits non-zero
 //! if either throughput drops below half the baseline's (a >2x
@@ -35,6 +41,7 @@
 use oasis_bench::timing::{monotonic_secs, wall};
 use oasis_bench::{outln, runs, Reporter};
 use oasis_cluster::experiments::{figure8_at, run_one_at, Scale, CONS_SWEEP};
+use oasis_cluster::shard::{run_datacenter_day, DatacenterConfig, PlannerScope};
 use oasis_cluster::{ClusterConfig, ClusterSim, DayPhases};
 use oasis_core::PolicyKind;
 use oasis_sim::pool::JOBS_ENV;
@@ -44,6 +51,19 @@ use oasis_trace::DayKind;
 
 /// Simulated seconds in the day workload (288 five-minute intervals).
 const DAY_SIM_SECS: f64 = 86_400.0;
+
+/// Racks in the datacenter workload; `OASIS_DC_RACKS` overrides (CI's
+/// bench-smoke leg runs 12 so the gate finishes in milliseconds).
+const DC_RACKS_ENV: &str = "OASIS_DC_RACKS";
+
+/// Absolute wall budget for the sharded datacenter day, scaled to the
+/// rack count: a fixed construction allowance plus a per-rack slice.
+/// The committed 5,000-rack baseline lands around 6.5 s single-core on
+/// the reference machine, so the full tier keeps ~4× headroom while a
+/// 12-rack CI leg still catches an order-of-magnitude regression.
+fn dc_budget_secs(racks: u32) -> f64 {
+    10.0 + 0.004 * f64::from(racks)
+}
 
 /// Absolute wall budget `--check` enforces on the event-engine paper
 /// day. The skip-ahead design target was 5 ms, but at §5.1 scale every
@@ -88,6 +108,27 @@ struct PerfReport {
     sweep_seq_sims_per_sec: f64,
     sweep_par_sims_per_sec: f64,
     speedup: f64,
+    /// The sharded datacenter day (`Scale::DATACENTER` shape,
+    /// `OASIS_DC_RACKS` racks, event engine, global epoch planner).
+    day_dc_racks: u32,
+    day_dc_hosts: u32,
+    day_dc_vms: u32,
+    day_dc_jobs: usize,
+    day_dc_wall_secs: f64,
+    /// Aggregate simulated seconds per wall second: every rack advances
+    /// one full day, so the numerator is `racks × 86_400`.
+    day_dc_sim_secs_per_sec: f64,
+    day_dc_seq_wall_secs: f64,
+    day_dc_speedup: f64,
+    /// Per-rack wall percentiles (construction + stepping + finish).
+    day_dc_rack_p50_secs: f64,
+    day_dc_rack_p99_secs: f64,
+    /// Skip-accounting roll-up across all racks (deterministic for a
+    /// fixed seed, so the committed baseline pins them).
+    day_dc_planner_replays: u64,
+    day_dc_cached_host_intervals: u64,
+    day_dc_fetch_skipped: u64,
+    day_dc_rebalance_grants: u64,
 }
 
 impl PerfReport {
@@ -116,7 +157,14 @@ impl PerfReport {
              \"day_paper_event_budget_secs\": {EVENT_DAY_BUDGET_SECS:.4},\n  \
              \"sweep_seq_wall_secs\": {:.4},\n  \
              \"sweep_par_wall_secs\": {:.4},\n  \"sweep_seq_sims_per_sec\": {:.3},\n  \
-             \"sweep_par_sims_per_sec\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
+             \"sweep_par_sims_per_sec\": {:.3},\n  \"speedup\": {:.2},\n  \
+             \"day_dc_racks\": {},\n  \"day_dc_hosts\": {},\n  \"day_dc_vms\": {},\n  \
+             \"day_dc_jobs\": {},\n  \"day_dc_wall_secs\": {:.4},\n  \
+             \"day_dc_sim_secs_per_sec\": {:.1},\n  \"day_dc_seq_wall_secs\": {:.4},\n  \
+             \"day_dc_speedup\": {:.2},\n  \"day_dc_rack_p50_secs\": {:.6},\n  \
+             \"day_dc_rack_p99_secs\": {:.6},\n  \"day_dc_planner_replays\": {},\n  \
+             \"day_dc_cached_host_intervals\": {},\n  \"day_dc_fetch_skipped\": {},\n  \
+             \"day_dc_rebalance_grants\": {},\n  \"day_dc_budget_secs\": {:.4}\n}}\n",
             self.scale_name,
             self.jobs,
             self.sweep_sims,
@@ -150,6 +198,21 @@ impl PerfReport {
             self.sweep_seq_sims_per_sec,
             self.sweep_par_sims_per_sec,
             self.speedup,
+            self.day_dc_racks,
+            self.day_dc_hosts,
+            self.day_dc_vms,
+            self.day_dc_jobs,
+            self.day_dc_wall_secs,
+            self.day_dc_sim_secs_per_sec,
+            self.day_dc_seq_wall_secs,
+            self.day_dc_speedup,
+            self.day_dc_rack_p50_secs,
+            self.day_dc_rack_p99_secs,
+            self.day_dc_planner_replays,
+            self.day_dc_cached_host_intervals,
+            self.day_dc_fetch_skipped,
+            self.day_dc_rebalance_grants,
+            dc_budget_secs(self.day_dc_racks),
         )
     }
 }
@@ -322,6 +385,65 @@ fn run_perf(out: &Reporter) -> PerfReport {
     out.sample("sweep_seq", (sweep_seq_wall_secs * 1e9) as u64, 1);
     out.sample("sweep_par", (sweep_par_wall_secs * 1e9) as u64, 1);
 
+    // Workload 3: the sharded datacenter day. Rack shape comes from
+    // `Scale::DATACENTER`; `OASIS_DC_RACKS` scales the rack count down
+    // for CI. Pinned to the event engine and the global epoch planner —
+    // the configuration the headline number is quoted for — and run
+    // once on the parallel pool and once sequentially for the
+    // rack-parallel speedup. The shard equivalence suite locks both
+    // runs byte-identical, so the comparison is pure scheduling.
+    let dc_racks = match std::env::var(DC_RACKS_ENV) {
+        Ok(v) => match v.parse::<u32>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("perf: invalid {DC_RACKS_ENV} {v:?} (positive rack count)");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => Scale::DATACENTER.racks,
+    };
+    let dc_scale = Scale { racks: dc_racks, ..Scale::DATACENTER };
+    let mut dc = DatacenterConfig::at(dc_scale, PolicyKind::FullToPartial, DayKind::Weekday, 1)
+        .planner(PlannerScope::Global);
+    dc.base.engine = EngineMode::EventDriven;
+    let (dc_report, day_dc_wall_secs) =
+        wall(|| run_datacenter_day(&WorkerPool::new(jobs), &dc, &monotonic_secs));
+    let (dc_seq_report, day_dc_seq_wall_secs) =
+        wall(|| run_datacenter_day(&WorkerPool::sequential(), &dc, &monotonic_secs));
+    let dc_stats = dc_report.stats_total();
+    debug_assert_eq!(dc_stats, dc_seq_report.stats_total());
+    let day_dc_sim_secs_per_sec = f64::from(dc_racks) * DAY_SIM_SECS / day_dc_wall_secs;
+    let day_dc_speedup = day_dc_seq_wall_secs / day_dc_wall_secs;
+    let mut rack_walls = dc_report.rack_wall_secs.clone();
+    rack_walls.sort_by(f64::total_cmp);
+    let day_dc_rack_p50_secs = rack_walls[rack_walls.len() / 2];
+    let day_dc_rack_p99_secs = rack_walls[((rack_walls.len() - 1) as f64 * 0.99).round() as usize];
+    outln!(
+        out,
+        "dc:     {day_dc_wall_secs:>8.3}s wall   {day_dc_sim_secs_per_sec:>10.0} sim-secs/sec  \
+         ({} racks = {} hosts / {} VMs, event engine)",
+        dc_report.racks,
+        dc_report.hosts,
+        dc_report.vms
+    );
+    outln!(
+        out,
+        "        {day_dc_seq_wall_secs:>8.3}s seq    ({day_dc_speedup:.2}x speedup on {jobs} \
+         workers)  rack p50 {day_dc_rack_p50_secs:.4}s  p99 {day_dc_rack_p99_secs:.4}s"
+    );
+    outln!(
+        out,
+        "        replays {}/{} epochs  cached {}/{} host-intervals  fetch skipped {}/{}  grants {}",
+        dc_stats.planner_replays,
+        dc_stats.planner_epochs,
+        dc_stats.cached_host_intervals,
+        dc_stats.host_intervals(),
+        dc_stats.fetch_skipped,
+        dc_stats.fetch_full + dc_stats.fetch_skipped,
+        dc_report.rebalance_grants,
+    );
+    out.sample("day_dc", (day_dc_wall_secs * 1e9) as u64, 1);
+
     PerfReport {
         scale_name,
         jobs,
@@ -344,6 +466,20 @@ fn run_perf(out: &Reporter) -> PerfReport {
         sweep_seq_sims_per_sec,
         sweep_par_sims_per_sec,
         speedup,
+        day_dc_racks: dc_report.racks,
+        day_dc_hosts: dc_report.hosts,
+        day_dc_vms: dc_report.vms,
+        day_dc_jobs: jobs,
+        day_dc_wall_secs,
+        day_dc_sim_secs_per_sec,
+        day_dc_seq_wall_secs,
+        day_dc_speedup,
+        day_dc_rack_p50_secs,
+        day_dc_rack_p99_secs,
+        day_dc_planner_replays: dc_stats.planner_replays,
+        day_dc_cached_host_intervals: dc_stats.cached_host_intervals,
+        day_dc_fetch_skipped: dc_stats.fetch_skipped,
+        day_dc_rebalance_grants: dc_report.rebalance_grants,
     }
 }
 
@@ -439,6 +575,89 @@ fn check(report: &PerfReport, baseline_path: &str, out: &Reporter) -> bool {
             "check day(paper,event) budget: {:.4}s ≤ {EVENT_DAY_BUDGET_SECS:.4}s — ok",
             report.day_paper_event_wall_secs
         );
+    }
+
+    // Datacenter-day gates. The absolute wall budget scales with the
+    // rack count, so it applies at any `OASIS_DC_RACKS`; the throughput
+    // comparison only makes sense against a baseline of the same rack
+    // count (CI's 12-rack smoke leg skips it against the committed
+    // 5,000-rack baseline).
+    let dc_budget = dc_budget_secs(report.day_dc_racks);
+    if report.day_dc_wall_secs > dc_budget {
+        eprintln!(
+            "perf: datacenter day over budget: {:.4}s > {dc_budget:.4}s ({} racks)",
+            report.day_dc_wall_secs, report.day_dc_racks
+        );
+        ok = false;
+    } else {
+        outln!(
+            out,
+            "check day(dc) budget: {:.4}s ≤ {dc_budget:.4}s ({} racks) — ok",
+            report.day_dc_wall_secs,
+            report.day_dc_racks
+        );
+    }
+    match json_f64(&text, "day_dc_racks") {
+        Some(base_racks) if base_racks == f64::from(report.day_dc_racks) => {
+            let base = json_f64(&text, "day_dc_sim_secs_per_sec").unwrap_or(0.0);
+            let ratio = base / report.day_dc_sim_secs_per_sec.max(1e-12);
+            if ratio > 2.0 {
+                eprintln!(
+                    "perf: REGRESSION on day(dc): {:.2} vs baseline {base:.2} ({ratio:.2}x slower)",
+                    report.day_dc_sim_secs_per_sec
+                );
+                ok = false;
+            } else {
+                outln!(
+                    out,
+                    "check day(dc): {:.2} vs baseline {base:.2} — ok",
+                    report.day_dc_sim_secs_per_sec
+                );
+            }
+        }
+        Some(_) => outln!(out, "check day(dc): baseline rack count differs — skipped"),
+        None => outln!(out, "check day(dc): baseline has no day_dc keys — skipped"),
+    }
+    // Rack-parallel speedup is only measurable with real cores behind
+    // the pool: gate it when the run had ≥8 workers, so single-core CI
+    // boxes and reduced-jobs runs don't fail on scheduling noise.
+    if report.day_dc_jobs >= 8 {
+        if report.day_dc_speedup < 4.0 {
+            eprintln!(
+                "perf: datacenter rack parallelism under 4x on {} workers: {:.2}x",
+                report.day_dc_jobs, report.day_dc_speedup
+            );
+            ok = false;
+        } else {
+            outln!(
+                out,
+                "check day(dc) speedup: {:.2}x on {} workers — ok",
+                report.day_dc_speedup,
+                report.day_dc_jobs
+            );
+        }
+    } else {
+        outln!(
+            out,
+            "check day(dc) speedup: {:.2}x on {} workers (<8, not gated)",
+            report.day_dc_speedup,
+            report.day_dc_jobs
+        );
+    }
+    // The structural-skipping payoff DESIGN.md §17 predicted must
+    // actually materialize at datacenter scale: the skip counters are
+    // deterministic, so zero means the sparse-rack regime regressed.
+    for (name, value) in [
+        ("planner replays", report.day_dc_planner_replays),
+        ("cached host-intervals", report.day_dc_cached_host_intervals),
+        ("fetch skips", report.day_dc_fetch_skipped),
+    ] {
+        if value == 0 {
+            eprintln!("perf: datacenter day recorded zero {name} — structural skipping is dead");
+            ok = false;
+        } else {
+            outln!(out, "check day(dc) {name}: {value} — ok");
+        }
     }
     ok
 }

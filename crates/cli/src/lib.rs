@@ -9,24 +9,34 @@
 //!              [--fault-profile light|heavy] [--trace-out PATH]
 //!              [--metrics-out PATH] [--log-level off|warn|info|debug]
 //!              [--fidelity per-page|batched] [--engine interval|event]
+//!              [--scale paper|smoke|datacenter] [--racks N]
+//!              [--planner global|local] [--jobs N]
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
 //!              [--jobs N] [--fidelity per-page|batched]
 //!              [--engine interval|event]
 //! oasis micro  [--seed S] [--fidelity per-page|batched]
 //! oasis report [same sim flags] [--format text|json] [--top N]
 //!              [--wall true] [--folded PATH] [--folded-metric wall|sim|calls]
-//!              [--audit-out PATH] [--out PATH]
+//!              [--audit-out PATH] [--out PATH] [--scorecard true]
 //! oasis trace  generate [--users N] [--weeks N] [--seed S] [--out PATH]
 //! oasis trace  stats <PATH>
 //! ```
 //!
 //! Flags accept both `--flag value` and `--flag=value`.
+//!
+//! `--scale` picks a canned deployment shape (the paper's §5.1 rack, the
+//! reduced smoke rack, or the 5,000-rack datacenter tier); `--racks`
+//! overrides its rack count. Any run spanning more than one rack goes
+//! through the sharded datacenter engine ([`oasis_cluster::shard`]):
+//! `sim` prints the fleet summary and `report` renders the per-rack
+//! digest, both byte-identical across `--jobs` worker counts.
 
 pub mod args;
 pub mod report;
 
 use args::Args;
-use oasis_cluster::experiments::run_week_on;
+use oasis_cluster::experiments::{run_week_on, Scale};
+use oasis_cluster::shard::{planner_scorecard, run_datacenter_day, DatacenterConfig, PlannerScope};
 use oasis_cluster::{ClusterConfig, ClusterSim};
 use oasis_core::PolicyKind;
 use oasis_faults::{FaultProfile, FaultSchedule};
@@ -47,14 +57,18 @@ fn usage() -> ! {
          \x20             [--memserver-watts 42.2] [--faults schedule.txt] \\\n\
          \x20             [--fault-profile light|heavy] [--trace-out events.jsonl] \\\n\
          \x20             [--metrics-out metrics.prom] [--log-level debug] \\\n\
-         \x20             [--fidelity per-page|batched] [--engine interval|event]\n\
+         \x20             [--fidelity per-page|batched] [--engine interval|event] \\\n\
+         \x20             [--scale paper|smoke|datacenter] [--racks N] \\\n\
+         \x20             [--planner global|local] [--jobs N]\n\
          oasis week   --policy FulltoPartial --seed 1 [--jobs N] \\\n\
          \x20             [--fidelity per-page|batched] [--engine interval|event]\n\
          oasis micro  --seed 1 [--fidelity per-page|batched]\n\
          oasis report --policy FulltoPartial --day weekday --seed 1 \\\n\
          \x20             [--format text|json] [--top 10] [--wall true] \\\n\
          \x20             [--folded profile.folded] [--folded-metric wall|sim|calls] \\\n\
-         \x20             [--audit-out audit.jsonl] [--out report.txt]\n\
+         \x20             [--audit-out audit.jsonl] [--out report.txt] \\\n\
+         \x20             [--scale datacenter] [--racks N] [--planner global|local] \\\n\
+         \x20             [--jobs N] [--scorecard true]\n\
          oasis trace  generate --users 22 --weeks 17 --seed 1 --out traces.txt\n\
          oasis trace  stats traces.txt"
     );
@@ -74,22 +88,65 @@ fn parse_day(s: &str) -> DayKind {
     }
 }
 
+/// The deployment shape preset named by `--scale`, if any.
+fn scale_from(args: &Args) -> Option<Scale> {
+    args.get("scale").map(|s| match s.to_ascii_lowercase().as_str() {
+        "paper" => Scale::PAPER,
+        "smoke" => Scale::SMOKE,
+        "datacenter" | "dc" => Scale::DATACENTER,
+        other => fail(format!("unknown scale {other:?} (paper|smoke|datacenter)")),
+    })
+}
+
+/// Racks requested by `--racks`, defaulting to the `--scale` preset's
+/// count (1 without a preset). More than one rack routes the command
+/// through the sharded datacenter engine.
+fn racks_from(args: &Args) -> u32 {
+    let default = scale_from(args).map_or(1, |s| s.racks);
+    match args.get_or("racks", default).unwrap_or_else(|e| fail(e)) {
+        0 => fail("--racks wants a count ≥ 1"),
+        racks => racks,
+    }
+}
+
+/// Epoch-planner policy requested by `--planner` (global by default).
+fn planner_from(args: &Args) -> PlannerScope {
+    match args.get("planner") {
+        Some(p) => PlannerScope::parse(p)
+            .unwrap_or_else(|| fail(format!("unknown planner {p:?} (global|local)"))),
+        None => PlannerScope::default(),
+    }
+}
+
 fn cluster_config(args: &Args) -> ClusterConfig {
     let policy: PolicyKind = args
         .get("policy")
         .map(|p| p.parse().unwrap_or_else(|e| fail(e)))
         .unwrap_or(PolicyKind::FullToPartial);
     let day = parse_day(args.get("day").unwrap_or("weekday"));
+    // `--scale` swaps the shape defaults; explicit --homes/--cons/--vms
+    // still win. `--racks` folds into the preset first so the
+    // per-rack memory and consolidation defaults track the effective
+    // tier (multi-rack presets run sparse 32 GiB micro-racks).
+    let scale = scale_from(args)
+        .map(|s| Scale { racks: args.get_or("racks", s.racks).unwrap_or_else(|e| fail(e)), ..s });
+    let (homes, cons, vms) = match scale {
+        Some(s) => (s.home_hosts, s.default_cons(), s.vms_per_host),
+        None => (30, 4, 30),
+    };
     let mut builder = ClusterConfig::builder()
         .policy(policy)
         .day(day)
-        .home_hosts(args.get_or("homes", 30).unwrap_or_else(|e| fail(e)))
-        .consolidation_hosts(args.get_or("cons", 4).unwrap_or_else(|e| fail(e)))
-        .vms_per_host(args.get_or("vms", 30).unwrap_or_else(|e| fail(e)))
+        .home_hosts(args.get_or("homes", homes).unwrap_or_else(|e| fail(e)))
+        .consolidation_hosts(args.get_or("cons", cons).unwrap_or_else(|e| fail(e)))
+        .vms_per_host(args.get_or("vms", vms).unwrap_or_else(|e| fail(e)))
         .seed(args.get_or("seed", 1).unwrap_or_else(|e| fail(e)))
         .interval(SimDuration::from_mins(
             args.get_or("interval-mins", 5).unwrap_or_else(|e| fail(e)),
         ));
+    if let Some(s) = scale {
+        builder = builder.host_memory(s.host_memory());
+    }
     if let Some(watts) = args.get("memserver-watts") {
         let watts: f64 = watts.parse().unwrap_or_else(|_| fail("bad --memserver-watts"));
         builder = builder.memserver(MemoryServerProfile::with_budget_watts(watts));
@@ -171,6 +228,10 @@ const SIM_FLAGS: &[&str] = &[
     "log-level",
     "fidelity",
     "engine",
+    "scale",
+    "racks",
+    "planner",
+    "jobs",
 ];
 
 /// Builds the telemetry bus requested by `--trace-out`, `--metrics-out`
@@ -206,7 +267,45 @@ fn write_metrics(telemetry: &Telemetry, path: &str) {
     std::fs::write(path, text).unwrap_or_else(|e| fail(e));
 }
 
+/// Runs a sharded multi-rack day and prints the fleet summary:
+/// totals, the epoch planner's rebalance ledger, SLA violations and
+/// the event engine's skip accounting. Deterministic for a fixed seed,
+/// byte-identical across `--jobs` worker counts.
+fn cmd_sim_datacenter(args: &Args, racks: u32) {
+    for flag in ["trace-out", "metrics-out", "log-level"] {
+        if args.get(flag).is_some() {
+            fail(format!("--{flag} applies to the single-rack day (racks = 1)"));
+        }
+    }
+    let dc = DatacenterConfig { base: cluster_config(args), racks, planner: planner_from(args) };
+    let mut report = run_datacenter_day(&pool_from(args), &dc, &|| 0.0);
+    let stats = report.stats_total();
+    println!(
+        "datacenter {:<14} racks={} hosts={} vms={} planner={}",
+        dc.base.policy, report.racks, report.hosts, report.vms, report.planner
+    );
+    println!(
+        "savings={:>6.1}% baseline={:.1}kWh actual={:.1}kWh",
+        report.energy_savings * 100.0,
+        report.baseline_kwh,
+        report.total_kwh
+    );
+    let sla = report.sla_violations(oasis_cluster::shard::SLA_THRESHOLD_SECS);
+    println!(
+        "rebalance: grants={} bytes={}   sla violations (>10s): {}",
+        report.rebalance_grants, report.rebalance_bytes, sla
+    );
+    println!(
+        "engine: replays={} cached-host-intervals={} fetch-skipped={}",
+        stats.planner_replays, stats.cached_host_intervals, stats.fetch_skipped
+    );
+}
+
 fn cmd_sim(args: Args) {
+    let racks = racks_from(&args);
+    if racks > 1 {
+        return cmd_sim_datacenter(&args, racks);
+    }
     let cfg = cluster_config(&args);
     let telemetry = telemetry_from(&args);
     let mut sim = ClusterSim::new(cfg);
@@ -255,9 +354,52 @@ const REPORT_FLAGS: &[&str] = &[
     "folded-metric",
     "audit-out",
     "out",
+    "scale",
+    "racks",
+    "planner",
+    "jobs",
+    "scorecard",
 ];
 
+/// Renders the datacenter digest (`oasis report` with racks > 1): fleet
+/// totals plus one fixed-order line per rack. Byte-identical across
+/// reruns and `--jobs` worker counts.
+fn cmd_report_datacenter(args: &Args, racks: u32) {
+    for flag in ["wall", "top", "folded", "folded-metric", "audit-out"] {
+        if args.get(flag).is_some() {
+            fail(format!("--{flag} applies to the single-rack report (racks = 1)"));
+        }
+    }
+    let dc = DatacenterConfig { base: cluster_config(args), racks, planner: planner_from(args) };
+    let mut report = run_datacenter_day(&pool_from(args), &dc, &|| 0.0);
+    let text = match args.get("format").unwrap_or("text") {
+        "text" => report::render_datacenter_text(&mut report),
+        "json" => report::render_datacenter_json(&mut report),
+        other => fail(format!("unknown report format {other:?} (text|json)")),
+    };
+    match args.get("out") {
+        Some(path) => std::fs::write(path, text).unwrap_or_else(|e| fail(e)),
+        None => print!("{text}"),
+    }
+}
+
+/// Prints the global-vs-local planner scorecard for the requested shape:
+/// two fixed-order table lines, seeded and golden-testable.
+fn cmd_report_scorecard(args: &Args, racks: u32) {
+    let dc = DatacenterConfig { base: cluster_config(args), racks, planner: planner_from(args) };
+    for row in planner_scorecard(&pool_from(args), &dc, &|| 0.0) {
+        println!("{}", row.table_line());
+    }
+}
+
 fn cmd_report(args: Args) {
+    let racks = racks_from(&args);
+    if args.get_or("scorecard", false).unwrap_or_else(|e| fail(e)) {
+        return cmd_report_scorecard(&args, racks);
+    }
+    if racks > 1 {
+        return cmd_report_datacenter(&args, racks);
+    }
     let cfg = cluster_config(&args);
     let include_wall = args.get_or("wall", false).unwrap_or_else(|e| fail(e));
     let top = args.get_or("top", 10usize).unwrap_or_else(|e| fail(e));

@@ -6,7 +6,8 @@
 //! quiescence ledger. Output is byte-deterministic for a fixed seed
 //! unless wall-clock fields are explicitly requested (`--wall true`).
 
-use oasis_cluster::{ClusterConfig, ClusterSim, SimReport};
+use oasis_cluster::shard::SLA_THRESHOLD_SECS;
+use oasis_cluster::{ClusterConfig, ClusterSim, DatacenterReport, SimReport};
 use oasis_telemetry::{
     BufferSink, Event, EventRecord, FoldedMetric, Level, ProfileTree, Telemetry,
 };
@@ -217,12 +218,108 @@ pub fn render_text(run: &RunReport, top: usize, include_wall: bool) -> String {
     );
     let _ = writeln!(
         out,
-        "vm-intervals={} quiescent={} ({:.1}%) — sizing evidence for event-driven \
-         interval skipping (ROADMAP item 1)",
+        "vm-intervals={} quiescent={} ({:.1}%) — sizing evidence for the event \
+         engine's structural skipping (DESIGN.md §17–18)",
         q.vm_intervals,
         q.vm_quiescent,
         q.vm_fraction() * 100.0
     );
+    out
+}
+
+/// Renders the datacenter digest: fleet totals, the epoch planner's
+/// rebalance ledger, the event engine's skip accounting, and one
+/// fixed-order line per rack (energy, SLA violations, migrations,
+/// quiescent fraction). Byte-deterministic for a fixed seed — across
+/// reruns and across `--jobs`/`OASIS_JOBS` worker counts, which the
+/// shard-equivalence suite and the unit test below both enforce.
+pub fn render_datacenter_text(report: &mut DatacenterReport) -> String {
+    let stats = report.stats_total();
+    let sla = report.sla_violations(SLA_THRESHOLD_SECS);
+    let mut out = String::new();
+    let _ = writeln!(out, "== datacenter ==");
+    let _ = writeln!(
+        out,
+        "racks={} hosts={} vms={} planner={}",
+        report.racks, report.hosts, report.vms, report.planner
+    );
+    let _ = writeln!(
+        out,
+        "baseline={:.3}kWh actual={:.3}kWh savings={:.1}%",
+        report.baseline_kwh,
+        report.total_kwh,
+        report.energy_savings * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "rebalance: grants={} bytes={}",
+        report.rebalance_grants, report.rebalance_bytes
+    );
+    let _ = writeln!(
+        out,
+        "engine: replays={} cached-host-intervals={} fetch-skipped={}",
+        stats.planner_replays, stats.cached_host_intervals, stats.fetch_skipped
+    );
+    let _ = writeln!(out, "sla violations (>{SLA_THRESHOLD_SECS:.0}s): {sla}");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "== racks ==");
+    for (rack, r) in report.rack_reports.iter_mut().enumerate() {
+        let sla = r.sla_violations(SLA_THRESHOLD_SECS);
+        let migrations = r.migrations.full + r.migrations.partial;
+        let _ = writeln!(
+            out,
+            "rack {rack:>5}  kwh={kwh:>9.3}  sla_violations={sla:>5}  migrations={mig:>5}  \
+             quiescent={quiet:>5.1}%",
+            kwh = r.total_kwh,
+            mig = migrations,
+            quiet = r.quiescence.host_fraction() * 100.0
+        );
+    }
+    out
+}
+
+/// The datacenter digest as JSON (field order fixed for byte-stable
+/// artifacts, like [`render_json`]).
+pub fn render_datacenter_json(report: &mut DatacenterReport) -> String {
+    let stats = report.stats_total();
+    let sla = report.sla_violations(SLA_THRESHOLD_SECS);
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        r#""racks":{},"planner":"{}","hosts":{},"vms":{},"baseline_kwh":{},"total_kwh":{},"savings":{},"rebalance_grants":{},"rebalance_bytes":{},"sla_violations":{}"#,
+        report.racks,
+        report.planner,
+        report.hosts,
+        report.vms,
+        report.baseline_kwh,
+        report.total_kwh,
+        report.energy_savings,
+        report.rebalance_grants,
+        report.rebalance_bytes,
+        sla
+    );
+    let _ = write!(
+        out,
+        r#","engine":{{"planner_replays":{},"cached_host_intervals":{},"fetch_skipped":{}}}"#,
+        stats.planner_replays, stats.cached_host_intervals, stats.fetch_skipped
+    );
+    out.push_str(",\"racks_digest\":[");
+    for (rack, r) in report.rack_reports.iter_mut().enumerate() {
+        if rack > 0 {
+            out.push(',');
+        }
+        let sla = r.sla_violations(SLA_THRESHOLD_SECS);
+        let _ = write!(
+            out,
+            r#"{{"rack":{},"kwh":{},"sla_violations":{},"migrations":{},"quiescent_fraction":{}}}"#,
+            rack,
+            r.total_kwh,
+            sla,
+            r.migrations.full + r.migrations.partial,
+            r.quiescence.host_fraction()
+        );
+    }
+    out.push_str("]}");
     out
 }
 
@@ -318,4 +415,33 @@ pub fn render_json(run: &RunReport, top: usize, include_wall: bool) -> String {
     );
     out.push('}');
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_cluster::experiments::Scale;
+    use oasis_cluster::shard::{run_datacenter_day, DatacenterConfig};
+    use oasis_core::PolicyKind;
+    use oasis_sim::WorkerPool;
+    use oasis_trace::DayKind;
+
+    /// The `oasis report` datacenter digest is byte-identical across
+    /// worker counts — the CLI-facing face of the shard-equivalence
+    /// contract.
+    #[test]
+    fn datacenter_digest_is_byte_identical_across_worker_counts() {
+        let scale = Scale { home_hosts: 6, vms_per_host: 10, racks: 3 };
+        let dc = DatacenterConfig::at(scale, PolicyKind::FullToPartial, DayKind::Weekday, 1);
+        let render = |pool: &WorkerPool| {
+            let mut report = run_datacenter_day(pool, &dc, &|| 0.0);
+            (render_datacenter_text(&mut report), render_datacenter_json(&mut report))
+        };
+        let (seq_text, seq_json) = render(&WorkerPool::sequential());
+        let (par_text, par_json) = render(&WorkerPool::new(3));
+        assert!(seq_text.contains("== racks ==\nrack     0  kwh="));
+        assert!(seq_json.starts_with(r#"{"racks":3,"planner":"global","hosts":21,"vms":180,"#));
+        assert_eq!(seq_text, par_text);
+        assert_eq!(seq_json, par_json);
+    }
 }

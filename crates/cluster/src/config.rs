@@ -90,6 +90,17 @@ pub struct ClusterConfig {
     /// default) synthesizes a library equivalent to the §5.1 corpus; pass
     /// a [`TraceSet`] to drive the simulation from recorded traces.
     pub trace: Option<TraceSet>,
+    /// Rotates every sampled user-day this many intervals later in the
+    /// day (wrapping at midnight). The datacenter tier staggers racks by
+    /// timezone with this knob so quiescence windows actually differ
+    /// across racks. Zero (the default) leaves traces untouched.
+    pub trace_rotation: u32,
+    /// Seed for the synthetic trace library, when it differs from the
+    /// run seed. Rack shards set this to the base seed so every rack
+    /// samples from one shared (memoized) corpus while keeping distinct
+    /// per-rack run seeds. `None` (the default) derives the library from
+    /// [`ClusterConfig::seed`] as before.
+    pub trace_seed: Option<u64>,
     /// Destination-selection strategy (§3.1 uses random placement).
     pub placement: PlacementStrategy,
     /// Workload-class mix of the VM population, as `(class, weight)`
@@ -159,6 +170,8 @@ impl Default for ClusterConfigBuilder {
                 wol_loss_rate: 0.0,
                 faults: FaultSchedule::none(),
                 trace: None,
+                trace_rotation: 0,
+                trace_seed: None,
                 placement: PlacementStrategy::Random,
                 workload_mix: vec![(WorkloadClass::Desktop, 1.0)],
                 fidelity: oasis_sim::ModelFidelity::from_env(),
@@ -245,6 +258,19 @@ impl ClusterConfigBuilder {
     /// Supplies a recorded trace library instead of the synthetic model.
     pub fn trace(mut self, set: TraceSet) -> Self {
         self.config.trace = Some(set);
+        self
+    }
+
+    /// Rotates sampled user-days `k` intervals later (timezone stagger).
+    pub fn trace_rotation(mut self, k: u32) -> Self {
+        self.config.trace_rotation = k;
+        self
+    }
+
+    /// Pins the synthetic trace-library seed independently of the run
+    /// seed (rack shards share one corpus this way).
+    pub fn trace_seed(mut self, s: u64) -> Self {
+        self.config.trace_seed = Some(s);
         self
     }
 

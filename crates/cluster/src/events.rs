@@ -59,10 +59,28 @@ pub(crate) fn interval_start(i: usize) -> SimTime {
     SimTime::from_secs(i as u64 * INTERVAL_SECS as u64)
 }
 
+thread_local! {
+    /// Retired schedule buffers awaiting reuse on this thread.
+    ///
+    /// `DaySchedule::build` allocates ~290 vectors per day; across a
+    /// `run_week` (seven days per worker) or a datacenter shard sweep
+    /// (hundreds of racks per worker) the construct phase was dominated
+    /// by re-allocating and re-freeing the same shapes. Recycled
+    /// schedules park here — `build` pops one and resets it in place,
+    /// touching capacity only when the cluster shape grew. Thread-local
+    /// keeps the pool lock-free and the worker-pool inline path (jobs=1)
+    /// reuses it across every simulation in the process.
+    static SCHEDULE_POOL: std::cell::RefCell<Vec<DaySchedule>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Retired schedules kept per thread; beyond this they drop normally.
+const SCHEDULE_POOL_CAP: usize = 4;
+
 /// Everything about a simulated day that is a pure function of the
 /// (immutable) user traces and fault schedule, computed once at
 /// construction instead of rediscovered by per-interval scans.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub(crate) struct DaySchedule {
     /// Per interval: indices of VMs whose trace has a session edge
     /// there, ascending — exactly the VMs `apply_trace`'s full scan
@@ -91,9 +109,23 @@ impl DaySchedule {
         let n = INTERVALS_PER_DAY;
         let homes = cfg.home_hosts as usize;
         let vph = cfg.vms_per_host as usize;
-        let mut transitions = vec![Vec::new(); n];
-        let mut active = vec![0u32; n];
-        let mut baseline = vec![vec![0u32; homes]; n];
+        // Reuse a recycled schedule's buffers when one is parked on this
+        // thread; reset is cheap (memset-shaped) and the resize calls
+        // only allocate when the cluster shape grew.
+        let recycled = SCHEDULE_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        let DaySchedule { mut transitions, mut active, mut baseline, mut fault_tick } = recycled;
+        transitions.iter_mut().for_each(Vec::clear);
+        transitions.resize_with(n, Vec::new);
+        transitions.truncate(n);
+        active.clear();
+        active.resize(n, 0u32);
+        for b in &mut baseline {
+            b.clear();
+            b.resize(homes, 0u32);
+        }
+        baseline.resize_with(n, || vec![0u32; homes]);
+        baseline.truncate(n);
+        fault_tick.clear();
         for (vi, user) in users.iter().enumerate() {
             let home = vi / vph.max(1);
             let mut prev = false;
@@ -112,7 +144,7 @@ impl DaySchedule {
             }
         }
 
-        let mut fault_tick = vec![false; n];
+        fault_tick.resize(n, false);
         if !cfg.faults.is_empty() {
             // Replays exactly the queries `apply_faults` makes at each
             // boundary; an interval ticks iff any of them would observe
@@ -144,6 +176,32 @@ impl DaySchedule {
         }
 
         DaySchedule { transitions, active, baseline, fault_tick }
+    }
+
+    /// Returns this schedule's buffers to the thread-local pool for the
+    /// next [`DaySchedule::build`] on this thread. The engine calls it
+    /// when the day loop retires the schedule; dropping instead of
+    /// recycling is always correct, just slower.
+    pub(crate) fn recycle(self) {
+        SCHEDULE_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < SCHEDULE_POOL_CAP {
+                pool.push(self);
+            }
+        });
+    }
+
+    /// Whether the planner's replay gate can ever validate on this
+    /// schedule. An empty planning round is replayable only if nothing
+    /// bumped the view version since it was captured — and every session
+    /// edge bumps it. With an edge in *every* interval after the first,
+    /// the gate is structurally dead: capturing fingerprints for it is
+    /// pure overhead, so the engine skips that bookkeeping entirely.
+    /// (§5.1-scale weekdays hit this — 900 desktops leave no edge-free
+    /// interval — which is exactly what BENCH_sim.json's zero
+    /// `planner_replays` showed.)
+    pub(crate) fn gate_live(&self) -> bool {
+        (1..INTERVALS_PER_DAY).any(|i| self.transitions[i].is_empty())
     }
 
     /// Seeds the next-wake heap with the day's static events: one
@@ -348,6 +406,45 @@ mod tests {
         schedule.seed_heap(&mut heap);
         assert_eq!(heap.len(), 1);
         assert_eq!(heap.pop(), Some((SimTime::ZERO, WakeEvent::PlannerEpoch)));
+    }
+
+    #[test]
+    fn recycled_schedule_rebuilds_byte_identical() {
+        let mut rng = SimRng::new(23);
+        let users = random_users(12, &mut rng);
+        let faults =
+            FaultSchedule::random(FaultProfile::heavy(), 4, SimDuration::from_secs(86_400), 23);
+        let cfg = cfg_with(12, faults);
+        let fresh = DaySchedule::build(&cfg, &users);
+        fresh.clone().recycle();
+        // The recycled buffers must reset fully — same schedule out.
+        assert_eq!(DaySchedule::build(&cfg, &users), fresh);
+        // A recycled large schedule must also serve a smaller shape
+        // (fewer homes) without ghost counts from the previous tenant.
+        let small_users = random_users(4, &mut rng);
+        let small_cfg = ClusterConfig::builder()
+            .home_hosts(2)
+            .vms_per_host(2)
+            .consolidation_hosts(1)
+            .seed(1)
+            .build()
+            .expect("valid test configuration");
+        let small_fresh = DaySchedule::build(&small_cfg, &small_users);
+        fresh.recycle();
+        assert_eq!(DaySchedule::build(&small_cfg, &small_users), small_fresh);
+    }
+
+    #[test]
+    fn gate_live_tracks_edge_free_intervals() {
+        // All-idle users: every interval after 0 is edge-free.
+        let idle = vec![UserDay::all_idle(DayKind::Weekday); 8];
+        let cfg = cfg_with(8, FaultSchedule::none());
+        assert!(DaySchedule::build(&cfg, &idle).gate_live());
+        // A user flipping state every interval leaves no edge-free
+        // interval — the replay gate can never validate.
+        let stripe: Vec<bool> = (0..INTERVALS_PER_DAY).map(|i| i % 2 == 0).collect();
+        let busy = vec![UserDay::new(DayKind::Weekday, stripe); 8];
+        assert!(!DaySchedule::build(&cfg, &busy).gate_live());
     }
 
     #[test]

@@ -24,26 +24,81 @@ use oasis_trace::DayKind;
 
 use crate::config::ClusterConfig;
 use crate::results::SimReport;
+use crate::shard::{DatacenterConfig, DatacenterReport, PlannerScope, ScorecardRow};
 use crate::sim::ClusterSim;
 
 /// Cluster scale an experiment runs at.
 ///
 /// [`Scale::PAPER`] is §5.1's rack; [`Scale::SMOKE`] is the reduced rack
-/// the perf bench and CI smoke jobs use so a sweep finishes in seconds.
+/// the perf bench and CI smoke jobs use so a sweep finishes in seconds;
+/// [`Scale::DATACENTER`] is the sharded multi-rack tier (one simulated
+/// rack per [`crate::shard`] shard).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Scale {
-    /// Number of home (compute) hosts.
+    /// Number of home (compute) hosts per rack.
     pub home_hosts: u32,
     /// VMs packed per home host.
     pub vms_per_host: u32,
+    /// Racks simulated (1 = the paper's single-rack setup; the day is
+    /// sharded per rack above that).
+    pub racks: u32,
 }
 
 impl Scale {
-    /// The paper's §5.1 deployment: 30 home hosts × 30 VMs.
-    pub const PAPER: Scale = Scale { home_hosts: 30, vms_per_host: 30 };
+    /// The paper's §5.1 deployment: 30 home hosts × 30 VMs, one rack.
+    pub const PAPER: Scale = Scale { home_hosts: 30, vms_per_host: 30, racks: 1 };
 
     /// A reduced rack for smoke/perf runs: 6 home hosts × 10 VMs.
-    pub const SMOKE: Scale = Scale { home_hosts: 6, vms_per_host: 10 };
+    pub const SMOKE: Scale = Scale { home_hosts: 6, vms_per_host: 10, racks: 1 };
+
+    /// The datacenter tier: 5,000 micro-racks of 4 home + 1
+    /// consolidation host (25,000 hosts) packing 10 VMs per home
+    /// (200,000 VMs). Racks are far sparser than the paper's (40 VMs vs
+    /// 900) so whole racks actually quiesce overnight — the regime
+    /// where the event engine's structural skipping pays (DESIGN.md
+    /// §17: planner replays and fetch skips only fire on intervals with
+    /// no session edge anywhere in the shard) — and trace offsets
+    /// stagger by timezone (one hour per rack, round-robin over 24
+    /// zones), so the consolidation wave sweeps across the fleet and
+    /// the epoch planner has simultaneous donors and borrowers to
+    /// match.
+    pub const DATACENTER: Scale = Scale { home_hosts: 4, vms_per_host: 10, racks: 5_000 };
+
+    /// Consolidation hosts per rack conventionally paired with this
+    /// scale (the paper's 4 for single-rack tiers, 1 for the sparse
+    /// datacenter micro-racks).
+    pub fn default_cons(&self) -> u32 {
+        if self.racks > 1 {
+            1
+        } else {
+            4
+        }
+    }
+
+    /// Host memory conventionally paired with this scale: datacenter
+    /// racks run 32 GiB hosts so a rack's 40 idle working sets genuinely
+    /// load its consolidation host (utilization swings ~0.1 → 1.0 with
+    /// the timezone wave, which is what gives the epoch planner's
+    /// donor/borrower thresholds something to discriminate); single-rack
+    /// tiers keep the paper's 128 GiB.
+    pub fn host_memory(&self) -> oasis_mem::ByteSize {
+        if self.racks > 1 {
+            oasis_mem::ByteSize::gib(32)
+        } else {
+            oasis_mem::ByteSize::gib(128)
+        }
+    }
+
+    /// Total hosts across all racks, with `cons` consolidation hosts
+    /// per rack.
+    pub fn total_hosts(&self, cons: u32) -> u32 {
+        self.racks * (self.home_hosts + cons)
+    }
+
+    /// Total VMs across all racks.
+    pub fn total_vms(&self) -> u32 {
+        self.racks * self.home_hosts * self.vms_per_host
+    }
 }
 
 /// The consolidation-host sweep shared by Figures 8 and 11.
@@ -272,6 +327,31 @@ pub fn figure12_on(pool: &WorkerPool, day: DayKind, runs: u64) -> Vec<(u32, u32,
         }
     }
     out
+}
+
+/// Runs one sharded datacenter day at `scale` under the paper's default
+/// FulltoPartial policy (pool sized from `OASIS_JOBS`).
+pub fn run_datacenter(scale: Scale, planner: PlannerScope, seed: u64) -> DatacenterReport {
+    run_datacenter_on(&WorkerPool::from_env(), scale, planner, seed)
+}
+
+/// [`run_datacenter`] on an explicit worker pool.
+pub fn run_datacenter_on(
+    pool: &WorkerPool,
+    scale: Scale,
+    planner: PlannerScope,
+    seed: u64,
+) -> DatacenterReport {
+    let dc = DatacenterConfig::at(scale, PolicyKind::FullToPartial, DayKind::Weekday, seed)
+        .planner(planner);
+    crate::shard::run_datacenter_day(pool, &dc, &|| 0.0)
+}
+
+/// The global-vs-local epoch-planner scorecard (ROADMAP item 3's shape:
+/// energy, SLA violations, migration bytes per policy) at `scale`.
+pub fn datacenter_scorecard_at(pool: &WorkerPool, scale: Scale, seed: u64) -> Vec<ScorecardRow> {
+    let dc = DatacenterConfig::at(scale, PolicyKind::FullToPartial, DayKind::Weekday, seed);
+    crate::shard::planner_scorecard(pool, &dc, &|| 0.0)
 }
 
 #[cfg(test)]

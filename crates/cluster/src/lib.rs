@@ -15,6 +15,8 @@
 //!   locked byte-identical by the three-way equivalence battery.
 //! * [`results`] — the per-run report every figure is printed from.
 //! * [`experiments`] — canned configurations for each table and figure.
+//! * [`shard`] — the datacenter tier: rack-sharded parallel simulation
+//!   with deterministic epoch-barrier planning across racks.
 
 #![warn(missing_docs)]
 
@@ -23,9 +25,14 @@ pub mod engine;
 mod events;
 pub mod experiments;
 pub mod results;
+pub mod shard;
 pub mod sim;
 
 pub use config::{ClusterConfig, ClusterConfigBuilder};
 pub use engine::EngineStats;
 pub use results::{DecisionCounts, SimReport, VmPlacement};
+pub use shard::{
+    planner_scorecard, rack_config, run_datacenter_day, run_datacenter_day_with, DatacenterConfig,
+    DatacenterReport, PlannerScope, ScorecardRow,
+};
 pub use sim::{ClusterSim, DayPhases};

@@ -147,6 +147,17 @@ impl SimReport {
         self.traffic.network_total()
     }
 
+    /// Number of idle→active transitions whose user-perceived delay
+    /// exceeded `threshold_secs` — the scorecard's SLA-violation count
+    /// (ROADMAP item 3: resume latency over threshold).
+    pub fn sla_violations(&mut self, threshold_secs: f64) -> u64 {
+        if self.transition_delays.is_empty() {
+            return 0;
+        }
+        let over = 1.0 - self.transition_delays.fraction_le(threshold_secs);
+        (over * self.transition_delays.len() as f64).round() as u64
+    }
+
     /// Structural integrity checks over the final placements: every VM
     /// accounted for exactly once, on a real host, and no partial replica
     /// resident at its own home (a partial at home would mean its memory
@@ -246,6 +257,17 @@ mod tests {
         r.transition_delays.record(3.7);
         r.transition_delays.record(6.0);
         assert!((r.zero_delay_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sla_violations_count_delays_over_threshold() {
+        let mut r = report();
+        assert_eq!(r.sla_violations(10.0), 0, "no transitions → no violations");
+        for d in [0.0, 0.0, 3.7, 9.9, 10.5, 40.0] {
+            r.transition_delays.record(d);
+        }
+        assert_eq!(r.sla_violations(10.0), 2);
+        assert_eq!(r.sla_violations(0.5), 4);
     }
 
     #[test]

@@ -389,6 +389,12 @@ pub struct ClusterSim {
     /// construction, so the capacity-exhaustion sweep reuses this
     /// instead of re-filtering (and re-allocating) every interval.
     cons_hosts: Vec<HostId>,
+    /// Effective capacity the capacity-exhaustion sweep holds the
+    /// consolidation hosts to. Starts at `cfg.effective_capacity()` and
+    /// only the datacenter epoch planner ever moves it (via
+    /// [`Self::set_cons_capacity`]) when a rack borrows or donates
+    /// headroom; a standalone rack never sees it change.
+    cons_capacity: ByteSize,
     /// Indices of full (non-partial) idle VMs currently located on
     /// consolidation hosts, ascending — the candidate superset of the
     /// planner's exchange pass. Maintained at the location/partial/state
@@ -453,13 +459,25 @@ impl ClusterSim {
         // sweeps re-running the same seed stop re-deriving it.
         let library = match &cfg.trace {
             Some(set) => std::sync::Arc::new(set.clone()),
-            None => oasis_trace::shared_library(22, 17, cfg.seed ^ 0x712A_CE5E),
+            None => oasis_trace::shared_library(
+                22,
+                17,
+                cfg.trace_seed.unwrap_or(cfg.seed) ^ 0x712A_CE5E,
+            ),
         };
         let mut users = sample_user_days(&library, cfg.day, cfg.total_vms() as usize, &mut rng);
         if users.is_empty() {
             // A trace without days of this kind still yields a valid (all
             // idle) simulation rather than a panic.
             users = vec![oasis_trace::UserDay::all_idle(cfg.day); cfg.total_vms() as usize];
+        }
+        if cfg.trace_rotation != 0 {
+            // Timezone stagger: shift every sampled day later in the day
+            // (wrapping) so racks in different zones quiesce at different
+            // simulated hours.
+            for day in &mut users {
+                day.rotate(cfg.trace_rotation as usize);
+            }
         }
         let t1 = clock();
         phases.trace_sampling_secs += t1 - t0;
@@ -641,6 +659,7 @@ impl ClusterSim {
             placement_version: 0,
             away_from_home,
             cons_hosts,
+            cons_capacity: capacity,
             exchange_ready: Vec::new(),
             growth_quantum,
         }
@@ -818,7 +837,6 @@ impl ClusterSim {
     /// fault window over-committed.
     fn relocate_to_fallback(&mut self, vi: usize, now: SimTime) -> bool {
         let src = self.vms[vi].location;
-        let capacity = self.cfg.effective_capacity();
         let need = self.vms[vi].allocation;
         // One deterministic pass over the residency index: the first
         // powered host with headroom wins outright; the first wakeable
@@ -830,6 +848,9 @@ impl ClusterSim {
         let mut examined = 0u32;
         for h in &self.hosts {
             examined += 1;
+            // Per-host capacity from the maintained view: epoch grants
+            // can widen a consolidation host beyond the config default.
+            let capacity = self.view.hosts[h.id.0 as usize].capacity;
             if h.id == src || self.demand_on(h.id) + need > capacity {
                 continue;
             }
@@ -1348,12 +1369,49 @@ impl ClusterSim {
         }
     }
 
+    /// The per-host effective capacity the capacity-exhaustion sweep
+    /// currently holds consolidation hosts to.
+    pub(crate) fn cons_capacity(&self) -> ByteSize {
+        self.cons_capacity
+    }
+
+    /// Total VM demand currently resident on consolidation hosts — the
+    /// read-only load figure the datacenter epoch planner merges across
+    /// racks.
+    pub(crate) fn cons_demand(&self) -> ByteSize {
+        self.cons_hosts.iter().map(|&h| self.demand_on(h)).sum()
+    }
+
+    /// Number of consolidation hosts (fixed at construction).
+    pub(crate) fn cons_host_count(&self) -> u32 {
+        self.cons_hosts.len() as u32
+    }
+
+    /// Applies an epoch planner grant: moves the consolidation hosts'
+    /// effective capacity to `per_host` and mirrors it into the
+    /// maintained planning view. Bumps the view version — a capacity
+    /// change invalidates any replayable empty planning round — so the
+    /// event engine re-plans from the widened (or narrowed) view. Only
+    /// the datacenter shard driver calls this, between epoch barriers;
+    /// a run that never calls it is byte-identical to one built without
+    /// the knob.
+    pub(crate) fn set_cons_capacity(&mut self, per_host: ByteSize) {
+        if per_host == self.cons_capacity {
+            return;
+        }
+        self.cons_capacity = per_host;
+        for &h in &self.cons_hosts {
+            self.view.hosts[h.0 as usize].capacity = per_host;
+        }
+        self.view_version += 1;
+    }
+
     /// Rebuilds a snapshot from scratch. Test-only since the maintained
     /// [`Self::view`] replaced it on the hot paths; the test suite
     /// compares the two to prove they can never drift.
     #[cfg(test)]
     fn snapshot(&self, now: SimTime) -> ClusterView {
-        let capacity = self.cfg.effective_capacity();
+        let home_capacity = self.cfg.effective_capacity();
         let mut view = ClusterView {
             hosts: self
                 .hosts
@@ -1363,7 +1421,10 @@ impl ClusterSim {
                     role: h.role,
                     powered: h.powered,
                     vacatable: self.cooldown_until.get(&h.id).is_none_or(|&until| now >= until),
-                    capacity,
+                    capacity: match h.role {
+                        HostRole::Consolidation => self.cons_capacity,
+                        _ => home_capacity,
+                    },
                 })
                 .collect(),
             vms: self
@@ -1902,7 +1963,7 @@ impl ClusterSim {
 
         // Capacity exhaustion (§3.2): the host wakes the requesting VM's
         // home and returns all of that home's VMs.
-        let capacity = self.cfg.effective_capacity();
+        let capacity = self.cons_capacity;
         for ci in 0..self.cons_hosts.len() {
             let host = self.cons_hosts[ci];
             if self.demand_on(host) <= capacity {
@@ -2158,7 +2219,7 @@ impl ClusterSim {
     /// trace step): fault onsets, trace-driven state changes, planning on
     /// the manager's own cadence, working-set growth, host sleep, series
     /// recording and energy integration.
-    fn step_interval(
+    pub(crate) fn step_interval(
         &mut self,
         interval: usize,
         next_plan: &mut SimTime,

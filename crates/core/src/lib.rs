@@ -15,6 +15,8 @@
 //! * [`placement`] — the greedy vacate planner and destination selection.
 //! * [`idleness`] — dirty-rate based idleness detection (§3.1).
 //! * [`manager`] — the cluster manager façade that ties them together.
+//! * [`rebalance`] — inter-rack capacity rebalancing for the
+//!   datacenter tier's epoch-barrier planner.
 //! * [`rpc`] — the client-facing RPC interface of §4.1.
 
 #![warn(missing_docs)]
@@ -23,10 +25,12 @@ pub mod idleness;
 pub mod manager;
 pub mod placement;
 pub mod policy;
+pub mod rebalance;
 pub mod rpc;
 pub mod view;
 
 pub use manager::ClusterManager;
 pub use placement::PlacementStrategy;
 pub use policy::{ActivationDecision, PlannedAction, PolicyKind};
+pub use rebalance::{plan_rebalance, CapacityGrant, RackLoad};
 pub use view::{ClusterView, HostRole, HostView, ResidencyIndex, VmView};

@@ -1,0 +1,194 @@
+//! Inter-rack capacity rebalancing for the datacenter tier.
+//!
+//! A datacenter run shards the cluster per rack: each rack's manager
+//! plans alone over its own view (Ashraf et al.'s rack-local mapping).
+//! At every cross-rack epoch barrier the shard driver assembles one
+//! [`RackLoad`] per rack — a read-only roll-up of the rack's merged
+//! view — and, under the *global* planner policy, calls
+//! [`plan_rebalance`] to shift consolidation headroom from cold racks
+//! (timezone already asleep, consolidation hosts near-empty) to hot
+//! ones (evening consolidation wave, hosts near capacity). The
+//! *local* policy simply never calls in here; each rack keeps its
+//! configured capacity — the decentralized baseline the scorecard
+//! compares against.
+//!
+//! Determinism: the pass is pure integer arithmetic over a slice that
+//! arrives in rack-id order, matches donors and borrowers by ascending
+//! rack id, and never consults a clock or RNG — the same loads always
+//! produce the same grants, independent of worker count or engine.
+
+use oasis_mem::ByteSize;
+
+/// One rack's consolidation-side load summary at an epoch barrier,
+/// assembled from the rack's (otherwise private) cluster view.
+#[derive(Clone, Copy, Debug)]
+pub struct RackLoad {
+    /// Rack index (position in the datacenter's rack vector).
+    pub rack: u32,
+    /// Consolidation hosts in the rack.
+    pub cons_hosts: u32,
+    /// Current per-host effective capacity of those hosts.
+    pub cons_capacity: ByteSize,
+    /// The rack's configured (baseline) per-host capacity — grants are
+    /// bounded relative to this, so capacity can flow back as load
+    /// reverses.
+    pub base_capacity: ByteSize,
+    /// Total VM demand resident on the rack's consolidation hosts.
+    pub cons_demand: ByteSize,
+}
+
+impl RackLoad {
+    /// Demand as a fraction of total consolidation capacity.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.cons_capacity.as_bytes().saturating_mul(u64::from(self.cons_hosts));
+        if cap == 0 {
+            return 0.0;
+        }
+        self.cons_demand.as_bytes() as f64 / cap as f64
+    }
+}
+
+/// A capacity transfer the epoch planner decided on: `donor` narrows
+/// its consolidation hosts by one quantum each, `borrower` widens by
+/// the same amount. Applying a grant costs modelled network traffic
+/// (the memory-server pages backing the headroom move racks), which
+/// the shard driver charges as `quantum × cons_hosts` bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CapacityGrant {
+    /// Rack giving up headroom.
+    pub donor: u32,
+    /// Rack receiving it.
+    pub borrower: u32,
+    /// Per-host capacity delta moved.
+    pub quantum: ByteSize,
+}
+
+/// Utilization below which a rack may donate consolidation headroom.
+pub const DONOR_UTILIZATION: f64 = 0.40;
+/// Utilization above which a rack asks to borrow headroom.
+pub const BORROWER_UTILIZATION: f64 = 0.75;
+/// Transfer quantum as a divisor of the base capacity (base / 8).
+pub const QUANTUM_DIV: u64 = 8;
+/// A donor never narrows below base / 2.
+pub const DONOR_FLOOR_DIV: u64 = 2;
+/// A borrower never widens beyond 2 × base.
+pub const BORROWER_CAP_MUL: u64 = 2;
+
+/// Plans one epoch's capacity grants over the merged per-rack loads.
+///
+/// Donors are racks under [`DONOR_UTILIZATION`] that would stay under
+/// it after giving up one quantum and sit above the donor floor;
+/// borrowers are racks above [`BORROWER_UTILIZATION`] still under the
+/// borrower cap. Matching is ascending by rack id on both sides, one
+/// quantum per rack per epoch, and only between racks with the same
+/// consolidation-host count and base capacity (a grant is a per-host
+/// capacity swap, so equal shapes conserve total datacenter capacity
+/// exactly). `loads` must arrive in rack order; the result is a pure
+/// function of it.
+pub fn plan_rebalance(loads: &[RackLoad]) -> Vec<CapacityGrant> {
+    let mut donors: Vec<&RackLoad> = Vec::new();
+    let mut borrowers: Vec<&RackLoad> = Vec::new();
+    for load in loads {
+        if load.cons_hosts == 0 || load.base_capacity.is_zero() {
+            continue;
+        }
+        let quantum = ByteSize::bytes(load.base_capacity.as_bytes() / QUANTUM_DIV);
+        if quantum.is_zero() {
+            continue;
+        }
+        let floor = ByteSize::bytes(load.base_capacity.as_bytes() / DONOR_FLOOR_DIV);
+        let cap = load.base_capacity * BORROWER_CAP_MUL;
+        let util = load.utilization();
+        if util < DONOR_UTILIZATION && load.cons_capacity.saturating_sub(quantum) >= floor {
+            // Donating must not itself push the rack over the donor
+            // line: re-check utilization against the narrowed capacity.
+            let narrowed =
+                RackLoad { cons_capacity: load.cons_capacity.saturating_sub(quantum), ..*load };
+            if narrowed.utilization() < DONOR_UTILIZATION {
+                donors.push(load);
+            }
+        } else if util > BORROWER_UTILIZATION && load.cons_capacity + quantum <= cap {
+            borrowers.push(load);
+        }
+    }
+
+    let mut grants = Vec::new();
+    for b in &borrowers {
+        // First unused donor with the same shape, ascending rack id.
+        let Some(pos) = donors
+            .iter()
+            .position(|d| d.cons_hosts == b.cons_hosts && d.base_capacity == b.base_capacity)
+        else {
+            continue;
+        };
+        let d = donors.remove(pos);
+        grants.push(CapacityGrant {
+            donor: d.rack,
+            borrower: b.rack,
+            quantum: ByteSize::bytes(b.base_capacity.as_bytes() / QUANTUM_DIV),
+        });
+    }
+    grants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(rack: u32, demand_gib: u64, capacity_gib: u64) -> RackLoad {
+        RackLoad {
+            rack,
+            cons_hosts: 2,
+            cons_capacity: ByteSize::gib(capacity_gib),
+            base_capacity: ByteSize::gib(192),
+            cons_demand: ByteSize::gib(demand_gib),
+        }
+    }
+
+    #[test]
+    fn idle_datacenter_plans_nothing() {
+        let loads: Vec<RackLoad> = (0..4).map(|r| load(r, 0, 192)).collect();
+        assert!(plan_rebalance(&loads).is_empty());
+    }
+
+    #[test]
+    fn hot_rack_borrows_from_coldest_eligible_rack() {
+        // Rack 2 runs hot (300/384 ≈ 0.78); racks 0 and 3 are cold.
+        let loads = vec![load(0, 10, 192), load(1, 200, 192), load(2, 300, 192), load(3, 0, 192)];
+        let grants = plan_rebalance(&loads);
+        assert_eq!(
+            grants,
+            vec![CapacityGrant { donor: 0, borrower: 2, quantum: ByteSize::gib(24) }],
+            "lowest-id cold rack donates one base/8 quantum"
+        );
+    }
+
+    #[test]
+    fn donor_floor_and_borrower_cap_bound_transfers() {
+        // A donor already at base/2 cannot narrow further.
+        let floored = vec![load(0, 0, 96), load(1, 320, 192)];
+        assert!(plan_rebalance(&floored).is_empty(), "donor at floor stays put");
+        // A borrower at 2× base cannot widen further.
+        let capped = vec![load(0, 0, 192), load(1, 700, 384)];
+        assert!(plan_rebalance(&capped).is_empty(), "borrower at cap stays put");
+    }
+
+    #[test]
+    fn mismatched_shapes_never_trade() {
+        let mut a = load(0, 0, 192);
+        a.cons_hosts = 4; // Different shape: capacity would not conserve.
+        let loads = vec![a, load(1, 300, 192)];
+        assert!(plan_rebalance(&loads).is_empty());
+    }
+
+    #[test]
+    fn plan_is_a_pure_function_of_the_loads() {
+        let loads = vec![load(0, 5, 192), load(1, 310, 192), load(2, 12, 192), load(3, 305, 192)];
+        let a = plan_rebalance(&loads);
+        let b = plan_rebalance(&loads);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2, "two borrowers, two donors, matched in id order");
+        assert_eq!((a[0].donor, a[0].borrower), (0, 1));
+        assert_eq!((a[1].donor, a[1].borrower), (2, 3));
+    }
+}

@@ -26,6 +26,14 @@ pub const DECISION_PATH_CRATES: [&str; 6] =
 /// boundary pragma on the path declares it contained. A tighter set
 /// than [`DECISION_PATH_CRATES`]: `host` agents legitimately wrap
 /// telemetry spans, so only the pure decision path is sink territory.
+///
+/// Via `cluster` this covers the datacenter shard driver
+/// (`crates/cluster/src/shard.rs`) and via `core` the cross-rack epoch
+/// planner (`crates/core/src/rebalance.rs`): the rebalance pass must
+/// stay a pure function of the per-rack loads, and rack stepping must
+/// stay wall-clock/env free (rack wall timings flow in through the
+/// caller's injected clock), so a sharded day is byte-identical across
+/// `OASIS_JOBS` worker counts and rack schedules.
 pub const TAINT_SINK_CRATES: [&str; 5] = ["core", "cluster", "sim", "faults", "migration"];
 
 /// Library crates exempt from print-hygiene (user-facing output is their

@@ -76,6 +76,17 @@ impl UserDay {
         self.active.get(i).copied().unwrap_or(false)
     }
 
+    /// Rotates the activity pattern `k` intervals later in the day,
+    /// wrapping at midnight. A rack simulated in a timezone `h` hours
+    /// east of the trace corpus rotates by `h * 12` intervals so its
+    /// users wake (and its hosts quiesce) at the shifted local times.
+    pub fn rotate(&mut self, k: usize) {
+        let k = k % INTERVALS_PER_DAY;
+        if k != 0 {
+            self.active.rotate_right(k);
+        }
+    }
+
     /// Number of active intervals.
     pub fn active_intervals(&self) -> usize {
         self.active.iter().filter(|&&a| a).count()
@@ -189,6 +200,25 @@ mod tests {
         assert!(!d.is_active(10_000), "out of range is idle");
         assert_eq!(d.active_intervals(), 50);
         assert!((d.active_fraction() - 50.0 / 288.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_wraps_and_preserves_mass() {
+        let mut d = sample_day();
+        d.rotate(12);
+        assert_eq!(d.active_intervals(), 50, "rotation moves bits, never drops them");
+        assert!(d.is_active(132), "interval 120 shifted 12 later");
+        assert!(d.is_active(112), "the window's start shifted from 100");
+        assert!(!d.is_active(111), "interval 99 was idle and stays idle");
+        assert!(!d.is_active(162), "the window's end shifted from 149");
+        // A full-day rotation (or any multiple) is the identity.
+        let mut full = sample_day();
+        full.rotate(INTERVALS_PER_DAY);
+        assert_eq!(full, sample_day());
+        full.rotate(INTERVALS_PER_DAY * 3 + 12);
+        let mut twelve = sample_day();
+        twelve.rotate(12);
+        assert_eq!(full, twelve);
     }
 
     #[test]
