@@ -11,6 +11,7 @@
 //!              [--fidelity per-page|batched] [--engine interval|event]
 //!              [--scale paper|smoke|datacenter] [--racks N]
 //!              [--planner global|local] [--jobs N]
+//!              [--scenario NAME]
 //! oasis week   [--policy P] [--homes N] [--cons N] [--vms N] [--seed S]
 //!              [--jobs N] [--fidelity per-page|batched]
 //!              [--engine interval|event]
@@ -18,6 +19,7 @@
 //! oasis report [same sim flags] [--format text|json] [--top N]
 //!              [--wall true] [--folded PATH] [--folded-metric wall|sim|calls]
 //!              [--audit-out PATH] [--out PATH] [--scorecard true]
+//!              [--scenario NAME]
 //! oasis trace  generate [--users N] [--weeks N] [--seed S] [--out PATH]
 //! oasis trace  stats <PATH>
 //! ```
@@ -30,19 +32,27 @@
 //! through the sharded datacenter engine ([`oasis_cluster::shard`]):
 //! `sim` prints the fleet summary and `report` renders the per-rack
 //! digest, both byte-identical across `--jobs` worker counts.
+//!
+//! `--scenario` runs a named preset from the stress-scenario registry
+//! ([`oasis_cluster::scenarios`]) instead of a hand-assembled shape:
+//! `sim` prints the golden digest line, `report` renders the full
+//! digest (text or fixed-field-order JSON). The preset fixes the fleet
+//! shape, so `--scale`/`--racks`/`--homes`/`--cons`/`--vms` conflict
+//! with it; `--seed`, `--engine`, `--fidelity` and `--jobs` compose.
 
 pub mod args;
 pub mod report;
 
 use args::Args;
 use oasis_cluster::experiments::{run_week_on, Scale};
+use oasis_cluster::scenarios;
 use oasis_cluster::shard::{planner_scorecard, run_datacenter_day, DatacenterConfig, PlannerScope};
-use oasis_cluster::{ClusterConfig, ClusterSim};
+use oasis_cluster::{ClusterConfig, ClusterSim, ScenarioSpec};
 use oasis_core::PolicyKind;
 use oasis_faults::{FaultProfile, FaultSchedule};
 use oasis_migration::lab::{LabOptions, MicroLab};
 use oasis_power::MemoryServerProfile;
-use oasis_sim::{ModelFidelity, SimDuration, WorkerPool};
+use oasis_sim::{EngineMode, ModelFidelity, SimDuration, WorkerPool};
 use oasis_telemetry::{FoldedMetric, JsonlSink, Level, Telemetry};
 use oasis_trace::{ActivityModel, DayKind, TraceSet};
 use oasis_vm::apps::DesktopWorkload;
@@ -59,7 +69,7 @@ fn usage() -> ! {
          \x20             [--metrics-out metrics.prom] [--log-level debug] \\\n\
          \x20             [--fidelity per-page|batched] [--engine interval|event] \\\n\
          \x20             [--scale paper|smoke|datacenter] [--racks N] \\\n\
-         \x20             [--planner global|local] [--jobs N]\n\
+         \x20             [--planner global|local] [--jobs N] [--scenario NAME]\n\
          oasis week   --policy FulltoPartial --seed 1 [--jobs N] \\\n\
          \x20             [--fidelity per-page|batched] [--engine interval|event]\n\
          oasis micro  --seed 1 [--fidelity per-page|batched]\n\
@@ -68,7 +78,7 @@ fn usage() -> ! {
          \x20             [--folded profile.folded] [--folded-metric wall|sim|calls] \\\n\
          \x20             [--audit-out audit.jsonl] [--out report.txt] \\\n\
          \x20             [--scale datacenter] [--racks N] [--planner global|local] \\\n\
-         \x20             [--jobs N] [--scorecard true]\n\
+         \x20             [--jobs N] [--scorecard true] [--scenario NAME]\n\
          oasis trace  generate --users 22 --weeks 17 --seed 1 --out traces.txt\n\
          oasis trace  stats traces.txt"
     );
@@ -107,6 +117,29 @@ fn racks_from(args: &Args) -> u32 {
         0 => fail("--racks wants a count ≥ 1"),
         racks => racks,
     }
+}
+
+/// The scenario preset named by `--scenario`, with the registry listed
+/// on an unknown name.
+fn scenario_from(args: &Args) -> Option<ScenarioSpec> {
+    let name = args.get("scenario")?;
+    Some(scenarios::find(name).unwrap_or_else(|| {
+        fail(format!("unknown scenario {name:?} (registered: {})", scenarios::names().join(", ")))
+    }))
+}
+
+/// Engine/fidelity selection for a scenario run: explicit flags win,
+/// the environment (`OASIS_ENGINE`/`OASIS_FIDELITY`) fills the rest.
+fn scenario_select(args: &Args) -> (EngineMode, ModelFidelity) {
+    let engine = args
+        .get("engine")
+        .map(|e| e.parse().unwrap_or_else(|e| fail(e)))
+        .unwrap_or_else(EngineMode::from_env);
+    let fidelity = args
+        .get("fidelity")
+        .map(|f| f.parse().unwrap_or_else(|e| fail(e)))
+        .unwrap_or_else(ModelFidelity::from_env);
+    (engine, fidelity)
 }
 
 /// Epoch-planner policy requested by `--planner` (global by default).
@@ -232,6 +265,7 @@ const SIM_FLAGS: &[&str] = &[
     "racks",
     "planner",
     "jobs",
+    "scenario",
 ];
 
 /// Builds the telemetry bus requested by `--trace-out`, `--metrics-out`
@@ -301,7 +335,28 @@ fn cmd_sim_datacenter(args: &Args, racks: u32) {
     );
 }
 
+/// Runs a named scenario from the registry and prints its digest line —
+/// the same bytes the golden suite locks, so a CI leg can diff two
+/// invocations directly.
+fn cmd_sim_scenario(args: &Args, spec: &ScenarioSpec) {
+    for flag in ["scale", "racks", "homes", "cons", "vms", "trace-out", "metrics-out", "log-level"]
+    {
+        if args.get(flag).is_some() {
+            fail(format!("--{flag} conflicts with --scenario (the preset fixes the shape)"));
+        }
+    }
+    let seed = args.get_or("seed", 1u64).unwrap_or_else(|e| fail(e));
+    let report =
+        scenarios::run_scenario_with(&pool_from(args), spec, seed, Some(scenario_select(args)))
+            .unwrap_or_else(|e| fail(e));
+    println!("{}", report.digest());
+    println!("guards: {}", spec.guards);
+}
+
 fn cmd_sim(args: Args) {
+    if let Some(spec) = scenario_from(&args) {
+        return cmd_sim_scenario(&args, &spec);
+    }
     let racks = racks_from(&args);
     if racks > 1 {
         return cmd_sim_datacenter(&args, racks);
@@ -359,6 +414,7 @@ const REPORT_FLAGS: &[&str] = &[
     "planner",
     "jobs",
     "scorecard",
+    "scenario",
 ];
 
 /// Renders the datacenter digest (`oasis report` with racks > 1): fleet
@@ -392,7 +448,34 @@ fn cmd_report_scorecard(args: &Args, racks: u32) {
     }
 }
 
+/// Renders a named scenario's digest (`oasis report --scenario`):
+/// text by default, fixed-field-order JSON with `--format json`,
+/// written to `--out` when given.
+fn cmd_report_scenario(args: &Args, spec: &ScenarioSpec) {
+    for flag in ["wall", "top", "folded", "folded-metric", "audit-out", "scale", "racks"] {
+        if args.get(flag).is_some() {
+            fail(format!("--{flag} conflicts with --scenario"));
+        }
+    }
+    let seed = args.get_or("seed", 1u64).unwrap_or_else(|e| fail(e));
+    let report =
+        scenarios::run_scenario_with(&pool_from(args), spec, seed, Some(scenario_select(args)))
+            .unwrap_or_else(|e| fail(e));
+    let text = match args.get("format").unwrap_or("text") {
+        "text" => report::render_scenario_text(spec, &report),
+        "json" => report::render_scenario_json(&report),
+        other => fail(format!("unknown report format {other:?} (text|json)")),
+    };
+    match args.get("out") {
+        Some(path) => std::fs::write(path, text).unwrap_or_else(|e| fail(e)),
+        None => print!("{text}"),
+    }
+}
+
 fn cmd_report(args: Args) {
+    if let Some(spec) = scenario_from(&args) {
+        return cmd_report_scenario(&args, &spec);
+    }
     let racks = racks_from(&args);
     if args.get_or("scorecard", false).unwrap_or_else(|e| fail(e)) {
         return cmd_report_scorecard(&args, racks);

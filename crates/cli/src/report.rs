@@ -7,7 +7,7 @@
 //! unless wall-clock fields are explicitly requested (`--wall true`).
 
 use oasis_cluster::shard::SLA_THRESHOLD_SECS;
-use oasis_cluster::{ClusterConfig, ClusterSim, DatacenterReport, SimReport};
+use oasis_cluster::{ClusterConfig, ClusterSim, DatacenterReport, ScenarioReport, SimReport};
 use oasis_telemetry::{
     BufferSink, Event, EventRecord, FoldedMetric, Level, ProfileTree, Telemetry,
 };
@@ -309,9 +309,12 @@ pub fn render_datacenter_json(report: &mut DatacenterReport) -> String {
             out.push(',');
         }
         let sla = r.sla_violations(SLA_THRESHOLD_SECS);
+        // Fixed precision, like every other digest float: the raw f64
+        // `Display` repr prints a varying number of digits and made this
+        // the one field downstream `cmp` legs could not rely on.
         let _ = write!(
             out,
-            r#"{{"rack":{},"kwh":{},"sla_violations":{},"migrations":{},"quiescent_fraction":{}}}"#,
+            r#"{{"rack":{},"kwh":{},"sla_violations":{},"migrations":{},"quiescent_fraction":{:.6}}}"#,
             rack,
             r.total_kwh,
             sla,
@@ -320,6 +323,57 @@ pub fn render_datacenter_json(report: &mut DatacenterReport) -> String {
         );
     }
     out.push_str("]}");
+    out
+}
+
+/// Renders a scenario digest as human-readable text: the headline
+/// digest line, the guards statement, and the per-generation energy
+/// split. Fixed precision throughout — byte-deterministic for a fixed
+/// seed across engines, fidelities, and worker counts.
+pub fn render_scenario_text(spec: &oasis_cluster::ScenarioSpec, r: &ScenarioReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== scenario {} ==", r.name);
+    let _ = writeln!(out, "guards: {}", spec.guards);
+    let _ = writeln!(out, "racks={} hosts={} vms={} seed={}", r.racks, r.hosts, r.vms, r.seed);
+    let _ = writeln!(
+        out,
+        "baseline={:.6}kWh actual={:.6}kWh savings={:.2}%",
+        r.baseline_kwh,
+        r.total_kwh,
+        r.energy_savings * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "sla violations (>{SLA_THRESHOLD_SECS:.0}s): {}   migration bytes: {}",
+        r.sla_violations, r.migration_bytes
+    );
+    let _ = writeln!(
+        out,
+        "faults={} recoveries={} reboots={}",
+        r.faults_injected, r.recoveries, r.reboots
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "== generations ==");
+    for g in &r.generations {
+        let _ = writeln!(
+            out,
+            "{name:<12} hosts={hosts:>3}  energy={mj:>15}mj",
+            name = g.name,
+            hosts = g.hosts,
+            mj = g.total_mj
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{}", r.digest());
+    out
+}
+
+/// The scenario digest as fixed-field-order JSON — exactly
+/// [`ScenarioReport::to_json`] plus a trailing newline, so `--out`
+/// artifacts diff cleanly.
+pub fn render_scenario_json(r: &ScenarioReport) -> String {
+    let mut out = r.to_json();
+    out.push('\n');
     out
 }
 

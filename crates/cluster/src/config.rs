@@ -1,7 +1,7 @@
 //! Cluster configuration (§5.1 defaults).
 
 use oasis_core::{PlacementStrategy, PolicyKind};
-use oasis_faults::FaultSchedule;
+use oasis_faults::{FaultSchedule, RebootSchedule};
 use oasis_mem::ByteSize;
 use oasis_power::{HostEnergyProfile, MemoryServerProfile};
 use oasis_sim::SimDuration;
@@ -9,7 +9,7 @@ use oasis_trace::{DayKind, TraceSet};
 use oasis_vm::workload::WorkloadClass;
 
 /// Validation errors from the builder.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ConfigError {
     /// A host count of zero.
     NoHosts,
@@ -24,6 +24,13 @@ pub enum ConfigError {
     },
     /// Planning interval of zero.
     ZeroInterval,
+    /// A scheduled reboot names a host outside the cluster.
+    RebootOutOfRange {
+        /// The offending host index.
+        host: u32,
+        /// Number of hosts in the cluster.
+        hosts: u32,
+    },
 }
 
 impl core::fmt::Display for ConfigError {
@@ -35,11 +42,50 @@ impl core::fmt::Display for ConfigError {
                 write!(f, "home hosts hold {demand} of VMs but only {capacity} capacity")
             }
             ConfigError::ZeroInterval => write!(f, "planning interval must be positive"),
+            ConfigError::RebootOutOfRange { host, hosts } => {
+                write!(f, "reboot schedule names host {host} but the cluster has {hosts}")
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// One host generation in a heterogeneous fleet: a named Table 1-style
+/// power profile. Hosts are assigned generations round-robin by host
+/// index (homes first, then consolidation hosts), so any prefix of the
+/// fleet mixes every generation and the mapping is a pure function of
+/// the index — no RNG stream is consumed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostGeneration {
+    /// Display name ("gen1-2011", "lowpower", …).
+    pub name: String,
+    /// The generation's energy parameters.
+    pub profile: HostEnergyProfile,
+}
+
+impl HostGeneration {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, profile: HostEnergyProfile) -> Self {
+        HostGeneration { name: name.into(), profile }
+    }
+}
+
+/// A synchronized activity spike (flash crowd): every `participation`-th
+/// user's sampled day is forced active over the window, via
+/// [`oasis_trace::UserDay::spike`]. Applied after trace sampling and
+/// rotation, before the day starts, so both engines observe identical
+/// session edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActivitySpike {
+    /// First interval of the spike window (wraps at midnight).
+    pub start_interval: u32,
+    /// Length of the window in intervals.
+    pub duration_intervals: u32,
+    /// Fraction of users caught in the crowd, in `[0, 1]`. Membership
+    /// is decided by a deterministic hash of `(seed, vm index)`.
+    pub participation: f64,
+}
 
 /// Full configuration of a simulated cluster day.
 #[derive(Clone, Debug, PartialEq)]
@@ -121,6 +167,22 @@ pub struct ClusterConfig {
     /// streams across seeds and fault schedules. Defaults to the
     /// `OASIS_ENGINE` environment variable (interval walker when unset).
     pub engine: oasis_sim::EngineMode,
+    /// Host generations of a heterogeneous fleet, assigned round-robin
+    /// by host index. Empty (the default) means a homogeneous fleet
+    /// drawn entirely from [`ClusterConfig::host_profile`]; a
+    /// single-entry vector with the same profile is byte-identical to
+    /// that (the homogeneous-collapse differential test pins it).
+    /// When non-empty, `host_profile` holds the *reference* generation
+    /// (by convention the first) that planner cost weights are taken
+    /// from.
+    pub generations: Vec<HostGeneration>,
+    /// Optional flash-crowd activity spike applied to the sampled
+    /// user-days. `None` (the default) leaves traces untouched.
+    pub spike: Option<ActivitySpike>,
+    /// Scheduled cold restarts (patch windows). The default
+    /// ([`RebootSchedule::none`]) schedules nothing and leaves the run
+    /// byte-identical to one without the reboot plumbing.
+    pub reboots: RebootSchedule,
     /// RNG seed.
     pub seed: u64,
 }
@@ -139,6 +201,40 @@ impl ClusterConfig {
     /// Effective per-host memory capacity after over-commit.
     pub fn effective_capacity(&self) -> ByteSize {
         self.host_memory.mul_f64(self.overcommit)
+    }
+
+    /// Number of distinct host generations (1 for a homogeneous fleet).
+    pub fn generation_count(&self) -> usize {
+        self.generations.len().max(1)
+    }
+
+    /// Generation index of `host` (round-robin by host index; 0 for a
+    /// homogeneous fleet).
+    pub fn generation_of(&self, host: u32) -> usize {
+        if self.generations.is_empty() {
+            0
+        } else {
+            host as usize % self.generations.len()
+        }
+    }
+
+    /// Display name of generation `g`.
+    pub fn generation_name(&self, g: usize) -> &str {
+        if self.generations.is_empty() {
+            "uniform"
+        } else {
+            &self.generations[g].name
+        }
+    }
+
+    /// Energy profile of `host`: its generation's profile, or the
+    /// uniform [`ClusterConfig::host_profile`] for a homogeneous fleet.
+    pub fn host_profile_of(&self, host: u32) -> &HostEnergyProfile {
+        if self.generations.is_empty() {
+            &self.host_profile
+        } else {
+            &self.generations[host as usize % self.generations.len()].profile
+        }
     }
 }
 
@@ -176,6 +272,9 @@ impl Default for ClusterConfigBuilder {
                 workload_mix: vec![(WorkloadClass::Desktop, 1.0)],
                 fidelity: oasis_sim::ModelFidelity::from_env(),
                 engine: oasis_sim::EngineMode::from_env(),
+                generations: Vec::new(),
+                spike: None,
+                reboots: RebootSchedule::none(),
                 seed: 1,
             },
         }
@@ -298,6 +397,31 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Sets the heterogeneous host generations (round-robin by host
+    /// index). When non-empty, the first generation's profile also
+    /// becomes [`ClusterConfig::host_profile`] — the reference the
+    /// planner's cost weights are taken from.
+    pub fn generations(mut self, gens: Vec<HostGeneration>) -> Self {
+        if let Some(first) = gens.first() {
+            self.config.host_profile = first.profile.clone();
+        }
+        self.config.generations = gens;
+        self
+    }
+
+    /// Sets the flash-crowd activity spike.
+    pub fn spike(mut self, s: ActivitySpike) -> Self {
+        self.config.spike =
+            Some(ActivitySpike { participation: s.participation.clamp(0.0, 1.0), ..s });
+        self
+    }
+
+    /// Sets the scheduled-reboot (patch-window) schedule.
+    pub fn reboots(mut self, schedule: RebootSchedule) -> Self {
+        self.config.reboots = schedule;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ClusterConfig, ConfigError> {
         let c = self.config;
@@ -318,7 +442,99 @@ impl ClusterConfigBuilder {
         if demand > capacity {
             return Err(ConfigError::HomeOvercommitted { demand, capacity });
         }
+        let hosts = c.home_hosts + c.consolidation_hosts;
+        if let Some(r) = c.reboots.reboots().iter().find(|r| r.host >= hosts) {
+            return Err(ConfigError::RebootOutOfRange { host: r.host, hosts });
+        }
         Ok(c)
+    }
+}
+
+/// A named, declarative scenario preset: everything about a stress
+/// scenario except the seed. The registry in [`crate::scenarios`] owns
+/// the named instances; [`ScenarioSpec::cluster_config`] instantiates
+/// a runnable [`ClusterConfig`] for one seed. Multi-rack specs
+/// (`racks > 1`) are lifted to the shard driver by the scenario
+/// runner.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// Registry name (`oasis sim --scenario <name>`).
+    pub name: &'static str,
+    /// One line stating what regression this scenario guards.
+    pub guards: &'static str,
+    /// Home hosts per rack.
+    pub home_hosts: u32,
+    /// Consolidation hosts per rack.
+    pub consolidation_hosts: u32,
+    /// VMs per home host.
+    pub vms_per_host: u32,
+    /// Racks simulated (1 = single-rack; more go through the shard
+    /// driver with timezone-staggered traces).
+    pub racks: u32,
+    /// Consolidation policy.
+    pub policy: PolicyKind,
+    /// Day kind.
+    pub day: DayKind,
+    /// Physical DRAM per host.
+    pub host_memory: ByteSize,
+    /// Host generations (empty = homogeneous Table 1 fleet).
+    pub generations: Vec<HostGeneration>,
+    /// VM workload mix.
+    pub workload_mix: Vec<(WorkloadClass, f64)>,
+    /// Optional flash-crowd spike.
+    pub spike: Option<ActivitySpike>,
+    /// Scheduled cold restarts.
+    pub reboots: RebootSchedule,
+    /// Fault-injection schedule.
+    pub faults: FaultSchedule,
+}
+
+impl ScenarioSpec {
+    /// A smoke-scale baseline (6 home + 2 consolidation hosts, 10 VMs
+    /// per host, FulltoPartial, weekday, no stressors) for scenario
+    /// constructors to specialize.
+    pub fn smoke(name: &'static str, guards: &'static str) -> Self {
+        ScenarioSpec {
+            name,
+            guards,
+            home_hosts: 6,
+            consolidation_hosts: 2,
+            vms_per_host: 10,
+            racks: 1,
+            policy: PolicyKind::FullToPartial,
+            day: DayKind::Weekday,
+            host_memory: ByteSize::gib(128),
+            generations: Vec::new(),
+            workload_mix: vec![(WorkloadClass::Desktop, 1.0)],
+            spike: None,
+            reboots: RebootSchedule::none(),
+            faults: FaultSchedule::none(),
+        }
+    }
+
+    /// True when the fleet mixes host generations.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.generations.len() > 1
+    }
+
+    /// Instantiates the per-rack [`ClusterConfig`] for one seed.
+    pub fn cluster_config(&self, seed: u64) -> Result<ClusterConfig, ConfigError> {
+        let mut b = ClusterConfig::builder()
+            .home_hosts(self.home_hosts)
+            .consolidation_hosts(self.consolidation_hosts)
+            .vms_per_host(self.vms_per_host)
+            .policy(self.policy)
+            .day(self.day)
+            .host_memory(self.host_memory)
+            .workload_mix(self.workload_mix.clone())
+            .generations(self.generations.clone())
+            .reboots(self.reboots.clone())
+            .faults(self.faults.clone())
+            .seed(seed);
+        if let Some(s) = self.spike {
+            b = b.spike(s);
+        }
+        b.build()
     }
 }
 

@@ -267,6 +267,10 @@ impl ClusterSim {
             if fault_due {
                 stats.fault_ticks += 1;
                 self.apply_faults(now);
+                // Reboot onsets are folded into the precomputed fault
+                // tick, so this call runs exactly on the intervals the
+                // interval engine's unconditional call would act in.
+                self.apply_reboots(now);
             }
             scope.end();
             let t1 = clock();

@@ -145,6 +145,18 @@ impl DaySchedule {
         }
 
         fault_tick.resize(n, false);
+        if !cfg.reboots.is_empty() {
+            // Reboot onsets ride the fault tick: `apply_reboots` runs in
+            // the same engine phase as `apply_faults`, so an interval
+            // with a scheduled cold restart must run that phase hot.
+            for (i, tick) in fault_tick.iter_mut().enumerate() {
+                let now = interval_start(i);
+                let end = now + SimDuration::from_secs_f64(INTERVAL_SECS);
+                if cfg.reboots.onsets_between(now, end).next().is_some() {
+                    *tick = true;
+                }
+            }
+        }
         if !cfg.faults.is_empty() {
             // Replays exactly the queries `apply_faults` makes at each
             // boundary; an interval ticks iff any of them would observe
@@ -171,7 +183,9 @@ impl DaySchedule {
                     }
                     *was_down = down;
                 }
-                *tick = hot;
+                // OR, not assign: a reboot onset may already have marked
+                // this interval hot above.
+                *tick |= hot;
             }
         }
 

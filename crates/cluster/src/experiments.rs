@@ -354,6 +354,17 @@ pub fn datacenter_scorecard_at(pool: &WorkerPool, scale: Scale, seed: u64) -> Ve
     crate::shard::planner_scorecard(pool, &dc, &|| 0.0)
 }
 
+/// Runs one named scenario from [`crate::scenarios`] by registry name
+/// (pool sized from `OASIS_JOBS`). `None` when the name is unknown; the
+/// inner `Result` carries config errors from instantiating the spec.
+pub fn run_scenario_by_name(
+    name: &str,
+    seed: u64,
+) -> Option<Result<crate::scenarios::ScenarioReport, crate::config::ConfigError>> {
+    let spec = crate::scenarios::find(name)?;
+    Some(crate::scenarios::run_scenario(&spec, seed))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

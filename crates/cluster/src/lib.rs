@@ -15,6 +15,8 @@
 //!   locked byte-identical by the three-way equivalence battery.
 //! * [`results`] — the per-run report every figure is printed from.
 //! * [`experiments`] — canned configurations for each table and figure.
+//! * [`scenarios`] — the named stress-scenario registry (heterogeneous
+//!   fleets, adversarial days) and its golden-digest report.
 //! * [`shard`] — the datacenter tier: rack-sharded parallel simulation
 //!   with deterministic epoch-barrier planning across racks.
 
@@ -25,12 +27,16 @@ pub mod engine;
 mod events;
 pub mod experiments;
 pub mod results;
+pub mod scenarios;
 pub mod shard;
 pub mod sim;
 
-pub use config::{ClusterConfig, ClusterConfigBuilder};
+pub use config::{
+    ActivitySpike, ClusterConfig, ClusterConfigBuilder, HostGeneration, ScenarioSpec,
+};
 pub use engine::EngineStats;
 pub use results::{DecisionCounts, SimReport, VmPlacement};
+pub use scenarios::{GenerationEnergy, ScenarioReport};
 pub use shard::{
     planner_scorecard, rack_config, run_datacenter_day, run_datacenter_day_with, DatacenterConfig,
     DatacenterReport, PlannerScope, ScorecardRow,

@@ -64,6 +64,9 @@ pub struct MigrationCounts {
     pub relocations: u64,
     /// Wake-on-LAN retransmissions (fault injection).
     pub wol_retries: u64,
+    /// Scheduled cold restarts executed (patch windows; zero unless a
+    /// reboot schedule was configured).
+    pub reboots: u64,
 }
 
 /// Where one VM ended the simulated day.

@@ -23,7 +23,7 @@ use oasis_core::manager::ManagerConfig;
 use oasis_core::{
     ActivationDecision, ClusterManager, ClusterView, HostRole, HostView, PlannedAction, VmView,
 };
-use oasis_faults::{Fault, FaultCounts, RetryPolicy};
+use oasis_faults::{Fault, FaultCounts, Reboot, RetryPolicy};
 use oasis_mem::{ByteSize, IdleWssDistribution};
 use oasis_migration::recovery::with_retries;
 use oasis_migration::MigrationType;
@@ -409,6 +409,24 @@ pub struct ClusterSim {
     growth_quantum: [ByteSize; 4],
 }
 
+/// Flash-crowd membership: a splitmix64-style hash of `(seed, vm)`
+/// mapped onto `[0, 1)` and compared against the participation
+/// fraction. A pure function of its arguments — no RNG stream is
+/// consumed, so runs with and without a spike share every draw.
+fn spike_member(seed: u64, vm: usize, participation: f64) -> bool {
+    if participation >= 1.0 {
+        return true;
+    }
+    if participation <= 0.0 {
+        return false;
+    }
+    let mut z = seed ^ (vm as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64 / (1u64 << 53) as f64) < participation
+}
+
 /// Position of `class` in [`WorkloadClass::ALL`].
 fn class_idx(class: WorkloadClass) -> usize {
     match class {
@@ -477,6 +495,19 @@ impl ClusterSim {
             // simulated hours.
             for day in &mut users {
                 day.rotate(cfg.trace_rotation as usize);
+            }
+        }
+        if let Some(spike) = cfg.spike {
+            // Flash crowd: force the caught users active over the spike
+            // window, after rotation so the window is in absolute
+            // datacenter time. Membership comes from a pure hash of
+            // (seed, vm index) — the RNG stream is not consumed, so a
+            // `spike: None` run stays byte-identical to one without the
+            // spike plumbing.
+            for (v, day) in users.iter_mut().enumerate() {
+                if spike_member(cfg.seed, v, spike.participation) {
+                    day.spike(spike.start_interval as usize, spike.duration_intervals as usize);
+                }
             }
         }
         let t1 = clock();
@@ -550,7 +581,10 @@ impl ClusterSim {
                     // The paper's objective is host-count minimization
                     // (§3.1); weighting both sides with the same idle draw
                     // makes the net check equivalent to "strictly fewer
-                    // powered hosts".
+                    // powered hosts". Heterogeneous fleets keep the
+                    // reference generation's weight here (the planner
+                    // still minimizes host count); the energy accounting
+                    // below charges each host its own generation profile.
                     home_sleep_saving_watts: cfg.host_profile.idle_watts,
                     consolidation_power_watts: cfg.host_profile.idle_watts,
                     promotion_headroom: oasis_mem::ByteSize::gib(8),
@@ -1037,6 +1071,53 @@ impl ClusterSim {
         self.link_factor = self.cfg.faults.link_factor(now);
         if self.link_factor != 1.0 {
             self.fault_counts.link_degradations += 1;
+        }
+    }
+
+    /// Applies the patch-window reboot schedule at an interval boundary.
+    ///
+    /// Every host whose scheduled cold restart starts in this interval
+    /// goes down at its in-interval offset and comes back `downtime`
+    /// later (clamped to the interval end, so the outage's energy and
+    /// availability cost are charged in the interval the onset lands
+    /// in). A powered host is charged the suspend/resume transition
+    /// pair and loses the downtime from its awake seconds; a sleeping
+    /// host boots, restarts and goes straight back to sleep (one
+    /// wake-work-sleep episode). Active residents of a powered host see
+    /// the downtime as transition delay, so patch windows show up in
+    /// the SLA CDF. Memory-server state survives the restart (§4.2's
+    /// servers are independent daemons), so partial replicas need no
+    /// recovery. Reboots are applied in the schedule's canonical
+    /// `(start, host)` order on both engines.
+    pub(crate) fn apply_reboots(&mut self, now: SimTime) {
+        if self.cfg.reboots.is_empty() {
+            return;
+        }
+        let interval_end = now + SimDuration::from_secs_f64(INTERVAL_SECS);
+        let due: Vec<Reboot> =
+            self.cfg.reboots.onsets_between(now, interval_end).copied().collect();
+        for r in due {
+            let idx = r.host as usize;
+            if idx >= self.hosts.len() {
+                continue;
+            }
+            let offset = (r.start.as_secs_f64() - now.as_secs_f64()).clamp(0.0, INTERVAL_SECS);
+            let downtime = r.downtime.as_secs_f64().min(INTERVAL_SECS - offset).max(0.0);
+            self.counts.reboots += 1;
+            if self.hosts[idx].powered {
+                for _ in 0..self.residency[idx].active_vms.len() {
+                    self.delays.record(downtime);
+                }
+                self.set_host_power(idx, offset, false);
+                self.set_host_power(idx, offset + downtime, true);
+            } else {
+                // Asleep: boot, patch, and go straight back to sleep.
+                self.hosts[idx].temporary_episode(downtime);
+                self.dirty_hosts[idx] = true;
+                self.energy_touched[idx] = true;
+                self.telemetry.emit(Event::HostResumed { host: r.host });
+                self.telemetry.emit(Event::HostSuspended { host: r.host });
+            }
         }
     }
 
@@ -1629,7 +1710,12 @@ impl ClusterSim {
                 match self.return_home(home, now, decision) {
                     Ok((_, wake_extra)) => {
                         let wake = if was_asleep {
-                            wol_wait + wake_extra + self.cfg.host_profile.resume_time.as_secs_f64()
+                            // The resume latency is the woken host's own
+                            // generation's (uniform fleets read the same
+                            // profile either way).
+                            wol_wait
+                                + wake_extra
+                                + self.cfg.host_profile_of(home.0).resume_time.as_secs_f64()
                         } else {
                             0.0
                         };
@@ -2072,9 +2158,11 @@ impl ClusterSim {
         self.quiescence.host_intervals += self.hosts.len() as u64;
         self.quiescence.vm_intervals += self.vms.len() as u64;
         self.quiescence.vm_quiescent += (self.vms.len() - self.dirty_vm_count) as u64;
-        // Baseline: home hosts powered all day, VMs in place.
-        let p = &self.cfg.host_profile;
+        // Baseline: home hosts powered all day, VMs in place. Each home
+        // is charged its own generation's profile (a homogeneous fleet
+        // reads identical values, so the f64 fold is unchanged).
         for home in 0..self.cfg.home_hosts {
+            let p = self.cfg.host_profile_of(home);
             let lo = (home * self.cfg.vms_per_host) as usize;
             let hi = lo + self.cfg.vms_per_host as usize;
             let active = self.users[lo..hi].iter().filter(|u| u.is_active(interval)).count();
@@ -2089,7 +2177,7 @@ impl ClusterSim {
     /// for the interval (`end_interval`).
     // oasis-lint: boundary(float-energy, "same fixed expression order as the interval fold; the integer-mj components carry the exact truth")
     pub(crate) fn host_interval_energy(&mut self, h: usize) -> HostSpanEnergy {
-        let p = &self.cfg.host_profile;
+        let p = self.cfg.host_profile_of(self.hosts[h].id.0);
         let ms_watts = self.cfg.memserver.active_watts;
         fn mj(joules: f64) -> u64 {
             (joules * 1_000.0).round().max(0.0) as u64
@@ -2209,8 +2297,8 @@ impl ClusterSim {
     /// [`Self::account_energy`]).
     // oasis-lint: boundary(float-energy, "identical per-home add order as the interval engine's baseline scan")
     pub(crate) fn account_baseline_counts(&mut self, counts: &[u32]) {
-        let p = &self.cfg.host_profile;
-        for &active in counts {
+        for (home, &active) in counts.iter().enumerate() {
+            let p = self.cfg.host_profile_of(home as u32);
             self.baseline_joules += INTERVAL_SECS * p.watts(PowerState::Powered, active as usize);
         }
     }
@@ -2240,6 +2328,7 @@ impl ClusterSim {
         let t0 = clock();
         let scope = self.telemetry.profile("fault_service");
         self.apply_faults(now);
+        self.apply_reboots(now);
         scope.end();
         let t1 = clock();
         phases.fault_service_secs += t1 - t0;

@@ -20,14 +20,18 @@
 //!   recovery and migration cancel-and-retry.
 //! * [`counts`] — [`FaultCounts`], the per-run injection/recovery
 //!   counters attached to simulation reports.
+//! * [`reboot`] — [`RebootSchedule`]: planned cold restarts (patch
+//!   windows), the maintenance-side twin of the fault schedule.
 
 #![warn(missing_docs)]
 
 pub mod counts;
+pub mod reboot;
 pub mod retry;
 pub mod schedule;
 
 pub use counts::FaultCounts;
+pub use reboot::{Reboot, RebootSchedule};
 pub use retry::RetryPolicy;
 pub use schedule::{Fault, FaultProfile, FaultSchedule, ScheduleError};
 

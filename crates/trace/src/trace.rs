@@ -87,6 +87,19 @@ impl UserDay {
         }
     }
 
+    /// Forces activity over `[start, start + len)` intervals, wrapping at
+    /// midnight — the flash-crowd combinator. Every interval in the
+    /// window becomes active regardless of the sampled pattern; bits
+    /// outside the window are untouched, so a zero-length spike is the
+    /// identity.
+    pub fn spike(&mut self, start: usize, len: usize) {
+        let len = len.min(INTERVALS_PER_DAY);
+        for off in 0..len {
+            let i = (start + off) % INTERVALS_PER_DAY;
+            self.active[i] = true;
+        }
+    }
+
     /// Number of active intervals.
     pub fn active_intervals(&self) -> usize {
         self.active.iter().filter(|&&a| a).count()
@@ -219,6 +232,35 @@ mod tests {
         let mut twelve = sample_day();
         twelve.rotate(12);
         assert_eq!(full, twelve);
+    }
+
+    #[test]
+    fn spike_forces_the_window_and_nothing_else() {
+        let mut d = sample_day();
+        d.spike(200, 20);
+        for i in 200..220 {
+            assert!(d.is_active(i), "interval {i} inside the spike");
+        }
+        assert!(!d.is_active(199));
+        assert!(!d.is_active(220));
+        assert!(d.is_active(120), "pre-existing activity survives");
+        assert_eq!(d.active_intervals(), 70);
+        // The window wraps at midnight and a zero-length spike is the
+        // identity.
+        let mut wrap = sample_day();
+        wrap.spike(280, 16);
+        assert!(wrap.is_active(287));
+        assert!(wrap.is_active(0));
+        assert!(wrap.is_active(7));
+        assert!(!wrap.is_active(8));
+        let mut zero = sample_day();
+        zero.spike(0, 0);
+        assert_eq!(zero, sample_day());
+        // A spike longer than the day saturates rather than looping
+        // forever.
+        let mut sat = UserDay::all_idle(DayKind::Weekday);
+        sat.spike(10, 10_000);
+        assert_eq!(sat.active_intervals(), INTERVALS_PER_DAY);
     }
 
     #[test]
